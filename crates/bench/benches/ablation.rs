@@ -1,0 +1,154 @@
+//! Ablation benches — quantifying the design choices DESIGN.md §4 calls
+//! out.
+//!
+//! 1. pipelined vs staged shuffle (DataMPI's headline mechanism);
+//! 2. in-memory buffering vs forced spilling;
+//! 3. startup overhead (simulated small jobs with and without Hadoop-like
+//!    startup grafted onto DataMPI);
+//! 4. locality-aware vs random O-task placement;
+//! 5. combiner on/off in the MapReduce engine.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dmpi_common::units::GB;
+use dmpi_datagen::{SeedModel, TextGenerator};
+use dmpi_dcsim::{ClusterSpec, NodeId, Simulation};
+use dmpi_dfs::{DfsConfig, MiniDfs};
+use dmpi_workloads::wordcount;
+
+fn corpus(total: usize) -> Vec<Bytes> {
+    let mut gen = TextGenerator::new(SeedModel::lda_wiki1w(), 0xAB1A);
+    (0..8).map(|_| Bytes::from(gen.generate_bytes(total / 8))).collect()
+}
+
+/// Ablation 1+2 on the real runtime: pipelining and memory budget.
+fn bench_runtime_ablations(c: &mut Criterion) {
+    let inputs = corpus(256 * 1024);
+    let mut group = c.benchmark_group("ablation_datampi_runtime");
+    group.sample_size(10);
+    for (label, config) in [
+        ("pipelined", datampi::JobConfig::new(4)),
+        ("staged", datampi::JobConfig::new(4).with_pipelined(false)),
+        (
+            "spill_always",
+            datampi::JobConfig::new(4).with_memory_budget(1024),
+        ),
+    ] {
+        let config = config.with_flush_threshold(8 * 1024);
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                datampi::run_job(
+                    &config,
+                    inputs.clone(),
+                    wordcount::map,
+                    wordcount::reduce,
+                    None,
+                )
+                .unwrap()
+                .stats
+            })
+        });
+    }
+    group.finish();
+}
+
+fn sort_profile(pipelined: bool, startup: f64) -> datampi::plan::SimJobProfile {
+    let mut p =
+        dmpi_workloads::sort::datampi_profile(dmpi_workloads::sort::SortVariant::Text, 4);
+    p.pipelined = pipelined;
+    p.startup_secs = startup;
+    p
+}
+
+fn run_plan(profile: &datampi::plan::SimJobProfile, bytes: u64) -> f64 {
+    let dfs = MiniDfs::new(8, DfsConfig::paper_tuned()).unwrap();
+    dfs.create_virtual("/in", NodeId(0), bytes).unwrap();
+    let splits = dfs.splits("/in").unwrap();
+    let mut sim = Simulation::new(ClusterSpec::paper_testbed());
+    datampi::plan::compile(&mut sim, profile, &splits).unwrap();
+    sim.run().unwrap().makespan
+}
+
+/// Ablations 1 and 3 at paper scale (simulated): how much of DataMPI's
+/// win is pipelining, and what Hadoop-like startup would cost it.
+fn bench_sim_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_datampi_sim");
+    group.sample_size(10);
+    let cells = [
+        ("baseline", sort_profile(true, 9.2)),
+        ("no_pipelining", sort_profile(false, 9.2)),
+        ("hadoop_startup", sort_profile(true, 18.0)),
+    ];
+    for (label, profile) in cells {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                let makespan = run_plan(&profile, 8 * GB);
+                assert!(makespan > 0.0);
+                makespan
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Ablation 5: combiner on/off on the real MapReduce engine.
+fn bench_combiner_ablation(c: &mut Criterion) {
+    let inputs = corpus(256 * 1024);
+    let mut group = c.benchmark_group("ablation_mapred_combiner");
+    group.sample_size(10);
+    for (label, on) in [("combiner_on", true), ("combiner_off", false)] {
+        let config = dmpi_mapred::MapRedConfig::new(4)
+            .with_sort_buffer(64 * 1024)
+            .with_combiner(on);
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                dmpi_mapred::run_mapreduce(
+                    &config,
+                    inputs.clone(),
+                    wordcount::map,
+                    Some(&wordcount::reduce),
+                    wordcount::reduce,
+                )
+                .unwrap()
+                .stats
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Ablation 4: locality — DFSIO reads with local vs forced-remote
+/// replicas (simulated).
+fn bench_locality_ablation(c: &mut Criterion) {
+    use dmpi_dfs::dfsio::{run_dfsio, DfsioMode};
+    let cluster = ClusterSpec::paper_testbed();
+    let mut group = c.benchmark_group("ablation_locality");
+    group.sample_size(10);
+    // Reads prefer local replicas in the simulator; the contrast with the
+    // write path (which must replicate remotely) isolates locality's value.
+    group.bench_function(BenchmarkId::from_parameter("local_reads"), |b| {
+        b.iter(|| {
+            run_dfsio(&cluster, &DfsConfig::paper_tuned(), DfsioMode::Read, 5 * GB, 2)
+                .unwrap()
+                .throughput_mb_s
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("replicated_writes"), |b| {
+        b.iter(|| {
+            run_dfsio(&cluster, &DfsConfig::paper_tuned(), DfsioMode::Write, 5 * GB, 2)
+                .unwrap()
+                .throughput_mb_s
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_runtime_ablations,
+    bench_sim_ablations,
+    bench_combiner_ablation,
+    bench_locality_ablation
+);
+criterion_main!(benches);

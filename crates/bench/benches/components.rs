@@ -1,0 +1,116 @@
+//! Component micro-benchmarks: the hot paths underneath every engine.
+//!
+//! These are the pieces whose per-byte costs the simulation profiles
+//! abstract as rates — measuring them here keeps the calibration honest
+//! and catches regressions in the building blocks (codec, framing,
+//! partitioning, sorting, merging, KV buffering).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use dmpi_common::codec;
+use dmpi_common::compare::{merge_sorted_runs, sort_records, BytesComparator};
+use dmpi_common::kv::{Record, RecordBatch};
+use dmpi_common::partition::{HashPartitioner, Partitioner, RangePartitioner};
+use dmpi_common::ser;
+use dmpi_datagen::{SeedModel, TextGenerator};
+
+fn text(bytes: usize, seed: u64) -> Vec<u8> {
+    TextGenerator::new(SeedModel::lda_wiki1w(), seed).generate_bytes(bytes)
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let data = text(1 << 20, 1);
+    let compressed = codec::compress(&data);
+    let mut group = c.benchmark_group("codec_lz77");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("compress_1mb_text", |b| b.iter(|| codec::compress(&data)));
+    group.bench_function("decompress_1mb_text", |b| {
+        b.iter(|| codec::decompress(&compressed).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_framing(c: &mut Criterion) {
+    let batch: RecordBatch = text(1 << 18, 2)
+        .split(|&b| b == b'\n')
+        .filter(|l| !l.is_empty())
+        .map(|l| Record::new(l.to_vec(), l.to_vec()))
+        .collect();
+    let framed = ser::frame_batch(&batch);
+    let mut group = c.benchmark_group("record_framing");
+    group.throughput(Throughput::Bytes(framed.len() as u64));
+    group.bench_function("frame", |b| b.iter(|| ser::frame_batch(&batch)));
+    group.bench_function("unframe", |b| b.iter(|| ser::unframe_batch(&framed).unwrap()));
+    group.finish();
+}
+
+fn bench_partitioners(c: &mut Criterion) {
+    let keys: Vec<Vec<u8>> = (0..10_000).map(|i| format!("key-{i}").into_bytes()).collect();
+    let hash = HashPartitioner::new(32);
+    let range = RangePartitioner::from_sample(keys.clone(), 32);
+    let mut group = c.benchmark_group("partitioners");
+    group.throughput(Throughput::Elements(keys.len() as u64));
+    group.bench_function("hash_10k_keys", |b| {
+        b.iter(|| keys.iter().map(|k| hash.partition(k)).sum::<usize>())
+    });
+    group.bench_function("range_10k_keys", |b| {
+        b.iter(|| keys.iter().map(|k| range.partition(k)).sum::<usize>())
+    });
+    group.finish();
+}
+
+fn bench_sort_merge(c: &mut Criterion) {
+    let records: Vec<Record> = text(1 << 18, 3)
+        .split(|&b| b == b'\n')
+        .filter(|l| !l.is_empty())
+        .map(|l| Record::new(l.to_vec(), b"v".to_vec()))
+        .collect();
+    let mut runs: Vec<Vec<Record>> = records.chunks(records.len() / 8 + 1).map(|c| c.to_vec()).collect();
+    for run in runs.iter_mut() {
+        sort_records(run, &BytesComparator);
+    }
+    let mut group = c.benchmark_group("sort_and_merge");
+    group.throughput(Throughput::Elements(records.len() as u64));
+    group.bench_function(BenchmarkId::from_parameter("sort"), |b| {
+        b.iter(|| {
+            let mut v = records.clone();
+            sort_records(&mut v, &BytesComparator);
+            v.len()
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("merge_8_runs"), |b| {
+        b.iter(|| merge_sorted_runs(runs.clone(), &BytesComparator).len())
+    });
+    group.finish();
+}
+
+fn bench_kv_buffer(c: &mut Criterion) {
+    use datampi::buffer::KvBuffer;
+    use datampi::comm::Interconnect;
+    let words: Vec<Vec<u8>> = (0..5000).map(|i| format!("w{}", i % 500).into_bytes()).collect();
+    let mut group = c.benchmark_group("datampi_kv_buffer");
+    group.throughput(Throughput::Elements(words.len() as u64));
+    group.bench_function("emit_5k_pairs_pipelined", |b| {
+        b.iter(|| {
+            let mut net = Interconnect::new(4);
+            let senders = net.senders();
+            let _rx: Vec<_> = (0..4).map(|r| net.take_receiver(r)).collect();
+            let mut buf = KvBuffer::new(senders, 0, 0, 4096, true);
+            for w in &words {
+                buf.emit_kv(w, b"1");
+            }
+            buf.finish().records
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_framing,
+    bench_partitioners,
+    bench_sort_merge,
+    bench_kv_buffer
+);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Figure 2 benches — the parameter-tuning experiments.
+//!
+//! * Figure 2(a): DFSIO write throughput per HDFS block size.
+//! * Figure 2(b): Text Sort per tasks/workers-per-node setting.
+//!
+//! Criterion measures how long the *simulation itself* takes to evaluate
+//! each tuning cell (wall-clock of the DES), while each iteration also
+//! exercises the full DFS placement + fair-sharing machinery end to end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dmpi_common::units::{GB, MB};
+use dmpi_dcsim::ClusterSpec;
+use dmpi_dfs::dfsio::{run_dfsio, DfsioMode};
+use dmpi_dfs::DfsConfig;
+use dmpi_workloads::{run_sim, Engine, Workload};
+
+fn fig2a_dfsio(c: &mut Criterion) {
+    let cluster = ClusterSpec::paper_testbed();
+    let mut group = c.benchmark_group("fig2a_dfsio_write");
+    group.sample_size(10);
+    for block_mb in [64u64, 128, 256, 512] {
+        let config = DfsConfig::paper_tuned().with_block_size(block_mb * MB);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{block_mb}MB_block")),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    let r =
+                        run_dfsio(&cluster, config, DfsioMode::Write, 10 * GB, 2).expect("dfsio");
+                    assert!(r.throughput_mb_s > 0.0);
+                    r.throughput_mb_s
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn fig2b_tasks_per_node(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2b_tasks_tuning");
+    group.sample_size(10);
+    for tasks in [2u32, 4, 6] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{tasks}_tasks")),
+            &tasks,
+            |b, &tasks| {
+                b.iter(|| {
+                    let out = run_sim(
+                        Workload::TextSort,
+                        Engine::DataMpi,
+                        GB * tasks as u64 * 8,
+                        tasks,
+                    )
+                    .expect("sim");
+                    out.seconds().expect("no OOM for DataMPI")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig2a_dfsio, fig2b_tasks_per_node);
+criterion_main!(benches);

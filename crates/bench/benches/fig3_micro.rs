@@ -1,0 +1,132 @@
+//! Figure 3 benches — the micro-benchmarks on the **real executing
+//! engines** at MB scale.
+//!
+//! The paper's Figure 3 compares job times at 4-64 GB, which this
+//! repository reproduces with the calibrated simulator (`figures fig3a-d`).
+//! These criterion benches run the same five workloads through the actual
+//! DataMPI / MapReduce / RDD runtimes on megabyte inputs, so the relative
+//! costs of the engines' real data paths (sort/spill vs pipelined KV
+//! buffers vs RDD shuffles) are measured, not simulated.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use dmpi_datagen::{seqfile, SeedModel, TextGenerator};
+use dmpi_workloads::{grep, sort, wordcount};
+
+const INPUT_BYTES: usize = 512 * 1024;
+const SPLITS: usize = 8;
+
+fn corpus() -> Vec<Bytes> {
+    let mut gen = TextGenerator::new(SeedModel::lda_wiki1w(), 0xF163);
+    (0..SPLITS)
+        .map(|_| Bytes::from(gen.generate_bytes(INPUT_BYTES / SPLITS)))
+        .collect()
+}
+
+fn seq_corpus() -> Vec<Bytes> {
+    let mut gen = TextGenerator::new(SeedModel::lda_wiki1w(), 0xF164);
+    (0..SPLITS)
+        .map(|_| {
+            let (img, _) = seqfile::to_seq_file(&gen.generate_bytes(INPUT_BYTES / SPLITS));
+            Bytes::from(img)
+        })
+        .collect()
+}
+
+fn bench_wordcount(c: &mut Criterion) {
+    let inputs = corpus();
+    let total: u64 = inputs.iter().map(|b| b.len() as u64).sum();
+    let mut group = c.benchmark_group("fig3c_wordcount_real");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(total));
+    group.bench_function(BenchmarkId::from_parameter("datampi"), |b| {
+        b.iter(|| wordcount::run_datampi(&datampi::JobConfig::new(4), inputs.clone()).unwrap())
+    });
+    group.bench_function(BenchmarkId::from_parameter("hadoop"), |b| {
+        b.iter(|| wordcount::run_mapred(&dmpi_mapred::MapRedConfig::new(4), inputs.clone()).unwrap())
+    });
+    group.bench_function(BenchmarkId::from_parameter("spark"), |b| {
+        b.iter(|| {
+            let ctx = dmpi_rddsim::SparkContext::new(dmpi_rddsim::SparkConfig::new(4)).unwrap();
+            wordcount::run_spark(&ctx, inputs.clone()).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_text_sort(c: &mut Criterion) {
+    let inputs = corpus();
+    let total: u64 = inputs.iter().map(|b| b.len() as u64).sum();
+    let mut group = c.benchmark_group("fig3b_text_sort_real");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(total));
+    group.bench_function(BenchmarkId::from_parameter("datampi"), |b| {
+        b.iter(|| sort::run_text_datampi(&datampi::JobConfig::new(4), inputs.clone()).unwrap())
+    });
+    group.bench_function(BenchmarkId::from_parameter("hadoop"), |b| {
+        b.iter(|| sort::run_text_mapred(&dmpi_mapred::MapRedConfig::new(4), inputs.clone()).unwrap())
+    });
+    group.bench_function(BenchmarkId::from_parameter("spark"), |b| {
+        b.iter(|| {
+            let ctx = dmpi_rddsim::SparkContext::new(
+                dmpi_rddsim::SparkConfig::new(4).with_memory_budget(64 << 20),
+            )
+            .unwrap();
+            sort::run_text_spark(&ctx, inputs.clone(), 4).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_normal_sort(c: &mut Criterion) {
+    let inputs = seq_corpus();
+    let total: u64 = inputs.iter().map(|b| b.len() as u64).sum();
+    let mut group = c.benchmark_group("fig3a_normal_sort_real");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(total));
+    group.bench_function(BenchmarkId::from_parameter("datampi"), |b| {
+        b.iter(|| sort::run_normal_datampi(&datampi::JobConfig::new(4), inputs.clone()).unwrap())
+    });
+    group.bench_function(BenchmarkId::from_parameter("hadoop"), |b| {
+        b.iter(|| {
+            sort::run_normal_mapred(&dmpi_mapred::MapRedConfig::new(4), inputs.clone()).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_grep(c: &mut Criterion) {
+    let inputs = corpus();
+    let total: u64 = inputs.iter().map(|b| b.len() as u64).sum();
+    let pattern = SeedModel::lda_wiki1w().word_at_rank(3).to_string();
+    let mut group = c.benchmark_group("fig3d_grep_real");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(total));
+    group.bench_function(BenchmarkId::from_parameter("datampi"), |b| {
+        b.iter(|| {
+            grep::run_datampi(&datampi::JobConfig::new(4), inputs.clone(), &pattern).unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("hadoop"), |b| {
+        b.iter(|| {
+            grep::run_mapred(&dmpi_mapred::MapRedConfig::new(4), inputs.clone(), &pattern).unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("spark"), |b| {
+        b.iter(|| {
+            let ctx = dmpi_rddsim::SparkContext::new(dmpi_rddsim::SparkConfig::new(4)).unwrap();
+            grep::run_spark(&ctx, inputs.clone(), &pattern).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_wordcount,
+    bench_text_sort,
+    bench_normal_sort,
+    bench_grep
+);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Figure 4 bench — resource-utilization profiling.
+//!
+//! Each iteration runs the full simulated job that backs one Figure 4
+//! panel set and produces its complete per-second time series; the bench
+//! covers the metrics pipeline (fair-share integration into buckets) under
+//! a realistic task graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dmpi_bench::figures::{fig4_data, Fig4Case};
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_resource_profiles");
+    group.sample_size(10);
+    for (label, case) in [
+        ("sort_8gb", Fig4Case::Sort),
+        ("wordcount_32gb", Fig4Case::WordCount),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                let data = fig4_data(case).expect("profiling run");
+                assert!(!data.runs.is_empty());
+                // Every run carries non-empty series.
+                for (_, secs, profile) in &data.runs {
+                    assert!(*secs > 0.0);
+                    assert!(!profile.is_empty());
+                }
+                data.runs.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

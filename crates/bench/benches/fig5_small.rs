@@ -1,0 +1,61 @@
+//! Figure 5 bench — small jobs on the real engines.
+//!
+//! The paper's small-job experiment isolates framework overhead: tiny
+//! input (128 MB there, kilobytes here), one task per worker. On the real
+//! runtimes this measures job setup/teardown of each engine's machinery —
+//! thread spawn, channel mesh, queue setup — the analog of the
+//! JVM/scheduler overheads dominating Figure 5.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dmpi_datagen::{SeedModel, TextGenerator};
+use dmpi_workloads::wordcount;
+
+fn tiny_corpus() -> Vec<Bytes> {
+    let mut gen = TextGenerator::new(SeedModel::lda_wiki1w(), 0x5A11);
+    (0..4).map(|_| Bytes::from(gen.generate_bytes(2048))).collect()
+}
+
+fn bench_small_jobs(c: &mut Criterion) {
+    let inputs = tiny_corpus();
+    let mut group = c.benchmark_group("fig5_small_jobs_real");
+    group.sample_size(20);
+    group.bench_function(BenchmarkId::from_parameter("datampi"), |b| {
+        b.iter(|| wordcount::run_datampi(&datampi::JobConfig::new(4), inputs.clone()).unwrap())
+    });
+    group.bench_function(BenchmarkId::from_parameter("hadoop"), |b| {
+        b.iter(|| {
+            wordcount::run_mapred(&dmpi_mapred::MapRedConfig::new(4), inputs.clone()).unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter("spark"), |b| {
+        b.iter(|| {
+            let ctx = dmpi_rddsim::SparkContext::new(dmpi_rddsim::SparkConfig::new(4)).unwrap();
+            wordcount::run_spark(&ctx, inputs.clone()).unwrap()
+        })
+    });
+    group.finish();
+}
+
+/// The simulated Figure 5 cells (framework overhead at paper scale).
+fn bench_small_jobs_sim(c: &mut Criterion) {
+    use dmpi_common::units::MB;
+    use dmpi_workloads::{run_sim, Engine, Workload};
+    let mut group = c.benchmark_group("fig5_small_jobs_sim");
+    group.sample_size(10);
+    for engine in [Engine::Hadoop, Engine::Spark, Engine::DataMpi] {
+        group.bench_function(BenchmarkId::from_parameter(format!("{engine}")), |b| {
+            b.iter(|| {
+                run_sim(Workload::WordCount, engine, 128 * MB, 1)
+                    .unwrap()
+                    .seconds()
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_small_jobs, bench_small_jobs_sim);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Figure 6 benches — the application benchmarks on the real engines.
+//!
+//! K-means first iteration and Naive Bayes training, executing the actual
+//! algorithms (distance computation, term counting, model building) through
+//! each engine's real data path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dmpi_workloads::kmeans::{self, KMeans, TrainEngine};
+use dmpi_workloads::bayes;
+
+fn bench_kmeans(c: &mut Criterion) {
+    let params = KMeans {
+        k: 5,
+        dims: 128,
+        max_iters: 1, // the paper times the first iteration
+        tol: 0.0,
+    };
+    let (vectors, _) = kmeans::generate_clustered_vectors(40, 128, 0x6A);
+    let inputs = kmeans::vectors_to_inputs(&vectors, 25);
+    let mut group = c.benchmark_group("fig6a_kmeans_first_iteration_real");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("datampi"), |b| {
+        b.iter(|| kmeans::train(&params, TrainEngine::DataMpi, &vectors, &inputs).unwrap())
+    });
+    group.bench_function(BenchmarkId::from_parameter("hadoop"), |b| {
+        b.iter(|| kmeans::train(&params, TrainEngine::MapRed, &vectors, &inputs).unwrap())
+    });
+    group.bench_function(BenchmarkId::from_parameter("spark"), |b| {
+        b.iter(|| {
+            let ctx = dmpi_rddsim::SparkContext::new(dmpi_rddsim::SparkConfig::new(4)).unwrap();
+            kmeans::train_spark(&params, &ctx, &vectors).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_kmeans_iterated_spark_cache(c: &mut Criterion) {
+    // Spark's advantage on later iterations comes from the cache; this
+    // bench runs five iterations so the cached path dominates.
+    let params = KMeans {
+        k: 3,
+        dims: 64,
+        max_iters: 5,
+        tol: 0.0,
+    };
+    let (vectors, _) = kmeans::generate_clustered_vectors(30, 64, 0x6B);
+    let mut group = c.benchmark_group("fig6a_kmeans_iterated");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("spark_cached"), |b| {
+        b.iter(|| {
+            let ctx = dmpi_rddsim::SparkContext::new(dmpi_rddsim::SparkConfig::new(4)).unwrap();
+            kmeans::train_spark(&params, &ctx, &vectors).unwrap()
+        })
+    });
+    let inputs = kmeans::vectors_to_inputs(&vectors, 30);
+    group.bench_function(BenchmarkId::from_parameter("datampi_rerun"), |b| {
+        b.iter(|| kmeans::train(&params, TrainEngine::DataMpi, &vectors, &inputs).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_bayes(c: &mut Criterion) {
+    let corpus = bayes::generate_corpus(20, 6, 0xBA1E5);
+    let inputs = bayes::corpus_to_inputs(&corpus, 10);
+    let mut group = c.benchmark_group("fig6b_naive_bayes_real");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("datampi"), |b| {
+        b.iter(|| bayes::train_datampi(&datampi::JobConfig::new(4), inputs.clone()).unwrap())
+    });
+    group.bench_function(BenchmarkId::from_parameter("hadoop"), |b| {
+        b.iter(|| bayes::train_mapred(&dmpi_mapred::MapRedConfig::new(4), inputs.clone()).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kmeans, bench_kmeans_iterated_spark_cache, bench_bayes);
+criterion_main!(benches);

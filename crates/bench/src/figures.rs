@@ -1,0 +1,994 @@
+//! Generators for every table and figure in the paper's evaluation.
+
+use dmpi_common::units::{GB, MB};
+use dmpi_common::Result;
+use dmpi_dcsim::metrics::ResourceProfile;
+use dmpi_dcsim::ClusterSpec;
+use dmpi_dfs::dfsio::{run_dfsio, DfsioMode};
+use dmpi_dfs::DfsConfig;
+use dmpi_workloads::{run_sim, Engine, Outcome, Workload};
+
+use crate::table::{fmt_secs_opt, Table};
+
+/// The engines in the paper's plotting order.
+pub const ENGINES: [Engine; 3] = [Engine::Hadoop, Engine::Spark, Engine::DataMpi];
+
+/// Table 1 — representative workloads.
+pub fn table1() -> Table {
+    let mut t = Table::new("table1", "Representative Workloads", &["No.", "Workload", "Type"]);
+    for e in dmpi_workloads::catalog::TABLE1 {
+        t.push_row(vec![e.no.to_string(), e.workload.into(), e.category.into()]);
+    }
+    t
+}
+
+/// Table 2 — hardware configuration of the (simulated) testbed.
+pub fn table2() -> Table {
+    let spec = ClusterSpec::paper_testbed();
+    let mut t = Table::new("table2", "Details of Hardware Configuration", &["Item", "Value"]);
+    let rows = [
+        ("CPU type", "Intel Xeon E5620 (2 sockets)".to_string()),
+        ("# cores", "4 cores @2.4G per socket".to_string()),
+        ("# threads", "16 per node (HT)".to_string()),
+        (
+            "modeled CPU",
+            format!("{:.1} core-equivalents/node", spec.cpu_capacity),
+        ),
+        ("Memory", dmpi_common::units::fmt_bytes(spec.mem_bytes)),
+        (
+            "Disk",
+            format!("SATA, {:.0} MB/s effective", spec.disk_bw / MB as f64),
+        ),
+        (
+            "Network",
+            format!("1 GbE, {:.0} MB/s per direction", spec.net_bw / MB as f64),
+        ),
+        ("Nodes", spec.nodes.to_string()),
+    ];
+    for (k, v) in rows {
+        t.push_row(vec![k.into(), v]);
+    }
+    t
+}
+
+/// Figure 2(a) — DFSIO write throughput vs HDFS block size, for 5-20 GB
+/// files.
+pub fn fig2a() -> Result<Table> {
+    let cluster = ClusterSpec::paper_testbed();
+    let mut t = Table::new(
+        "fig2a",
+        "HDFS Block Size Tuning based on DFSIO (write throughput, MB/s)",
+        &["Block (MB)", "5GB", "10GB", "15GB", "20GB"],
+    );
+    for block_mb in [64u64, 128, 256, 512] {
+        let config = DfsConfig::paper_tuned().with_block_size(block_mb * MB);
+        let mut row = vec![block_mb.to_string()];
+        for gb in [5u64, 10, 15, 20] {
+            let r = run_dfsio(&cluster, &config, DfsioMode::Write, gb * GB, 2)?;
+            row.push(format!("{:.1}", r.throughput_mb_s));
+        }
+        t.push_row(row);
+    }
+    Ok(t)
+}
+
+/// Figure 2(b) — Text Sort throughput vs concurrent tasks/workers per
+/// node. Hadoop/DataMPI process 1 GB per task, Spark 128 MB per worker
+/// (§4.2).
+pub fn fig2b() -> Result<Table> {
+    let mut t = Table::new(
+        "fig2b",
+        "Tasks/Workers-per-node Tuning based on Text Sort (throughput, MB/s)",
+        &["Tasks/node", "Hadoop", "Spark", "DataMPI"],
+    );
+    for tasks in [2u32, 4, 6] {
+        let mut row = vec![tasks.to_string()];
+        for engine in [Engine::Hadoop, Engine::Spark, Engine::DataMpi] {
+            let per_task = match engine {
+                Engine::Spark => 128 * MB,
+                _ => GB,
+            };
+            let total = per_task * tasks as u64 * 8;
+            let outcome = run_sim(Workload::TextSort, engine, total, tasks)?;
+            let cell = match outcome.seconds() {
+                Some(secs) => format!("{:.0}", total as f64 / MB as f64 / secs),
+                None => "OOM".into(),
+            };
+            row.push(cell);
+        }
+        t.push_row(row);
+    }
+    Ok(t)
+}
+
+fn engine_column(outcomes: &[(u64, Vec<Option<f64>>)], headers: &[&str]) -> Table {
+    let mut t = Table::new("", "", headers);
+    for (size, times) in outcomes {
+        let mut row = vec![format!("{size}")];
+        row.extend(times.iter().map(|o| fmt_secs_opt(*o)));
+        t.push_row(row);
+    }
+    t
+}
+
+fn fig3_generic(
+    id: &str,
+    title: &str,
+    workload: Workload,
+    sizes: &[u64],
+    engines: &[Engine],
+) -> Result<Table> {
+    let mut outcomes = Vec::new();
+    for &gb in sizes {
+        let mut times = Vec::new();
+        for &e in engines {
+            times.push(run_sim(workload, e, gb * GB, 4)?.seconds());
+        }
+        outcomes.push((gb, times));
+    }
+    let mut headers = vec!["Size (GB)"];
+    headers.extend(engines.iter().map(|e| match e {
+        Engine::Hadoop => "Hadoop",
+        Engine::Spark => "Spark",
+        Engine::DataMpi => "DataMPI",
+    }));
+    let mut t = engine_column(&outcomes, &headers);
+    t.id = id.to_string();
+    t.title = format!("{title} (job execution time, s)");
+    Ok(t)
+}
+
+/// Figure 3(a) — Normal Sort, Hadoop vs DataMPI, 4-32 GB.
+pub fn fig3a() -> Result<Table> {
+    fig3_generic(
+        "fig3a",
+        "Normal Sort",
+        Workload::NormalSort,
+        &[4, 8, 16, 32],
+        &[Engine::Hadoop, Engine::DataMpi],
+    )
+}
+
+/// Figure 3(b) — Text Sort, all three engines, 8-64 GB (Spark OOMs past
+/// 8 GB).
+pub fn fig3b() -> Result<Table> {
+    fig3_generic(
+        "fig3b",
+        "Text Sort",
+        Workload::TextSort,
+        &[8, 16, 32, 64],
+        &ENGINES,
+    )
+}
+
+/// Figure 3(c) — WordCount, all three engines, 8-64 GB.
+pub fn fig3c() -> Result<Table> {
+    fig3_generic(
+        "fig3c",
+        "WordCount",
+        Workload::WordCount,
+        &[8, 16, 32, 64],
+        &ENGINES,
+    )
+}
+
+/// Figure 3(d) — Grep, all three engines, 8-64 GB.
+pub fn fig3d() -> Result<Table> {
+    fig3_generic("fig3d", "Grep", Workload::Grep, &[8, 16, 32, 64], &ENGINES)
+}
+
+/// Which Figure 4 case to profile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fig4Case {
+    /// 8 GB Text Sort (Figure 4(a)-(d)).
+    Sort,
+    /// 32 GB WordCount (Figure 4(e)-(h)).
+    WordCount,
+}
+
+impl Fig4Case {
+    fn workload(self) -> Workload {
+        match self {
+            Fig4Case::Sort => Workload::TextSort,
+            Fig4Case::WordCount => Workload::WordCount,
+        }
+    }
+    fn bytes(self) -> u64 {
+        match self {
+            Fig4Case::Sort => 8 * GB,
+            Fig4Case::WordCount => 32 * GB,
+        }
+    }
+    /// The averaging window the paper uses (the slowest engine's runtime).
+    fn label(self) -> &'static str {
+        match self {
+            Fig4Case::Sort => "8GB Text Sort",
+            Fig4Case::WordCount => "32GB WordCount",
+        }
+    }
+}
+
+/// The profiled runs backing Figure 4 for one case.
+pub struct Fig4Data {
+    /// `(engine, job seconds, resource profile)` — engines that finished.
+    pub runs: Vec<(Engine, f64, ResourceProfile)>,
+    /// Full reports per finished engine (phase spans for the paper's
+    /// phase-scoped averages).
+    pub reports: Vec<(Engine, dmpi_dcsim::SimReport)>,
+    /// The case profiled.
+    pub case: Fig4Case,
+}
+
+impl Fig4Data {
+    /// The input-reading phase of an engine (DataMPI's O phase, Hadoop's
+    /// map phase, Spark's Stage 0) — the window the paper scopes its disk
+    /// read averages to ("The average disk read throughputs of DataMPI O
+    /// phase, Hadoop Map phase, and Spark Stage 0 are 50/49/46 MB/sec").
+    pub fn input_phase(engine: Engine) -> &'static str {
+        match engine {
+            Engine::DataMpi => "O",
+            Engine::Hadoop => "map",
+            Engine::Spark => "stage0",
+        }
+    }
+
+    /// Mean of a metric over an engine's input phase.
+    pub fn phase_mean(&self, engine: Engine, series_of: impl Fn(&ResourceProfile) -> Vec<f64>) -> Option<f64> {
+        let report = self
+            .reports
+            .iter()
+            .find(|(e, _)| *e == engine)
+            .map(|(_, r)| r)?;
+        let (start, end) = report.phase_span(Self::input_phase(engine))?;
+        let series = series_of(&report.profile);
+        let lo = start.floor() as usize;
+        let hi = (end.ceil() as usize).min(series.len());
+        if hi <= lo {
+            return None;
+        }
+        Some(series[lo..hi].iter().sum::<f64>() / (hi - lo) as f64)
+    }
+}
+
+/// Runs the Figure 4 profiling case on all (applicable) engines.
+pub fn fig4_data(case: Fig4Case) -> Result<Fig4Data> {
+    let mut runs = Vec::new();
+    let mut reports = Vec::new();
+    for engine in ENGINES {
+        if let Outcome::Finished { seconds, report } =
+            run_sim(case.workload(), engine, case.bytes(), 4)?
+        {
+            runs.push((engine, seconds, report.profile.clone()));
+            reports.push((engine, *report));
+        }
+    }
+    Ok(Fig4Data { runs, reports, case })
+}
+
+/// Figure 4 summary table: the per-engine averages the paper quotes in
+/// §4.4 (window = the slowest engine's runtime).
+pub fn fig4_averages(case: Fig4Case) -> Result<Table> {
+    let data = fig4_data(case)?;
+    let window = data
+        .runs
+        .iter()
+        .map(|(_, s, _)| *s)
+        .fold(0.0f64, f64::max)
+        .ceil() as usize;
+    let mut t = Table::new(
+        match case {
+            Fig4Case::Sort => "fig4a-d",
+            Fig4Case::WordCount => "fig4e-h",
+        },
+        format!(
+            "Resource utilization of {} (averages over 0-{} s)",
+            case.label(),
+            window
+        ),
+        &[
+            "Engine",
+            "Time (s)",
+            "CPU (%)",
+            "WaitIO (%)",
+            "DiskRd (MB/s)",
+            "RdPhase (MB/s)",
+            "DiskWt (MB/s)",
+            "Net (MB/s)",
+            "Mem (GB)",
+        ],
+    );
+    for (engine, secs, p) in &data.runs {
+        // The paper scopes disk-read averages to the input-reading phase
+        // (O / map / Stage 0); report both the whole-window and the
+        // phase-scoped figure.
+        let phase_rd = data
+            .phase_mean(*engine, |p| p.disk_read_mb_s.clone())
+            .unwrap_or(0.0);
+        t.push_row(vec![
+            engine.to_string(),
+            format!("{secs:.0}"),
+            format!("{:.0}", ResourceProfile::mean(&p.cpu_util_pct, window)),
+            format!("{:.0}", ResourceProfile::mean(&p.wait_io_pct, window)),
+            format!("{:.0}", ResourceProfile::mean(&p.disk_read_mb_s, window)),
+            format!("{phase_rd:.0}"),
+            format!("{:.0}", ResourceProfile::mean(&p.disk_write_mb_s, window)),
+            format!("{:.0}", ResourceProfile::mean(&p.net_mb_s, window)),
+            format!("{:.1}", ResourceProfile::mean(&p.mem_gb, window)),
+        ]);
+    }
+    Ok(t)
+}
+
+/// Figure 4 time-series table for one metric, sampled every `step`
+/// seconds (the paper plots per-second curves; 10 s sampling keeps the
+/// table readable while preserving the shape).
+pub fn fig4_series(case: Fig4Case, metric: &str, step: usize) -> Result<Table> {
+    let data = fig4_data(case)?;
+    let select = |p: &ResourceProfile| -> Vec<f64> {
+        match metric {
+            "cpu" => p.cpu_util_pct.clone(),
+            "waitio" => p.wait_io_pct.clone(),
+            "disk_read" => p.disk_read_mb_s.clone(),
+            "disk_write" => p.disk_write_mb_s.clone(),
+            "net" => p.net_mb_s.clone(),
+            "mem" => p.mem_gb.clone(),
+            other => panic!("unknown metric {other}"),
+        }
+    };
+    let mut headers = vec!["t (s)".to_string()];
+    for (e, _, _) in &data.runs {
+        headers.push(e.to_string());
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        format!("fig4-{}-{metric}", case.label().replace(' ', "_")),
+        format!("{} of {}", metric, case.label()),
+        &header_refs,
+    );
+    let longest = data
+        .runs
+        .iter()
+        .map(|(_, _, p)| p.len())
+        .max()
+        .unwrap_or(0);
+    let mut i = 0;
+    while i < longest {
+        let mut row = vec![i.to_string()];
+        for (_, _, p) in &data.runs {
+            let series = select(p);
+            row.push(
+                series
+                    .get(i)
+                    .map(|v| format!("{v:.1}"))
+                    .unwrap_or_else(|| "-".into()),
+            );
+        }
+        t.push_row(row);
+        i += step.max(1);
+    }
+    Ok(t)
+}
+
+/// Figure 5 — small jobs: 128 MB input, one task/worker per node.
+pub fn fig5() -> Result<Table> {
+    let mut t = Table::new(
+        "fig5",
+        "Performance Comparison Based on Small Jobs (128 MB input, s)",
+        &["Benchmark", "Hadoop", "Spark", "DataMPI"],
+    );
+    for (label, workload) in [
+        ("Text Sort", Workload::TextSort),
+        ("WordCount", Workload::WordCount),
+        ("Grep", Workload::Grep),
+    ] {
+        let mut row = vec![label.to_string()];
+        for engine in ENGINES {
+            let outcome = run_sim(workload, engine, 128 * MB, 1)?;
+            row.push(fmt_secs_opt(outcome.seconds()));
+        }
+        t.push_row(row);
+    }
+    Ok(t)
+}
+
+/// Figure 6(a) — K-means first-iteration time, 8-64 GB, all three engines.
+pub fn fig6a() -> Result<Table> {
+    fig3_generic(
+        "fig6a",
+        "K-means (first iteration)",
+        Workload::KMeans,
+        &[8, 16, 32, 64],
+        &ENGINES,
+    )
+}
+
+/// Figure 6(b) — Naive Bayes, 8-64 GB, Hadoop vs DataMPI.
+pub fn fig6b() -> Result<Table> {
+    fig3_generic(
+        "fig6b",
+        "Naive Bayes",
+        Workload::NaiveBayes,
+        &[8, 16, 32, 64],
+        &[Engine::Hadoop, Engine::DataMpi],
+    )
+}
+
+/// Extension experiment (the paper's §4.6 future work): K-means over
+/// multiple training iterations. Hadoop re-launches a full job per
+/// iteration; Spark caches the vectors after its first load; DataMPI's
+/// Iteration mode keeps deserialized splits resident. Cells are
+/// **cumulative** seconds after each iteration.
+pub fn fig_ext_iterations(input_gb: u64, iterations: u32) -> Result<Table> {
+    use dmpi_dcsim::{NodeId, Simulation};
+    use dmpi_dfs::{DfsConfig, MiniDfs};
+    use dmpi_workloads::{calib, kmeans};
+
+    let cluster = ClusterSpec::paper_testbed();
+    let dfs = MiniDfs::new(cluster.nodes, DfsConfig::paper_tuned())?;
+    // One generated file per node (like the BigDataBench generator), so
+    // primary replicas — and with them the map/O tasks — spread evenly.
+    let per_file = input_gb * GB / cluster.nodes as u64;
+    for i in 0..cluster.nodes {
+        dfs.create_virtual(&format!("/kmeans/part-{i:05}"), NodeId(i), per_file)?;
+    }
+    let splits = dfs.splits_for_prefix("/kmeans/")?;
+
+    // Hadoop: one full job per iteration (no residency anywhere).
+    let hadoop_iteration = {
+        let mut sim = Simulation::new(cluster.clone());
+        let p = kmeans::hadoop_profile(4);
+        dmpi_mapred::plan::compile(&mut sim, &p, &splits)?;
+        sim.run()?.makespan
+    };
+
+    // DataMPI: cold first iteration, resident afterwards (Iteration mode).
+    let datampi_run = |resident: bool| -> Result<f64> {
+        let mut sim = Simulation::new(cluster.clone());
+        let mut p = kmeans::datampi_profile(4);
+        p.input_resident = resident;
+        if resident {
+            // Ranks are already up: iterations after the first pay no
+            // startup/finalize barriers.
+            p.startup_secs = 0.5;
+            p.finalize_secs = 0.0;
+        }
+        datampi::plan::compile(&mut sim, &p, &splits)?;
+        Ok(sim.run()?.makespan)
+    };
+    let datampi_cold = datampi_run(false)?;
+    let datampi_warm = datampi_run(true)?;
+
+    // Spark: stage0 loads + caches once; each iteration reruns over the
+    // cache. Simulate the first job (load + iter) and a cache-only job.
+    let spark_times = {
+        let full = kmeans::spark_profile(splits.clone(), 4);
+        let mut sim = Simulation::new(cluster.clone());
+        dmpi_rddsim::plan::compile(&mut sim, &full)?;
+        let first = sim.run()?.makespan;
+
+        let mut warm = kmeans::spark_profile(splits.clone(), 4);
+        warm.startup_secs = 0.3; // driver alive, task dispatch only
+        warm.stages.remove(0); // no load stage: iterate over the cache
+        let mut sim = Simulation::new(cluster);
+        dmpi_rddsim::plan::compile(&mut sim, &warm)?;
+        let repeat = sim.run()?.makespan;
+        (first, repeat)
+    };
+
+    let mut t = Table::new(
+        "fig-ext-iter",
+        format!(
+            "Extension: iterative K-means, {input_gb} GB, cumulative seconds              (the paper's deferred Spark-vs-DataMPI iterative comparison)"
+        ),
+        &["Iteration", "Hadoop", "Spark", "DataMPI"],
+    );
+    let mut h = 0.0;
+    let mut s = 0.0;
+    let mut d = 0.0;
+    for i in 1..=iterations {
+        h += hadoop_iteration;
+        s += if i == 1 { spark_times.0 } else { spark_times.1 };
+        d += if i == 1 { datampi_cold } else { datampi_warm };
+        t.push_row(vec![
+            i.to_string(),
+            format!("{h:.0}"),
+            format!("{s:.0}"),
+            format!("{d:.0}"),
+        ]);
+    }
+    let _ = calib::DATAMPI_STARTUP_SECS; // profiles already carry calib
+    Ok(t)
+}
+
+/// §4.7's prose summary: the paper's aggregate improvement percentages,
+/// recomputed from the simulated cells. Rows mirror the paper's sentences:
+/// "Compared to Hadoop, DataMPI can averagely achieve 40%, 54%, and 36%
+/// performance improvements when running micro-benchmarks, small jobs, and
+/// application benchmarks. Compared to Spark, DataMPI can achieve 14% and
+/// 33% ... the average CPU utilizations of DataMPI, Spark, and Hadoop are
+/// 35%, 34%, and 59% ... DataMPI achieves 55% and 59% network throughput
+/// improvements than Spark and Hadoop."
+pub fn section_4_7_summary() -> Result<Table> {
+    let avg_improvement = |cells: &[(Workload, u64)], against: Engine| -> Result<f64> {
+        let mut imps = Vec::new();
+        for &(w, gb) in cells {
+            let d = run_sim(w, Engine::DataMpi, gb * GB, 4)?
+                .seconds()
+                .expect("DataMPI finishes");
+            if let Some(other) = run_sim(w, against, gb * GB, 4)?.seconds() {
+                imps.push(1.0 - d / other);
+            }
+        }
+        Ok(imps.iter().sum::<f64>() / imps.len().max(1) as f64)
+    };
+
+    let micro: Vec<(Workload, u64)> = [8u64, 16, 32, 64]
+        .iter()
+        .flat_map(|&gb| {
+            [Workload::TextSort, Workload::WordCount, Workload::Grep]
+                .into_iter()
+                .map(move |w| (w, gb))
+        })
+        .chain([4u64, 8, 16, 32].iter().map(|&gb| (Workload::NormalSort, gb)))
+        .collect();
+    let apps: Vec<(Workload, u64)> = [8u64, 16, 32, 64]
+        .iter()
+        .flat_map(|&gb| {
+            [Workload::KMeans, Workload::NaiveBayes]
+                .into_iter()
+                .map(move |w| (w, gb))
+        })
+        .collect();
+
+    // Small jobs: total time over the three 128 MB benchmarks.
+    let small_total = |e: Engine| -> Result<f64> {
+        let mut sum = 0.0;
+        for w in [Workload::TextSort, Workload::WordCount, Workload::Grep] {
+            sum += run_sim(w, e, 128 * MB, 1)?.seconds().expect("small jobs run");
+        }
+        Ok(sum)
+    };
+    let small_d = small_total(Engine::DataMpi)?;
+    let small_s = small_total(Engine::Spark)?;
+    let small_h = small_total(Engine::Hadoop)?;
+
+    // Resource aggregates from the two Figure 4 cases.
+    let sort = fig4_data(Fig4Case::Sort)?;
+    let wc = fig4_data(Fig4Case::WordCount)?;
+    let mean_over = |e: Engine, f: &dyn Fn(&ResourceProfile, usize) -> f64| -> f64 {
+        let mut acc = 0.0;
+        let mut n = 0;
+        for data in [&sort, &wc] {
+            let window = data
+                .runs
+                .iter()
+                .map(|(_, s, _)| *s)
+                .fold(0.0f64, f64::max)
+                .ceil() as usize;
+            if let Some((_, _, p)) = data.runs.iter().find(|(re, _, _)| *re == e) {
+                acc += f(p, window);
+                n += 1;
+            }
+        }
+        acc / n.max(1) as f64
+    };
+    let cpu = |e| mean_over(e, &|p, w| ResourceProfile::mean(&p.cpu_util_pct, w));
+    // The paper's network comparison comes from the Sort case (§4.4:
+    // 62 MB/s vs 39-40 MB/s); WordCount moves almost nothing.
+    let net = |e: Engine| -> f64 {
+        let window = sort
+            .runs
+            .iter()
+            .map(|(_, s, _)| *s)
+            .fold(0.0f64, f64::max)
+            .ceil() as usize;
+        sort.runs
+            .iter()
+            .find(|(re, _, _)| *re == e)
+            .map(|(_, _, p)| ResourceProfile::mean(&p.net_mb_s, window))
+            .unwrap_or(0.0)
+    };
+
+    let mut t = Table::new(
+        "section4.7",
+        "Discussion of Performance Results (paper's aggregate numbers)",
+        &["Quantity", "Paper", "Reproduction"],
+    );
+    let rows: Vec<(&str, String, String)> = vec![
+        (
+            "micro-benchmarks: DataMPI vs Hadoop",
+            "40%".into(),
+            format!("{:.0}%", 100.0 * avg_improvement(&micro, Engine::Hadoop)?),
+        ),
+        (
+            "micro-benchmarks: DataMPI vs Spark",
+            "14%".into(),
+            format!(
+                "{:.0}%",
+                100.0
+                    * avg_improvement(
+                        &[
+                            (Workload::TextSort, 8),
+                            (Workload::WordCount, 8),
+                            (Workload::WordCount, 32),
+                            (Workload::Grep, 8),
+                            (Workload::Grep, 32),
+                        ],
+                        Engine::Spark
+                    )?
+            ),
+        ),
+        (
+            "small jobs: DataMPI vs Hadoop",
+            "54%".into(),
+            format!("{:.0}%", 100.0 * (1.0 - small_d / small_h)),
+        ),
+        (
+            "small jobs: DataMPI vs Spark",
+            "similar".into(),
+            format!("{:+.0}%", 100.0 * (1.0 - small_d / small_s)),
+        ),
+        (
+            "applications: DataMPI vs Hadoop",
+            "36%".into(),
+            format!("{:.0}%", 100.0 * avg_improvement(&apps, Engine::Hadoop)?),
+        ),
+        (
+            "applications: DataMPI vs Spark (K-means)",
+            "33%".into(),
+            format!(
+                "{:.0}%",
+                100.0
+                    * avg_improvement(
+                        &[(Workload::KMeans, 8), (Workload::KMeans, 32)],
+                        Engine::Spark
+                    )?
+            ),
+        ),
+        (
+            "avg CPU utilization DataMPI/Spark/Hadoop",
+            "35/34/59%".into(),
+            format!(
+                "{:.0}/{:.0}/{:.0}%",
+                cpu(Engine::DataMpi),
+                cpu(Engine::Spark),
+                cpu(Engine::Hadoop)
+            ),
+        ),
+        (
+            "network throughput: DataMPI vs Hadoop",
+            "+59%".into(),
+            format!(
+                "{:+.0}%",
+                100.0 * (net(Engine::DataMpi) / net(Engine::Hadoop).max(0.01) - 1.0)
+            ),
+        ),
+        (
+            "network throughput: DataMPI vs Spark",
+            "+55%".into(),
+            format!(
+                "{:+.0}%",
+                100.0 * (net(Engine::DataMpi) / net(Engine::Spark).max(0.01) - 1.0)
+            ),
+        ),
+    ];
+    for (q, paper, repro) in rows {
+        t.push_row(vec![q.to_string(), paper, repro]);
+    }
+    Ok(t)
+}
+
+/// The seven evaluation dimensions of Figures 1/7.
+pub const DIMENSIONS: [&str; 7] = [
+    "Micro Benchmark Performance",
+    "Small Job Performance",
+    "Application Benchmark Performance",
+    "CPU Efficiency",
+    "Disk I/O Throughput",
+    "Network Throughput",
+    "Memory Efficiency",
+];
+
+/// Figure 7 — the seven-pronged summary. Scores are normalized to the
+/// best engine per dimension (1.00 = best); performance dimensions use
+/// inverse time, resource dimensions use the Figure 4 profiles.
+pub fn fig7() -> Result<Table> {
+    // Performance dimensions: geometric-mean inverse runtimes.
+    let perf_score = |cells: Vec<Vec<Option<f64>>>| -> Vec<Option<f64>> {
+        // cells[w][e]: per-workload per-engine seconds.
+        let engines = cells.first().map(|r| r.len()).unwrap_or(0);
+        (0..engines)
+            .map(|e| {
+                let mut product = 1.0f64;
+                let mut n = 0;
+                for row in &cells {
+                    match row[e] {
+                        Some(secs) => {
+                            product *= 1.0 / secs;
+                            n += 1;
+                        }
+                        None => return None, // OOM anywhere sinks the score
+                    }
+                }
+                Some(product.powf(1.0 / n.max(1) as f64))
+            })
+            .collect()
+    };
+
+    let micro: Vec<Vec<Option<f64>>> = [
+        (Workload::TextSort, 8u64),
+        (Workload::WordCount, 32),
+        (Workload::Grep, 32),
+    ]
+    .iter()
+    .map(|&(w, gb)| {
+        ENGINES
+            .iter()
+            .map(|&e| run_sim(w, e, gb * GB, 4).ok().and_then(|o| o.seconds()))
+            .collect()
+    })
+    .collect();
+
+    let small: Vec<Vec<Option<f64>>> = [Workload::TextSort, Workload::WordCount, Workload::Grep]
+        .iter()
+        .map(|&w| {
+            ENGINES
+                .iter()
+                .map(|&e| run_sim(w, e, 128 * MB, 1).ok().and_then(|o| o.seconds()))
+                .collect()
+        })
+        .collect();
+
+    let apps: Vec<Vec<Option<f64>>> = vec![ENGINES
+        .iter()
+        .map(|&e| {
+            run_sim(Workload::KMeans, e, 16 * GB, 4)
+                .ok()
+                .and_then(|o| o.seconds())
+        })
+        .collect()];
+
+    // Resource dimensions from the two profiled cases.
+    let sort = fig4_data(Fig4Case::Sort)?;
+    let wc = fig4_data(Fig4Case::WordCount)?;
+    let resource = |f: &dyn Fn(&ResourceProfile, usize) -> f64| -> Vec<Option<f64>> {
+        ENGINES
+            .iter()
+            .map(|&e| {
+                let mut acc = 0.0;
+                let mut n = 0;
+                for data in [&sort, &wc] {
+                    let window = data
+                        .runs
+                        .iter()
+                        .map(|(_, s, _)| *s)
+                        .fold(0.0f64, f64::max)
+                        .ceil() as usize;
+                    if let Some((_, _, p)) = data.runs.iter().find(|(re, _, _)| *re == e) {
+                        acc += f(p, window);
+                        n += 1;
+                    }
+                }
+                if n > 0 {
+                    Some(acc / n as f64)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    };
+    // Efficiency = lower average utilization for the same work.
+    let cpu = resource(&|p, w| 1.0 / ResourceProfile::mean(&p.cpu_util_pct, w).max(1.0));
+    let disk = resource(&|p, w| {
+        ResourceProfile::mean(&p.disk_read_mb_s, w) + ResourceProfile::mean(&p.disk_write_mb_s, w)
+    });
+    let net = resource(&|p, w| ResourceProfile::mean(&p.net_mb_s, w));
+    let mem = resource(&|p, w| 1.0 / ResourceProfile::mean(&p.mem_gb, w).max(0.1));
+
+    let rows: Vec<(&str, Vec<Option<f64>>)> = vec![
+        (DIMENSIONS[0], perf_score(micro)),
+        (DIMENSIONS[1], perf_score(small)),
+        (DIMENSIONS[2], perf_score(apps)),
+        (DIMENSIONS[3], cpu),
+        (DIMENSIONS[4], disk),
+        (DIMENSIONS[5], net),
+        (DIMENSIONS[6], mem),
+    ];
+
+    let mut t = Table::new(
+        "fig7",
+        "Evaluation Results (scores normalized to the best engine per dimension)",
+        &["Dimension", "Hadoop", "Spark", "DataMPI"],
+    );
+    for (dim, scores) in rows {
+        let best = scores
+            .iter()
+            .flatten()
+            .cloned()
+            .fold(f64::MIN, f64::max)
+            .max(f64::MIN_POSITIVE);
+        let mut row = vec![dim.to_string()];
+        for s in scores {
+            row.push(match s {
+                Some(v) => format!("{:.2}", v / best),
+                None => "OOM".into(),
+            });
+        }
+        t.push_row(row);
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(cell: Option<&str>) -> Option<f64> {
+        cell.and_then(|c| c.parse().ok())
+    }
+
+    #[test]
+    fn table1_and_2_render() {
+        assert_eq!(table1().rows.len(), 5);
+        assert!(table2().render_text().contains("E5620"));
+    }
+
+    #[test]
+    fn fig2a_peaks_away_from_smallest_block() {
+        let t = fig2a().unwrap();
+        assert_eq!(t.rows.len(), 4);
+        let at = |block: &str, col: &str| parse(t.cell(block, col)).unwrap();
+        // The paper's tuning conclusion: 256 MB beats 64 MB.
+        assert!(at("256", "20GB") > at("64", "20GB"));
+        // Absolute band ~15-30 MB/s.
+        for block in ["64", "128", "256", "512"] {
+            let v = at(block, "10GB");
+            assert!((8.0..40.0).contains(&v), "{block}: {v}");
+        }
+    }
+
+    #[test]
+    fn fig2b_peaks_at_four_tasks() {
+        let t = fig2b().unwrap();
+        let at = |tasks: &str, engine: &str| parse(t.cell(tasks, engine)).unwrap();
+        for engine in ["Hadoop", "DataMPI"] {
+            let t2 = at("2", engine);
+            let t4 = at("4", engine);
+            let t6 = at("6", engine);
+            assert!(t4 > t2, "{engine}: 4 tasks beat 2 ({t4} vs {t2})");
+            assert!(t4 >= t6, "{engine}: 4 tasks >= 6 ({t4} vs {t6})");
+        }
+    }
+
+    #[test]
+    fn fig3b_reproduces_ordering_and_oom() {
+        let t = fig3b().unwrap();
+        assert_eq!(t.cell("16", "Spark"), Some("OOM"));
+        assert_eq!(t.cell("64", "Spark"), Some("OOM"));
+        let d = parse(t.cell("8", "DataMPI")).unwrap();
+        let h = parse(t.cell("8", "Hadoop")).unwrap();
+        let s = parse(t.cell("8", "Spark")).unwrap();
+        assert!(d < s && s <= h);
+    }
+
+    #[test]
+    fn fig5_small_jobs_shape() {
+        let t = fig5().unwrap();
+        for wl in ["Text Sort", "WordCount", "Grep"] {
+            let h = parse(t.cell(wl, "Hadoop")).unwrap();
+            let s = parse(t.cell(wl, "Spark")).unwrap();
+            let d = parse(t.cell(wl, "DataMPI")).unwrap();
+            // Paper: DataMPI ~ Spark, both far ahead of Hadoop (avg 54%).
+            assert!(d < h * 0.65, "{wl}: d={d} h={h}");
+            assert!((d - s).abs() <= 6.0, "{wl}: d={d} s={s}");
+        }
+    }
+
+    #[test]
+    fn fig4_averages_match_papers_direction() {
+        let t = fig4_averages(Fig4Case::WordCount).unwrap();
+        let cpu = |e: &str| parse(t.cell(e, "CPU (%)")).unwrap();
+        // §4.4: Hadoop 80%, DataMPI 47%, Spark 30% — Hadoop burns the most.
+        assert!(cpu("Hadoop") > cpu("DataMPI"));
+        assert!(cpu("Hadoop") > cpu("Spark"));
+        let mem = |e: &str| parse(t.cell(e, "Mem (GB)")).unwrap();
+        // §4.4: Hadoop 9 GB vs 5 GB for the other two.
+        assert!(mem("Hadoop") > mem("DataMPI"));
+        assert!(mem("Hadoop") > mem("Spark"));
+    }
+
+    #[test]
+    fn fig4_sort_network_favors_datampi() {
+        let t = fig4_averages(Fig4Case::Sort).unwrap();
+        let net = |e: &str| parse(t.cell(e, "Net (MB/s)")).unwrap();
+        // §4.4: DataMPI 62 MB/s vs ~39-40 for Hadoop and Spark.
+        assert!(net("DataMPI") > net("Hadoop") * 1.2);
+    }
+
+    #[test]
+    fn fig4_series_has_samples() {
+        let t = fig4_series(Fig4Case::Sort, "cpu", 10).unwrap();
+        assert!(t.rows.len() >= 5);
+        assert_eq!(t.headers.len(), 4); // t + three engines
+    }
+
+    #[test]
+    fn fig6_tables_shape() {
+        let a = fig6a().unwrap();
+        let d = parse(a.cell("16", "DataMPI")).unwrap();
+        let h = parse(a.cell("16", "Hadoop")).unwrap();
+        assert!(d < h);
+        let b = fig6b().unwrap();
+        assert_eq!(b.headers.len(), 3, "no Spark column for Naive Bayes");
+    }
+
+    #[test]
+    fn section_4_7_aggregates_land_in_band() {
+        let t = section_4_7_summary().unwrap();
+        let pct = |row: &str| -> f64 {
+            t.cell(row, "Reproduction")
+                .unwrap()
+                .trim_end_matches('%')
+                .trim_start_matches('+')
+                .split('/')
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        // Paper: 40% micro vs Hadoop.
+        let micro = pct("micro-benchmarks: DataMPI vs Hadoop");
+        assert!((30.0..50.0).contains(&micro), "micro {micro}");
+        // Paper: 54% small jobs vs Hadoop.
+        let small = pct("small jobs: DataMPI vs Hadoop");
+        assert!((40.0..65.0).contains(&small), "small {small}");
+        // Paper: 36% applications vs Hadoop.
+        let apps = pct("applications: DataMPI vs Hadoop");
+        assert!((25.0..45.0).contains(&apps), "apps {apps}");
+        // Paper: DataMPI's network throughput leads Hadoop's by ~59%.
+        let net = pct("network throughput: DataMPI vs Hadoop");
+        assert!(net > 25.0, "net lead {net}");
+    }
+
+    #[test]
+    fn extension_iterative_kmeans_shapes() {
+        let t = fig_ext_iterations(16, 5).unwrap();
+        assert_eq!(t.rows.len(), 5);
+        let at = |iter: &str, e: &str| parse(t.cell(iter, e)).unwrap();
+        // First iteration: DataMPI fastest (the paper's Figure 6(a) cell).
+        assert!(at("1", "DataMPI") < at("1", "Hadoop"));
+        assert!(at("1", "DataMPI") < at("1", "Spark"));
+        // Marginal cost of iterations 2..5: Hadoop pays a full job; the
+        // resident engines pay compute only.
+        let slope = |e: &str| (at("5", e) - at("1", e)) / 4.0;
+        assert!(slope("Spark") < slope("Hadoop") * 0.7, "cache pays off");
+        assert!(slope("DataMPI") < slope("Hadoop") * 0.7, "residency pays off");
+        // By iteration 5 both residency engines lead Hadoop decisively.
+        assert!(at("5", "Spark") < at("5", "Hadoop") * 0.8);
+        assert!(at("5", "DataMPI") < at("5", "Hadoop") * 0.8);
+    }
+
+    #[test]
+    fn fig7_datampi_leads_every_performance_dimension() {
+        let t = fig7().unwrap();
+        for dim in [DIMENSIONS[0], DIMENSIONS[2]] {
+            let d = parse(t.cell(dim, "DataMPI")).unwrap();
+            assert!(
+                (d - 1.0).abs() < 1e-9,
+                "DataMPI should be the 1.00 reference on '{dim}', got {d}"
+            );
+        }
+        // Small jobs: the paper says DataMPI and Spark are *similar* — both
+        // far ahead of Hadoop.
+        let d = parse(t.cell(DIMENSIONS[1], "DataMPI")).unwrap();
+        let h = parse(t.cell(DIMENSIONS[1], "Hadoop")).unwrap();
+        assert!(d > 0.9, "DataMPI near the lead on small jobs: {d}");
+        assert!(h < 0.6, "Hadoop far behind on small jobs: {h}");
+        // CPU & memory efficiency: Hadoop worst (paper §4.7).
+        for dim in [DIMENSIONS[3], DIMENSIONS[6]] {
+            let h = parse(t.cell(dim, "Hadoop")).unwrap();
+            let d = parse(t.cell(dim, "DataMPI")).unwrap();
+            assert!(h < d, "{dim}: hadoop {h} vs datampi {d}");
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! A small text-table type shared by every figure generator.
+
+/// A rectangular table with a title, rendered as aligned text or Markdown.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Identifier (e.g. `"fig3b"`).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells (each row must match `headers.len()`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            id: id.into(),
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the cell count does not match the header count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width mismatch in table {}",
+            self.id
+        );
+        self.rows.push(cells);
+    }
+
+    /// Column widths for aligned rendering.
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                w[i] = w[i].max(cell.len());
+            }
+        }
+        w
+    }
+
+    /// Renders as aligned plain text.
+    pub fn render_text(&self) -> String {
+        let w = self.widths();
+        let mut out = format!("[{}] {}\n", self.id, self.title);
+        let line = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = w[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&line(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(w.iter().sum::<usize>() + 2 * (w.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as a Markdown table (for EXPERIMENTS.md).
+    pub fn render_markdown(&self) -> String {
+        let mut out = format!("### {} — {}\n\n", self.id, self.title);
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            "---|".repeat(self.headers.len())
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Renders as CSV (RFC-4180 quoting where needed) for plotting tools.
+    pub fn render_csv(&self) -> String {
+        let quote = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| quote(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Looks up a cell by row predicate and column header (test helper).
+    pub fn cell(&self, row_match: &str, column: &str) -> Option<&str> {
+        let col = self.headers.iter().position(|h| h == column)?;
+        self.rows
+            .iter()
+            .find(|r| r.first().map(String::as_str) == Some(row_match))
+            .and_then(|r| r.get(col))
+            .map(String::as_str)
+    }
+}
+
+/// Formats an optional seconds value (`OOM` when absent).
+pub fn fmt_secs_opt(secs: Option<f64>) -> String {
+    match secs {
+        Some(s) => format!("{s:.0}"),
+        None => "OOM".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("t1", "sample", &["size", "Hadoop", "DataMPI"]);
+        t.push_row(vec!["8".into(), "117".into(), "69".into()]);
+        t.push_row(vec!["16".into(), "226".into(), "147".into()]);
+        t
+    }
+
+    #[test]
+    fn text_rendering_aligns() {
+        let text = sample().render_text();
+        assert!(text.contains("[t1] sample"));
+        assert!(text.contains("size  Hadoop  DataMPI"));
+        assert!(text.lines().count() >= 5);
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let md = sample().render_markdown();
+        assert!(md.starts_with("### t1"));
+        assert!(md.contains("| size | Hadoop | DataMPI |"));
+        assert!(md.contains("| 8 | 117 | 69 |"));
+    }
+
+    #[test]
+    fn cell_lookup() {
+        let t = sample();
+        assert_eq!(t.cell("8", "DataMPI"), Some("69"));
+        assert_eq!(t.cell("16", "Hadoop"), Some("226"));
+        assert_eq!(t.cell("99", "Hadoop"), None);
+        assert_eq!(t.cell("8", "Spark"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("x", "x", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_rendering_quotes_when_needed() {
+        let mut t = Table::new("c", "csv", &["a", "b"]);
+        t.push_row(vec!["plain".into(), "with,comma".into()]);
+        t.push_row(vec!["with\"quote".into(), "x".into()]);
+        let csv = t.render_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "a,b");
+        assert_eq!(lines[1], "plain,\"with,comma\"");
+        assert_eq!(lines[2], "\"with\"\"quote\",x");
+    }
+
+    #[test]
+    fn oom_formatting() {
+        assert_eq!(fmt_secs_opt(Some(12.4)), "12");
+        assert_eq!(fmt_secs_opt(None), "OOM");
+    }
+}

@@ -1,0 +1,111 @@
+//! Workspace-wide error type.
+//!
+//! Every crate in the workspace funnels failures through [`Error`]. The
+//! variants cover the three broad failure domains of the reproduced system:
+//! data corruption (serialization / codec), resource exhaustion (the Spark
+//! OOM behaviour studied in Figure 3(b) of the paper), and distributed
+//! bookkeeping mistakes (missing blocks, unknown tasks).
+
+use std::fmt;
+
+/// Convenient alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Unified error for all `datampi-rs` crates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A serialized record or file frame could not be decoded.
+    Corrupt(String),
+    /// A varint overflowed or was truncated.
+    Varint(String),
+    /// The LZ77 codec hit an invalid back-reference or truncated block.
+    Codec(String),
+    /// A memory budget was exceeded (Spark-style OutOfMemory).
+    OutOfMemory {
+        /// What was being allocated when the budget ran out.
+        context: String,
+        /// Bytes requested by the failing allocation.
+        requested: u64,
+        /// Bytes still available under the budget.
+        available: u64,
+    },
+    /// A DFS path, block, or replica was not found.
+    NotFound(String),
+    /// An operation was attempted against an entity in the wrong state
+    /// (e.g. reading an unfinished file, double-finishing a task).
+    InvalidState(String),
+    /// A configuration value was out of range or inconsistent.
+    Config(String),
+    /// A simulated component failed (injected fault or modeled crash).
+    Fault(String),
+    /// A task exceeded its retry budget and the job was aborted.
+    JobAborted(String),
+}
+
+impl Error {
+    /// Shorthand for a corruption error with formatted context.
+    pub fn corrupt(msg: impl Into<String>) -> Self {
+        Error::Corrupt(msg.into())
+    }
+
+    /// True if this error is the simulated OutOfMemory condition.
+    pub fn is_oom(&self) -> bool {
+        matches!(self, Error::OutOfMemory { .. })
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Corrupt(m) => write!(f, "corrupt data: {m}"),
+            Error::Varint(m) => write!(f, "varint error: {m}"),
+            Error::Codec(m) => write!(f, "codec error: {m}"),
+            Error::OutOfMemory {
+                context,
+                requested,
+                available,
+            } => write!(
+                f,
+                "out of memory in {context}: requested {requested} B, {available} B available"
+            ),
+            Error::NotFound(m) => write!(f, "not found: {m}"),
+            Error::InvalidState(m) => write!(f, "invalid state: {m}"),
+            Error::Config(m) => write!(f, "bad configuration: {m}"),
+            Error::Fault(m) => write!(f, "injected fault: {m}"),
+            Error::JobAborted(m) => write!(f, "job aborted: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = Error::OutOfMemory {
+            context: "block manager".into(),
+            requested: 1024,
+            available: 512,
+        };
+        let s = e.to_string();
+        assert!(s.contains("block manager"));
+        assert!(s.contains("1024"));
+        assert!(s.contains("512"));
+        assert!(e.is_oom());
+    }
+
+    #[test]
+    fn non_oom_variants_report_not_oom() {
+        assert!(!Error::corrupt("x").is_oom());
+        assert!(!Error::NotFound("p".into()).is_oom());
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(Error::corrupt("a"), Error::Corrupt("a".into()));
+        assert_ne!(Error::corrupt("a"), Error::corrupt("b"));
+    }
+}

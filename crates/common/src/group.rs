@@ -1,0 +1,154 @@
+//! Key-value grouping abstractions shared by every engine: emission
+//! surfaces (`Collector`), grouped values, and the two grouping
+//! disciplines (key-sorted vs hash-clustered).
+//!
+//! DataMPI's A tasks, Hadoop's reducers and Spark's `reduceByKey` all
+//! consume `(key, [values])` groups produced from a stream of records;
+//! defining the surface once keeps the three engines' user functions
+//! interchangeable, which the integration tests exploit to check that all
+//! engines compute identical results.
+
+use bytes::Bytes;
+
+use crate::kv::{Record, RecordBatch};
+
+/// Emission surface handed to O functions (wraps the partitioned buffer).
+pub trait Collector {
+    /// Emits one key-value pair.
+    fn collect(&mut self, key: &[u8], value: &[u8]);
+}
+
+/// A key and all values received for it at one A partition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroupedValues {
+    /// The group's key.
+    pub key: Bytes,
+    /// All values emitted for the key, in arrival (or sorted) order.
+    pub values: Vec<Bytes>,
+}
+
+impl GroupedValues {
+    /// Number of values in the group.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the group carries no values (cannot normally happen).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// Groups a run of records by key. If the records are key-sorted the
+/// grouping is a single pass; for unsorted (Common-mode) input, equal keys
+/// are still adjacent only if pre-grouped, so this helper always handles
+/// the general case by keeping a map for non-adjacent keys being
+/// impossible after sorting — the runtime sorts or hash-clusters first.
+pub fn group_sorted(records: Vec<Record>) -> Vec<GroupedValues> {
+    let mut groups: Vec<GroupedValues> = Vec::new();
+    for rec in records {
+        match groups.last_mut() {
+            Some(g) if g.key == rec.key => g.values.push(rec.value),
+            _ => groups.push(GroupedValues {
+                key: rec.key,
+                values: vec![rec.value],
+            }),
+        }
+    }
+    groups
+}
+
+/// Clusters unsorted records by key using a hash map (Common mode).
+/// Group order follows first appearance of each key, which keeps the
+/// output deterministic for a given arrival order.
+pub fn group_hashed(records: Vec<Record>) -> Vec<GroupedValues> {
+    use crate::hashing::FnvHashMap;
+    let mut index: FnvHashMap<Bytes, usize> = FnvHashMap::default();
+    let mut groups: Vec<GroupedValues> = Vec::new();
+    for rec in records {
+        match index.get(&rec.key) {
+            Some(&i) => groups[i].values.push(rec.value),
+            None => {
+                index.insert(rec.key.clone(), groups.len());
+                groups.push(GroupedValues {
+                    key: rec.key,
+                    values: vec![rec.value],
+                });
+            }
+        }
+    }
+    groups
+}
+
+/// A simple collector writing into a [`RecordBatch`] — the A-side output
+/// surface and a convenient test double for O functions.
+#[derive(Default)]
+pub struct BatchCollector {
+    /// Collected records.
+    pub batch: RecordBatch,
+}
+
+impl Collector for BatchCollector {
+    fn collect(&mut self, key: &[u8], value: &[u8]) {
+        self.batch
+            .push(Record::new(key.to_vec(), value.to_vec()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(k: &str, v: &str) -> Record {
+        Record::from_strs(k, v)
+    }
+
+    #[test]
+    fn group_sorted_merges_adjacent_keys() {
+        let groups = group_sorted(vec![
+            rec("a", "1"),
+            rec("a", "2"),
+            rec("b", "3"),
+            rec("c", "4"),
+            rec("c", "5"),
+        ]);
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0].len(), 2);
+        assert_eq!(groups[1].len(), 1);
+        assert_eq!(groups[2].values[1], Bytes::from_static(b"5"));
+    }
+
+    #[test]
+    fn group_hashed_handles_interleaved_keys() {
+        let groups = group_hashed(vec![
+            rec("x", "1"),
+            rec("y", "2"),
+            rec("x", "3"),
+            rec("y", "4"),
+        ]);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].key, Bytes::from_static(b"x"));
+        assert_eq!(groups[0].values.len(), 2);
+        assert_eq!(groups[1].values.len(), 2);
+    }
+
+    #[test]
+    fn empty_input_empty_groups() {
+        assert!(group_sorted(vec![]).is_empty());
+        assert!(group_hashed(vec![]).is_empty());
+        let g = GroupedValues {
+            key: Bytes::new(),
+            values: vec![],
+        };
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn batch_collector_collects() {
+        let mut c = BatchCollector::default();
+        c.collect(b"k", b"v");
+        c.collect(b"k2", b"v2");
+        assert_eq!(c.batch.len(), 2);
+        assert_eq!(c.batch.records()[1].key_utf8(), "k2");
+    }
+}

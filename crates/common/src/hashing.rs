@@ -1,0 +1,125 @@
+//! Fast non-cryptographic hashing for hot partitioning paths.
+//!
+//! Hash partitioning runs once per emitted record, so the default SipHash is
+//! needlessly slow (see the Rust Performance Book's hashing chapter). We use
+//! FNV-1a, which is tiny, allocation-free and deterministic across runs —
+//! determinism matters because partition assignment must be stable between a
+//! job's O phase and its A phase, and between real execution and simulation.
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hashes a byte slice with FNV-1a.
+#[inline]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Hashes with an explicit seed, for hash families (used by the data
+/// generator's independent streams).
+#[inline]
+pub fn fnv1a_seeded(bytes: &[u8], seed: u64) -> u64 {
+    let mut hash = FNV_OFFSET ^ seed.wrapping_mul(FNV_PRIME);
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// A `std::hash::BuildHasher` producing FNV-1a hashers, for use with
+/// `HashMap`/`HashSet` on hot paths.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FnvBuildHasher;
+
+impl std::hash::BuildHasher for FnvBuildHasher {
+    type Hasher = FnvHasher;
+    fn build_hasher(&self) -> FnvHasher {
+        FnvHasher { state: FNV_OFFSET }
+    }
+}
+
+/// Incremental FNV-1a hasher.
+#[derive(Clone, Debug)]
+pub struct FnvHasher {
+    state: u64,
+}
+
+impl std::hash::Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.state
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+/// A `HashMap` keyed with FNV-1a — the workhorse map for word counting and
+/// term-frequency aggregation.
+pub type FnvHashMap<K, V> = std::collections::HashMap<K, V, FnvBuildHasher>;
+/// A `HashSet` hashed with FNV-1a.
+pub type FnvHashSet<K> = std::collections::HashSet<K, FnvBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hasher};
+
+    #[test]
+    fn known_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn seeded_streams_differ() {
+        assert_ne!(fnv1a_seeded(b"x", 1), fnv1a_seeded(b"x", 2));
+        assert_eq!(fnv1a_seeded(b"x", 7), fnv1a_seeded(b"x", 7));
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let mut h = FnvBuildHasher.build_hasher();
+        h.write(b"foo");
+        h.write(b"bar");
+        assert_eq!(h.finish(), fnv1a(b"foobar"));
+    }
+
+    #[test]
+    fn fnv_map_works() {
+        let mut m: FnvHashMap<String, u64> = FnvHashMap::default();
+        for w in ["a", "b", "a"] {
+            *m.entry(w.to_string()).or_default() += 1;
+        }
+        assert_eq!(m["a"], 2);
+        assert_eq!(m["b"], 1);
+    }
+
+    #[test]
+    fn distribution_is_reasonable() {
+        // Hash 10k distinct keys into 16 buckets; no bucket should be wildly
+        // over- or under-full (loose 3x bound — catches gross brokenness).
+        let mut buckets = [0u32; 16];
+        for i in 0..10_000 {
+            let h = fnv1a(format!("key-{i}").as_bytes());
+            buckets[(h % 16) as usize] += 1;
+        }
+        let expected = 10_000 / 16;
+        for &b in &buckets {
+            assert!(b > expected / 3, "bucket underfull: {b}");
+            assert!(b < expected * 3, "bucket overfull: {b}");
+        }
+    }
+}

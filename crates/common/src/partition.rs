@@ -1,0 +1,198 @@
+//! Partitioners: mapping keys to reducer / A-communicator indices.
+//!
+//! DataMPI's O tasks emit key-value pairs that the library partitions across
+//! the A communicator; Hadoop's map output is partitioned across reducers;
+//! Spark's `reduceByKey` partitions across shuffle blocks. All three engines
+//! share these implementations so that a given key lands on the same logical
+//! partition everywhere — which the integration tests rely on to compare
+//! engine outputs.
+
+use crate::hashing::fnv1a;
+
+/// Maps a serialized key to a partition in `[0, num_partitions)`.
+pub trait Partitioner: Send + Sync {
+    /// Number of partitions this partitioner produces.
+    fn num_partitions(&self) -> usize;
+
+    /// Partition index for `key`. Must be `< num_partitions()`.
+    fn partition(&self, key: &[u8]) -> usize;
+}
+
+/// Hash partitioning — the default in Hadoop, Spark and DataMPI.
+#[derive(Clone, Copy, Debug)]
+pub struct HashPartitioner {
+    parts: usize,
+}
+
+impl HashPartitioner {
+    /// Creates a hash partitioner over `parts` partitions.
+    ///
+    /// # Panics
+    /// Panics if `parts == 0`.
+    pub fn new(parts: usize) -> Self {
+        assert!(parts > 0, "partition count must be positive");
+        HashPartitioner { parts }
+    }
+}
+
+impl Partitioner for HashPartitioner {
+    fn num_partitions(&self) -> usize {
+        self.parts
+    }
+    #[inline]
+    fn partition(&self, key: &[u8]) -> usize {
+        (fnv1a(key) % self.parts as u64) as usize
+    }
+}
+
+/// Range partitioning for total-order sort (Hadoop's `TotalOrderPartitioner`).
+///
+/// Given `p` partitions, `p - 1` sorted split points divide the key space;
+/// keys less than split `i` go to partition `i`. The Sort workloads build
+/// the split points by sampling the input.
+#[derive(Clone, Debug)]
+pub struct RangePartitioner {
+    splits: Vec<Vec<u8>>,
+}
+
+impl RangePartitioner {
+    /// Creates a range partitioner from sorted split points. `splits.len()+1`
+    /// is the partition count.
+    ///
+    /// # Panics
+    /// Panics if the split points are not strictly sorted.
+    pub fn new(splits: Vec<Vec<u8>>) -> Self {
+        assert!(
+            splits.windows(2).all(|w| w[0] < w[1]),
+            "split points must be strictly increasing"
+        );
+        RangePartitioner { splits }
+    }
+
+    /// Builds split points from a sample of keys so that partitions receive
+    /// roughly equal key counts. `parts` must be positive.
+    pub fn from_sample(mut sample: Vec<Vec<u8>>, parts: usize) -> Self {
+        assert!(parts > 0, "partition count must be positive");
+        sample.sort();
+        sample.dedup();
+        let mut splits = Vec::with_capacity(parts.saturating_sub(1));
+        if !sample.is_empty() {
+            for i in 1..parts {
+                let idx = i * sample.len() / parts;
+                let candidate = sample[idx.min(sample.len() - 1)].clone();
+                if splits.last().is_none_or(|last| *last < candidate) {
+                    splits.push(candidate);
+                }
+            }
+        }
+        RangePartitioner { splits }
+    }
+
+    /// The split points.
+    pub fn splits(&self) -> &[Vec<u8>] {
+        &self.splits
+    }
+}
+
+impl Partitioner for RangePartitioner {
+    fn num_partitions(&self) -> usize {
+        self.splits.len() + 1
+    }
+    fn partition(&self, key: &[u8]) -> usize {
+        // partition_point: first split > key ⇒ that index is the partition.
+        self.splits.partition_point(|s| s.as_slice() <= key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_partition_in_range_and_deterministic() {
+        let p = HashPartitioner::new(7);
+        for i in 0..1000 {
+            let key = format!("key{i}");
+            let a = p.partition(key.as_bytes());
+            let b = p.partition(key.as_bytes());
+            assert_eq!(a, b);
+            assert!(a < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_partitions_panics() {
+        HashPartitioner::new(0);
+    }
+
+    #[test]
+    fn hash_partitions_are_roughly_balanced() {
+        let p = HashPartitioner::new(8);
+        let mut counts = vec![0usize; 8];
+        for i in 0..8000 {
+            counts[p.partition(format!("k{i}").as_bytes())] += 1;
+        }
+        for &c in &counts {
+            assert!((500..=1500).contains(&c), "unbalanced bucket: {c}");
+        }
+    }
+
+    #[test]
+    fn range_partitioner_respects_splits() {
+        let p = RangePartitioner::new(vec![b"g".to_vec(), b"p".to_vec()]);
+        assert_eq!(p.num_partitions(), 3);
+        assert_eq!(p.partition(b"apple"), 0);
+        assert_eq!(p.partition(b"g"), 1); // split point itself goes right
+        assert_eq!(p.partition(b"mango"), 1);
+        assert_eq!(p.partition(b"pear"), 2);
+        assert_eq!(p.partition(b"zebra"), 2);
+    }
+
+    #[test]
+    fn range_partitioner_is_monotone() {
+        let p = RangePartitioner::new(vec![b"d".to_vec(), b"m".to_vec(), b"t".to_vec()]);
+        let keys: Vec<&[u8]> = vec![b"a", b"d", b"e", b"m", b"n", b"t", b"z"];
+        let parts: Vec<usize> = keys.iter().map(|k| p.partition(k)).collect();
+        assert!(parts.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn from_sample_balances_partitions() {
+        let sample: Vec<Vec<u8>> = (0..1000u32)
+            .map(|i| format!("{i:05}").into_bytes())
+            .collect();
+        let p = RangePartitioner::from_sample(sample, 4);
+        assert_eq!(p.num_partitions(), 4);
+        let mut counts = vec![0usize; 4];
+        for i in 0..1000u32 {
+            counts[p.partition(format!("{i:05}").as_bytes())] += 1;
+        }
+        for &c in &counts {
+            assert!((150..=350).contains(&c), "unbalanced range bucket: {c}");
+        }
+    }
+
+    #[test]
+    fn from_sample_with_few_distinct_keys() {
+        // Fewer distinct keys than partitions must not panic and must still
+        // produce a valid partitioner.
+        let sample = vec![b"a".to_vec(), b"a".to_vec(), b"b".to_vec()];
+        let p = RangePartitioner::from_sample(sample, 8);
+        assert!(p.num_partitions() <= 8);
+        assert!(p.partition(b"a") < p.num_partitions());
+    }
+
+    #[test]
+    fn from_sample_empty_sample_gives_single_partition() {
+        let p = RangePartitioner::from_sample(vec![], 4);
+        assert_eq!(p.num_partitions(), 1);
+        assert_eq!(p.partition(b"anything"), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_splits_panic() {
+        RangePartitioner::new(vec![b"m".to_vec(), b"a".to_vec()]);
+    }
+}

@@ -1,0 +1,73 @@
+//! Byte-size and time units shared by the simulator, engines and harness.
+
+/// One kibibyte.
+pub const KB: u64 = 1 << 10;
+/// One mebibyte.
+pub const MB: u64 = 1 << 20;
+/// One gibibyte.
+pub const GB: u64 = 1 << 30;
+
+/// Formats a byte count with a binary-unit suffix (e.g. `256.0 MB`).
+pub fn fmt_bytes(bytes: u64) -> String {
+    let b = bytes as f64;
+    if bytes >= GB {
+        format!("{:.1} GB", b / GB as f64)
+    } else if bytes >= MB {
+        format!("{:.1} MB", b / MB as f64)
+    } else if bytes >= KB {
+        format!("{:.1} KB", b / KB as f64)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+/// Formats seconds as `SSS.T s` or `M m SS s` for readability in harness
+/// output.
+pub fn fmt_secs(secs: f64) -> String {
+    if secs >= 120.0 {
+        let m = (secs / 60.0).floor() as u64;
+        format!("{m} m {:.0} s", secs - m as f64 * 60.0)
+    } else {
+        format!("{secs:.1} s")
+    }
+}
+
+/// Throughput in MB/s given bytes moved over elapsed seconds.
+pub fn throughput_mb_s(bytes: u64, secs: f64) -> f64 {
+    if secs <= 0.0 {
+        return 0.0;
+    }
+    bytes as f64 / MB as f64 / secs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_binary() {
+        assert_eq!(KB, 1024);
+        assert_eq!(MB, 1024 * 1024);
+        assert_eq!(GB, 1024 * 1024 * 1024);
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2 * KB), "2.0 KB");
+        assert_eq!(fmt_bytes(256 * MB), "256.0 MB");
+        assert_eq!(fmt_bytes(8 * GB), "8.0 GB");
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert_eq!(fmt_secs(69.0), "69.0 s");
+        assert_eq!(fmt_secs(275.0), "4 m 35 s");
+    }
+
+    #[test]
+    fn throughput_math() {
+        assert!((throughput_mb_s(100 * MB, 2.0) - 50.0).abs() < 1e-9);
+        assert_eq!(throughput_mb_s(MB, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! `dmpi-datagen` — BigDataBench-like synthetic data generation.
+//!
+//! BigDataBench 2.1 generates benchmark inputs from *seed models* trained on
+//! real corpora: `lda_wiki1w` (Wikipedia entries) feeds the
+//! micro-benchmarks, and `amazon1`–`amazon5` (Amazon movie reviews) feed
+//! the K-means and Naive Bayes applications. This crate reproduces that
+//! pipeline with self-contained statistics:
+//!
+//! * [`seedmodel`] — a seed model is a vocabulary plus a Zipfian
+//!   rank-frequency distribution, deterministically derived from the model
+//!   name; different models have distinct (partially overlapping)
+//!   vocabularies, which is what makes Naive Bayes classes separable.
+//! * [`text`] — the Text Generator: lines of sampled words, documents of
+//!   lines, streamed into DFS files (real bytes for executing runs).
+//! * [`seqfile`] — `ToSeqFile`: converts text to key/value sequence files,
+//!   optionally compressed with the workspace LZ77 codec (the *Normal
+//!   Sort* input).
+//! * [`vectors`] — the sparse-vector pipeline (`genData_Kmeans`): documents
+//!   to term-frequency vectors over a hashed dimension space.
+//! * [`stats`] — corpus statistics measured on real samples and
+//!   extrapolated to paper-scale (multi-GB) virtual corpora for the
+//!   simulator's cost models.
+
+pub mod seedmodel;
+pub mod seqfile;
+pub mod stats;
+pub mod text;
+pub mod vectors;
+
+pub use seedmodel::SeedModel;
+pub use stats::CorpusStats;
+pub use text::TextGenerator;
+pub use vectors::SparseVector;

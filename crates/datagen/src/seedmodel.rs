@@ -1,0 +1,184 @@
+//! Seed models: vocabulary + Zipfian word distribution.
+//!
+//! BigDataBench trains seed models from real corpora; we derive them
+//! deterministically from the model name. A model is a vocabulary of
+//! synthetic words and a Zipf(s) rank-frequency law — the empirical shape
+//! of natural-language word frequencies, which is what gives WordCount its
+//! skewed reducer load and keeps the distinct-word dictionary small
+//! relative to the corpus (the paper leans on this in §4.4: "the word
+//! dictionary of the input files is small and few intermediate data is
+//! generated").
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dmpi_common::hashing::fnv1a;
+
+/// Default vocabulary size per model.
+pub const DEFAULT_VOCAB: usize = 10_000;
+/// Default Zipf exponent (classic natural-language value).
+pub const DEFAULT_ZIPF_S: f64 = 1.05;
+
+/// A trained seed model: the unit BigDataBench scales to produce synthetic
+/// corpora.
+#[derive(Clone, Debug)]
+pub struct SeedModel {
+    name: String,
+    vocab: Vec<String>,
+    /// Cumulative probability per rank, for inverse-CDF sampling.
+    cumulative: Vec<f64>,
+}
+
+impl SeedModel {
+    /// Builds a model with an explicit vocabulary size and Zipf exponent.
+    pub fn with_params(name: &str, vocab_size: usize, zipf_s: f64) -> Self {
+        assert!(vocab_size > 0, "vocabulary must be non-empty");
+        assert!(zipf_s > 0.0, "Zipf exponent must be positive");
+        let mut rng = StdRng::seed_from_u64(fnv1a(name.as_bytes()));
+        let mut vocab = Vec::with_capacity(vocab_size);
+        let mut seen = std::collections::HashSet::with_capacity(vocab_size);
+        while vocab.len() < vocab_size {
+            let len = rng.gen_range(3..=9);
+            let word: String = (0..len)
+                .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
+                .collect();
+            if seen.insert(word.clone()) {
+                vocab.push(word);
+            }
+        }
+        // Zipf cumulative distribution over ranks 1..=n.
+        let mut cumulative = Vec::with_capacity(vocab_size);
+        let mut total = 0.0;
+        for rank in 1..=vocab_size {
+            total += 1.0 / (rank as f64).powf(zipf_s);
+            cumulative.push(total);
+        }
+        for c in cumulative.iter_mut() {
+            *c /= total;
+        }
+        // Guard against FP drift at the top end.
+        *cumulative.last_mut().expect("non-empty") = 1.0;
+        SeedModel {
+            name: name.to_string(),
+            vocab,
+            cumulative,
+        }
+    }
+
+    /// The `lda_wiki1w` model (Wikipedia entries) used by the
+    /// micro-benchmarks.
+    pub fn lda_wiki1w() -> Self {
+        SeedModel::with_params("lda_wiki1w", DEFAULT_VOCAB, DEFAULT_ZIPF_S)
+    }
+
+    /// One of the `amazon1`–`amazon5` models (Amazon movie reviews) used by
+    /// K-means and Naive Bayes. `index` is 1-based like the paper's naming.
+    ///
+    /// # Panics
+    /// Panics if `index` is not in `1..=5`.
+    pub fn amazon(index: u8) -> Self {
+        assert!((1..=5).contains(&index), "amazon models are amazon1..amazon5");
+        SeedModel::with_params(&format!("amazon{index}"), DEFAULT_VOCAB, DEFAULT_ZIPF_S)
+    }
+
+    /// Model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Samples one word according to the Zipf law.
+    pub fn sample_word<R: Rng>(&self, rng: &mut R) -> &str {
+        let u: f64 = rng.gen();
+        let idx = self.cumulative.partition_point(|&c| c < u);
+        &self.vocab[idx.min(self.vocab.len() - 1)]
+    }
+
+    /// The `rank`-th most frequent word (0-based).
+    pub fn word_at_rank(&self, rank: usize) -> &str {
+        &self.vocab[rank]
+    }
+
+    /// Expected probability of the rank-`r` word (0-based), for tests.
+    pub fn rank_probability(&self, rank: usize) -> f64 {
+        let prev = if rank == 0 {
+            0.0
+        } else {
+            self.cumulative[rank - 1]
+        };
+        self.cumulative[rank] - prev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn models_are_deterministic() {
+        let a = SeedModel::lda_wiki1w();
+        let b = SeedModel::lda_wiki1w();
+        assert_eq!(a.word_at_rank(0), b.word_at_rank(0));
+        assert_eq!(a.word_at_rank(999), b.word_at_rank(999));
+        let mut r1 = StdRng::seed_from_u64(7);
+        let mut r2 = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.sample_word(&mut r1), b.sample_word(&mut r2));
+        }
+    }
+
+    #[test]
+    fn different_models_have_different_vocabularies() {
+        let wiki = SeedModel::lda_wiki1w();
+        let am1 = SeedModel::amazon(1);
+        let am2 = SeedModel::amazon(2);
+        assert_ne!(wiki.word_at_rank(0), am1.word_at_rank(0));
+        assert_ne!(am1.word_at_rank(0), am2.word_at_rank(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "amazon1..amazon5")]
+    fn amazon_index_bounds() {
+        SeedModel::amazon(6);
+    }
+
+    #[test]
+    fn vocabulary_is_distinct() {
+        let m = SeedModel::with_params("t", 2000, 1.0);
+        let set: std::collections::HashSet<_> = (0..2000).map(|i| m.word_at_rank(i)).collect();
+        assert_eq!(set.len(), 2000);
+    }
+
+    #[test]
+    fn sampling_follows_zipf_shape() {
+        let m = SeedModel::with_params("zipftest", 1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0u32; 1000];
+        let n = 200_000;
+        for _ in 0..n {
+            let w = m.sample_word(&mut rng);
+            // Find rank by linear probe over the top few; cheaper: build map.
+            let rank = (0..1000).find(|&r| m.word_at_rank(r) == w).unwrap();
+            counts[rank] += 1;
+        }
+        // Rank 0 should be roughly twice rank 1 (s=1.0) and far above 100.
+        assert!(counts[0] > counts[1]);
+        assert!(counts[0] as f64 / counts[1] as f64 > 1.5);
+        assert!(counts[0] > counts[100] * 10);
+        // Empirical top-word frequency ≈ theoretical.
+        let p0 = m.rank_probability(0);
+        let observed = counts[0] as f64 / n as f64;
+        assert!((observed - p0).abs() / p0 < 0.1, "observed {observed}, want {p0}");
+    }
+
+    #[test]
+    fn rank_probabilities_sum_to_one() {
+        let m = SeedModel::with_params("sum", 100, 1.2);
+        let total: f64 = (0..100).map(|r| m.rank_probability(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,116 @@
+//! `ToSeqFile` — the sequence-file conversion used by *Normal Sort*.
+//!
+//! The paper (§4.3): "ToSeqFile runs a MapReduce job and copies each line
+//! of the input data to the key and value, then compresses the output with
+//! GzipCodec." We reproduce exactly that record shape — `key = value =
+//! line` — with the workspace LZ77 codec standing in for gzip.
+
+use dmpi_common::codec;
+use dmpi_common::kv::{Record, RecordBatch};
+use dmpi_common::ser;
+use dmpi_common::{Error, Result};
+
+/// Converts raw text into sequence-file records (`key = value = line`).
+pub fn text_to_records(text: &[u8]) -> RecordBatch {
+    let mut batch = RecordBatch::new();
+    for line in crate::text::lines(text) {
+        batch.push(Record::new(line.to_vec(), line.to_vec()));
+    }
+    batch
+}
+
+/// Serializes records into a compressed sequence-file image (one LZ77 block
+/// over the framed records — per-file compression like `GzipCodec` on a
+/// whole output part).
+pub fn write_compressed(batch: &RecordBatch) -> Vec<u8> {
+    codec::compress(&ser::frame_batch(batch))
+}
+
+/// Serializes records into an uncompressed sequence-file image.
+pub fn write_uncompressed(batch: &RecordBatch) -> Vec<u8> {
+    ser::frame_batch(batch)
+}
+
+/// Reads a compressed sequence-file image back into records.
+pub fn read_compressed(data: &[u8]) -> Result<RecordBatch> {
+    let raw = codec::decompress(data)?;
+    ser::unframe_batch(&raw)
+}
+
+/// Reads an uncompressed sequence-file image.
+pub fn read_uncompressed(data: &[u8]) -> Result<RecordBatch> {
+    ser::unframe_batch(data)
+}
+
+/// Converts text straight to a compressed sequence file, returning the
+/// image and the logical (uncompressed, framed) size — the pair the
+/// simulator's Normal Sort cost model needs.
+pub fn to_seq_file(text: &[u8]) -> (Vec<u8>, u64) {
+    let batch = text_to_records(text);
+    let logical = batch.framed_bytes();
+    (write_compressed(&batch), logical)
+}
+
+/// Validates that `data` looks like a compressed sequence file and returns
+/// its logical size without full decompression.
+pub fn logical_size(data: &[u8]) -> Result<u64> {
+    codec::uncompressed_len(data).map_err(|e| Error::corrupt(format!("not a seq file: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seedmodel::SeedModel;
+    use crate::text::TextGenerator;
+
+    #[test]
+    fn key_equals_value_per_line() {
+        let batch = text_to_records(b"first line\nsecond line\n");
+        assert_eq!(batch.len(), 2);
+        for rec in &batch {
+            assert_eq!(rec.key, rec.value);
+        }
+        assert_eq!(batch.records()[0].key_utf8(), "first line");
+    }
+
+    #[test]
+    fn compressed_round_trip() {
+        let mut g = TextGenerator::new(SeedModel::lda_wiki1w(), 5);
+        let text = g.generate_bytes(20_000);
+        let batch = text_to_records(&text);
+        let img = write_compressed(&batch);
+        let back = read_compressed(&img).unwrap();
+        assert_eq!(back.records(), batch.records());
+        // Key duplication + Zipfian text should compress well.
+        assert!(img.len() < batch.framed_bytes() as usize / 2);
+    }
+
+    #[test]
+    fn uncompressed_round_trip() {
+        let batch = text_to_records(b"a b\nc d\n");
+        let img = write_uncompressed(&batch);
+        assert_eq!(read_uncompressed(&img).unwrap().records(), batch.records());
+    }
+
+    #[test]
+    fn to_seq_file_reports_logical_size() {
+        let text = b"hello world\nhello again\n";
+        let (img, logical) = to_seq_file(text);
+        assert_eq!(logical, text_to_records(text).framed_bytes());
+        assert_eq!(logical_size(&img).unwrap(), logical);
+    }
+
+    #[test]
+    fn empty_text_is_empty_file() {
+        let (img, logical) = to_seq_file(b"");
+        assert_eq!(logical, 0);
+        assert!(read_compressed(&img).unwrap().is_empty());
+    }
+
+    #[test]
+    fn corrupt_image_is_an_error() {
+        let (mut img, _) = to_seq_file(b"some line\nanother\n");
+        img.truncate(img.len() / 2);
+        assert!(read_compressed(&img).is_err());
+    }
+}

@@ -1,0 +1,143 @@
+//! Corpus statistics: measured on real samples, extrapolated to
+//! paper-scale virtual corpora.
+//!
+//! The simulator's cost models need to know, for a corpus they will never
+//! materialize (e.g. 64 GB of wiki text), how many lines and words it
+//! contains, how big its dictionary is, and how well it compresses. We
+//! measure those on a real generated sample and scale — the same logic
+//! BigDataBench applies when it "generates synthetic data by scaling the
+//! seed models while keeping the characteristics of data".
+
+use dmpi_common::codec;
+use dmpi_common::hashing::FnvHashSet;
+
+use crate::seedmodel::SeedModel;
+use crate::text::{lines, words, TextGenerator};
+
+/// Measured / extrapolated corpus characteristics.
+#[derive(Clone, Debug)]
+pub struct CorpusStats {
+    /// Total corpus size in bytes.
+    pub bytes: u64,
+    /// Number of lines (records for Text Sort / WordCount / Grep).
+    pub lines: u64,
+    /// Total word occurrences.
+    pub words: u64,
+    /// Distinct words (the WordCount dictionary size; bounded by the seed
+    /// model vocabulary).
+    pub distinct_words: u64,
+    /// Average line length in bytes (including the newline).
+    pub avg_line_bytes: f64,
+    /// LZ77 compression ratio of the text (uncompressed / compressed).
+    pub compression_ratio: f64,
+}
+
+/// Sample size used for measurement.
+const SAMPLE_BYTES: usize = 256 * 1024;
+
+impl CorpusStats {
+    /// Measures statistics on an actual byte buffer.
+    pub fn measure(data: &[u8]) -> Self {
+        let mut line_count = 0u64;
+        let mut word_count = 0u64;
+        let mut distinct: FnvHashSet<&[u8]> = FnvHashSet::default();
+        for line in lines(data) {
+            line_count += 1;
+            for w in words(line) {
+                word_count += 1;
+                distinct.insert(w);
+            }
+        }
+        CorpusStats {
+            bytes: data.len() as u64,
+            lines: line_count,
+            words: word_count,
+            distinct_words: distinct.len() as u64,
+            avg_line_bytes: if line_count > 0 {
+                data.len() as f64 / line_count as f64
+            } else {
+                0.0
+            },
+            compression_ratio: codec::ratio(data),
+        }
+    }
+
+    /// Extrapolates statistics for a virtual corpus of `total_bytes` drawn
+    /// from `model`, by measuring a real sample. Deterministic per model.
+    pub fn estimate(model: &SeedModel, total_bytes: u64) -> Self {
+        let mut gen = TextGenerator::new(model.clone(), 0xC0FFEE);
+        let sample = gen.generate_bytes(SAMPLE_BYTES);
+        let s = CorpusStats::measure(&sample);
+        let scale = total_bytes as f64 / s.bytes as f64;
+        CorpusStats {
+            bytes: total_bytes,
+            lines: (s.lines as f64 * scale) as u64,
+            words: (s.words as f64 * scale) as u64,
+            // The dictionary saturates at the model vocabulary for any
+            // corpus much larger than the sample.
+            distinct_words: if total_bytes >= s.bytes {
+                model.vocab_size() as u64
+            } else {
+                (s.distinct_words as f64 * scale) as u64
+            },
+            avg_line_bytes: s.avg_line_bytes,
+            compression_ratio: s.compression_ratio,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmpi_common::units::GB;
+
+    #[test]
+    fn measure_counts_exactly() {
+        let s = CorpusStats::measure(b"one two\nthree two\n");
+        assert_eq!(s.lines, 2);
+        assert_eq!(s.words, 4);
+        assert_eq!(s.distinct_words, 3);
+        assert_eq!(s.bytes, 18);
+        assert!((s.avg_line_bytes - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let s = CorpusStats::measure(b"");
+        assert_eq!(s.lines, 0);
+        assert_eq!(s.words, 0);
+        assert_eq!(s.avg_line_bytes, 0.0);
+    }
+
+    #[test]
+    fn estimate_scales_linearly() {
+        let model = SeedModel::lda_wiki1w();
+        let a = CorpusStats::estimate(&model, GB);
+        let b = CorpusStats::estimate(&model, 8 * GB);
+        assert_eq!(b.bytes, 8 * a.bytes);
+        let ratio = b.lines as f64 / a.lines as f64;
+        assert!((ratio - 8.0).abs() < 0.01, "lines scale ~8x, got {ratio}");
+        // Dictionary saturates: both hit the model vocabulary.
+        assert_eq!(a.distinct_words, b.distinct_words);
+        assert_eq!(a.distinct_words, model.vocab_size() as u64);
+    }
+
+    #[test]
+    fn estimate_is_deterministic() {
+        let model = SeedModel::lda_wiki1w();
+        let a = CorpusStats::estimate(&model, GB);
+        let b = CorpusStats::estimate(&model, GB);
+        assert_eq!(a.lines, b.lines);
+        assert_eq!(a.words, b.words);
+        assert!((a.compression_ratio - b.compression_ratio).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wiki_text_characteristics_are_plausible() {
+        let s = CorpusStats::estimate(&SeedModel::lda_wiki1w(), GB);
+        // ~5-15 words of 3-9 chars per line.
+        assert!(s.avg_line_bytes > 20.0 && s.avg_line_bytes < 120.0);
+        assert!(s.compression_ratio > 1.5 && s.compression_ratio < 10.0);
+        assert!(s.words > s.lines * 4);
+    }
+}

@@ -1,0 +1,214 @@
+//! Sparse vectors — the `genData_Kmeans` pipeline.
+//!
+//! BigDataBench converts documents to sequence files and then to sparse
+//! term-frequency vectors, which are the training input of K-means and
+//! (after tf weighting) Naive Bayes. We hash words into a fixed dimension
+//! space (Mahout's "hashed vectorizer") and count term frequencies.
+
+use dmpi_common::hashing::{fnv1a, FnvHashMap};
+use dmpi_common::ser::Writable;
+use dmpi_common::{Error, Result};
+
+/// Default hashed dimensionality.
+pub const DEFAULT_DIMS: usize = 1000;
+
+/// A sparse vector: sorted unique dimensions with positive weights.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SparseVector {
+    /// Total dimensionality of the space.
+    pub dims: u32,
+    /// Sorted dimension indices.
+    pub indices: Vec<u32>,
+    /// Weight per index (same length as `indices`).
+    pub values: Vec<f64>,
+}
+
+impl SparseVector {
+    /// Builds a vector, validating shape invariants.
+    pub fn new(dims: u32, indices: Vec<u32>, values: Vec<f64>) -> Result<Self> {
+        if indices.len() != values.len() {
+            return Err(Error::Config("indices/values length mismatch".into()));
+        }
+        if indices.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(Error::Config("indices must be strictly increasing".into()));
+        }
+        if indices.iter().any(|&i| i >= dims) {
+            return Err(Error::Config("index out of dimension bounds".into()));
+        }
+        Ok(SparseVector {
+            dims,
+            indices,
+            values,
+        })
+    }
+
+    /// Number of non-zero entries.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Squared Euclidean norm.
+    pub fn norm_sq(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum()
+    }
+
+    /// Dot product with a dense vector (e.g. a centroid).
+    pub fn dot_dense(&self, dense: &[f64]) -> f64 {
+        self.indices
+            .iter()
+            .zip(&self.values)
+            .map(|(&i, &v)| v * dense[i as usize])
+            .sum()
+    }
+
+    /// Squared Euclidean distance to a dense centroid.
+    /// `|x - c|² = |x|² - 2·x·c + |c|²`; the caller usually precomputes
+    /// `|c|²`, but this convenience recomputes it.
+    pub fn dist_sq_dense(&self, dense: &[f64]) -> f64 {
+        let c_norm: f64 = dense.iter().map(|v| v * v).sum();
+        self.dist_sq_dense_with_norm(dense, c_norm)
+    }
+
+    /// Distance using a precomputed centroid norm (hot path of K-means).
+    pub fn dist_sq_dense_with_norm(&self, dense: &[f64], c_norm_sq: f64) -> f64 {
+        (self.norm_sq() - 2.0 * self.dot_dense(dense) + c_norm_sq).max(0.0)
+    }
+
+    /// Adds this vector into a dense accumulator (centroid update step).
+    pub fn add_into(&self, acc: &mut [f64]) {
+        for (&i, &v) in self.indices.iter().zip(&self.values) {
+            acc[i as usize] += v;
+        }
+    }
+
+    /// Approximate serialized size in bytes (used by simulation cost
+    /// models: one varint index + one f64 per entry plus headers).
+    pub fn approx_bytes(&self) -> u64 {
+        (self.nnz() * 12 + 16) as u64
+    }
+}
+
+impl Writable for SparseVector {
+    fn write_to(&self, out: &mut Vec<u8>) {
+        (self.dims as u64).write_to(out);
+        (self.indices.len() as u64).write_to(out);
+        for &i in &self.indices {
+            (i as u64).write_to(out);
+        }
+        for &v in &self.values {
+            v.write_to(out);
+        }
+    }
+
+    fn read_from(buf: &[u8]) -> Result<(Self, usize)> {
+        let (dims, mut off) = u64::read_from(buf)?;
+        let (n, d) = u64::read_from(&buf[off..])?;
+        off += d;
+        let n = usize::try_from(n).map_err(|_| Error::corrupt("nnz overflow"))?;
+        let mut indices = Vec::with_capacity(n.min(buf.len()));
+        for _ in 0..n {
+            let (i, d) = u64::read_from(&buf[off..])?;
+            off += d;
+            indices.push(u32::try_from(i).map_err(|_| Error::corrupt("index overflow"))?);
+        }
+        let mut values = Vec::with_capacity(n.min(buf.len()));
+        for _ in 0..n {
+            let (v, d) = f64::read_from(&buf[off..])?;
+            off += d;
+            values.push(v);
+        }
+        let v = SparseVector::new(
+            u32::try_from(dims).map_err(|_| Error::corrupt("dims overflow"))?,
+            indices,
+            values,
+        )?;
+        Ok((v, off))
+    }
+}
+
+/// Vectorizes a document into hashed term frequencies.
+pub fn vectorize(doc: &[u8], dims: usize) -> SparseVector {
+    let mut counts: FnvHashMap<u32, f64> = FnvHashMap::default();
+    for line in crate::text::lines(doc) {
+        for word in crate::text::words(line) {
+            let dim = (fnv1a(word) % dims as u64) as u32;
+            *counts.entry(dim).or_insert(0.0) += 1.0;
+        }
+    }
+    let mut entries: Vec<(u32, f64)> = counts.into_iter().collect();
+    entries.sort_unstable_by_key(|&(i, _)| i);
+    let (indices, values): (Vec<u32>, Vec<f64>) = entries.into_iter().unzip();
+    SparseVector::new(dims as u32, indices, values).expect("constructed sorted")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vectorize_counts_terms() {
+        let v = vectorize(b"cat dog cat\nbird\n", 64);
+        assert!(v.nnz() >= 2 && v.nnz() <= 3); // hash collisions possible
+        let total: f64 = v.values.iter().sum();
+        assert_eq!(total, 4.0, "four word occurrences");
+        assert!(v.indices.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn invariants_enforced() {
+        assert!(SparseVector::new(10, vec![1, 1], vec![1.0, 1.0]).is_err());
+        assert!(SparseVector::new(10, vec![2, 1], vec![1.0, 1.0]).is_err());
+        assert!(SparseVector::new(10, vec![10], vec![1.0]).is_err());
+        assert!(SparseVector::new(10, vec![1], vec![1.0, 2.0]).is_err());
+        assert!(SparseVector::new(10, vec![0, 9], vec![1.0, 2.0]).is_ok());
+    }
+
+    #[test]
+    fn distance_math() {
+        let v = SparseVector::new(4, vec![0, 2], vec![1.0, 2.0]).unwrap();
+        let centroid = [1.0, 0.0, 0.0, 0.0];
+        // |v|^2 = 5, v·c = 1, |c|^2 = 1 -> dist^2 = 5 - 2 + 1 = 4.
+        assert!((v.dist_sq_dense(&centroid) - 4.0).abs() < 1e-12);
+        assert!((v.dist_sq_dense_with_norm(&centroid, 1.0) - 4.0).abs() < 1e-12);
+        assert!((v.norm_sq() - 5.0).abs() < 1e-12);
+        assert!((v.dot_dense(&centroid) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_into_accumulates() {
+        let v = SparseVector::new(3, vec![0, 2], vec![1.5, 2.5]).unwrap();
+        let mut acc = vec![0.0; 3];
+        v.add_into(&mut acc);
+        v.add_into(&mut acc);
+        assert_eq!(acc, vec![3.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn writable_round_trip() {
+        let v = vectorize(b"the quick brown fox jumps\n", 128);
+        let bytes = v.to_bytes();
+        let back = SparseVector::from_bytes(&bytes).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn empty_document_is_empty_vector() {
+        let v = vectorize(b"", 64);
+        assert_eq!(v.nnz(), 0);
+        assert_eq!(v.norm_sq(), 0.0);
+        let bytes = v.to_bytes();
+        assert_eq!(SparseVector::from_bytes(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn approx_bytes_scales_with_nnz() {
+        let small = vectorize(b"a b\n", 1024);
+        let big = vectorize(
+            "many different words in this much longer document line\n"
+                .repeat(20)
+                .as_bytes(),
+            1024,
+        );
+        assert!(big.approx_bytes() > small.approx_bytes());
+    }
+}

@@ -1,0 +1,161 @@
+//! The bipartite interconnect: typed frames between O executors and A
+//! partitions.
+//!
+//! Ranks are threads; each rank owns a mailbox (an unbounded channel
+//! standing in for MPI's eager-protocol message queue). O-side senders
+//! ship [`Frame::Data`] messages as buffers fill (the pipelined path) and
+//! close the stream with one [`Frame::Eof`] per sender so receivers know
+//! when their partition is complete.
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// A message delivered to an A partition's mailbox.
+#[derive(Clone, Debug)]
+pub enum Frame {
+    /// A chunk of framed key-value records for this partition.
+    Data {
+        /// Rank that produced the chunk.
+        from_rank: usize,
+        /// O task (split index) that produced it — used by checkpoint
+        /// recovery bookkeeping.
+        o_task: usize,
+        /// Framed records (see `dmpi_common::ser`).
+        payload: Bytes,
+    },
+    /// The sending rank has no more data for this partition.
+    Eof {
+        /// Rank that finished.
+        from_rank: usize,
+    },
+}
+
+impl Frame {
+    /// Payload size (0 for EOF).
+    pub fn payload_len(&self) -> usize {
+        match self {
+            Frame::Data { payload, .. } => payload.len(),
+            Frame::Eof { .. } => 0,
+        }
+    }
+}
+
+/// The full mesh of mailboxes for a job: one receiver per A partition,
+/// senders cloneable by every O executor.
+pub struct Interconnect {
+    senders: Vec<Sender<Frame>>,
+    receivers: Vec<Option<Receiver<Frame>>>,
+}
+
+impl Interconnect {
+    /// Builds mailboxes for `ranks` partitions.
+    pub fn new(ranks: usize) -> Self {
+        let mut senders = Vec::with_capacity(ranks);
+        let mut receivers = Vec::with_capacity(ranks);
+        for _ in 0..ranks {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(Some(rx));
+        }
+        Interconnect { senders, receivers }
+    }
+
+    /// Cloneable sender handles to every partition (indexed by partition).
+    pub fn senders(&self) -> Vec<Sender<Frame>> {
+        self.senders.clone()
+    }
+
+    /// Takes ownership of partition `rank`'s receiver (each rank takes its
+    /// own exactly once).
+    pub fn take_receiver(&mut self, rank: usize) -> Receiver<Frame> {
+        self.receivers[rank]
+            .take()
+            .expect("receiver already taken for this rank")
+    }
+
+    /// Drops the master's sender handles so receivers see disconnect after
+    /// all worker clones are gone (hygiene for clean shutdown).
+    pub fn close(self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_route_to_the_right_partition() {
+        let mut net = Interconnect::new(2);
+        let senders = net.senders();
+        let rx0 = net.take_receiver(0);
+        let rx1 = net.take_receiver(1);
+        senders[0]
+            .send(Frame::Data {
+                from_rank: 1,
+                o_task: 7,
+                payload: Bytes::from_static(b"abc"),
+            })
+            .unwrap();
+        senders[1].send(Frame::Eof { from_rank: 1 }).unwrap();
+        match rx0.recv().unwrap() {
+            Frame::Data {
+                from_rank,
+                o_task,
+                payload,
+            } => {
+                assert_eq!(from_rank, 1);
+                assert_eq!(o_task, 7);
+                assert_eq!(&payload[..], b"abc");
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+        match rx1.recv().unwrap() {
+            Frame::Eof { from_rank } => assert_eq!(from_rank, 1),
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+
+    #[test]
+    fn payload_len_reports_size() {
+        let f = Frame::Data {
+            from_rank: 0,
+            o_task: 0,
+            payload: Bytes::from_static(b"1234"),
+        };
+        assert_eq!(f.payload_len(), 4);
+        assert_eq!(Frame::Eof { from_rank: 0 }.payload_len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already taken")]
+    fn double_take_panics() {
+        let mut net = Interconnect::new(1);
+        let _a = net.take_receiver(0);
+        let _b = net.take_receiver(0);
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let mut net = Interconnect::new(1);
+        let senders = net.senders();
+        let rx = net.take_receiver(0);
+        let h = std::thread::spawn(move || {
+            for i in 0..100usize {
+                senders[0]
+                    .send(Frame::Data {
+                        from_rank: 0,
+                        o_task: i,
+                        payload: Bytes::from(vec![0u8; i]),
+                    })
+                    .unwrap();
+            }
+            senders[0].send(Frame::Eof { from_rank: 0 }).unwrap();
+        });
+        let mut seen = 0;
+        while let Frame::Data { o_task, .. } = rx.recv().unwrap() {
+            assert_eq!(o_task, seen);
+            seen += 1;
+        }
+        assert_eq!(seen, 100);
+        h.join().unwrap();
+    }
+}

@@ -1,0 +1,152 @@
+//! Job configuration for the DataMPI runtime.
+
+use dmpi_common::units::MB;
+use dmpi_common::{Error, Result};
+
+/// Configuration of one DataMPI job.
+#[derive(Clone, Debug)]
+pub struct JobConfig {
+    /// Number of worker ranks (threads standing in for MPI processes).
+    /// Each rank hosts both an O executor and an A partition.
+    pub ranks: usize,
+    /// Partitioned send-buffer flush threshold in bytes: when one
+    /// destination's buffer exceeds this, it is shipped asynchronously
+    /// (the pipelining knob; the paper's DataMPI overlaps this with
+    /// computation).
+    pub flush_threshold: usize,
+    /// If `false`, emitted data is held until the O task finishes and then
+    /// shipped in one step — the "staged" ablation that mimics Hadoop's
+    /// materialize-then-shuffle behaviour.
+    pub pipelined: bool,
+    /// Per-rank in-memory budget for the A-side intermediate store; beyond
+    /// it partitions spill to simulated disk.
+    pub memory_budget: usize,
+    /// Whether completed O tasks checkpoint their emitted pairs for
+    /// restart.
+    pub checkpointing: bool,
+    /// Whether A-side grouping sorts keys (MapReduce mode) or only groups
+    /// by hash (Common mode, cheaper — used by WordCount-style jobs where
+    /// output order is irrelevant).
+    pub sorted_grouping: bool,
+    /// Fault injection: the O task index that should fail, and on which
+    /// run attempt (0-based); used by the fault-tolerance tests.
+    pub fail_o_task: Option<FaultSpec>,
+}
+
+/// Injected-fault description.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Which O task (by split index) fails.
+    pub task_index: usize,
+    /// The attempt on which it fails (tasks recovered from checkpoint are
+    /// not re-attempted).
+    pub on_attempt: u32,
+}
+
+impl JobConfig {
+    /// A small default suitable for tests and examples.
+    pub fn new(ranks: usize) -> Self {
+        JobConfig {
+            ranks,
+            flush_threshold: MB as usize,
+            pipelined: true,
+            memory_budget: 64 * MB as usize,
+            checkpointing: false,
+            sorted_grouping: true,
+            fail_o_task: None,
+        }
+    }
+
+    /// Validates invariants.
+    pub fn validate(&self) -> Result<()> {
+        if self.ranks == 0 {
+            return Err(Error::Config("need at least one rank".into()));
+        }
+        if self.flush_threshold == 0 {
+            return Err(Error::Config("flush threshold must be positive".into()));
+        }
+        if self.memory_budget == 0 {
+            return Err(Error::Config("memory budget must be positive".into()));
+        }
+        Ok(())
+    }
+
+    /// Builder: set pipelining.
+    pub fn with_pipelined(mut self, on: bool) -> Self {
+        self.pipelined = on;
+        self
+    }
+
+    /// Builder: set checkpointing.
+    pub fn with_checkpointing(mut self, on: bool) -> Self {
+        self.checkpointing = on;
+        self
+    }
+
+    /// Builder: set the A-store memory budget.
+    pub fn with_memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = bytes;
+        self
+    }
+
+    /// Builder: set sorted (MapReduce) vs hash (Common) grouping.
+    pub fn with_sorted_grouping(mut self, on: bool) -> Self {
+        self.sorted_grouping = on;
+        self
+    }
+
+    /// Builder: set the flush threshold.
+    pub fn with_flush_threshold(mut self, bytes: usize) -> Self {
+        self.flush_threshold = bytes;
+        self
+    }
+
+    /// Builder: inject a fault.
+    pub fn with_fault(mut self, fault: FaultSpec) -> Self {
+        self.fail_o_task = Some(fault);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        JobConfig::new(4).validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(JobConfig::new(0).validate().is_err());
+        assert!(JobConfig::new(1).with_flush_threshold(0).validate().is_err());
+        assert!(JobConfig::new(1).with_memory_budget(0).validate().is_err());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = JobConfig::new(2)
+            .with_pipelined(false)
+            .with_checkpointing(true)
+            .with_memory_budget(123)
+            .with_sorted_grouping(false)
+            .with_flush_threshold(456)
+            .with_fault(FaultSpec {
+                task_index: 1,
+                on_attempt: 0,
+            });
+        assert!(!c.pipelined);
+        assert!(c.checkpointing);
+        assert_eq!(c.memory_budget, 123);
+        assert!(!c.sorted_grouping);
+        assert_eq!(c.flush_threshold, 456);
+        assert_eq!(
+            c.fail_o_task,
+            Some(FaultSpec {
+                task_index: 1,
+                on_attempt: 0
+            })
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! `datampi` — a key-value-pair based communication library extending the
+//! MPI model for Hadoop/Spark-like Big Data computing.
+//!
+//! This crate is the reproduction's primary artifact: the DataMPI library
+//! of Lu et al. (IPDPS '14), whose performance the case-study paper
+//! measures against Hadoop and Spark. DataMPI replaces MPI's
+//! buffer-to-buffer communication with **key-value pair** communication
+//! organized as a **bipartite graph** between two communicators:
+//!
+//! * **O (origin) tasks** produce key-value pairs (like map tasks);
+//! * **A (accept) tasks** consume them grouped by key (like reduce tasks).
+//!
+//! The library implements the "4D" characteristics the paper summarizes:
+//!
+//! * **Dichotomic** — the O/A bipartite communication model ([`runtime`]);
+//! * **Dynamic** — tasks are scheduled dynamically onto worker ranks (the
+//!   runtime's shared queue hands splits to whichever rank is free);
+//! * **Data-centric** — emitted pairs are partitioned and buffered at the
+//!   A-side worker ([`store`]), so A tasks read their input locally;
+//! * **Diversified** — [`task`] exposes Common and MapReduce-style modes,
+//!   [`iteration`] implements Iteration mode (deserialized splits stay
+//!   resident in worker memory across jobs, the pattern K-means uses),
+//!   and [`streaming`] implements Streaming mode (windowed processing
+//!   with persistent per-key state).
+//!
+//! Communication is **pipelined**: O-task computation overlaps with
+//! key-value movement ([`buffer::KvBuffer`] flushes asynchronously while
+//! the task keeps producing), which the paper credits for most of
+//! DataMPI's speedup. Intermediate data stays in worker memory (spilling
+//! only under pressure), avoiding Hadoop's redundant disk materialization.
+//! Fault tolerance is key-value checkpoint/restart ([`checkpoint`]).
+//!
+//! Two execution surfaces share the same job abstraction:
+//!
+//! * a **real multi-threaded runtime** ([`runtime`]) where ranks are
+//!   threads connected by channels — data really moves, workloads really
+//!   compute (unit of the test suite and the MB-scale benches);
+//! * a **plan compiler** ([`plan`]) that translates the same job into
+//!   `dmpi-dcsim` activities for the paper-scale experiments.
+
+pub mod buffer;
+pub mod checkpoint;
+pub mod comm;
+pub mod config;
+pub mod iteration;
+pub mod plan;
+pub mod runtime;
+pub mod store;
+pub mod streaming;
+pub mod task;
+
+pub use config::JobConfig;
+pub use runtime::{run_job, JobOutput, JobStats};
+pub use task::{Collector, GroupedValues};

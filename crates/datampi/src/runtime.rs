@@ -1,0 +1,595 @@
+//! The executing DataMPI runtime: ranks as threads, really moving data.
+//!
+//! `run_job` realizes the bipartite O/A model:
+//!
+//! 1. **O phase** — worker ranks dynamically pull input splits from a shared
+//!    queue (the library's dynamic scheduling), run the user's O function,
+//!    and emit key-value pairs through a partitioned [`KvBuffer`]. Buffers
+//!    flush asynchronously while the task computes (pipelining).
+//! 2. **A phase** — each rank owns one A partition: it drains its mailbox
+//!    into a [`PartitionStore`] (in-memory, spilling under pressure), groups
+//!    the records by key (sorted in MapReduce mode, hashed in Common mode),
+//!    and runs the user's A function per group.
+//!
+//! Failures: an O task error marks the job failed; every rank still sends
+//! its EOFs so the job tears down cleanly rather than deadlocking, and the
+//! job returns the error. With checkpointing enabled, completed O tasks are
+//! recovered on restart without re-running user code
+//! ([`crate::checkpoint`]).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use bytes::Bytes;
+
+use dmpi_common::kv::RecordBatch;
+use dmpi_common::{Error, Result};
+
+use crate::buffer::KvBuffer;
+use crate::checkpoint::CheckpointStore;
+use crate::comm::{Frame, Interconnect};
+use crate::config::JobConfig;
+use crate::store::PartitionStore;
+use crate::task::{group_hashed, group_sorted, BatchCollector, Collector, GroupedValues};
+
+/// Aggregate counters of a finished job.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JobStats {
+    /// O tasks executed by user code this run.
+    pub o_tasks_run: u64,
+    /// O tasks recovered from checkpoint (user code skipped).
+    pub o_tasks_recovered: u64,
+    /// Key-value pairs emitted.
+    pub records_emitted: u64,
+    /// Framed intermediate bytes emitted.
+    pub bytes_emitted: u64,
+    /// Frames shipped over the interconnect.
+    pub frames: u64,
+    /// Frames shipped before task completion (pipelined flushes).
+    pub early_flushes: u64,
+    /// A-store spill events.
+    pub spills: u64,
+    /// A-store bytes spilled to disk.
+    pub spilled_bytes: u64,
+    /// Key groups processed by A tasks.
+    pub groups: u64,
+}
+
+/// Result of a successful job: per-partition outputs plus counters.
+#[derive(Clone, Debug)]
+pub struct JobOutput {
+    /// A-task output per partition (index = rank).
+    pub partitions: Vec<RecordBatch>,
+    /// Aggregate counters.
+    pub stats: JobStats,
+}
+
+impl JobOutput {
+    /// Flattens all partition outputs into one batch (partition order).
+    pub fn into_single_batch(self) -> RecordBatch {
+        let mut out = RecordBatch::new();
+        for mut p in self.partitions {
+            out.append(&mut p);
+        }
+        out
+    }
+}
+
+struct EmitAdapter<'a> {
+    buffer: &'a mut KvBuffer,
+}
+
+impl Collector for EmitAdapter<'_> {
+    fn collect(&mut self, key: &[u8], value: &[u8]) {
+        self.buffer.emit_kv(key, value);
+    }
+}
+
+/// Runs a DataMPI job (first attempt). See [`run_job_attempt`].
+///
+/// # Examples
+/// ```
+/// use datampi::{run_job, JobConfig};
+/// use dmpi_common::group::{Collector, GroupedValues};
+/// use dmpi_common::ser::Writable;
+///
+/// // O: emit (word, 1); A: sum the counts per word.
+/// let o = |_t: usize, split: &[u8], out: &mut dyn Collector| {
+///     for w in split.split(|b| *b == b' ') {
+///         out.collect(w, &1u64.to_bytes());
+///     }
+/// };
+/// let a = |g: &GroupedValues, out: &mut dyn Collector| {
+///     let n: u64 = g.values.iter().map(|v| u64::from_bytes(v).unwrap()).sum();
+///     out.collect(&g.key, &n.to_bytes());
+/// };
+/// let out = run_job(&JobConfig::new(2), vec!["b a b".into()], o, a, None).unwrap();
+/// assert_eq!(out.stats.records_emitted, 3);
+/// assert_eq!(out.stats.groups, 2);
+/// ```
+pub fn run_job<O, A>(
+    config: &JobConfig,
+    inputs: Vec<Bytes>,
+    o_fn: O,
+    a_fn: A,
+    checkpoint: Option<&CheckpointStore>,
+) -> Result<JobOutput>
+where
+    O: Fn(usize, &[u8], &mut dyn Collector) + Send + Sync,
+    A: Fn(&GroupedValues, &mut dyn Collector) + Send + Sync,
+{
+    run_job_attempt(config, inputs, o_fn, a_fn, checkpoint, 0)
+}
+
+/// Runs a DataMPI job, identifying the `attempt` number for fault-injection
+/// and recovery accounting. `inputs[i]` is the raw content of O task `i`'s
+/// split.
+pub fn run_job_attempt<O, A>(
+    config: &JobConfig,
+    inputs: Vec<Bytes>,
+    o_fn: O,
+    a_fn: A,
+    checkpoint: Option<&CheckpointStore>,
+    attempt: u32,
+) -> Result<JobOutput>
+where
+    O: Fn(usize, &[u8], &mut dyn Collector) + Send + Sync,
+    A: Fn(&GroupedValues, &mut dyn Collector) + Send + Sync,
+{
+    run_job_generic(
+        config,
+        inputs,
+        move |task, split: &Bytes, out: &mut dyn Collector| o_fn(task, split, out),
+        a_fn,
+        checkpoint,
+        attempt,
+    )
+}
+
+/// The generic runner behind both the byte-split surface ([`run_job`]) and
+/// the Iteration-mode surface ([`crate::iteration::run_iteration`]): O
+/// tasks consume an arbitrary resident split type `I`.
+pub fn run_job_generic<I, O, A>(
+    config: &JobConfig,
+    inputs: Vec<I>,
+    o_fn: O,
+    a_fn: A,
+    checkpoint: Option<&CheckpointStore>,
+    attempt: u32,
+) -> Result<JobOutput>
+where
+    I: Sync,
+    O: Fn(usize, &I, &mut dyn Collector) + Send + Sync,
+    A: Fn(&GroupedValues, &mut dyn Collector) + Send + Sync,
+{
+    config.validate()?;
+    if config.checkpointing && checkpoint.is_none() {
+        return Err(Error::Config(
+            "checkpointing enabled but no CheckpointStore supplied".into(),
+        ));
+    }
+    let ranks = config.ranks;
+    let mut net = Interconnect::new(ranks);
+    let senders = net.senders();
+    let receivers: Vec<_> = (0..ranks).map(|r| net.take_receiver(r)).collect();
+    net.close();
+
+    let queue: Mutex<VecDeque<usize>> = Mutex::new((0..inputs.len()).collect());
+    let failed = AtomicBool::new(false);
+    let failure: Mutex<Option<Error>> = Mutex::new(None);
+    let o_fn = &o_fn;
+    let a_fn = &a_fn;
+    let inputs = &inputs;
+    let queue = &queue;
+    let failed = &failed;
+    let failure = &failure;
+    let senders = &senders;
+
+    let mut rank_results: Vec<Option<(RecordBatch, JobStats)>> = Vec::new();
+    rank_results.resize_with(ranks, || None);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(ranks);
+        for (rank, receiver) in receivers.into_iter().enumerate() {
+            let checkpoint = checkpoint.cloned();
+            let handle = scope.spawn(move || -> Result<(RecordBatch, JobStats)> {
+                let mut stats = JobStats::default();
+
+                // ---- O phase: dynamic pulls from the shared queue ----
+                loop {
+                    if failed.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let task = queue.lock().expect("queue poisoned").pop_front();
+                    let Some(task) = task else { break };
+
+                    // Checkpoint recovery path: replay without user code.
+                    if let Some(cp) = checkpoint.as_ref() {
+                        if cp.is_complete(task) {
+                            for (partition, payload) in cp.recover_frames(task) {
+                                let _ = senders[partition].send(Frame::Data {
+                                    from_rank: rank,
+                                    o_task: task,
+                                    payload,
+                                });
+                            }
+                            stats.o_tasks_recovered += 1;
+                            continue;
+                        }
+                    }
+
+                    // Fresh execution path.
+                    let mut buffer = KvBuffer::new(
+                        senders.clone(),
+                        rank,
+                        task,
+                        config.flush_threshold,
+                        config.pipelined,
+                    );
+                    if let Some(cp) = checkpoint.as_ref() {
+                        buffer.set_tee(cp.clone());
+                    }
+
+                    // Injected fault?
+                    if let Some(fault) = config.fail_o_task {
+                        if fault.task_index == task && fault.on_attempt == attempt {
+                            if let Some(cp) = checkpoint.as_ref() {
+                                cp.discard_incomplete(task);
+                            }
+                            let err = Error::Fault(format!(
+                                "injected failure in O task {task} (attempt {attempt})"
+                            ));
+                            *failure.lock().expect("failure lock") = Some(err.clone());
+                            failed.store(true, Ordering::SeqCst);
+                            break;
+                        }
+                    }
+
+                    // User code may panic; convert that into a clean job
+                    // fault so peer ranks still receive our EOFs instead of
+                    // deadlocking in their A phase.
+                    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let mut adapter = EmitAdapter {
+                            buffer: &mut buffer,
+                        };
+                        o_fn(task, &inputs[task], &mut adapter);
+                    }));
+                    if run.is_err() {
+                        if let Some(cp) = checkpoint.as_ref() {
+                            cp.discard_incomplete(task);
+                        }
+                        let err = Error::Fault(format!("O task {task} panicked"));
+                        *failure.lock().expect("failure lock") = Some(err);
+                        failed.store(true, Ordering::SeqCst);
+                        break;
+                    }
+                    let b = buffer.finish();
+                    stats.o_tasks_run += 1;
+                    stats.records_emitted += b.records;
+                    stats.bytes_emitted += b.bytes;
+                    stats.frames += b.frames;
+                    stats.early_flushes += b.early_flushes;
+                    if let Some(cp) = checkpoint.as_ref() {
+                        cp.mark_complete(task);
+                    }
+                }
+
+                // Close the stream to every partition exactly once.
+                for s in senders.iter() {
+                    let _ = s.send(Frame::Eof { from_rank: rank });
+                }
+
+                // ---- A phase: ingest own partition, group, reduce ----
+                let mut store = PartitionStore::new(config.memory_budget);
+                let mut eofs = 0usize;
+                while eofs < ranks {
+                    match receiver.recv() {
+                        Ok(Frame::Data { payload, .. }) => store.ingest(payload),
+                        Ok(Frame::Eof { .. }) => eofs += 1,
+                        Err(_) => {
+                            // All senders dropped: only possible after every
+                            // rank sent its EOFs or panicked; treat as end.
+                            break;
+                        }
+                    }
+                }
+                let st = store.stats();
+                stats.spills += st.spills;
+                stats.spilled_bytes += st.spilled_bytes;
+
+                let mut collector = BatchCollector::default();
+                if !failed.load(Ordering::SeqCst) {
+                    let records = store.into_records(config.sorted_grouping)?;
+                    let groups = if config.sorted_grouping {
+                        group_sorted(records)
+                    } else {
+                        group_hashed(records)
+                    };
+                    stats.groups += groups.len() as u64;
+                    for g in &groups {
+                        a_fn(g, &mut collector);
+                    }
+                }
+                Ok((collector.batch, stats))
+            });
+            handles.push(handle);
+        }
+        for (rank, handle) in handles.into_iter().enumerate() {
+            match handle.join() {
+                Ok(Ok(result)) => rank_results[rank] = Some(result),
+                Ok(Err(e)) => {
+                    let mut f = failure.lock().expect("failure lock");
+                    if f.is_none() {
+                        *f = Some(e);
+                    }
+                    failed.store(true, Ordering::SeqCst);
+                }
+                Err(_) => {
+                    let mut f = failure.lock().expect("failure lock");
+                    if f.is_none() {
+                        *f = Some(Error::Fault("worker rank panicked".into()));
+                    }
+                    failed.store(true, Ordering::SeqCst);
+                }
+            }
+        }
+    });
+
+    if failed.load(Ordering::SeqCst) {
+        let err = failure
+            .lock()
+            .expect("failure lock")
+            .take()
+            .unwrap_or_else(|| Error::Fault("job failed".into()));
+        return Err(err);
+    }
+
+    let mut partitions = Vec::with_capacity(ranks);
+    let mut stats = JobStats::default();
+    for result in rank_results {
+        let (batch, s) = result.expect("non-failed rank must produce output");
+        stats.o_tasks_run += s.o_tasks_run;
+        stats.o_tasks_recovered += s.o_tasks_recovered;
+        stats.records_emitted += s.records_emitted;
+        stats.bytes_emitted += s.bytes_emitted;
+        stats.frames += s.frames;
+        stats.early_flushes += s.early_flushes;
+        stats.spills += s.spills;
+        stats.spilled_bytes += s.spilled_bytes;
+        stats.groups += s.groups;
+        partitions.push(batch);
+    }
+    Ok(JobOutput { partitions, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FaultSpec;
+    use dmpi_common::ser::Writable;
+
+    /// WordCount: O splits lines into words, A sums counts.
+    fn wordcount_o(_task: usize, split: &[u8], out: &mut dyn Collector) {
+        for line in split.split(|&b| b == b'\n') {
+            for word in line.split(|&b| b == b' ').filter(|w| !w.is_empty()) {
+                out.collect(word, &1u64.to_bytes());
+            }
+        }
+    }
+
+    fn wordcount_a(group: &GroupedValues, out: &mut dyn Collector) {
+        let total: u64 = group
+            .values
+            .iter()
+            .map(|v| u64::from_bytes(v).unwrap())
+            .sum();
+        out.collect(&group.key, &total.to_bytes());
+    }
+
+    fn counts_of(output: JobOutput) -> std::collections::BTreeMap<String, u64> {
+        output
+            .into_single_batch()
+            .into_records()
+            .into_iter()
+            .map(|r| {
+                (
+                    r.key_utf8(),
+                    u64::from_bytes(&r.value).unwrap(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn wordcount_end_to_end() {
+        let config = JobConfig::new(4);
+        let inputs = vec![
+            Bytes::from_static(b"apple pear apple\nfig"),
+            Bytes::from_static(b"pear apple"),
+            Bytes::from_static(b""),
+        ];
+        let out = run_job(&config, inputs, wordcount_o, wordcount_a, None).unwrap();
+        assert_eq!(out.stats.o_tasks_run, 3);
+        assert_eq!(out.stats.records_emitted, 6);
+        let counts = counts_of(out);
+        assert_eq!(counts["apple"], 3);
+        assert_eq!(counts["pear"], 2);
+        assert_eq!(counts["fig"], 1);
+    }
+
+    #[test]
+    fn output_is_deterministic_across_runs_in_sorted_mode() {
+        let config = JobConfig::new(3);
+        let make_inputs = || {
+            (0..10)
+                .map(|i| Bytes::from(format!("w{} w{} shared", i, (i * 7) % 10)))
+                .collect::<Vec<_>>()
+        };
+        let a = run_job(&config, make_inputs(), wordcount_o, wordcount_a, None).unwrap();
+        let b = run_job(&config, make_inputs(), wordcount_o, wordcount_a, None).unwrap();
+        for (pa, pb) in a.partitions.iter().zip(&b.partitions) {
+            assert_eq!(pa.records(), pb.records());
+        }
+    }
+
+    #[test]
+    fn identity_job_sorts_globally_within_partition() {
+        // Sort mode: identity O and A; partition-local outputs must be
+        // key-sorted (the per-partition half of a TeraSort-style job).
+        let config = JobConfig::new(2);
+        let inputs = vec![Bytes::from_static(b"delta\nalpha\ncharlie\nbravo")];
+        let o = |_t: usize, split: &[u8], out: &mut dyn Collector| {
+            for line in split.split(|&b| b == b'\n') {
+                out.collect(line, line);
+            }
+        };
+        let a = |g: &GroupedValues, out: &mut dyn Collector| {
+            for v in &g.values {
+                out.collect(&g.key, v);
+            }
+        };
+        let result = run_job(&config, inputs, o, a, None).unwrap();
+        for p in &result.partitions {
+            let keys: Vec<_> = p.iter().map(|r| r.key.clone()).collect();
+            let mut sorted = keys.clone();
+            sorted.sort();
+            assert_eq!(keys, sorted, "partition must be key-sorted");
+        }
+    }
+
+    #[test]
+    fn hash_grouping_mode_counts_correctly() {
+        let config = JobConfig::new(2).with_sorted_grouping(false);
+        let inputs = vec![Bytes::from_static(b"x y x y x")];
+        let out = run_job(&config, inputs, wordcount_o, wordcount_a, None).unwrap();
+        let counts = counts_of(out);
+        assert_eq!(counts["x"], 3);
+        assert_eq!(counts["y"], 2);
+    }
+
+    #[test]
+    fn pipelining_ablation_preserves_results() {
+        let inputs: Vec<Bytes> = (0..6)
+            .map(|i| Bytes::from(format!("word{} word{} word{}", i, i % 3, i % 2)))
+            .collect();
+        let piped = run_job(
+            &JobConfig::new(3).with_flush_threshold(16),
+            inputs.clone(),
+            wordcount_o,
+            wordcount_a,
+            None,
+        )
+        .unwrap();
+        let staged = run_job(
+            &JobConfig::new(3).with_pipelined(false),
+            inputs,
+            wordcount_o,
+            wordcount_a,
+            None,
+        )
+        .unwrap();
+        assert!(piped.stats.early_flushes > 0);
+        assert_eq!(staged.stats.early_flushes, 0);
+        assert_eq!(counts_of(piped), counts_of(staged));
+    }
+
+    #[test]
+    fn tiny_memory_budget_spills_but_stays_correct() {
+        let config = JobConfig::new(2).with_memory_budget(64);
+        let inputs: Vec<Bytes> = (0..20)
+            .map(|i| Bytes::from(format!("k{} k{} k{}", i % 5, i % 7, i)))
+            .collect();
+        let out = run_job(&config, inputs, wordcount_o, wordcount_a, None).unwrap();
+        assert!(out.stats.spills > 0, "64-byte budget must spill");
+        let counts = counts_of(out);
+        assert_eq!(counts["k0"], 8); // i%5==0 -> 4, i%7==0 -> 3, i==0 -> 1
+    }
+
+    #[test]
+    fn injected_fault_fails_the_job_cleanly() {
+        let config = JobConfig::new(2).with_fault(FaultSpec {
+            task_index: 1,
+            on_attempt: 0,
+        });
+        let inputs = vec![
+            Bytes::from_static(b"a b"),
+            Bytes::from_static(b"c d"),
+            Bytes::from_static(b"e f"),
+        ];
+        let err = run_job(&config, inputs, wordcount_o, wordcount_a, None).unwrap_err();
+        assert!(matches!(err, Error::Fault(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn checkpoint_restart_recovers_completed_tasks() {
+        let cp = CheckpointStore::new();
+        let inputs: Vec<Bytes> = (0..8)
+            .map(|i| Bytes::from(format!("w{i} shared")))
+            .collect();
+
+        // Attempt 0: task 7 fails after others complete (single rank makes
+        // completion order deterministic: tasks 0..6 run first).
+        let failing = JobConfig::new(1)
+            .with_checkpointing(true)
+            .with_fault(FaultSpec {
+                task_index: 7,
+                on_attempt: 0,
+            });
+        let err =
+            run_job_attempt(&failing, inputs.clone(), wordcount_o, wordcount_a, Some(&cp), 0)
+                .unwrap_err();
+        assert!(err.to_string().contains("injected"));
+        assert_eq!(cp.completed_count(), 7, "tasks 0-6 checkpointed");
+
+        // Attempt 1: recovery replays 7 tasks, runs only the failed one.
+        let retry = JobConfig::new(1).with_checkpointing(true);
+        let out =
+            run_job_attempt(&retry, inputs.clone(), wordcount_o, wordcount_a, Some(&cp), 1)
+                .unwrap();
+        assert_eq!(out.stats.o_tasks_recovered, 7);
+        assert_eq!(out.stats.o_tasks_run, 1);
+
+        // Output equals a clean run.
+        let clean = run_job(&JobConfig::new(1), inputs, wordcount_o, wordcount_a, None).unwrap();
+        assert_eq!(counts_of(out), counts_of(clean));
+    }
+
+    #[test]
+    fn checkpointing_without_store_is_a_config_error() {
+        let config = JobConfig::new(1).with_checkpointing(true);
+        let err = run_job(&config, vec![], wordcount_o, wordcount_a, None).unwrap_err();
+        assert!(matches!(err, Error::Config(_)));
+    }
+
+    #[test]
+    fn panicking_o_task_reports_fault_not_hang() {
+        let config = JobConfig::new(2);
+        let inputs = vec![Bytes::from_static(b"boom"), Bytes::from_static(b"ok")];
+        let o = |task: usize, _split: &[u8], _out: &mut dyn Collector| {
+            if task == 0 {
+                panic!("user code exploded");
+            }
+        };
+        let a = |_g: &GroupedValues, _out: &mut dyn Collector| {};
+        let err = run_job(&config, inputs, o, a, None).unwrap_err();
+        assert!(matches!(err, Error::Fault(_)));
+    }
+
+    #[test]
+    fn more_tasks_than_ranks_all_execute() {
+        let config = JobConfig::new(2);
+        let inputs: Vec<Bytes> = (0..50).map(|i| Bytes::from(format!("t{i}"))).collect();
+        let out = run_job(&config, inputs, wordcount_o, wordcount_a, None).unwrap();
+        assert_eq!(out.stats.o_tasks_run, 50);
+        assert_eq!(out.stats.groups, 50, "fifty distinct words");
+    }
+
+    #[test]
+    fn empty_job_produces_empty_output() {
+        let config = JobConfig::new(3);
+        let out = run_job(&config, vec![], wordcount_o, wordcount_a, None).unwrap();
+        assert_eq!(out.stats.o_tasks_run, 0);
+        assert!(out.partitions.iter().all(|p| p.is_empty()));
+    }
+}

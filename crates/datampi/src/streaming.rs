@@ -1,0 +1,253 @@
+//! Streaming mode — the last of DataMPI's "diversified" communication
+//! modes (alongside Common, MapReduce, and Iteration).
+//!
+//! S4-style workloads process an unbounded input as a sequence of
+//! **windows**. Each window runs one bipartite O/A cycle, but the A side
+//! folds the window's groups into **persistent per-key state** that
+//! survives across windows — the running-aggregation semantics streaming
+//! systems call `updateStateByKey`. The window output is the set of keys
+//! whose state changed, with their new state.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use dmpi_common::group::{Collector, GroupedValues};
+use dmpi_common::kv::{Record, RecordBatch};
+use dmpi_common::Result;
+
+use crate::config::JobConfig;
+use crate::runtime::{run_job, JobStats};
+
+/// Folds one window's values for a key into its persistent state.
+///
+/// * `key` — the group's key,
+/// * `state` — the key's state from previous windows, if any,
+/// * `values` — the values emitted for the key in this window.
+///
+/// Returns the key's new state.
+pub type FoldFn = dyn Fn(&[u8], Option<&[u8]>, &[Bytes]) -> Vec<u8> + Send + Sync;
+
+/// A long-lived streaming job: per-key state persists across windows.
+///
+/// # Examples
+/// ```
+/// use datampi::streaming::StreamingJob;
+/// use datampi::JobConfig;
+/// use dmpi_common::group::Collector;
+/// use dmpi_common::ser::Writable;
+///
+/// let tokenize = |_t: usize, s: &[u8], out: &mut dyn Collector| {
+///     for w in s.split(|b| *b == b' ') {
+///         out.collect(w, &1u64.to_bytes());
+///     }
+/// };
+/// let fold = |_k: &[u8], prev: Option<&[u8]>, vs: &[bytes::Bytes]| {
+///     let p = prev.map(|s| u64::from_bytes(s).unwrap()).unwrap_or(0);
+///     (p + vs.len() as u64).to_bytes()
+/// };
+/// let mut job = StreamingJob::new(JobConfig::new(2), tokenize, fold);
+/// job.process_window(vec!["a b".into()]).unwrap();
+/// job.process_window(vec!["a".into()]).unwrap();
+/// let totals = job.state_snapshot();
+/// assert_eq!(totals.records()[0].key_utf8(), "a");
+/// assert_eq!(u64::from_bytes(&totals.records()[0].value).unwrap(), 2);
+/// ```
+pub struct StreamingJob<O> {
+    config: JobConfig,
+    o_fn: O,
+    fold: Arc<FoldFn>,
+    state: Arc<Mutex<BTreeMap<Vec<u8>, Vec<u8>>>>,
+    windows_processed: u64,
+    cumulative: JobStats,
+}
+
+impl<O> StreamingJob<O>
+where
+    O: Fn(usize, &[u8], &mut dyn Collector) + Send + Sync + Clone,
+{
+    /// Creates a streaming job with an O function and a state fold.
+    pub fn new<F>(config: JobConfig, o_fn: O, fold: F) -> Self
+    where
+        F: Fn(&[u8], Option<&[u8]>, &[Bytes]) -> Vec<u8> + Send + Sync + 'static,
+    {
+        StreamingJob {
+            config,
+            o_fn,
+            fold: Arc::new(fold),
+            state: Arc::new(Mutex::new(BTreeMap::new())),
+            windows_processed: 0,
+            cumulative: JobStats::default(),
+        }
+    }
+
+    /// Processes one window of input splits, returning the keys whose
+    /// state changed this window with their **new** state.
+    pub fn process_window(&mut self, splits: Vec<Bytes>) -> Result<RecordBatch> {
+        let fold = Arc::clone(&self.fold);
+        let state = Arc::clone(&self.state);
+        let a_fn = move |group: &GroupedValues, out: &mut dyn Collector| {
+            let mut state = state.lock();
+            let prev = state.get(group.key.as_ref()).map(Vec::as_slice);
+            let next = fold(&group.key, prev, &group.values);
+            out.collect(&group.key, &next);
+            state.insert(group.key.to_vec(), next);
+        };
+        let output = run_job(&self.config, splits, self.o_fn.clone(), a_fn, None)?;
+        self.windows_processed += 1;
+        let s = output.stats;
+        self.cumulative.o_tasks_run += s.o_tasks_run;
+        self.cumulative.records_emitted += s.records_emitted;
+        self.cumulative.bytes_emitted += s.bytes_emitted;
+        self.cumulative.frames += s.frames;
+        self.cumulative.early_flushes += s.early_flushes;
+        self.cumulative.spills += s.spills;
+        self.cumulative.spilled_bytes += s.spilled_bytes;
+        self.cumulative.groups += s.groups;
+        Ok(output.into_single_batch())
+    }
+
+    /// Number of windows processed so far.
+    pub fn windows_processed(&self) -> u64 {
+        self.windows_processed
+    }
+
+    /// Counters accumulated over all windows.
+    pub fn cumulative_stats(&self) -> JobStats {
+        self.cumulative
+    }
+
+    /// Snapshot of the full per-key state (key-sorted).
+    pub fn state_snapshot(&self) -> RecordBatch {
+        let state = self.state.lock();
+        state
+            .iter()
+            .map(|(k, v)| Record::new(k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Number of keys with state.
+    pub fn state_size(&self) -> usize {
+        self.state.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmpi_common::ser::Writable;
+
+    fn tokenize(_t: usize, split: &[u8], out: &mut dyn Collector) {
+        for w in split.split(|&b| b == b' ').filter(|w| !w.is_empty()) {
+            out.collect(w, &1u64.to_bytes());
+        }
+    }
+
+    fn sum_fold(_key: &[u8], state: Option<&[u8]>, values: &[Bytes]) -> Vec<u8> {
+        let prev = state.map(|s| u64::from_bytes(s).unwrap()).unwrap_or(0);
+        let add: u64 = values.iter().map(|v| u64::from_bytes(v).unwrap()).sum();
+        (prev + add).to_bytes()
+    }
+
+    fn counts(batch: RecordBatch) -> BTreeMap<String, u64> {
+        batch
+            .into_records()
+            .into_iter()
+            .map(|r| (r.key_utf8(), u64::from_bytes(&r.value).unwrap()))
+            .collect()
+    }
+
+    #[test]
+    fn state_accumulates_across_windows() {
+        let mut job = StreamingJob::new(JobConfig::new(3), tokenize, sum_fold);
+        let w1 = job
+            .process_window(vec![Bytes::from_static(b"a b a")])
+            .unwrap();
+        assert_eq!(counts(w1)["a"], 2);
+        let w2 = job
+            .process_window(vec![Bytes::from_static(b"a c")])
+            .unwrap();
+        let c2 = counts(w2);
+        assert_eq!(c2["a"], 3, "running total includes window 1");
+        assert_eq!(c2["c"], 1);
+        assert!(!c2.contains_key("b"), "untouched keys are not re-emitted");
+        assert_eq!(job.windows_processed(), 2);
+        assert_eq!(job.state_size(), 3);
+    }
+
+    #[test]
+    fn streaming_total_equals_batch_on_concatenation() {
+        let windows: Vec<Vec<Bytes>> = vec![
+            vec![Bytes::from_static(b"x y"), Bytes::from_static(b"y z")],
+            vec![Bytes::from_static(b"x x")],
+            vec![],
+            vec![Bytes::from_static(b"z")],
+        ];
+        let mut job = StreamingJob::new(JobConfig::new(2), tokenize, sum_fold);
+        for w in windows.clone() {
+            job.process_window(w).unwrap();
+        }
+        let streamed = counts(job.state_snapshot());
+
+        let all: Vec<Bytes> = windows.into_iter().flatten().collect();
+        let batch = crate::run_job(
+            &JobConfig::new(2),
+            all,
+            tokenize,
+            |g: &GroupedValues, out: &mut dyn Collector| {
+                let total: u64 = g.values.iter().map(|v| u64::from_bytes(v).unwrap()).sum();
+                out.collect(&g.key, &total.to_bytes());
+            },
+            None,
+        )
+        .unwrap();
+        assert_eq!(streamed, counts(batch.into_single_batch()));
+    }
+
+    #[test]
+    fn empty_window_changes_nothing() {
+        let mut job = StreamingJob::new(JobConfig::new(2), tokenize, sum_fold);
+        job.process_window(vec![Bytes::from_static(b"k")]).unwrap();
+        let out = job.process_window(vec![]).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(job.state_size(), 1);
+        assert_eq!(job.windows_processed(), 2);
+    }
+
+    #[test]
+    fn fold_can_implement_non_additive_state() {
+        // Track the lexicographically largest value seen per key.
+        let max_fold = |_k: &[u8], state: Option<&[u8]>, values: &[Bytes]| -> Vec<u8> {
+            let mut best = state.map(<[u8]>::to_vec).unwrap_or_default();
+            for v in values {
+                if v.as_ref() > best.as_slice() {
+                    best = v.to_vec();
+                }
+            }
+            best
+        };
+        let emit_pairs = |_t: usize, split: &[u8], out: &mut dyn Collector| {
+            let mut it = split.split(|&b| b == b' ');
+            if let (Some(k), Some(v)) = (it.next(), it.next()) {
+                out.collect(k, v);
+            }
+        };
+        let mut job = StreamingJob::new(JobConfig::new(2), emit_pairs, max_fold);
+        job.process_window(vec![Bytes::from_static(b"key mango")]).unwrap();
+        job.process_window(vec![Bytes::from_static(b"key apple")]).unwrap();
+        let snap = job.state_snapshot();
+        assert_eq!(snap.records()[0].value_utf8(), "mango");
+    }
+
+    #[test]
+    fn cumulative_stats_add_up() {
+        let mut job = StreamingJob::new(JobConfig::new(2), tokenize, sum_fold);
+        job.process_window(vec![Bytes::from_static(b"a b")]).unwrap();
+        job.process_window(vec![Bytes::from_static(b"c d e")]).unwrap();
+        let s = job.cumulative_stats();
+        assert_eq!(s.records_emitted, 5);
+        assert_eq!(s.o_tasks_run, 2);
+    }
+}

@@ -1,0 +1,17 @@
+//! User-facing task abstractions: O functions, A functions, and the
+//! grouped-value iteration surface.
+//!
+//! DataMPI's "diversified" modes map onto two function shapes:
+//!
+//! * **Common mode** — the A side receives records grouped by key in hash
+//!   order (no global sort): cheap, used by counting workloads.
+//! * **MapReduce mode** — the A side receives groups in key-sorted order:
+//!   what Sort and the Mahout-derived applications need.
+//!
+//! The mode is chosen by `JobConfig::sorted_grouping`. The concrete types
+//! live in `dmpi_common::group` so the baseline engines can speak the same
+//! language; they are re-exported here as the library's public surface.
+
+pub use dmpi_common::group::{
+    group_hashed, group_sorted, BatchCollector, Collector, GroupedValues,
+};

@@ -1,0 +1,125 @@
+//! Property-based tests of the DataMPI runtime: for arbitrary corpora and
+//! configurations, jobs must compute exactly the reference result, never
+//! lose records, and survive checkpoint/restart.
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+use proptest::prelude::*;
+
+use datampi::checkpoint::CheckpointStore;
+use datampi::config::FaultSpec;
+use datampi::{run_job, JobConfig};
+use dmpi_common::group::{Collector, GroupedValues};
+use dmpi_common::ser::Writable;
+
+fn wc_o(_t: usize, split: &[u8], out: &mut dyn Collector) {
+    for line in split.split(|&b| b == b'\n') {
+        for w in line.split(|&b| b == b' ').filter(|w| !w.is_empty()) {
+            out.collect(w, &1u64.to_bytes());
+        }
+    }
+}
+
+fn wc_a(g: &GroupedValues, out: &mut dyn Collector) {
+    let total: u64 = g.values.iter().map(|v| u64::from_bytes(v).unwrap()).sum();
+    out.collect(&g.key, &total.to_bytes());
+}
+
+fn reference_counts(inputs: &[Bytes]) -> BTreeMap<Vec<u8>, u64> {
+    let mut m = BTreeMap::new();
+    for split in inputs {
+        for line in split.split(|&b| b == b'\n') {
+            for w in line.split(|&b| b == b' ').filter(|w| !w.is_empty()) {
+                *m.entry(w.to_vec()).or_default() += 1;
+            }
+        }
+    }
+    m
+}
+
+fn engine_counts(out: datampi::JobOutput) -> BTreeMap<Vec<u8>, u64> {
+    out.into_single_batch()
+        .into_records()
+        .into_iter()
+        .map(|r| (r.key.to_vec(), u64::from_bytes(&r.value).unwrap()))
+        .collect()
+}
+
+fn corpus_strategy() -> impl Strategy<Value = Vec<Bytes>> {
+    proptest::collection::vec(
+        proptest::collection::vec("[a-e]{1,4}", 0..12)
+            .prop_map(|words| Bytes::from(words.join(" "))),
+        0..10,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn wordcount_matches_reference_model(
+        inputs in corpus_strategy(),
+        ranks in 1usize..6,
+        pipelined in any::<bool>(),
+        sorted in any::<bool>(),
+        flush in prop_oneof![Just(16usize), Just(256), Just(1 << 20)],
+    ) {
+        let config = JobConfig::new(ranks)
+            .with_pipelined(pipelined)
+            .with_sorted_grouping(sorted)
+            .with_flush_threshold(flush);
+        let expected = reference_counts(&inputs);
+        let out = run_job(&config, inputs, wc_o, wc_a, None).unwrap();
+        prop_assert_eq!(engine_counts(out), expected);
+    }
+
+    #[test]
+    fn no_records_are_lost_under_tiny_memory_budgets(
+        inputs in corpus_strategy(),
+        budget in 32usize..4096,
+    ) {
+        let config = JobConfig::new(2).with_memory_budget(budget);
+        let expected = reference_counts(&inputs);
+        let out = run_job(&config, inputs, wc_o, wc_a, None).unwrap();
+        prop_assert_eq!(engine_counts(out), expected);
+    }
+
+    #[test]
+    fn checkpoint_restart_equals_clean_run(
+        inputs in corpus_strategy().prop_filter("need tasks", |v| v.len() >= 2),
+        fail_at in any::<prop::sample::Index>(),
+    ) {
+        let fail_task = fail_at.index(inputs.len());
+        let cp = CheckpointStore::new();
+        let failing = JobConfig::new(1)
+            .with_checkpointing(true)
+            .with_fault(FaultSpec { task_index: fail_task, on_attempt: 0 });
+        let err = datampi::runtime::run_job_attempt(
+            &failing, inputs.clone(), wc_o, wc_a, Some(&cp), 0,
+        )
+        .unwrap_err();
+        prop_assert!(matches!(err, dmpi_common::Error::Fault(_)));
+
+        let retry = JobConfig::new(1).with_checkpointing(true);
+        let out = datampi::runtime::run_job_attempt(
+            &retry, inputs.clone(), wc_o, wc_a, Some(&cp), 1,
+        )
+        .unwrap();
+        // Tasks before the failure were recovered, not re-run.
+        prop_assert_eq!(out.stats.o_tasks_recovered as usize, fail_task);
+        let clean = run_job(&JobConfig::new(1), inputs, wc_o, wc_a, None).unwrap();
+        prop_assert_eq!(engine_counts(out), engine_counts(clean));
+    }
+
+    #[test]
+    fn stats_account_every_emitted_record(inputs in corpus_strategy()) {
+        let expected_total: u64 = reference_counts(&inputs).values().sum();
+        let out = run_job(&JobConfig::new(3), inputs, wc_o, wc_a, None).unwrap();
+        prop_assert_eq!(out.stats.records_emitted, expected_total);
+        prop_assert_eq!(out.stats.groups as usize, {
+            let b: std::collections::BTreeSet<Vec<u8>> = engine_counts(out).into_keys().collect();
+            b.len()
+        });
+    }
+}

@@ -1,0 +1,819 @@
+//! The simulation loop.
+//!
+//! [`Simulation`] owns the task graph, slot pools, resource capacities and
+//! the virtual clock. [`Simulation::run`] repeatedly:
+//!
+//! 1. starts every ready task that can obtain its slot (FIFO per pool),
+//! 2. computes max-min fair rates for all running activities
+//!    ([`crate::fairshare`]),
+//! 3. advances the clock to the earliest activity completion,
+//! 4. integrates resource usage into the metrics recorder,
+//! 5. retires finished activities/tasks, releasing slots and unblocking
+//!    dependents,
+//!
+//! until the graph drains (or reports a deadlock from cyclic dependencies).
+
+use std::collections::{HashMap, VecDeque};
+
+use dmpi_common::{Error, Result};
+
+use crate::fairshare::{max_min_rates, Flow};
+use crate::metrics::{IntervalRates, MetricsRecorder};
+use crate::report::{SimReport, TaskRecord};
+use crate::spec::{ClusterSpec, NodeId};
+use crate::task::{Activity, IoTag, Resource, SlotKind, TaskId, TaskSpec};
+
+const EPS: f64 = 1e-9;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum State {
+    /// Waiting on dependencies.
+    Pending,
+    /// Dependencies met, waiting for a slot.
+    Queued,
+    /// Executing activities.
+    Running,
+    /// All activities complete.
+    Done,
+}
+
+struct TaskState {
+    spec: TaskSpec,
+    state: State,
+    unmet_deps: usize,
+    dependents: Vec<TaskId>,
+    /// Index of the current activity.
+    activity_idx: usize,
+    /// Remaining fraction of the current `Work` activity (1.0 = untouched)
+    /// or remaining seconds of the current `Delay`.
+    remaining: f64,
+    start_time: Option<f64>,
+}
+
+/// A configured, runnable simulation.
+///
+/// # Examples
+/// ```
+/// use dmpi_dcsim::{Activity, ClusterSpec, NodeId, Simulation, TaskSpec};
+///
+/// let mut sim = Simulation::new(ClusterSpec::tiny()); // 100 MB/s disk
+/// sim.add_task(
+///     TaskSpec::builder("read", NodeId(0))
+///         .activity(Activity::disk_read(NodeId(0), 200.0 * (1 << 20) as f64))
+///         .build(),
+/// )
+/// .unwrap();
+/// let report = sim.run().unwrap();
+/// assert!((report.makespan - 2.0).abs() < 1e-6); // 200 MB / 100 MB/s
+/// ```
+pub struct Simulation {
+    spec: ClusterSpec,
+    capacities: Vec<f64>,
+    tasks: Vec<TaskState>,
+    /// FIFO queues of tasks waiting for a slot, per (node, kind).
+    slot_queues: HashMap<(NodeId, SlotKind), VecDeque<TaskId>>,
+    /// Free slot counts per (node, kind).
+    free_slots: HashMap<(NodeId, SlotKind), u32>,
+    /// Configured pool sizes (per node) per kind.
+    slot_sizes: HashMap<SlotKind, u32>,
+    /// Current memory accounting per node (bytes, may not exceed capacity —
+    /// engines enforce their own budgets; we only track).
+    node_mem: Vec<i64>,
+    clock: f64,
+    bucket_secs: f64,
+}
+
+impl Simulation {
+    /// Creates an empty simulation over `spec`.
+    pub fn new(spec: ClusterSpec) -> Self {
+        spec.validate().expect("invalid cluster spec");
+        let num_resources = spec.nodes as usize * 4;
+        let mut capacities = vec![0.0; num_resources];
+        for node in spec.node_ids() {
+            capacities[Resource::Cpu(node).dense_index()] = spec.cpu_capacity;
+            capacities[Resource::Disk(node).dense_index()] = spec.disk_bw;
+            capacities[Resource::NetOut(node).dense_index()] = spec.net_bw;
+            capacities[Resource::NetIn(node).dense_index()] = spec.net_bw;
+        }
+        let node_mem = vec![0i64; spec.nodes as usize];
+        Simulation {
+            spec,
+            capacities,
+            tasks: Vec::new(),
+            slot_queues: HashMap::new(),
+            free_slots: HashMap::new(),
+            slot_sizes: HashMap::new(),
+            node_mem,
+            clock: 0.0,
+            bucket_secs: 1.0,
+        }
+    }
+
+    /// Cluster spec in use.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// Sets the metrics bucket width (default 1 s).
+    pub fn set_bucket_secs(&mut self, secs: f64) {
+        assert!(secs > 0.0);
+        self.bucket_secs = secs;
+    }
+
+    /// Declares `per_node` slots of `kind` on every node. Tasks referencing
+    /// an undeclared kind fail at submission.
+    pub fn configure_slots(&mut self, kind: SlotKind, per_node: u32) {
+        self.slot_sizes.insert(kind, per_node);
+        for node in self.spec.node_ids() {
+            self.free_slots.insert((node, kind), per_node);
+            self.slot_queues.entry((node, kind)).or_default();
+        }
+    }
+
+    /// Submits a task, returning its id. Dependencies must already have
+    /// been submitted.
+    pub fn add_task(&mut self, spec: TaskSpec) -> Result<TaskId> {
+        let id = TaskId(self.tasks.len() as u32);
+        if spec.node.index() >= self.spec.nodes as usize {
+            return Err(Error::Config(format!(
+                "task {} placed on nonexistent {}",
+                spec.name, spec.node
+            )));
+        }
+        if let Some(kind) = spec.slot {
+            if !self.slot_sizes.contains_key(&kind) {
+                return Err(Error::Config(format!(
+                    "task {} uses unconfigured slot kind {:?}",
+                    spec.name, kind
+                )));
+            }
+        }
+        for dep in &spec.deps {
+            if dep.0 as usize >= self.tasks.len() {
+                return Err(Error::Config(format!(
+                    "task {} depends on not-yet-submitted task {:?}",
+                    spec.name, dep
+                )));
+            }
+            self.tasks[dep.0 as usize].dependents.push(id);
+        }
+        let unmet = spec
+            .deps
+            .iter()
+            .filter(|d| self.tasks[d.0 as usize].state != State::Done)
+            .count();
+        let mut spec = spec;
+        // Invariant relied on by `begin_execution`: every task has at least
+        // one schedulable (Delay/Work) activity, so completion always flows
+        // through the main loop. Purely-instantaneous tasks get a zero
+        // delay appended.
+        if !spec
+            .activities
+            .iter()
+            .any(|a| {
+                matches!(
+                    a,
+                    Activity::Delay(_) | Activity::Work(_) | Activity::WorkMulti { .. }
+                )
+            })
+        {
+            spec.activities.push(Activity::Delay(0.0));
+        }
+        self.tasks.push(TaskState {
+            unmet_deps: unmet,
+            dependents: Vec::new(),
+            state: State::Pending,
+            activity_idx: 0,
+            remaining: 0.0,
+            start_time: None,
+            spec,
+        });
+        Ok(id)
+    }
+
+    /// Number of submitted tasks.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Runs the simulation to completion.
+    pub fn run(mut self) -> Result<SimReport> {
+        let mut recorder = MetricsRecorder::new(&self.spec, self.bucket_secs);
+        let mut records: Vec<TaskRecord> = Vec::with_capacity(self.tasks.len());
+        let mut running: Vec<TaskId> = Vec::new();
+
+        // Kick off everything with no dependencies.
+        let initial: Vec<TaskId> = self
+            .tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.unmet_deps == 0)
+            .map(|(i, _)| TaskId(i as u32))
+            .collect();
+        for id in initial {
+            self.try_start(id, &mut running);
+        }
+
+        let total = self.tasks.len();
+        let mut done = 0usize;
+
+        while done < total {
+            if running.is_empty() {
+                let stuck: Vec<&str> = self
+                    .tasks
+                    .iter()
+                    .filter(|t| t.state != State::Done)
+                    .map(|t| t.spec.name.as_str())
+                    .take(5)
+                    .collect();
+                return Err(Error::InvalidState(format!(
+                    "simulation deadlock at t={:.3}: {} tasks cannot start (e.g. {:?})",
+                    self.clock,
+                    total - done,
+                    stuck
+                )));
+            }
+
+            // Build flows for all running tasks' current activities. A
+            // task is single-threaded: its CPU consumption rate is capped
+            // at one core even when the node is otherwise idle.
+            let mut flows: Vec<Flow> = Vec::with_capacity(running.len());
+            for &id in &running {
+                let t = &self.tasks[id.0 as usize];
+                let (demands, threads) = match &t.spec.activities[t.activity_idx] {
+                    Activity::Work(demands) => (Some(demands), 1.0),
+                    Activity::WorkMulti {
+                        demands,
+                        cpu_threads,
+                    } => (Some(demands), cpu_threads.max(1.0)),
+                    Activity::Delay(_) => (None, 1.0),
+                    Activity::MemChange { .. } => {
+                        unreachable!("MemChange is applied eagerly, never scheduled")
+                    }
+                };
+                match demands {
+                    Some(demands) => {
+                        let dense: Vec<(usize, f64)> = demands
+                            .iter()
+                            .map(|d| (d.resource.dense_index(), d.amount))
+                            .collect();
+                        let cpu = demands
+                            .iter()
+                            .filter(|d| matches!(d.resource, Resource::Cpu(_)))
+                            .map(|d| d.amount)
+                            .sum::<f64>();
+                        if cpu > 0.0 {
+                            flows.push(Flow::with_cap(dense, threads / cpu));
+                        } else {
+                            flows.push(Flow::new(dense));
+                        }
+                    }
+                    None => flows.push(Flow::new(Vec::new())),
+                }
+            }
+            let rates = max_min_rates(&flows, &self.capacities);
+
+            // Earliest completion among running tasks.
+            let mut dt = f64::INFINITY;
+            for (slot, &id) in running.iter().enumerate() {
+                let t = &self.tasks[id.0 as usize];
+                let ttc = match &t.spec.activities[t.activity_idx] {
+                    Activity::Delay(_) => t.remaining,
+                    Activity::Work(_) | Activity::WorkMulti { .. } => {
+                        if rates[slot].is_infinite() {
+                            0.0
+                        } else if rates[slot] <= EPS {
+                            return Err(Error::InvalidState(format!(
+                                "task {} starved (zero rate) at t={:.3}",
+                                t.spec.name, self.clock
+                            )));
+                        } else {
+                            t.remaining / rates[slot]
+                        }
+                    }
+                    Activity::MemChange { .. } => unreachable!(),
+                };
+                if ttc < dt {
+                    dt = ttc;
+                }
+            }
+            debug_assert!(dt.is_finite(), "no completion candidate");
+            let dt = dt.max(0.0);
+
+            // Integrate metrics over [clock, clock+dt).
+            if dt > 0.0 {
+                let rates_summary = self.interval_rates(&running, &flows, &rates);
+                recorder.add_interval(self.clock, self.clock + dt, &rates_summary);
+            }
+            self.clock += dt;
+
+            // Apply progress and collect completions.
+            let mut finished_activities: Vec<TaskId> = Vec::new();
+            for (slot, &id) in running.iter().enumerate() {
+                let t = &mut self.tasks[id.0 as usize];
+                match &t.spec.activities[t.activity_idx] {
+                    Activity::Delay(_) => {
+                        t.remaining -= dt;
+                        if t.remaining <= EPS {
+                            finished_activities.push(id);
+                        }
+                    }
+                    Activity::Work(_) | Activity::WorkMulti { .. } => {
+                        if rates[slot].is_infinite() {
+                            t.remaining = 0.0;
+                        } else {
+                            t.remaining -= rates[slot] * dt;
+                        }
+                        if t.remaining <= EPS {
+                            finished_activities.push(id);
+                        }
+                    }
+                    Activity::MemChange { .. } => unreachable!(),
+                }
+            }
+
+            for id in finished_activities {
+                if self.advance_task(id)? {
+                    // Task fully complete.
+                    running.retain(|&r| r != id);
+                    done += 1;
+                    let t = &self.tasks[id.0 as usize];
+                    records.push(TaskRecord {
+                        id,
+                        name: t.spec.name.clone(),
+                        phase: t.spec.phase.clone(),
+                        node: t.spec.node,
+                        start: t.start_time.unwrap_or(0.0),
+                        end: self.clock,
+                    });
+                    self.complete_task(id, &mut running);
+                }
+            }
+        }
+
+        Ok(SimReport {
+            makespan: self.clock,
+            tasks: records,
+            profile: recorder.finish(),
+        })
+    }
+
+    /// Starts a task if its slot is free, else queues it.
+    fn try_start(&mut self, id: TaskId, running: &mut Vec<TaskId>) {
+        let (node, slot) = {
+            let t = &self.tasks[id.0 as usize];
+            debug_assert_eq!(t.unmet_deps, 0);
+            (t.spec.node, t.spec.slot)
+        };
+        if let Some(kind) = slot {
+            let free = self
+                .free_slots
+                .get_mut(&(node, kind))
+                .expect("slot pool configured at submission");
+            if *free == 0 {
+                self.tasks[id.0 as usize].state = State::Queued;
+                self.slot_queues
+                    .get_mut(&(node, kind))
+                    .expect("queue exists")
+                    .push_back(id);
+                return;
+            }
+            *free -= 1;
+        }
+        self.begin_execution(id, running);
+    }
+
+    fn begin_execution(&mut self, id: TaskId, running: &mut Vec<TaskId>) {
+        {
+            let t = &mut self.tasks[id.0 as usize];
+            t.state = State::Running;
+            t.start_time = Some(self.clock);
+        }
+        running.push(id);
+        // Prime the first schedulable activity (applying leading
+        // MemChanges). `add_task` guarantees at least one Delay/Work
+        // activity exists, so the pointer always lands on one here.
+        let exhausted = self
+            .settle_activity_pointer(id)
+            .expect("settle cannot fail on start");
+        debug_assert!(!exhausted, "add_task guarantees a schedulable activity");
+    }
+
+    /// Applies instantaneous activities (MemChange) and positions
+    /// `activity_idx` at the next Delay/Work. Returns `true` if the task ran
+    /// out of activities.
+    fn settle_activity_pointer(&mut self, id: TaskId) -> Result<bool> {
+        loop {
+            let idx = self.tasks[id.0 as usize].activity_idx;
+            if idx >= self.tasks[id.0 as usize].spec.activities.len() {
+                return Ok(true);
+            }
+            let activity = self.tasks[id.0 as usize].spec.activities[idx].clone();
+            match activity {
+                Activity::MemChange { node, delta } => {
+                    self.node_mem[node.index()] += delta;
+                    self.tasks[id.0 as usize].activity_idx += 1;
+                }
+                Activity::Delay(secs) => {
+                    let t = &mut self.tasks[id.0 as usize];
+                    t.remaining = secs;
+                    return Ok(false);
+                }
+                Activity::Work(_) | Activity::WorkMulti { .. } => {
+                    let t = &mut self.tasks[id.0 as usize];
+                    t.remaining = 1.0;
+                    return Ok(false);
+                }
+            }
+        }
+    }
+
+    /// Advances past the just-finished activity. Returns `true` if the task
+    /// is now complete.
+    fn advance_task(&mut self, id: TaskId) -> Result<bool> {
+        self.tasks[id.0 as usize].activity_idx += 1;
+        self.settle_activity_pointer(id)
+    }
+
+    /// Releases resources of a completed task and unblocks dependents.
+    fn complete_task(&mut self, id: TaskId, running: &mut Vec<TaskId>) {
+        let (node, slot, dependents) = {
+            let t = &mut self.tasks[id.0 as usize];
+            t.state = State::Done;
+            (
+                t.spec.node,
+                t.spec.slot,
+                std::mem::take(&mut t.dependents),
+            )
+        };
+        // Hand the slot to the next queued task.
+        if let Some(kind) = slot {
+            let next = self
+                .slot_queues
+                .get_mut(&(node, kind))
+                .and_then(|q| q.pop_front());
+            match next {
+                Some(next_id) => {
+                    self.begin_execution(next_id, running);
+                }
+                None => {
+                    *self.free_slots.get_mut(&(node, kind)).expect("pool") += 1;
+                }
+            }
+        }
+        // Unblock dependents.
+        for dep_id in dependents {
+            let t = &mut self.tasks[dep_id.0 as usize];
+            t.unmet_deps -= 1;
+            if t.unmet_deps == 0 && t.state == State::Pending {
+                self.try_start(dep_id, running);
+            }
+        }
+    }
+
+    /// Summarizes instantaneous rates for the metrics recorder.
+    fn interval_rates(&self, running: &[TaskId], flows: &[Flow], rates: &[f64]) -> IntervalRates {
+        let mut out = IntervalRates {
+            mem_bytes: self.node_mem.iter().map(|&m| m.max(0) as f64).sum(),
+            ..Default::default()
+        };
+        let mut cpu_per_node = vec![0.0f64; self.spec.nodes as usize];
+        for ((flow, &rate), &id) in flows.iter().zip(rates).zip(running) {
+            if !rate.is_finite() {
+                continue;
+            }
+            let t = &self.tasks[id.0 as usize];
+            let activity = &t.spec.activities[t.activity_idx];
+            // The flow's demand list was built from the activity's demand
+            // list in order, so pair them positionally: an activity may
+            // carry both a read and a write on the same disk, and a
+            // same-index lookup would mis-tag the second one.
+            let activity_demands: &[crate::task::Demand] = match activity {
+                Activity::Work(demands) | Activity::WorkMulti { demands, .. } => demands,
+                _ => &[],
+            };
+            let mut task_cpu_rate = 0.0;
+            for (i, &(dense, amount)) in flow.demands.iter().enumerate() {
+                let consumption = rate * amount;
+                match Resource::from_dense_index(dense) {
+                    Resource::Cpu(n) => {
+                        out.cpu_cores += consumption;
+                        cpu_per_node[n.index()] += consumption;
+                        task_cpu_rate += consumption;
+                    }
+                    Resource::Disk(_) => {
+                        // Split by tag; untagged disk counts as read.
+                        let tag = activity_demands
+                            .get(i)
+                            .map(|d| d.tag)
+                            .unwrap_or(IoTag::None);
+                        match tag {
+                            IoTag::Write => out.disk_write_bps += consumption,
+                            _ => out.disk_read_bps += consumption,
+                        }
+                    }
+                    Resource::NetOut(_) => out.net_bps += consumption,
+                    Resource::NetIn(_) => {}
+                }
+            }
+            // Wait-I/O: a task in an I/O-demanding activity that is not
+            // using a full core is "blocked" for the remainder —
+            // approximated as (1 core − its CPU rate), the classic iowait
+            // picture.
+            if activity.has_io_demand() {
+                out.wait_io_cores += (1.0 - task_cpu_rate).max(0.0);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::Demand;
+    use dmpi_common::units::MB;
+
+    fn sim() -> Simulation {
+        Simulation::new(ClusterSpec::tiny()) // 2 nodes, 2 cores, 100MB/s disk+net
+    }
+
+    #[test]
+    fn single_compute_task_runtime() {
+        let mut s = sim();
+        // 4 core-seconds on an idle 2-core node: a single-threaded task
+        // still only uses one core -> 4 s.
+        s.add_task(
+            TaskSpec::builder("t", NodeId(0))
+                .activity(Activity::Work(vec![Demand::new(
+                    Resource::Cpu(NodeId(0)),
+                    4.0,
+                )]))
+                .build(),
+        )
+        .unwrap();
+        let r = s.run().unwrap();
+        assert!((r.makespan - 4.0).abs() < 1e-6, "makespan {}", r.makespan);
+    }
+
+    #[test]
+    fn two_compute_tasks_use_both_cores() {
+        let mut s = sim();
+        for i in 0..2 {
+            s.add_task(
+                TaskSpec::builder(format!("t{i}"), NodeId(0))
+                    .activity(Activity::compute(NodeId(0), 4.0))
+                    .build(),
+            )
+            .unwrap();
+        }
+        let r = s.run().unwrap();
+        // Two single-threaded tasks on 2 cores run fully in parallel.
+        assert!((r.makespan - 4.0).abs() < 1e-6, "makespan {}", r.makespan);
+    }
+
+    #[test]
+    fn disk_read_is_bandwidth_bound() {
+        let mut s = sim();
+        s.add_task(
+            TaskSpec::builder("rd", NodeId(0))
+                .activity(Activity::disk_read(NodeId(0), 200.0 * MB as f64))
+                .build(),
+        )
+        .unwrap();
+        let r = s.run().unwrap();
+        assert!((r.makespan - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_tasks_share_disk() {
+        let mut s = sim();
+        for i in 0..2 {
+            s.add_task(
+                TaskSpec::builder(format!("rd{i}"), NodeId(0))
+                    .activity(Activity::disk_read(NodeId(0), 100.0 * MB as f64))
+                    .build(),
+            )
+            .unwrap();
+        }
+        let r = s.run().unwrap();
+        // Each would take 1 s alone; sharing the 100 MB/s disk -> 2 s.
+        assert!((r.makespan - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pipelined_activity_costs_max_not_sum() {
+        let mut s = sim();
+        // Coupled: 100 MB disk (1 s alone) + 1 core-sec CPU (0.5 s alone).
+        s.add_task(
+            TaskSpec::builder("pipe", NodeId(0))
+                .activity(Activity::Work(vec![
+                    Demand::read(NodeId(0), 100.0 * MB as f64),
+                    Demand::new(Resource::Cpu(NodeId(0)), 1.0),
+                ]))
+                .build(),
+        )
+        .unwrap();
+        let r = s.run().unwrap();
+        assert!((r.makespan - 1.0).abs() < 1e-6, "bottleneck is the disk");
+
+        // Staged: same demands as two sequential activities cost the sum
+        // (1 s of disk, then 1 core-second on one core).
+        let mut s = sim();
+        s.add_task(
+            TaskSpec::builder("staged", NodeId(0))
+                .activity(Activity::disk_read(NodeId(0), 100.0 * MB as f64))
+                .activity(Activity::Work(vec![Demand::new(
+                    Resource::Cpu(NodeId(0)),
+                    1.0,
+                )]))
+                .build(),
+        )
+        .unwrap();
+        let r = s.run().unwrap();
+        assert!((r.makespan - 2.0).abs() < 1e-6, "staged = 1 + 1");
+    }
+
+    #[test]
+    fn network_transfer_uses_both_endpoints() {
+        let mut s = sim();
+        s.add_task(
+            TaskSpec::builder("xfer", NodeId(0))
+                .activity(Activity::net_transfer(NodeId(0), NodeId(1), 100.0 * MB as f64))
+                .build(),
+        )
+        .unwrap();
+        let r = s.run().unwrap();
+        assert!((r.makespan - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dependencies_serialize_execution() {
+        let mut s = sim();
+        let a = s
+            .add_task(
+                TaskSpec::builder("a", NodeId(0))
+                    .activity(Activity::compute(NodeId(0), 2.0))
+                    .build(),
+            )
+            .unwrap();
+        s.add_task(
+            TaskSpec::builder("b", NodeId(1))
+                .dep(a)
+                .activity(Activity::compute(NodeId(1), 2.0))
+                .build(),
+        )
+        .unwrap();
+        let r = s.run().unwrap();
+        assert!((r.makespan - 4.0).abs() < 1e-6);
+        assert_eq!(r.tasks[0].name, "a");
+        assert!((r.tasks[1].start - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn slots_limit_concurrency() {
+        let mut s = sim();
+        let kind = SlotKind(0);
+        s.configure_slots(kind, 1);
+        for i in 0..3 {
+            s.add_task(
+                TaskSpec::builder(format!("t{i}"), NodeId(0))
+                    .slot(kind)
+                    .activity(Activity::compute(NodeId(0), 2.0)) // 2 s alone
+                    .build(),
+            )
+            .unwrap();
+        }
+        let r = s.run().unwrap();
+        // One at a time despite 2 cores: 6 s total.
+        assert!((r.makespan - 6.0).abs() < 1e-6, "makespan {}", r.makespan);
+    }
+
+    #[test]
+    fn delay_is_wall_clock() {
+        let mut s = sim();
+        s.add_task(TaskSpec::builder("d", NodeId(0)).delay(2.5).build())
+            .unwrap();
+        let r = s.run().unwrap();
+        assert!((r.makespan - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mem_accounting_shows_in_profile() {
+        let mut s = sim();
+        s.add_task(
+            TaskSpec::builder("m", NodeId(0))
+                .activity(Activity::MemChange {
+                    node: NodeId(0),
+                    delta: 2 * (MB as i64) * 1024, // 2 GB
+                })
+                .delay(2.0)
+                .build(),
+        )
+        .unwrap();
+        let r = s.run().unwrap();
+        // 2 GB held on node0 for 2 s -> per-node average 1 GB over 2 nodes.
+        assert!((r.profile.mem_gb[0] - 1.0).abs() < 1e-6);
+        assert!((r.profile.mem_gb[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cyclic_or_impossible_deps_deadlock_cleanly() {
+        let mut s = sim();
+        // Task depending on a never-submitted id is rejected at add time.
+        let bad = TaskSpec::builder("x", NodeId(0))
+            .dep(TaskId(5))
+            .activity(Activity::compute(NodeId(0), 1.0))
+            .build();
+        assert!(s.add_task(bad).is_err());
+    }
+
+    #[test]
+    fn unconfigured_slot_is_rejected() {
+        let mut s = sim();
+        let t = TaskSpec::builder("t", NodeId(0))
+            .slot(SlotKind(9))
+            .activity(Activity::compute(NodeId(0), 1.0))
+            .build();
+        assert!(s.add_task(t).is_err());
+    }
+
+    #[test]
+    fn task_on_missing_node_is_rejected() {
+        let mut s = sim();
+        let t = TaskSpec::builder("t", NodeId(9))
+            .activity(Activity::compute(NodeId(9), 1.0))
+            .build();
+        assert!(s.add_task(t).is_err());
+    }
+
+    #[test]
+    fn empty_work_completes_instantly() {
+        let mut s = sim();
+        s.add_task(
+            TaskSpec::builder("loopback", NodeId(0))
+                .activity(Activity::net_transfer(NodeId(0), NodeId(0), 1e9))
+                .build(),
+        )
+        .unwrap();
+        let r = s.run().unwrap();
+        assert!(r.makespan.abs() < 1e-9);
+    }
+
+    #[test]
+    fn profile_reports_disk_throughput() {
+        let mut s = sim();
+        s.add_task(
+            TaskSpec::builder("rd", NodeId(0))
+                .activity(Activity::disk_read(NodeId(0), 200.0 * MB as f64))
+                .activity(Activity::disk_write(NodeId(0), 100.0 * MB as f64))
+                .build(),
+        )
+        .unwrap();
+        let r = s.run().unwrap();
+        // 2 s reading at 100 MB/s then 1 s writing at 100 MB/s; per-node
+        // average over 2 nodes = 50 MB/s.
+        assert_eq!(r.profile.len(), 3);
+        assert!((r.profile.disk_read_mb_s[0] - 50.0).abs() < 1e-6);
+        assert!((r.profile.disk_read_mb_s[1] - 50.0).abs() < 1e-6);
+        assert!((r.profile.disk_write_mb_s[2] - 50.0).abs() < 1e-6);
+        assert!(r.profile.disk_write_mb_s[0].abs() < 1e-6);
+    }
+
+    #[test]
+    fn waitio_counts_blocked_io_tasks() {
+        let mut s = sim();
+        // Pure disk task: no CPU use, so ~1 blocked core on a 2-core node
+        // -> wait-io 25% per-node average over 2 nodes (50% on node0 / 2).
+        s.add_task(
+            TaskSpec::builder("rd", NodeId(0))
+                .activity(Activity::disk_read(NodeId(0), 100.0 * MB as f64))
+                .build(),
+        )
+        .unwrap();
+        let r = s.run().unwrap();
+        assert!((r.profile.wait_io_pct[0] - 25.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fifo_slot_handoff_order() {
+        let mut s = sim();
+        let kind = SlotKind(1);
+        s.configure_slots(kind, 1);
+        let mut ids = Vec::new();
+        for i in 0..3 {
+            ids.push(
+                s.add_task(
+                    TaskSpec::builder(format!("q{i}"), NodeId(1))
+                        .slot(kind)
+                        .activity(Activity::compute(NodeId(1), 0.5))
+                        .build(),
+                )
+                .unwrap(),
+            );
+        }
+        let r = s.run().unwrap();
+        let order: Vec<&str> = r.tasks.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(order, ["q0", "q1", "q2"]);
+    }
+}

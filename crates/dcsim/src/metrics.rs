@@ -1,0 +1,236 @@
+//! Per-second resource time series, reproducing the measurements the paper
+//! records with `dstat`-style profiling (Figure 4): CPU total-used %, CPU
+//! wait-I/O %, disk read/write throughput, network throughput, and memory
+//! footprint.
+//!
+//! The simulation engine reports exact piecewise-constant rates between
+//! events; the recorder integrates them into fixed-width buckets (1 s by
+//! default) so the output matches the paper's sampling.
+
+use crate::spec::ClusterSpec;
+use dmpi_common::units::{GB, MB};
+
+/// Instantaneous cluster rates over one inter-event interval, averaged per
+/// node (the paper's plots are per-node averages on a homogeneous cluster).
+#[derive(Clone, Debug, Default)]
+pub struct IntervalRates {
+    /// Core-seconds/second of CPU in use, summed over nodes.
+    pub cpu_cores: f64,
+    /// Core-equivalents blocked waiting on I/O, summed over nodes.
+    pub wait_io_cores: f64,
+    /// Disk read bytes/second, summed over nodes.
+    pub disk_read_bps: f64,
+    /// Disk write bytes/second, summed over nodes.
+    pub disk_write_bps: f64,
+    /// Network transmit bytes/second, summed over nodes.
+    pub net_bps: f64,
+    /// Memory in use, summed over nodes (bytes, piecewise constant).
+    pub mem_bytes: f64,
+}
+
+#[derive(Clone, Debug, Default)]
+struct Bucket {
+    /// Integrated quantities (rate × seconds) per bucket.
+    cpu: f64,
+    wait_io: f64,
+    disk_read: f64,
+    disk_write: f64,
+    net: f64,
+    mem: f64,
+    /// Seconds of simulated time covered in this bucket.
+    covered: f64,
+}
+
+/// Integrates interval rates into fixed-width buckets.
+#[derive(Debug)]
+pub struct MetricsRecorder {
+    bucket_secs: f64,
+    nodes: f64,
+    cpu_capacity: f64,
+    buckets: Vec<Bucket>,
+}
+
+impl MetricsRecorder {
+    /// Creates a recorder for `spec` with `bucket_secs`-wide bins.
+    pub fn new(spec: &ClusterSpec, bucket_secs: f64) -> Self {
+        assert!(bucket_secs > 0.0, "bucket width must be positive");
+        MetricsRecorder {
+            bucket_secs,
+            nodes: spec.nodes as f64,
+            cpu_capacity: spec.cpu_capacity,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Records that `rates` held over `[t0, t1)`; the interval is split
+    /// across bucket boundaries proportionally.
+    pub fn add_interval(&mut self, t0: f64, t1: f64, rates: &IntervalRates) {
+        if t1 <= t0 {
+            return;
+        }
+        let mut start = t0;
+        while start < t1 {
+            let bucket_idx = (start / self.bucket_secs).floor() as usize;
+            let bucket_end = (bucket_idx as f64 + 1.0) * self.bucket_secs;
+            let end = t1.min(bucket_end);
+            let dt = end - start;
+            if self.buckets.len() <= bucket_idx {
+                self.buckets.resize(bucket_idx + 1, Bucket::default());
+            }
+            let b = &mut self.buckets[bucket_idx];
+            b.cpu += rates.cpu_cores * dt;
+            b.wait_io += rates.wait_io_cores * dt;
+            b.disk_read += rates.disk_read_bps * dt;
+            b.disk_write += rates.disk_write_bps * dt;
+            b.net += rates.net_bps * dt;
+            b.mem += rates.mem_bytes * dt;
+            b.covered += dt;
+            start = end;
+        }
+    }
+
+    /// Finalizes into a [`ResourceProfile`].
+    pub fn finish(self) -> ResourceProfile {
+        let per_node = 1.0 / self.nodes;
+        let mut p = ResourceProfile {
+            bucket_secs: self.bucket_secs,
+            cpu_util_pct: Vec::with_capacity(self.buckets.len()),
+            wait_io_pct: Vec::with_capacity(self.buckets.len()),
+            disk_read_mb_s: Vec::with_capacity(self.buckets.len()),
+            disk_write_mb_s: Vec::with_capacity(self.buckets.len()),
+            net_mb_s: Vec::with_capacity(self.buckets.len()),
+            mem_gb: Vec::with_capacity(self.buckets.len()),
+        };
+        for b in &self.buckets {
+            // Normalize by the full bucket width: an interval covering only
+            // half the final bucket contributes half-a-bucket of work, which
+            // is what a dstat sample at that second would show.
+            let w = self.bucket_secs;
+            p.cpu_util_pct
+                .push(b.cpu / w * per_node / self.cpu_capacity * 100.0);
+            p.wait_io_pct
+                .push(b.wait_io / w * per_node / self.cpu_capacity * 100.0);
+            p.disk_read_mb_s
+                .push(b.disk_read / w * per_node / MB as f64);
+            p.disk_write_mb_s
+                .push(b.disk_write / w * per_node / MB as f64);
+            p.net_mb_s.push(b.net / w * per_node / MB as f64);
+            // Memory is averaged over covered time, not bucket width: it is
+            // a level, not a flow.
+            let covered = if b.covered > 0.0 { b.covered } else { w };
+            p.mem_gb.push(b.mem / covered * per_node / GB as f64);
+        }
+        p
+    }
+}
+
+/// Finished per-second time series, per-node averages.
+#[derive(Clone, Debug, Default)]
+pub struct ResourceProfile {
+    /// Width of each sample bucket in seconds.
+    pub bucket_secs: f64,
+    /// CPU total-used percent (0-100 of a node's full capacity).
+    pub cpu_util_pct: Vec<f64>,
+    /// CPU wait-I/O percent.
+    pub wait_io_pct: Vec<f64>,
+    /// Disk read MB/s per node.
+    pub disk_read_mb_s: Vec<f64>,
+    /// Disk write MB/s per node.
+    pub disk_write_mb_s: Vec<f64>,
+    /// Network transmit MB/s per node.
+    pub net_mb_s: Vec<f64>,
+    /// Memory footprint GB per node.
+    pub mem_gb: Vec<f64>,
+}
+
+impl ResourceProfile {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.cpu_util_pct.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.cpu_util_pct.is_empty()
+    }
+
+    /// Mean of a series over `[0, until_sample)` (the paper reports e.g.
+    /// "average CPU utilization during 0-117 seconds").
+    pub fn mean(series: &[f64], until_sample: usize) -> f64 {
+        let n = until_sample.min(series.len());
+        if n == 0 {
+            return 0.0;
+        }
+        series[..n].iter().sum::<f64>() / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rates(cpu: f64, disk_r: f64, mem: f64) -> IntervalRates {
+        IntervalRates {
+            cpu_cores: cpu,
+            wait_io_cores: 0.0,
+            disk_read_bps: disk_r,
+            disk_write_bps: 0.0,
+            net_bps: 0.0,
+            mem_bytes: mem,
+        }
+    }
+
+    #[test]
+    fn single_interval_single_bucket() {
+        let spec = ClusterSpec::tiny(); // 2 nodes, 2.0 cores each
+        let mut rec = MetricsRecorder::new(&spec, 1.0);
+        // 2 cores in use cluster-wide for a full second = 1 core/node = 50%.
+        rec.add_interval(0.0, 1.0, &rates(2.0, 0.0, 0.0));
+        let p = rec.finish();
+        assert_eq!(p.len(), 1);
+        assert!((p.cpu_util_pct[0] - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interval_splits_across_buckets() {
+        let spec = ClusterSpec::tiny();
+        let mut rec = MetricsRecorder::new(&spec, 1.0);
+        // 4 MB/s cluster-wide from t=0.5 to t=2.5.
+        rec.add_interval(0.5, 2.5, &rates(0.0, 4.0 * MB as f64, 0.0));
+        let p = rec.finish();
+        assert_eq!(p.len(), 3);
+        // bucket 0 gets half a second: 4MB/s * 0.5s / 1s / 2 nodes = 1 MB/s
+        assert!((p.disk_read_mb_s[0] - 1.0).abs() < 1e-9);
+        assert!((p.disk_read_mb_s[1] - 2.0).abs() < 1e-9);
+        assert!((p.disk_read_mb_s[2] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_is_level_not_flow() {
+        let spec = ClusterSpec::tiny();
+        let mut rec = MetricsRecorder::new(&spec, 1.0);
+        // 4 GB held cluster-wide but only over the first half of bucket 0:
+        // the bucket's average level over covered time is still 4 GB.
+        rec.add_interval(0.0, 0.5, &rates(0.0, 0.0, 4.0 * GB as f64));
+        let p = rec.finish();
+        assert!((p.mem_gb[0] - 2.0).abs() < 1e-9, "2 GB per node");
+    }
+
+    #[test]
+    fn empty_and_reversed_intervals_ignored() {
+        let spec = ClusterSpec::tiny();
+        let mut rec = MetricsRecorder::new(&spec, 1.0);
+        rec.add_interval(1.0, 1.0, &rates(1.0, 0.0, 0.0));
+        rec.add_interval(2.0, 1.0, &rates(1.0, 0.0, 0.0));
+        assert!(rec.finish().is_empty());
+    }
+
+    #[test]
+    fn mean_helper_matches_paper_usage() {
+        let series = vec![10.0, 20.0, 30.0, 40.0];
+        assert!((ResourceProfile::mean(&series, 2) - 15.0).abs() < 1e-9);
+        assert!((ResourceProfile::mean(&series, 100) - 25.0).abs() < 1e-9);
+        assert_eq!(ResourceProfile::mean(&series, 0), 0.0);
+        assert_eq!(ResourceProfile::mean(&[], 5), 0.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Simulation results: per-task timelines and the resource profile.
+
+use crate::metrics::ResourceProfile;
+use crate::spec::NodeId;
+use crate::task::TaskId;
+
+/// Start/end record for one completed task.
+#[derive(Clone, Debug)]
+pub struct TaskRecord {
+    /// The task's id.
+    pub id: TaskId,
+    /// Task name as submitted.
+    pub name: String,
+    /// Phase label as submitted.
+    pub phase: String,
+    /// Node the task ran on.
+    pub node: NodeId,
+    /// Simulated time the task started executing (after slot wait).
+    pub start: f64,
+    /// Simulated completion time.
+    pub end: f64,
+}
+
+impl TaskRecord {
+    /// Task duration in simulated seconds.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// The result of running a simulation to completion.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Total simulated time until the last task completed.
+    pub makespan: f64,
+    /// One record per completed task, in completion order.
+    pub tasks: Vec<TaskRecord>,
+    /// Per-second resource time series.
+    pub profile: ResourceProfile,
+}
+
+impl SimReport {
+    /// Earliest start and latest end among tasks whose phase equals
+    /// `phase`, or `None` if no task carries that label. The paper reports
+    /// phase spans like "the O phase of DataMPI costs 28 seconds".
+    pub fn phase_span(&self, phase: &str) -> Option<(f64, f64)> {
+        let mut span: Option<(f64, f64)> = None;
+        for t in self.tasks.iter().filter(|t| t.phase == phase) {
+            span = Some(match span {
+                None => (t.start, t.end),
+                Some((s, e)) => (s.min(t.start), e.max(t.end)),
+            });
+        }
+        span
+    }
+
+    /// Duration of a phase, or 0 if absent.
+    pub fn phase_duration(&self, phase: &str) -> f64 {
+        self.phase_span(phase).map_or(0.0, |(s, e)| e - s)
+    }
+
+    /// All distinct phase labels in first-start order.
+    pub fn phases(&self) -> Vec<String> {
+        let mut by_start: Vec<(&str, f64)> = Vec::new();
+        for t in &self.tasks {
+            match by_start.iter_mut().find(|(p, _)| *p == t.phase) {
+                Some((_, s)) => *s = s.min(t.start),
+                None => by_start.push((&t.phase, t.start)),
+            }
+        }
+        by_start.sort_by(|a, b| a.1.total_cmp(&b.1));
+        by_start.into_iter().map(|(p, _)| p.to_string()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimReport {
+        SimReport {
+            makespan: 10.0,
+            tasks: vec![
+                TaskRecord {
+                    id: TaskId(0),
+                    name: "o-0".into(),
+                    phase: "O".into(),
+                    node: NodeId(0),
+                    start: 0.0,
+                    end: 4.0,
+                },
+                TaskRecord {
+                    id: TaskId(1),
+                    name: "o-1".into(),
+                    phase: "O".into(),
+                    node: NodeId(1),
+                    start: 1.0,
+                    end: 5.0,
+                },
+                TaskRecord {
+                    id: TaskId(2),
+                    name: "a-0".into(),
+                    phase: "A".into(),
+                    node: NodeId(0),
+                    start: 4.0,
+                    end: 10.0,
+                },
+            ],
+            profile: ResourceProfile::default(),
+        }
+    }
+
+    #[test]
+    fn phase_span_and_duration() {
+        let r = report();
+        assert_eq!(r.phase_span("O"), Some((0.0, 5.0)));
+        assert_eq!(r.phase_duration("O"), 5.0);
+        assert_eq!(r.phase_duration("A"), 6.0);
+        assert_eq!(r.phase_span("missing"), None);
+        assert_eq!(r.phase_duration("missing"), 0.0);
+    }
+
+    #[test]
+    fn phases_in_start_order() {
+        assert_eq!(report().phases(), vec!["O".to_string(), "A".to_string()]);
+    }
+
+    #[test]
+    fn task_duration() {
+        assert_eq!(report().tasks[0].duration(), 4.0);
+    }
+}

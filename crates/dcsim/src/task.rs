@@ -1,0 +1,394 @@
+//! Task and activity model.
+//!
+//! Engines compile a job into [`TaskSpec`]s. A task runs on one node, may
+//! depend on other tasks, may occupy a scheduling *slot* (how engines model
+//! "4 concurrent tasks per node"), and executes a sequence of
+//! [`Activity`]s. Each activity bundles the resource demands that progress
+//! **together**:
+//!
+//! * a staged engine (Hadoop) issues separate `read`, `compute`, `write`
+//!   activities — their durations add up;
+//! * a pipelined engine (DataMPI) issues one activity demanding disk + CPU +
+//!   network simultaneously — its duration is governed by the bottleneck
+//!   resource only.
+
+use crate::spec::NodeId;
+
+/// Identifies a submitted task within one simulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub u32);
+
+/// A scheduling-slot class (e.g. "map slot", "reduce slot", "worker").
+/// Engines choose the numbering; pool sizes are configured per kind on the
+/// simulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SlotKind(pub u8);
+
+/// A fluid resource on a node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Resource {
+    /// CPU pool of a node; demands are in core-seconds.
+    Cpu(NodeId),
+    /// Disk of a node (shared by reads and writes); demands are in bytes.
+    Disk(NodeId),
+    /// NIC transmit direction; demands are in bytes.
+    NetOut(NodeId),
+    /// NIC receive direction; demands are in bytes.
+    NetIn(NodeId),
+}
+
+impl Resource {
+    /// Dense index used by the fair-share solver: 4 resources per node.
+    pub fn dense_index(self) -> usize {
+        match self {
+            Resource::Cpu(n) => n.index() * 4,
+            Resource::Disk(n) => n.index() * 4 + 1,
+            Resource::NetOut(n) => n.index() * 4 + 2,
+            Resource::NetIn(n) => n.index() * 4 + 3,
+        }
+    }
+
+    /// Inverse of [`Resource::dense_index`].
+    pub fn from_dense_index(idx: usize) -> Resource {
+        let node = NodeId((idx / 4) as u16);
+        match idx % 4 {
+            0 => Resource::Cpu(node),
+            1 => Resource::Disk(node),
+            2 => Resource::NetOut(node),
+            3 => Resource::NetIn(node),
+            _ => unreachable!(),
+        }
+    }
+
+    /// The node this resource belongs to.
+    pub fn node(self) -> NodeId {
+        match self {
+            Resource::Cpu(n) | Resource::Disk(n) | Resource::NetOut(n) | Resource::NetIn(n) => n,
+        }
+    }
+}
+
+/// Direction tag for disk demands, used only by the metrics layer: reads
+/// and writes share the spindle's capacity but the paper's Figure 4 plots
+/// them as separate series.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum IoTag {
+    /// Untagged (CPU, network).
+    #[default]
+    None,
+    /// Disk read.
+    Read,
+    /// Disk write.
+    Write,
+}
+
+/// One resource demand of an activity: `amount` units of `resource` must be
+/// consumed for the activity to complete.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Demand {
+    /// Which resource.
+    pub resource: Resource,
+    /// Total units (core-seconds for CPU, bytes for disk/network).
+    pub amount: f64,
+    /// Read/write tag for disk demands (metrics only).
+    pub tag: IoTag,
+}
+
+impl Demand {
+    /// Convenience constructor (untagged).
+    pub fn new(resource: Resource, amount: f64) -> Self {
+        Demand {
+            resource,
+            amount,
+            tag: IoTag::None,
+        }
+    }
+
+    /// A tagged disk-read demand.
+    pub fn read(node: NodeId, bytes: f64) -> Self {
+        Demand {
+            resource: Resource::Disk(node),
+            amount: bytes,
+            tag: IoTag::Read,
+        }
+    }
+
+    /// A tagged disk-write demand.
+    pub fn write(node: NodeId, bytes: f64) -> Self {
+        Demand {
+            resource: Resource::Disk(node),
+            amount: bytes,
+            tag: IoTag::Write,
+        }
+    }
+}
+
+/// One step in a task's execution.
+#[derive(Clone, Debug)]
+pub enum Activity {
+    /// Fixed wall-clock delay consuming no resources (process launch, JVM
+    /// startup, RPC heartbeat latencies).
+    Delay(f64),
+    /// Coupled consumption of one or more resources; all demands progress
+    /// proportionally and the activity completes when all are exhausted.
+    /// The task's CPU consumption is capped at one core.
+    Work(Vec<Demand>),
+    /// Like [`Activity::Work`] but the task may burn up to `cpu_threads`
+    /// cores concurrently. Engines use this to model JVM overhead (GC and
+    /// service threads) that consumes CPU alongside the productive thread
+    /// without advancing the task any faster: scale the CPU demand by the
+    /// overhead factor and set `cpu_threads` to the same factor — the
+    /// duration is unchanged on an idle node, but the utilization
+    /// telemetry shows the extra burn, and overcommitted slots now contend
+    /// realistically.
+    WorkMulti {
+        /// The demands.
+        demands: Vec<Demand>,
+        /// Maximum concurrent cores this activity may consume.
+        cpu_threads: f64,
+    },
+    /// Instantaneous memory-accounting change on a node (positive =
+    /// allocate, negative = release). Balances may intentionally span
+    /// tasks (an O task allocates intermediate-store memory that the
+    /// consuming A task later releases); the engine pairs them.
+    MemChange { node: NodeId, delta: i64 },
+}
+
+impl Activity {
+    /// Builds a single-demand compute activity.
+    pub fn compute(node: NodeId, core_seconds: f64) -> Activity {
+        Activity::Work(vec![Demand::new(Resource::Cpu(node), core_seconds)])
+    }
+
+    /// Builds a disk-read activity (bytes from `node`'s disk).
+    pub fn disk_read(node: NodeId, bytes: f64) -> Activity {
+        Activity::Work(vec![Demand::read(node, bytes)])
+    }
+
+    /// Builds a disk-write activity.
+    pub fn disk_write(node: NodeId, bytes: f64) -> Activity {
+        Activity::Work(vec![Demand::write(node, bytes)])
+    }
+
+    /// Builds a network transfer `from -> to`. Demands both the sender's
+    /// transmit direction and the receiver's receive direction; a loopback
+    /// transfer (same node) is free, mirroring kernel loopback vs the
+    /// switch.
+    pub fn net_transfer(from: NodeId, to: NodeId, bytes: f64) -> Activity {
+        if from == to {
+            Activity::Work(vec![])
+        } else {
+            Activity::Work(vec![
+                Demand::new(Resource::NetOut(from), bytes),
+                Demand::new(Resource::NetIn(to), bytes),
+            ])
+        }
+    }
+
+    /// True if the activity has any disk or network demand (used for the
+    /// wait-I/O metric).
+    pub fn has_io_demand(&self) -> bool {
+        match self {
+            Activity::Work(demands) | Activity::WorkMulti { demands, .. } => demands
+                .iter()
+                .any(|d| !matches!(d.resource, Resource::Cpu(_))),
+            _ => false,
+        }
+    }
+
+    /// The CPU demand of this activity on the given node, if any.
+    pub fn cpu_demand(&self) -> f64 {
+        match self {
+            Activity::Work(demands) | Activity::WorkMulti { demands, .. } => demands
+                .iter()
+                .filter(|d| matches!(d.resource, Resource::Cpu(_)))
+                .map(|d| d.amount)
+                .sum(),
+            _ => 0.0,
+        }
+    }
+
+    /// Wraps demands with a CPU-overhead factor: CPU demands are scaled by
+    /// `overhead` and the activity may use that many cores, leaving its
+    /// duration unchanged on an idle node (see [`Activity::WorkMulti`]).
+    /// `overhead <= 1` degenerates to a plain [`Activity::Work`].
+    pub fn work_with_overhead(mut demands: Vec<Demand>, overhead: f64) -> Activity {
+        if overhead <= 1.0 {
+            return Activity::Work(demands);
+        }
+        for d in demands.iter_mut() {
+            if matches!(d.resource, Resource::Cpu(_)) {
+                d.amount *= overhead;
+            }
+        }
+        Activity::WorkMulti {
+            demands,
+            cpu_threads: overhead,
+        }
+    }
+}
+
+/// A complete task description submitted to the simulator.
+#[derive(Clone, Debug)]
+pub struct TaskSpec {
+    /// Human-readable name, surfaced in traces (`"map-3"`, `"o-task-12"`).
+    pub name: String,
+    /// The node the task runs on.
+    pub node: NodeId,
+    /// Phase label for reporting (`"map"`, `"O"`, `"stage0"`).
+    pub phase: String,
+    /// Tasks that must complete before this one becomes ready.
+    pub deps: Vec<TaskId>,
+    /// Scheduling slot the task occupies while running, if any.
+    pub slot: Option<SlotKind>,
+    /// The sequential activities.
+    pub activities: Vec<Activity>,
+}
+
+impl TaskSpec {
+    /// Starts a builder for a task on `node`.
+    pub fn builder(name: impl Into<String>, node: NodeId) -> TaskSpecBuilder {
+        TaskSpecBuilder {
+            spec: TaskSpec {
+                name: name.into(),
+                node,
+                phase: String::new(),
+                deps: Vec::new(),
+                slot: None,
+                activities: Vec::new(),
+            },
+        }
+    }
+}
+
+/// Fluent builder for [`TaskSpec`].
+pub struct TaskSpecBuilder {
+    spec: TaskSpec,
+}
+
+impl TaskSpecBuilder {
+    /// Sets the phase label.
+    pub fn phase(mut self, phase: impl Into<String>) -> Self {
+        self.spec.phase = phase.into();
+        self
+    }
+
+    /// Adds a dependency.
+    pub fn dep(mut self, id: TaskId) -> Self {
+        self.spec.deps.push(id);
+        self
+    }
+
+    /// Adds many dependencies.
+    pub fn deps(mut self, ids: impl IntoIterator<Item = TaskId>) -> Self {
+        self.spec.deps.extend(ids);
+        self
+    }
+
+    /// Occupies a slot of `kind` while running.
+    pub fn slot(mut self, kind: SlotKind) -> Self {
+        self.spec.slot = Some(kind);
+        self
+    }
+
+    /// Appends an activity.
+    pub fn activity(mut self, a: Activity) -> Self {
+        self.spec.activities.push(a);
+        self
+    }
+
+    /// Appends a fixed delay.
+    pub fn delay(self, seconds: f64) -> Self {
+        self.activity(Activity::Delay(seconds))
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> TaskSpec {
+        self.spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_index_round_trips() {
+        for node in 0..8u16 {
+            for r in [
+                Resource::Cpu(NodeId(node)),
+                Resource::Disk(NodeId(node)),
+                Resource::NetOut(NodeId(node)),
+                Resource::NetIn(NodeId(node)),
+            ] {
+                assert_eq!(Resource::from_dense_index(r.dense_index()), r);
+                assert_eq!(r.node(), NodeId(node));
+            }
+        }
+    }
+
+    #[test]
+    fn dense_indices_are_unique_and_compact() {
+        let mut seen = std::collections::HashSet::new();
+        for node in 0..4u16 {
+            for r in [
+                Resource::Cpu(NodeId(node)),
+                Resource::Disk(NodeId(node)),
+                Resource::NetOut(NodeId(node)),
+                Resource::NetIn(NodeId(node)),
+            ] {
+                assert!(seen.insert(r.dense_index()));
+                assert!(r.dense_index() < 16);
+            }
+        }
+        assert_eq!(seen.len(), 16);
+    }
+
+    #[test]
+    fn net_transfer_loopback_is_free() {
+        let a = Activity::net_transfer(NodeId(0), NodeId(0), 1000.0);
+        match a {
+            Activity::Work(d) => assert!(d.is_empty()),
+            _ => panic!("expected Work"),
+        }
+        let b = Activity::net_transfer(NodeId(0), NodeId(1), 1000.0);
+        match b {
+            Activity::Work(d) => {
+                assert_eq!(d.len(), 2);
+                assert_eq!(d[0].resource, Resource::NetOut(NodeId(0)));
+                assert_eq!(d[1].resource, Resource::NetIn(NodeId(1)));
+            }
+            _ => panic!("expected Work"),
+        }
+    }
+
+    #[test]
+    fn io_and_cpu_demand_inspection() {
+        let pipelined = Activity::Work(vec![
+            Demand::new(Resource::Disk(NodeId(0)), 100.0),
+            Demand::new(Resource::Cpu(NodeId(0)), 2.0),
+        ]);
+        assert!(pipelined.has_io_demand());
+        assert_eq!(pipelined.cpu_demand(), 2.0);
+        assert!(!Activity::compute(NodeId(0), 1.0).has_io_demand());
+        assert!(!Activity::Delay(1.0).has_io_demand());
+        assert_eq!(Activity::Delay(1.0).cpu_demand(), 0.0);
+    }
+
+    #[test]
+    fn builder_assembles_spec() {
+        let spec = TaskSpec::builder("map-0", NodeId(1))
+            .phase("map")
+            .dep(TaskId(0))
+            .slot(SlotKind(1))
+            .delay(0.5)
+            .activity(Activity::compute(NodeId(1), 2.0))
+            .build();
+        assert_eq!(spec.name, "map-0");
+        assert_eq!(spec.node, NodeId(1));
+        assert_eq!(spec.phase, "map");
+        assert_eq!(spec.deps, vec![TaskId(0)]);
+        assert_eq!(spec.slot, Some(SlotKind(1)));
+        assert_eq!(spec.activities.len(), 2);
+    }
+}

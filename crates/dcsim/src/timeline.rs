@@ -1,0 +1,153 @@
+//! Timeline rendering: phase-level Gantt charts and per-node occupancy
+//! views over a finished simulation — the textual counterpart of the
+//! paper's time-axis figures.
+
+use crate::report::SimReport;
+
+/// Renders a phase-level Gantt chart: one row per phase, a bar spanning
+/// its `[start, end)` window scaled onto `width` columns.
+pub fn render_gantt(report: &SimReport, width: usize) -> String {
+    let width = width.max(10);
+    let makespan = report.makespan.max(f64::MIN_POSITIVE);
+    let mut out = String::new();
+    let phases = report.phases();
+    let name_w = phases.iter().map(String::len).max().unwrap_or(5).max(5);
+    for phase in phases {
+        let (start, end) = report.phase_span(&phase).expect("phase exists");
+        let from = ((start / makespan) * width as f64).floor() as usize;
+        let to = (((end / makespan) * width as f64).ceil() as usize).clamp(from + 1, width);
+        let mut bar = String::with_capacity(width);
+        for i in 0..width {
+            bar.push(if (from..to).contains(&i) { '█' } else { ' ' });
+        }
+        out.push_str(&format!(
+            "{phase:<name_w$} |{bar}| {start:7.1}-{end:-7.1}s\n"
+        ));
+    }
+    out.push_str(&format!(
+        "{:<name_w$}  {}  makespan {:.1}s\n",
+        "",
+        " ".repeat(width),
+        report.makespan
+    ));
+    out
+}
+
+/// Renders per-node task occupancy: for each node, `width` samples of how
+/// many tasks were running (digits, `+` for 10 or more).
+pub fn render_occupancy(report: &SimReport, nodes: u16, width: usize) -> String {
+    let width = width.max(10);
+    let makespan = report.makespan.max(f64::MIN_POSITIVE);
+    let mut out = String::new();
+    for node in 0..nodes {
+        let mut row = String::with_capacity(width);
+        for i in 0..width {
+            let t = (i as f64 + 0.5) / width as f64 * makespan;
+            let running = report
+                .tasks
+                .iter()
+                .filter(|task| task.node.0 == node && task.start <= t && t < task.end)
+                .count();
+            row.push(match running {
+                0 => '.',
+                1..=9 => char::from_digit(running as u32, 10).expect("single digit"),
+                _ => '+',
+            });
+        }
+        out.push_str(&format!("node{node:<3} {row}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::TaskRecord;
+    use crate::spec::NodeId;
+    use crate::task::TaskId;
+
+    fn report() -> SimReport {
+        SimReport {
+            makespan: 100.0,
+            tasks: vec![
+                TaskRecord {
+                    id: TaskId(0),
+                    name: "setup".into(),
+                    phase: "startup".into(),
+                    node: NodeId(0),
+                    start: 0.0,
+                    end: 10.0,
+                },
+                TaskRecord {
+                    id: TaskId(1),
+                    name: "o-0".into(),
+                    phase: "O".into(),
+                    node: NodeId(0),
+                    start: 10.0,
+                    end: 60.0,
+                },
+                TaskRecord {
+                    id: TaskId(2),
+                    name: "o-1".into(),
+                    phase: "O".into(),
+                    node: NodeId(1),
+                    start: 10.0,
+                    end: 55.0,
+                },
+                TaskRecord {
+                    id: TaskId(3),
+                    name: "a-0".into(),
+                    phase: "A".into(),
+                    node: NodeId(1),
+                    start: 60.0,
+                    end: 100.0,
+                },
+            ],
+            profile: Default::default(),
+        }
+    }
+
+    #[test]
+    fn gantt_orders_phases_and_scales_bars() {
+        let g = render_gantt(&report(), 50);
+        let lines: Vec<&str> = g.lines().collect();
+        assert!(lines[0].starts_with("startup"));
+        assert!(lines[1].starts_with("O"));
+        assert!(lines[2].starts_with("A"));
+        // The startup bar occupies roughly the first tenth.
+        let bar = lines[0].split('|').nth(1).unwrap();
+        let filled = bar.chars().filter(|&c| c == '█').count();
+        assert!((3..=8).contains(&filled), "startup bar width {filled}");
+        // The A bar starts after midway.
+        let a_bar = lines[2].split('|').nth(1).unwrap();
+        let first_fill = a_bar.chars().position(|c| c == '█').unwrap();
+        assert!(first_fill >= 25, "A starts late, got {first_fill}");
+        assert!(g.contains("makespan 100.0s"));
+    }
+
+    #[test]
+    fn occupancy_counts_running_tasks() {
+        let o = render_occupancy(&report(), 2, 20);
+        let lines: Vec<&str> = o.lines().collect();
+        assert_eq!(lines.len(), 2);
+        // Node 0 idles in the last 40% of the run.
+        assert!(lines[0].ends_with('.'));
+        // Node 1 runs exactly one task nearly the whole time.
+        let row1 = lines[1].strip_prefix("node1").unwrap().trim_start();
+        assert!(row1.contains('1'));
+        assert!(!row1.contains('2'), "no overlap on node 1");
+    }
+
+    #[test]
+    fn empty_report_renders_without_panicking() {
+        let empty = SimReport {
+            makespan: 0.0,
+            tasks: vec![],
+            profile: Default::default(),
+        };
+        let g = render_gantt(&empty, 40);
+        assert!(g.contains("makespan"));
+        let o = render_occupancy(&empty, 2, 40);
+        assert_eq!(o.lines().count(), 2);
+    }
+}

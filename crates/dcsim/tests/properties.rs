@@ -1,0 +1,142 @@
+//! Property-based tests of the simulator's core invariants: fair-share
+//! feasibility, clock monotonicity, and conservation of work.
+
+use proptest::prelude::*;
+
+use dmpi_common::units::MB;
+use dmpi_dcsim::fairshare::{max_min_rates, resource_consumption, Flow};
+use dmpi_dcsim::{Activity, ClusterSpec, Demand, NodeId, Resource, Simulation, TaskSpec};
+
+fn flow_strategy(resources: usize) -> impl Strategy<Value = Flow> {
+    (
+        proptest::collection::vec((0..resources, 0.1f64..100.0), 1..4),
+        prop_oneof![Just(f64::INFINITY), 0.01f64..10.0],
+    )
+        .prop_map(|(mut demands, cap)| {
+            // Dedup resource indices (duplicate demands are legal but make
+            // the feasibility check simpler to state).
+            demands.sort_by_key(|&(r, _)| r);
+            demands.dedup_by_key(|&mut (r, _)| r);
+            Flow::with_cap(demands, cap)
+        })
+}
+
+proptest! {
+    #[test]
+    fn fair_share_is_feasible_and_non_starving(
+        flows in proptest::collection::vec(flow_strategy(6), 1..20),
+        caps in proptest::collection::vec(1.0f64..1000.0, 6),
+    ) {
+        let rates = max_min_rates(&flows, &caps);
+        let usage = resource_consumption(&flows, &rates, caps.len());
+        for (r, &u) in usage.iter().enumerate() {
+            prop_assert!(
+                u <= caps[r] * (1.0 + 1e-6),
+                "resource {r} over capacity: {u} > {}",
+                caps[r]
+            );
+        }
+        for (i, &x) in rates.iter().enumerate() {
+            prop_assert!(x > 0.0, "flow {i} starved");
+            prop_assert!(
+                x <= flows[i].rate_cap * (1.0 + 1e-9),
+                "flow {i} above its cap"
+            );
+        }
+    }
+
+    #[test]
+    fn simulation_time_is_positive_and_tasks_complete(
+        task_sizes in proptest::collection::vec(0.1f64..20.0, 1..20),
+        chain in any::<bool>(),
+    ) {
+        let mut sim = Simulation::new(ClusterSpec::tiny());
+        let mut prev = None;
+        for (i, &cpu) in task_sizes.iter().enumerate() {
+            let node = NodeId((i % 2) as u16);
+            let mut b = TaskSpec::builder(format!("t{i}"), node)
+                .activity(Activity::Work(vec![Demand::new(Resource::Cpu(node), cpu)]));
+            if chain {
+                if let Some(p) = prev {
+                    b = b.dep(p);
+                }
+            }
+            prev = Some(sim.add_task(b.build()).unwrap());
+        }
+        let n = task_sizes.len();
+        let report = sim.run().unwrap();
+        prop_assert_eq!(report.tasks.len(), n);
+        prop_assert!(report.makespan > 0.0);
+        for t in &report.tasks {
+            prop_assert!(t.end >= t.start);
+            prop_assert!(t.end <= report.makespan + 1e-9);
+        }
+        // Serial chains must take at least the sum of single-core times.
+        if chain {
+            let total: f64 = task_sizes.iter().sum();
+            prop_assert!(report.makespan >= total - 1e-6);
+        }
+    }
+
+    #[test]
+    fn work_conservation_disk(
+        bytes in proptest::collection::vec(1.0f64..(64.0 * MB as f64), 1..10),
+    ) {
+        // Total disk-seconds = total bytes / bandwidth no matter how tasks
+        // interleave.
+        let spec = ClusterSpec::tiny();
+        let bw = spec.disk_bw;
+        let mut sim = Simulation::new(spec);
+        for (i, &b) in bytes.iter().enumerate() {
+            sim.add_task(
+                TaskSpec::builder(format!("rd{i}"), NodeId(0))
+                    .activity(Activity::disk_read(NodeId(0), b))
+                    .build(),
+            )
+            .unwrap();
+        }
+        let report = sim.run().unwrap();
+        let expected = bytes.iter().sum::<f64>() / bw;
+        prop_assert!(
+            (report.makespan - expected).abs() < expected * 1e-6 + 1e-9,
+            "disk work not conserved: {} vs {}",
+            report.makespan,
+            expected
+        );
+    }
+
+    #[test]
+    fn slots_never_exceed_configured_concurrency(
+        tasks in 1usize..24,
+        slots in 1u32..4,
+    ) {
+        use dmpi_dcsim::SlotKind;
+        let mut sim = Simulation::new(ClusterSpec::tiny());
+        let kind = SlotKind(0);
+        sim.configure_slots(kind, slots);
+        for i in 0..tasks {
+            sim.add_task(
+                TaskSpec::builder(format!("t{i}"), NodeId(0))
+                    .slot(kind)
+                    .activity(Activity::compute(NodeId(0), 1.0))
+                    .build(),
+            )
+            .unwrap();
+        }
+        let report = sim.run().unwrap();
+        // With max `slots` running concurrently and 1 core each (2-core
+        // node), makespan >= tasks / slots seconds (each task 1 core-sec)
+        // and the intervals can overlap at most `slots` deep.
+        let mut events: Vec<(f64, i32)> = Vec::new();
+        for t in &report.tasks {
+            events.push((t.start, 1));
+            events.push((t.end, -1));
+        }
+        events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut depth = 0;
+        for (_, d) in events {
+            depth += d;
+            prop_assert!(depth <= slots as i32, "slot overcommit: {depth}");
+        }
+    }
+}

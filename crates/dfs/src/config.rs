@@ -1,0 +1,112 @@
+//! DFS configuration.
+
+use dmpi_common::units::MB;
+use dmpi_common::{Error, Result};
+
+/// Tunables of the simulated HDFS.
+#[derive(Clone, Debug)]
+pub struct DfsConfig {
+    /// Block size in bytes. The paper tunes this in Figure 2(a) and settles
+    /// on 256 MB for all experiments.
+    pub block_size: u64,
+    /// Replication factor (the paper uses 3).
+    pub replication: u16,
+    /// Seed for the placement RNG — placement is deterministic per seed so
+    /// simulations are reproducible.
+    pub seed: u64,
+    /// Fixed overhead per block write: pipeline setup/teardown plus the
+    /// namenode `addBlock` round trip, in seconds. This is what penalizes
+    /// small blocks in the DFSIO tuning curve.
+    pub block_setup_secs: f64,
+}
+
+impl DfsConfig {
+    /// The configuration the paper converges on: 256 MB blocks, 3 replicas.
+    pub fn paper_tuned() -> Self {
+        DfsConfig {
+            block_size: 256 * MB,
+            replication: 3,
+            seed: 0xB16_DA7A,
+            block_setup_secs: 0.55,
+        }
+    }
+
+    /// Small blocks for unit tests.
+    pub fn test_small() -> Self {
+        DfsConfig {
+            block_size: 64,
+            replication: 2,
+            seed: 42,
+            block_setup_secs: 0.1,
+        }
+    }
+
+    /// Returns a copy with a different block size (used by the Figure 2(a)
+    /// sweep).
+    pub fn with_block_size(mut self, block_size: u64) -> Self {
+        self.block_size = block_size;
+        self
+    }
+
+    /// Returns a copy with a different replication factor.
+    pub fn with_replication(mut self, replication: u16) -> Self {
+        self.replication = replication;
+        self
+    }
+
+    /// Validates the configuration against a cluster of `nodes` nodes.
+    pub fn validate(&self, nodes: u16) -> Result<()> {
+        if self.block_size == 0 {
+            return Err(Error::Config("block size must be positive".into()));
+        }
+        if self.replication == 0 {
+            return Err(Error::Config("replication must be >= 1".into()));
+        }
+        if self.replication > nodes {
+            return Err(Error::Config(format!(
+                "replication {} exceeds node count {nodes}",
+                self.replication
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Default for DfsConfig {
+    fn default() -> Self {
+        DfsConfig::paper_tuned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_tuned_matches_section_4_2() {
+        let c = DfsConfig::paper_tuned();
+        assert_eq!(c.block_size, 256 * MB);
+        assert_eq!(c.replication, 3);
+        c.validate(8).unwrap();
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        assert!(DfsConfig::paper_tuned().with_replication(9).validate(8).is_err());
+        let mut c = DfsConfig::test_small();
+        c.block_size = 0;
+        assert!(c.validate(2).is_err());
+        c = DfsConfig::test_small();
+        c.replication = 0;
+        assert!(c.validate(2).is_err());
+    }
+
+    #[test]
+    fn builders_adjust_fields() {
+        let c = DfsConfig::paper_tuned()
+            .with_block_size(64 * MB)
+            .with_replication(2);
+        assert_eq!(c.block_size, 64 * MB);
+        assert_eq!(c.replication, 2);
+    }
+}

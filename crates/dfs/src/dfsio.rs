@@ -1,0 +1,185 @@
+//! DFSIO — the filesystem-level benchmark used in §4.2 / Figure 2(a).
+//!
+//! DFSIO starts one writer (or reader) task per map slot; each task streams
+//! its own file through the replication pipeline block by block. The
+//! reported metric follows Hadoop's TestDFSIO: *throughput* =
+//! `total bytes / Σ per-task seconds`, i.e. the average per-task streaming
+//! rate.
+//!
+//! Two effects shape the block-size tuning curve the paper observes:
+//!
+//! * small blocks pay the per-block pipeline setup/teardown + namenode
+//!   round trip more often ([`crate::config::DfsConfig::block_setup_secs`]),
+//! * large blocks make placement chunkier — replica targets are chosen per
+//!   block, so with few blocks the random remote-replica load is unbalanced
+//!   and stragglers stretch task times.
+//!
+//! Both emerge from simulating the actual per-block activities rather than
+//! from a closed-form formula.
+
+use dmpi_common::units::MB;
+use dmpi_common::Result;
+use dmpi_dcsim::{ClusterSpec, NodeId, Simulation, SlotKind, TaskSpec};
+
+use crate::config::DfsConfig;
+use crate::namenode::NameNode;
+use crate::simio;
+
+/// Which direction DFSIO exercises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DfsioMode {
+    /// Each task writes a fresh file through the replication pipeline.
+    Write,
+    /// Each task reads an existing (locally primary) file back.
+    Read,
+}
+
+/// Result of one DFSIO run.
+#[derive(Clone, Debug)]
+pub struct DfsioResult {
+    /// TestDFSIO-style throughput in MB/s (total bytes / Σ task seconds).
+    pub throughput_mb_s: f64,
+    /// Wall-clock makespan of the whole run, seconds.
+    pub makespan: f64,
+    /// Number of tasks that ran.
+    pub tasks: usize,
+}
+
+/// Runs DFSIO over a simulated cluster.
+///
+/// * `total_bytes` — aggregate data volume across all tasks,
+/// * `tasks_per_node` — concurrent writer/reader tasks per node (the paper
+///   runs DFSIO under its default Hadoop map-slot setting; 2/node matches
+///   its measured absolute throughput band).
+pub fn run_dfsio(
+    cluster: &ClusterSpec,
+    config: &DfsConfig,
+    mode: DfsioMode,
+    total_bytes: u64,
+    tasks_per_node: u32,
+) -> Result<DfsioResult> {
+    config.validate(cluster.nodes)?;
+    let ntasks = (cluster.nodes as u64 * tasks_per_node as u64) as usize;
+    let per_task = total_bytes / ntasks as u64;
+    let mut namenode = NameNode::new(cluster.nodes, config.clone())?;
+    let mut sim = Simulation::new(cluster.clone());
+    let slot = SlotKind(0);
+    sim.configure_slots(slot, tasks_per_node);
+
+    for t in 0..ntasks {
+        let node = NodeId((t % cluster.nodes as usize) as u16);
+        let meta = namenode.create_file(&format!("/dfsio/{t}"), node, per_task, true)?;
+        let mut builder = TaskSpec::builder(format!("dfsio-{t}"), node)
+            .phase(match mode {
+                DfsioMode::Write => "write",
+                DfsioMode::Read => "read",
+            })
+            .slot(slot)
+            // task JVM launch
+            .delay(1.0);
+        for block in meta.blocks.clone() {
+            builder = builder.delay(config.block_setup_secs);
+            builder = match mode {
+                DfsioMode::Write => builder.activity(simio::write_activity(
+                    node,
+                    &block.replicas,
+                    block.len as f64,
+                )),
+                DfsioMode::Read => {
+                    // Reads prefer the local primary replica.
+                    let replica = if block.is_local_to(node) {
+                        node
+                    } else {
+                        block.replicas[0]
+                    };
+                    builder.activity(simio::read_activity(node, replica, block.len as f64))
+                }
+            };
+        }
+        sim.add_task(builder.build())?;
+    }
+
+    let report = sim.run()?;
+    let task_seconds: f64 = report.tasks.iter().map(|t| t.duration()).sum();
+    let throughput = if task_seconds > 0.0 {
+        total_bytes as f64 / MB as f64 / task_seconds
+    } else {
+        0.0
+    };
+    Ok(DfsioResult {
+        throughput_mb_s: throughput,
+        makespan: report.makespan,
+        tasks: ntasks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmpi_common::units::GB;
+
+    fn paper() -> (ClusterSpec, DfsConfig) {
+        (ClusterSpec::paper_testbed(), DfsConfig::paper_tuned())
+    }
+
+    #[test]
+    fn write_throughput_in_papers_band() {
+        let (cluster, config) = paper();
+        let r = run_dfsio(&cluster, &config, DfsioMode::Write, 10 * GB, 2).unwrap();
+        // Figure 2(a) reports roughly 15-30 MB/s per task.
+        assert!(
+            r.throughput_mb_s > 10.0 && r.throughput_mb_s < 35.0,
+            "write throughput {} MB/s out of band",
+            r.throughput_mb_s
+        );
+        assert_eq!(r.tasks, 16);
+    }
+
+    #[test]
+    fn read_is_faster_than_write() {
+        let (cluster, config) = paper();
+        let w = run_dfsio(&cluster, &config, DfsioMode::Write, 5 * GB, 2).unwrap();
+        let r = run_dfsio(&cluster, &config, DfsioMode::Read, 5 * GB, 2).unwrap();
+        assert!(
+            r.throughput_mb_s > w.throughput_mb_s,
+            "reads (no replication) must outpace writes: {} vs {}",
+            r.throughput_mb_s,
+            w.throughput_mb_s
+        );
+    }
+
+    #[test]
+    fn block_size_tuning_peaks_mid_range() {
+        let (cluster, config) = paper();
+        let mut results = Vec::new();
+        for block_mb in [64u64, 128, 256, 512] {
+            let cfg = config.clone().with_block_size(block_mb * MB);
+            let r = run_dfsio(&cluster, &cfg, DfsioMode::Write, 10 * GB, 2).unwrap();
+            results.push((block_mb, r.throughput_mb_s));
+        }
+        // 256 MB must beat 64 MB (setup overhead dominates small blocks) —
+        // the paper's headline tuning conclusion.
+        let t64 = results[0].1;
+        let t256 = results[2].1;
+        assert!(
+            t256 > t64,
+            "256MB ({t256}) should beat 64MB ({t64}): {results:?}"
+        );
+    }
+
+    #[test]
+    fn more_data_amortizes_startup() {
+        let (cluster, config) = paper();
+        let small = run_dfsio(&cluster, &config, DfsioMode::Write, 5 * GB, 2).unwrap();
+        let large = run_dfsio(&cluster, &config, DfsioMode::Write, 20 * GB, 2).unwrap();
+        assert!(large.throughput_mb_s >= small.throughput_mb_s * 0.95);
+        assert!(large.makespan > small.makespan);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let (cluster, config) = paper();
+        let bad = config.with_replication(20);
+        assert!(run_dfsio(&cluster, &bad, DfsioMode::Write, GB, 2).is_err());
+    }
+}

@@ -1,0 +1,33 @@
+//! `dmpi-dfs` — a simulated HDFS.
+//!
+//! The paper's three engines all read their input from and write their
+//! output to HDFS (Hadoop 1.2.1, 256 MB blocks, 3 replicas after the
+//! tuning in §4.2). This crate reproduces the pieces of HDFS those
+//! experiments exercise:
+//!
+//! * a **namenode** ([`namenode`]) holding the path → block map and the
+//!   replica placement policy (first replica on the writer, remaining
+//!   replicas on distinct random nodes — the single-rack specialization of
+//!   HDFS's default policy, matching the paper's one-switch testbed);
+//! * a **data plane** ([`minidfs`]) that really stores block bytes for the
+//!   executing runtimes, and supports metadata-only *virtual files* so
+//!   paper-scale (multi-GB) inputs can be described without materializing
+//!   them;
+//! * **cost helpers** ([`simio`]) translating block reads/writes into
+//!   [`dmpi_dcsim`] resource demands, including the chained replication
+//!   pipeline (client → r1 → r2) and locality-aware reads;
+//! * the **DFSIO benchmark** ([`dfsio`]) used by Figure 2(a) to tune the
+//!   block size;
+//! * failure handling: datanode loss, under-replication reporting and
+//!   re-replication planning, exercised by the failure-injection tests.
+
+pub mod config;
+pub mod dfsio;
+pub mod meta;
+pub mod minidfs;
+pub mod namenode;
+pub mod simio;
+
+pub use config::DfsConfig;
+pub use meta::{BlockId, BlockMeta, FileMeta, InputSplit};
+pub use minidfs::MiniDfs;

@@ -1,0 +1,115 @@
+//! Filesystem metadata: blocks, files, and input splits.
+
+use dmpi_dcsim::NodeId;
+
+/// Globally unique block identifier within one `MiniDfs`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u64);
+
+/// One block of a file: its length and replica locations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockMeta {
+    /// The block's id.
+    pub id: BlockId,
+    /// Bytes in this block (the final block of a file may be short).
+    pub len: u64,
+    /// Nodes holding a replica; the first entry is the primary (written by
+    /// the client-local datanode).
+    pub replicas: Vec<NodeId>,
+}
+
+impl BlockMeta {
+    /// True if `node` holds a replica.
+    pub fn is_local_to(&self, node: NodeId) -> bool {
+        self.replicas.contains(&node)
+    }
+}
+
+/// Metadata of one file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FileMeta {
+    /// Absolute path.
+    pub path: String,
+    /// Total length in bytes.
+    pub len: u64,
+    /// Blocks in order.
+    pub blocks: Vec<BlockMeta>,
+    /// True if the file is metadata-only (no stored bytes) — used to
+    /// describe paper-scale inputs to the simulator.
+    pub virtual_only: bool,
+}
+
+impl FileMeta {
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+/// A unit of input processing: one block plus its candidate locations.
+/// Engines schedule one map/O task per split, preferring a local replica.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InputSplit {
+    /// Path of the file this split belongs to.
+    pub path: String,
+    /// Index of the block within the file.
+    pub block_index: usize,
+    /// The block.
+    pub block: BlockMeta,
+}
+
+impl InputSplit {
+    /// Picks the replica to read from for a task running on `node`: a local
+    /// replica if one exists, otherwise the primary.
+    pub fn choose_replica(&self, node: NodeId) -> NodeId {
+        if self.block.is_local_to(node) {
+            node
+        } else {
+            self.block.replicas[0]
+        }
+    }
+
+    /// Length of this split in bytes.
+    pub fn len(&self) -> u64 {
+        self.block.len
+    }
+
+    /// True if the split is empty (zero-length final block).
+    pub fn is_empty(&self) -> bool {
+        self.block.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(id: u64, len: u64, replicas: &[u16]) -> BlockMeta {
+        BlockMeta {
+            id: BlockId(id),
+            len,
+            replicas: replicas.iter().map(|&n| NodeId(n)).collect(),
+        }
+    }
+
+    #[test]
+    fn locality_check() {
+        let b = block(1, 100, &[0, 3, 5]);
+        assert!(b.is_local_to(NodeId(0)));
+        assert!(b.is_local_to(NodeId(5)));
+        assert!(!b.is_local_to(NodeId(1)));
+    }
+
+    #[test]
+    fn split_prefers_local_replica() {
+        let s = InputSplit {
+            path: "/data".into(),
+            block_index: 0,
+            block: block(1, 100, &[2, 4]),
+        };
+        assert_eq!(s.choose_replica(NodeId(4)), NodeId(4));
+        assert_eq!(s.choose_replica(NodeId(7)), NodeId(2), "falls back to primary");
+        assert_eq!(s.len(), 100);
+        assert!(!s.is_empty());
+    }
+}

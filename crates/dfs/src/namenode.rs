@@ -1,0 +1,332 @@
+//! Namenode: namespace and replica placement.
+//!
+//! Placement policy is the single-rack specialization of HDFS's default:
+//! the first replica goes to the writing node (so map output and generated
+//! data start local), and the remaining replicas go to distinct nodes
+//! chosen uniformly at random. Randomness is seeded, making every placement
+//! — and therefore every simulation — reproducible.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use dmpi_common::{Error, Result};
+use dmpi_dcsim::NodeId;
+
+use crate::config::DfsConfig;
+use crate::meta::{BlockId, BlockMeta, FileMeta};
+
+/// The metadata server.
+pub struct NameNode {
+    config: DfsConfig,
+    nodes: u16,
+    files: HashMap<String, FileMeta>,
+    next_block: u64,
+    rng: StdRng,
+    /// Nodes currently marked dead (replicas there are unavailable).
+    dead: Vec<NodeId>,
+}
+
+impl NameNode {
+    /// Creates a namenode for a cluster of `nodes` datanodes.
+    pub fn new(nodes: u16, config: DfsConfig) -> Result<Self> {
+        config.validate(nodes)?;
+        let seed = config.seed;
+        Ok(NameNode {
+            config,
+            nodes,
+            files: HashMap::new(),
+            next_block: 0,
+            rng: StdRng::seed_from_u64(seed),
+            dead: Vec::new(),
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DfsConfig {
+        &self.config
+    }
+
+    /// Number of datanodes (dead or alive).
+    pub fn num_nodes(&self) -> u16 {
+        self.nodes
+    }
+
+    /// Chooses replica targets for a new block written from `writer`.
+    pub fn place_replicas(&mut self, writer: NodeId) -> Vec<NodeId> {
+        let k = self.config.replication as usize;
+        let mut replicas = Vec::with_capacity(k);
+        if !self.dead.contains(&writer) {
+            replicas.push(writer);
+        }
+        let mut others: Vec<NodeId> = (0..self.nodes)
+            .map(NodeId)
+            .filter(|n| *n != writer && !self.dead.contains(n))
+            .collect();
+        others.shuffle(&mut self.rng);
+        for n in others {
+            if replicas.len() >= k {
+                break;
+            }
+            replicas.push(n);
+        }
+        replicas
+    }
+
+    /// Registers a new file, allocating blocks and placements for `len`
+    /// bytes. `virtual_only` files carry no data (paper-scale inputs).
+    pub fn create_file(
+        &mut self,
+        path: &str,
+        writer: NodeId,
+        len: u64,
+        virtual_only: bool,
+    ) -> Result<&FileMeta> {
+        if self.files.contains_key(path) {
+            return Err(Error::InvalidState(format!("file exists: {path}")));
+        }
+        let bs = self.config.block_size;
+        let num_blocks = len.div_ceil(bs).max(if len == 0 { 0 } else { 1 }) as usize;
+        let mut blocks = Vec::with_capacity(num_blocks);
+        let mut remaining = len;
+        while remaining > 0 {
+            let blen = remaining.min(bs);
+            let id = BlockId(self.next_block);
+            self.next_block += 1;
+            let replicas = self.place_replicas(writer);
+            blocks.push(BlockMeta {
+                id,
+                len: blen,
+                replicas,
+            });
+            remaining -= blen;
+        }
+        let meta = FileMeta {
+            path: path.to_string(),
+            len,
+            blocks,
+            virtual_only,
+        };
+        self.files.insert(path.to_string(), meta);
+        Ok(self.files.get(path).expect("just inserted"))
+    }
+
+    /// Looks up a file.
+    pub fn lookup(&self, path: &str) -> Result<&FileMeta> {
+        self.files
+            .get(path)
+            .ok_or_else(|| Error::NotFound(path.to_string()))
+    }
+
+    /// True if `path` exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.contains_key(path)
+    }
+
+    /// Removes a file, returning its metadata (so the data plane can drop
+    /// block bytes).
+    pub fn delete(&mut self, path: &str) -> Result<FileMeta> {
+        self.files
+            .remove(path)
+            .ok_or_else(|| Error::NotFound(path.to_string()))
+    }
+
+    /// Lists paths with a given prefix, sorted.
+    pub fn list_prefix(&self, prefix: &str) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .files
+            .keys()
+            .filter(|p| p.starts_with(prefix))
+            .cloned()
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Marks a datanode dead: its replicas become unavailable.
+    pub fn kill_node(&mut self, node: NodeId) {
+        if !self.dead.contains(&node) {
+            self.dead.push(node);
+            for f in self.files.values_mut() {
+                for b in &mut f.blocks {
+                    b.replicas.retain(|r| *r != node);
+                }
+            }
+        }
+    }
+
+    /// Blocks whose live replica count is below the target factor.
+    pub fn under_replicated(&self) -> Vec<BlockId> {
+        let target = self.config.replication as usize;
+        let mut v: Vec<BlockId> = self
+            .files
+            .values()
+            .flat_map(|f| f.blocks.iter())
+            .filter(|b| b.replicas.len() < target)
+            .map(|b| b.id)
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Plans re-replication: for each under-replicated block, chooses a
+    /// live source replica and a live target not yet holding the block.
+    /// Applies the plan to the metadata and returns `(block, src, dst)`
+    /// copy instructions for the data plane / simulator.
+    pub fn re_replicate(&mut self) -> Vec<(BlockId, NodeId, NodeId)> {
+        let target = self.config.replication as usize;
+        let dead = self.dead.clone();
+        let nodes = self.nodes;
+        let mut plan = Vec::new();
+        // Collect the work first to appease the borrow checker, then apply.
+        let mut work: Vec<(String, usize)> = Vec::new();
+        for (path, f) in &self.files {
+            for (i, b) in f.blocks.iter().enumerate() {
+                if b.replicas.len() < target && !b.replicas.is_empty() {
+                    work.push((path.clone(), i));
+                }
+            }
+        }
+        for (path, idx) in work {
+            loop {
+                let (id, src, existing) = {
+                    let b = &self.files[&path].blocks[idx];
+                    if b.replicas.len() >= target {
+                        break;
+                    }
+                    (b.id, b.replicas[0], b.replicas.clone())
+                };
+                let mut candidates: Vec<NodeId> = (0..nodes)
+                    .map(NodeId)
+                    .filter(|n| !dead.contains(n) && !existing.contains(n))
+                    .collect();
+                candidates.shuffle(&mut self.rng);
+                match candidates.first() {
+                    Some(&dst) => {
+                        self.files
+                            .get_mut(&path)
+                            .expect("path exists")
+                            .blocks[idx]
+                            .replicas
+                            .push(dst);
+                        plan.push((id, src, dst));
+                    }
+                    None => break, // not enough live nodes to reach target
+                }
+            }
+        }
+        plan.sort();
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nn() -> NameNode {
+        NameNode::new(4, DfsConfig::test_small()).unwrap() // 64 B blocks, 2 replicas
+    }
+
+    #[test]
+    fn placement_prefers_writer_and_is_distinct() {
+        let mut n = nn();
+        for _ in 0..50 {
+            let r = n.place_replicas(NodeId(2));
+            assert_eq!(r.len(), 2);
+            assert_eq!(r[0], NodeId(2));
+            assert_ne!(r[1], NodeId(2));
+        }
+    }
+
+    #[test]
+    fn placement_is_deterministic_per_seed() {
+        let mut a = nn();
+        let mut b = nn();
+        for _ in 0..20 {
+            assert_eq!(a.place_replicas(NodeId(1)), b.place_replicas(NodeId(1)));
+        }
+    }
+
+    #[test]
+    fn file_blocks_cover_length() {
+        let mut n = nn();
+        let meta = n.create_file("/f", NodeId(0), 200, false).unwrap().clone();
+        // 64-byte blocks: 64+64+64+8
+        assert_eq!(meta.num_blocks(), 4);
+        assert_eq!(meta.blocks.iter().map(|b| b.len).sum::<u64>(), 200);
+        assert_eq!(meta.blocks[3].len, 8);
+        assert!(!meta.virtual_only);
+    }
+
+    #[test]
+    fn empty_file_has_no_blocks() {
+        let mut n = nn();
+        let meta = n.create_file("/empty", NodeId(0), 0, false).unwrap();
+        assert_eq!(meta.num_blocks(), 0);
+    }
+
+    #[test]
+    fn duplicate_create_fails() {
+        let mut n = nn();
+        n.create_file("/f", NodeId(0), 10, false).unwrap();
+        assert!(n.create_file("/f", NodeId(1), 10, false).is_err());
+    }
+
+    #[test]
+    fn lookup_delete_and_listing() {
+        let mut n = nn();
+        n.create_file("/a/1", NodeId(0), 10, false).unwrap();
+        n.create_file("/a/2", NodeId(0), 10, false).unwrap();
+        n.create_file("/b/1", NodeId(0), 10, false).unwrap();
+        assert!(n.exists("/a/1"));
+        assert_eq!(n.list_prefix("/a/"), vec!["/a/1", "/a/2"]);
+        n.delete("/a/1").unwrap();
+        assert!(!n.exists("/a/1"));
+        assert!(n.lookup("/a/1").is_err());
+        assert!(n.delete("/a/1").is_err());
+    }
+
+    #[test]
+    fn kill_node_drops_replicas_and_rereplication_heals() {
+        let mut n = nn();
+        n.create_file("/f", NodeId(1), 64 * 10, false).unwrap();
+        assert!(n.under_replicated().is_empty());
+        n.kill_node(NodeId(1));
+        let under = n.under_replicated();
+        assert!(!under.is_empty(), "killing the writer must expose blocks");
+        let plan = n.re_replicate();
+        assert_eq!(plan.len(), under.len());
+        assert!(n.under_replicated().is_empty(), "healed");
+        // All sources live, all targets live and distinct from sources.
+        for (_, src, dst) in plan {
+            assert_ne!(src, NodeId(1));
+            assert_ne!(dst, NodeId(1));
+            assert_ne!(src, dst);
+        }
+    }
+
+    #[test]
+    fn rereplication_with_too_few_nodes_does_its_best() {
+        let mut n = NameNode::new(2, DfsConfig::test_small()).unwrap();
+        n.create_file("/f", NodeId(0), 64, false).unwrap();
+        n.kill_node(NodeId(1));
+        // Only one live node remains; replication target 2 is unreachable.
+        let plan = n.re_replicate();
+        assert!(plan.is_empty());
+        assert_eq!(n.under_replicated().len(), 1);
+    }
+
+    #[test]
+    fn placement_after_kill_avoids_dead_nodes() {
+        let mut n = nn();
+        n.kill_node(NodeId(0));
+        for _ in 0..20 {
+            let r = n.place_replicas(NodeId(0)); // writer itself dead
+            assert!(!r.contains(&NodeId(0)));
+            assert_eq!(r.len(), 2);
+        }
+    }
+}

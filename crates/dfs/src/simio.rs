@@ -1,0 +1,151 @@
+//! Translating DFS operations into simulator resource demands.
+//!
+//! These helpers are the bridge between the filesystem metadata and
+//! `dmpi-dcsim`: plan compilers call them to charge the right disks and
+//! NICs for block reads and replicated writes.
+//!
+//! The HDFS write pipeline is **chained**: the client streams to the first
+//! replica (local in our placement policy), which forwards to the second,
+//! which forwards to the third. All hops run concurrently (it is a
+//! pipeline), so one [`Activity::Work`] with coupled demands models it
+//! faithfully: the write proceeds at the rate of the slowest hop.
+
+use dmpi_dcsim::{Activity, Demand, NodeId, Resource};
+
+use crate::meta::BlockMeta;
+
+/// Demands for reading `bytes` of a block replica from `replica` into a
+/// task on `reader`: the replica's disk, plus the network if remote.
+pub fn read_demands(reader: NodeId, replica: NodeId, bytes: f64) -> Vec<Demand> {
+    let mut demands = vec![Demand::read(replica, bytes)];
+    if reader != replica {
+        demands.push(Demand::new(Resource::NetOut(replica), bytes));
+        demands.push(Demand::new(Resource::NetIn(reader), bytes));
+    }
+    demands
+}
+
+/// A standalone read activity (see [`read_demands`]).
+pub fn read_activity(reader: NodeId, replica: NodeId, bytes: f64) -> Activity {
+    Activity::Work(read_demands(reader, replica, bytes))
+}
+
+/// Demands for writing `bytes` through the chained replication pipeline
+/// starting at `writer`. `replicas` is the placement (first entry is the
+/// primary). Every replica's disk is charged; each hop of the chain charges
+/// the sender's NetOut and receiver's NetIn. If the writer is not the
+/// primary (e.g. writing after its local datanode died), the first hop is
+/// writer → primary.
+pub fn write_demands(writer: NodeId, replicas: &[NodeId], bytes: f64) -> Vec<Demand> {
+    let mut demands = Vec::with_capacity(replicas.len() * 3);
+    let mut sender = writer;
+    for &replica in replicas {
+        if sender != replica {
+            demands.push(Demand::new(Resource::NetOut(sender), bytes));
+            demands.push(Demand::new(Resource::NetIn(replica), bytes));
+        }
+        demands.push(Demand::write(replica, bytes));
+        sender = replica;
+    }
+    demands
+}
+
+/// A standalone replicated-write activity (see [`write_demands`]).
+pub fn write_activity(writer: NodeId, replicas: &[NodeId], bytes: f64) -> Activity {
+    Activity::Work(write_demands(writer, replicas, bytes))
+}
+
+/// Demands for re-replicating a block copy `src -> dst` (disk read at the
+/// source, transfer, disk write at the destination).
+pub fn copy_demands(src: NodeId, dst: NodeId, bytes: f64) -> Vec<Demand> {
+    let mut demands = vec![Demand::read(src, bytes)];
+    if src != dst {
+        demands.push(Demand::new(Resource::NetOut(src), bytes));
+        demands.push(Demand::new(Resource::NetIn(dst), bytes));
+    }
+    demands.push(Demand::write(dst, bytes));
+    demands
+}
+
+/// Convenience: read demands for a whole block given a reader node,
+/// choosing a local replica when available.
+pub fn block_read_demands(reader: NodeId, block: &BlockMeta) -> Vec<Demand> {
+    let replica = if block.is_local_to(reader) {
+        reader
+    } else {
+        block.replicas[0]
+    };
+    read_demands(reader, replica, block.len as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::{BlockId, BlockMeta};
+    use dmpi_dcsim::IoTag;
+
+    #[test]
+    fn local_read_touches_only_disk() {
+        let d = read_demands(NodeId(0), NodeId(0), 100.0);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].resource, Resource::Disk(NodeId(0)));
+        assert_eq!(d[0].tag, IoTag::Read);
+    }
+
+    #[test]
+    fn remote_read_adds_network_hops() {
+        let d = read_demands(NodeId(0), NodeId(3), 100.0);
+        assert_eq!(d.len(), 3);
+        assert!(d.contains(&Demand::new(Resource::NetOut(NodeId(3)), 100.0)));
+        assert!(d.contains(&Demand::new(Resource::NetIn(NodeId(0)), 100.0)));
+    }
+
+    #[test]
+    fn replicated_write_charges_chain() {
+        let d = write_demands(NodeId(0), &[NodeId(0), NodeId(1), NodeId(2)], 10.0);
+        // 3 disk writes + 2 network hops (0->1, 1->2) of 2 demands each.
+        assert_eq!(d.len(), 7);
+        let disk_writes = d
+            .iter()
+            .filter(|x| x.tag == IoTag::Write)
+            .count();
+        assert_eq!(disk_writes, 3);
+        assert!(d.contains(&Demand::new(Resource::NetOut(NodeId(0)), 10.0)));
+        assert!(d.contains(&Demand::new(Resource::NetIn(NodeId(1)), 10.0)));
+        assert!(d.contains(&Demand::new(Resource::NetOut(NodeId(1)), 10.0)));
+        assert!(d.contains(&Demand::new(Resource::NetIn(NodeId(2)), 10.0)));
+    }
+
+    #[test]
+    fn single_replica_local_write_is_disk_only() {
+        let d = write_demands(NodeId(1), &[NodeId(1)], 5.0);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].tag, IoTag::Write);
+    }
+
+    #[test]
+    fn nonlocal_writer_pays_first_hop() {
+        let d = write_demands(NodeId(5), &[NodeId(1)], 5.0);
+        assert_eq!(d.len(), 3);
+        assert!(d.contains(&Demand::new(Resource::NetOut(NodeId(5)), 5.0)));
+    }
+
+    #[test]
+    fn copy_demands_move_block() {
+        let d = copy_demands(NodeId(0), NodeId(1), 7.0);
+        assert_eq!(d.len(), 4);
+        let same = copy_demands(NodeId(0), NodeId(0), 7.0);
+        assert_eq!(same.len(), 2); // read + write, no network
+    }
+
+    #[test]
+    fn block_read_prefers_local() {
+        let block = BlockMeta {
+            id: BlockId(1),
+            len: 100,
+            replicas: vec![NodeId(2), NodeId(3)],
+        };
+        assert_eq!(block_read_demands(NodeId(3), &block).len(), 1);
+        assert_eq!(block_read_demands(NodeId(0), &block).len(), 3);
+    }
+}

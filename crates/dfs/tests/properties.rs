@@ -1,0 +1,130 @@
+//! Property-based tests of the DFS: data round-trips through arbitrary
+//! block sizes, placement respects the replication invariants, and
+//! failure + re-replication always restores the target factor when
+//! enough nodes survive.
+
+use proptest::prelude::*;
+
+use dmpi_dcsim::NodeId;
+use dmpi_dfs::{DfsConfig, MiniDfs};
+
+fn config_strategy() -> impl Strategy<Value = DfsConfig> {
+    (1u64..256, 1u16..4, any::<u64>()).prop_map(|(block, replication, seed)| DfsConfig {
+        block_size: block,
+        replication,
+        seed,
+        block_setup_secs: 0.1,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn write_read_round_trips(
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+        config in config_strategy(),
+        nodes in 4u16..10,
+        writer in 0u16..4,
+    ) {
+        let dfs = MiniDfs::new(nodes, config.clone()).unwrap();
+        let meta = dfs.write_file("/f", NodeId(writer), &data).unwrap();
+        prop_assert_eq!(meta.len as usize, data.len());
+        prop_assert_eq!(dfs.read_file("/f").unwrap(), data);
+        // Block sizes respect the configured maximum and sum to the file.
+        let mut sum = 0;
+        for b in &meta.blocks {
+            prop_assert!(b.len <= config.block_size);
+            prop_assert!(b.len > 0);
+            sum += b.len;
+        }
+        prop_assert_eq!(sum, meta.len);
+    }
+
+    #[test]
+    fn placement_invariants(
+        len in 1u64..4096,
+        config in config_strategy(),
+        nodes in 4u16..10,
+        writer in 0u16..4,
+    ) {
+        let dfs = MiniDfs::new(nodes, config.clone()).unwrap();
+        let meta = dfs.create_virtual("/v", NodeId(writer), len).unwrap();
+        for b in &meta.blocks {
+            // Correct replica count, all distinct, primary on the writer.
+            prop_assert_eq!(b.replicas.len(), config.replication as usize);
+            let mut sorted = b.replicas.clone();
+            sorted.sort();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), b.replicas.len(), "duplicate replica");
+            prop_assert_eq!(b.replicas[0], NodeId(writer));
+            for r in &b.replicas {
+                prop_assert!(r.index() < nodes as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn rereplication_heals_when_possible(
+        len in 1u64..2048,
+        config in config_strategy(),
+        nodes in 4u16..10,
+        kill in 0u16..4,
+    ) {
+        prop_assume!(config.replication < nodes); // a survivor set exists
+        // With a single replica, killing its node genuinely loses the
+        // block — there is no source to heal from.
+        prop_assume!(config.replication >= 2);
+        let dfs = MiniDfs::new(nodes, config.clone()).unwrap();
+        dfs.create_virtual("/v", NodeId(0), len).unwrap();
+        dfs.kill_node(NodeId(kill));
+        let plan = dfs.re_replicate();
+        prop_assert!(dfs.under_replicated().is_empty(), "not healed");
+        for (_, src, dst) in plan {
+            prop_assert!(src != NodeId(kill) && dst != NodeId(kill));
+            prop_assert!(src != dst);
+        }
+    }
+
+    #[test]
+    fn single_replica_loss_is_surfaced_not_hidden(
+        len in 1u64..512,
+        nodes in 2u16..8,
+    ) {
+        // Replication 1: killing the writer loses the data; the namenode
+        // must keep reporting the block rather than pretending to heal.
+        let config = DfsConfig {
+            block_size: 64,
+            replication: 1,
+            seed: 7,
+            block_setup_secs: 0.1,
+        };
+        let dfs = MiniDfs::new(nodes, config).unwrap();
+        let meta = dfs.create_virtual("/v", NodeId(0), len).unwrap();
+        dfs.kill_node(NodeId(0));
+        let plan = dfs.re_replicate();
+        prop_assert!(plan.is_empty(), "nothing to copy from");
+        prop_assert_eq!(dfs.under_replicated().len(), meta.num_blocks());
+    }
+
+    #[test]
+    fn splits_cover_every_block_once(
+        files in proptest::collection::vec(1u64..512, 1..6),
+        config in config_strategy(),
+    ) {
+        let dfs = MiniDfs::new(8, config).unwrap();
+        let mut expected_blocks = 0;
+        for (i, &len) in files.iter().enumerate() {
+            let meta = dfs
+                .create_virtual(&format!("/in/{i:03}"), NodeId((i % 8) as u16), len)
+                .unwrap();
+            expected_blocks += meta.num_blocks();
+        }
+        let splits = dfs.splits_for_prefix("/in/").unwrap();
+        prop_assert_eq!(splits.len(), expected_blocks);
+        let mut ids: Vec<_> = splits.iter().map(|s| s.block.id).collect();
+        ids.sort();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), expected_blocks, "duplicate block in splits");
+    }
+}

@@ -1,0 +1,150 @@
+//! MapReduce engine configuration (the `mapred-site.xml` analogue).
+
+use dmpi_common::units::MB;
+use dmpi_common::{Error, Result};
+
+/// Injected map-task fault for the fault-tolerance tests: the task fails
+/// its first `failures` attempts, then succeeds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MrFaultSpec {
+    /// Which map task (split index) fails.
+    pub task_index: usize,
+    /// How many attempts fail before it succeeds.
+    pub failures: u32,
+}
+
+/// Configuration of the MapReduce engine.
+#[derive(Clone, Debug)]
+pub struct MapRedConfig {
+    /// Concurrent map tasks (threads in the real runtime; per-node slots in
+    /// the simulator — the paper tunes 4 per node).
+    pub map_slots: usize,
+    /// Concurrent reduce tasks.
+    pub reduce_slots: usize,
+    /// Number of reduce tasks (= output partitions).
+    pub num_reducers: usize,
+    /// Map-side sort buffer (`io.sort.mb`): emitted bytes beyond this
+    /// trigger a sort+spill to local disk.
+    pub sort_buffer: usize,
+    /// Whether a combiner (if provided) runs on each spill.
+    pub use_combiner: bool,
+    /// Maximum attempts per map task before the job fails (Hadoop's
+    /// `mapred.map.max.attempts`, default 4). Hadoop's fault tolerance is
+    /// *re-execution*: a failed task restarts from its input split, unlike
+    /// DataMPI's checkpoint replay.
+    pub max_attempts: u32,
+    /// Map-side fault injection for tests.
+    pub fail_map_task: Option<MrFaultSpec>,
+    /// Reduce-side fault injection for tests (`task_index` = partition).
+    pub fail_reduce_task: Option<MrFaultSpec>,
+}
+
+impl MapRedConfig {
+    /// Small defaults for tests and examples.
+    pub fn new(num_reducers: usize) -> Self {
+        MapRedConfig {
+            map_slots: 4,
+            reduce_slots: 4,
+            num_reducers,
+            sort_buffer: 8 * MB as usize,
+            use_combiner: true,
+            max_attempts: 4,
+            fail_map_task: None,
+            fail_reduce_task: None,
+        }
+    }
+
+    /// Validates invariants.
+    pub fn validate(&self) -> Result<()> {
+        if self.map_slots == 0 || self.reduce_slots == 0 {
+            return Err(Error::Config("slots must be positive".into()));
+        }
+        if self.num_reducers == 0 {
+            return Err(Error::Config("need at least one reducer".into()));
+        }
+        if self.sort_buffer == 0 {
+            return Err(Error::Config("sort buffer must be positive".into()));
+        }
+        if self.max_attempts == 0 {
+            return Err(Error::Config("max attempts must be >= 1".into()));
+        }
+        Ok(())
+    }
+
+    /// Builder: sort buffer size.
+    pub fn with_sort_buffer(mut self, bytes: usize) -> Self {
+        self.sort_buffer = bytes;
+        self
+    }
+
+    /// Builder: combiner on/off.
+    pub fn with_combiner(mut self, on: bool) -> Self {
+        self.use_combiner = on;
+        self
+    }
+
+    /// Builder: map slot count.
+    pub fn with_map_slots(mut self, slots: usize) -> Self {
+        self.map_slots = slots;
+        self
+    }
+
+    /// Builder: max attempts per map task.
+    pub fn with_max_attempts(mut self, attempts: u32) -> Self {
+        self.max_attempts = attempts;
+        self
+    }
+
+    /// Builder: inject a map-task fault.
+    pub fn with_fault(mut self, fault: MrFaultSpec) -> Self {
+        self.fail_map_task = Some(fault);
+        self
+    }
+
+    /// Builder: inject a reduce-task fault.
+    pub fn with_reduce_fault(mut self, fault: MrFaultSpec) -> Self {
+        self.fail_reduce_task = Some(fault);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        MapRedConfig::new(4).validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(MapRedConfig::new(0).validate().is_err());
+        let mut c = MapRedConfig::new(1);
+        c.map_slots = 0;
+        assert!(c.validate().is_err());
+        let c = MapRedConfig::new(1).with_sort_buffer(0);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn retry_config_validation() {
+        assert!(MapRedConfig::new(1).with_max_attempts(0).validate().is_err());
+        let c = MapRedConfig::new(1)
+            .with_max_attempts(2)
+            .with_fault(MrFaultSpec { task_index: 0, failures: 1 });
+        assert_eq!(c.max_attempts, 2);
+        assert_eq!(c.fail_map_task.unwrap().failures, 1);
+    }
+
+    #[test]
+    fn builders() {
+        let c = MapRedConfig::new(2)
+            .with_sort_buffer(1024)
+            .with_combiner(false)
+            .with_map_slots(2);
+        assert_eq!(c.sort_buffer, 1024);
+        assert!(!c.use_combiner);
+        assert_eq!(c.map_slots, 2);
+    }
+}

@@ -1,0 +1,71 @@
+//! Spark engine configuration.
+
+use dmpi_common::units::MB;
+use dmpi_common::{Error, Result};
+
+/// Configuration of the RDD engine.
+#[derive(Clone, Debug)]
+pub struct SparkConfig {
+    /// Worker threads evaluating partitions concurrently.
+    pub workers: usize,
+    /// Default number of partitions for shuffles.
+    pub default_parallelism: usize,
+    /// Block-manager memory budget in bytes: cached partitions plus
+    /// in-flight shuffle buffers must fit or the job fails with
+    /// `OutOfMemory` (Spark 0.8 had no spilling shuffle).
+    pub memory_budget: usize,
+}
+
+impl SparkConfig {
+    /// Small defaults for tests and examples.
+    pub fn new(default_parallelism: usize) -> Self {
+        SparkConfig {
+            workers: 4,
+            default_parallelism,
+            memory_budget: 256 * MB as usize,
+        }
+    }
+
+    /// Builder: memory budget.
+    pub fn with_memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = bytes;
+        self
+    }
+
+    /// Builder: worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Validates invariants.
+    pub fn validate(&self) -> Result<()> {
+        if self.workers == 0 {
+            return Err(Error::Config("need at least one worker".into()));
+        }
+        if self.default_parallelism == 0 {
+            return Err(Error::Config("parallelism must be positive".into()));
+        }
+        if self.memory_budget == 0 {
+            return Err(Error::Config("memory budget must be positive".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_valid() {
+        SparkConfig::new(4).validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_rejected() {
+        assert!(SparkConfig::new(0).validate().is_err());
+        assert!(SparkConfig::new(1).with_workers(0).validate().is_err());
+        assert!(SparkConfig::new(1).with_memory_budget(0).validate().is_err());
+    }
+}

@@ -1,0 +1,1011 @@
+//! RDDs, lineage, and the evaluating "executor".
+//!
+//! An [`Rdd`] is an immutable node in a transformation DAG. Narrow
+//! transformations (`flat_map`, `filter`) evaluate partition-by-partition
+//! with no data movement — one *stage*. Wide transformations
+//! (`reduce_by_key`, `sort_by_key`) shuffle: they cut a stage boundary and
+//! account their buffered data against the block manager's memory budget,
+//! failing with [`dmpi_common::Error::OutOfMemory`] when it does not fit —
+//! the behaviour the paper observes when sorting >8 GB on Spark 0.8.
+//!
+//! Caching (`cache()`) stores computed partitions in the context's block
+//! manager; a partition evicted (or "lost with its executor") is
+//! transparently **recomputed from lineage**, which the fault-injection
+//! tests exercise.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use dmpi_common::compare::{sort_records, BytesComparator};
+use dmpi_common::group::{group_hashed, Collector};
+use dmpi_common::kv::{Record, RecordBatch};
+use dmpi_common::partition::{HashPartitioner, Partitioner, RangePartitioner};
+use dmpi_common::{Error, Result};
+
+use crate::config::SparkConfig;
+
+type MapFn = dyn Fn(&Record, &mut dyn Collector) + Send + Sync;
+
+/// Encodes a join output value: both sides length-prefixed.
+pub fn encode_join_value(left: &[u8], right: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(left.len() + right.len() + 8);
+    dmpi_common::varint::write_u64(&mut out, left.len() as u64);
+    out.extend_from_slice(left);
+    dmpi_common::varint::write_u64(&mut out, right.len() as u64);
+    out.extend_from_slice(right);
+    out
+}
+
+/// Decodes a join output value into `(left, right)`.
+pub fn decode_join_value(value: &[u8]) -> Result<(Vec<u8>, Vec<u8>)> {
+    let (llen, n1) = dmpi_common::varint::read_u64(value)?;
+    let lend = n1 + llen as usize;
+    if value.len() < lend {
+        return Err(Error::corrupt("truncated join value (left)"));
+    }
+    let left = value[n1..lend].to_vec();
+    let (rlen, n2) = dmpi_common::varint::read_u64(&value[lend..])?;
+    let rstart = lend + n2;
+    let rend = rstart + rlen as usize;
+    if value.len() < rend {
+        return Err(Error::corrupt("truncated join value (right)"));
+    }
+    Ok((left, value[rstart..rend].to_vec()))
+}
+type PredFn = dyn Fn(&Record) -> bool + Send + Sync;
+type CombineFn = dyn Fn(&[u8], &[u8]) -> Vec<u8> + Send + Sync;
+
+/// Counters exposed by the context.
+#[derive(Debug, Default)]
+pub struct SparkStats {
+    /// Shuffles executed.
+    pub shuffles: AtomicU64,
+    /// Partitions computed (including recomputation from lineage).
+    pub partitions_computed: AtomicU64,
+    /// Cache hits.
+    pub cache_hits: AtomicU64,
+    /// Cache misses (partition had to be computed).
+    pub cache_misses: AtomicU64,
+    /// Bytes moved through shuffles.
+    pub shuffle_bytes: AtomicU64,
+}
+
+struct ContextInner {
+    config: SparkConfig,
+    /// Block manager: cached partitions per RDD id.
+    cache: Mutex<HashMap<usize, Vec<Option<RecordBatch>>>>,
+    cache_bytes: AtomicUsize,
+    next_id: AtomicUsize,
+    stats: SparkStats,
+}
+
+/// The driver handle: owns configuration, the block manager and counters.
+///
+/// # Examples
+/// ```
+/// use dmpi_rddsim::{SparkConfig, SparkContext};
+///
+/// let ctx = SparkContext::new(SparkConfig::new(2)).unwrap();
+/// let lines = ctx.text_source(vec![bytes::Bytes::from_static(b"ab\ncd\nab")]);
+/// // Narrow filter, then a wide distinct: two of the three lines remain.
+/// let distinct = lines.distinct(2);
+/// assert_eq!(distinct.count().unwrap(), 2);
+/// ```
+#[derive(Clone)]
+pub struct SparkContext {
+    inner: Arc<ContextInner>,
+}
+
+impl SparkContext {
+    /// Creates a context.
+    pub fn new(config: SparkConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(SparkContext {
+            inner: Arc::new(ContextInner {
+                config,
+                cache: Mutex::new(HashMap::new()),
+                cache_bytes: AtomicUsize::new(0),
+                next_id: AtomicUsize::new(0),
+                stats: SparkStats::default(),
+            }),
+        })
+    }
+
+    /// Runtime counters.
+    pub fn stats(&self) -> &SparkStats {
+        &self.inner.stats
+    }
+
+    /// Bytes currently held by the block manager.
+    pub fn cached_bytes(&self) -> usize {
+        self.inner.cache_bytes.load(Ordering::SeqCst)
+    }
+
+    /// Creates a source RDD from in-memory partitions.
+    pub fn parallelize(&self, partitions: Vec<RecordBatch>) -> Rdd {
+        self.mk(RddNode::Parallelize { partitions })
+    }
+
+    /// Creates a source RDD of one record per text line, from raw splits.
+    pub fn text_source(&self, splits: Vec<bytes::Bytes>) -> Rdd {
+        let partitions = splits
+            .into_iter()
+            .map(|data| {
+                let mut batch = RecordBatch::new();
+                for line in data.split(|&b| b == b'\n').filter(|l| !l.is_empty()) {
+                    batch.push(Record::new(line.to_vec(), Vec::new()));
+                }
+                batch
+            })
+            .collect();
+        self.parallelize(partitions)
+    }
+
+    /// Evicts one cached partition — simulates losing an executor, forcing
+    /// lineage recomputation on next access.
+    pub fn evict_partition(&self, rdd: &Rdd, partition: usize) {
+        let mut cache = self.inner.cache.lock().expect("cache");
+        if let Some(parts) = cache.get_mut(&rdd.id) {
+            if let Some(slot) = parts.get_mut(partition) {
+                if let Some(batch) = slot.take() {
+                    self.inner
+                        .cache_bytes
+                        .fetch_sub(batch.framed_bytes() as usize, Ordering::SeqCst);
+                }
+            }
+        }
+    }
+
+    fn mk(&self, node: RddNode) -> Rdd {
+        Rdd {
+            id: self.inner.next_id.fetch_add(1, Ordering::SeqCst),
+            ctx: self.inner.clone(),
+            node: Arc::new(node),
+        }
+    }
+}
+
+enum RddNode {
+    Parallelize {
+        partitions: Vec<RecordBatch>,
+    },
+    FlatMap {
+        parent: Rdd,
+        f: Arc<MapFn>,
+    },
+    Filter {
+        parent: Rdd,
+        pred: Arc<PredFn>,
+    },
+    ReduceByKey {
+        parent: Rdd,
+        partitions: usize,
+        combine: Arc<CombineFn>,
+    },
+    SortByKey {
+        parent: Rdd,
+        partitions: usize,
+    },
+    Cache {
+        parent: Rdd,
+    },
+    /// Concatenation of two RDDs' partition lists (narrow).
+    Union {
+        left: Rdd,
+        right: Rdd,
+    },
+    /// Hash-shuffles whole records and deduplicates (wide).
+    Distinct {
+        parent: Rdd,
+        partitions: usize,
+    },
+    /// Inner hash join on keys (wide over both parents).
+    Join {
+        left: Rdd,
+        right: Rdd,
+        partitions: usize,
+    },
+}
+
+/// An immutable, lazily-evaluated distributed dataset.
+#[derive(Clone)]
+pub struct Rdd {
+    id: usize,
+    ctx: Arc<ContextInner>,
+    node: Arc<RddNode>,
+}
+
+impl Rdd {
+    /// This RDD's id (used with [`SparkContext::evict_partition`]).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    fn mk(&self, node: RddNode) -> Rdd {
+        Rdd {
+            id: self.ctx.next_id.fetch_add(1, Ordering::SeqCst),
+            ctx: self.ctx.clone(),
+            node: Arc::new(node),
+        }
+    }
+
+    /// Narrow: each record maps to zero or more records.
+    pub fn flat_map<F>(&self, f: F) -> Rdd
+    where
+        F: Fn(&Record, &mut dyn Collector) + Send + Sync + 'static,
+    {
+        self.mk(RddNode::FlatMap {
+            parent: self.clone(),
+            f: Arc::new(f),
+        })
+    }
+
+    /// Narrow: keeps records satisfying the predicate.
+    pub fn filter<P>(&self, pred: P) -> Rdd
+    where
+        P: Fn(&Record) -> bool + Send + Sync + 'static,
+    {
+        self.mk(RddNode::Filter {
+            parent: self.clone(),
+            pred: Arc::new(pred),
+        })
+    }
+
+    /// Wide: hash-shuffles and combines values per key with an associative
+    /// function (map-side combining included, like Spark's `combineByKey`).
+    pub fn reduce_by_key<C>(&self, partitions: usize, combine: C) -> Rdd
+    where
+        C: Fn(&[u8], &[u8]) -> Vec<u8> + Send + Sync + 'static,
+    {
+        self.mk(RddNode::ReduceByKey {
+            parent: self.clone(),
+            partitions,
+            combine: Arc::new(combine),
+        })
+    }
+
+    /// Wide: range-partitions by key and sorts each partition, yielding a
+    /// totally ordered dataset across partitions.
+    pub fn sort_by_key(&self, partitions: usize) -> Rdd {
+        self.mk(RddNode::SortByKey {
+            parent: self.clone(),
+            partitions,
+        })
+    }
+
+    /// Marks this RDD for caching in the block manager.
+    pub fn cache(&self) -> Rdd {
+        self.mk(RddNode::Cache {
+            parent: self.clone(),
+        })
+    }
+
+    /// Narrow: transforms each record's value, keeping its key.
+    pub fn map_values<F>(&self, f: F) -> Rdd
+    where
+        F: Fn(&[u8]) -> Vec<u8> + Send + Sync + 'static,
+    {
+        self.flat_map(move |rec, out| out.collect(&rec.key, &f(&rec.value)))
+    }
+
+    /// Narrow: concatenates this RDD's partitions with `other`'s.
+    pub fn union(&self, other: &Rdd) -> Rdd {
+        self.mk(RddNode::Union {
+            left: self.clone(),
+            right: other.clone(),
+        })
+    }
+
+    /// Wide: removes duplicate `(key, value)` records via a hash shuffle.
+    pub fn distinct(&self, partitions: usize) -> Rdd {
+        self.mk(RddNode::Distinct {
+            parent: self.clone(),
+            partitions,
+        })
+    }
+
+    /// Wide: inner join on keys. Each output record's value is the framed
+    /// pair of the left and right values (decode with
+    /// [`decode_join_value`]).
+    pub fn join(&self, other: &Rdd, partitions: usize) -> Rdd {
+        self.mk(RddNode::Join {
+            left: self.clone(),
+            right: other.clone(),
+            partitions,
+        })
+    }
+
+    /// Evaluates the DAG and returns all partitions.
+    pub fn collect(&self) -> Result<Vec<RecordBatch>> {
+        self.compute()
+    }
+
+    /// Counts records without retaining them.
+    pub fn count(&self) -> Result<u64> {
+        Ok(self.compute()?.iter().map(|p| p.len() as u64).sum())
+    }
+
+    fn compute(&self) -> Result<Vec<RecordBatch>> {
+        match &*self.node {
+            RddNode::Parallelize { partitions } => {
+                self.ctx
+                    .stats
+                    .partitions_computed
+                    .fetch_add(partitions.len() as u64, Ordering::SeqCst);
+                Ok(partitions.clone())
+            }
+            RddNode::FlatMap { parent, f } => {
+                let input = parent.compute()?;
+                self.narrow(input, |batch| {
+                    let mut out = dmpi_common::group::BatchCollector::default();
+                    for rec in &batch {
+                        f(rec, &mut out);
+                    }
+                    Ok(out.batch)
+                })
+            }
+            RddNode::Filter { parent, pred } => {
+                let input = parent.compute()?;
+                self.narrow(input, |batch| {
+                    Ok(batch.into_records().into_iter().filter(|r| pred(r)).collect())
+                })
+            }
+            RddNode::ReduceByKey {
+                parent,
+                partitions,
+                combine,
+            } => {
+                let input = parent.compute()?;
+                self.shuffle_reduce(input, *partitions, combine)
+            }
+            RddNode::SortByKey { parent, partitions } => {
+                let input = parent.compute()?;
+                self.shuffle_sort(input, *partitions)
+            }
+            RddNode::Union { left, right } => {
+                let mut parts = left.compute()?;
+                parts.extend(right.compute()?);
+                Ok(parts)
+            }
+            RddNode::Distinct { parent, partitions } => {
+                let input = parent.compute()?;
+                self.shuffle_distinct(input, *partitions)
+            }
+            RddNode::Join {
+                left,
+                right,
+                partitions,
+            } => {
+                let l = left.compute()?;
+                let r = right.compute()?;
+                self.shuffle_join(l, r, *partitions)
+            }
+            RddNode::Cache { parent } => {
+                // Serve hits from the block manager; recompute misses from
+                // lineage (whole-RDD compute on first touch, per-partition
+                // recompute after eviction).
+                let cached = {
+                    let cache = self.ctx.cache.lock().expect("cache");
+                    cache.get(&self.id).cloned()
+                };
+                match cached {
+                    None => {
+                        let computed = parent.compute()?;
+                        let bytes: usize =
+                            computed.iter().map(|b| b.framed_bytes() as usize).sum();
+                        self.charge_memory(bytes, "block manager cache")?;
+                        self.ctx
+                            .stats
+                            .cache_misses
+                            .fetch_add(computed.len() as u64, Ordering::SeqCst);
+                        let mut cache = self.ctx.cache.lock().expect("cache");
+                        cache.insert(self.id, computed.iter().cloned().map(Some).collect());
+                        Ok(computed)
+                    }
+                    Some(slots) => {
+                        // Recompute evicted partitions from lineage.
+                        let mut result = Vec::with_capacity(slots.len());
+                        let mut recomputed_parent: Option<Vec<RecordBatch>> = None;
+                        let mut recovered = Vec::new();
+                        for (i, slot) in slots.into_iter().enumerate() {
+                            match slot {
+                                Some(batch) => {
+                                    self.ctx.stats.cache_hits.fetch_add(1, Ordering::SeqCst);
+                                    result.push(batch);
+                                }
+                                None => {
+                                    self.ctx.stats.cache_misses.fetch_add(1, Ordering::SeqCst);
+                                    if recomputed_parent.is_none() {
+                                        recomputed_parent = Some(parent.compute()?);
+                                    }
+                                    let parent_parts =
+                                        recomputed_parent.as_ref().expect("just set");
+                                    let batch = parent_parts.get(i).cloned().ok_or_else(|| {
+                                        Error::InvalidState(format!(
+                                            "lineage recompute lost partition {i}"
+                                        ))
+                                    })?;
+                                    self.charge_memory(
+                                        batch.framed_bytes() as usize,
+                                        "cache refill",
+                                    )?;
+                                    recovered.push((i, batch.clone()));
+                                    result.push(batch);
+                                }
+                            }
+                        }
+                        if !recovered.is_empty() {
+                            let mut cache = self.ctx.cache.lock().expect("cache");
+                            if let Some(parts) = cache.get_mut(&self.id) {
+                                for (i, batch) in recovered {
+                                    parts[i] = Some(batch);
+                                }
+                            }
+                        }
+                        Ok(result)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs a narrow transformation over partitions in parallel.
+    fn narrow<F>(&self, input: Vec<RecordBatch>, f: F) -> Result<Vec<RecordBatch>>
+    where
+        F: Fn(RecordBatch) -> Result<RecordBatch> + Send + Sync,
+    {
+        let n = input.len();
+        let results: Mutex<Vec<Option<Result<RecordBatch>>>> = Mutex::new((0..n).map(|_| None).collect());
+        let queue: Mutex<Vec<(usize, RecordBatch)>> =
+            Mutex::new(input.into_iter().enumerate().collect());
+        let workers = self.ctx.config.workers.min(n.max(1));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let Some((i, batch)) = queue.lock().expect("queue").pop() else {
+                        break;
+                    };
+                    let r = f(batch);
+                    self.ctx
+                        .stats
+                        .partitions_computed
+                        .fetch_add(1, Ordering::SeqCst);
+                    results.lock().expect("results")[i] = Some(r);
+                });
+            }
+        });
+        results
+            .into_inner()
+            .expect("results lock")
+            .into_iter()
+            .map(|r| r.expect("worker filled every slot"))
+            .collect()
+    }
+
+    /// Hash shuffle with map-side combining, then per-partition reduce.
+    fn shuffle_reduce(
+        &self,
+        input: Vec<RecordBatch>,
+        partitions: usize,
+        combine: &Arc<CombineFn>,
+    ) -> Result<Vec<RecordBatch>> {
+        let partitioner = HashPartitioner::new(partitions.max(1));
+        self.ctx.stats.shuffles.fetch_add(1, Ordering::SeqCst);
+
+        // Map side: combine per key within each input partition.
+        let mut buckets: Vec<Vec<Record>> = (0..partitioner.num_partitions())
+            .map(|_| Vec::new())
+            .collect();
+        let mut shuffle_bytes = 0u64;
+        for batch in input {
+            let groups = group_hashed(batch.into_records());
+            for g in groups {
+                let mut acc: Option<Vec<u8>> = None;
+                for v in &g.values {
+                    acc = Some(match acc {
+                        None => v.to_vec(),
+                        Some(prev) => combine(&prev, v),
+                    });
+                }
+                let value = acc.unwrap_or_default();
+                let rec = Record::new(g.key.to_vec(), value);
+                shuffle_bytes += rec.framed_len() as u64;
+                buckets[partitioner.partition(&rec.key)].push(rec);
+            }
+        }
+        self.ctx
+            .stats
+            .shuffle_bytes
+            .fetch_add(shuffle_bytes, Ordering::SeqCst);
+        self.charge_transient(shuffle_bytes as usize, "shuffle buffers")?;
+
+        // Reduce side: final combine per key.
+        let mut out = Vec::with_capacity(buckets.len());
+        for bucket in buckets {
+            let mut batch = RecordBatch::new();
+            for g in group_hashed(bucket) {
+                let mut acc: Option<Vec<u8>> = None;
+                for v in &g.values {
+                    acc = Some(match acc {
+                        None => v.to_vec(),
+                        Some(prev) => combine(&prev, v),
+                    });
+                }
+                batch.push(Record::new(g.key.to_vec(), acc.unwrap_or_default()));
+            }
+            out.push(batch);
+        }
+        Ok(out)
+    }
+
+    /// Range shuffle + per-partition sort (Spark 0.8 holds the dataset in
+    /// memory while sorting — the OOM trigger).
+    fn shuffle_sort(&self, input: Vec<RecordBatch>, partitions: usize) -> Result<Vec<RecordBatch>> {
+        self.ctx.stats.shuffles.fetch_add(1, Ordering::SeqCst);
+        let total_bytes: u64 = input.iter().map(RecordBatch::framed_bytes).sum();
+        self.ctx
+            .stats
+            .shuffle_bytes
+            .fetch_add(total_bytes, Ordering::SeqCst);
+        // The whole dataset is resident during the sort.
+        self.charge_transient(total_bytes as usize, "sort buffers")?;
+
+        // Sample for the range partitioner.
+        let mut sample = Vec::new();
+        for batch in &input {
+            for (i, rec) in batch.iter().enumerate() {
+                if i % 101 == 0 || batch.len() < 64 {
+                    sample.push(rec.key.to_vec());
+                }
+            }
+        }
+        let partitioner = RangePartitioner::from_sample(sample, partitions.max(1));
+        let mut buckets: Vec<Vec<Record>> = (0..partitioner.num_partitions())
+            .map(|_| Vec::new())
+            .collect();
+        for batch in input {
+            for rec in batch.into_records() {
+                buckets[partitioner.partition(&rec.key)].push(rec);
+            }
+        }
+        let mut out = Vec::with_capacity(buckets.len());
+        for mut bucket in buckets {
+            sort_records(&mut bucket, &BytesComparator);
+            out.push(bucket.into_iter().collect());
+        }
+        Ok(out)
+    }
+
+    /// Hash shuffle of whole records, deduplicated per target partition.
+    fn shuffle_distinct(
+        &self,
+        input: Vec<RecordBatch>,
+        partitions: usize,
+    ) -> Result<Vec<RecordBatch>> {
+        use dmpi_common::hashing::FnvHashSet;
+        self.ctx.stats.shuffles.fetch_add(1, Ordering::SeqCst);
+        let partitioner = HashPartitioner::new(partitions.max(1));
+        let total: u64 = input.iter().map(RecordBatch::framed_bytes).sum();
+        self.ctx.stats.shuffle_bytes.fetch_add(total, Ordering::SeqCst);
+        self.charge_transient(total as usize, "distinct shuffle")?;
+        let mut seen: Vec<FnvHashSet<(bytes::Bytes, bytes::Bytes)>> =
+            (0..partitioner.num_partitions()).map(|_| FnvHashSet::default()).collect();
+        let mut out: Vec<RecordBatch> = (0..partitioner.num_partitions())
+            .map(|_| RecordBatch::new())
+            .collect();
+        for batch in input {
+            for rec in batch.into_records() {
+                let p = partitioner.partition(&rec.key);
+                if seen[p].insert((rec.key.clone(), rec.value.clone())) {
+                    out[p].push(rec);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Co-shuffles both sides by key and emits the inner join.
+    fn shuffle_join(
+        &self,
+        left: Vec<RecordBatch>,
+        right: Vec<RecordBatch>,
+        partitions: usize,
+    ) -> Result<Vec<RecordBatch>> {
+        use dmpi_common::hashing::FnvHashMap;
+        self.ctx.stats.shuffles.fetch_add(1, Ordering::SeqCst);
+        let partitioner = HashPartitioner::new(partitions.max(1));
+        let total: u64 = left
+            .iter()
+            .chain(&right)
+            .map(RecordBatch::framed_bytes)
+            .sum();
+        self.ctx.stats.shuffle_bytes.fetch_add(total, Ordering::SeqCst);
+        self.charge_transient(total as usize, "join shuffle")?;
+
+        let bucket = |batches: Vec<RecordBatch>| -> Vec<Vec<Record>> {
+            let mut buckets: Vec<Vec<Record>> = (0..partitioner.num_partitions())
+                .map(|_| Vec::new())
+                .collect();
+            for batch in batches {
+                for rec in batch.into_records() {
+                    buckets[partitioner.partition(&rec.key)].push(rec);
+                }
+            }
+            buckets
+        };
+        let lb = bucket(left);
+        let rb = bucket(right);
+        let mut out = Vec::with_capacity(lb.len());
+        for (lpart, rpart) in lb.into_iter().zip(rb) {
+            // Build the hash side from the left, probe with the right —
+            // order within a key group follows left-then-right insertion.
+            let mut table: FnvHashMap<bytes::Bytes, Vec<bytes::Bytes>> = FnvHashMap::default();
+            for rec in lpart {
+                table.entry(rec.key).or_default().push(rec.value);
+            }
+            let mut batch = RecordBatch::new();
+            for rec in rpart {
+                if let Some(lvals) = table.get(&rec.key) {
+                    for lv in lvals {
+                        batch.push(Record::new(
+                            rec.key.to_vec(),
+                            encode_join_value(lv, &rec.value),
+                        ));
+                    }
+                }
+            }
+            out.push(batch);
+        }
+        Ok(out)
+    }
+
+    /// Charges persistent (cache) memory against the budget.
+    fn charge_memory(&self, bytes: usize, context: &str) -> Result<()> {
+        let budget = self.ctx.config.memory_budget;
+        let prev = self.ctx.cache_bytes.fetch_add(bytes, Ordering::SeqCst);
+        if prev + bytes > budget {
+            self.ctx.cache_bytes.fetch_sub(bytes, Ordering::SeqCst);
+            return Err(Error::OutOfMemory {
+                context: context.to_string(),
+                requested: bytes as u64,
+                available: budget.saturating_sub(prev) as u64,
+            });
+        }
+        Ok(())
+    }
+
+    /// Checks that transient (shuffle/sort) memory fits alongside the
+    /// cache; transient memory is released after the operation.
+    fn charge_transient(&self, bytes: usize, context: &str) -> Result<()> {
+        let budget = self.ctx.config.memory_budget;
+        let cached = self.ctx.cache_bytes.load(Ordering::SeqCst);
+        if cached + bytes > budget {
+            return Err(Error::OutOfMemory {
+                context: context.to_string(),
+                requested: bytes as u64,
+                available: budget.saturating_sub(cached) as u64,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmpi_common::ser::Writable;
+    use dmpi_common::units::MB;
+
+    fn ctx() -> SparkContext {
+        SparkContext::new(SparkConfig::new(4)).unwrap()
+    }
+
+    fn wc_rdd(ctx: &SparkContext, lines: &[&str]) -> Rdd {
+        let parts: Vec<RecordBatch> = lines
+            .iter()
+            .map(|l| {
+                let mut b = RecordBatch::new();
+                b.push(Record::from_strs(l, ""));
+                b
+            })
+            .collect();
+        ctx.parallelize(parts)
+            .flat_map(|rec, out| {
+                for w in rec.key.split(|&b| b == b' ').filter(|w| !w.is_empty()) {
+                    out.collect(w, &1u64.to_bytes());
+                }
+            })
+            .reduce_by_key(4, |a, b| {
+                let x = u64::from_bytes(a).unwrap() + u64::from_bytes(b).unwrap();
+                x.to_bytes()
+            })
+    }
+
+    fn counts(parts: Vec<RecordBatch>) -> std::collections::BTreeMap<String, u64> {
+        parts
+            .into_iter()
+            .flat_map(|p| p.into_records())
+            .map(|r| (r.key_utf8(), u64::from_bytes(&r.value).unwrap()))
+            .collect()
+    }
+
+    #[test]
+    fn wordcount_via_reduce_by_key() {
+        let ctx = ctx();
+        let rdd = wc_rdd(&ctx, &["a b a", "b a c"]);
+        let c = counts(rdd.collect().unwrap());
+        assert_eq!(c["a"], 3);
+        assert_eq!(c["b"], 2);
+        assert_eq!(c["c"], 1);
+        assert_eq!(ctx.stats().shuffles.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn filter_is_narrow() {
+        let ctx = ctx();
+        let src = ctx.text_source(vec![bytes::Bytes::from_static(b"keep\ndrop\nkeep\n")]);
+        let kept = src.filter(|r| r.key.as_ref() == b"keep");
+        assert_eq!(kept.count().unwrap(), 2);
+        assert_eq!(ctx.stats().shuffles.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn sort_by_key_totally_orders() {
+        let ctx = ctx();
+        let mut batch = RecordBatch::new();
+        for w in ["pear", "apple", "zebra", "fig", "mango", "kiwi"] {
+            batch.push(Record::from_strs(w, "v"));
+        }
+        let sorted = ctx.parallelize(vec![batch]).sort_by_key(3);
+        let parts = sorted.collect().unwrap();
+        let flat: Vec<String> = parts
+            .iter()
+            .flat_map(|p| p.iter().map(|r| r.key_utf8()))
+            .collect();
+        let mut expect = flat.clone();
+        expect.sort();
+        assert_eq!(flat, expect, "concatenated partitions are globally sorted");
+    }
+
+    #[test]
+    fn sort_oom_when_dataset_exceeds_budget() {
+        let config = SparkConfig::new(2).with_memory_budget(1024);
+        let ctx = SparkContext::new(config).unwrap();
+        let mut batch = RecordBatch::new();
+        for i in 0..200 {
+            batch.push(Record::from_strs(&format!("key-{i:04}"), "payload"));
+        }
+        let err = ctx.parallelize(vec![batch]).sort_by_key(2).collect().unwrap_err();
+        assert!(err.is_oom(), "expected OOM, got {err}");
+    }
+
+    #[test]
+    fn cache_hits_skip_recomputation() {
+        let ctx = ctx();
+        let counter = Arc::new(AtomicU64::new(0));
+        let c2 = counter.clone();
+        let src = ctx
+            .parallelize(vec![
+                [Record::from_strs("a", "1")].into_iter().collect(),
+                [Record::from_strs("b", "2")].into_iter().collect(),
+            ])
+            .flat_map(move |rec, out| {
+                c2.fetch_add(1, Ordering::SeqCst);
+                out.collect(&rec.key, &rec.value);
+            })
+            .cache();
+        assert_eq!(src.count().unwrap(), 2);
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+        // Second evaluation: all from cache.
+        assert_eq!(src.count().unwrap(), 2);
+        assert_eq!(counter.load(Ordering::SeqCst), 2, "no recomputation");
+        assert_eq!(ctx.stats().cache_hits.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn evicted_partition_recomputes_from_lineage() {
+        let ctx = ctx();
+        let src = ctx
+            .parallelize(vec![
+                [Record::from_strs("p0", "x")].into_iter().collect(),
+                [Record::from_strs("p1", "y")].into_iter().collect(),
+            ])
+            .cache();
+        let first = src.collect().unwrap();
+        ctx.evict_partition(&src, 1);
+        let second = src.collect().unwrap();
+        assert_eq!(first.len(), second.len());
+        assert_eq!(first[1].records(), second[1].records());
+        // One hit (p0) and one lineage recomputation (p1) on the second run.
+        assert!(ctx.stats().cache_misses.load(Ordering::SeqCst) >= 3);
+    }
+
+    #[test]
+    fn cache_oom_when_over_budget() {
+        let config = SparkConfig::new(2).with_memory_budget(64);
+        let ctx = SparkContext::new(config).unwrap();
+        let mut batch = RecordBatch::new();
+        for i in 0..100 {
+            batch.push(Record::from_strs(&format!("{i}"), "vvvvvvvv"));
+        }
+        let err = ctx.parallelize(vec![batch]).cache().collect().unwrap_err();
+        assert!(err.is_oom());
+    }
+
+    #[test]
+    fn iterative_reuse_like_kmeans() {
+        // Cache once, iterate many times — Spark's headline pattern.
+        let ctx = ctx();
+        let data: Vec<RecordBatch> = (0..4)
+            .map(|p| {
+                (0..25)
+                    .map(|i| Record::from_strs(&format!("k{p}-{i}"), "1"))
+                    .collect()
+            })
+            .collect();
+        let cached = ctx.parallelize(data).cache();
+        for _ in 0..5 {
+            assert_eq!(cached.count().unwrap(), 100);
+        }
+        let hits = ctx.stats().cache_hits.load(Ordering::SeqCst);
+        assert!(hits >= 16, "4 partitions x 4 cached iterations, got {hits}");
+    }
+
+    #[test]
+    fn reduce_by_key_agrees_with_other_engines() {
+        let ctx = ctx();
+        let rdd = wc_rdd(&ctx, &["x y x", "y x"]);
+        let spark_counts = counts(rdd.collect().unwrap());
+        let dmpi = datampi::run_job(
+            &datampi::JobConfig::new(2),
+            vec![
+                bytes::Bytes::from_static(b"x y x"),
+                bytes::Bytes::from_static(b"y x"),
+            ],
+            |_t, split: &[u8], out: &mut dyn Collector| {
+                for w in split.split(|&b| b == b' ').filter(|w| !w.is_empty()) {
+                    out.collect(w, &1u64.to_bytes());
+                }
+            },
+            |g: &dmpi_common::group::GroupedValues, out: &mut dyn Collector| {
+                let total: u64 = g.values.iter().map(|v| u64::from_bytes(v).unwrap()).sum();
+                out.collect(&g.key, &total.to_bytes());
+            },
+            None,
+        )
+        .unwrap();
+        let dmpi_counts: std::collections::BTreeMap<String, u64> = dmpi
+            .into_single_batch()
+            .into_records()
+            .into_iter()
+            .map(|r| (r.key_utf8(), u64::from_bytes(&r.value).unwrap()))
+            .collect();
+        assert_eq!(spark_counts, dmpi_counts);
+    }
+
+    #[test]
+    fn union_concatenates_partitions() {
+        let ctx = ctx();
+        let a = ctx.parallelize(vec![[Record::from_strs("a", "1")].into_iter().collect()]);
+        let b = ctx.parallelize(vec![
+            [Record::from_strs("b", "2")].into_iter().collect(),
+            [Record::from_strs("c", "3")].into_iter().collect(),
+        ]);
+        let u = a.union(&b);
+        let parts = u.collect().unwrap();
+        assert_eq!(parts.len(), 3);
+        assert_eq!(u.count().unwrap(), 3);
+        assert_eq!(ctx.stats().shuffles.load(Ordering::SeqCst), 0, "union is narrow");
+    }
+
+    #[test]
+    fn distinct_removes_duplicates() {
+        let ctx = ctx();
+        let src = ctx.parallelize(vec![
+            [
+                Record::from_strs("a", "1"),
+                Record::from_strs("a", "1"),
+                Record::from_strs("a", "2"),
+            ]
+            .into_iter()
+            .collect(),
+            [Record::from_strs("a", "1"), Record::from_strs("b", "1")]
+                .into_iter()
+                .collect(),
+        ]);
+        let d = src.distinct(4);
+        assert_eq!(d.count().unwrap(), 3, "(a,1), (a,2), (b,1)");
+        assert_eq!(ctx.stats().shuffles.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn map_values_keeps_keys() {
+        let ctx = ctx();
+        let src = ctx.parallelize(vec![[Record::from_strs("k", "ab")].into_iter().collect()]);
+        let doubled = src.map_values(|v| {
+            let mut out = v.to_vec();
+            out.extend_from_slice(v);
+            out
+        });
+        let parts = doubled.collect().unwrap();
+        assert_eq!(parts[0].records()[0].key_utf8(), "k");
+        assert_eq!(parts[0].records()[0].value_utf8(), "abab");
+    }
+
+    #[test]
+    fn join_is_an_inner_join() {
+        let ctx = ctx();
+        let left = ctx.parallelize(vec![[
+            Record::from_strs("a", "l1"),
+            Record::from_strs("a", "l2"),
+            Record::from_strs("b", "l3"),
+            Record::from_strs("only-left", "l4"),
+        ]
+        .into_iter()
+        .collect()]);
+        let right = ctx.parallelize(vec![[
+            Record::from_strs("a", "r1"),
+            Record::from_strs("b", "r2"),
+            Record::from_strs("only-right", "r3"),
+        ]
+        .into_iter()
+        .collect()]);
+        let joined = left.join(&right, 4).collect().unwrap();
+        let mut pairs: Vec<(String, String, String)> = joined
+            .iter()
+            .flat_map(|p| p.iter())
+            .map(|r| {
+                let (l, rv) = decode_join_value(&r.value).unwrap();
+                (
+                    r.key_utf8(),
+                    String::from_utf8(l).unwrap(),
+                    String::from_utf8(rv).unwrap(),
+                )
+            })
+            .collect();
+        pairs.sort();
+        assert_eq!(
+            pairs,
+            vec![
+                ("a".into(), "l1".into(), "r1".into()),
+                ("a".into(), "l2".into(), "r1".into()),
+                ("b".into(), "l3".into(), "r2".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn join_value_encoding_round_trips() {
+        let v = encode_join_value(b"left-bytes", b"");
+        assert_eq!(
+            decode_join_value(&v).unwrap(),
+            (b"left-bytes".to_vec(), Vec::new())
+        );
+        assert!(decode_join_value(&v[..3]).is_err());
+    }
+
+    #[test]
+    fn large_shuffle_within_budget_succeeds() {
+        let config = SparkConfig::new(4).with_memory_budget(64 * MB as usize);
+        let ctx = SparkContext::new(config).unwrap();
+        let parts: Vec<RecordBatch> = (0..8)
+            .map(|p| {
+                (0..1000)
+                    .map(|i| Record::from_strs(&format!("key{}", (i * 13 + p) % 500), "1"))
+                    .collect()
+            })
+            .collect();
+        let out = ctx
+            .parallelize(parts)
+            .reduce_by_key(8, |a, b| {
+                (u64::from_bytes(a).unwrap_or(0) + u64::from_bytes(b).unwrap_or(0)).to_bytes()
+            })
+            .collect();
+        // Keys here are ASCII "1" counts? No: values are the literal "1"
+        // bytes, not varints — combine falls back to 0+0; we only check
+        // structural success and key count.
+        let total_keys: usize = out.unwrap().iter().map(|p| p.len()).sum();
+        assert_eq!(total_keys, 500);
+    }
+}

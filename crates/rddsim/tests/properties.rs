@@ -1,0 +1,108 @@
+//! Property-based tests of the RDD engine: lineage determinism, sort
+//! correctness, and cache-transparency (eviction never changes results).
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use dmpi_common::kv::{Record, RecordBatch};
+use dmpi_common::ser::Writable;
+use dmpi_rddsim::{SparkConfig, SparkContext};
+
+fn ctx() -> SparkContext {
+    SparkContext::new(SparkConfig::new(4)).unwrap()
+}
+
+fn partitions_from(keys: &[Vec<String>]) -> Vec<RecordBatch> {
+    keys.iter()
+        .map(|part| {
+            part.iter()
+                .map(|k| Record::new(k.as_bytes().to_vec(), 1u64.to_bytes()))
+                .collect()
+        })
+        .collect()
+}
+
+fn keys_strategy() -> impl Strategy<Value = Vec<Vec<String>>> {
+    proptest::collection::vec(
+        proptest::collection::vec("[a-f]{1,4}", 0..16),
+        0..6,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn reduce_by_key_matches_reference(keys in keys_strategy(), parts in 1usize..8) {
+        let ctx = ctx();
+        let mut expected: BTreeMap<String, u64> = BTreeMap::new();
+        for part in &keys {
+            for k in part {
+                *expected.entry(k.clone()).or_default() += 1;
+            }
+        }
+        let out = ctx
+            .parallelize(partitions_from(&keys))
+            .reduce_by_key(parts, |a, b| {
+                (u64::from_bytes(a).unwrap() + u64::from_bytes(b).unwrap()).to_bytes()
+            })
+            .collect()
+            .unwrap();
+        let got: BTreeMap<String, u64> = out
+            .into_iter()
+            .flat_map(|p| p.into_records())
+            .map(|r| (r.key_utf8(), u64::from_bytes(&r.value).unwrap()))
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn sort_by_key_globally_orders_everything(keys in keys_strategy(), parts in 1usize..8) {
+        let ctx = ctx();
+        let mut expected: Vec<String> = keys.iter().flatten().cloned().collect();
+        expected.sort();
+        let out = ctx
+            .parallelize(partitions_from(&keys))
+            .sort_by_key(parts)
+            .collect()
+            .unwrap();
+        let flat: Vec<String> = out
+            .iter()
+            .flat_map(|p| p.iter().map(|r| r.key_utf8()))
+            .collect();
+        prop_assert_eq!(flat, expected);
+    }
+
+    #[test]
+    fn eviction_is_transparent(
+        keys in keys_strategy().prop_filter("nonempty", |k| !k.is_empty()),
+        evict in any::<prop::sample::Index>(),
+    ) {
+        let ctx = ctx();
+        let cached = ctx.parallelize(partitions_from(&keys)).cache();
+        let before = cached.collect().unwrap();
+        ctx.evict_partition(&cached, evict.index(keys.len()));
+        let after = cached.collect().unwrap();
+        prop_assert_eq!(before.len(), after.len());
+        for (a, b) in before.iter().zip(&after) {
+            prop_assert_eq!(a.records(), b.records());
+        }
+    }
+
+    #[test]
+    fn filter_then_count_matches_reference(keys in keys_strategy()) {
+        let ctx = ctx();
+        let expected = keys
+            .iter()
+            .flatten()
+            .filter(|k| k.starts_with('a'))
+            .count() as u64;
+        let got = ctx
+            .parallelize(partitions_from(&keys))
+            .filter(|r| r.key.first() == Some(&b'a'))
+            .count()
+            .unwrap();
+        prop_assert_eq!(got, expected);
+    }
+}

@@ -1,0 +1,222 @@
+//! Calibration constants for the paper-scale simulations.
+//!
+//! All CPU costs are expressed as **per-core processing rates in bytes per
+//! second** (cost per byte = `1.0 / rate`). The values are fitted so the
+//! simulated testbed lands near the paper's headline measurements
+//! (§4.3-§4.6): 8 GB Text Sort ≈ 69 s / 117 s / 114 s for
+//! DataMPI / Hadoop / Spark, 32 GB WordCount ≈ 130 s / 275 s / 130 s, etc.
+//! They encode *why* the engines differ:
+//!
+//! * Hadoop's map-side rates are lower than DataMPI's because every
+//!   emitted pair passes through the sort/spill machinery, and its
+//!   startup / per-task JVM costs are an order of magnitude higher;
+//! * Spark's compute rates sit near DataMPI's (both avoid per-record
+//!   sorting for counting workloads) but its input locality is imperfect;
+//! * DataMPI pipelines its I/O against computation, so its phases cost
+//!   `max` rather than `sum` — that part is structural (see the plan
+//!   compilers), not a constant here.
+
+use dmpi_common::units::{GB, MB};
+
+/// One MB/s as bytes/sec.
+const MBS: f64 = MB as f64;
+
+// ---------------------------------------------------------------- startup
+
+/// Hadoop 1.x job submission + jobtracker scheduling + split computation.
+pub const HADOOP_STARTUP_SECS: f64 = 18.0;
+/// Hadoop per-task cost: jobtracker heartbeat scheduling (~3 s poll
+/// interval in Hadoop 1.x) plus the fresh JVM launch.
+pub const HADOOP_TASK_LAUNCH_SECS: f64 = 3.0;
+/// DataMPI `mpirun` + rank wireup (Java processes over MPI).
+pub const DATAMPI_STARTUP_SECS: f64 = 9.2;
+/// DataMPI finalize barrier.
+pub const DATAMPI_FINALIZE_SECS: f64 = 1.5;
+/// Spark driver + context + executor registration.
+pub const SPARK_STARTUP_SECS: f64 = 9.5;
+
+// ------------------------------------------------------------ jvm overhead
+
+/// CPU burned per core-second of productive Hadoop work (GC churn,
+/// per-record object allocation, service threads): §4.4 measures 80% CPU
+/// while Hadoop's four map slots do the same WordCount that costs
+/// DataMPI 47%.
+pub const HADOOP_CPU_OVERHEAD: f64 = 2.2;
+/// DataMPI's overhead (Java ranks, but no per-record sort machinery).
+pub const DATAMPI_CPU_OVERHEAD: f64 = 1.25;
+/// Spark's overhead (reused executors, Scala closures).
+pub const SPARK_CPU_OVERHEAD: f64 = 1.1;
+
+// ----------------------------------------------------------------- memory
+
+/// Hadoop TaskTracker + DataNode daemons per node.
+pub const HADOOP_DAEMON_MEM: i64 = 2 * GB as i64;
+/// Hadoop per-task JVM heap.
+pub const HADOOP_TASK_MEM: i64 = (1.75 * GB as f64) as i64;
+/// DataMPI resident rank heaps per node.
+pub const DATAMPI_RUNTIME_MEM: i64 = 4 * GB as i64;
+/// DataMPI per-concurrent-task working memory (KV buffers + task heap).
+pub const DATAMPI_TASK_MEM: i64 = (1.5 * GB as f64) as i64;
+/// Spark per-worker-thread working memory (its slice of the executor
+/// heap).
+pub const SPARK_TASK_MEM: i64 = 2 * GB as i64;
+/// Spark executor baseline per node.
+pub const SPARK_RUNTIME_MEM: i64 = 2 * GB as i64;
+/// Usable in-memory aggregation/sort capacity per Spark node: the
+/// executor heap ("as large as possible" on 16 GB nodes) times the
+/// fraction Spark 0.8 actually lets shuffle data occupy before the
+/// collector dies. The paper's observed OOM boundary — 8 GB Text Sort
+/// runs, 16 GB does not, and no Normal Sort size runs — pins this between
+/// 5.0 and 5.5 GB/node given the Java expansion below.
+pub const SPARK_EXECUTOR_MEM: f64 = 5.2 * GB as f64;
+/// Java in-memory expansion of text records (object headers, pointers,
+/// UTF-16) — what makes Spark's sorts exceed physical memory.
+pub const JAVA_EXPANSION: f64 = 5.0;
+/// DataMPI per-node in-memory budget for buffered intermediate data.
+pub const DATAMPI_INTERMEDIATE_MEM: f64 = 8.0 * GB as f64;
+
+// --------------------------------------------------------------- locality
+
+/// Fraction of input Spark reads from a local replica (its delay scheduler
+/// misses some; visible as network traffic in Figure 4(g)).
+pub const SPARK_INPUT_LOCALITY: f64 = 0.70;
+
+// ---------------------------------------------------- per-workload rates
+
+/// Text Sort: per-record deserialize + partition + serialize rate. Java
+/// record handling, not raw I/O, is what bounds the paper's O/map phases
+/// (8 GB over 8 nodes in a 28 s O phase = ~9 MB/s per core).
+pub const SORT_PIPELINE_RATE: f64 = 9.5 * MBS;
+/// Text Sort: Spark's stage-0 rate (Scala record path, slower — the paper
+/// measures 38 s for Stage 0 vs DataMPI's 28 s O phase).
+pub const SORT_SPARK_RATE: f64 = 7.0 * MBS;
+/// Text Sort: comparison sort of the shuffled data (per byte).
+pub const SORT_SORT_RATE: f64 = 26.0 * MBS;
+/// Text Sort: Spark 0.8's in-memory sort of deserialized objects (slower
+/// than the raw-bytes sorts of the other engines).
+pub const SPARK_SORT_MERGE_RATE: f64 = 9.0 * MBS;
+/// Hadoop map-side sort rate for Sort (applies to every emitted byte).
+pub const HADOOP_SORT_RATE: f64 = 30.0 * MBS;
+
+/// LZ77/Gzip decompression rate (Normal Sort input).
+pub const DECOMPRESS_RATE: f64 = 90.0 * MBS;
+/// Measured compression ratio of `ToSeqFile` output (key = value = line,
+/// Zipfian text) under the workspace codec — close to gzip's on the same
+/// data.
+pub const SEQFILE_COMPRESSION: f64 = 2.2;
+
+/// WordCount: DataMPI/Spark tokenize + hash-aggregate rate.
+pub const WC_AGGREGATE_RATE: f64 = 8.0 * MBS;
+/// WordCount: Hadoop tokenize + sort/spill rate (every pair is sorted).
+pub const WC_HADOOP_MAP_RATE: f64 = 4.3 * MBS;
+/// WordCount: intermediate data after map-side combining, per input byte
+/// (the dictionary is tiny relative to the corpus — §4.4).
+pub const WC_EMIT_RATIO: f64 = 0.004;
+/// WordCount output per input byte.
+pub const WC_OUTPUT_RATIO: f64 = 0.002;
+
+/// Grep: DataMPI scan rate (substring match, little allocation).
+pub const GREP_SCAN_RATE: f64 = 16.0 * MBS;
+/// Grep: Spark scan rate.
+pub const GREP_SPARK_RATE: f64 = 12.0 * MBS;
+/// Grep: Hadoop scan rate (regex via Text + sort machinery).
+pub const GREP_HADOOP_RATE: f64 = 11.0 * MBS;
+/// Grep: match selectivity (intermediate per input byte).
+pub const GREP_EMIT_RATIO: f64 = 0.01;
+
+/// K-means: distance computation per vector byte (DataMPI & Hadoop map).
+pub const KMEANS_ASSIGN_RATE: f64 = 9.0 * MBS;
+/// K-means: Hadoop's rate (Mahout's object churn).
+pub const KMEANS_HADOOP_RATE: f64 = 6.0 * MBS;
+/// K-means: Spark's per-iteration assignment rate.
+pub const KMEANS_SPARK_RATE: f64 = 7.8 * MBS;
+/// K-means: Spark's stage-0 load + deserialize + cache rate (no distance
+/// math yet — the assignment happens in the iteration stage).
+pub const KMEANS_SPARK_LOAD_RATE: f64 = 25.0 * MBS;
+/// K-means intermediate (partial centroid sums) per input byte.
+pub const KMEANS_EMIT_RATIO: f64 = 0.001;
+
+/// Naive Bayes: term counting rate (WordCount-like, §4.6).
+pub const BAYES_COUNT_RATE: f64 = 5.6 * MBS;
+/// Naive Bayes: Hadoop rate.
+pub const BAYES_HADOOP_RATE: f64 = 4.0 * MBS;
+/// Naive Bayes vectorize-phase intermediate ratio (sparse vectors are
+/// "within several mega bytes" — §4.6).
+pub const BAYES_EMIT_RATIO: f64 = 0.01;
+/// Number of chained MapReduce jobs in Mahout's Naive Bayes pipeline
+/// (tokenize, tf/df counting, vector creation, training) — each costs
+/// Hadoop a full job startup.
+pub const BAYES_HADOOP_JOBS: u32 = 4;
+/// DataMPI runs the same pipeline but startup is paid once per job too —
+/// just a much cheaper one.
+pub const BAYES_DATAMPI_JOBS: u32 = 4;
+
+/// Memory-pressure slowdown on per-byte CPU costs when `slots` concurrent
+/// tasks overcommit a node (GC churn and page-cache starvation): the
+/// mechanism behind Figure 2(b)'s throughput peak at 4 tasks/node — 6
+/// concurrent JVMs on a 16 GB node leave too little page cache and GC
+/// headroom.
+pub fn concurrency_pressure(slots: u32, per_task_mem: i64, base_mem: i64) -> f64 {
+    let node_mem = 16.0 * GB as f64;
+    let used = slots as f64 * per_task_mem as f64 + base_mem as f64;
+    // Healthy headroom is ~35% of RAM for page cache; squeeze below that
+    // degrades processing superlinearly.
+    let headroom = 1.0 - used / node_mem;
+    if headroom >= 0.35 {
+        1.0
+    } else {
+        1.0 + 6.0 * (0.35 - headroom.max(0.0))
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::assertions_on_constants)] // guardrails on tuned constants
+mod tests {
+    use super::*;
+
+    #[test]
+    fn startup_ordering_matches_the_paper() {
+        // Figure 5's premise: Hadoop's overhead dominates; DataMPI and
+        // Spark are comparable.
+        assert!(HADOOP_STARTUP_SECS > 1.5 * DATAMPI_STARTUP_SECS);
+        assert!((DATAMPI_STARTUP_SECS - SPARK_STARTUP_SECS).abs() < 3.0);
+    }
+
+    #[test]
+    fn hadoop_map_rates_are_slower_than_datampi() {
+        assert!(WC_HADOOP_MAP_RATE < WC_AGGREGATE_RATE);
+        assert!(GREP_HADOOP_RATE < GREP_SCAN_RATE);
+        assert!(KMEANS_HADOOP_RATE < KMEANS_ASSIGN_RATE);
+        assert!(BAYES_HADOOP_RATE < BAYES_COUNT_RATE);
+    }
+
+    #[test]
+    fn sort_memory_math_reproduces_the_oom_boundary() {
+        // Text Sort on Spark: 8 GB fits, 16 GB does not (Figure 3(b)).
+        let nodes = 8.0;
+        let fits = |gb: f64| gb * GB as f64 * JAVA_EXPANSION / nodes <= SPARK_EXECUTOR_MEM;
+        assert!(fits(8.0));
+        assert!(!fits(16.0));
+        // Normal Sort: even 4 GB of compressed input decompresses to
+        // ~8.8 GB logical, which does not fit (Figure 3(a) has no Spark).
+        let logical = 4.0 * GB as f64 * SEQFILE_COMPRESSION;
+        assert!(logical * JAVA_EXPANSION / nodes > SPARK_EXECUTOR_MEM);
+    }
+
+    #[test]
+    fn pressure_kicks_in_beyond_four_hadoop_tasks() {
+        let p2 = concurrency_pressure(2, HADOOP_TASK_MEM, HADOOP_DAEMON_MEM);
+        let p4 = concurrency_pressure(4, HADOOP_TASK_MEM, HADOOP_DAEMON_MEM);
+        let p6 = concurrency_pressure(6, HADOOP_TASK_MEM, HADOOP_DAEMON_MEM);
+        assert_eq!(p2, 1.0);
+        assert!(p4 <= 1.1, "4 tasks mostly healthy: {p4}");
+        assert!(p6 > p4 + 0.2, "6 tasks thrash: {p6} vs {p4}");
+    }
+
+    #[test]
+    fn emit_ratios_are_fractions() {
+        for r in [WC_EMIT_RATIO, GREP_EMIT_RATIO, KMEANS_EMIT_RATIO, BAYES_EMIT_RATIO] {
+            assert!(r > 0.0 && r < 0.1);
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! The workload catalogue (Table 1) and testbed description (Table 2).
+
+/// One row of Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CatalogEntry {
+    /// Row number.
+    pub no: u8,
+    /// Workload name.
+    pub workload: &'static str,
+    /// BigDataBench category.
+    pub category: &'static str,
+}
+
+/// Table 1: the representative workloads chosen from BigDataBench.
+pub const TABLE1: [CatalogEntry; 5] = [
+    CatalogEntry {
+        no: 1,
+        workload: "Sort",
+        category: "Micro-benchmark",
+    },
+    CatalogEntry {
+        no: 2,
+        workload: "WordCount",
+        category: "Micro-benchmark",
+    },
+    CatalogEntry {
+        no: 3,
+        workload: "Grep",
+        category: "Micro-benchmark",
+    },
+    CatalogEntry {
+        no: 4,
+        workload: "Naive Bayes",
+        category: "Social Network",
+    },
+    CatalogEntry {
+        no: 5,
+        workload: "K-means",
+        category: "E-commerce",
+    },
+];
+
+/// Renders Table 1 as aligned text.
+pub fn render_table1() -> String {
+    let mut out = String::from("No.  Workload      Type\n");
+    for e in TABLE1 {
+        out.push_str(&format!("{:<4} {:<13} {}\n", e.no, e.workload, e.category));
+    }
+    out
+}
+
+/// Renders Table 2 (hardware details) from the simulated cluster spec.
+pub fn render_table2() -> String {
+    let spec = dmpi_dcsim::ClusterSpec::paper_testbed();
+    let mut out = String::new();
+    out.push_str("CPU type       Intel Xeon E5620\n");
+    out.push_str("# cores        4 cores @2.4G x 2 sockets\n");
+    out.push_str("# threads      16 (hyper-threading)\n");
+    out.push_str(&format!(
+        "modeled CPU    {:.1} core-equivalents/node\n",
+        spec.cpu_capacity
+    ));
+    out.push_str(&format!(
+        "Memory         {}\n",
+        dmpi_common::units::fmt_bytes(spec.mem_bytes)
+    ));
+    out.push_str(&format!(
+        "Disk           SATA, {:.0} MB/s modeled sequential budget\n",
+        spec.disk_bw / dmpi_common::units::MB as f64
+    ));
+    out.push_str(&format!(
+        "Network        1 GbE, {:.0} MB/s per direction\n",
+        spec.net_bw / dmpi_common::units::MB as f64
+    ));
+    out.push_str(&format!("Nodes          {}\n", spec.nodes));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_the_paper() {
+        assert_eq!(TABLE1.len(), 5);
+        assert_eq!(TABLE1[0].workload, "Sort");
+        assert_eq!(TABLE1[3].category, "Social Network");
+        assert_eq!(TABLE1[4].category, "E-commerce");
+    }
+
+    #[test]
+    fn tables_render() {
+        let t1 = render_table1();
+        assert!(t1.contains("WordCount"));
+        assert!(t1.contains("Micro-benchmark"));
+        let t2 = render_table2();
+        assert!(t2.contains("E5620"));
+        assert!(t2.contains("16.0 GB"));
+        assert!(t2.contains("Nodes          8"));
+    }
+}

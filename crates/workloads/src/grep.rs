@@ -1,0 +1,227 @@
+//! Grep — micro-benchmark #3.
+//!
+//! Searches for a pattern in the input documents and counts occurrences of
+//! the matched strings (BigDataBench semantics: emit each match, count per
+//! matched string). The workload is a sequential scan with tiny
+//! intermediate data: startup cost and scan rate dominate.
+
+use bytes::Bytes;
+
+use dmpi_common::group::{Collector, GroupedValues};
+use dmpi_common::ser::Writable;
+use dmpi_common::Result;
+use dmpi_dfs::InputSplit;
+
+use crate::calib;
+
+/// Counts occurrences of `needle` in `haystack` (non-overlapping).
+pub fn count_matches(haystack: &[u8], needle: &[u8]) -> usize {
+    if needle.is_empty() || haystack.len() < needle.len() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i + needle.len() <= haystack.len() {
+        if &haystack[i..i + needle.len()] == needle {
+            count += 1;
+            i += needle.len();
+        } else {
+            i += 1;
+        }
+    }
+    count
+}
+
+/// Builds the O/map function for a pattern: emit `(pattern, n)` per line
+/// with `n` matches.
+pub fn map_fn(pattern: &str) -> impl Fn(usize, &[u8], &mut dyn Collector) + Send + Sync {
+    let pattern = pattern.as_bytes().to_vec();
+    move |_task, split, out| {
+        for line in dmpi_datagen::text::lines(split) {
+            let n = count_matches(line, &pattern);
+            if n > 0 {
+                out.collect(&pattern, &(n as u64).to_bytes());
+            }
+        }
+    }
+}
+
+/// A/reduce: sum match counts.
+pub fn reduce(group: &GroupedValues, out: &mut dyn Collector) {
+    let total: u64 = group
+        .values
+        .iter()
+        .map(|v| u64::from_bytes(v).unwrap_or(0))
+        .sum();
+    out.collect(&group.key, &total.to_bytes());
+}
+
+/// Total matches from engine output.
+fn total_of(batch: dmpi_common::RecordBatch) -> u64 {
+    batch
+        .into_records()
+        .into_iter()
+        .map(|r| u64::from_bytes(&r.value).unwrap_or(0))
+        .sum()
+}
+
+/// Runs Grep on the DataMPI runtime, returning the total match count.
+pub fn run_datampi(config: &datampi::JobConfig, inputs: Vec<Bytes>, pattern: &str) -> Result<u64> {
+    let out = datampi::run_job(config, inputs, map_fn(pattern), reduce, None)?;
+    Ok(total_of(out.into_single_batch()))
+}
+
+/// Runs Grep on the MapReduce runtime.
+pub fn run_mapred(
+    config: &dmpi_mapred::MapRedConfig,
+    inputs: Vec<Bytes>,
+    pattern: &str,
+) -> Result<u64> {
+    let out = dmpi_mapred::run_mapreduce(config, inputs, map_fn(pattern), Some(&reduce), reduce)?;
+    Ok(total_of(out.into_single_batch()))
+}
+
+/// Runs Grep on the RDD engine.
+pub fn run_spark(
+    ctx: &dmpi_rddsim::SparkContext,
+    inputs: Vec<Bytes>,
+    pattern: &str,
+) -> Result<u64> {
+    let pat = pattern.as_bytes().to_vec();
+    let rdd = ctx
+        .text_source(inputs)
+        .flat_map(move |rec, out| {
+            let n = count_matches(&rec.key, &pat);
+            if n > 0 {
+                out.collect(b"match", &(n as u64).to_bytes());
+            }
+        })
+        .reduce_by_key(4, |a, b| {
+            (u64::from_bytes(a).unwrap_or(0) + u64::from_bytes(b).unwrap_or(0)).to_bytes()
+        });
+    let parts = rdd.collect()?;
+    let mut batch = dmpi_common::RecordBatch::new();
+    for mut p in parts {
+        batch.append(&mut p);
+    }
+    Ok(total_of(batch))
+}
+
+// ------------------------------------------------------------ simulation
+
+/// DataMPI simulation profile for Grep.
+pub fn datampi_profile(tasks_per_node: u32) -> datampi::plan::SimJobProfile {
+    let mut p = datampi::plan::SimJobProfile::new("grep-datampi");
+    p.startup_secs = calib::DATAMPI_STARTUP_SECS;
+    p.finalize_secs = calib::DATAMPI_FINALIZE_SECS;
+    p.o_cpu_per_byte = 1.0 / calib::GREP_SCAN_RATE;
+    p.emit_ratio = calib::GREP_EMIT_RATIO;
+    p.a_cpu_per_byte = 1.0 / calib::GREP_SCAN_RATE;
+    p.output_ratio = calib::GREP_EMIT_RATIO;
+    p.tasks_per_node = tasks_per_node;
+    p.a_tasks_per_node = tasks_per_node;
+    p.runtime_mem_per_node = calib::DATAMPI_RUNTIME_MEM;
+    p.intermediate_mem_budget = calib::DATAMPI_INTERMEDIATE_MEM;
+    p
+}
+
+/// Hadoop simulation profile for Grep.
+pub fn hadoop_profile(tasks_per_node: u32) -> dmpi_mapred::plan::SimJobProfile {
+    let mut p = dmpi_mapred::plan::SimJobProfile::new("grep-hadoop");
+    p.startup_secs = calib::HADOOP_STARTUP_SECS;
+    p.task_launch_secs = calib::HADOOP_TASK_LAUNCH_SECS;
+    p.map_cpu_per_byte = 1.0 / calib::GREP_HADOOP_RATE;
+    p.emit_ratio = calib::GREP_EMIT_RATIO;
+    p.reduce_cpu_per_byte = 1.0 / calib::GREP_HADOOP_RATE;
+    p.output_ratio = calib::GREP_EMIT_RATIO;
+    p.tasks_per_node = tasks_per_node;
+    p.reducers_per_node = tasks_per_node;
+    p.daemon_mem_per_node = calib::HADOOP_DAEMON_MEM;
+    p.task_mem = calib::HADOOP_TASK_MEM;
+    p.shuffle_spill_fraction = 0.0;
+    p
+}
+
+/// Spark simulation profile for Grep.
+pub fn spark_profile(
+    splits: Vec<InputSplit>,
+    tasks_per_node: u32,
+) -> dmpi_rddsim::plan::SimJobProfile {
+    use dmpi_rddsim::plan::{SimJobProfile, StageInput, StageProfile};
+    let input_bytes: f64 = splits.iter().map(|s| s.len() as f64).sum();
+    let mut p = SimJobProfile::new("grep-spark");
+    p.startup_secs = calib::SPARK_STARTUP_SECS;
+    p.tasks_per_node = tasks_per_node;
+    p.runtime_mem_per_node = calib::SPARK_RUNTIME_MEM;
+    p.executor_mem_per_node = calib::SPARK_EXECUTOR_MEM;
+    p.mem_required_per_node = input_bytes * calib::GREP_EMIT_RATIO * calib::JAVA_EXPANSION / 8.0;
+    let mut s0 = StageProfile::new(
+        "stage0",
+        StageInput::Dfs {
+            splits,
+            local_fraction: calib::SPARK_INPUT_LOCALITY,
+        },
+    );
+    s0.cpu_per_byte = 1.0 / calib::GREP_SPARK_RATE;
+    s0.shuffle_write_ratio = calib::GREP_EMIT_RATIO;
+    let mut s1 = StageProfile::new(
+        "stage1",
+        StageInput::Shuffle {
+            bytes: input_bytes * calib::GREP_EMIT_RATIO,
+        },
+    );
+    s1.cpu_per_byte = 1.0 / calib::GREP_SPARK_RATE;
+    s1.output_dfs_ratio = 1.0;
+    p.stages = vec![s0, s1];
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn match_counting() {
+        assert_eq!(count_matches(b"abcabcabc", b"abc"), 3);
+        assert_eq!(count_matches(b"aaaa", b"aa"), 2, "non-overlapping");
+        assert_eq!(count_matches(b"hello", b"xyz"), 0);
+        assert_eq!(count_matches(b"", b"x"), 0);
+        assert_eq!(count_matches(b"x", b""), 0);
+        assert_eq!(count_matches(b"ab", b"abc"), 0);
+    }
+
+    #[test]
+    fn engines_agree_on_match_totals() {
+        let inputs = vec![
+            Bytes::from_static(b"the cat sat on the mat\nno felines here\n"),
+            Bytes::from_static(b"cat cat cat\n"),
+        ];
+        let dm = run_datampi(&datampi::JobConfig::new(2), inputs.clone(), "cat").unwrap();
+        let mr = run_mapred(&dmpi_mapred::MapRedConfig::new(2), inputs.clone(), "cat").unwrap();
+        let ctx = dmpi_rddsim::SparkContext::new(dmpi_rddsim::SparkConfig::new(2)).unwrap();
+        let sp = run_spark(&ctx, inputs, "cat").unwrap();
+        assert_eq!(dm, 4);
+        assert_eq!(mr, 4);
+        assert_eq!(sp, 4);
+    }
+
+    #[test]
+    fn zero_matches_is_fine() {
+        let inputs = vec![Bytes::from_static(b"nothing to see\n")];
+        assert_eq!(
+            run_datampi(&datampi::JobConfig::new(2), inputs, "zebra").unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn grep_on_generated_text_finds_common_word() {
+        use dmpi_datagen::{SeedModel, TextGenerator};
+        let model = SeedModel::lda_wiki1w();
+        let top_word = model.word_at_rank(0).to_string();
+        let mut g = TextGenerator::new(model, 3);
+        let inputs = vec![Bytes::from(g.generate_bytes(50_000))];
+        let n = run_datampi(&datampi::JobConfig::new(2), inputs, &top_word).unwrap();
+        assert!(n > 50, "most frequent word should appear often, got {n}");
+    }
+}

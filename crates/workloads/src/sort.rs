@@ -1,0 +1,313 @@
+//! Sort — micro-benchmark #1, in its two paper variants.
+//!
+//! * **Text Sort** — uncompressed text input; each line is a record, sorted
+//!   by its content.
+//! * **Normal Sort** — compressed sequence-file input produced by
+//!   `ToSeqFile` (key = value = line, LZ77-compressed); the engine first
+//!   decompresses, then sorts by key.
+//!
+//! Sort moves **all** of its input through the shuffle (`emit_ratio = 1`)
+//! and writes it all back ×3 replicas — the I/O-heavy end of the
+//! micro-benchmark spectrum, where DataMPI's pipelining pays the most.
+//!
+//! Output contract of the real drivers: hash-partitioned, key-sorted
+//! within each partition (the MapReduce sort contract); the Spark driver
+//! uses a range partitioner and is therefore globally sorted.
+
+use bytes::Bytes;
+
+use dmpi_common::group::{Collector, GroupedValues};
+use dmpi_common::Result;
+use dmpi_dfs::InputSplit;
+
+use crate::calib;
+
+/// O/map for Text Sort: each line becomes `(line, empty)`.
+pub fn text_map(_task: usize, split: &[u8], out: &mut dyn Collector) {
+    for line in dmpi_datagen::text::lines(split) {
+        out.collect(line, b"");
+    }
+}
+
+/// O/map for Normal Sort: decompress the sequence file, emit its records.
+pub fn seq_map(_task: usize, split: &[u8], out: &mut dyn Collector) {
+    let batch = dmpi_datagen::seqfile::read_compressed(split)
+        .expect("normal sort input must be a valid compressed sequence file");
+    for rec in &batch {
+        out.collect(&rec.key, &rec.value);
+    }
+}
+
+/// A/reduce: identity — the engine's grouping already sorted the keys.
+pub fn identity_reduce(group: &GroupedValues, out: &mut dyn Collector) {
+    for v in &group.values {
+        out.collect(&group.key, v);
+    }
+}
+
+/// Runs Text Sort on the DataMPI runtime; returns per-partition outputs
+/// (each key-sorted).
+pub fn run_text_datampi(
+    config: &datampi::JobConfig,
+    inputs: Vec<Bytes>,
+) -> Result<Vec<dmpi_common::RecordBatch>> {
+    Ok(datampi::run_job(config, inputs, text_map, identity_reduce, None)?.partitions)
+}
+
+/// Runs Text Sort on the MapReduce runtime.
+pub fn run_text_mapred(
+    config: &dmpi_mapred::MapRedConfig,
+    inputs: Vec<Bytes>,
+) -> Result<Vec<dmpi_common::RecordBatch>> {
+    Ok(dmpi_mapred::run_mapreduce(config, inputs, text_map, None, identity_reduce)?.partitions)
+}
+
+/// Runs Text Sort on the RDD engine (globally sorted via range shuffle).
+pub fn run_text_spark(
+    ctx: &dmpi_rddsim::SparkContext,
+    inputs: Vec<Bytes>,
+    partitions: usize,
+) -> Result<Vec<dmpi_common::RecordBatch>> {
+    ctx.text_source(inputs).sort_by_key(partitions).collect()
+}
+
+/// Runs Normal Sort on the DataMPI runtime.
+pub fn run_normal_datampi(
+    config: &datampi::JobConfig,
+    inputs: Vec<Bytes>,
+) -> Result<Vec<dmpi_common::RecordBatch>> {
+    Ok(datampi::run_job(config, inputs, seq_map, identity_reduce, None)?.partitions)
+}
+
+/// Runs Normal Sort on the MapReduce runtime.
+pub fn run_normal_mapred(
+    config: &dmpi_mapred::MapRedConfig,
+    inputs: Vec<Bytes>,
+) -> Result<Vec<dmpi_common::RecordBatch>> {
+    Ok(dmpi_mapred::run_mapreduce(config, inputs, seq_map, None, identity_reduce)?.partitions)
+}
+
+// ------------------------------------------------------------ simulation
+
+/// Which Sort variant a simulation profile describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SortVariant {
+    /// Uncompressed text input.
+    Text,
+    /// LZ77-compressed sequence-file input.
+    Normal,
+}
+
+impl SortVariant {
+    fn compression(self) -> f64 {
+        match self {
+            SortVariant::Text => 1.0,
+            SortVariant::Normal => calib::SEQFILE_COMPRESSION,
+        }
+    }
+
+    fn decompress_cost(self) -> f64 {
+        match self {
+            SortVariant::Text => 0.0,
+            SortVariant::Normal => 1.0 / calib::DECOMPRESS_RATE,
+        }
+    }
+}
+
+/// DataMPI simulation profile for Sort.
+pub fn datampi_profile(variant: SortVariant, tasks_per_node: u32) -> datampi::plan::SimJobProfile {
+    let mut p = datampi::plan::SimJobProfile::new(format!("sort-{variant:?}-datampi"));
+    p.startup_secs = calib::DATAMPI_STARTUP_SECS;
+    p.finalize_secs = calib::DATAMPI_FINALIZE_SECS;
+    p.o_cpu_per_byte = 1.0 / calib::SORT_PIPELINE_RATE;
+    p.emit_ratio = 1.0;
+    p.a_cpu_per_byte = 1.0 / calib::SORT_SORT_RATE;
+    p.output_ratio = 1.0;
+    p.input_compression = variant.compression();
+    p.decompress_cpu_per_byte = variant.decompress_cost();
+    p.tasks_per_node = tasks_per_node;
+    p.a_tasks_per_node = tasks_per_node;
+    p.runtime_mem_per_node = calib::DATAMPI_RUNTIME_MEM;
+    p.intermediate_mem_budget = calib::DATAMPI_INTERMEDIATE_MEM;
+    // Sorted output cannot stream before the merge completes.
+    p.a_staged = true;
+    p
+}
+
+/// Hadoop simulation profile for Sort.
+pub fn hadoop_profile(
+    variant: SortVariant,
+    tasks_per_node: u32,
+) -> dmpi_mapred::plan::SimJobProfile {
+    let mut p = dmpi_mapred::plan::SimJobProfile::new(format!("sort-{variant:?}-hadoop"));
+    p.startup_secs = calib::HADOOP_STARTUP_SECS;
+    p.task_launch_secs = calib::HADOOP_TASK_LAUNCH_SECS;
+    p.map_cpu_per_byte = 1.0 / calib::SORT_PIPELINE_RATE;
+    p.sort_cpu_per_byte = 1.0 / calib::HADOOP_SORT_RATE;
+    p.emit_ratio = 1.0;
+    // Map output exceeds io.sort.mb: multiple spills plus one merge pass.
+    p.spill_factor = 1.3;
+    p.reduce_cpu_per_byte = 1.0 / calib::SORT_SORT_RATE;
+    p.output_ratio = 1.0;
+    p.input_compression = variant.compression();
+    p.decompress_cpu_per_byte = variant.decompress_cost();
+    p.tasks_per_node = tasks_per_node;
+    p.reducers_per_node = tasks_per_node;
+    p.daemon_mem_per_node = calib::HADOOP_DAEMON_MEM;
+    p.task_mem = calib::HADOOP_TASK_MEM;
+    p.shuffle_spill_fraction = 0.8;
+    p
+}
+
+/// Spark simulation profile for Sort. Returns a profile whose memory
+/// requirement triggers the paper's OOM behaviour at compile time.
+pub fn spark_profile(
+    variant: SortVariant,
+    splits: Vec<InputSplit>,
+    tasks_per_node: u32,
+    nodes: u16,
+) -> dmpi_rddsim::plan::SimJobProfile {
+    use dmpi_rddsim::plan::{SimJobProfile, StageInput, StageProfile};
+    let physical: f64 = splits.iter().map(|s| s.len() as f64).sum();
+    let logical = physical * variant.compression();
+    let mut p = SimJobProfile::new(format!("sort-{variant:?}-spark"));
+    p.startup_secs = calib::SPARK_STARTUP_SECS;
+    p.tasks_per_node = tasks_per_node;
+    p.runtime_mem_per_node = calib::SPARK_RUNTIME_MEM;
+    p.executor_mem_per_node = calib::SPARK_EXECUTOR_MEM;
+    // Spark 0.8's sort holds the dataset in memory (Java-expanded).
+    p.mem_required_per_node = logical * calib::JAVA_EXPANSION / nodes as f64;
+    let mut s0 = StageProfile::new(
+        "stage0",
+        StageInput::Dfs {
+            splits,
+            local_fraction: calib::SPARK_INPUT_LOCALITY,
+        },
+    );
+    s0.cpu_per_byte = variant.decompress_cost() + 1.0 / calib::SORT_SPARK_RATE;
+    s0.shuffle_write_ratio = variant.compression(); // logical bytes out
+    let mut s1 = StageProfile::new("stage1", StageInput::Shuffle { bytes: logical });
+    s1.cpu_per_byte = 1.0 / calib::SPARK_SORT_MERGE_RATE;
+    s1.output_dfs_ratio = 1.0;
+    // Spark 0.8 sorts the whole partition in memory before writing.
+    s1.staged = true;
+    p.stages = vec![s0, s1];
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmpi_common::compare::{is_sorted, BytesComparator};
+    use dmpi_datagen::{seqfile, SeedModel, TextGenerator};
+
+    fn text_inputs() -> Vec<Bytes> {
+        let mut g = TextGenerator::new(SeedModel::lda_wiki1w(), 21);
+        (0..4).map(|_| Bytes::from(g.generate_bytes(3000))).collect()
+    }
+
+    fn all_lines(inputs: &[Bytes]) -> Vec<Vec<u8>> {
+        let mut v: Vec<Vec<u8>> = inputs
+            .iter()
+            .flat_map(|s| dmpi_datagen::text::lines(s).map(<[u8]>::to_vec))
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn text_sort_partitions_are_sorted_and_complete() {
+        let inputs = text_inputs();
+        let expected = all_lines(&inputs);
+        let parts = run_text_datampi(&datampi::JobConfig::new(4), inputs).unwrap();
+        let mut got: Vec<Vec<u8>> = Vec::new();
+        for p in &parts {
+            let records = p.records();
+            assert!(is_sorted(records, &BytesComparator));
+            got.extend(records.iter().map(|r| r.key.to_vec()));
+        }
+        got.sort();
+        assert_eq!(got, expected, "no line lost or duplicated");
+    }
+
+    #[test]
+    fn mapred_text_sort_matches_datampi() {
+        let inputs = text_inputs();
+        let dm = run_text_datampi(&datampi::JobConfig::new(4), inputs.clone()).unwrap();
+        let mr = run_text_mapred(&dmpi_mapred::MapRedConfig::new(4), inputs).unwrap();
+        // Same hash partitioner, same comparator: identical partitions.
+        assert_eq!(dm.len(), mr.len());
+        for (a, b) in dm.iter().zip(&mr) {
+            assert_eq!(a.records(), b.records());
+        }
+    }
+
+    #[test]
+    fn spark_text_sort_is_globally_ordered() {
+        let inputs = text_inputs();
+        let expected = all_lines(&inputs);
+        let ctx = dmpi_rddsim::SparkContext::new(
+            dmpi_rddsim::SparkConfig::new(4).with_memory_budget(64 << 20),
+        )
+        .unwrap();
+        let parts = run_text_spark(&ctx, inputs, 4).unwrap();
+        let flat: Vec<Vec<u8>> = parts
+            .iter()
+            .flat_map(|p| p.iter().map(|r| r.key.to_vec()))
+            .collect();
+        assert_eq!(flat, expected, "concatenation is globally sorted");
+    }
+
+    #[test]
+    fn normal_sort_round_trips_compressed_input() {
+        let mut g = TextGenerator::new(SeedModel::lda_wiki1w(), 22);
+        let text = g.generate_bytes(5000);
+        let (img, logical) = seqfile::to_seq_file(&text);
+        assert!(img.len() < logical as usize, "input is compressed");
+        let parts =
+            run_normal_datampi(&datampi::JobConfig::new(2), vec![Bytes::from(img)]).unwrap();
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        let lines = dmpi_datagen::text::lines(&text).count();
+        assert_eq!(total, lines);
+        for p in &parts {
+            assert!(is_sorted(p.records(), &BytesComparator));
+            for r in p {
+                assert_eq!(r.key, r.value, "ToSeqFile sets key = value");
+            }
+        }
+    }
+
+    #[test]
+    fn normal_sort_engines_agree() {
+        let mut g = TextGenerator::new(SeedModel::lda_wiki1w(), 23);
+        let imgs: Vec<Bytes> = (0..3)
+            .map(|_| Bytes::from(seqfile::to_seq_file(&g.generate_bytes(2000)).0))
+            .collect();
+        let dm = run_normal_datampi(&datampi::JobConfig::new(3), imgs.clone()).unwrap();
+        let mr = run_normal_mapred(&dmpi_mapred::MapRedConfig::new(3), imgs).unwrap();
+        for (a, b) in dm.iter().zip(&mr) {
+            assert_eq!(a.records(), b.records());
+        }
+    }
+
+    #[test]
+    fn spark_oom_boundary_in_profiles() {
+        use dmpi_dcsim::NodeId;
+        use dmpi_dfs::{DfsConfig, MiniDfs};
+        use dmpi_common::units::GB;
+        let dfs = MiniDfs::new(8, DfsConfig::paper_tuned()).unwrap();
+        dfs.create_virtual("/8g", NodeId(0), 8 * GB).unwrap();
+        dfs.create_virtual("/16g", NodeId(0), 16 * GB).unwrap();
+        let p8 = spark_profile(SortVariant::Text, dfs.splits("/8g").unwrap(), 4, 8);
+        let p16 = spark_profile(SortVariant::Text, dfs.splits("/16g").unwrap(), 4, 8);
+        assert!(p8.mem_required_per_node <= p8.executor_mem_per_node, "8 GB fits");
+        assert!(
+            p16.mem_required_per_node > p16.executor_mem_per_node,
+            "16 GB OOMs like Figure 3(b)"
+        );
+        // Normal Sort: even 4 GB compressed OOMs (Figure 3(a)).
+        dfs.create_virtual("/4gz", NodeId(0), 4 * GB).unwrap();
+        let pz = spark_profile(SortVariant::Normal, dfs.splits("/4gz").unwrap(), 4, 8);
+        assert!(pz.mem_required_per_node > pz.executor_mem_per_node);
+    }
+}

@@ -1,0 +1,33 @@
+//! Internal calibration check: prints simulated job times for every
+//! workload × engine × size cell so the constants in `workloads::calib`
+//! can be compared against the paper's figures.
+
+use datampi_suite::workloads::{run_sim, Engine, Workload};
+
+fn main() {
+    let gb = 1u64 << 30;
+    for (w, sizes) in [
+        (Workload::TextSort, vec![8u64, 16, 32, 64]),
+        (Workload::NormalSort, vec![4, 8, 16, 32]),
+        (Workload::WordCount, vec![8, 16, 32, 64]),
+        (Workload::Grep, vec![8, 16, 32, 64]),
+        (Workload::KMeans, vec![8, 16, 32, 64]),
+        (Workload::NaiveBayes, vec![8, 16, 32, 64]),
+    ] {
+        println!("== {w}");
+        for s in sizes {
+            let mut row = format!("  {s:>3} GB:");
+            for e in [Engine::Hadoop, Engine::Spark, Engine::DataMpi] {
+                let cell = match run_sim(w, e, s * gb, 4) {
+                    Ok(o) => match o.seconds() {
+                        Some(t) => format!("{t:7.0}"),
+                        None => "    OOM".into(),
+                    },
+                    Err(_) => "    n/a".into(),
+                };
+                row.push_str(&format!(" {e}={cell}"));
+            }
+            println!("{row}");
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! K-means clustering: the paper's e-commerce application benchmark on
+//! real data, trained on all three engines.
+//!
+//! ```text
+//! cargo run --release --example kmeans_clustering
+//! ```
+//!
+//! Documents are drawn from the five `amazon` seed models (as BigDataBench
+//! does), vectorized into hashed term-frequency vectors, and clustered.
+//! Because the models have distinct vocabularies, a good clustering
+//! recovers the generating model of most documents.
+
+use datampi_suite::workloads::kmeans::{
+    self, generate_clustered_vectors, nearest, vectors_to_inputs, KMeans, TrainEngine,
+};
+
+fn purity(
+    vectors: &[datampi_suite::datagen::SparseVector],
+    labels: &[usize],
+    centroids: &[Vec<f64>],
+) -> f64 {
+    let mut per_cluster = vec![[0usize; 5]; centroids.len()];
+    for (v, &l) in vectors.iter().zip(labels) {
+        per_cluster[nearest(v, centroids)][l] += 1;
+    }
+    let correct: usize = per_cluster.iter().map(|c| c.iter().max().unwrap()).sum();
+    correct as f64 / vectors.len() as f64
+}
+
+fn main() {
+    let dims = 256;
+    let params = KMeans::new(5, dims);
+    let (vectors, labels) = generate_clustered_vectors(40, dims, 20_26);
+    let inputs = vectors_to_inputs(&vectors, 25);
+    println!(
+        "{} vectors over {} dims ({} classes)",
+        vectors.len(),
+        dims,
+        5
+    );
+
+    let (centroids, iters) =
+        kmeans::train(&params, TrainEngine::DataMpi, &vectors, &inputs).unwrap();
+    println!(
+        "DataMPI:   converged in {iters} iterations, purity {:.2}",
+        purity(&vectors, &labels, &centroids)
+    );
+
+    let (centroids, iters) =
+        kmeans::train(&params, TrainEngine::MapRed, &vectors, &inputs).unwrap();
+    println!(
+        "MapReduce: converged in {iters} iterations, purity {:.2}",
+        purity(&vectors, &labels, &centroids)
+    );
+
+    let ctx = datampi_suite::rddsim::SparkContext::new(datampi_suite::rddsim::SparkConfig::new(4))
+        .unwrap();
+    let (centroids, iters) = kmeans::train_spark(&params, &ctx, &vectors).unwrap();
+    println!(
+        "RDD:       converged in {iters} iterations, purity {:.2} ({} cache hits)",
+        purity(&vectors, &labels, &centroids),
+        ctx.stats()
+            .cache_hits
+            .load(std::sync::atomic::Ordering::SeqCst)
+    );
+}

@@ -1,0 +1,58 @@
+//! Quickstart: WordCount on the DataMPI library in ~40 lines.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! A DataMPI job is two functions: an **O function** emitting key-value
+//! pairs from each input split, and an **A function** consuming the pairs
+//! grouped by key. The library partitions, moves and groups the data in
+//! between — pipelined with the O computation.
+
+use bytes::Bytes;
+use datampi_suite::common::group::{Collector, GroupedValues};
+use datampi_suite::common::ser::Writable;
+use datampi_suite::datampi::{run_job, JobConfig};
+
+fn main() {
+    // Input splits — in a real deployment these come from the DFS.
+    let inputs = vec![
+        Bytes::from_static(b"the quick brown fox\njumps over the lazy dog"),
+        Bytes::from_static(b"the dog barks\nthe fox runs"),
+    ];
+
+    // O: tokenize and emit (word, 1).
+    let o = |_task: usize, split: &[u8], out: &mut dyn Collector| {
+        for line in split.split(|&b| b == b'\n') {
+            for word in line.split(|&b| b == b' ').filter(|w| !w.is_empty()) {
+                out.collect(word, &1u64.to_bytes());
+            }
+        }
+    };
+
+    // A: sum the counts of each word.
+    let a = |group: &GroupedValues, out: &mut dyn Collector| {
+        let total: u64 = group
+            .values
+            .iter()
+            .map(|v| u64::from_bytes(v).unwrap())
+            .sum();
+        out.collect(&group.key, &total.to_bytes());
+    };
+
+    let output = run_job(&JobConfig::new(4), inputs, o, a, None).expect("job runs");
+    println!(
+        "{} O tasks, {} pairs moved, {} groups reduced",
+        output.stats.o_tasks_run, output.stats.records_emitted, output.stats.groups
+    );
+    let mut counts: Vec<(String, u64)> = output
+        .into_single_batch()
+        .into_records()
+        .into_iter()
+        .map(|r| (r.key_utf8(), u64::from_bytes(&r.value).unwrap()))
+        .collect();
+    counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    for (word, n) in counts {
+        println!("{n:>3}  {word}");
+    }
+}

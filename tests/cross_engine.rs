@@ -1,0 +1,192 @@
+//! Integration: every workload computes identical logical results on all
+//! three engines — the invariant that makes the paper's performance
+//! comparison meaningful (same job, different machinery).
+
+use bytes::Bytes;
+use datampi_suite::common::ser::Writable;
+use datampi_suite::datagen::{seqfile, SeedModel, TextGenerator};
+use datampi_suite::workloads::{bayes, grep, kmeans, sort, wordcount};
+
+fn corpus(seed: u64, splits: usize, bytes_per_split: usize) -> Vec<Bytes> {
+    let mut gen = TextGenerator::new(SeedModel::lda_wiki1w(), seed);
+    (0..splits)
+        .map(|_| Bytes::from(gen.generate_bytes(bytes_per_split)))
+        .collect()
+}
+
+#[test]
+fn wordcount_three_way_agreement() {
+    let inputs = corpus(1, 6, 8_000);
+    let dm = wordcount::run_datampi(&datampi_suite::datampi::JobConfig::new(4), inputs.clone())
+        .unwrap();
+    let mr = wordcount::run_mapred(
+        &datampi_suite::mapred::MapRedConfig::new(4),
+        inputs.clone(),
+    )
+    .unwrap();
+    let ctx =
+        datampi_suite::rddsim::SparkContext::new(datampi_suite::rddsim::SparkConfig::new(4))
+            .unwrap();
+    let sp = wordcount::run_spark(&ctx, inputs).unwrap();
+    assert_eq!(dm, mr);
+    assert_eq!(dm, sp);
+    assert!(dm.len() > 100, "non-trivial dictionary");
+}
+
+#[test]
+fn grep_three_way_agreement() {
+    let model = SeedModel::lda_wiki1w();
+    let pattern = model.word_at_rank(1).to_string();
+    let inputs = corpus(2, 4, 10_000);
+    let dm = grep::run_datampi(
+        &datampi_suite::datampi::JobConfig::new(4),
+        inputs.clone(),
+        &pattern,
+    )
+    .unwrap();
+    let mr = grep::run_mapred(
+        &datampi_suite::mapred::MapRedConfig::new(4),
+        inputs.clone(),
+        &pattern,
+    )
+    .unwrap();
+    let ctx =
+        datampi_suite::rddsim::SparkContext::new(datampi_suite::rddsim::SparkConfig::new(4))
+            .unwrap();
+    let sp = grep::run_spark(&ctx, inputs, &pattern).unwrap();
+    assert_eq!(dm, mr);
+    assert_eq!(dm, sp);
+    assert!(dm > 0, "frequent word must match");
+}
+
+#[test]
+fn text_sort_agreement_and_completeness() {
+    let inputs = corpus(3, 5, 6_000);
+    let mut expected: Vec<Vec<u8>> = inputs
+        .iter()
+        .flat_map(|s| datampi_suite::datagen::text::lines(s).map(<[u8]>::to_vec))
+        .collect();
+    expected.sort();
+
+    let dm = sort::run_text_datampi(&datampi_suite::datampi::JobConfig::new(4), inputs.clone())
+        .unwrap();
+    let mr =
+        sort::run_text_mapred(&datampi_suite::mapred::MapRedConfig::new(4), inputs.clone())
+            .unwrap();
+    // Hash-partitioned engines agree partition by partition.
+    for (a, b) in dm.iter().zip(&mr) {
+        assert_eq!(a.records(), b.records());
+    }
+    // Spark's range-partitioned output equals the globally sorted lines.
+    let ctx = datampi_suite::rddsim::SparkContext::new(
+        datampi_suite::rddsim::SparkConfig::new(4).with_memory_budget(64 << 20),
+    )
+    .unwrap();
+    let sp = sort::run_text_spark(&ctx, inputs, 4).unwrap();
+    let flat: Vec<Vec<u8>> = sp
+        .iter()
+        .flat_map(|p| p.iter().map(|r| r.key.to_vec()))
+        .collect();
+    assert_eq!(flat, expected);
+    // And all engines kept every record.
+    let dm_total: usize = dm.iter().map(|p| p.len()).sum();
+    assert_eq!(dm_total, expected.len());
+}
+
+#[test]
+fn normal_sort_decompresses_identically() {
+    let mut gen = TextGenerator::new(SeedModel::lda_wiki1w(), 4);
+    let inputs: Vec<Bytes> = (0..3)
+        .map(|_| Bytes::from(seqfile::to_seq_file(&gen.generate_bytes(4_000)).0))
+        .collect();
+    let dm =
+        sort::run_normal_datampi(&datampi_suite::datampi::JobConfig::new(3), inputs.clone())
+            .unwrap();
+    let mr =
+        sort::run_normal_mapred(&datampi_suite::mapred::MapRedConfig::new(3), inputs).unwrap();
+    for (a, b) in dm.iter().zip(&mr) {
+        assert_eq!(a.records(), b.records());
+    }
+}
+
+#[test]
+fn kmeans_all_engines_identical_centroids() {
+    let params = kmeans::KMeans::new(4, 128);
+    let (vectors, _) = kmeans::generate_clustered_vectors(15, 128, 5);
+    let vectors = &vectors[..60];
+    let inputs = kmeans::vectors_to_inputs(vectors, 15);
+    let (dm, _) = kmeans::train(&params, kmeans::TrainEngine::DataMpi, vectors, &inputs).unwrap();
+    let (mr, _) = kmeans::train(&params, kmeans::TrainEngine::MapRed, vectors, &inputs).unwrap();
+    let ctx =
+        datampi_suite::rddsim::SparkContext::new(datampi_suite::rddsim::SparkConfig::new(4))
+            .unwrap();
+    let (sp, _) = kmeans::train_spark(&params, &ctx, vectors).unwrap();
+    for ((a, b), c) in dm.iter().zip(&mr).zip(&sp) {
+        for ((x, y), z) in a.iter().zip(b).zip(c) {
+            assert!((x - y).abs() < 1e-9);
+            assert!((x - z).abs() < 1e-6);
+        }
+    }
+}
+
+#[test]
+fn bayes_models_agree_and_classify() {
+    let corpus = bayes::generate_corpus(12, 5, 6);
+    let inputs = bayes::corpus_to_inputs(&corpus, 10);
+    let dm = bayes::train_datampi(&datampi_suite::datampi::JobConfig::new(3), inputs.clone())
+        .unwrap();
+    let mr = bayes::train_mapred(&datampi_suite::mapred::MapRedConfig::new(3), inputs).unwrap();
+    // Same classifications on held-out documents.
+    let held_out = bayes::generate_corpus(5, 5, 7);
+    let mut agreement = 0;
+    let mut correct = 0;
+    for doc in &held_out {
+        let a = dm.classify(&doc.text);
+        let b = mr.classify(&doc.text);
+        if a == b {
+            agreement += 1;
+        }
+        if a == Some(doc.label.as_str()) {
+            correct += 1;
+        }
+    }
+    assert_eq!(agreement, held_out.len(), "engines classify identically");
+    assert!(
+        correct as f64 / held_out.len() as f64 > 0.85,
+        "hold-out accuracy {correct}/{}",
+        held_out.len()
+    );
+}
+
+#[test]
+fn wordcount_totals_conserved_across_configs() {
+    // Same corpus through wildly different configurations: totals match.
+    let inputs = corpus(8, 7, 3_000);
+    let expected_words: u64 = inputs
+        .iter()
+        .flat_map(|s| datampi_suite::datagen::text::lines(s))
+        .map(|l| datampi_suite::datagen::text::words(l).count() as u64)
+        .sum();
+    for ranks in [1usize, 2, 8] {
+        for pipelined in [true, false] {
+            let config = datampi_suite::datampi::JobConfig::new(ranks)
+                .with_pipelined(pipelined)
+                .with_flush_threshold(64);
+            let out = datampi_suite::datampi::run_job(
+                &config,
+                inputs.clone(),
+                wordcount::map,
+                wordcount::reduce,
+                None,
+            )
+            .unwrap();
+            let total: u64 = out
+                .into_single_batch()
+                .into_records()
+                .iter()
+                .map(|r| u64::from_bytes(&r.value).unwrap())
+                .sum();
+            assert_eq!(total, expected_words, "ranks={ranks} pipelined={pipelined}");
+        }
+    }
+}

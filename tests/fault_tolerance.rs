@@ -1,0 +1,166 @@
+//! Integration: failure injection across the stack — DataMPI
+//! checkpoint/restart, RDD lineage recovery, and DFS datanode loss.
+
+use bytes::Bytes;
+use datampi_suite::common::ser::Writable;
+use datampi_suite::datagen::{SeedModel, TextGenerator};
+use datampi_suite::datampi::checkpoint::CheckpointStore;
+use datampi_suite::datampi::config::FaultSpec;
+use datampi_suite::dcsim::NodeId;
+use datampi_suite::dfs::{DfsConfig, MiniDfs};
+use datampi_suite::workloads::wordcount;
+
+fn corpus(seed: u64, n: usize) -> Vec<Bytes> {
+    let mut gen = TextGenerator::new(SeedModel::lda_wiki1w(), seed);
+    (0..n).map(|_| Bytes::from(gen.generate_bytes(2_000))).collect()
+}
+
+#[test]
+fn datampi_survives_a_mid_job_failure_via_checkpoint() {
+    let inputs = corpus(11, 10);
+    let cp = CheckpointStore::new();
+
+    // Attempt 0 fails on task 6 (single rank for deterministic ordering).
+    let failing = datampi_suite::datampi::JobConfig::new(1)
+        .with_checkpointing(true)
+        .with_fault(FaultSpec {
+            task_index: 6,
+            on_attempt: 0,
+        });
+    datampi_suite::datampi::runtime::run_job_attempt(
+        &failing,
+        inputs.clone(),
+        wordcount::map,
+        wordcount::reduce,
+        Some(&cp),
+        0,
+    )
+    .unwrap_err();
+    assert_eq!(cp.completed_count(), 6);
+    assert!(cp.total_bytes() > 0, "pairs were checkpointed");
+
+    // Restart recovers the six finished tasks without re-running them.
+    let retry = datampi_suite::datampi::JobConfig::new(1).with_checkpointing(true);
+    let out = datampi_suite::datampi::runtime::run_job_attempt(
+        &retry,
+        inputs.clone(),
+        wordcount::map,
+        wordcount::reduce,
+        Some(&cp),
+        1,
+    )
+    .unwrap();
+    assert_eq!(out.stats.o_tasks_recovered, 6);
+    assert_eq!(out.stats.o_tasks_run, 4);
+
+    // And the answer equals a clean run's.
+    let clean = datampi_suite::datampi::run_job(
+        &datampi_suite::datampi::JobConfig::new(1),
+        inputs,
+        wordcount::map,
+        wordcount::reduce,
+        None,
+    )
+    .unwrap();
+    let decode = |o: datampi_suite::datampi::JobOutput| {
+        o.into_single_batch()
+            .into_records()
+            .into_iter()
+            .map(|r| (r.key_utf8(), u64::from_bytes(&r.value).unwrap()))
+            .collect::<std::collections::BTreeMap<_, _>>()
+    };
+    assert_eq!(decode(out), decode(clean));
+}
+
+#[test]
+fn repeated_failures_make_monotone_progress() {
+    // Fail a different task on every attempt; each restart recovers
+    // strictly more work until the job completes.
+    let inputs = corpus(12, 6);
+    let cp = CheckpointStore::new();
+    let mut recovered_last = 0;
+    for attempt in 0..3u32 {
+        let config = datampi_suite::datampi::JobConfig::new(1)
+            .with_checkpointing(true)
+            .with_fault(FaultSpec {
+                task_index: 2 + attempt as usize,
+                on_attempt: attempt,
+            });
+        let result = datampi_suite::datampi::runtime::run_job_attempt(
+            &config,
+            inputs.clone(),
+            wordcount::map,
+            wordcount::reduce,
+            Some(&cp),
+            attempt,
+        );
+        assert!(result.is_err(), "attempt {attempt} should fail");
+        assert!(cp.completed_count() > recovered_last);
+        recovered_last = cp.completed_count();
+    }
+    // Final attempt with no fault completes from mostly recovered state.
+    let out = datampi_suite::datampi::runtime::run_job_attempt(
+        &datampi_suite::datampi::JobConfig::new(1).with_checkpointing(true),
+        inputs,
+        wordcount::map,
+        wordcount::reduce,
+        Some(&cp),
+        3,
+    )
+    .unwrap();
+    // Attempts 0-2 failed at tasks 2, 3, 4 — so tasks 0-3 are recovered
+    // (each attempt banks one more) and tasks 4-5 still need to run.
+    assert_eq!(out.stats.o_tasks_recovered, 4);
+    assert_eq!(out.stats.o_tasks_run, 2);
+}
+
+#[test]
+fn rdd_lineage_recovers_lost_partitions() {
+    let ctx =
+        datampi_suite::rddsim::SparkContext::new(datampi_suite::rddsim::SparkConfig::new(4))
+            .unwrap();
+    let inputs = corpus(13, 4);
+    let cached = ctx.text_source(inputs).cache();
+    let before = cached.collect().unwrap();
+    // Lose two partitions ("executor crash"), then read again.
+    ctx.evict_partition(&cached, 0);
+    ctx.evict_partition(&cached, 3);
+    let after = cached.collect().unwrap();
+    assert_eq!(before.len(), after.len());
+    for (a, b) in before.iter().zip(&after) {
+        assert_eq!(a.records(), b.records());
+    }
+}
+
+#[test]
+fn dfs_heals_after_datanode_loss_and_serves_reads() {
+    let dfs = MiniDfs::new(6, DfsConfig::paper_tuned().with_block_size(512)).unwrap();
+    let mut gen = TextGenerator::new(SeedModel::lda_wiki1w(), 14);
+    let data = gen.generate_bytes(8_192);
+    dfs.write_file("/f", NodeId(2), &data).unwrap();
+
+    dfs.kill_node(NodeId(2));
+    assert!(!dfs.under_replicated().is_empty());
+    let plan = dfs.re_replicate();
+    assert!(!plan.is_empty());
+    assert!(dfs.under_replicated().is_empty());
+
+    // All blocks still readable; every replica set excludes the dead node
+    // and meets the replication factor.
+    assert_eq!(dfs.read_file("/f").unwrap(), data);
+    for split in dfs.splits("/f").unwrap() {
+        assert!(!split.block.replicas.contains(&NodeId(2)));
+        assert_eq!(split.block.replicas.len(), 3);
+    }
+}
+
+#[test]
+fn spark_oom_is_an_error_not_a_wrong_answer() {
+    let ctx = datampi_suite::rddsim::SparkContext::new(
+        datampi_suite::rddsim::SparkConfig::new(2).with_memory_budget(256),
+    )
+    .unwrap();
+    let inputs = corpus(15, 2);
+    let err = ctx.text_source(inputs).sort_by_key(2).collect().unwrap_err();
+    assert!(err.is_oom());
+}

@@ -1,0 +1,213 @@
+//! Integration: the paper's headline quantitative claims, checked against
+//! the calibrated simulation through the public facade API.
+//!
+//! Each test pins one sentence of the paper's abstract/evaluation to a
+//! reproducible assertion. Bands are slightly widened relative to the
+//! paper's point estimates — the substrate is a simulator, not the
+//! authors' testbed — but the orderings and magnitudes must hold.
+
+use dmpi_common::units::{GB, MB};
+
+use datampi_suite::workloads::{run_sim, Engine, Outcome, Workload};
+
+fn secs(w: Workload, e: Engine, bytes: u64) -> Option<f64> {
+    run_sim(w, e, bytes, 4).unwrap().seconds()
+}
+
+#[test]
+fn abstract_claim_up_to_55_percent_over_hadoop() {
+    // "job execution time of DataMPI has up to 55% speedups compared
+    // with Hadoop" — WordCount is the best case.
+    let mut best: f64 = 0.0;
+    for (w, gb) in [
+        (Workload::TextSort, 8),
+        (Workload::WordCount, 32),
+        (Workload::Grep, 32),
+    ] {
+        let d = secs(w, Engine::DataMpi, gb * GB).unwrap();
+        let h = secs(w, Engine::Hadoop, gb * GB).unwrap();
+        best = best.max(1.0 - d / h);
+    }
+    assert!(best > 0.42, "best improvement over Hadoop {best:.2}");
+    assert!(best < 0.65, "improvement should not be implausibly large");
+}
+
+#[test]
+fn micro_benchmarks_average_about_40_percent_over_hadoop() {
+    // §4.3: "DataMPI has averagely 40% improvement than Hadoop".
+    let mut improvements = Vec::new();
+    for (w, sizes) in [
+        (Workload::NormalSort, [4u64, 8, 16, 32]),
+        (Workload::TextSort, [8, 16, 32, 64]),
+        (Workload::WordCount, [8, 16, 32, 64]),
+        (Workload::Grep, [8, 16, 32, 64]),
+    ] {
+        for gb in sizes {
+            let d = secs(w, Engine::DataMpi, gb * GB).unwrap();
+            let h = secs(w, Engine::Hadoop, gb * GB).unwrap();
+            improvements.push(1.0 - d / h);
+        }
+    }
+    let avg = improvements.iter().sum::<f64>() / improvements.len() as f64;
+    assert!(
+        (0.30..0.50).contains(&avg),
+        "average micro improvement {avg:.2} outside ~40% band"
+    );
+}
+
+#[test]
+fn text_sort_improvement_band_34_to_42_percent() {
+    for gb in [8u64, 16, 32, 64] {
+        let d = secs(Workload::TextSort, Engine::DataMpi, gb * GB).unwrap();
+        let h = secs(Workload::TextSort, Engine::Hadoop, gb * GB).unwrap();
+        let imp = 1.0 - d / h;
+        assert!(
+            (0.28..0.48).contains(&imp),
+            "{gb} GB Text Sort improvement {imp:.2}"
+        );
+    }
+}
+
+#[test]
+fn normal_sort_improvement_band_29_to_33_percent() {
+    for gb in [4u64, 8, 16, 32] {
+        let d = secs(Workload::NormalSort, Engine::DataMpi, gb * GB).unwrap();
+        let h = secs(Workload::NormalSort, Engine::Hadoop, gb * GB).unwrap();
+        let imp = 1.0 - d / h;
+        assert!(
+            (0.24..0.40).contains(&imp),
+            "{gb} GB Normal Sort improvement {imp:.2}"
+        );
+    }
+}
+
+#[test]
+fn spark_oom_pattern_matches_figure_3() {
+    // Normal Sort: OOM at every size.
+    for gb in [4u64, 8, 16, 32] {
+        assert!(
+            matches!(
+                run_sim(Workload::NormalSort, Engine::Spark, gb * GB, 4).unwrap(),
+                Outcome::OutOfMemory
+            ),
+            "{gb} GB Normal Sort should OOM on Spark"
+        );
+    }
+    // Text Sort: only 8 GB survives.
+    assert!(secs(Workload::TextSort, Engine::Spark, 8 * GB).is_some());
+    for gb in [16u64, 32, 64] {
+        assert!(
+            matches!(
+                run_sim(Workload::TextSort, Engine::Spark, gb * GB, 4).unwrap(),
+                Outcome::OutOfMemory
+            ),
+            "{gb} GB Text Sort should OOM on Spark"
+        );
+    }
+}
+
+#[test]
+fn text_sort_8gb_headline_numbers() {
+    // Paper: DataMPI 69 s (O phase 28 s), Hadoop 117 s, Spark 114 s.
+    let d = run_sim(Workload::TextSort, Engine::DataMpi, 8 * GB, 4).unwrap();
+    let (d_secs, report) = match d {
+        Outcome::Finished { seconds, report } => (seconds, report),
+        _ => panic!("DataMPI must finish"),
+    };
+    let h = secs(Workload::TextSort, Engine::Hadoop, 8 * GB).unwrap();
+    let s = secs(Workload::TextSort, Engine::Spark, 8 * GB).unwrap();
+    assert!((60.0..95.0).contains(&d_secs), "DataMPI {d_secs:.0} s (paper 69)");
+    assert!((100.0..140.0).contains(&h), "Hadoop {h:.0} s (paper 117)");
+    assert!((95.0..135.0).contains(&s), "Spark {s:.0} s (paper 114)");
+    let o_phase = report.phase_duration("O");
+    assert!(
+        (20.0..36.0).contains(&o_phase),
+        "O phase {o_phase:.0} s (paper 28)"
+    );
+}
+
+#[test]
+fn wordcount_datampi_and_spark_match() {
+    // §4.4: both cost ~130 s at 32 GB, 53% better than Hadoop's 275 s.
+    let d = secs(Workload::WordCount, Engine::DataMpi, 32 * GB).unwrap();
+    let s = secs(Workload::WordCount, Engine::Spark, 32 * GB).unwrap();
+    let h = secs(Workload::WordCount, Engine::Hadoop, 32 * GB).unwrap();
+    assert!((d - s).abs() / d < 0.15, "DataMPI {d:.0} ~ Spark {s:.0}");
+    assert!((240.0..310.0).contains(&h), "Hadoop {h:.0} (paper 275)");
+    assert!((110.0..165.0).contains(&d), "DataMPI {d:.0} (paper 130)");
+}
+
+#[test]
+fn small_jobs_54_percent_over_hadoop() {
+    // §4.5: "DataMPI has similar performance with Spark, and is averagely
+    // 54% more efficient than Hadoop."
+    let mut d_sum = 0.0;
+    let mut s_sum = 0.0;
+    let mut h_sum = 0.0;
+    for w in [Workload::TextSort, Workload::WordCount, Workload::Grep] {
+        d_sum += run_sim(w, Engine::DataMpi, 128 * MB, 1).unwrap().seconds().unwrap();
+        s_sum += run_sim(w, Engine::Spark, 128 * MB, 1).unwrap().seconds().unwrap();
+        h_sum += run_sim(w, Engine::Hadoop, 128 * MB, 1).unwrap().seconds().unwrap();
+    }
+    let vs_hadoop = 1.0 - d_sum / h_sum;
+    assert!(
+        (0.40..0.65).contains(&vs_hadoop),
+        "small-job improvement {vs_hadoop:.2} (paper 54%)"
+    );
+    assert!((d_sum - s_sum).abs() / d_sum < 0.25, "DataMPI ~ Spark");
+}
+
+#[test]
+fn applications_33_to_39_percent() {
+    // §4.6: K-means at most 39% over Hadoop, 33% over Spark; Naive Bayes
+    // 33% over Hadoop on average.
+    for gb in [8u64, 64] {
+        let d = secs(Workload::KMeans, Engine::DataMpi, gb * GB).unwrap();
+        let h = secs(Workload::KMeans, Engine::Hadoop, gb * GB).unwrap();
+        let s = secs(Workload::KMeans, Engine::Spark, gb * GB).unwrap();
+        let vs_h = 1.0 - d / h;
+        let vs_s = 1.0 - d / s;
+        assert!(vs_h <= 0.45 && vs_h > 0.2, "{gb} GB K-means vs Hadoop {vs_h:.2}");
+        assert!(vs_s > 0.15, "{gb} GB K-means vs Spark {vs_s:.2}");
+        assert!(s < h, "Spark sits between DataMPI and Hadoop");
+    }
+    let mut imps = Vec::new();
+    for gb in [8u64, 16, 32, 64] {
+        let d = secs(Workload::NaiveBayes, Engine::DataMpi, gb * GB).unwrap();
+        let h = secs(Workload::NaiveBayes, Engine::Hadoop, gb * GB).unwrap();
+        imps.push(1.0 - d / h);
+    }
+    let avg = imps.iter().sum::<f64>() / imps.len() as f64;
+    assert!((0.25..0.42).contains(&avg), "Naive Bayes average {avg:.2}");
+}
+
+#[test]
+fn resource_utilization_directions() {
+    // §4.4 directions: DataMPI's network throughput leads in Sort;
+    // Hadoop's CPU and memory appetite leads in WordCount.
+    let sort_profiles: Vec<(Engine, f64, f64)> = [Engine::Hadoop, Engine::Spark, Engine::DataMpi]
+        .iter()
+        .filter_map(|&e| match run_sim(Workload::TextSort, e, 8 * GB, 4).unwrap() {
+            Outcome::Finished { seconds, report } => {
+                let window = seconds.ceil() as usize;
+                let net = dmpi_dcsim::metrics::ResourceProfile::mean(
+                    &report.profile.net_mb_s,
+                    window,
+                );
+                Some((e, seconds, net))
+            }
+            _ => None,
+        })
+        .collect();
+    let net_of = |e: Engine| {
+        sort_profiles
+            .iter()
+            .find(|(pe, _, _)| *pe == e)
+            .map(|(_, _, n)| *n)
+            .unwrap()
+    };
+    assert!(
+        net_of(Engine::DataMpi) > 1.3 * net_of(Engine::Hadoop),
+        "paper: DataMPI 59% higher network throughput than Hadoop"
+    );
+}
