@@ -19,7 +19,9 @@ use dmpi_workloads::wordcount;
 
 fn corpus(total: usize) -> Vec<Bytes> {
     let mut gen = TextGenerator::new(SeedModel::lda_wiki1w(), 0xAB1A);
-    (0..8).map(|_| Bytes::from(gen.generate_bytes(total / 8))).collect()
+    (0..8)
+        .map(|_| Bytes::from(gen.generate_bytes(total / 8)))
+        .collect()
 }
 
 /// Ablation 1+2 on the real runtime: pipelining and memory budget.
@@ -54,8 +56,7 @@ fn bench_runtime_ablations(c: &mut Criterion) {
 }
 
 fn sort_profile(pipelined: bool, startup: f64) -> datampi::plan::SimJobProfile {
-    let mut p =
-        dmpi_workloads::sort::datampi_profile(dmpi_workloads::sort::SortVariant::Text, 4);
+    let mut p = dmpi_workloads::sort::datampi_profile(dmpi_workloads::sort::SortVariant::Text, 4);
     p.pipelined = pipelined;
     p.startup_secs = startup;
     p
@@ -129,16 +130,28 @@ fn bench_locality_ablation(c: &mut Criterion) {
     // write path (which must replicate remotely) isolates locality's value.
     group.bench_function(BenchmarkId::from_parameter("local_reads"), |b| {
         b.iter(|| {
-            run_dfsio(&cluster, &DfsConfig::paper_tuned(), DfsioMode::Read, 5 * GB, 2)
-                .unwrap()
-                .throughput_mb_s
+            run_dfsio(
+                &cluster,
+                &DfsConfig::paper_tuned(),
+                DfsioMode::Read,
+                5 * GB,
+                2,
+            )
+            .unwrap()
+            .throughput_mb_s
         })
     });
     group.bench_function(BenchmarkId::from_parameter("replicated_writes"), |b| {
         b.iter(|| {
-            run_dfsio(&cluster, &DfsConfig::paper_tuned(), DfsioMode::Write, 5 * GB, 2)
-                .unwrap()
-                .throughput_mb_s
+            run_dfsio(
+                &cluster,
+                &DfsConfig::paper_tuned(),
+                DfsioMode::Write,
+                5 * GB,
+                2,
+            )
+            .unwrap()
+            .throughput_mb_s
         })
     });
     group.finish();

@@ -40,12 +40,16 @@ fn bench_framing(c: &mut Criterion) {
     let mut group = c.benchmark_group("record_framing");
     group.throughput(Throughput::Bytes(framed.len() as u64));
     group.bench_function("frame", |b| b.iter(|| ser::frame_batch(&batch)));
-    group.bench_function("unframe", |b| b.iter(|| ser::unframe_batch(&framed).unwrap()));
+    group.bench_function("unframe", |b| {
+        b.iter(|| ser::unframe_batch(&framed).unwrap())
+    });
     group.finish();
 }
 
 fn bench_partitioners(c: &mut Criterion) {
-    let keys: Vec<Vec<u8>> = (0..10_000).map(|i| format!("key-{i}").into_bytes()).collect();
+    let keys: Vec<Vec<u8>> = (0..10_000)
+        .map(|i| format!("key-{i}").into_bytes())
+        .collect();
     let hash = HashPartitioner::new(32);
     let range = RangePartitioner::from_sample(keys.clone(), 32);
     let mut group = c.benchmark_group("partitioners");
@@ -65,7 +69,10 @@ fn bench_sort_merge(c: &mut Criterion) {
         .filter(|l| !l.is_empty())
         .map(|l| Record::new(l.to_vec(), b"v".to_vec()))
         .collect();
-    let mut runs: Vec<Vec<Record>> = records.chunks(records.len() / 8 + 1).map(|c| c.to_vec()).collect();
+    let mut runs: Vec<Vec<Record>> = records
+        .chunks(records.len() / 8 + 1)
+        .map(|c| c.to_vec())
+        .collect();
     for run in runs.iter_mut() {
         sort_records(run, &BytesComparator);
     }
@@ -87,7 +94,9 @@ fn bench_sort_merge(c: &mut Criterion) {
 fn bench_kv_buffer(c: &mut Criterion) {
     use datampi::buffer::KvBuffer;
     use datampi::comm::Interconnect;
-    let words: Vec<Vec<u8>> = (0..5000).map(|i| format!("w{}", i % 500).into_bytes()).collect();
+    let words: Vec<Vec<u8>> = (0..5000)
+        .map(|i| format!("w{}", i % 500).into_bytes())
+        .collect();
     let mut group = c.benchmark_group("datampi_kv_buffer");
     group.throughput(Throughput::Elements(words.len() as u64));
     group.bench_function("emit_5k_pairs_pipelined", |b| {

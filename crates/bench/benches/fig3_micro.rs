@@ -44,7 +44,9 @@ fn bench_wordcount(c: &mut Criterion) {
         b.iter(|| wordcount::run_datampi(&datampi::JobConfig::new(4), inputs.clone()).unwrap())
     });
     group.bench_function(BenchmarkId::from_parameter("hadoop"), |b| {
-        b.iter(|| wordcount::run_mapred(&dmpi_mapred::MapRedConfig::new(4), inputs.clone()).unwrap())
+        b.iter(|| {
+            wordcount::run_mapred(&dmpi_mapred::MapRedConfig::new(4), inputs.clone()).unwrap()
+        })
     });
     group.bench_function(BenchmarkId::from_parameter("spark"), |b| {
         b.iter(|| {
@@ -65,7 +67,9 @@ fn bench_text_sort(c: &mut Criterion) {
         b.iter(|| sort::run_text_datampi(&datampi::JobConfig::new(4), inputs.clone()).unwrap())
     });
     group.bench_function(BenchmarkId::from_parameter("hadoop"), |b| {
-        b.iter(|| sort::run_text_mapred(&dmpi_mapred::MapRedConfig::new(4), inputs.clone()).unwrap())
+        b.iter(|| {
+            sort::run_text_mapred(&dmpi_mapred::MapRedConfig::new(4), inputs.clone()).unwrap()
+        })
     });
     group.bench_function(BenchmarkId::from_parameter("spark"), |b| {
         b.iter(|| {
@@ -104,9 +108,7 @@ fn bench_grep(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Bytes(total));
     group.bench_function(BenchmarkId::from_parameter("datampi"), |b| {
-        b.iter(|| {
-            grep::run_datampi(&datampi::JobConfig::new(4), inputs.clone(), &pattern).unwrap()
-        })
+        b.iter(|| grep::run_datampi(&datampi::JobConfig::new(4), inputs.clone(), &pattern).unwrap())
     });
     group.bench_function(BenchmarkId::from_parameter("hadoop"), |b| {
         b.iter(|| {

@@ -14,7 +14,9 @@ use dmpi_workloads::wordcount;
 
 fn tiny_corpus() -> Vec<Bytes> {
     let mut gen = TextGenerator::new(SeedModel::lda_wiki1w(), 0x5A11);
-    (0..4).map(|_| Bytes::from(gen.generate_bytes(2048))).collect()
+    (0..4)
+        .map(|_| Bytes::from(gen.generate_bytes(2048)))
+        .collect()
 }
 
 fn bench_small_jobs(c: &mut Criterion) {

@@ -6,8 +6,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use dmpi_workloads::kmeans::{self, KMeans, TrainEngine};
 use dmpi_workloads::bayes;
+use dmpi_workloads::kmeans::{self, KMeans, TrainEngine};
 
 fn bench_kmeans(c: &mut Criterion) {
     let params = KMeans {
@@ -74,5 +74,10 @@ fn bench_bayes(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_kmeans, bench_kmeans_iterated_spark_cache, bench_bayes);
+criterion_group!(
+    benches,
+    bench_kmeans,
+    bench_kmeans_iterated_spark_cache,
+    bench_bayes
+);
 criterion_main!(benches);

@@ -9,6 +9,7 @@
 //! figures fig4sort --series cpu     # 10s-sampled time series
 //! figures fig3b --csv               # CSV for plotting tools
 //! figures ext-iter                  # extension: iterative K-means
+//! figures ext-recovery              # extension: node-failure recovery
 //! ```
 
 use dmpi_bench::experiments;
@@ -17,7 +18,7 @@ use dmpi_bench::figures::{self, Fig4Case};
 fn usage() -> ! {
     eprintln!(
         "usage: figures <all|table1|table2|fig2a|fig2b|fig3a|fig3b|fig3c|fig3d|\
-         fig4sort|fig4wordcount|fig5|fig6a|fig6b|fig7|ext-iter|summary> [--markdown] \
+         fig4sort|fig4wordcount|fig5|fig6a|fig6b|fig7|ext-iter|ext-recovery|summary> [--markdown] \
          [--write PATH] [--csv] [--series cpu|waitio|disk_read|disk_write|net|mem]"
     );
     std::process::exit(2);
@@ -97,6 +98,10 @@ fn main() {
             "fig6b" => println!("{}", render(figures::fig6b()?, csv)),
             "fig7" => println!("{}", render(figures::fig7()?, csv)),
             "ext-iter" => println!("{}", render(figures::fig_ext_iterations(16, 5)?, csv)),
+            "ext-recovery" => println!(
+                "{}",
+                render(dmpi_bench::recovery::fig_ext_recovery(8)?, csv)
+            ),
             "summary" => println!("{}", render(figures::section_4_7_summary()?, csv)),
             _ => usage(),
         }

@@ -15,7 +15,11 @@ pub const ENGINES: [Engine; 3] = [Engine::Hadoop, Engine::Spark, Engine::DataMpi
 
 /// Table 1 — representative workloads.
 pub fn table1() -> Table {
-    let mut t = Table::new("table1", "Representative Workloads", &["No.", "Workload", "Type"]);
+    let mut t = Table::new(
+        "table1",
+        "Representative Workloads",
+        &["No.", "Workload", "Type"],
+    );
     for e in dmpi_workloads::catalog::TABLE1 {
         t.push_row(vec![e.no.to_string(), e.workload.into(), e.category.into()]);
     }
@@ -25,7 +29,11 @@ pub fn table1() -> Table {
 /// Table 2 — hardware configuration of the (simulated) testbed.
 pub fn table2() -> Table {
     let spec = ClusterSpec::paper_testbed();
-    let mut t = Table::new("table2", "Details of Hardware Configuration", &["Item", "Value"]);
+    let mut t = Table::new(
+        "table2",
+        "Details of Hardware Configuration",
+        &["Item", "Value"],
+    );
     let rows = [
         ("CPU type", "Intel Xeon E5620 (2 sockets)".to_string()),
         ("# cores", "4 cores @2.4G per socket".to_string()),
@@ -233,7 +241,11 @@ impl Fig4Data {
     }
 
     /// Mean of a metric over an engine's input phase.
-    pub fn phase_mean(&self, engine: Engine, series_of: impl Fn(&ResourceProfile) -> Vec<f64>) -> Option<f64> {
+    pub fn phase_mean(
+        &self,
+        engine: Engine,
+        series_of: impl Fn(&ResourceProfile) -> Vec<f64>,
+    ) -> Option<f64> {
         let report = self
             .reports
             .iter()
@@ -262,7 +274,11 @@ pub fn fig4_data(case: Fig4Case) -> Result<Fig4Data> {
             reports.push((engine, *report));
         }
     }
-    Ok(Fig4Data { runs, reports, case })
+    Ok(Fig4Data {
+        runs,
+        reports,
+        case,
+    })
 }
 
 /// Figure 4 summary table: the per-engine averages the paper quotes in
@@ -345,12 +361,7 @@ pub fn fig4_series(case: Fig4Case, metric: &str, step: usize) -> Result<Table> {
         format!("{} of {}", metric, case.label()),
         &header_refs,
     );
-    let longest = data
-        .runs
-        .iter()
-        .map(|(_, _, p)| p.len())
-        .max()
-        .unwrap_or(0);
+    let longest = data.runs.iter().map(|(_, _, p)| p.len()).max().unwrap_or(0);
     let mut i = 0;
     while i < longest {
         let mut row = vec![i.to_string()];
@@ -529,7 +540,11 @@ pub fn section_4_7_summary() -> Result<Table> {
                 .into_iter()
                 .map(move |w| (w, gb))
         })
-        .chain([4u64, 8, 16, 32].iter().map(|&gb| (Workload::NormalSort, gb)))
+        .chain(
+            [4u64, 8, 16, 32]
+                .iter()
+                .map(|&gb| (Workload::NormalSort, gb)),
+        )
         .collect();
     let apps: Vec<(Workload, u64)> = [8u64, 16, 32, 64]
         .iter()
@@ -544,7 +559,9 @@ pub fn section_4_7_summary() -> Result<Table> {
     let small_total = |e: Engine| -> Result<f64> {
         let mut sum = 0.0;
         for w in [Workload::TextSort, Workload::WordCount, Workload::Grep] {
-            sum += run_sim(w, e, 128 * MB, 1)?.seconds().expect("small jobs run");
+            sum += run_sim(w, e, 128 * MB, 1)?
+                .seconds()
+                .expect("small jobs run");
         }
         Ok(sum)
     };
@@ -962,7 +979,10 @@ mod tests {
         // resident engines pay compute only.
         let slope = |e: &str| (at("5", e) - at("1", e)) / 4.0;
         assert!(slope("Spark") < slope("Hadoop") * 0.7, "cache pays off");
-        assert!(slope("DataMPI") < slope("Hadoop") * 0.7, "residency pays off");
+        assert!(
+            slope("DataMPI") < slope("Hadoop") * 0.7,
+            "residency pays off"
+        );
         // By iteration 5 both residency engines lead Hadoop decisively.
         assert!(at("5", "Spark") < at("5", "Hadoop") * 0.8);
         assert!(at("5", "DataMPI") < at("5", "Hadoop") * 0.8);

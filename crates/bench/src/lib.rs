@@ -21,6 +21,7 @@
 
 pub mod experiments;
 pub mod figures;
+pub mod recovery;
 pub mod table;
 
 pub use table::Table;

@@ -240,7 +240,9 @@ mod tests {
         let mut state = 0x12345678u64;
         let data: Vec<u8> = (0..50_000)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (state >> 33) as u8
             })
             .collect();
@@ -253,7 +255,9 @@ mod tests {
     fn text_like_input() {
         let mut data = Vec::new();
         for i in 0..2000 {
-            data.extend_from_slice(format!("line {} of synthetic wiki text corpus\n", i % 97).as_bytes());
+            data.extend_from_slice(
+                format!("line {} of synthetic wiki text corpus\n", i % 97).as_bytes(),
+            );
         }
         let c = compress(&data);
         assert!(c.len() < data.len() / 2);

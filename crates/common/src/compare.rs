@@ -186,7 +186,10 @@ mod tests {
         let run1 = vec![rec("a", "1"), rec("d", "4"), rec("f", "6")];
         let run2 = vec![rec("b", "2"), rec("e", "5")];
         let run3 = vec![rec("c", "3")];
-        let merged = merge_sorted_runs(vec![run1.clone(), run2.clone(), run3.clone()], &BytesComparator);
+        let merged = merge_sorted_runs(
+            vec![run1.clone(), run2.clone(), run3.clone()],
+            &BytesComparator,
+        );
         let mut all: Vec<Record> = run1.into_iter().chain(run2).chain(run3).collect();
         sort_records(&mut all, &BytesComparator);
         assert_eq!(merged, all);
@@ -195,7 +198,11 @@ mod tests {
     #[test]
     fn merge_handles_empty_runs_and_duplicates() {
         let merged = merge_sorted_runs(
-            vec![vec![], vec![rec("x", "2"), rec("x", "3")], vec![rec("x", "1")]],
+            vec![
+                vec![],
+                vec![rec("x", "2"), rec("x", "3")],
+                vec![rec("x", "1")],
+            ],
             &BytesComparator,
         );
         assert_eq!(merged.len(), 3);

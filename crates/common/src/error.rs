@@ -11,6 +11,104 @@ use std::fmt;
 /// Convenient alias used across the workspace.
 pub type Result<T> = std::result::Result<T, Error>;
 
+/// Classification of a [`FaultCause`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A deliberately injected task error (fault-injection harness).
+    InjectedError,
+    /// User code panicked inside a task.
+    TaskPanic,
+    /// A whole worker rank died before finishing its work.
+    RankDeath,
+    /// A frame failed its CRC32 integrity check on receipt.
+    CorruptFrame,
+    /// A simulated cluster node failed.
+    NodeFailure,
+    /// A fault with no richer classification.
+    Other,
+}
+
+/// Structured cause carried by [`Error::Fault`], so supervisors and tests
+/// can match on *what* failed (which task, which rank, which attempt)
+/// instead of grepping a formatted string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultCause {
+    /// What kind of fault this is.
+    pub kind: FaultKind,
+    /// The task (split index) involved, if any.
+    pub task: Option<usize>,
+    /// The worker rank involved, if any.
+    pub rank: Option<usize>,
+    /// The job attempt on which the fault fired, if known.
+    pub attempt: Option<u32>,
+    /// Free-form human context.
+    pub detail: String,
+}
+
+impl FaultCause {
+    /// A cause of `kind` with no located task/rank/attempt yet.
+    pub fn new(kind: FaultKind, detail: impl Into<String>) -> Self {
+        FaultCause {
+            kind,
+            task: None,
+            rank: None,
+            attempt: None,
+            detail: detail.into(),
+        }
+    }
+
+    /// Builder: the task involved.
+    pub fn task(mut self, task: usize) -> Self {
+        self.task = Some(task);
+        self
+    }
+
+    /// Builder: the rank involved.
+    pub fn rank(mut self, rank: usize) -> Self {
+        self.rank = Some(rank);
+        self
+    }
+
+    /// Builder: the attempt on which the fault fired.
+    pub fn attempt(mut self, attempt: u32) -> Self {
+        self.attempt = Some(attempt);
+        self
+    }
+
+    /// True for faults produced by the injection harness (as opposed to
+    /// genuine panics or corruption found in the wild).
+    pub fn is_injected(&self) -> bool {
+        self.kind == FaultKind::InjectedError
+    }
+}
+
+impl fmt::Display for FaultCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.kind {
+            FaultKind::InjectedError => "injected error",
+            FaultKind::TaskPanic => "task panic",
+            FaultKind::RankDeath => "rank death",
+            FaultKind::CorruptFrame => "corrupt frame",
+            FaultKind::NodeFailure => "node failure",
+            FaultKind::Other => "fault",
+        };
+        write!(f, "{kind}")?;
+        if let Some(t) = self.task {
+            write!(f, " [task {t}]")?;
+        }
+        if let Some(r) = self.rank {
+            write!(f, " [rank {r}]")?;
+        }
+        if let Some(a) = self.attempt {
+            write!(f, " [attempt {a}]")?;
+        }
+        if !self.detail.is_empty() {
+            write!(f, ": {}", self.detail)?;
+        }
+        Ok(())
+    }
+}
+
 /// Unified error for all `datampi-rs` crates.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Error {
@@ -36,8 +134,9 @@ pub enum Error {
     InvalidState(String),
     /// A configuration value was out of range or inconsistent.
     Config(String),
-    /// A simulated component failed (injected fault or modeled crash).
-    Fault(String),
+    /// A simulated component failed (injected fault or modeled crash),
+    /// with a structured [`FaultCause`] saying what, where, and when.
+    Fault(FaultCause),
     /// A task exceeded its retry budget and the job was aborted.
     JobAborted(String),
 }
@@ -51,6 +150,24 @@ impl Error {
     /// True if this error is the simulated OutOfMemory condition.
     pub fn is_oom(&self) -> bool {
         matches!(self, Error::OutOfMemory { .. })
+    }
+
+    /// Shorthand for a fault with a structured cause.
+    pub fn fault(cause: FaultCause) -> Self {
+        Error::Fault(cause)
+    }
+
+    /// Shorthand for an unclassified fault carrying only a message.
+    pub fn fault_msg(detail: impl Into<String>) -> Self {
+        Error::Fault(FaultCause::new(FaultKind::Other, detail))
+    }
+
+    /// The structured fault cause, if this error is a fault.
+    pub fn fault_cause(&self) -> Option<&FaultCause> {
+        match self {
+            Error::Fault(cause) => Some(cause),
+            _ => None,
+        }
     }
 }
 
@@ -71,7 +188,7 @@ impl fmt::Display for Error {
             Error::NotFound(m) => write!(f, "not found: {m}"),
             Error::InvalidState(m) => write!(f, "invalid state: {m}"),
             Error::Config(m) => write!(f, "bad configuration: {m}"),
-            Error::Fault(m) => write!(f, "injected fault: {m}"),
+            Error::Fault(cause) => write!(f, "fault: {cause}"),
             Error::JobAborted(m) => write!(f, "job aborted: {m}"),
         }
     }
@@ -107,5 +224,33 @@ mod tests {
     fn errors_are_comparable() {
         assert_eq!(Error::corrupt("a"), Error::Corrupt("a".into()));
         assert_ne!(Error::corrupt("a"), Error::corrupt("b"));
+    }
+
+    #[test]
+    fn fault_causes_are_structured_and_matchable() {
+        let e = Error::fault(
+            FaultCause::new(FaultKind::InjectedError, "scheduled by plan")
+                .task(2)
+                .rank(1)
+                .attempt(0),
+        );
+        let cause = e.fault_cause().expect("is a fault");
+        assert_eq!(cause.kind, FaultKind::InjectedError);
+        assert_eq!(cause.task, Some(2));
+        assert_eq!(cause.rank, Some(1));
+        assert_eq!(cause.attempt, Some(0));
+        assert!(cause.is_injected());
+        let s = e.to_string();
+        assert!(s.contains("injected error"), "{s}");
+        assert!(s.contains("task 2"), "{s}");
+        assert!(Error::Config("x".into()).fault_cause().is_none());
+    }
+
+    #[test]
+    fn unclassified_fault_shorthand() {
+        let e = Error::fault_msg("something broke");
+        assert_eq!(e.fault_cause().unwrap().kind, FaultKind::Other);
+        assert!(!e.fault_cause().unwrap().is_injected());
+        assert!(e.to_string().contains("something broke"));
     }
 }

@@ -90,8 +90,7 @@ pub struct BatchCollector {
 
 impl Collector for BatchCollector {
     fn collect(&mut self, key: &[u8], value: &[u8]) {
-        self.batch
-            .push(Record::new(key.to_vec(), value.to_vec()));
+        self.batch.push(Record::new(key.to_vec(), value.to_vec()));
     }
 }
 

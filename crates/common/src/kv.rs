@@ -63,7 +63,12 @@ impl Record {
 
 impl fmt::Debug for Record {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Record({:?} => {:?})", self.key_utf8(), self.value_utf8())
+        write!(
+            f,
+            "Record({:?} => {:?})",
+            self.key_utf8(),
+            self.value_utf8()
+        )
     }
 }
 

@@ -35,5 +35,5 @@ pub mod ser;
 pub mod units;
 pub mod varint;
 
-pub use error::{Error, Result};
+pub use error::{Error, FaultCause, FaultKind, Result};
 pub use kv::{Record, RecordBatch};

@@ -280,12 +280,12 @@ mod tests {
     #[test]
     fn vec_and_tuple_round_trips() {
         let centroid: Vec<f64> = vec![1.0, 2.5, -3.75];
-        assert_eq!(Vec::<f64>::from_bytes(&centroid.to_bytes()).unwrap(), centroid);
-        let pair = ("word".to_string(), 42u64);
         assert_eq!(
-            <(String, u64)>::from_bytes(&pair.to_bytes()).unwrap(),
-            pair
+            Vec::<f64>::from_bytes(&centroid.to_bytes()).unwrap(),
+            centroid
         );
+        let pair = ("word".to_string(), 42u64);
+        assert_eq!(<(String, u64)>::from_bytes(&pair.to_bytes()).unwrap(), pair);
     }
 
     #[test]

@@ -77,7 +77,10 @@ impl SeedModel {
     /// # Panics
     /// Panics if `index` is not in `1..=5`.
     pub fn amazon(index: u8) -> Self {
-        assert!((1..=5).contains(&index), "amazon models are amazon1..amazon5");
+        assert!(
+            (1..=5).contains(&index),
+            "amazon models are amazon1..amazon5"
+        );
         SeedModel::with_params(&format!("amazon{index}"), DEFAULT_VOCAB, DEFAULT_ZIPF_S)
     }
 
@@ -172,7 +175,10 @@ mod tests {
         // Empirical top-word frequency ≈ theoretical.
         let p0 = m.rank_probability(0);
         let observed = counts[0] as f64 / n as f64;
-        assert!((observed - p0).abs() / p0 < 0.1, "observed {observed}, want {p0}");
+        assert!(
+            (observed - p0).abs() / p0 < 0.1,
+            "observed {observed}, want {p0}"
+        );
     }
 
     #[test]

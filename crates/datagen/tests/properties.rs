@@ -3,10 +3,10 @@
 
 use proptest::prelude::*;
 
+use dmpi_common::ser::Writable;
 use dmpi_datagen::seqfile;
 use dmpi_datagen::vectors::{vectorize, SparseVector};
 use dmpi_datagen::{SeedModel, TextGenerator};
-use dmpi_common::ser::Writable;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]

@@ -17,6 +17,7 @@ use dmpi_common::Record;
 
 use crate::checkpoint::CheckpointStore;
 use crate::comm::Frame;
+use crate::fault::Corruption;
 
 /// Counters reported by a finished buffer.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -44,6 +45,10 @@ pub struct KvBuffer {
     /// Checkpoint tee: every shipped frame is also recorded here so a
     /// completed task's output can be replayed after a restart.
     tee: Option<CheckpointStore>,
+    /// Fault injection: flip one byte of the next flushed frame *after*
+    /// its CRC is computed and *after* the tee records the clean copy —
+    /// wire corruption, not stable-store corruption.
+    corruption: Option<Corruption>,
 }
 
 impl KvBuffer {
@@ -66,12 +71,18 @@ impl KvBuffer {
             pipelined,
             stats: BufferStats::default(),
             tee: None,
+            corruption: None,
         }
     }
 
     /// Enables the checkpoint tee.
     pub fn set_tee(&mut self, tee: CheckpointStore) {
         self.tee = Some(tee);
+    }
+
+    /// Arms wire corruption of the next flushed frame (fault injection).
+    pub fn set_corruption(&mut self, corruption: Corruption) {
+        self.corruption = Some(corruption);
     }
 
     /// Emits one key-value pair.
@@ -113,13 +124,19 @@ impl KvBuffer {
         if let Some(tee) = &self.tee {
             tee.record_frame(self.o_task, p, payload.clone());
         }
+        // The CRC is stamped over the clean payload; an armed corruption
+        // then flips a wire byte, so the receiver's verify must fail.
+        let mut frame = Frame::data(self.from_rank, self.o_task, payload);
+        if let Some(corruption) = self.corruption.take() {
+            if let Frame::Data { payload, .. } = &mut frame {
+                let mut bytes = payload.to_vec();
+                corruption.apply(&mut bytes);
+                *payload = Bytes::from(bytes);
+            }
+        }
         // Receiver disconnect means the job is tearing down (a failure is
         // propagating); dropping the frame is correct then.
-        let _ = self.senders[p].send(Frame::Data {
-            from_rank: self.from_rank,
-            o_task: self.o_task,
-            payload,
-        });
+        let _ = self.senders[p].send(frame);
     }
 
     /// Flushes all remaining data and returns the task's counters.
@@ -215,6 +232,36 @@ mod tests {
             Frame::Data { o_task, .. } => assert_eq!(*o_task, 3),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn armed_corruption_flips_the_wire_but_not_the_checkpoint() {
+        let mut net = Interconnect::new(1);
+        let senders = net.senders();
+        let rx = net.take_receiver(0);
+        let cp = crate::checkpoint::CheckpointStore::new();
+        let mut buf = KvBuffer::new(senders, 0, 4, usize::MAX, false);
+        buf.set_tee(cp.clone());
+        buf.set_corruption(Corruption {
+            offset_seed: 3,
+            mask: 0x10,
+        });
+        buf.emit_kv(b"key", b"value");
+        buf.finish();
+        let frame = rx.try_recv().unwrap();
+        let err = frame.verify().unwrap_err();
+        assert_eq!(
+            err.fault_cause().unwrap().kind,
+            dmpi_common::FaultKind::CorruptFrame
+        );
+        // The checkpointed copy is the clean payload.
+        cp.mark_complete(4);
+        let clean = &cp.recover_frames(4)[0].1;
+        match frame {
+            Frame::Data { payload, .. } => assert_ne!(&payload[..], &clean[..]),
+            other => panic!("unexpected {other:?}"),
+        }
+        Frame::data(0, 4, clean.clone()).verify().unwrap();
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! "key-value pair based checkpoint/restart" the paper attributes to
 //! DataMPI (§2.3).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -25,8 +25,9 @@ pub struct CheckpointStore {
 struct Inner {
     /// Frames per completed-or-in-progress O task: `(partition, payload)`.
     frames: HashMap<usize, Vec<(usize, Bytes)>>,
-    /// O tasks whose output is completely captured.
-    completed: Vec<usize>,
+    /// O tasks whose output is completely captured. A set: `is_complete`
+    /// runs once per task on every restart, so membership must be O(1).
+    completed: HashSet<usize>,
 }
 
 impl CheckpointStore {
@@ -46,11 +47,9 @@ impl CheckpointStore {
     }
 
     /// Marks `o_task` complete: its captured frames become recoverable.
+    /// Idempotent.
     pub fn mark_complete(&self, o_task: usize) {
-        let mut inner = self.inner.lock();
-        if !inner.completed.contains(&o_task) {
-            inner.completed.push(o_task);
-        }
+        self.inner.lock().completed.insert(o_task);
     }
 
     /// Discards partial frames of an uncompleted task (failure cleanup).

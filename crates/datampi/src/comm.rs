@@ -6,9 +6,17 @@
 //! ship [`Frame::Data`] messages as buffers fill (the pipelined path) and
 //! close the stream with one [`Frame::Eof`] per sender so receivers know
 //! when their partition is complete.
+//!
+//! Every data frame carries a CRC32 of its payload, computed at the
+//! sender. Receivers [`Frame::verify`] before ingesting: a mismatch (bit
+//! rot, or the fault-injection harness flipping wire bytes) surfaces as a
+//! structured [`Error::Fault`] instead of silently wrong output.
 
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use dmpi_common::crc::crc32;
+use dmpi_common::{Error, FaultCause, FaultKind, Result};
 
 /// A message delivered to an A partition's mailbox.
 #[derive(Clone, Debug)]
@@ -22,6 +30,8 @@ pub enum Frame {
         o_task: usize,
         /// Framed records (see `dmpi_common::ser`).
         payload: Bytes,
+        /// CRC32 (IEEE) of `payload`, computed at the sender.
+        crc: u32,
     },
     /// The sending rank has no more data for this partition.
     Eof {
@@ -31,11 +41,55 @@ pub enum Frame {
 }
 
 impl Frame {
+    /// Builds a data frame, stamping the payload's CRC32.
+    pub fn data(from_rank: usize, o_task: usize, payload: Bytes) -> Frame {
+        let crc = crc32(&payload);
+        Frame::Data {
+            from_rank,
+            o_task,
+            payload,
+            crc,
+        }
+    }
+
     /// Payload size (0 for EOF).
     pub fn payload_len(&self) -> usize {
         match self {
             Frame::Data { payload, .. } => payload.len(),
             Frame::Eof { .. } => 0,
+        }
+    }
+
+    /// Checks the payload against the sender-stamped CRC. EOF frames are
+    /// trivially valid. A mismatch reports a [`FaultKind::CorruptFrame`]
+    /// cause naming the producing task and rank.
+    pub fn verify(&self) -> Result<()> {
+        match self {
+            Frame::Eof { .. } => Ok(()),
+            Frame::Data {
+                from_rank,
+                o_task,
+                payload,
+                crc,
+            } => {
+                let actual = crc32(payload);
+                if actual == *crc {
+                    Ok(())
+                } else {
+                    Err(Error::fault(
+                        FaultCause::new(
+                            FaultKind::CorruptFrame,
+                            format!(
+                                "frame CRC mismatch: stamped {crc:#010x}, computed {actual:#010x} \
+                                 over {} bytes",
+                                payload.len()
+                            ),
+                        )
+                        .task(*o_task)
+                        .rank(*from_rank),
+                    ))
+                }
+            }
         }
     }
 }
@@ -89,11 +143,7 @@ mod tests {
         let rx0 = net.take_receiver(0);
         let rx1 = net.take_receiver(1);
         senders[0]
-            .send(Frame::Data {
-                from_rank: 1,
-                o_task: 7,
-                payload: Bytes::from_static(b"abc"),
-            })
+            .send(Frame::data(1, 7, Bytes::from_static(b"abc")))
             .unwrap();
         senders[1].send(Frame::Eof { from_rank: 1 }).unwrap();
         match rx0.recv().unwrap() {
@@ -101,6 +151,7 @@ mod tests {
                 from_rank,
                 o_task,
                 payload,
+                ..
             } => {
                 assert_eq!(from_rank, 1);
                 assert_eq!(o_task, 7);
@@ -116,13 +167,46 @@ mod tests {
 
     #[test]
     fn payload_len_reports_size() {
-        let f = Frame::Data {
-            from_rank: 0,
-            o_task: 0,
-            payload: Bytes::from_static(b"1234"),
-        };
+        let f = Frame::data(0, 0, Bytes::from_static(b"1234"));
         assert_eq!(f.payload_len(), 4);
         assert_eq!(Frame::Eof { from_rank: 0 }.payload_len(), 0);
+    }
+
+    #[test]
+    fn clean_frames_verify() {
+        Frame::data(0, 3, Bytes::from_static(b"payload"))
+            .verify()
+            .unwrap();
+        Frame::Eof { from_rank: 0 }.verify().unwrap();
+        // Empty payloads are fine too (CRC of nothing is stable).
+        Frame::data(0, 0, Bytes::new()).verify().unwrap();
+    }
+
+    #[test]
+    fn corrupted_frame_fails_verification_with_structured_cause() {
+        let f = match Frame::data(2, 5, Bytes::from_static(b"hello world")) {
+            Frame::Data {
+                from_rank,
+                o_task,
+                payload,
+                crc,
+            } => {
+                let mut bytes = payload.to_vec();
+                bytes[4] ^= 0x40; // one flipped bit on the wire
+                Frame::Data {
+                    from_rank,
+                    o_task,
+                    payload: Bytes::from(bytes),
+                    crc,
+                }
+            }
+            _ => unreachable!(),
+        };
+        let err = f.verify().unwrap_err();
+        let cause = err.fault_cause().expect("fault with cause");
+        assert_eq!(cause.kind, FaultKind::CorruptFrame);
+        assert_eq!(cause.task, Some(5));
+        assert_eq!(cause.rank, Some(2));
     }
 
     #[test]
@@ -141,11 +225,7 @@ mod tests {
         let h = std::thread::spawn(move || {
             for i in 0..100usize {
                 senders[0]
-                    .send(Frame::Data {
-                        from_rank: 0,
-                        o_task: i,
-                        payload: Bytes::from(vec![0u8; i]),
-                    })
+                    .send(Frame::data(0, i, Bytes::from(vec![0u8; i])))
                     .unwrap();
             }
             senders[0].send(Frame::Eof { from_rank: 0 }).unwrap();

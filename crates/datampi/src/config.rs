@@ -3,6 +3,8 @@
 use dmpi_common::units::MB;
 use dmpi_common::{Error, Result};
 
+use crate::fault::FaultPlan;
+
 /// Configuration of one DataMPI job.
 #[derive(Clone, Debug)]
 pub struct JobConfig {
@@ -28,19 +30,10 @@ pub struct JobConfig {
     /// by hash (Common mode, cheaper — used by WordCount-style jobs where
     /// output order is irrelevant).
     pub sorted_grouping: bool,
-    /// Fault injection: the O task index that should fail, and on which
-    /// run attempt (0-based); used by the fault-tolerance tests.
-    pub fail_o_task: Option<FaultSpec>,
-}
-
-/// Injected-fault description.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct FaultSpec {
-    /// Which O task (by split index) fails.
-    pub task_index: usize,
-    /// The attempt on which it fails (tasks recovered from checkpoint are
-    /// not re-attempted).
-    pub on_attempt: u32,
+    /// Fault injection: a deterministic, seeded schedule of O-task
+    /// errors, rank deaths, straggler delays, and frame corruptions
+    /// ([`FaultPlan`]). `None` (the default) injects nothing.
+    pub faults: Option<FaultPlan>,
 }
 
 impl JobConfig {
@@ -53,7 +46,7 @@ impl JobConfig {
             memory_budget: 64 * MB as usize,
             checkpointing: false,
             sorted_grouping: true,
-            fail_o_task: None,
+            faults: None,
         }
     }
 
@@ -67,6 +60,9 @@ impl JobConfig {
         }
         if self.memory_budget == 0 {
             return Err(Error::Config("memory budget must be positive".into()));
+        }
+        if let Some(plan) = &self.faults {
+            plan.validate()?;
         }
         Ok(())
     }
@@ -101,10 +97,21 @@ impl JobConfig {
         self
     }
 
-    /// Builder: inject a fault.
-    pub fn with_fault(mut self, fault: FaultSpec) -> Self {
-        self.fail_o_task = Some(fault);
+    /// Builder: install a fault-injection plan.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
+    }
+
+    /// Builder: inject a single O-task error (shorthand for the most
+    /// common single-fault plan).
+    pub fn with_o_task_fault(self, task: usize, on_attempt: u32) -> Self {
+        let plan = self
+            .faults
+            .clone()
+            .unwrap_or_default()
+            .fail_o_task(task, on_attempt);
+        self.with_faults(plan)
     }
 }
 
@@ -120,8 +127,14 @@ mod tests {
     #[test]
     fn invalid_configs_rejected() {
         assert!(JobConfig::new(0).validate().is_err());
-        assert!(JobConfig::new(1).with_flush_threshold(0).validate().is_err());
+        assert!(JobConfig::new(1)
+            .with_flush_threshold(0)
+            .validate()
+            .is_err());
         assert!(JobConfig::new(1).with_memory_budget(0).validate().is_err());
+        // An invalid fault plan makes the whole config invalid.
+        let plan = FaultPlan::new(0).straggler(0, 0, FaultPlan::MAX_STRAGGLER_MS + 1);
+        assert!(JobConfig::new(1).with_faults(plan).validate().is_err());
     }
 
     #[test]
@@ -132,21 +145,25 @@ mod tests {
             .with_memory_budget(123)
             .with_sorted_grouping(false)
             .with_flush_threshold(456)
-            .with_fault(FaultSpec {
-                task_index: 1,
-                on_attempt: 0,
-            });
+            .with_o_task_fault(1, 0);
         assert!(!c.pipelined);
         assert!(c.checkpointing);
         assert_eq!(c.memory_budget, 123);
         assert!(!c.sorted_grouping);
         assert_eq!(c.flush_threshold, 456);
-        assert_eq!(
-            c.fail_o_task,
-            Some(FaultSpec {
-                task_index: 1,
-                on_attempt: 0
-            })
-        );
+        let plan = c.faults.as_ref().expect("plan installed");
+        assert!(plan.o_task_error(1, 0));
+        assert!(!plan.o_task_error(1, 1));
+    }
+
+    #[test]
+    fn o_task_fault_shorthand_extends_an_existing_plan() {
+        let c = JobConfig::new(1)
+            .with_faults(FaultPlan::new(9).rank_panic(0, 0))
+            .with_o_task_fault(2, 1);
+        let plan = c.faults.unwrap();
+        assert_eq!(plan.seed(), 9, "shorthand keeps the existing seed");
+        assert!(plan.rank_panics(0, 0));
+        assert!(plan.o_task_error(2, 1));
     }
 }

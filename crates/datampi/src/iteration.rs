@@ -16,8 +16,10 @@ use bytes::Bytes;
 use dmpi_common::group::{Collector, GroupedValues};
 use dmpi_common::Result;
 
+use crate::checkpoint::CheckpointStore;
 use crate::config::JobConfig;
 use crate::runtime::{run_job_generic, JobOutput};
+use crate::supervisor::{supervise_job_generic, RetryPolicy};
 
 /// Deserialized splits held resident across iterations.
 ///
@@ -106,13 +108,57 @@ where
     O: Fn(usize, &[T], &mut dyn Collector) + Send + Sync,
     A: Fn(&GroupedValues, &mut dyn Collector) + Send + Sync,
 {
+    run_iteration_attempt(config, cache, o_fn, a_fn, None, 0)
+}
+
+/// Runs one iteration identifying the attempt number, optionally against a
+/// [`CheckpointStore`] shared across attempts — the restartable form of
+/// [`run_iteration`].
+pub fn run_iteration_attempt<T, O, A>(
+    config: &JobConfig,
+    cache: &IterationCache<T>,
+    o_fn: O,
+    a_fn: A,
+    checkpoint: Option<&CheckpointStore>,
+    attempt: u32,
+) -> Result<JobOutput>
+where
+    T: Send + Sync,
+    O: Fn(usize, &[T], &mut dyn Collector) + Send + Sync,
+    A: Fn(&GroupedValues, &mut dyn Collector) + Send + Sync,
+{
     run_job_generic(
         config,
         cache.handles(),
         move |task, split: &Arc<Vec<T>>, out: &mut dyn Collector| o_fn(task, split, out),
         a_fn,
-        None,
-        0,
+        checkpoint,
+        attempt,
+    )
+}
+
+/// Runs one iteration under the bounded-retry supervisor: faulted attempts
+/// restart from checkpoint (when the config enables checkpointing) while
+/// the resident cache — the mode's entire point — is never re-parsed.
+pub fn supervise_iteration<T, O, A>(
+    config: &JobConfig,
+    policy: &RetryPolicy,
+    cache: &IterationCache<T>,
+    o_fn: O,
+    a_fn: A,
+) -> Result<JobOutput>
+where
+    T: Send + Sync,
+    O: Fn(usize, &[T], &mut dyn Collector) + Send + Sync,
+    A: Fn(&GroupedValues, &mut dyn Collector) + Send + Sync,
+{
+    let handles = cache.handles();
+    supervise_job_generic(
+        config,
+        policy,
+        &handles,
+        move |task, split: &Arc<Vec<T>>, out: &mut dyn Collector| o_fn(task, split, out),
+        a_fn,
     )
 }
 
@@ -142,10 +188,7 @@ mod tests {
 
     #[test]
     fn cache_parses_each_split_exactly_once() {
-        let inputs = vec![
-            Bytes::from_static(b"a b a"),
-            Bytes::from_static(b"b c"),
-        ];
+        let inputs = vec![Bytes::from_static(b"a b a"), Bytes::from_static(b"b c")];
         let cache = IterationCache::load(&inputs, parse_words);
         assert_eq!(cache.num_splits(), 2);
         assert_eq!(cache.len(), 5);
@@ -163,10 +206,7 @@ mod tests {
 
     #[test]
     fn iteration_results_match_byte_mode() {
-        let inputs = vec![
-            Bytes::from_static(b"x y x z"),
-            Bytes::from_static(b"z z y"),
-        ];
+        let inputs = vec![Bytes::from_static(b"x y x z"), Bytes::from_static(b"z z y")];
         let cache = IterationCache::load(&inputs, parse_words);
         let config = JobConfig::new(3);
         let iter_out = run_iteration(&config, &cache, count_o, sum_a).unwrap();
@@ -201,6 +241,59 @@ mod tests {
     }
 
     #[test]
+    fn supervised_iteration_survives_transient_fault_without_reparsing() {
+        use crate::fault::FaultPlan;
+
+        let inputs = vec![
+            Bytes::from_static(b"a b a"),
+            Bytes::from_static(b"b c"),
+            Bytes::from_static(b"c c a"),
+        ];
+        let cache = IterationCache::load(&inputs, parse_words);
+        let config = JobConfig::new(1)
+            .with_checkpointing(true)
+            .with_faults(FaultPlan::new(5).fail_o_task(2, 0));
+        let policy = RetryPolicy::new(3).with_backoff(std::time::Duration::ZERO);
+        let out = supervise_iteration(&config, &policy, &cache, count_o, sum_a).unwrap();
+        assert_eq!(out.stats.attempts, 2);
+        assert!(out.stats.o_tasks_recovered > 0, "tasks 0-1 replayed");
+        assert_eq!(cache.parse_count(), 3, "retries never re-deserialize");
+
+        let clean = run_iteration(&JobConfig::new(1), &cache, count_o, sum_a).unwrap();
+        let canon = |o: JobOutput| {
+            o.into_single_batch()
+                .into_records()
+                .into_iter()
+                .map(|r| (r.key.to_vec(), r.value.to_vec()))
+                .collect::<std::collections::BTreeSet<_>>()
+        };
+        assert_eq!(canon(out), canon(clean));
+    }
+
+    #[test]
+    fn iteration_checkpoint_restart_recovers_completed_tasks() {
+        use crate::fault::FaultPlan;
+
+        let inputs = vec![
+            Bytes::from_static(b"p q"),
+            Bytes::from_static(b"q r"),
+            Bytes::from_static(b"r s"),
+        ];
+        let cache = IterationCache::load(&inputs, parse_words);
+        let cp = crate::checkpoint::CheckpointStore::new();
+        let failing = JobConfig::new(1)
+            .with_checkpointing(true)
+            .with_faults(FaultPlan::new(9).fail_o_task(2, 0));
+        let err =
+            run_iteration_attempt(&failing, &cache, count_o, sum_a, Some(&cp), 0).unwrap_err();
+        assert!(err.fault_cause().expect("cause").is_injected());
+        assert_eq!(cp.completed_count(), 2, "splits 0-1 checkpointed");
+        let out = run_iteration_attempt(&failing, &cache, count_o, sum_a, Some(&cp), 1).unwrap();
+        assert_eq!(out.stats.o_tasks_recovered, 2);
+        assert_eq!(out.stats.o_tasks_run, 1);
+    }
+
+    #[test]
     fn iteration_state_can_vary_per_run() {
         // The per-iteration closure can capture fresh per-iteration state
         // (K-means' centroids) while the cached data stays fixed.
@@ -221,7 +314,7 @@ mod tests {
                     }
                 },
                 |g, out| out.collect(&g.key, &g.values[0]),
-                )
+            )
             .unwrap();
             let emitted = out.stats.records_emitted;
             assert_eq!(emitted, 3 - round);

@@ -28,7 +28,10 @@
 //! the task keeps producing), which the paper credits for most of
 //! DataMPI's speedup. Intermediate data stays in worker memory (spilling
 //! only under pressure), avoiding Hadoop's redundant disk materialization.
-//! Fault tolerance is key-value checkpoint/restart ([`checkpoint`]).
+//! Fault tolerance is key-value checkpoint/restart ([`checkpoint`]) driven
+//! by a bounded-retry [`supervisor`]; the [`fault`] module injects
+//! deterministic, seeded faults (task errors, rank deaths, stragglers,
+//! wire corruption caught by per-frame CRCs) to exercise that machinery.
 //!
 //! Two execution surfaces share the same job abstraction:
 //!
@@ -42,13 +45,17 @@ pub mod buffer;
 pub mod checkpoint;
 pub mod comm;
 pub mod config;
+pub mod fault;
 pub mod iteration;
 pub mod plan;
 pub mod runtime;
 pub mod store;
 pub mod streaming;
+pub mod supervisor;
 pub mod task;
 
 pub use config::JobConfig;
+pub use fault::FaultPlan;
 pub use runtime::{run_job, JobOutput, JobStats};
+pub use supervisor::{supervise_job, RetryPolicy};
 pub use task::{Collector, GroupedValues};

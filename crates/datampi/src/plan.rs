@@ -206,15 +206,16 @@ pub fn compile(
             if spill_bytes > 0.0 {
                 demands.push(Demand::write(node, spill_bytes));
             }
-            builder =
-                builder.activity(Activity::work_with_overhead(demands, profile.cpu_overhead));
+            builder = builder.activity(Activity::work_with_overhead(demands, profile.cpu_overhead));
         } else {
             // Staged ablation: read+compute, then ship, then spill.
             if cpu > 0.0 {
                 io_demands.push(Demand::new(Resource::Cpu(node), cpu));
             }
-            builder =
-                builder.activity(Activity::work_with_overhead(io_demands, profile.cpu_overhead));
+            builder = builder.activity(Activity::work_with_overhead(
+                io_demands,
+                profile.cpu_overhead,
+            ));
             if !net_demands.is_empty() {
                 builder = builder.activity(Activity::Work(net_demands));
             }
@@ -273,14 +274,12 @@ pub fn compile(
             .slot(A_SLOT);
         if profile.a_staged {
             // Sorted output: merge must finish before the write starts.
-            builder =
-                builder.activity(Activity::work_with_overhead(compute, profile.cpu_overhead));
+            builder = builder.activity(Activity::work_with_overhead(compute, profile.cpu_overhead));
             builder = builder.activity(Activity::Work(output));
         } else {
             let mut demands = compute;
             demands.extend(output);
-            builder =
-                builder.activity(Activity::work_with_overhead(demands, profile.cpu_overhead));
+            builder = builder.activity(Activity::work_with_overhead(demands, profile.cpu_overhead));
         }
         // Release this partition's resident intermediate memory.
         let resident_total = (emitted_total - spill_per_node * n as f64).max(0.0);
@@ -347,7 +346,10 @@ mod tests {
         assert!(report.phase_duration("O") > 0.0);
         assert!(report.phase_duration("A") > 0.0);
         let (o_start, _) = report.phase_span("O").unwrap();
-        assert!(o_start >= profile.startup_secs - 1e-6, "O waits for startup");
+        assert!(
+            o_start >= profile.startup_secs - 1e-6,
+            "O waits for startup"
+        );
     }
 
     #[test]
@@ -363,9 +365,7 @@ mod tests {
         // Reading 1 GB/node at ~100 MB/s disappears from the makespan only
         // if the read had been the bottleneck; here CPU dominates, so check
         // the disk profile instead.
-        let reads = |r: &dmpi_dcsim::SimReport| -> f64 {
-            r.profile.disk_read_mb_s.iter().sum()
-        };
+        let reads = |r: &dmpi_dcsim::SimReport| -> f64 { r.profile.disk_read_mb_s.iter().sum() };
         assert!(reads(&cold) > 100.0, "cold run reads the input");
         assert!(reads(&resident) < 1.0, "resident run reads nothing");
         assert!(resident.makespan <= cold.makespan + 1e-6);

@@ -11,11 +11,15 @@
 //!    the records by key (sorted in MapReduce mode, hashed in Common mode),
 //!    and runs the user's A function per group.
 //!
-//! Failures: an O task error marks the job failed; every rank still sends
-//! its EOFs so the job tears down cleanly rather than deadlocking, and the
-//! job returns the error. With checkpointing enabled, completed O tasks are
-//! recovered on restart without re-running user code
-//! ([`crate::checkpoint`]).
+//! Failures: an O task error, rank death, or corrupt frame marks the job
+//! failed; every surviving rank still sends its EOFs so the job tears down
+//! cleanly rather than deadlocking, and the job returns the error with a
+//! structured [`FaultCause`]. With checkpointing enabled, completed O
+//! tasks are recovered on restart without re-running user code
+//! ([`crate::checkpoint`]); [`crate::supervisor::supervise_job`] drives
+//! those restarts automatically under a bounded-retry policy. Faults are
+//! injected deterministically from the config's
+//! [`FaultPlan`](crate::fault::FaultPlan).
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -24,7 +28,7 @@ use std::sync::Mutex;
 use bytes::Bytes;
 
 use dmpi_common::kv::RecordBatch;
-use dmpi_common::{Error, Result};
+use dmpi_common::{Error, FaultCause, FaultKind, Result};
 
 use crate::buffer::KvBuffer;
 use crate::checkpoint::CheckpointStore;
@@ -54,6 +58,37 @@ pub struct JobStats {
     pub spilled_bytes: u64,
     /// Key groups processed by A tasks.
     pub groups: u64,
+    /// Job attempts consumed: 1 for an unsupervised clean run; the
+    /// supervisor sets the total (failed + successful) attempt count.
+    pub attempts: u32,
+    /// Bytes emitted by failed attempts that were *not* banked in a
+    /// checkpoint and therefore had to be re-emitted — the re-execution
+    /// cost a checkpointing run avoids.
+    pub wasted_bytes: u64,
+    /// Data frames rejected by the receiver-side CRC32 check.
+    pub corrupt_frames: u64,
+    /// Injected straggler delays served by O tasks.
+    pub straggler_delays: u64,
+}
+
+impl JobStats {
+    /// Adds every counter of `other` into `self` (attempts included —
+    /// per-rank and per-window stats carry 0 until a whole job succeeds).
+    pub fn merge(&mut self, other: &JobStats) {
+        self.o_tasks_run += other.o_tasks_run;
+        self.o_tasks_recovered += other.o_tasks_recovered;
+        self.records_emitted += other.records_emitted;
+        self.bytes_emitted += other.bytes_emitted;
+        self.frames += other.frames;
+        self.early_flushes += other.early_flushes;
+        self.spills += other.spills;
+        self.spilled_bytes += other.spilled_bytes;
+        self.groups += other.groups;
+        self.attempts += other.attempts;
+        self.wasted_bytes += other.wasted_bytes;
+        self.corrupt_frames += other.corrupt_frames;
+        self.straggler_delays += other.straggler_delays;
+    }
 }
 
 /// Result of a successful job: per-partition outputs plus counters.
@@ -163,11 +198,32 @@ where
     O: Fn(usize, &I, &mut dyn Collector) + Send + Sync,
     A: Fn(&GroupedValues, &mut dyn Collector) + Send + Sync,
 {
-    config.validate()?;
+    run_job_core(config, &inputs, &o_fn, &a_fn, checkpoint, attempt).map_err(|e| e.0)
+}
+
+/// The actual runner. On failure it also returns the partial stats of the
+/// attempt, so the supervisor can account wasted work across retries.
+pub(crate) fn run_job_core<I, O, A>(
+    config: &JobConfig,
+    inputs: &[I],
+    o_fn: &O,
+    a_fn: &A,
+    checkpoint: Option<&CheckpointStore>,
+    attempt: u32,
+) -> std::result::Result<JobOutput, Box<(Error, JobStats)>>
+where
+    I: Sync,
+    O: Fn(usize, &I, &mut dyn Collector) + Send + Sync,
+    A: Fn(&GroupedValues, &mut dyn Collector) + Send + Sync,
+{
+    if let Err(e) = config.validate() {
+        return Err(Box::new((e, JobStats::default())));
+    }
     if config.checkpointing && checkpoint.is_none() {
-        return Err(Error::Config(
-            "checkpointing enabled but no CheckpointStore supplied".into(),
-        ));
+        return Err(Box::new((
+            Error::Config("checkpointing enabled but no CheckpointStore supplied".into()),
+            JobStats::default(),
+        )));
     }
     let ranks = config.ranks;
     let mut net = Interconnect::new(ranks);
@@ -178,12 +234,17 @@ where
     let queue: Mutex<VecDeque<usize>> = Mutex::new((0..inputs.len()).collect());
     let failed = AtomicBool::new(false);
     let failure: Mutex<Option<Error>> = Mutex::new(None);
-    let o_fn = &o_fn;
-    let a_fn = &a_fn;
-    let inputs = &inputs;
+    // First failure wins; later ones (often knock-on effects) are dropped.
+    let fail_with = |err: Error| {
+        let mut f = failure.lock().expect("failure lock");
+        if f.is_none() {
+            *f = Some(err);
+        }
+        failed.store(true, Ordering::SeqCst);
+    };
     let queue = &queue;
     let failed = &failed;
-    let failure = &failure;
+    let fail_with = &fail_with;
     let senders = &senders;
 
     let mut rank_results: Vec<Option<(RecordBatch, JobStats)>> = Vec::new();
@@ -195,6 +256,21 @@ where
             let checkpoint = checkpoint.cloned();
             let handle = scope.spawn(move || -> Result<(RecordBatch, JobStats)> {
                 let mut stats = JobStats::default();
+                let plan = config.faults.as_ref();
+
+                // Injected rank death: this rank does no O work at all —
+                // the `failed` flag short-circuits the loop below — but
+                // still sends its EOFs so peers tear down cleanly, like a
+                // real process whose sockets are closed by the OS.
+                if let Some(plan) = plan {
+                    if plan.rank_panics(rank, attempt) {
+                        fail_with(Error::fault(
+                            FaultCause::new(FaultKind::RankDeath, "injected rank death")
+                                .rank(rank)
+                                .attempt(attempt),
+                        ));
+                    }
+                }
 
                 // ---- O phase: dynamic pulls from the shared queue ----
                 loop {
@@ -208,11 +284,7 @@ where
                     if let Some(cp) = checkpoint.as_ref() {
                         if cp.is_complete(task) {
                             for (partition, payload) in cp.recover_frames(task) {
-                                let _ = senders[partition].send(Frame::Data {
-                                    from_rank: rank,
-                                    o_task: task,
-                                    payload,
-                                });
+                                let _ = senders[partition].send(Frame::data(rank, task, payload));
                             }
                             stats.o_tasks_recovered += 1;
                             continue;
@@ -231,18 +303,31 @@ where
                         buffer.set_tee(cp.clone());
                     }
 
-                    // Injected fault?
-                    if let Some(fault) = config.fail_o_task {
-                        if fault.task_index == task && fault.on_attempt == attempt {
+                    if let Some(plan) = plan {
+                        // Scheduled O-task error?
+                        if plan.o_task_error(task, attempt) {
                             if let Some(cp) = checkpoint.as_ref() {
                                 cp.discard_incomplete(task);
                             }
-                            let err = Error::Fault(format!(
-                                "injected failure in O task {task} (attempt {attempt})"
+                            fail_with(Error::fault(
+                                FaultCause::new(
+                                    FaultKind::InjectedError,
+                                    "scheduled O-task failure",
+                                )
+                                .task(task)
+                                .rank(rank)
+                                .attempt(attempt),
                             ));
-                            *failure.lock().expect("failure lock") = Some(err.clone());
-                            failed.store(true, Ordering::SeqCst);
                             break;
+                        }
+                        // Scheduled straggler delay?
+                        if let Some(delay) = plan.straggler_delay(task, attempt) {
+                            std::thread::sleep(delay);
+                            stats.straggler_delays += 1;
+                        }
+                        // Scheduled wire corruption?
+                        if let Some(corruption) = plan.corruption(task, attempt) {
+                            buffer.set_corruption(corruption);
                         }
                     }
 
@@ -256,12 +341,18 @@ where
                         o_fn(task, &inputs[task], &mut adapter);
                     }));
                     if run.is_err() {
+                        // Whatever the half-finished task already flushed
+                        // is pure waste — it can never be recovered.
+                        stats.wasted_bytes += buffer.stats().bytes;
                         if let Some(cp) = checkpoint.as_ref() {
                             cp.discard_incomplete(task);
                         }
-                        let err = Error::Fault(format!("O task {task} panicked"));
-                        *failure.lock().expect("failure lock") = Some(err);
-                        failed.store(true, Ordering::SeqCst);
+                        fail_with(Error::fault(
+                            FaultCause::new(FaultKind::TaskPanic, "O task user code panicked")
+                                .task(task)
+                                .rank(rank)
+                                .attempt(attempt),
+                        ));
                         break;
                     }
                     let b = buffer.finish();
@@ -285,7 +376,19 @@ where
                 let mut eofs = 0usize;
                 while eofs < ranks {
                     match receiver.recv() {
-                        Ok(Frame::Data { payload, .. }) => store.ingest(payload),
+                        Ok(frame @ Frame::Data { .. }) => {
+                            // Integrity gate: a corrupt frame fails the
+                            // attempt (triggering a supervised retry)
+                            // instead of flowing into the A store.
+                            if let Err(e) = frame.verify() {
+                                stats.corrupt_frames += 1;
+                                fail_with(e);
+                                continue;
+                            }
+                            if let Frame::Data { payload, .. } = frame {
+                                store.ingest(payload);
+                            }
+                        }
                         Ok(Frame::Eof { .. }) => eofs += 1,
                         Err(_) => {
                             // All senders dropped: only possible after every
@@ -318,55 +421,46 @@ where
         for (rank, handle) in handles.into_iter().enumerate() {
             match handle.join() {
                 Ok(Ok(result)) => rank_results[rank] = Some(result),
-                Ok(Err(e)) => {
-                    let mut f = failure.lock().expect("failure lock");
-                    if f.is_none() {
-                        *f = Some(e);
-                    }
-                    failed.store(true, Ordering::SeqCst);
-                }
-                Err(_) => {
-                    let mut f = failure.lock().expect("failure lock");
-                    if f.is_none() {
-                        *f = Some(Error::Fault("worker rank panicked".into()));
-                    }
-                    failed.store(true, Ordering::SeqCst);
-                }
+                Ok(Err(e)) => fail_with(e),
+                Err(_) => fail_with(Error::fault(
+                    FaultCause::new(FaultKind::RankDeath, "worker rank panicked")
+                        .rank(rank)
+                        .attempt(attempt),
+                )),
             }
         }
     });
+
+    // Aggregate whatever the ranks managed to do — on failure these are
+    // the attempt's partial counters, which the supervisor turns into
+    // wasted-work accounting.
+    let mut stats = JobStats::default();
+    for result in rank_results.iter().flatten() {
+        stats.merge(&result.1);
+    }
 
     if failed.load(Ordering::SeqCst) {
         let err = failure
             .lock()
             .expect("failure lock")
             .take()
-            .unwrap_or_else(|| Error::Fault("job failed".into()));
-        return Err(err);
+            .unwrap_or_else(|| Error::fault_msg("job failed"));
+        return Err(Box::new((err, stats)));
     }
 
     let mut partitions = Vec::with_capacity(ranks);
-    let mut stats = JobStats::default();
     for result in rank_results {
-        let (batch, s) = result.expect("non-failed rank must produce output");
-        stats.o_tasks_run += s.o_tasks_run;
-        stats.o_tasks_recovered += s.o_tasks_recovered;
-        stats.records_emitted += s.records_emitted;
-        stats.bytes_emitted += s.bytes_emitted;
-        stats.frames += s.frames;
-        stats.early_flushes += s.early_flushes;
-        stats.spills += s.spills;
-        stats.spilled_bytes += s.spilled_bytes;
-        stats.groups += s.groups;
+        let (batch, _) = result.expect("non-failed rank must produce output");
         partitions.push(batch);
     }
+    stats.attempts = 1;
     Ok(JobOutput { partitions, stats })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::FaultSpec;
+    use crate::fault::FaultPlan;
     use dmpi_common::ser::Writable;
 
     /// WordCount: O splits lines into words, A sums counts.
@@ -392,12 +486,7 @@ mod tests {
             .into_single_batch()
             .into_records()
             .into_iter()
-            .map(|r| {
-                (
-                    r.key_utf8(),
-                    u64::from_bytes(&r.value).unwrap(),
-                )
-            })
+            .map(|r| (r.key_utf8(), u64::from_bytes(&r.value).unwrap()))
             .collect()
     }
 
@@ -508,17 +597,58 @@ mod tests {
 
     #[test]
     fn injected_fault_fails_the_job_cleanly() {
-        let config = JobConfig::new(2).with_fault(FaultSpec {
-            task_index: 1,
-            on_attempt: 0,
-        });
+        let config = JobConfig::new(2).with_o_task_fault(1, 0);
         let inputs = vec![
             Bytes::from_static(b"a b"),
             Bytes::from_static(b"c d"),
             Bytes::from_static(b"e f"),
         ];
         let err = run_job(&config, inputs, wordcount_o, wordcount_a, None).unwrap_err();
-        assert!(matches!(err, Error::Fault(_)), "got {err:?}");
+        let cause = err.fault_cause().expect("structured cause");
+        assert_eq!(cause.kind, dmpi_common::FaultKind::InjectedError);
+        assert_eq!(cause.task, Some(1));
+        assert_eq!(cause.attempt, Some(0));
+    }
+
+    #[test]
+    fn injected_rank_death_fails_cleanly_without_hanging() {
+        let config = JobConfig::new(3).with_faults(FaultPlan::new(0).rank_panic(1, 0));
+        let inputs: Vec<Bytes> = (0..6).map(|i| Bytes::from(format!("w{i}"))).collect();
+        let err = run_job(&config, inputs.clone(), wordcount_o, wordcount_a, None).unwrap_err();
+        let cause = err.fault_cause().expect("structured cause");
+        assert_eq!(cause.kind, dmpi_common::FaultKind::RankDeath);
+        assert_eq!(cause.rank, Some(1));
+        // The death was scheduled for attempt 0 only: attempt 1 is clean.
+        let out = run_job_attempt(&config, inputs, wordcount_o, wordcount_a, None, 1).unwrap();
+        assert_eq!(out.stats.o_tasks_run, 6);
+    }
+
+    #[test]
+    fn corrupted_frame_is_detected_not_silently_wrong() {
+        let config = JobConfig::new(2).with_faults(FaultPlan::new(17).corrupt_frame(0, 0));
+        let inputs = vec![
+            Bytes::from_static(b"alpha beta gamma"),
+            Bytes::from_static(b"delta"),
+        ];
+        let err = run_job(&config, inputs.clone(), wordcount_o, wordcount_a, None).unwrap_err();
+        let cause = err.fault_cause().expect("structured cause");
+        assert_eq!(cause.kind, dmpi_common::FaultKind::CorruptFrame);
+        assert_eq!(cause.task, Some(0));
+        // Corruption was wire-only and scheduled for attempt 0: retrying
+        // as attempt 1 produces the right answer.
+        let out = run_job_attempt(&config, inputs, wordcount_o, wordcount_a, None, 1).unwrap();
+        assert_eq!(counts_of(out)["alpha"], 1);
+    }
+
+    #[test]
+    fn straggler_delay_slows_but_does_not_fail() {
+        let config = JobConfig::new(2).with_faults(FaultPlan::new(0).straggler(0, 0, 30));
+        let inputs = vec![Bytes::from_static(b"x y"), Bytes::from_static(b"z")];
+        let t0 = std::time::Instant::now();
+        let out = run_job(&config, inputs, wordcount_o, wordcount_a, None).unwrap();
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(30));
+        assert_eq!(out.stats.straggler_delays, 1);
+        assert_eq!(out.stats.records_emitted, 3);
     }
 
     #[test]
@@ -532,21 +662,30 @@ mod tests {
         // completion order deterministic: tasks 0..6 run first).
         let failing = JobConfig::new(1)
             .with_checkpointing(true)
-            .with_fault(FaultSpec {
-                task_index: 7,
-                on_attempt: 0,
-            });
-        let err =
-            run_job_attempt(&failing, inputs.clone(), wordcount_o, wordcount_a, Some(&cp), 0)
-                .unwrap_err();
-        assert!(err.to_string().contains("injected"));
+            .with_o_task_fault(7, 0);
+        let err = run_job_attempt(
+            &failing,
+            inputs.clone(),
+            wordcount_o,
+            wordcount_a,
+            Some(&cp),
+            0,
+        )
+        .unwrap_err();
+        assert!(err.fault_cause().expect("structured cause").is_injected());
         assert_eq!(cp.completed_count(), 7, "tasks 0-6 checkpointed");
 
         // Attempt 1: recovery replays 7 tasks, runs only the failed one.
         let retry = JobConfig::new(1).with_checkpointing(true);
-        let out =
-            run_job_attempt(&retry, inputs.clone(), wordcount_o, wordcount_a, Some(&cp), 1)
-                .unwrap();
+        let out = run_job_attempt(
+            &retry,
+            inputs.clone(),
+            wordcount_o,
+            wordcount_a,
+            Some(&cp),
+            1,
+        )
+        .unwrap();
         assert_eq!(out.stats.o_tasks_recovered, 7);
         assert_eq!(out.stats.o_tasks_run, 1);
 
@@ -573,7 +712,10 @@ mod tests {
         };
         let a = |_g: &GroupedValues, _out: &mut dyn Collector| {};
         let err = run_job(&config, inputs, o, a, None).unwrap_err();
-        assert!(matches!(err, Error::Fault(_)));
+        assert_eq!(
+            err.fault_cause().expect("structured cause").kind,
+            dmpi_common::FaultKind::TaskPanic
+        );
     }
 
     #[test]

@@ -20,6 +20,7 @@ use dmpi_common::Result;
 
 use crate::config::JobConfig;
 use crate::runtime::{run_job, JobStats};
+use crate::supervisor::{supervise_job, RetryPolicy};
 
 /// Folds one window's values for a key into its persistent state.
 ///
@@ -60,6 +61,7 @@ pub struct StreamingJob<O> {
     o_fn: O,
     fold: Arc<FoldFn>,
     state: Arc<Mutex<BTreeMap<Vec<u8>, Vec<u8>>>>,
+    retry: Option<RetryPolicy>,
     windows_processed: u64,
     cumulative: JobStats,
 }
@@ -78,34 +80,53 @@ where
             o_fn,
             fold: Arc::new(fold),
             state: Arc::new(Mutex::new(BTreeMap::new())),
+            retry: None,
             windows_processed: 0,
             cumulative: JobStats::default(),
         }
     }
 
+    /// Builder: runs every window under the bounded-retry supervisor, so a
+    /// window whose attempt faults is retried (checkpoint-backed when the
+    /// config enables checkpointing) instead of failing the stream.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
     /// Processes one window of input splits, returning the keys whose
     /// state changed this window with their **new** state.
+    ///
+    /// Folds are transactional per window: the A side buffers new state in
+    /// a window-local map and the job commits it only after the run
+    /// succeeds, so a faulted attempt (under [`with_retry`]) re-folds from
+    /// the pre-window state instead of double-counting.
+    ///
+    /// [`with_retry`]: StreamingJob::with_retry
     pub fn process_window(&mut self, splits: Vec<Bytes>) -> Result<RecordBatch> {
         let fold = Arc::clone(&self.fold);
         let state = Arc::clone(&self.state);
+        let pending: Arc<Mutex<BTreeMap<Vec<u8>, Vec<u8>>>> = Arc::new(Mutex::new(BTreeMap::new()));
+        let pend = Arc::clone(&pending);
         let a_fn = move |group: &GroupedValues, out: &mut dyn Collector| {
-            let mut state = state.lock();
-            let prev = state.get(group.key.as_ref()).map(Vec::as_slice);
+            let committed = state.lock();
+            let prev = committed.get(group.key.as_ref()).map(Vec::as_slice);
             let next = fold(&group.key, prev, &group.values);
+            drop(committed);
             out.collect(&group.key, &next);
-            state.insert(group.key.to_vec(), next);
+            pend.lock().insert(group.key.to_vec(), next);
         };
-        let output = run_job(&self.config, splits, self.o_fn.clone(), a_fn, None)?;
+        let output = match &self.retry {
+            Some(policy) => supervise_job(&self.config, policy, splits, self.o_fn.clone(), a_fn)?,
+            None => run_job(&self.config, splits, self.o_fn.clone(), a_fn, None)?,
+        };
+        let mut committed = self.state.lock();
+        for (k, v) in std::mem::take(&mut *pending.lock()) {
+            committed.insert(k, v);
+        }
+        drop(committed);
         self.windows_processed += 1;
-        let s = output.stats;
-        self.cumulative.o_tasks_run += s.o_tasks_run;
-        self.cumulative.records_emitted += s.records_emitted;
-        self.cumulative.bytes_emitted += s.bytes_emitted;
-        self.cumulative.frames += s.frames;
-        self.cumulative.early_flushes += s.early_flushes;
-        self.cumulative.spills += s.spills;
-        self.cumulative.spilled_bytes += s.spilled_bytes;
-        self.cumulative.groups += s.groups;
+        self.cumulative.merge(&output.stats);
         Ok(output.into_single_batch())
     }
 
@@ -235,17 +256,89 @@ mod tests {
             }
         };
         let mut job = StreamingJob::new(JobConfig::new(2), emit_pairs, max_fold);
-        job.process_window(vec![Bytes::from_static(b"key mango")]).unwrap();
-        job.process_window(vec![Bytes::from_static(b"key apple")]).unwrap();
+        job.process_window(vec![Bytes::from_static(b"key mango")])
+            .unwrap();
+        job.process_window(vec![Bytes::from_static(b"key apple")])
+            .unwrap();
         let snap = job.state_snapshot();
         assert_eq!(snap.records()[0].value_utf8(), "mango");
     }
 
     #[test]
+    fn supervised_streaming_survives_transient_faults_exactly_once() {
+        use crate::fault::FaultPlan;
+
+        // Task 1 fails on every window's first attempt (each window is its
+        // own job, so the attempt counter restarts per window).
+        let config = JobConfig::new(2)
+            .with_checkpointing(true)
+            .with_faults(FaultPlan::new(2).fail_o_task(1, 0));
+        let policy = RetryPolicy::new(3).with_backoff(std::time::Duration::ZERO);
+        let mut job = StreamingJob::new(config, tokenize, sum_fold).with_retry(policy);
+
+        let windows: Vec<Vec<Bytes>> = vec![
+            vec![Bytes::from_static(b"a b a"), Bytes::from_static(b"b c")],
+            vec![Bytes::from_static(b"a c"), Bytes::from_static(b"c")],
+        ];
+        for w in windows.clone() {
+            job.process_window(w).unwrap();
+        }
+        assert_eq!(
+            job.cumulative_stats().attempts,
+            4,
+            "two attempts per window"
+        );
+        assert!(job.cumulative_stats().o_tasks_recovered > 0);
+
+        // Exactly-once folding: retried windows must not double-count.
+        let mut clean = StreamingJob::new(JobConfig::new(2), tokenize, sum_fold);
+        for w in windows {
+            clean.process_window(w).unwrap();
+        }
+        assert_eq!(counts(job.state_snapshot()), counts(clean.state_snapshot()));
+    }
+
+    #[test]
+    fn streaming_checkpoint_restart_keeps_state_consistent_after_rank_death() {
+        use crate::fault::FaultPlan;
+
+        let config = JobConfig::new(2)
+            .with_checkpointing(true)
+            .with_faults(FaultPlan::new(6).rank_panic(0, 0));
+        let policy = RetryPolicy::new(3).with_backoff(std::time::Duration::ZERO);
+        let mut job = StreamingJob::new(config, tokenize, sum_fold).with_retry(policy);
+        job.process_window(vec![Bytes::from_static(b"x y"), Bytes::from_static(b"y")])
+            .unwrap();
+        let c = counts(job.state_snapshot());
+        assert_eq!(c["x"], 1);
+        assert_eq!(c["y"], 2);
+        assert_eq!(job.cumulative_stats().attempts, 2);
+    }
+
+    #[test]
+    fn unsupervised_faulted_window_fails_without_corrupting_state() {
+        use crate::fault::FaultPlan;
+
+        let mut job = StreamingJob::new(
+            JobConfig::new(2).with_faults(FaultPlan::new(0).fail_o_task(0, 0)),
+            tokenize,
+            sum_fold,
+        );
+        let err = job
+            .process_window(vec![Bytes::from_static(b"a b")])
+            .unwrap_err();
+        assert!(err.fault_cause().is_some());
+        assert_eq!(job.state_size(), 0, "failed window commits nothing");
+        assert_eq!(job.windows_processed(), 0);
+    }
+
+    #[test]
     fn cumulative_stats_add_up() {
         let mut job = StreamingJob::new(JobConfig::new(2), tokenize, sum_fold);
-        job.process_window(vec![Bytes::from_static(b"a b")]).unwrap();
-        job.process_window(vec![Bytes::from_static(b"c d e")]).unwrap();
+        job.process_window(vec![Bytes::from_static(b"a b")])
+            .unwrap();
+        job.process_window(vec![Bytes::from_static(b"c d e")])
+            .unwrap();
         let s = job.cumulative_stats();
         assert_eq!(s.records_emitted, 5);
         assert_eq!(s.o_tasks_run, 2);

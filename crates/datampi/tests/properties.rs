@@ -1,6 +1,7 @@
 //! Property-based tests of the DataMPI runtime: for arbitrary corpora and
 //! configurations, jobs must compute exactly the reference result, never
-//! lose records, and survive checkpoint/restart.
+//! lose records, and survive checkpoint/restart — including under
+//! arbitrary seeded fault plans driven by the supervisor.
 
 use std::collections::BTreeMap;
 
@@ -8,7 +9,8 @@ use bytes::Bytes;
 use proptest::prelude::*;
 
 use datampi::checkpoint::CheckpointStore;
-use datampi::config::FaultSpec;
+use datampi::fault::FaultPlan;
+use datampi::supervisor::{supervise_job, RetryPolicy};
 use datampi::{run_job, JobConfig};
 use dmpi_common::group::{Collector, GroupedValues};
 use dmpi_common::ser::Writable;
@@ -44,6 +46,25 @@ fn engine_counts(out: datampi::JobOutput) -> BTreeMap<Vec<u8>, u64> {
         .into_iter()
         .map(|r| (r.key.to_vec(), u64::from_bytes(&r.value).unwrap()))
         .collect()
+}
+
+/// One random fault event whose `on_attempt` is strictly below the retry
+/// budget's last attempt, so a supervised job is always survivable.
+#[derive(Clone, Copy, Debug)]
+enum Ev {
+    Err(usize, u32),
+    Panic(usize, u32),
+    Slow(usize, u32, u64),
+    Corrupt(usize, u32),
+}
+
+fn event_strategy() -> impl Strategy<Value = Ev> {
+    prop_oneof![
+        (0usize..8, 0u32..3).prop_map(|(t, a)| Ev::Err(t, a)),
+        (0usize..4, 0u32..3).prop_map(|(r, a)| Ev::Panic(r, a)),
+        (0usize..8, 0u32..3, 1u64..3).prop_map(|(t, a, d)| Ev::Slow(t, a, d)),
+        (0usize..8, 0u32..3).prop_map(|(t, a)| Ev::Corrupt(t, a)),
+    ]
 }
 
 fn corpus_strategy() -> impl Strategy<Value = Vec<Bytes>> {
@@ -94,7 +115,7 @@ proptest! {
         let cp = CheckpointStore::new();
         let failing = JobConfig::new(1)
             .with_checkpointing(true)
-            .with_fault(FaultSpec { task_index: fail_task, on_attempt: 0 });
+            .with_o_task_fault(fail_task, 0);
         let err = datampi::runtime::run_job_attempt(
             &failing, inputs.clone(), wc_o, wc_a, Some(&cp), 0,
         )
@@ -110,6 +131,34 @@ proptest! {
         prop_assert_eq!(out.stats.o_tasks_recovered as usize, fail_task);
         let clean = run_job(&JobConfig::new(1), inputs, wc_o, wc_a, None).unwrap();
         prop_assert_eq!(engine_counts(out), engine_counts(clean));
+    }
+
+    #[test]
+    fn supervised_jobs_survive_any_seeded_fault_plan_byte_identically(
+        inputs in corpus_strategy(),
+        ranks in 1usize..4,
+        seed in any::<u64>(),
+        events in proptest::collection::vec(event_strategy(), 0..4),
+    ) {
+        // Every event fires on attempt <= 2 and the budget is 4 attempts,
+        // so attempt 3 is always fault-free: the supervisor must succeed,
+        // and the output must match a fault-free run byte for byte.
+        let plan = events.iter().fold(FaultPlan::new(seed), |p, e| match *e {
+            Ev::Err(t, a) => p.fail_o_task(t, a),
+            Ev::Panic(r, a) => p.rank_panic(r, a),
+            Ev::Slow(t, a, d) => p.straggler(t, a, d),
+            Ev::Corrupt(t, a) => p.corrupt_frame(t, a),
+        });
+        let config = JobConfig::new(ranks)
+            .with_checkpointing(true)
+            .with_faults(plan);
+        let policy = RetryPolicy::new(4).with_backoff(std::time::Duration::ZERO);
+        let out = supervise_job(&config, &policy, inputs.clone(), wc_o, wc_a).unwrap();
+        let clean = run_job(&JobConfig::new(ranks), inputs, wc_o, wc_a, None).unwrap();
+        prop_assert_eq!(out.partitions.len(), clean.partitions.len());
+        for (p, q) in out.partitions.iter().zip(&clean.partitions) {
+            prop_assert_eq!(p.records(), q.records());
+        }
     }
 
     #[test]

@@ -17,6 +17,7 @@ use std::collections::{HashMap, VecDeque};
 
 use dmpi_common::{Error, Result};
 
+use crate::failure::{FailureSpec, RecoveryModel, RecoveryStats};
 use crate::fairshare::{max_min_rates, Flow};
 use crate::metrics::{IntervalRates, MetricsRecorder};
 use crate::report::{SimReport, TaskRecord};
@@ -81,6 +82,14 @@ pub struct Simulation {
     node_mem: Vec<i64>,
     clock: f64,
     bucket_secs: f64,
+    /// Injected node failures, sorted by time, not yet fired.
+    failures: Vec<FailureSpec>,
+    /// Synthetic reboot tasks in flight -> the node each brings back.
+    reboots: HashMap<TaskId, NodeId>,
+    /// Recovery accounting, surfaced on the final report.
+    recovery: RecoveryStats,
+    /// Nodes currently offline (for the metrics time series).
+    down_nodes: u32,
 }
 
 impl Simulation {
@@ -106,6 +115,10 @@ impl Simulation {
             node_mem,
             clock: 0.0,
             bucket_secs: 1.0,
+            failures: Vec::new(),
+            reboots: HashMap::new(),
+            recovery: RecoveryStats::default(),
+            down_nodes: 0,
         }
     }
 
@@ -167,16 +180,12 @@ impl Simulation {
         // one schedulable (Delay/Work) activity, so completion always flows
         // through the main loop. Purely-instantaneous tasks get a zero
         // delay appended.
-        if !spec
-            .activities
-            .iter()
-            .any(|a| {
-                matches!(
-                    a,
-                    Activity::Delay(_) | Activity::Work(_) | Activity::WorkMulti { .. }
-                )
-            })
-        {
+        if !spec.activities.iter().any(|a| {
+            matches!(
+                a,
+                Activity::Delay(_) | Activity::Work(_) | Activity::WorkMulti { .. }
+            )
+        }) {
             spec.activities.push(Activity::Delay(0.0));
         }
         self.tasks.push(TaskState {
@@ -194,6 +203,46 @@ impl Simulation {
     /// Number of submitted tasks.
     pub fn task_count(&self) -> usize {
         self.tasks.len()
+    }
+
+    /// Schedules a node failure at simulated time `at`: every task running
+    /// or queued on `node` loses its progress, the node's slots vanish for
+    /// `downtime` seconds, and `recovery` decides the fate of already
+    /// completed work on the node (see [`RecoveryModel`]). Failures
+    /// scheduled past the end of the run never fire; a failure hitting a
+    /// node that is still rebooting from an earlier one is absorbed into
+    /// the in-progress recovery.
+    pub fn inject_node_failure(
+        &mut self,
+        node: NodeId,
+        at: f64,
+        downtime: f64,
+        recovery: RecoveryModel,
+    ) -> Result<()> {
+        if node.index() >= self.spec.nodes as usize {
+            return Err(Error::Config(format!("failure on nonexistent {node}")));
+        }
+        let valid = at.is_finite() && at >= 0.0 && downtime.is_finite() && downtime >= 0.0;
+        if !valid {
+            return Err(Error::Config(
+                "failure time and downtime must be non-negative and finite".into(),
+            ));
+        }
+        let pos = self
+            .failures
+            .iter()
+            .position(|f| f.at > at)
+            .unwrap_or(self.failures.len());
+        self.failures.insert(
+            pos,
+            FailureSpec {
+                node,
+                at,
+                downtime,
+                recovery,
+            },
+        );
+        Ok(())
     }
 
     /// Runs the simulation to completion.
@@ -214,10 +263,22 @@ impl Simulation {
             self.try_start(id, &mut running);
         }
 
-        let total = self.tasks.len();
         let mut done = 0usize;
 
-        while done < total {
+        // `self.tasks.len()` is re-read every iteration: firing a failure
+        // appends a synthetic reboot task.
+        while done < self.tasks.len() {
+            // Fire any failure whose time has come. The reboot task it
+            // spawns keeps `running` non-empty through the downtime.
+            while self
+                .failures
+                .first()
+                .is_some_and(|f| f.at <= self.clock + EPS)
+            {
+                let f = self.failures.remove(0);
+                self.apply_failure(&f, &mut running, &records, &mut done);
+            }
+
             if running.is_empty() {
                 let stuck: Vec<&str> = self
                     .tasks
@@ -229,7 +290,7 @@ impl Simulation {
                 return Err(Error::InvalidState(format!(
                     "simulation deadlock at t={:.3}: {} tasks cannot start (e.g. {:?})",
                     self.clock,
-                    total - done,
+                    self.tasks.len() - done,
                     stuck
                 )));
             }
@@ -298,7 +359,13 @@ impl Simulation {
                 }
             }
             debug_assert!(dt.is_finite(), "no completion candidate");
-            let dt = dt.max(0.0);
+            let mut dt = dt.max(0.0);
+            // Never step past a scheduled failure: stop exactly at its
+            // instant so it fires at the top of the next iteration.
+            if let Some(f) = self.failures.first() {
+                dt = dt.min((f.at - self.clock).max(0.0));
+            }
+            let dt = dt;
 
             // Integrate metrics over [clock, clock+dt).
             if dt > 0.0 {
@@ -355,7 +422,181 @@ impl Simulation {
             makespan: self.clock,
             tasks: records,
             profile: recorder.finish(),
+            recovery: self.recovery,
         })
+    }
+
+    /// Kills `f.node`: discards in-flight work there, optionally invalidates
+    /// completed work ([`RecoveryModel::RerunCompleted`]), zeroes the node's
+    /// slot pools, and schedules a synthetic reboot task that all victims
+    /// depend on. [`Simulation::restore_node`] undoes the slot outage when
+    /// the reboot completes.
+    fn apply_failure(
+        &mut self,
+        f: &FailureSpec,
+        running: &mut Vec<TaskId>,
+        records: &[TaskRecord],
+        done: &mut usize,
+    ) {
+        if self.reboots.values().any(|&n| n == f.node) {
+            // The node is already down; this fault is absorbed into the
+            // recovery in progress.
+            return;
+        }
+        self.recovery.failures += 1;
+        self.recovery.downtime_secs += f.downtime;
+        self.down_nodes += 1;
+
+        // In-flight victims: running or queued on the dead node.
+        let victims: Vec<TaskId> = self
+            .tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                t.spec.node == f.node && matches!(t.state, State::Running | State::Queued)
+            })
+            .map(|(i, _)| TaskId(i as u32))
+            .collect();
+
+        // Completed work on the node: under RerunCompleted, any completed
+        // task whose output is still needed by an unfinished dependent is
+        // invalidated — iterated to a fixpoint, since invalidating a task
+        // makes its own completed upstream producers on this node needed
+        // again. Under CheckpointRestart every completed task survives.
+        let mut resurrected: Vec<TaskId> = Vec::new();
+        if f.recovery == RecoveryModel::RerunCompleted {
+            loop {
+                let mut changed = false;
+                for i in 0..self.tasks.len() {
+                    let t = &self.tasks[i];
+                    if t.spec.node != f.node || t.state != State::Done {
+                        continue;
+                    }
+                    let needed = t
+                        .dependents
+                        .iter()
+                        .any(|d| self.tasks[d.0 as usize].state != State::Done);
+                    if needed {
+                        self.tasks[i].state = State::Pending;
+                        resurrected.push(TaskId(i as u32));
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+        }
+        let survived = self
+            .tasks
+            .iter()
+            .filter(|t| t.spec.node == f.node && t.state == State::Done)
+            .count();
+        self.recovery.tasks_recovered += survived as u32;
+
+        // Reset victims, accounting the discarded progress.
+        for &id in &victims {
+            let t = &self.tasks[id.0 as usize];
+            if t.state == State::Running {
+                self.recovery.tasks_rerun += 1;
+                self.recovery.wasted_secs += self.clock - t.start_time.unwrap_or(self.clock);
+            }
+            self.reset_task(id);
+        }
+        for &id in &resurrected {
+            self.recovery.tasks_rerun += 1;
+            // The task's full runtime was wasted; its latest record (re-runs
+            // append duplicates) holds the duration.
+            if let Some(r) = records.iter().rev().find(|r| r.id == id) {
+                self.recovery.wasted_secs += r.duration();
+            }
+            self.reset_task(id);
+            *done -= 1;
+        }
+        running.retain(|id| !victims.contains(id));
+
+        // The node's slots vanish for the downtime. Queued tasks on the
+        // node are all victims, so the queues simply empty.
+        for (key, q) in self.slot_queues.iter_mut() {
+            if key.0 == f.node {
+                q.clear();
+            }
+        }
+        for (key, free) in self.free_slots.iter_mut() {
+            if key.0 == f.node {
+                *free = 0;
+            }
+        }
+
+        // The reboot: a slot-less delay task on the dead node that every
+        // victim now depends on.
+        let reboot_id = self
+            .add_task(
+                TaskSpec::builder(format!("reboot-{}", f.node), f.node)
+                    .phase("recovery")
+                    .delay(f.downtime)
+                    .build(),
+            )
+            .expect("reboot task spec is always valid");
+        self.reboots.insert(reboot_id, f.node);
+        for &id in victims.iter().chain(&resurrected) {
+            self.tasks[id.0 as usize].spec.deps.push(reboot_id);
+            self.tasks[reboot_id.0 as usize].dependents.push(id);
+        }
+
+        // Resurrection may have re-opened dependencies of tasks far from
+        // the failed node: recompute dependency counts for everything not
+        // yet running, pulling newly re-blocked tasks out of slot queues.
+        for i in 0..self.tasks.len() {
+            if !matches!(self.tasks[i].state, State::Pending | State::Queued) {
+                continue;
+            }
+            let unmet = self.tasks[i]
+                .spec
+                .deps
+                .iter()
+                .filter(|d| self.tasks[d.0 as usize].state != State::Done)
+                .count();
+            let state = self.tasks[i].state;
+            self.tasks[i].unmet_deps = unmet;
+            if state == State::Queued && unmet > 0 {
+                self.tasks[i].state = State::Pending;
+                let key = (
+                    self.tasks[i].spec.node,
+                    self.tasks[i].spec.slot.expect("queued implies slotted"),
+                );
+                if let Some(q) = self.slot_queues.get_mut(&key) {
+                    q.retain(|qid| qid.0 as usize != i);
+                }
+            }
+        }
+
+        self.try_start(reboot_id, running);
+    }
+
+    /// Returns a task to its pre-execution state, un-applying any memory
+    /// accounting its completed activities performed.
+    fn reset_task(&mut self, id: TaskId) {
+        let t = &mut self.tasks[id.0 as usize];
+        let applied = t.activity_idx.min(t.spec.activities.len());
+        for a in &t.spec.activities[..applied] {
+            if let Activity::MemChange { node, delta } = a {
+                self.node_mem[node.index()] -= delta;
+            }
+        }
+        t.state = State::Pending;
+        t.activity_idx = 0;
+        t.remaining = 0.0;
+        t.start_time = None;
+    }
+
+    /// Brings a rebooted node back: its slot pools refill to their
+    /// configured sizes (the queues were emptied at failure time).
+    fn restore_node(&mut self, node: NodeId) {
+        self.down_nodes -= 1;
+        for (&kind, &per_node) in &self.slot_sizes {
+            self.free_slots.insert((node, kind), per_node);
+        }
     }
 
     /// Starts a task if its slot is free, else queues it.
@@ -440,12 +681,15 @@ impl Simulation {
         let (node, slot, dependents) = {
             let t = &mut self.tasks[id.0 as usize];
             t.state = State::Done;
-            (
-                t.spec.node,
-                t.spec.slot,
-                std::mem::take(&mut t.dependents),
-            )
+            // Cloned, not taken: a node failure may resurrect this task,
+            // and its re-completion must unblock consumers again.
+            (t.spec.node, t.spec.slot, t.dependents.clone())
         };
+        // A reboot task completing brings its node back online; restore
+        // the slot pools before the victims below try to start.
+        if self.reboots.remove(&id).is_some() {
+            self.restore_node(node);
+        }
         // Hand the slot to the next queued task.
         if let Some(kind) = slot {
             let next = self
@@ -461,11 +705,16 @@ impl Simulation {
                 }
             }
         }
-        // Unblock dependents.
+        // Unblock dependents. Non-Pending dependents already satisfied this
+        // dependency in a previous life of the task (re-completion after a
+        // RerunCompleted resurrection) — their counts must not move.
         for dep_id in dependents {
             let t = &mut self.tasks[dep_id.0 as usize];
+            if t.state != State::Pending {
+                continue;
+            }
             t.unmet_deps -= 1;
-            if t.unmet_deps == 0 && t.state == State::Pending {
+            if t.unmet_deps == 0 {
                 self.try_start(dep_id, running);
             }
         }
@@ -475,6 +724,7 @@ impl Simulation {
     fn interval_rates(&self, running: &[TaskId], flows: &[Flow], rates: &[f64]) -> IntervalRates {
         let mut out = IntervalRates {
             mem_bytes: self.node_mem.iter().map(|&m| m.max(0) as f64).sum(),
+            down_nodes: self.down_nodes as f64,
             ..Default::default()
         };
         let mut cpu_per_node = vec![0.0f64; self.spec.nodes as usize];
@@ -639,7 +889,11 @@ mod tests {
         let mut s = sim();
         s.add_task(
             TaskSpec::builder("xfer", NodeId(0))
-                .activity(Activity::net_transfer(NodeId(0), NodeId(1), 100.0 * MB as f64))
+                .activity(Activity::net_transfer(
+                    NodeId(0),
+                    NodeId(1),
+                    100.0 * MB as f64,
+                ))
                 .build(),
         )
         .unwrap();
@@ -793,6 +1047,220 @@ mod tests {
         .unwrap();
         let r = s.run().unwrap();
         assert!((r.profile.wait_io_pct[0] - 25.0).abs() < 1e-6);
+    }
+
+    /// A two-stage chain on node 0: `up` produces, `down` consumes.
+    fn chain(s: &mut Simulation) -> (TaskId, TaskId) {
+        let up = s
+            .add_task(
+                TaskSpec::builder("up", NodeId(0))
+                    .phase("up")
+                    .activity(Activity::compute(NodeId(0), 2.0))
+                    .build(),
+            )
+            .unwrap();
+        let down = s
+            .add_task(
+                TaskSpec::builder("down", NodeId(0))
+                    .phase("down")
+                    .dep(up)
+                    .activity(Activity::compute(NodeId(0), 2.0))
+                    .build(),
+            )
+            .unwrap();
+        (up, down)
+    }
+
+    #[test]
+    fn failure_kills_running_task_and_delays_completion() {
+        let mut s = sim();
+        chain(&mut s);
+        // Fail node 0 at t=1: `up` loses 1 s of progress, node down 3 s,
+        // then up (2 s) + down (2 s) re-run: makespan = 1 + 3 + 4 = 8.
+        s.inject_node_failure(NodeId(0), 1.0, 3.0, RecoveryModel::CheckpointRestart)
+            .unwrap();
+        let r = s.run().unwrap();
+        assert!((r.makespan - 8.0).abs() < 1e-6, "makespan {}", r.makespan);
+        assert_eq!(r.recovery.failures, 1);
+        assert_eq!(r.recovery.tasks_rerun, 1, "only the running task re-ran");
+        assert!((r.recovery.wasted_secs - 1.0).abs() < 1e-6);
+        assert!((r.recovery.downtime_secs - 3.0).abs() < 1e-6);
+        // The synthetic reboot shows up as a recovery-phase record.
+        assert!(r.tasks.iter().any(|t| t.phase == "recovery"));
+    }
+
+    #[test]
+    fn checkpoint_restart_preserves_completed_work() {
+        let mut s = sim();
+        chain(&mut s);
+        // `up` finishes at t=2. Fail at t=3: under checkpoint/restart its
+        // output survives; only `down` (0.5+ s in) re-runs.
+        // makespan = 3 + 1 (downtime) + 2 (down re-run) = 6.
+        s.inject_node_failure(NodeId(0), 3.0, 1.0, RecoveryModel::CheckpointRestart)
+            .unwrap();
+        let r = s.run().unwrap();
+        assert!((r.makespan - 6.0).abs() < 1e-6, "makespan {}", r.makespan);
+        assert_eq!(r.recovery.tasks_rerun, 1);
+        assert_eq!(r.recovery.tasks_recovered, 1, "up's checkpoint survived");
+        assert!((r.recovery.wasted_secs - 1.0).abs() < 1e-6, "down's 1 s");
+        // `up` executed exactly once.
+        assert_eq!(r.tasks.iter().filter(|t| t.name == "up").count(), 1);
+    }
+
+    #[test]
+    fn rerun_completed_invalidates_needed_outputs() {
+        let mut s = sim();
+        chain(&mut s);
+        // Same failure, Hadoop-style: `up`'s output died with the node
+        // (still needed by unfinished `down`), so BOTH re-run.
+        // makespan = 3 + 1 + 2 + 2 = 8.
+        s.inject_node_failure(NodeId(0), 3.0, 1.0, RecoveryModel::RerunCompleted)
+            .unwrap();
+        let r = s.run().unwrap();
+        assert!((r.makespan - 8.0).abs() < 1e-6, "makespan {}", r.makespan);
+        assert_eq!(r.recovery.tasks_rerun, 2);
+        assert_eq!(r.recovery.tasks_recovered, 0);
+        // up's full 2 s + down's 1 s of progress were wasted.
+        assert!((r.recovery.wasted_secs - 3.0).abs() < 1e-6);
+        // `up` executed twice; both records are present.
+        assert_eq!(r.tasks.iter().filter(|t| t.name == "up").count(), 2);
+    }
+
+    #[test]
+    fn recovery_overhead_vs_failure_free_baseline() {
+        let baseline = {
+            let mut s = sim();
+            chain(&mut s);
+            s.run().unwrap()
+        };
+        for model in [
+            RecoveryModel::CheckpointRestart,
+            RecoveryModel::RerunCompleted,
+        ] {
+            let mut s = sim();
+            chain(&mut s);
+            s.inject_node_failure(NodeId(0), 3.0, 1.0, model).unwrap();
+            let r = s.run().unwrap();
+            let overhead = r.recovery_overhead_secs(&baseline);
+            assert!(overhead > 0.0, "{model:?} overhead {overhead}");
+        }
+        assert!(baseline.recovery.is_clean());
+    }
+
+    #[test]
+    fn failure_spares_other_nodes() {
+        let mut s = sim();
+        s.add_task(
+            TaskSpec::builder("t1", NodeId(1))
+                .activity(Activity::compute(NodeId(1), 4.0))
+                .build(),
+        )
+        .unwrap();
+        s.add_task(
+            TaskSpec::builder("t0", NodeId(0))
+                .activity(Activity::compute(NodeId(0), 4.0))
+                .build(),
+        )
+        .unwrap();
+        s.inject_node_failure(NodeId(1), 1.0, 2.0, RecoveryModel::CheckpointRestart)
+            .unwrap();
+        let r = s.run().unwrap();
+        // t0 untouched (4 s); t1 restarts at t=3 and runs 4 s -> 7 s.
+        assert!((r.makespan - 7.0).abs() < 1e-6, "makespan {}", r.makespan);
+        let t0 = r.tasks.iter().find(|t| t.name == "t0").unwrap();
+        assert!((t0.end - 4.0).abs() < 1e-6, "t0 unaffected");
+    }
+
+    #[test]
+    fn queued_victims_requeue_after_reboot() {
+        let mut s = sim();
+        let kind = SlotKind(0);
+        s.configure_slots(kind, 1);
+        for i in 0..2 {
+            s.add_task(
+                TaskSpec::builder(format!("t{i}"), NodeId(0))
+                    .slot(kind)
+                    .activity(Activity::compute(NodeId(0), 2.0))
+                    .build(),
+            )
+            .unwrap();
+        }
+        // t0 running, t1 queued when the node dies at t=1.
+        s.inject_node_failure(NodeId(0), 1.0, 2.0, RecoveryModel::CheckpointRestart)
+            .unwrap();
+        let r = s.run().unwrap();
+        // Reboot ends t=3, then 2+2 s serially through the single slot.
+        assert!((r.makespan - 7.0).abs() < 1e-6, "makespan {}", r.makespan);
+        // Queued t1 never started: not counted as a re-run.
+        assert_eq!(r.recovery.tasks_rerun, 1);
+        assert!((r.recovery.wasted_secs - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn profile_reports_nodes_down() {
+        let mut s = sim();
+        chain(&mut s);
+        s.inject_node_failure(NodeId(0), 1.0, 3.0, RecoveryModel::CheckpointRestart)
+            .unwrap();
+        let r = s.run().unwrap();
+        // Node 0 dark over [1, 4): seconds 1-3 of the profile show one
+        // node down, second 0 shows none.
+        assert!(r.profile.nodes_down[0].abs() < 1e-9);
+        assert!((r.profile.nodes_down[1] - 1.0).abs() < 1e-9);
+        assert!((r.profile.nodes_down[3] - 1.0).abs() < 1e-9);
+        assert!(r.profile.nodes_down[4].abs() < 1e-9);
+    }
+
+    #[test]
+    fn failure_after_completion_never_fires() {
+        let mut s = sim();
+        chain(&mut s);
+        s.inject_node_failure(NodeId(0), 1e6, 5.0, RecoveryModel::RerunCompleted)
+            .unwrap();
+        let r = s.run().unwrap();
+        assert!((r.makespan - 4.0).abs() < 1e-6);
+        assert!(r.recovery.is_clean());
+    }
+
+    #[test]
+    fn failure_on_missing_node_is_rejected() {
+        let mut s = sim();
+        assert!(s
+            .inject_node_failure(NodeId(9), 1.0, 1.0, RecoveryModel::CheckpointRestart)
+            .is_err());
+        assert!(s
+            .inject_node_failure(NodeId(0), -1.0, 1.0, RecoveryModel::CheckpointRestart)
+            .is_err());
+    }
+
+    #[test]
+    fn determinism_two_identical_runs_match() {
+        let build = || {
+            let mut s = sim();
+            let kind = SlotKind(0);
+            s.configure_slots(kind, 2);
+            let mut prev: Option<TaskId> = None;
+            for i in 0..6 {
+                let mut b = TaskSpec::builder(format!("t{i}"), NodeId((i % 2) as u16))
+                    .slot(kind)
+                    .activity(Activity::compute(NodeId((i % 2) as u16), 1.5));
+                if let Some(p) = prev {
+                    if i % 3 == 0 {
+                        b = b.dep(p);
+                    }
+                }
+                prev = Some(s.add_task(b.build()).unwrap());
+            }
+            s.inject_node_failure(NodeId(1), 2.0, 1.0, RecoveryModel::RerunCompleted)
+                .unwrap();
+            s.run().unwrap()
+        };
+        let (a, b) = (build(), build());
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.recovery, b.recovery);
+        let names =
+            |r: &SimReport| -> Vec<String> { r.tasks.iter().map(|t| t.name.clone()).collect() };
+        assert_eq!(names(&a), names(&b));
     }
 
     #[test]

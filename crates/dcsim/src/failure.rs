@@ -1,0 +1,72 @@
+//! Node failures and recovery accounting in virtual time.
+//!
+//! A [`FailureSpec`] kills one node at a chosen instant: every task running
+//! or queued there loses its progress, the node's slots stay unavailable
+//! for `downtime` seconds (modeled as a synthetic `recovery`-phase reboot
+//! task all victims depend on), and then the victims re-execute on the
+//! recovered node. What happens to *completed* work is the
+//! [`RecoveryModel`]'s choice, mirroring the two systems the paper
+//! contrasts:
+//!
+//! * [`RecoveryModel::CheckpointRestart`] — DataMPI-style: finished tasks'
+//!   key-value output was checkpointed, so only in-flight work re-runs.
+//! * [`RecoveryModel::RerunCompleted`] — Hadoop-style: finished tasks on
+//!   the dead node whose output is still needed by unfinished consumers
+//!   lost that output with the node and must re-execute too.
+//!
+//! [`RecoveryStats`] on the final report quantifies the difference; compare
+//! against a failure-free run of the same DAG (see
+//! [`crate::report::SimReport::recovery_overhead_secs`]) for the
+//! recovery-time overhead in seconds.
+
+use crate::spec::NodeId;
+
+/// How completed work on a failed node is treated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryModel {
+    /// Completed tasks' outputs survive the failure (checkpointed
+    /// key-value state); only running/queued work re-executes.
+    CheckpointRestart,
+    /// Completed tasks whose outputs are still needed by unfinished
+    /// dependents re-execute along with running/queued work.
+    RerunCompleted,
+}
+
+/// One injected node failure.
+#[derive(Clone, Debug)]
+pub struct FailureSpec {
+    /// The node that dies.
+    pub node: NodeId,
+    /// Simulated time of the failure.
+    pub at: f64,
+    /// Seconds until the node accepts tasks again.
+    pub downtime: f64,
+    /// Fate of completed work that lived on the node.
+    pub recovery: RecoveryModel,
+}
+
+/// Recovery accounting accumulated over a simulation run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RecoveryStats {
+    /// Node failures that actually fired (failures scheduled after the DAG
+    /// drained never fire).
+    pub failures: u32,
+    /// Task executions discarded and re-run: tasks killed mid-flight plus
+    /// completed tasks invalidated under [`RecoveryModel::RerunCompleted`].
+    pub tasks_rerun: u32,
+    /// Completed tasks on failed nodes whose output survived (checkpointed,
+    /// or no longer needed by any unfinished consumer).
+    pub tasks_recovered: u32,
+    /// Simulated seconds of discarded execution (partial progress of killed
+    /// tasks plus full runtimes of invalidated completed tasks).
+    pub wasted_secs: f64,
+    /// Total reboot time injected, seconds.
+    pub downtime_secs: f64,
+}
+
+impl RecoveryStats {
+    /// True if no failure fired.
+    pub fn is_clean(&self) -> bool {
+        self.failures == 0
+    }
+}

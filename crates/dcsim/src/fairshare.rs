@@ -223,12 +223,7 @@ mod tests {
     fn capacities_are_respected() {
         // Random-ish mixed workload; verify feasibility post-hoc.
         let flows: Vec<Flow> = (0..20)
-            .map(|i| {
-                flow(&[
-                    (i % 4, 1.0 + (i as f64)),
-                    ((i + 1) % 4, 2.0),
-                ])
-            })
+            .map(|i| flow(&[(i % 4, 1.0 + (i as f64)), ((i + 1) % 4, 2.0)]))
             .collect();
         let caps = [10.0, 20.0, 15.0, 5.0];
         let rates = max_min_rates(&flows, &caps);

@@ -23,6 +23,7 @@
 //! that the paper plots in Figure 4.
 
 pub mod engine;
+pub mod failure;
 pub mod fairshare;
 pub mod metrics;
 pub mod report;
@@ -31,6 +32,7 @@ pub mod task;
 pub mod timeline;
 
 pub use engine::Simulation;
+pub use failure::{FailureSpec, RecoveryModel, RecoveryStats};
 pub use report::{SimReport, TaskRecord};
 pub use spec::{ClusterSpec, NodeId};
 pub use task::{Activity, Demand, IoTag, Resource, SlotKind, TaskId, TaskSpec};

@@ -26,6 +26,8 @@ pub struct IntervalRates {
     pub net_bps: f64,
     /// Memory in use, summed over nodes (bytes, piecewise constant).
     pub mem_bytes: f64,
+    /// Nodes currently offline (piecewise constant count).
+    pub down_nodes: f64,
 }
 
 #[derive(Clone, Debug, Default)]
@@ -37,6 +39,7 @@ struct Bucket {
     disk_write: f64,
     net: f64,
     mem: f64,
+    down: f64,
     /// Seconds of simulated time covered in this bucket.
     covered: f64,
 }
@@ -84,6 +87,7 @@ impl MetricsRecorder {
             b.disk_write += rates.disk_write_bps * dt;
             b.net += rates.net_bps * dt;
             b.mem += rates.mem_bytes * dt;
+            b.down += rates.down_nodes * dt;
             b.covered += dt;
             start = end;
         }
@@ -100,6 +104,7 @@ impl MetricsRecorder {
             disk_write_mb_s: Vec::with_capacity(self.buckets.len()),
             net_mb_s: Vec::with_capacity(self.buckets.len()),
             mem_gb: Vec::with_capacity(self.buckets.len()),
+            nodes_down: Vec::with_capacity(self.buckets.len()),
         };
         for b in &self.buckets {
             // Normalize by the full bucket width: an interval covering only
@@ -119,6 +124,9 @@ impl MetricsRecorder {
             // a level, not a flow.
             let covered = if b.covered > 0.0 { b.covered } else { w };
             p.mem_gb.push(b.mem / covered * per_node / GB as f64);
+            // A cluster-wide count, not a per-node average: "how many nodes
+            // were dark during this second".
+            p.nodes_down.push(b.down / w);
         }
         p
     }
@@ -141,6 +149,9 @@ pub struct ResourceProfile {
     pub net_mb_s: Vec<f64>,
     /// Memory footprint GB per node.
     pub mem_gb: Vec<f64>,
+    /// Average number of nodes offline (failed, not yet rebooted) during
+    /// each bucket. All zeros on a failure-free run.
+    pub nodes_down: Vec<f64>,
 }
 
 impl ResourceProfile {
@@ -177,6 +188,7 @@ mod tests {
             disk_write_bps: 0.0,
             net_bps: 0.0,
             mem_bytes: mem,
+            down_nodes: 0.0,
         }
     }
 

@@ -1,5 +1,6 @@
 //! Simulation results: per-task timelines and the resource profile.
 
+use crate::failure::RecoveryStats;
 use crate::metrics::ResourceProfile;
 use crate::spec::NodeId;
 use crate::task::TaskId;
@@ -33,10 +34,13 @@ impl TaskRecord {
 pub struct SimReport {
     /// Total simulated time until the last task completed.
     pub makespan: f64,
-    /// One record per completed task, in completion order.
+    /// One record per completed task execution, in completion order. A
+    /// task re-executed after a node failure appears once per execution.
     pub tasks: Vec<TaskRecord>,
     /// Per-second resource time series.
     pub profile: ResourceProfile,
+    /// Node-failure recovery accounting (all zero on a failure-free run).
+    pub recovery: RecoveryStats,
 }
 
 impl SimReport {
@@ -57,6 +61,15 @@ impl SimReport {
     /// Duration of a phase, or 0 if absent.
     pub fn phase_duration(&self, phase: &str) -> f64 {
         self.phase_span(phase).map_or(0.0, |(s, e)| e - s)
+    }
+
+    /// Recovery-time overhead relative to a failure-free run of the same
+    /// DAG: the extra simulated seconds the failure cost end to end. The
+    /// paper-style comparison is this value under
+    /// [`crate::RecoveryModel::CheckpointRestart`] vs
+    /// [`crate::RecoveryModel::RerunCompleted`].
+    pub fn recovery_overhead_secs(&self, baseline: &SimReport) -> f64 {
+        (self.makespan - baseline.makespan).max(0.0)
     }
 
     /// All distinct phase labels in first-start order.
@@ -107,6 +120,7 @@ mod tests {
                 },
             ],
             profile: ResourceProfile::default(),
+            recovery: RecoveryStats::default(),
         }
     }
 

@@ -104,6 +104,7 @@ mod tests {
                 },
             ],
             profile: Default::default(),
+            recovery: Default::default(),
         }
     }
 
@@ -144,6 +145,7 @@ mod tests {
             makespan: 0.0,
             tasks: vec![],
             profile: Default::default(),
+            recovery: Default::default(),
         };
         let g = render_gantt(&empty, 40);
         assert!(g.contains("makespan"));

@@ -108,7 +108,11 @@ mod tests {
             block: block(1, 100, &[2, 4]),
         };
         assert_eq!(s.choose_replica(NodeId(4)), NodeId(4));
-        assert_eq!(s.choose_replica(NodeId(7)), NodeId(2), "falls back to primary");
+        assert_eq!(
+            s.choose_replica(NodeId(7)),
+            NodeId(2),
+            "falls back to primary"
+        );
         assert_eq!(s.len(), 100);
         assert!(!s.is_empty());
     }

@@ -64,7 +64,8 @@ impl MiniDfs {
     pub fn write_file(&self, path: &str, writer: NodeId, data: &[u8]) -> Result<FileMeta> {
         let meta = {
             let mut nn = self.namenode.write();
-            nn.create_file(path, writer, data.len() as u64, false)?.clone()
+            nn.create_file(path, writer, data.len() as u64, false)?
+                .clone()
         };
         let mut store = self.blocks.write();
         let mut checksums = self.checksums.write();
@@ -96,12 +97,10 @@ impl MiniDfs {
         }
         let mut out = Vec::with_capacity(meta.len as usize);
         for b in &meta.blocks {
-            let data = self
-                .read_block(b.id)
-                .map_err(|e| match e {
-                    Error::NotFound(_) => Error::NotFound(format!("block {:?} of {path}", b.id)),
-                    other => other,
-                })?;
+            let data = self.read_block(b.id).map_err(|e| match e {
+                Error::NotFound(_) => Error::NotFound(format!("block {:?} of {path}", b.id)),
+                other => other,
+            })?;
             out.extend_from_slice(&data);
         }
         Ok(out)
@@ -291,7 +290,8 @@ mod tests {
                 let d = Arc::clone(&d);
                 std::thread::spawn(move || {
                     let data = vec![i as u8; 100];
-                    d.write_file(&format!("/t/{i}"), NodeId(i % 4), &data).unwrap();
+                    d.write_file(&format!("/t/{i}"), NodeId(i % 4), &data)
+                        .unwrap();
                 })
             })
             .collect();

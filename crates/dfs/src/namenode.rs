@@ -205,10 +205,7 @@ impl NameNode {
                 candidates.shuffle(&mut self.rng);
                 match candidates.first() {
                     Some(&dst) => {
-                        self.files
-                            .get_mut(&path)
-                            .expect("path exists")
-                            .blocks[idx]
+                        self.files.get_mut(&path).expect("path exists").blocks[idx]
                             .replicas
                             .push(dst);
                         plan.push((id, src, dst));

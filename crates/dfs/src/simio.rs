@@ -105,10 +105,7 @@ mod tests {
         let d = write_demands(NodeId(0), &[NodeId(0), NodeId(1), NodeId(2)], 10.0);
         // 3 disk writes + 2 network hops (0->1, 1->2) of 2 demands each.
         assert_eq!(d.len(), 7);
-        let disk_writes = d
-            .iter()
-            .filter(|x| x.tag == IoTag::Write)
-            .count();
+        let disk_writes = d.iter().filter(|x| x.tag == IoTag::Write).count();
         assert_eq!(disk_writes, 3);
         assert!(d.contains(&Demand::new(Resource::NetOut(NodeId(0)), 10.0)));
         assert!(d.contains(&Demand::new(Resource::NetIn(NodeId(1)), 10.0)));

@@ -129,10 +129,16 @@ mod tests {
 
     #[test]
     fn retry_config_validation() {
-        assert!(MapRedConfig::new(1).with_max_attempts(0).validate().is_err());
+        assert!(MapRedConfig::new(1)
+            .with_max_attempts(0)
+            .validate()
+            .is_err());
         let c = MapRedConfig::new(1)
             .with_max_attempts(2)
-            .with_fault(MrFaultSpec { task_index: 0, failures: 1 });
+            .with_fault(MrFaultSpec {
+                task_index: 0,
+                failures: 1,
+            });
         assert_eq!(c.max_attempts, 2);
         assert_eq!(c.fail_map_task.unwrap().failures, 1);
     }

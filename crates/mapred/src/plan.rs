@@ -149,12 +149,12 @@ pub fn compile(
     // Emits one map task for split `i`, with `slowdown` applied to its
     // demands and `launch_delay` prepended (used by speculative backups).
     let emit_map_task = |sim: &mut Simulation,
-                             i: usize,
-                             split: &InputSplit,
-                             node: NodeId,
-                             slowdown: f64,
-                             launch_delay: f64,
-                             suffix: &str|
+                         i: usize,
+                         split: &InputSplit,
+                         node: NodeId,
+                         slowdown: f64,
+                         launch_delay: f64,
+                         suffix: &str|
      -> Result<TaskId> {
         let physical = split.len() as f64;
         let logical = physical * profile.input_compression;

@@ -47,6 +47,11 @@ pub struct MrStats {
     /// Reduce-task attempts that failed and were re-executed (the shuffle
     /// refetches from the persistent map outputs).
     pub reduce_task_retries: u64,
+    /// Bytes written or fetched by failed attempts and then discarded:
+    /// spill output of dying map attempts plus shuffle input of dying
+    /// reduce attempts. The re-execution analogue of
+    /// `datampi::JobStats::wasted_bytes`.
+    pub wasted_bytes: u64,
 }
 
 /// Result of a MapReduce job.
@@ -91,7 +96,11 @@ pub type CombinerFn<'a> = dyn Fn(&GroupedValues, &mut dyn Collector) + Sync + 'a
 
 impl<'c> SortSpillBuffer<'c> {
     /// Creates a buffer for `partitions` reducers.
-    pub fn new(partitions: usize, sort_buffer: usize, combiner: Option<&'c CombinerFn<'c>>) -> Self {
+    pub fn new(
+        partitions: usize,
+        sort_buffer: usize,
+        combiner: Option<&'c CombinerFn<'c>>,
+    ) -> Self {
         SortSpillBuffer {
             partitioner: HashPartitioner::new(partitions),
             buffer: Vec::new(),
@@ -101,6 +110,12 @@ impl<'c> SortSpillBuffer<'c> {
             combiner,
             stats: MrStats::default(),
         }
+    }
+
+    /// Bytes already materialized by spills. On a failed attempt this is
+    /// the work thrown away (the retry starts over from the input split).
+    pub fn materialized_so_far(&self) -> u64 {
+        self.stats.materialized_bytes
     }
 
     /// Emits one record into the buffer, spilling if full.
@@ -260,6 +275,10 @@ where
                         map(task, &inputs[task], &mut adapter);
                     }));
                     if run.is_err() {
+                        // Spills the dying attempt already wrote are
+                        // discarded: the retry starts from the raw split.
+                        stats_acc.lock().expect("stats").wasted_bytes +=
+                            buffer.materialized_so_far();
                         if on_task_failure("user code panicked".into()) {
                             break;
                         }
@@ -290,7 +309,7 @@ where
             .lock()
             .expect("failure")
             .take()
-            .unwrap_or_else(|| Error::Fault("map phase failed".into())));
+            .unwrap_or_else(|| Error::fault_msg("map phase failed")));
     }
 
     let map_outputs = map_outputs.into_inner().expect("outputs lock");
@@ -321,7 +340,7 @@ where
                     let Some((p, attempt)) = reduce_queue.lock().expect("rq").pop_front() else {
                         break;
                     };
-                    let mut on_task_failure = |reason: String| {
+                    let on_task_failure = |reason: String| {
                         if attempt + 1 < config.max_attempts {
                             reduce_queue.lock().expect("rq").push_back((p, attempt + 1));
                             stats_acc.lock().expect("stats").reduce_task_retries += 1;
@@ -372,6 +391,10 @@ where
                             reduce_outputs.lock().expect("ro")[p] = Some(batch);
                         }
                         Err(e) => {
+                            // The attempt's shuffle fetch is discarded; the
+                            // retry copies the same segments again.
+                            let refetch: u64 = map_outputs.iter().map(|o| o[p].len() as u64).sum();
+                            stats_acc.lock().expect("stats").wasted_bytes += refetch;
                             if on_task_failure(e.to_string()) {
                                 break;
                             }
@@ -386,7 +409,7 @@ where
             .lock()
             .expect("failure")
             .take()
-            .unwrap_or_else(|| Error::Fault("reduce phase failed".into())));
+            .unwrap_or_else(|| Error::fault_msg("reduce phase failed")));
     }
 
     let partitions: Vec<RecordBatch> = reduce_outputs
@@ -428,10 +451,7 @@ mod tests {
     #[test]
     fn wordcount_end_to_end() {
         let config = MapRedConfig::new(3);
-        let inputs = vec![
-            Bytes::from_static(b"a b a\nc"),
-            Bytes::from_static(b"b a"),
-        ];
+        let inputs = vec![Bytes::from_static(b"a b a\nc"), Bytes::from_static(b"b a")];
         let out = run_mapreduce(&config, inputs, wc_map, Some(&wc_reduce), wc_reduce).unwrap();
         assert_eq!(out.stats.map_tasks, 2);
         assert_eq!(out.stats.reduce_tasks, 3);
@@ -443,7 +463,9 @@ mod tests {
 
     #[test]
     fn tiny_sort_buffer_multi_spill_correctness() {
-        let config = MapRedConfig::new(2).with_sort_buffer(64).with_combiner(false);
+        let config = MapRedConfig::new(2)
+            .with_sort_buffer(64)
+            .with_combiner(false);
         let inputs: Vec<Bytes> = (0..4)
             .map(|t| {
                 Bytes::from(
@@ -475,7 +497,9 @@ mod tests {
         )
         .unwrap();
         let without = run_mapreduce(
-            &MapRedConfig::new(2).with_sort_buffer(1 << 14).with_combiner(false),
+            &MapRedConfig::new(2)
+                .with_sort_buffer(1 << 14)
+                .with_combiner(false),
             inputs,
             wc_map,
             None,
@@ -556,6 +580,47 @@ mod tests {
     }
 
     #[test]
+    fn dying_map_attempt_counts_wasted_spill_bytes() {
+        use std::sync::atomic::AtomicU32;
+        // A tiny sort buffer forces a spill on every record; the first
+        // attempt spills twice and then panics, so those bytes are waste.
+        let calls = AtomicU32::new(0);
+        let map = |_t: usize, split: &[u8], out: &mut dyn Collector| {
+            let attempt = calls.fetch_add(1, Ordering::SeqCst);
+            for (i, w) in split.split(|b| *b == b' ').enumerate() {
+                if attempt == 0 && i == 2 {
+                    panic!("dies after two spills");
+                }
+                out.collect(w, b"1");
+            }
+        };
+        let config = MapRedConfig::new(1)
+            .with_sort_buffer(1)
+            .with_max_attempts(2);
+        let inputs = vec![Bytes::from_static(b"aa bb cc dd")];
+        let out = run_mapreduce(&config, inputs, map, None, wc_reduce).unwrap();
+        assert_eq!(out.stats.map_task_retries, 1);
+        assert!(out.stats.wasted_bytes > 0, "discarded spills are waste");
+        assert_eq!(counts(out).len(), 4);
+    }
+
+    #[test]
+    fn injected_reduce_fault_fires_before_fetch_so_wastes_nothing() {
+        use crate::config::MrFaultSpec;
+        let config = MapRedConfig::new(2).with_reduce_fault(MrFaultSpec {
+            task_index: 0,
+            failures: 1,
+        });
+        let inputs = vec![Bytes::from_static(b"a b c d")];
+        let out = run_mapreduce(&config, inputs, wc_map, None, wc_reduce).unwrap();
+        assert_eq!(out.stats.reduce_task_retries, 1);
+        assert_eq!(
+            out.stats.wasted_bytes, 0,
+            "pre-fetch injected faults discard nothing"
+        );
+    }
+
+    #[test]
     fn permanent_reduce_fault_aborts() {
         use crate::config::MrFaultSpec;
         let config = MapRedConfig::new(2)
@@ -606,14 +671,8 @@ mod tests {
             wc_reduce,
         )
         .unwrap();
-        let dm = datampi::run_job(
-            &datampi::JobConfig::new(4),
-            inputs,
-            wc_map,
-            wc_reduce,
-            None,
-        )
-        .unwrap();
+        let dm =
+            datampi::run_job(&datampi::JobConfig::new(4), inputs, wc_map, wc_reduce, None).unwrap();
         let mr_counts = counts(mr);
         let dm_counts: std::collections::BTreeMap<String, u64> = dm
             .into_single_batch()

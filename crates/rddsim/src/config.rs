@@ -66,6 +66,9 @@ mod tests {
     fn invalid_rejected() {
         assert!(SparkConfig::new(0).validate().is_err());
         assert!(SparkConfig::new(1).with_workers(0).validate().is_err());
-        assert!(SparkConfig::new(1).with_memory_budget(0).validate().is_err());
+        assert!(SparkConfig::new(1)
+            .with_memory_budget(0)
+            .validate()
+            .is_err());
     }
 }

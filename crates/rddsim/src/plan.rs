@@ -136,10 +136,7 @@ pub struct CompiledJob {
 /// Compiles a Spark job into `sim`. Fails with `Error::OutOfMemory` if the
 /// job's resident set cannot fit the executors — the paper's Spark sort
 /// behaviour.
-pub fn compile(
-    sim: &mut Simulation,
-    profile: &SimJobProfile,
-    ) -> Result<CompiledJob> {
+pub fn compile(sim: &mut Simulation, profile: &SimJobProfile) -> Result<CompiledJob> {
     let nodes = sim.spec().nodes;
     if nodes == 0 {
         return Err(Error::Config("empty cluster".into()));
@@ -279,8 +276,8 @@ pub fn compile(
             } else {
                 demands.extend(compute);
                 demands.extend(output);
-                builder = builder
-                    .activity(Activity::work_with_overhead(demands, profile.cpu_overhead));
+                builder =
+                    builder.activity(Activity::work_with_overhead(demands, profile.cpu_overhead));
             }
             let cached = input_bytes * stage.cache_ratio;
             if cached > 0.5 {
@@ -398,7 +395,12 @@ mod tests {
         );
         s0.cpu_per_byte = 1.0 / (300.0 * MB as f64);
         s0.cache_ratio = 1.0;
-        let mut s1 = StageProfile::new("iter1", StageInput::Cached { bytes: bytes as f64 });
+        let mut s1 = StageProfile::new(
+            "iter1",
+            StageInput::Cached {
+                bytes: bytes as f64,
+            },
+        );
         s1.cpu_per_byte = 1.0 / (300.0 * MB as f64);
         p.stages = vec![s0, s1];
         let mut sim = Simulation::new(ClusterSpec::paper_testbed());
@@ -406,6 +408,9 @@ mod tests {
         let r = sim.run().unwrap();
         let d0 = r.phase_duration("stage0");
         let d1 = r.phase_duration("iter1");
-        assert!(d1 < d0, "cached iteration beats the loading stage: {d1} vs {d0}");
+        assert!(
+            d1 < d0,
+            "cached iteration beats the loading stage: {d1} vs {d0}"
+        );
     }
 }

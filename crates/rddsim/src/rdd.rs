@@ -348,7 +348,11 @@ impl Rdd {
             RddNode::Filter { parent, pred } => {
                 let input = parent.compute()?;
                 self.narrow(input, |batch| {
-                    Ok(batch.into_records().into_iter().filter(|r| pred(r)).collect())
+                    Ok(batch
+                        .into_records()
+                        .into_iter()
+                        .filter(|r| pred(r))
+                        .collect())
                 })
             }
             RddNode::ReduceByKey {
@@ -392,8 +396,7 @@ impl Rdd {
                 match cached {
                     None => {
                         let computed = parent.compute()?;
-                        let bytes: usize =
-                            computed.iter().map(|b| b.framed_bytes() as usize).sum();
+                        let bytes: usize = computed.iter().map(|b| b.framed_bytes() as usize).sum();
                         self.charge_memory(bytes, "block manager cache")?;
                         self.ctx
                             .stats
@@ -456,7 +459,8 @@ impl Rdd {
         F: Fn(RecordBatch) -> Result<RecordBatch> + Send + Sync,
     {
         let n = input.len();
-        let results: Mutex<Vec<Option<Result<RecordBatch>>>> = Mutex::new((0..n).map(|_| None).collect());
+        let results: Mutex<Vec<Option<Result<RecordBatch>>>> =
+            Mutex::new((0..n).map(|_| None).collect());
         let queue: Mutex<Vec<(usize, RecordBatch)>> =
             Mutex::new(input.into_iter().enumerate().collect());
         let workers = self.ctx.config.workers.min(n.max(1));
@@ -587,10 +591,15 @@ impl Rdd {
         self.ctx.stats.shuffles.fetch_add(1, Ordering::SeqCst);
         let partitioner = HashPartitioner::new(partitions.max(1));
         let total: u64 = input.iter().map(RecordBatch::framed_bytes).sum();
-        self.ctx.stats.shuffle_bytes.fetch_add(total, Ordering::SeqCst);
+        self.ctx
+            .stats
+            .shuffle_bytes
+            .fetch_add(total, Ordering::SeqCst);
         self.charge_transient(total as usize, "distinct shuffle")?;
-        let mut seen: Vec<FnvHashSet<(bytes::Bytes, bytes::Bytes)>> =
-            (0..partitioner.num_partitions()).map(|_| FnvHashSet::default()).collect();
+        let mut seen: Vec<FnvHashSet<(bytes::Bytes, bytes::Bytes)>> = (0..partitioner
+            .num_partitions())
+            .map(|_| FnvHashSet::default())
+            .collect();
         let mut out: Vec<RecordBatch> = (0..partitioner.num_partitions())
             .map(|_| RecordBatch::new())
             .collect();
@@ -620,7 +629,10 @@ impl Rdd {
             .chain(&right)
             .map(RecordBatch::framed_bytes)
             .sum();
-        self.ctx.stats.shuffle_bytes.fetch_add(total, Ordering::SeqCst);
+        self.ctx
+            .stats
+            .shuffle_bytes
+            .fetch_add(total, Ordering::SeqCst);
         self.charge_transient(total as usize, "join shuffle")?;
 
         let bucket = |batches: Vec<RecordBatch>| -> Vec<Vec<Record>> {
@@ -776,7 +788,11 @@ mod tests {
         for i in 0..200 {
             batch.push(Record::from_strs(&format!("key-{i:04}"), "payload"));
         }
-        let err = ctx.parallelize(vec![batch]).sort_by_key(2).collect().unwrap_err();
+        let err = ctx
+            .parallelize(vec![batch])
+            .sort_by_key(2)
+            .collect()
+            .unwrap_err();
         assert!(err.is_oom(), "expected OOM, got {err}");
     }
 
@@ -896,7 +912,11 @@ mod tests {
         let parts = u.collect().unwrap();
         assert_eq!(parts.len(), 3);
         assert_eq!(u.count().unwrap(), 3);
-        assert_eq!(ctx.stats().shuffles.load(Ordering::SeqCst), 0, "union is narrow");
+        assert_eq!(
+            ctx.stats().shuffles.load(Ordering::SeqCst),
+            0,
+            "union is narrow"
+        );
     }
 
     #[test]

@@ -24,10 +24,7 @@ fn partitions_from(keys: &[Vec<String>]) -> Vec<RecordBatch> {
 }
 
 fn keys_strategy() -> impl Strategy<Value = Vec<Vec<String>>> {
-    proptest::collection::vec(
-        proptest::collection::vec("[a-f]{1,4}", 0..16),
-        0..6,
-    )
+    proptest::collection::vec(proptest::collection::vec("[a-f]{1,4}", 0..16), 0..6)
 }
 
 proptest! {

@@ -204,7 +204,8 @@ pub fn train_mapred(
     config: &dmpi_mapred::MapRedConfig,
     inputs: Vec<Bytes>,
 ) -> Result<NaiveBayesModel> {
-    let out = dmpi_mapred::run_mapreduce(config, inputs, count_map, Some(&count_reduce), count_reduce)?;
+    let out =
+        dmpi_mapred::run_mapreduce(config, inputs, count_map, Some(&count_reduce), count_reduce)?;
     NaiveBayesModel::from_counts(out.into_single_batch())
 }
 

@@ -215,7 +215,12 @@ mod tests {
 
     #[test]
     fn emit_ratios_are_fractions() {
-        for r in [WC_EMIT_RATIO, GREP_EMIT_RATIO, KMEANS_EMIT_RATIO, BAYES_EMIT_RATIO] {
+        for r in [
+            WC_EMIT_RATIO,
+            GREP_EMIT_RATIO,
+            KMEANS_EMIT_RATIO,
+            BAYES_EMIT_RATIO,
+        ] {
             assert!(r > 0.0 && r < 0.1);
         }
     }

@@ -188,12 +188,7 @@ fn decode_centroids(batch: RecordBatch, k: usize, dims: usize) -> Result<Vec<Vec
 fn max_shift_sq(a: &[Vec<f64>], b: &[Vec<f64>]) -> f64 {
     a.iter()
         .zip(b)
-        .map(|(x, y)| {
-            x.iter()
-                .zip(y)
-                .map(|(p, q)| (p - q) * (p - q))
-                .sum::<f64>()
-        })
+        .map(|(x, y)| x.iter().zip(y).map(|(p, q)| (p - q) * (p - q)).sum::<f64>())
         .fold(0.0, f64::max)
 }
 
@@ -260,10 +255,7 @@ pub fn train(
 /// iterations — the library's counterpart to Spark's RDD cache, and the
 /// "detail performance comparison between Spark and DataMPI in the
 /// iterative applications" the paper defers to future work.
-pub fn train_iterative(
-    params: &KMeans,
-    inputs: &[Bytes],
-) -> Result<(Vec<Vec<f64>>, usize, u64)> {
+pub fn train_iterative(params: &KMeans, inputs: &[Bytes]) -> Result<(Vec<Vec<f64>>, usize, u64)> {
     let cache = datampi::iteration::IterationCache::load(inputs, |split| {
         let mut reader = dmpi_common::ser::RecordReader::new(split);
         let mut vectors = Vec::new();
@@ -483,8 +475,7 @@ mod tests {
         let params = KMeans::new(5, 256);
         let (vectors, labels) = generate_clustered_vectors(30, 256, 77);
         let inputs = vectors_to_inputs(&vectors, 25);
-        let (centroids, iters) =
-            train(&params, TrainEngine::DataMpi, &vectors, &inputs).unwrap();
+        let (centroids, iters) = train(&params, TrainEngine::DataMpi, &vectors, &inputs).unwrap();
         assert!(iters <= params.max_iters);
         let acc = accuracy(&vectors, &labels, &centroids);
         assert!(acc > 0.8, "cluster purity {acc}");
@@ -521,7 +512,12 @@ mod tests {
             }
         }
         // The cache was exercised.
-        assert!(ctx.stats().cache_hits.load(std::sync::atomic::Ordering::SeqCst) > 0);
+        assert!(
+            ctx.stats()
+                .cache_hits
+                .load(std::sync::atomic::Ordering::SeqCst)
+                > 0
+        );
     }
 
     #[test]
@@ -539,8 +535,7 @@ mod tests {
         let (vectors, _) = generate_clustered_vectors(12, 128, 81);
         let vectors = &vectors[..36];
         let inputs = vectors_to_inputs(vectors, 9);
-        let (byte_mode, it_a) =
-            train(&params, TrainEngine::DataMpi, vectors, &inputs).unwrap();
+        let (byte_mode, it_a) = train(&params, TrainEngine::DataMpi, vectors, &inputs).unwrap();
         let (iter_mode, it_b, parses) = train_iterative(&params, &inputs).unwrap();
         assert_eq!(it_a, it_b, "same convergence trajectory");
         assert_eq!(parses, inputs.len() as u64, "each split parsed once");

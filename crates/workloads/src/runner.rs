@@ -263,7 +263,10 @@ mod tests {
         let d = secs(Workload::TextSort, Engine::DataMpi, 8).unwrap();
         let h = secs(Workload::TextSort, Engine::Hadoop, 8).unwrap();
         let s = secs(Workload::TextSort, Engine::Spark, 8).unwrap();
-        assert!(d < s && d < h, "DataMPI fastest: d={d:.0} h={h:.0} s={s:.0}");
+        assert!(
+            d < s && d < h,
+            "DataMPI fastest: d={d:.0} h={h:.0} s={s:.0}"
+        );
         // Paper: DataMPI 69 s, Hadoop 117 s, Spark 114 s — check the
         // improvement band rather than absolutes (34-42% vs Hadoop).
         let imp = 1.0 - d / h;

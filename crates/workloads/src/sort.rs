@@ -203,7 +203,9 @@ mod tests {
 
     fn text_inputs() -> Vec<Bytes> {
         let mut g = TextGenerator::new(SeedModel::lda_wiki1w(), 21);
-        (0..4).map(|_| Bytes::from(g.generate_bytes(3000))).collect()
+        (0..4)
+            .map(|_| Bytes::from(g.generate_bytes(3000)))
+            .collect()
     }
 
     fn all_lines(inputs: &[Bytes]) -> Vec<Vec<u8>> {
@@ -292,15 +294,18 @@ mod tests {
 
     #[test]
     fn spark_oom_boundary_in_profiles() {
+        use dmpi_common::units::GB;
         use dmpi_dcsim::NodeId;
         use dmpi_dfs::{DfsConfig, MiniDfs};
-        use dmpi_common::units::GB;
         let dfs = MiniDfs::new(8, DfsConfig::paper_tuned()).unwrap();
         dfs.create_virtual("/8g", NodeId(0), 8 * GB).unwrap();
         dfs.create_virtual("/16g", NodeId(0), 16 * GB).unwrap();
         let p8 = spark_profile(SortVariant::Text, dfs.splits("/8g").unwrap(), 4, 8);
         let p16 = spark_profile(SortVariant::Text, dfs.splits("/16g").unwrap(), 4, 8);
-        assert!(p8.mem_required_per_node <= p8.executor_mem_per_node, "8 GB fits");
+        assert!(
+            p8.mem_required_per_node <= p8.executor_mem_per_node,
+            "8 GB fits"
+        );
         assert!(
             p16.mem_required_per_node > p16.executor_mem_per_node,
             "16 GB OOMs like Figure 3(b)"

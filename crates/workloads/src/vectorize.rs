@@ -102,7 +102,11 @@ fn wc_map(_t: usize, split: &[u8], out: &mut dyn Collector) {
 }
 
 fn wc_reduce(g: &GroupedValues, out: &mut dyn Collector) {
-    let total: u64 = g.values.iter().map(|v| u64::from_bytes(v).unwrap_or(0)).sum();
+    let total: u64 = g
+        .values
+        .iter()
+        .map(|v| u64::from_bytes(v).unwrap_or(0))
+        .sum();
     out.collect(&g.key, &total.to_bytes());
 }
 
@@ -113,10 +117,14 @@ pub fn build_dictionary(
     max_terms: usize,
 ) -> Result<Dictionary> {
     let batch = match engine {
-        PipelineEngine::DataMpi => {
-            datampi::run_job(&datampi::JobConfig::new(4), corpus.to_vec(), wc_map, wc_reduce, None)?
-                .into_single_batch()
-        }
+        PipelineEngine::DataMpi => datampi::run_job(
+            &datampi::JobConfig::new(4),
+            corpus.to_vec(),
+            wc_map,
+            wc_reduce,
+            None,
+        )?
+        .into_single_batch(),
         PipelineEngine::MapRed => dmpi_mapred::run_mapreduce(
             &dmpi_mapred::MapRedConfig::new(4),
             corpus.to_vec(),
@@ -162,10 +170,14 @@ pub fn vectorize_documents(
         }
     };
     let batch = match engine {
-        PipelineEngine::DataMpi => {
-            datampi::run_job(&datampi::JobConfig::new(4), doc_splits.to_vec(), map, identity, None)?
-                .into_single_batch()
-        }
+        PipelineEngine::DataMpi => datampi::run_job(
+            &datampi::JobConfig::new(4),
+            doc_splits.to_vec(),
+            map,
+            identity,
+            None,
+        )?
+        .into_single_batch(),
         PipelineEngine::MapRed => dmpi_mapred::run_mapreduce(
             &dmpi_mapred::MapRedConfig::new(4),
             doc_splits.to_vec(),
@@ -266,10 +278,7 @@ mod tests {
 
     #[test]
     fn vectorize_counts_in_dictionary_terms_only() {
-        let d = Dictionary::from_counts(
-            vec![(b"cat".to_vec(), 5), (b"dog".to_vec(), 3)],
-            2,
-        );
+        let d = Dictionary::from_counts(vec![(b"cat".to_vec(), 5), (b"dog".to_vec(), 3)], 2);
         let v = d.vectorize(b"cat dog cat bird\n");
         assert_eq!(v.nnz(), 2);
         let total: f64 = v.values.iter().sum();
@@ -292,8 +301,7 @@ mod tests {
     #[test]
     fn full_pipeline_matches_direct_vectorization() {
         let documents = docs(51, 10);
-        let engine_vectors =
-            text_to_vectors(PipelineEngine::DataMpi, &documents, 500, 4).unwrap();
+        let engine_vectors = text_to_vectors(PipelineEngine::DataMpi, &documents, 500, 4).unwrap();
         assert_eq!(engine_vectors.len(), documents.len());
         // Rebuild the dictionary directly and compare each vector.
         let corpus: Vec<Bytes> = documents
@@ -319,14 +327,17 @@ mod tests {
         for _ in 0..12 {
             documents.push(gen2.document(8));
         }
-        let vectors =
-            text_to_vectors(PipelineEngine::DataMpi, &documents, 1000, 6).unwrap();
+        let vectors = text_to_vectors(PipelineEngine::DataMpi, &documents, 1000, 6).unwrap();
         let dims = vectors[0].dims as usize;
         let params = crate::kmeans::KMeans::new(2, dims);
         let inputs = crate::kmeans::vectors_to_inputs(&vectors, 8);
-        let (centroids, _) =
-            crate::kmeans::train(&params, crate::kmeans::TrainEngine::DataMpi, &vectors, &inputs)
-                .unwrap();
+        let (centroids, _) = crate::kmeans::train(
+            &params,
+            crate::kmeans::TrainEngine::DataMpi,
+            &vectors,
+            &inputs,
+        )
+        .unwrap();
         // The two clusters should separate the two seed models.
         let labels: Vec<usize> = vectors
             .iter()

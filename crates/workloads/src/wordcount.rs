@@ -61,7 +61,10 @@ pub fn run_mapred(
 }
 
 /// Runs WordCount on the RDD engine.
-pub fn run_spark(ctx: &dmpi_rddsim::SparkContext, inputs: Vec<Bytes>) -> Result<Vec<(String, u64)>> {
+pub fn run_spark(
+    ctx: &dmpi_rddsim::SparkContext,
+    inputs: Vec<Bytes>,
+) -> Result<Vec<(String, u64)>> {
     let rdd = ctx
         .text_source(inputs)
         .flat_map(|rec, out| {
@@ -116,7 +119,10 @@ pub fn hadoop_profile(tasks_per_node: u32) -> dmpi_mapred::plan::SimJobProfile {
 }
 
 /// Spark simulation profile for WordCount.
-pub fn spark_profile(splits: Vec<InputSplit>, tasks_per_node: u32) -> dmpi_rddsim::plan::SimJobProfile {
+pub fn spark_profile(
+    splits: Vec<InputSplit>,
+    tasks_per_node: u32,
+) -> dmpi_rddsim::plan::SimJobProfile {
     use dmpi_rddsim::plan::{SimJobProfile, StageInput, StageProfile};
     let input_bytes: f64 = splits.iter().map(|s| s.len() as f64).sum();
     let mut p = SimJobProfile::new("wordcount-spark");
@@ -154,7 +160,9 @@ mod tests {
 
     fn corpus() -> Vec<Bytes> {
         let mut g = TextGenerator::new(SeedModel::lda_wiki1w(), 11);
-        (0..6).map(|_| Bytes::from(g.generate_bytes(4000))).collect()
+        (0..6)
+            .map(|_| Bytes::from(g.generate_bytes(4000)))
+            .collect()
     }
 
     #[test]
@@ -197,7 +205,10 @@ mod tests {
     fn profiles_reflect_engine_characteristics() {
         let dm = datampi_profile(4);
         let h = hadoop_profile(4);
-        assert!(h.map_cpu_per_byte > dm.o_cpu_per_byte, "hadoop pays the sort");
+        assert!(
+            h.map_cpu_per_byte > dm.o_cpu_per_byte,
+            "hadoop pays the sort"
+        );
         assert!(h.startup_secs > dm.startup_secs);
         assert!(dm.emit_ratio < 0.01, "combining shrinks intermediate data");
     }

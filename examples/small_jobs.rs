@@ -20,7 +20,10 @@ use datampi_suite::workloads::{run_sim, wordcount, Engine, Workload};
 fn main() {
     // --- paper-scale: simulated 128 MB jobs, 1 task per node ---
     println!("Simulated 128 MB jobs (Figure 5), seconds:\n");
-    println!("{:<12} {:>8} {:>8} {:>8}", "benchmark", "Hadoop", "Spark", "DataMPI");
+    println!(
+        "{:<12} {:>8} {:>8} {:>8}",
+        "benchmark", "Hadoop", "Spark", "DataMPI"
+    );
     for (label, workload) in [
         ("Text Sort", Workload::TextSort),
         ("WordCount", Workload::WordCount),
@@ -40,7 +43,9 @@ fn main() {
     // --- real runtimes: engine overhead on a tiny corpus ---
     println!("\nReal-runtime WordCount on an 8 KB corpus (engine overhead):\n");
     let mut gen = TextGenerator::new(SeedModel::lda_wiki1w(), 5);
-    let inputs: Vec<Bytes> = (0..4).map(|_| Bytes::from(gen.generate_bytes(2048))).collect();
+    let inputs: Vec<Bytes> = (0..4)
+        .map(|_| Bytes::from(gen.generate_bytes(2048)))
+        .collect();
 
     let t = Instant::now();
     let n = wordcount::run_datampi(&datampi_suite::datampi::JobConfig::new(4), inputs.clone())
@@ -49,12 +54,9 @@ fn main() {
     println!("DataMPI:   {:>10.1?}  ({n} distinct words)", t.elapsed());
 
     let t = Instant::now();
-    let n = wordcount::run_mapred(
-        &datampi_suite::mapred::MapRedConfig::new(4),
-        inputs.clone(),
-    )
-    .unwrap()
-    .len();
+    let n = wordcount::run_mapred(&datampi_suite::mapred::MapRedConfig::new(4), inputs.clone())
+        .unwrap()
+        .len();
     println!("MapReduce: {:>10.1?}  ({n} distinct words)", t.elapsed());
 
     let t = Instant::now();

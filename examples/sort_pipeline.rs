@@ -42,16 +42,13 @@ fn main() {
 
     // --- Text Sort on all three engines ---
     let t = Instant::now();
-    let dm = sort::run_text_datampi(&datampi_suite::datampi::JobConfig::new(4), inputs.clone())
-        .unwrap();
+    let dm =
+        sort::run_text_datampi(&datampi_suite::datampi::JobConfig::new(4), inputs.clone()).unwrap();
     println!("DataMPI text sort:   {:?}", t.elapsed());
 
     let t = Instant::now();
-    let mr = sort::run_text_mapred(
-        &datampi_suite::mapred::MapRedConfig::new(4),
-        inputs.clone(),
-    )
-    .unwrap();
+    let mr = sort::run_text_mapred(&datampi_suite::mapred::MapRedConfig::new(4), inputs.clone())
+        .unwrap();
     println!("MapReduce text sort: {:?}", t.elapsed());
 
     let t = Instant::now();

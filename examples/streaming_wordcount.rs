@@ -33,7 +33,9 @@ fn main() {
     let mut gen = TextGenerator::new(SeedModel::lda_wiki1w(), 777);
 
     for window in 1..=5 {
-        let splits: Vec<Bytes> = (0..4).map(|_| Bytes::from(gen.generate_bytes(4096))).collect();
+        let splits: Vec<Bytes> = (0..4)
+            .map(|_| Bytes::from(gen.generate_bytes(4096)))
+            .collect();
         let changed = job.process_window(splits).unwrap();
         println!(
             "window {window}: {:>5} keys updated, {:>6} keys total, {:>7} pairs so far",
@@ -50,7 +52,7 @@ fn main() {
         .into_iter()
         .map(|r| (r.key_utf8(), u64::from_bytes(&r.value).unwrap()))
         .collect();
-    totals.sort_by(|a, b| b.1.cmp(&a.1));
+    totals.sort_by_key(|t| std::cmp::Reverse(t.1));
     println!("\ntop words across all windows:");
     for (word, n) in totals.iter().take(8) {
         println!("{n:>6}  {word}");

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# The full CI gate, runnable locally. Everything here must pass before merge.
+#
+#   ./scripts/ci.sh
+#
+# The vendored crates under vendor/ are excluded from the workspace, so
+# fmt/clippy/test only touch first-party code.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check ==" >&2
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings) ==" >&2
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test ==" >&2
+cargo test -q --workspace
+
+echo "CI OK" >&2

@@ -17,16 +17,12 @@ fn corpus(seed: u64, splits: usize, bytes_per_split: usize) -> Vec<Bytes> {
 #[test]
 fn wordcount_three_way_agreement() {
     let inputs = corpus(1, 6, 8_000);
-    let dm = wordcount::run_datampi(&datampi_suite::datampi::JobConfig::new(4), inputs.clone())
+    let dm =
+        wordcount::run_datampi(&datampi_suite::datampi::JobConfig::new(4), inputs.clone()).unwrap();
+    let mr = wordcount::run_mapred(&datampi_suite::mapred::MapRedConfig::new(4), inputs.clone())
         .unwrap();
-    let mr = wordcount::run_mapred(
-        &datampi_suite::mapred::MapRedConfig::new(4),
-        inputs.clone(),
-    )
-    .unwrap();
-    let ctx =
-        datampi_suite::rddsim::SparkContext::new(datampi_suite::rddsim::SparkConfig::new(4))
-            .unwrap();
+    let ctx = datampi_suite::rddsim::SparkContext::new(datampi_suite::rddsim::SparkConfig::new(4))
+        .unwrap();
     let sp = wordcount::run_spark(&ctx, inputs).unwrap();
     assert_eq!(dm, mr);
     assert_eq!(dm, sp);
@@ -50,9 +46,8 @@ fn grep_three_way_agreement() {
         &pattern,
     )
     .unwrap();
-    let ctx =
-        datampi_suite::rddsim::SparkContext::new(datampi_suite::rddsim::SparkConfig::new(4))
-            .unwrap();
+    let ctx = datampi_suite::rddsim::SparkContext::new(datampi_suite::rddsim::SparkConfig::new(4))
+        .unwrap();
     let sp = grep::run_spark(&ctx, inputs, &pattern).unwrap();
     assert_eq!(dm, mr);
     assert_eq!(dm, sp);
@@ -68,11 +63,10 @@ fn text_sort_agreement_and_completeness() {
         .collect();
     expected.sort();
 
-    let dm = sort::run_text_datampi(&datampi_suite::datampi::JobConfig::new(4), inputs.clone())
+    let dm =
+        sort::run_text_datampi(&datampi_suite::datampi::JobConfig::new(4), inputs.clone()).unwrap();
+    let mr = sort::run_text_mapred(&datampi_suite::mapred::MapRedConfig::new(4), inputs.clone())
         .unwrap();
-    let mr =
-        sort::run_text_mapred(&datampi_suite::mapred::MapRedConfig::new(4), inputs.clone())
-            .unwrap();
     // Hash-partitioned engines agree partition by partition.
     for (a, b) in dm.iter().zip(&mr) {
         assert_eq!(a.records(), b.records());
@@ -99,11 +93,9 @@ fn normal_sort_decompresses_identically() {
     let inputs: Vec<Bytes> = (0..3)
         .map(|_| Bytes::from(seqfile::to_seq_file(&gen.generate_bytes(4_000)).0))
         .collect();
-    let dm =
-        sort::run_normal_datampi(&datampi_suite::datampi::JobConfig::new(3), inputs.clone())
-            .unwrap();
-    let mr =
-        sort::run_normal_mapred(&datampi_suite::mapred::MapRedConfig::new(3), inputs).unwrap();
+    let dm = sort::run_normal_datampi(&datampi_suite::datampi::JobConfig::new(3), inputs.clone())
+        .unwrap();
+    let mr = sort::run_normal_mapred(&datampi_suite::mapred::MapRedConfig::new(3), inputs).unwrap();
     for (a, b) in dm.iter().zip(&mr) {
         assert_eq!(a.records(), b.records());
     }
@@ -117,9 +109,8 @@ fn kmeans_all_engines_identical_centroids() {
     let inputs = kmeans::vectors_to_inputs(vectors, 15);
     let (dm, _) = kmeans::train(&params, kmeans::TrainEngine::DataMpi, vectors, &inputs).unwrap();
     let (mr, _) = kmeans::train(&params, kmeans::TrainEngine::MapRed, vectors, &inputs).unwrap();
-    let ctx =
-        datampi_suite::rddsim::SparkContext::new(datampi_suite::rddsim::SparkConfig::new(4))
-            .unwrap();
+    let ctx = datampi_suite::rddsim::SparkContext::new(datampi_suite::rddsim::SparkConfig::new(4))
+        .unwrap();
     let (sp, _) = kmeans::train_spark(&params, &ctx, vectors).unwrap();
     for ((a, b), c) in dm.iter().zip(&mr).zip(&sp) {
         for ((x, y), z) in a.iter().zip(b).zip(c) {
@@ -133,8 +124,8 @@ fn kmeans_all_engines_identical_centroids() {
 fn bayes_models_agree_and_classify() {
     let corpus = bayes::generate_corpus(12, 5, 6);
     let inputs = bayes::corpus_to_inputs(&corpus, 10);
-    let dm = bayes::train_datampi(&datampi_suite::datampi::JobConfig::new(3), inputs.clone())
-        .unwrap();
+    let dm =
+        bayes::train_datampi(&datampi_suite::datampi::JobConfig::new(3), inputs.clone()).unwrap();
     let mr = bayes::train_mapred(&datampi_suite::mapred::MapRedConfig::new(3), inputs).unwrap();
     // Same classifications on held-out documents.
     let held_out = bayes::generate_corpus(5, 5, 7);

@@ -5,14 +5,15 @@ use bytes::Bytes;
 use datampi_suite::common::ser::Writable;
 use datampi_suite::datagen::{SeedModel, TextGenerator};
 use datampi_suite::datampi::checkpoint::CheckpointStore;
-use datampi_suite::datampi::config::FaultSpec;
 use datampi_suite::dcsim::NodeId;
 use datampi_suite::dfs::{DfsConfig, MiniDfs};
 use datampi_suite::workloads::wordcount;
 
 fn corpus(seed: u64, n: usize) -> Vec<Bytes> {
     let mut gen = TextGenerator::new(SeedModel::lda_wiki1w(), seed);
-    (0..n).map(|_| Bytes::from(gen.generate_bytes(2_000))).collect()
+    (0..n)
+        .map(|_| Bytes::from(gen.generate_bytes(2_000)))
+        .collect()
 }
 
 #[test]
@@ -23,10 +24,7 @@ fn datampi_survives_a_mid_job_failure_via_checkpoint() {
     // Attempt 0 fails on task 6 (single rank for deterministic ordering).
     let failing = datampi_suite::datampi::JobConfig::new(1)
         .with_checkpointing(true)
-        .with_fault(FaultSpec {
-            task_index: 6,
-            on_attempt: 0,
-        });
+        .with_o_task_fault(6, 0);
     datampi_suite::datampi::runtime::run_job_attempt(
         &failing,
         inputs.clone(),
@@ -82,10 +80,7 @@ fn repeated_failures_make_monotone_progress() {
     for attempt in 0..3u32 {
         let config = datampi_suite::datampi::JobConfig::new(1)
             .with_checkpointing(true)
-            .with_fault(FaultSpec {
-                task_index: 2 + attempt as usize,
-                on_attempt: attempt,
-            });
+            .with_o_task_fault(2 + attempt as usize, attempt);
         let result = datampi_suite::datampi::runtime::run_job_attempt(
             &config,
             inputs.clone(),
@@ -116,9 +111,8 @@ fn repeated_failures_make_monotone_progress() {
 
 #[test]
 fn rdd_lineage_recovers_lost_partitions() {
-    let ctx =
-        datampi_suite::rddsim::SparkContext::new(datampi_suite::rddsim::SparkConfig::new(4))
-            .unwrap();
+    let ctx = datampi_suite::rddsim::SparkContext::new(datampi_suite::rddsim::SparkConfig::new(4))
+        .unwrap();
     let inputs = corpus(13, 4);
     let cached = ctx.text_source(inputs).cache();
     let before = cached.collect().unwrap();
@@ -161,6 +155,10 @@ fn spark_oom_is_an_error_not_a_wrong_answer() {
     )
     .unwrap();
     let inputs = corpus(15, 2);
-    let err = ctx.text_source(inputs).sort_by_key(2).collect().unwrap_err();
+    let err = ctx
+        .text_source(inputs)
+        .sort_by_key(2)
+        .collect()
+        .unwrap_err();
     assert!(err.is_oom());
 }

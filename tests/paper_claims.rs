@@ -116,7 +116,10 @@ fn text_sort_8gb_headline_numbers() {
     };
     let h = secs(Workload::TextSort, Engine::Hadoop, 8 * GB).unwrap();
     let s = secs(Workload::TextSort, Engine::Spark, 8 * GB).unwrap();
-    assert!((60.0..95.0).contains(&d_secs), "DataMPI {d_secs:.0} s (paper 69)");
+    assert!(
+        (60.0..95.0).contains(&d_secs),
+        "DataMPI {d_secs:.0} s (paper 69)"
+    );
     assert!((100.0..140.0).contains(&h), "Hadoop {h:.0} s (paper 117)");
     assert!((95.0..135.0).contains(&s), "Spark {s:.0} s (paper 114)");
     let o_phase = report.phase_duration("O");
@@ -145,9 +148,18 @@ fn small_jobs_54_percent_over_hadoop() {
     let mut s_sum = 0.0;
     let mut h_sum = 0.0;
     for w in [Workload::TextSort, Workload::WordCount, Workload::Grep] {
-        d_sum += run_sim(w, Engine::DataMpi, 128 * MB, 1).unwrap().seconds().unwrap();
-        s_sum += run_sim(w, Engine::Spark, 128 * MB, 1).unwrap().seconds().unwrap();
-        h_sum += run_sim(w, Engine::Hadoop, 128 * MB, 1).unwrap().seconds().unwrap();
+        d_sum += run_sim(w, Engine::DataMpi, 128 * MB, 1)
+            .unwrap()
+            .seconds()
+            .unwrap();
+        s_sum += run_sim(w, Engine::Spark, 128 * MB, 1)
+            .unwrap()
+            .seconds()
+            .unwrap();
+        h_sum += run_sim(w, Engine::Hadoop, 128 * MB, 1)
+            .unwrap()
+            .seconds()
+            .unwrap();
     }
     let vs_hadoop = 1.0 - d_sum / h_sum;
     assert!(
@@ -167,7 +179,10 @@ fn applications_33_to_39_percent() {
         let s = secs(Workload::KMeans, Engine::Spark, gb * GB).unwrap();
         let vs_h = 1.0 - d / h;
         let vs_s = 1.0 - d / s;
-        assert!(vs_h <= 0.45 && vs_h > 0.2, "{gb} GB K-means vs Hadoop {vs_h:.2}");
+        assert!(
+            vs_h <= 0.45 && vs_h > 0.2,
+            "{gb} GB K-means vs Hadoop {vs_h:.2}"
+        );
         assert!(vs_s > 0.15, "{gb} GB K-means vs Spark {vs_s:.2}");
         assert!(s < h, "Spark sits between DataMPI and Hadoop");
     }
@@ -187,17 +202,19 @@ fn resource_utilization_directions() {
     // Hadoop's CPU and memory appetite leads in WordCount.
     let sort_profiles: Vec<(Engine, f64, f64)> = [Engine::Hadoop, Engine::Spark, Engine::DataMpi]
         .iter()
-        .filter_map(|&e| match run_sim(Workload::TextSort, e, 8 * GB, 4).unwrap() {
-            Outcome::Finished { seconds, report } => {
-                let window = seconds.ceil() as usize;
-                let net = dmpi_dcsim::metrics::ResourceProfile::mean(
-                    &report.profile.net_mb_s,
-                    window,
-                );
-                Some((e, seconds, net))
-            }
-            _ => None,
-        })
+        .filter_map(
+            |&e| match run_sim(Workload::TextSort, e, 8 * GB, 4).unwrap() {
+                Outcome::Finished { seconds, report } => {
+                    let window = seconds.ceil() as usize;
+                    let net = dmpi_dcsim::metrics::ResourceProfile::mean(
+                        &report.profile.net_mb_s,
+                        window,
+                    );
+                    Some((e, seconds, net))
+                }
+                _ => None,
+            },
+        )
         .collect();
     let net_of = |e: Engine| {
         sort_profiles

@@ -14,7 +14,9 @@ use datampi_suite::workloads::wordcount;
 
 fn corpus(seed: u64) -> Vec<Bytes> {
     let mut gen = TextGenerator::new(SeedModel::lda_wiki1w(), seed);
-    (0..6).map(|_| Bytes::from(gen.generate_bytes(20_000))).collect()
+    (0..6)
+        .map(|_| Bytes::from(gen.generate_bytes(20_000)))
+        .collect()
 }
 
 fn sim_sort_report(
@@ -149,9 +151,8 @@ fn memory_budget_mechanism_and_consequence() {
     );
     let mut starved_sim = base.clone();
     starved_sim.intermediate_mem_budget = 64.0 * (1u64 << 20) as f64;
-    let writes = |r: &datampi_suite::dcsim::SimReport| -> f64 {
-        r.profile.disk_write_mb_s.iter().sum()
-    };
+    let writes =
+        |r: &datampi_suite::dcsim::SimReport| -> f64 { r.profile.disk_write_mb_s.iter().sum() };
     let base_report = sim_sort_report(&base);
     let starved_report = sim_sort_report(&starved_sim);
     assert!(

@@ -1,0 +1,296 @@
+//! Offline vendored subset of the `criterion` crate: enough of the API for
+//! the workspace's `harness = false` benches to compile and produce useful
+//! wall-clock numbers without the statistics machinery. See
+//! `vendor/README.md` for why dependencies are vendored.
+//!
+//! Behavioral notes: each benchmark warms up once, then times
+//! `sample_size` iterations and reports the mean per-iteration wall time
+//! (plus throughput when configured). Under `cargo test` (which passes
+//! `--test` to harness-less bench binaries) every benchmark body runs
+//! exactly once as a smoke test, with no timing loop.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Names the benchmark after a parameter value, e.g. an input size.
+    pub fn from_parameter<P: Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+
+    /// A `function_name/parameter` id.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId(s)
+    }
+}
+
+/// Units for reporting throughput alongside timings.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level benchmark driver (vendored: prints one line per benchmark).
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo test runs harness-less bench binaries with `--test`;
+        // cargo bench passes `--bench`. Only the former changes behavior.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            sample_size: 10,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be nonzero");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let sample_size = self.sample_size;
+        let test_mode = self.test_mode;
+        run_one(None, &id.into(), None, sample_size, test_mode, f);
+        self
+    }
+}
+
+/// A set of benchmarks sharing a name prefix and reporting options.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed iterations for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be nonzero");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Reports throughput next to the timings of subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        run_one(
+            Some(&self.name),
+            &id.into(),
+            self.throughput,
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.criterion.test_mode,
+            f,
+        );
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (reporting is per-benchmark, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    group: Option<&str>,
+    id: &BenchmarkId,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    test_mode: bool,
+    mut f: F,
+) {
+    let label = match group {
+        Some(g) => format!("{g}/{}", id.0),
+        None => id.0.clone(),
+    };
+    if test_mode {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("test bench {label} ... ok");
+        return;
+    }
+    let mut warmup = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut warmup);
+    let mut b = Bencher {
+        iters: sample_size as u64,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.as_secs_f64() / sample_size as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) => format!(", {:.1} MiB/s", n as f64 / per_iter / (1 << 20) as f64),
+        Throughput::Elements(n) => format!(", {:.0} elem/s", n as f64 / per_iter),
+    });
+    println!(
+        "bench {label}: {} per iter (n={sample_size}{})",
+        format_duration(per_iter),
+        rate.unwrap_or_default(),
+    );
+}
+
+fn format_duration(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_run_their_benchmarks() {
+        let mut runs = 0u32;
+        let mut c = Criterion {
+            sample_size: 3,
+            test_mode: false,
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2).throughput(Throughput::Bytes(1024));
+        group.bench_function(BenchmarkId::from_parameter(64), |b| {
+            runs += 1;
+            b.iter(|| black_box(2 + 2))
+        });
+        group.bench_with_input("with_input", &5u32, |b, &n| {
+            runs += 1;
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+        // Each benchmark calls its closure twice: warmup + timed sample.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut calls = 0u32;
+        let mut c = Criterion {
+            sample_size: 10,
+            test_mode: true,
+        };
+        c.bench_function("once", |b| {
+            calls += 1;
+            b.iter(|| black_box(1))
+        });
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(2.5), "2.500 s");
+        assert_eq!(format_duration(0.0025), "2.500 ms");
+        assert_eq!(format_duration(2.5e-6), "2.500 µs");
+        assert_eq!(format_duration(2.5e-8), "25.0 ns");
+    }
+}
