@@ -10,6 +10,8 @@
 //! figures fig3b --csv               # CSV for plotting tools
 //! figures ext-iter                  # extension: iterative K-means
 //! figures ext-recovery              # extension: node-failure recovery
+//! figures profile-real              # extension: sim-vs-real profile diff
+//! figures profile-real --write PATH # also write BENCH_profile.json
 //! ```
 
 use dmpi_bench::experiments;
@@ -18,7 +20,8 @@ use dmpi_bench::figures::{self, Fig4Case};
 fn usage() -> ! {
     eprintln!(
         "usage: figures <all|table1|table2|fig2a|fig2b|fig3a|fig3b|fig3c|fig3d|\
-         fig4sort|fig4wordcount|fig5|fig6a|fig6b|fig7|ext-iter|ext-recovery|summary> [--markdown] \
+         fig4sort|fig4wordcount|fig5|fig6a|fig6b|fig7|ext-iter|ext-recovery|profile-real|\
+         summary> [--markdown] \
          [--write PATH] [--csv] [--series cpu|waitio|disk_read|disk_write|net|mem]"
     );
     std::process::exit(2);
@@ -102,6 +105,21 @@ fn main() {
                 "{}",
                 render(dmpi_bench::recovery::fig_ext_recovery(8)?, csv)
             ),
+            "profile-real" => {
+                let data = dmpi_bench::profile_real::profile_real_data(2, 200_000)?;
+                println!(
+                    "{}",
+                    render(dmpi_bench::profile_real::render_table(&data), csv)
+                );
+                let artifact = write_path
+                    .clone()
+                    .unwrap_or_else(|| "BENCH_profile.json".to_string());
+                let json = dmpi_bench::profile_real::render_artifact_json(&data);
+                std::fs::write(&artifact, json).map_err(|e| {
+                    dmpi_common::Error::InvalidState(format!("cannot write {artifact}: {e}"))
+                })?;
+                println!("wrote {artifact}");
+            }
             "summary" => println!("{}", render(figures::section_4_7_summary()?, csv)),
             _ => usage(),
         }

@@ -1,0 +1,370 @@
+//! Sim-vs-real profile comparison — observability as a calibration check.
+//!
+//! The simulator predicts Figure-4-style resource curves; the `observe`
+//! layer now measures the same curves on *real* runs. This module runs a
+//! small WordCount for real under the sampling profiler, runs the
+//! simulator's small-job WordCount, and diffs the two
+//! [`ResourceProfile`]s per resource. The absolute scales differ wildly
+//! (MB on one thread-per-rank process vs. GB on an 8-node cluster), so
+//! the comparison is over *shape*: both series are resampled onto a
+//! normalized time axis, peak-normalized, and diffed — the same way the
+//! paper's Figure 4 argument is about where curves peak and plateau, not
+//! absolute MB/s.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use bytes::Bytes;
+
+use datampi::observe::{Observer, Profiler, Trace};
+use datampi::{run_job, Collector, GroupedValues, JobConfig, JobStats};
+use dmpi_common::ser::Writable;
+use dmpi_common::units::MB;
+use dmpi_common::{Error, Result};
+use dmpi_dcsim::metrics::ResourceProfile;
+use dmpi_workloads::{run_sim, Engine, Outcome, Workload};
+
+use crate::table::Table;
+
+/// Everything observed from one real profiled run.
+pub struct RealRunProfile {
+    /// Bucketed CPU/memory/net/disk time series from the sampling profiler.
+    pub profile: ResourceProfile,
+    /// End-of-job counters (includes per-phase wall-time totals).
+    pub stats: JobStats,
+    /// The merged span log.
+    pub trace: Trace,
+    /// Wall-clock job time in seconds.
+    pub seconds: f64,
+}
+
+/// Deterministic word soup: `words` words drawn from a small vocabulary
+/// with an LCG, split into `splits` inputs. Zipf-free but repetitive
+/// enough that A-side grouping has real work to do.
+pub fn wordcount_inputs(splits: usize, words: usize) -> Vec<Bytes> {
+    let vocab: Vec<String> = (0..256).map(|i| format!("word{i:03}")).collect();
+    let mut state = 0x2545f491_4f6cdd1du64;
+    let mut out = Vec::with_capacity(splits);
+    let per_split = words / splits.max(1);
+    for _ in 0..splits {
+        let mut text = String::with_capacity(per_split * 8);
+        for i in 0..per_split {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let w = &vocab[(state >> 33) as usize % vocab.len()];
+            text.push_str(w);
+            text.push(if i % 12 == 11 { '\n' } else { ' ' });
+        }
+        out.push(Bytes::from(text));
+    }
+    out
+}
+
+fn wc_o(_task: usize, split: &[u8], out: &mut dyn Collector) {
+    for line in split.split(|&b| b == b'\n') {
+        for word in line.split(|&b| b == b' ').filter(|w| !w.is_empty()) {
+            out.collect(word, &1u64.to_bytes());
+        }
+    }
+}
+
+fn wc_a(group: &GroupedValues, out: &mut dyn Collector) {
+    let total: u64 = group
+        .values
+        .iter()
+        .map(|v| u64::from_bytes(v).unwrap_or(0))
+        .sum();
+    out.collect(&group.key, &total.to_bytes());
+}
+
+/// Runs a real WordCount over `ranks` rank threads with tracing and the
+/// sampling profiler enabled, on roughly `total_words` words of input.
+pub fn run_real_wordcount(ranks: usize, total_words: usize) -> Result<RealRunProfile> {
+    let observer = Observer::new();
+    // A small flush threshold keeps frames flowing throughout the run, so
+    // the sampled network series has an actual shape, not one spike.
+    let config = JobConfig::new(ranks)
+        .with_flush_threshold(16 * 1024)
+        .with_observer(observer.clone());
+    let inputs = wordcount_inputs(ranks * 8, total_words);
+    let profiler = Profiler::spawn(observer.clone(), Duration::from_millis(2), 0.010, ranks);
+    let t0 = std::time::Instant::now();
+    let out = run_job(&config, inputs, wc_o, wc_a, None);
+    let seconds = t0.elapsed().as_secs_f64();
+    let profile = profiler.stop();
+    let out = out?;
+    Ok(RealRunProfile {
+        profile,
+        stats: out.stats,
+        trace: observer.trace(),
+        seconds,
+    })
+}
+
+/// Per-resource comparison of a real and a simulated series.
+#[derive(Clone, Debug)]
+pub struct ResourceError {
+    /// Resource name (`cpu`, `mem`, `net`, `disk_write`).
+    pub resource: &'static str,
+    /// Whole-run mean of the real series, in its native unit.
+    pub real_mean: f64,
+    /// Whole-run mean of the simulated series, in its native unit.
+    pub sim_mean: f64,
+    /// Mean absolute difference of the peak-normalized, time-normalized
+    /// curves, in percent of peak (0 = identical shape, 100 = maximally
+    /// different).
+    pub shape_error_pct: f64,
+}
+
+/// Averages `series` down (or interpolates up) to exactly `n` buckets.
+fn resample(series: &[f64], n: usize) -> Vec<f64> {
+    if series.is_empty() || n == 0 {
+        return vec![0.0; n];
+    }
+    let m = series.len() as f64;
+    (0..n)
+        .map(|i| {
+            let lo = (i as f64 / n as f64 * m) as usize;
+            let hi = (((i + 1) as f64 / n as f64 * m).ceil() as usize).clamp(lo + 1, series.len());
+            series[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect()
+}
+
+fn normalize(series: &[f64]) -> Vec<f64> {
+    let peak = series.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+    if peak < 1e-12 {
+        return vec![0.0; series.len()];
+    }
+    series.iter().map(|v| v / peak).collect()
+}
+
+/// Shape error between two series in percent of peak (see
+/// [`ResourceError::shape_error_pct`]).
+pub fn shape_error_pct(real: &[f64], sim: &[f64]) -> f64 {
+    const BUCKETS: usize = 50;
+    let a = normalize(&resample(real, BUCKETS));
+    let b = normalize(&resample(sim, BUCKETS));
+    let diff: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+    diff / BUCKETS as f64 * 100.0
+}
+
+fn mean(series: &[f64]) -> f64 {
+    ResourceProfile::mean(series, series.len())
+}
+
+/// Selects one resource series out of a [`ResourceProfile`].
+type SeriesGetter = fn(&ResourceProfile) -> &Vec<f64>;
+
+/// Compares a real profile against a simulated one, resource by resource.
+pub fn compare_profiles(real: &ResourceProfile, sim: &ResourceProfile) -> Vec<ResourceError> {
+    let series: [(&'static str, SeriesGetter); 4] = [
+        ("cpu", |p| &p.cpu_util_pct),
+        ("mem", |p| &p.mem_gb),
+        ("net", |p| &p.net_mb_s),
+        ("disk_write", |p| &p.disk_write_mb_s),
+    ];
+    series
+        .iter()
+        .map(|(name, get)| ResourceError {
+            resource: name,
+            real_mean: mean(get(real)),
+            sim_mean: mean(get(sim)),
+            shape_error_pct: shape_error_pct(get(real), get(sim)),
+        })
+        .collect()
+}
+
+/// The full experiment: real profiled WordCount vs. the simulator's
+/// 128 MB small-job WordCount prediction.
+pub struct ProfileRealData {
+    /// The real run.
+    pub real: RealRunProfile,
+    /// The simulator's predicted profile.
+    pub sim_profile: ResourceProfile,
+    /// Simulated job seconds.
+    pub sim_seconds: f64,
+    /// Per-resource comparison.
+    pub errors: Vec<ResourceError>,
+}
+
+/// Runs both sides of the comparison. `ranks` rank threads process
+/// `total_words` words for real; the sim side is the paper-scale small
+/// job (128 MB WordCount on the testbed).
+pub fn profile_real_data(ranks: usize, total_words: usize) -> Result<ProfileRealData> {
+    let real = run_real_wordcount(ranks, total_words)?;
+    let Outcome::Finished { seconds, report } =
+        run_sim(Workload::WordCount, Engine::DataMpi, 128 * MB, 1)?
+    else {
+        return Err(Error::InvalidState(
+            "simulated WordCount did not finish".into(),
+        ));
+    };
+    let sim_profile = report.profile.clone();
+    let errors = compare_profiles(&real.profile, &sim_profile);
+    Ok(ProfileRealData {
+        real,
+        sim_profile,
+        sim_seconds: seconds,
+        errors,
+    })
+}
+
+/// The `fig-ext-profile-real` table: per-resource real vs. simulated
+/// means and shape error.
+pub fn fig_ext_profile_real() -> Result<Table> {
+    let data = profile_real_data(2, 200_000)?;
+    Ok(render_table(&data))
+}
+
+/// Renders the comparison table from already-computed data.
+pub fn render_table(data: &ProfileRealData) -> Table {
+    let mut t = Table::new(
+        "fig-ext-profile-real",
+        format!(
+            "Observed vs. simulated WordCount profile (real: {} O tasks, {:.2} s, \
+             {} spans; sim: 128MB small job, {:.0} s)",
+            data.real.stats.o_tasks_run,
+            data.real.seconds,
+            data.real.trace.len(),
+            data.sim_seconds
+        ),
+        &["Resource", "Real mean", "Sim mean", "Shape err (%)"],
+    );
+    for e in &data.errors {
+        t.push_row(vec![
+            e.resource.to_string(),
+            format!("{:.2}", e.real_mean),
+            format!("{:.2}", e.sim_mean),
+            format!("{:.1}", e.shape_error_pct),
+        ]);
+    }
+    t
+}
+
+/// Renders the `BENCH_profile.json` artifact: the per-resource error
+/// summary future PRs diff to track sim-vs-real drift.
+pub fn render_artifact_json(data: &ProfileRealData) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"fig-ext-profile-real\",\n");
+    let _ = write!(
+        out,
+        "  \"workload\": \"wordcount\",\n  \"real_seconds\": {:.4},\n  \"sim_seconds\": {:.1},\n",
+        data.real.seconds, data.sim_seconds
+    );
+    let _ = writeln!(
+        out,
+        "  \"real_stats\": {{\"o_tasks\": {}, \"records\": {}, \"bytes\": {}, \"spans\": {}}},",
+        data.real.stats.o_tasks_run,
+        data.real.stats.records_emitted,
+        data.real.stats.bytes_emitted,
+        data.real.trace.len()
+    );
+    out.push_str("  \"resources\": [\n");
+    for (i, e) in data.errors.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"resource\": \"{}\", \"real_mean\": {:.4}, \"sim_mean\": {:.4}, \
+             \"shape_error_pct\": {:.2}}}{}",
+            e.resource,
+            e.real_mean,
+            e.sim_mean,
+            e.shape_error_pct,
+            if i + 1 < data.errors.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_series_have_zero_shape_error() {
+        let s = vec![0.0, 1.0, 4.0, 2.0, 0.5];
+        assert!(shape_error_pct(&s, &s) < 1e-9);
+        // Scale invariance: shape compares normalized curves.
+        let scaled: Vec<f64> = s.iter().map(|v| v * 1000.0).collect();
+        assert!(shape_error_pct(&s, &scaled) < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_series_have_large_shape_error() {
+        let a = vec![1.0, 1.0, 0.0, 0.0];
+        let b = vec![0.0, 0.0, 1.0, 1.0];
+        let err = shape_error_pct(&a, &b);
+        assert!(err > 90.0, "opposite shapes, got {err}");
+        assert!(err <= 100.0 + 1e-9);
+    }
+
+    #[test]
+    fn resample_preserves_mean_when_downsampling_evenly() {
+        let s: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let r = resample(&s, 10);
+        assert_eq!(r.len(), 10);
+        let m_in = s.iter().sum::<f64>() / 100.0;
+        let m_out = r.iter().sum::<f64>() / 10.0;
+        assert!((m_in - m_out).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_zero_series_compare_cleanly() {
+        assert_eq!(shape_error_pct(&[], &[]), 0.0);
+        assert_eq!(shape_error_pct(&[0.0; 4], &[0.0; 8]), 0.0);
+        let live = vec![1.0, 2.0, 3.0];
+        let err = shape_error_pct(&live, &[]);
+        assert!(err > 0.0 && err.is_finite());
+    }
+
+    #[test]
+    fn real_wordcount_produces_profile_trace_and_stats() {
+        let real = run_real_wordcount(2, 20_000).unwrap();
+        assert!(real.stats.records_emitted > 0);
+        assert!(real.stats.phase_us.o_task_us > 0, "phase totals derived");
+        assert!(!real.trace.is_empty(), "spans recorded");
+        let json = real.trace.to_chrome_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        // The profiler sampled at 2 ms into 10 ms buckets; even a fast run
+        // yields at least one bucket with CPU activity.
+        assert!(!real.profile.is_empty(), "bucketed series produced");
+    }
+
+    #[test]
+    fn artifact_json_is_well_formed_enough() {
+        let real = run_real_wordcount(2, 20_000).unwrap();
+        let sim_profile = ResourceProfile {
+            bucket_secs: 1.0,
+            cpu_util_pct: vec![10.0, 20.0],
+            wait_io_pct: vec![0.0, 0.0],
+            disk_read_mb_s: vec![1.0, 1.0],
+            disk_write_mb_s: vec![0.0, 0.5],
+            net_mb_s: vec![5.0, 2.0],
+            mem_gb: vec![1.0, 1.0],
+            nodes_down: vec![0.0, 0.0],
+        };
+        let errors = compare_profiles(&real.profile, &sim_profile);
+        assert_eq!(errors.len(), 4);
+        for e in &errors {
+            assert!(e.shape_error_pct.is_finite());
+            assert!(e.shape_error_pct >= 0.0);
+        }
+        let data = ProfileRealData {
+            real,
+            sim_profile,
+            sim_seconds: 30.0,
+            errors,
+        };
+        let json = render_artifact_json(&data);
+        assert!(json.contains("\"experiment\": \"fig-ext-profile-real\""));
+        assert!(json.contains("\"resource\": \"cpu\""));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces"
+        );
+        let table = render_table(&data);
+        assert_eq!(table.rows.len(), 4);
+    }
+}

@@ -18,6 +18,7 @@ use dmpi_common::Record;
 use crate::checkpoint::CheckpointStore;
 use crate::comm::Frame;
 use crate::fault::Corruption;
+use crate::observe::{SpanKind, Tracer};
 
 /// Counters reported by a finished buffer.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -49,6 +50,12 @@ pub struct KvBuffer {
     /// its CRC is computed and *after* the tee records the clean copy —
     /// wire corruption, not stable-store corruption.
     corruption: Option<Corruption>,
+    /// Observability: when set, flushes record `Send` spans and feed the
+    /// per-peer byte counters; `finish` reports the occupancy high-water
+    /// mark. `None` costs one branch per emit.
+    tracer: Option<Tracer>,
+    /// Largest single-partition buffer occupancy seen, bytes.
+    hwm_bytes: usize,
 }
 
 impl KvBuffer {
@@ -72,6 +79,8 @@ impl KvBuffer {
             stats: BufferStats::default(),
             tee: None,
             corruption: None,
+            tracer: None,
+            hwm_bytes: 0,
         }
     }
 
@@ -85,12 +94,19 @@ impl KvBuffer {
         self.corruption = Some(corruption);
     }
 
+    /// Installs an observability tracer (usually task-scoped via
+    /// [`Tracer::for_task`]).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(tracer);
+    }
+
     /// Emits one key-value pair.
     pub fn emit(&mut self, record: &Record) {
         let p = self.partitioner.partition(&record.key);
         ser::frame_record(&mut self.buffers[p], record);
         self.stats.records += 1;
         self.stats.bytes += record.framed_len() as u64;
+        self.hwm_bytes = self.hwm_bytes.max(self.buffers[p].len());
         if self.pipelined && self.buffers[p].len() >= self.flush_threshold {
             self.flush_partition(p);
             self.stats.early_flushes += 1;
@@ -109,6 +125,7 @@ impl KvBuffer {
         buf.extend_from_slice(value);
         self.stats.records += 1;
         self.stats.bytes += (buf.len() - before) as u64;
+        self.hwm_bytes = self.hwm_bytes.max(buf.len());
         if self.pipelined && buf.len() >= self.flush_threshold {
             self.flush_partition(p);
             self.stats.early_flushes += 1;
@@ -119,6 +136,7 @@ impl KvBuffer {
         if self.buffers[p].is_empty() {
             return;
         }
+        let send_start = self.tracer.as_ref().map(Tracer::start);
         let payload = Bytes::from(std::mem::take(&mut self.buffers[p]));
         self.stats.frames += 1;
         if let Some(tee) = &self.tee {
@@ -136,13 +154,26 @@ impl KvBuffer {
         }
         // Receiver disconnect means the job is tearing down (a failure is
         // propagating); dropping the frame is correct then.
+        let bytes = frame.payload_len();
         let _ = self.senders[p].send(frame);
+        if let Some(t) = &self.tracer {
+            t.registry().add_frame_sent(self.from_rank, p, bytes as u64);
+            t.span(
+                SpanKind::Send,
+                send_start.unwrap_or(0),
+                vec![("peer", p.to_string()), ("bytes", bytes.to_string())],
+            );
+        }
     }
 
     /// Flushes all remaining data and returns the task's counters.
     pub fn finish(mut self) -> BufferStats {
         for p in 0..self.buffers.len() {
             self.flush_partition(p);
+        }
+        if let Some(t) = &self.tracer {
+            t.registry().add_records_out(self.stats.records);
+            t.registry().observe_buffer_level(self.hwm_bytes as u64);
         }
         self.stats
     }

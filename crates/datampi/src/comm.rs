@@ -60,6 +60,22 @@ impl Frame {
         }
     }
 
+    /// The rank that sent the frame (data and EOF alike) — receivers use
+    /// it for per-peer accounting.
+    pub fn from_rank(&self) -> usize {
+        match self {
+            Frame::Data { from_rank, .. } | Frame::Eof { from_rank } => *from_rank,
+        }
+    }
+
+    /// The producing O task of a data frame; `None` for EOF.
+    pub fn o_task(&self) -> Option<usize> {
+        match self {
+            Frame::Data { o_task, .. } => Some(*o_task),
+            Frame::Eof { .. } => None,
+        }
+    }
+
     /// Checks the payload against the sender-stamped CRC. EOF frames are
     /// trivially valid. A mismatch reports a [`FaultKind::CorruptFrame`]
     /// cause naming the producing task and rank.

@@ -4,6 +4,7 @@ use dmpi_common::units::MB;
 use dmpi_common::{Error, Result};
 
 use crate::fault::FaultPlan;
+use crate::observe::Observer;
 
 /// Configuration of one DataMPI job.
 #[derive(Clone, Debug)]
@@ -34,6 +35,10 @@ pub struct JobConfig {
     /// errors, rank deaths, straggler delays, and frame corruptions
     /// ([`FaultPlan`]). `None` (the default) injects nothing.
     pub faults: Option<FaultPlan>,
+    /// Observability sink: when installed, ranks record phase spans and
+    /// live counters into it ([`crate::observe`]). `None` (the default)
+    /// is the no-op sink — every hook is a skipped `Option` check.
+    pub observer: Option<Observer>,
 }
 
 impl JobConfig {
@@ -47,6 +52,7 @@ impl JobConfig {
             checkpointing: false,
             sorted_grouping: true,
             faults: None,
+            observer: None,
         }
     }
 
@@ -100,6 +106,12 @@ impl JobConfig {
     /// Builder: install a fault-injection plan.
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Builder: install an observability sink (tracing + metrics).
+    pub fn with_observer(mut self, observer: Observer) -> Self {
+        self.observer = Some(observer);
         self
     }
 

@@ -47,6 +47,7 @@ pub mod comm;
 pub mod config;
 pub mod fault;
 pub mod iteration;
+pub mod observe;
 pub mod plan;
 pub mod runtime;
 pub mod store;
@@ -56,6 +57,7 @@ pub mod task;
 
 pub use config::JobConfig;
 pub use fault::FaultPlan;
+pub use observe::{Observer, PhaseTotals, Profiler, SpanKind, Trace};
 pub use runtime::{run_job, JobOutput, JobStats};
 pub use supervisor::{supervise_job, RetryPolicy};
 pub use task::{Collector, GroupedValues};

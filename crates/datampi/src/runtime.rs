@@ -34,6 +34,7 @@ use crate::buffer::KvBuffer;
 use crate::checkpoint::CheckpointStore;
 use crate::comm::{Frame, Interconnect};
 use crate::config::JobConfig;
+use crate::observe::{PhaseTotals, SpanKind, Tracer};
 use crate::store::PartitionStore;
 use crate::task::{group_hashed, group_sorted, BatchCollector, Collector, GroupedValues};
 
@@ -69,6 +70,10 @@ pub struct JobStats {
     pub corrupt_frames: u64,
     /// Injected straggler delays served by O tasks.
     pub straggler_delays: u64,
+    /// Per-phase wall-time totals, summed across ranks, derived from the
+    /// span log. All zero unless the config installs an
+    /// [`Observer`](crate::observe::Observer).
+    pub phase_us: PhaseTotals,
 }
 
 impl JobStats {
@@ -88,6 +93,7 @@ impl JobStats {
         self.wasted_bytes += other.wasted_bytes;
         self.corrupt_frames += other.corrupt_frames;
         self.straggler_delays += other.straggler_delays;
+        self.phase_us.merge(&other.phase_us);
     }
 }
 
@@ -226,6 +232,10 @@ where
         )));
     }
     let ranks = config.ranks;
+    if let Some(obs) = config.observer.as_ref() {
+        obs.begin_job(ranks);
+    }
+    let attempt_start = config.observer.as_ref().map(|o| o.now_micros());
     let mut net = Interconnect::new(ranks);
     let senders = net.senders();
     let receivers: Vec<_> = (0..ranks).map(|r| net.take_receiver(r)).collect();
@@ -257,6 +267,12 @@ where
             let handle = scope.spawn(move || -> Result<(RecordBatch, JobStats)> {
                 let mut stats = JobStats::default();
                 let plan = config.faults.as_ref();
+                // Thread-local span buffer: recording is lock-free; the
+                // buffer merges into the job trace when this rank exits.
+                let tracer = config
+                    .observer
+                    .as_ref()
+                    .map(|o| o.rank_tracer(rank as u32, attempt));
 
                 // Injected rank death: this rank does no O work at all —
                 // the `failed` flag short-circuits the loop below — but
@@ -264,6 +280,12 @@ where
                 // real process whose sockets are closed by the OS.
                 if let Some(plan) = plan {
                     if plan.rank_panics(rank, attempt) {
+                        if let Some(t) = &tracer {
+                            t.instant(
+                                SpanKind::Fault,
+                                vec![("cause", "injected rank death".into())],
+                            );
+                        }
                         fail_with(Error::fault(
                             FaultCause::new(FaultKind::RankDeath, "injected rank death")
                                 .rank(rank)
@@ -284,7 +306,18 @@ where
                     if let Some(cp) = checkpoint.as_ref() {
                         if cp.is_complete(task) {
                             for (partition, payload) in cp.recover_frames(task) {
+                                if let Some(t) = &tracer {
+                                    t.registry().add_frame_sent(
+                                        rank,
+                                        partition,
+                                        payload.len() as u64,
+                                    );
+                                }
                                 let _ = senders[partition].send(Frame::data(rank, task, payload));
+                            }
+                            if let Some(t) = &tracer {
+                                t.for_task(task as u64).instant(SpanKind::Recovered, vec![]);
+                                t.registry().add_recovered_tasks(1);
                             }
                             stats.o_tasks_recovered += 1;
                             continue;
@@ -292,6 +325,7 @@ where
                     }
 
                     // Fresh execution path.
+                    let task_start = tracer.as_ref().map(Tracer::start);
                     let mut buffer = KvBuffer::new(
                         senders.clone(),
                         rank,
@@ -302,12 +336,21 @@ where
                     if let Some(cp) = checkpoint.as_ref() {
                         buffer.set_tee(cp.clone());
                     }
+                    if let Some(t) = &tracer {
+                        buffer.set_tracer(t.for_task(task as u64));
+                    }
 
                     if let Some(plan) = plan {
                         // Scheduled O-task error?
                         if plan.o_task_error(task, attempt) {
                             if let Some(cp) = checkpoint.as_ref() {
                                 cp.discard_incomplete(task);
+                            }
+                            if let Some(t) = &tracer {
+                                t.for_task(task as u64).instant(
+                                    SpanKind::Fault,
+                                    vec![("cause", "scheduled O-task failure".into())],
+                                );
                             }
                             fail_with(Error::fault(
                                 FaultCause::new(
@@ -347,6 +390,12 @@ where
                         if let Some(cp) = checkpoint.as_ref() {
                             cp.discard_incomplete(task);
                         }
+                        if let Some(t) = &tracer {
+                            t.for_task(task as u64).instant(
+                                SpanKind::Fault,
+                                vec![("cause", "O task user code panicked".into())],
+                            );
+                        }
                         fail_with(Error::fault(
                             FaultCause::new(FaultKind::TaskPanic, "O task user code panicked")
                                 .task(task)
@@ -356,6 +405,13 @@ where
                         break;
                     }
                     let b = buffer.finish();
+                    if let Some(t) = &tracer {
+                        t.for_task(task as u64).span(
+                            SpanKind::OTask,
+                            task_start.unwrap_or(0),
+                            vec![("records", b.records.to_string())],
+                        );
+                    }
                     stats.o_tasks_run += 1;
                     stats.records_emitted += b.records;
                     stats.bytes_emitted += b.bytes;
@@ -373,6 +429,10 @@ where
 
                 // ---- A phase: ingest own partition, group, reduce ----
                 let mut store = PartitionStore::new(config.memory_budget);
+                if let Some(t) = &tracer {
+                    store.set_tracer(t.clone());
+                }
+                let recv_start = tracer.as_ref().map(Tracer::start);
                 let mut eofs = 0usize;
                 while eofs < ranks {
                     match receiver.recv() {
@@ -382,8 +442,21 @@ where
                             // instead of flowing into the A store.
                             if let Err(e) = frame.verify() {
                                 stats.corrupt_frames += 1;
+                                if let Some(t) = &tracer {
+                                    t.instant(
+                                        SpanKind::Fault,
+                                        vec![("cause", "corrupt frame".into())],
+                                    );
+                                }
                                 fail_with(e);
                                 continue;
+                            }
+                            if let Some(t) = &tracer {
+                                t.registry().add_bytes_received(
+                                    rank,
+                                    frame.from_rank(),
+                                    frame.payload_len() as u64,
+                                );
                             }
                             if let Frame::Data { payload, .. } = frame {
                                 store.ingest(payload);
@@ -400,20 +473,54 @@ where
                 let st = store.stats();
                 stats.spills += st.spills;
                 stats.spilled_bytes += st.spilled_bytes;
+                if let Some(t) = &tracer {
+                    t.span(
+                        SpanKind::Recv,
+                        recv_start.unwrap_or(0),
+                        vec![("frames", st.frames.to_string())],
+                    );
+                }
 
                 let mut collector = BatchCollector::default();
+                let mut group_result: Result<()> = Ok(());
                 if !failed.load(Ordering::SeqCst) {
-                    let records = store.into_records(config.sorted_grouping)?;
-                    let groups = if config.sorted_grouping {
-                        group_sorted(records)
-                    } else {
-                        group_hashed(records)
-                    };
-                    stats.groups += groups.len() as u64;
-                    for g in &groups {
-                        a_fn(g, &mut collector);
+                    let sort_start = tracer.as_ref().map(Tracer::start);
+                    match store.into_records(config.sorted_grouping) {
+                        Ok(records) => {
+                            if let Some(t) = &tracer {
+                                t.registry().add_records_in(records.len() as u64);
+                            }
+                            let groups = if config.sorted_grouping {
+                                group_sorted(records)
+                            } else {
+                                group_hashed(records)
+                            };
+                            if let Some(t) = &tracer {
+                                t.span(
+                                    SpanKind::Sort,
+                                    sort_start.unwrap_or(0),
+                                    vec![("groups", groups.len().to_string())],
+                                );
+                            }
+                            stats.groups += groups.len() as u64;
+                            let a_start = tracer.as_ref().map(Tracer::start);
+                            for g in &groups {
+                                a_fn(g, &mut collector);
+                            }
+                            if let Some(t) = &tracer {
+                                t.span(SpanKind::ACompute, a_start.unwrap_or(0), vec![]);
+                            }
+                        }
+                        Err(e) => group_result = Err(e),
                     }
                 }
+                // Merge this rank's span buffer into the job trace before
+                // any error propagates, so failed ranks keep their events;
+                // the drained spans' phase totals ride back on the stats.
+                if let (Some(obs), Some(t)) = (config.observer.as_ref(), &tracer) {
+                    stats.phase_us = obs.absorb(t);
+                }
+                group_result?;
                 Ok((collector.batch, stats))
             });
             handles.push(handle);
@@ -437,6 +544,18 @@ where
     let mut stats = JobStats::default();
     for result in rank_results.iter().flatten() {
         stats.merge(&result.1);
+    }
+
+    // The attempt span is recorded for failed attempts too, so a
+    // supervised run's trace shows every attempt as its own process row.
+    if let Some(obs) = config.observer.as_ref() {
+        let jt = obs.job_tracer(attempt);
+        jt.span(
+            SpanKind::Attempt,
+            attempt_start.unwrap_or(0),
+            vec![("ranks", ranks.to_string())],
+        );
+        obs.absorb(&jt);
     }
 
     if failed.load(Ordering::SeqCst) {

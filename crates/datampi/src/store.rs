@@ -13,6 +13,8 @@ use dmpi_common::compare::{merge_sorted_runs, sort_records, BytesComparator};
 use dmpi_common::ser;
 use dmpi_common::{Record, Result};
 
+use crate::observe::{SpanKind, Tracer};
+
 /// Counters for one partition's store.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StoreStats {
@@ -34,6 +36,9 @@ pub struct PartitionStore {
     /// accounting; a real deployment would write files).
     spilled: Vec<Vec<u8>>,
     stats: StoreStats,
+    /// Observability: when set, spills record `Spill` spans and feed the
+    /// spill counters.
+    tracer: Option<Tracer>,
 }
 
 impl PartitionStore {
@@ -44,7 +49,13 @@ impl PartitionStore {
             resident: Vec::new(),
             spilled: Vec::new(),
             stats: StoreStats::default(),
+            tracer: None,
         }
+    }
+
+    /// Installs an observability tracer.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(tracer);
     }
 
     /// Ingests one frame payload.
@@ -62,6 +73,7 @@ impl PartitionStore {
         if self.resident.is_empty() {
             return;
         }
+        let spill_start = self.tracer.as_ref().map(Tracer::start);
         let mut image = Vec::with_capacity(self.stats.mem_bytes as usize);
         for b in self.resident.drain(..) {
             image.extend_from_slice(&b);
@@ -69,6 +81,14 @@ impl PartitionStore {
         self.stats.spilled_bytes += image.len() as u64;
         self.stats.spills += 1;
         self.stats.mem_bytes = 0;
+        if let Some(t) = &self.tracer {
+            t.registry().add_spill(image.len() as u64);
+            t.span(
+                SpanKind::Spill,
+                spill_start.unwrap_or(0),
+                vec![("bytes", image.len().to_string())],
+            );
+        }
         self.spilled.push(image);
     }
 

@@ -19,6 +19,7 @@ use dmpi_common::kv::{Record, RecordBatch};
 use dmpi_common::Result;
 
 use crate::config::JobConfig;
+use crate::observe::SpanKind;
 use crate::runtime::{run_job, JobStats};
 use crate::supervisor::{supervise_job, RetryPolicy};
 
@@ -104,6 +105,7 @@ where
     ///
     /// [`with_retry`]: StreamingJob::with_retry
     pub fn process_window(&mut self, splits: Vec<Bytes>) -> Result<RecordBatch> {
+        let window_start = self.config.observer.as_ref().map(|o| o.now_micros());
         let fold = Arc::clone(&self.fold);
         let state = Arc::clone(&self.state);
         let pending: Arc<Mutex<BTreeMap<Vec<u8>, Vec<u8>>>> = Arc::new(Mutex::new(BTreeMap::new()));
@@ -127,6 +129,18 @@ where
         drop(committed);
         self.windows_processed += 1;
         self.cumulative.merge(&output.stats);
+        // The window span covers run + state commit, on the job lane,
+        // numbered by the window index so successive windows line up as
+        // consecutive spans in the merged trace.
+        if let Some(obs) = self.config.observer.as_ref() {
+            let jt = obs.job_tracer(0);
+            jt.span(
+                SpanKind::Window,
+                window_start.unwrap_or(0),
+                vec![("window", self.windows_processed.to_string())],
+            );
+            obs.absorb(&jt);
+        }
         Ok(output.into_single_batch())
     }
 

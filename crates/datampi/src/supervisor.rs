@@ -29,6 +29,7 @@ use dmpi_common::{Error, Result};
 
 use crate::checkpoint::CheckpointStore;
 use crate::config::JobConfig;
+use crate::observe::SpanKind;
 use crate::runtime::{run_job_core, JobOutput};
 use crate::task::{Collector, GroupedValues};
 
@@ -183,6 +184,23 @@ where
                 wasted += partial.wasted_bytes;
                 if store.is_none() {
                     wasted += partial.bytes_emitted;
+                }
+                // Recovery decisions get their own trace events: without
+                // them a merged trace shows attempts failing and restarting
+                // for no visible reason.
+                if let Some(obs) = config.observer.as_ref() {
+                    if attempt + 1 < policy.max_attempts {
+                        obs.registry().add_retry();
+                        let jt = obs.job_tracer(attempt);
+                        jt.instant(
+                            SpanKind::Retry,
+                            vec![
+                                ("cause", err.to_string()),
+                                ("next_attempt", (attempt + 1).to_string()),
+                            ],
+                        );
+                        obs.absorb(&jt);
+                    }
                 }
                 last_err = Some(err);
             }

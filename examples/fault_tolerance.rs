@@ -17,6 +17,7 @@
 use bytes::Bytes;
 use datampi_suite::common::group::{Collector, GroupedValues};
 use datampi_suite::common::ser::Writable;
+use datampi_suite::datampi::observe::Observer;
 use datampi_suite::datampi::{supervise_job, FaultPlan, JobConfig, RetryPolicy};
 use datampi_suite::dcsim::{Activity, ClusterSpec, NodeId, RecoveryModel, Simulation, TaskSpec};
 use std::time::Duration;
@@ -39,7 +40,11 @@ fn main() {
         .fail_o_task(2, 1) // ...and again on attempt 1
         .straggler(1, 0, 50) // O task 1 stalls 50 ms on attempt 0
         .corrupt_frame(3, 1); // one of task 3's frames arrives corrupted
-    let config = JobConfig::new(2).with_checkpointing(true).with_faults(plan);
+    let observer = Observer::new();
+    let config = JobConfig::new(2)
+        .with_checkpointing(true)
+        .with_faults(plan)
+        .with_observer(observer.clone());
     let policy = RetryPolicy::new(5).with_backoff(Duration::from_millis(1));
     let inputs: Vec<Bytes> = (0..6)
         .map(|i| Bytes::from(format!("w{i} shared fault tolerant")))
@@ -53,6 +58,17 @@ fn main() {
         out.stats.o_tasks_run,
         out.stats.o_tasks_recovered,
         out.stats.wasted_bytes
+    );
+    println!("phase wall-time totals across all attempts:");
+    for (name, us) in out.stats.phase_us.rows() {
+        println!("  {name:<10} {:>8.3} ms", us as f64 / 1e3);
+    }
+    let trace = observer.trace();
+    println!(
+        "trace: {} events over attempts {:?} ({} retries recorded)",
+        trace.len(),
+        trace.attempts(),
+        observer.registry().snapshot().retries
     );
 
     // ---- Part 2: recovery-time overhead in the simulator ----

@@ -17,4 +17,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test ==" >&2
 cargo test -q --workspace
 
+echo "== tracing overhead smoke check ==" >&2
+# Times a real WordCount with tracing on vs off; fails above +25%.
+cargo run -q --release --example profile -- --overhead-check
+
 echo "CI OK" >&2
