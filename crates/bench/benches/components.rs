@@ -93,7 +93,7 @@ fn bench_sort_merge(c: &mut Criterion) {
 
 fn bench_kv_buffer(c: &mut Criterion) {
     use datampi::buffer::KvBuffer;
-    use datampi::comm::Interconnect;
+    use datampi::transport::{InProcTransport, Transport};
     let words: Vec<Vec<u8>> = (0..5000)
         .map(|i| format!("w{}", i % 500).into_bytes())
         .collect();
@@ -101,9 +101,10 @@ fn bench_kv_buffer(c: &mut Criterion) {
     group.throughput(Throughput::Elements(words.len() as u64));
     group.bench_function("emit_5k_pairs_pipelined", |b| {
         b.iter(|| {
-            let mut net = Interconnect::new(4);
-            let senders = net.senders();
-            let _rx: Vec<_> = (0..4).map(|r| net.take_receiver(r)).collect();
+            let mut endpoints = InProcTransport::new(4, 1024).open().unwrap();
+            let senders = endpoints[0].senders();
+            // Endpoints stay alive (mailboxes open) for the whole emit.
+            let _rx: Vec<_> = endpoints.iter_mut().map(|e| e.take_receiver()).collect();
             let mut buf = KvBuffer::new(senders, 0, 0, 4096, true);
             for w in &words {
                 buf.emit_kv(w, b"1");

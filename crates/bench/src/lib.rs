@@ -24,5 +24,6 @@ pub mod figures;
 pub mod profile_real;
 pub mod recovery;
 pub mod table;
+pub mod transport_bench;
 
 pub use table::Table;

@@ -1,0 +1,199 @@
+//! `figures transport-bench` — in-proc vs TCP throughput for the
+//! really-executable catalogue (WordCount and Sort).
+//!
+//! Unlike the calibrated simulation behind the paper figures, this
+//! benchmark *runs* the DataMPI runtime twice per workload on identical
+//! inputs — once over the in-proc channel backend and once over a real
+//! TCP loopback mesh — and reports wall time, shuffled bytes, and
+//! throughput for each. The artifact (`BENCH_transport.json`) records
+//! the cost of serialising frames onto real sockets relative to moving
+//! `Bytes` handles between threads.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use datampi::observe::Observer;
+use datampi::transport::Backend;
+use datampi::JobConfig;
+use dmpi_common::Result;
+use dmpi_workloads::ExecWorkload;
+
+use crate::table::Table;
+
+/// One workload measured on one backend.
+#[derive(Clone, Debug)]
+pub struct TransportRun {
+    /// Launcher-facing workload name.
+    pub workload: &'static str,
+    /// `"inproc"` or `"tcp"`.
+    pub backend: &'static str,
+    /// Wall time of the whole job.
+    pub seconds: f64,
+    /// Framed intermediate bytes the O side emitted.
+    pub bytes_emitted: u64,
+    /// Records emitted (identical across backends by contract).
+    pub records: u64,
+    /// Encoded bytes written to sockets (0 for in-proc).
+    pub wire_bytes: u64,
+    /// Shuffle throughput, emitted MB per wall second.
+    pub mb_per_s: f64,
+}
+
+/// The full benchmark: every row of the report table.
+#[derive(Clone, Debug)]
+pub struct TransportBenchData {
+    /// Mesh width used for every run.
+    pub ranks: usize,
+    /// O tasks per job.
+    pub tasks: usize,
+    /// Input bytes generated per O task.
+    pub bytes_per_task: usize,
+    /// One entry per (workload, backend) pair, in-proc first.
+    pub runs: Vec<TransportRun>,
+}
+
+fn backend_name(backend: Backend) -> &'static str {
+    match backend {
+        Backend::InProc => "inproc",
+        Backend::Tcp => "tcp",
+    }
+}
+
+fn run_once(
+    workload: ExecWorkload,
+    backend: Backend,
+    ranks: usize,
+    tasks: usize,
+    bytes_per_task: usize,
+) -> Result<TransportRun> {
+    let inputs = workload.inputs(tasks, bytes_per_task, 42);
+    let observer = Observer::new();
+    let config = JobConfig::new(ranks)
+        .with_transport(backend)
+        .with_observer(observer.clone());
+    let start = Instant::now();
+    let out = workload.run_inproc(&config, inputs)?;
+    let seconds = start.elapsed().as_secs_f64();
+    let snapshot = observer.registry().snapshot();
+    let mb = out.stats.bytes_emitted as f64 / (1024.0 * 1024.0);
+    Ok(TransportRun {
+        workload: workload.name(),
+        backend: backend_name(backend),
+        seconds,
+        bytes_emitted: out.stats.bytes_emitted,
+        records: out.stats.records_emitted,
+        wire_bytes: snapshot.wire_bytes_sent,
+        mb_per_s: if seconds > 0.0 { mb / seconds } else { 0.0 },
+    })
+}
+
+/// Runs WordCount and Sort on both backends with identical inputs.
+/// Both backends must emit identical record counts — the transport is
+/// plumbing, not semantics — and that invariant is asserted here.
+pub fn transport_bench_data(
+    ranks: usize,
+    tasks: usize,
+    bytes_per_task: usize,
+) -> Result<TransportBenchData> {
+    let mut runs = Vec::new();
+    for workload in [ExecWorkload::WordCount, ExecWorkload::TextSort] {
+        let inproc = run_once(workload, Backend::InProc, ranks, tasks, bytes_per_task)?;
+        let tcp = run_once(workload, Backend::Tcp, ranks, tasks, bytes_per_task)?;
+        if inproc.records != tcp.records {
+            return Err(dmpi_common::Error::InvalidState(format!(
+                "{}: backends disagree on record count ({} vs {})",
+                workload.name(),
+                inproc.records,
+                tcp.records
+            )));
+        }
+        runs.push(inproc);
+        runs.push(tcp);
+    }
+    Ok(TransportBenchData {
+        ranks,
+        tasks,
+        bytes_per_task,
+        runs,
+    })
+}
+
+/// Renders the report table.
+pub fn render_table(data: &TransportBenchData) -> Table {
+    let mut table = Table::new(
+        "transport-bench",
+        format!(
+            "Transport backends: {} ranks, {} O tasks, {} B/task",
+            data.ranks, data.tasks, data.bytes_per_task
+        ),
+        &[
+            "Workload",
+            "Backend",
+            "Seconds",
+            "Shuffle MB",
+            "Wire MB",
+            "MB/s",
+        ],
+    );
+    for run in &data.runs {
+        table.push_row(vec![
+            run.workload.to_string(),
+            run.backend.to_string(),
+            format!("{:.4}", run.seconds),
+            format!("{:.2}", run.bytes_emitted as f64 / (1024.0 * 1024.0)),
+            format!("{:.2}", run.wire_bytes as f64 / (1024.0 * 1024.0)),
+            format!("{:.1}", run.mb_per_s),
+        ]);
+    }
+    table
+}
+
+/// Renders the `BENCH_transport.json` artifact.
+pub fn render_artifact_json(data: &TransportBenchData) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"transport-bench\",\n");
+    let _ = writeln!(
+        out,
+        "  \"ranks\": {}, \"tasks\": {}, \"bytes_per_task\": {},",
+        data.ranks, data.tasks, data.bytes_per_task
+    );
+    out.push_str("  \"runs\": [\n");
+    for (i, run) in data.runs.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"workload\": \"{}\", \"backend\": \"{}\", \"seconds\": {:.4}, \
+             \"bytes_emitted\": {}, \"records\": {}, \"wire_bytes\": {}, \
+             \"mb_per_s\": {:.2}}}{}",
+            run.workload,
+            run.backend,
+            run.seconds,
+            run.bytes_emitted,
+            run.records,
+            run.wire_bytes,
+            run.mb_per_s,
+            if i + 1 < data.runs.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_backends_measured_and_tcp_reports_wire_bytes() {
+        let data = transport_bench_data(2, 4, 1500).unwrap();
+        assert_eq!(data.runs.len(), 4, "2 workloads x 2 backends");
+        for pair in data.runs.chunks(2) {
+            assert_eq!(pair[0].backend, "inproc");
+            assert_eq!(pair[1].backend, "tcp");
+            assert_eq!(pair[0].records, pair[1].records);
+            assert_eq!(pair[0].wire_bytes, 0, "in-proc moves handles, not bytes");
+            assert!(pair[1].wire_bytes > 0, "tcp encodes onto real sockets");
+        }
+        let json = render_artifact_json(&data);
+        assert!(json.contains("\"backend\": \"tcp\""));
+        assert!(render_table(&data).render_text().contains("wordcount"));
+    }
+}

@@ -24,6 +24,10 @@ pub enum FaultKind {
     CorruptFrame,
     /// A simulated cluster node failed.
     NodeFailure,
+    /// The interconnect failed: a connection could not be established, a
+    /// peer's stream closed before its EOF frame, or a wire frame could
+    /// not be decoded.
+    Transport,
     /// A fault with no richer classification.
     Other,
 }
@@ -90,6 +94,7 @@ impl fmt::Display for FaultCause {
             FaultKind::RankDeath => "rank death",
             FaultKind::CorruptFrame => "corrupt frame",
             FaultKind::NodeFailure => "node failure",
+            FaultKind::Transport => "transport failure",
             FaultKind::Other => "fault",
         };
         write!(f, "{kind}")?;

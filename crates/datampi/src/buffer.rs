@@ -9,7 +9,6 @@
 //! everything is held until [`KvBuffer::finish`].
 
 use bytes::Bytes;
-use crossbeam::channel::Sender;
 
 use dmpi_common::partition::{HashPartitioner, Partitioner};
 use dmpi_common::ser;
@@ -19,6 +18,7 @@ use crate::checkpoint::CheckpointStore;
 use crate::comm::Frame;
 use crate::fault::Corruption;
 use crate::observe::{SpanKind, Tracer};
+use crate::transport::FrameSender;
 
 /// Counters reported by a finished buffer.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -36,7 +36,7 @@ pub struct BufferStats {
 /// A partitioned, flush-on-threshold emit buffer bound to one O task.
 pub struct KvBuffer {
     partitioner: HashPartitioner,
-    senders: Vec<Sender<Frame>>,
+    senders: Vec<FrameSender>,
     buffers: Vec<Vec<u8>>,
     from_rank: usize,
     o_task: usize,
@@ -60,8 +60,11 @@ pub struct KvBuffer {
 
 impl KvBuffer {
     /// Creates a buffer for O task `o_task` running on `from_rank`.
+    /// `senders[p]` ships to partition `p` over whichever transport the
+    /// job selected; a full destination (bounded mailbox or TCP send
+    /// window) blocks the emitting task — that is the backpressure.
     pub fn new(
-        senders: Vec<Sender<Frame>>,
+        senders: Vec<FrameSender>,
         from_rank: usize,
         o_task: usize,
         flush_threshold: usize,
@@ -152,10 +155,10 @@ impl KvBuffer {
                 *payload = Bytes::from(bytes);
             }
         }
-        // Receiver disconnect means the job is tearing down (a failure is
-        // propagating); dropping the frame is correct then.
+        // A false return means the peer is gone and the job is tearing
+        // down (a failure is propagating); dropping the frame is correct.
         let bytes = frame.payload_len();
-        let _ = self.senders[p].send(frame);
+        self.senders[p].send(frame);
         if let Some(t) = &self.tracer {
             t.registry().add_frame_sent(self.from_rank, p, bytes as u64);
             t.span(
@@ -189,6 +192,13 @@ mod tests {
     use super::*;
     use crate::comm::Interconnect;
 
+    fn frame_senders(net: &Interconnect) -> Vec<FrameSender> {
+        net.senders()
+            .into_iter()
+            .map(FrameSender::from_channel)
+            .collect()
+    }
+
     fn drain(rx: &crossbeam::channel::Receiver<Frame>) -> Vec<Frame> {
         let mut frames = Vec::new();
         while let Ok(f) = rx.try_recv() {
@@ -200,7 +210,7 @@ mod tests {
     #[test]
     fn records_land_in_consistent_partitions() {
         let mut net = Interconnect::new(4);
-        let senders = net.senders();
+        let senders = frame_senders(&net);
         let rxs: Vec<_> = (0..4).map(|r| net.take_receiver(r)).collect();
         let mut buf = KvBuffer::new(senders, 0, 0, usize::MAX, true);
         let part = HashPartitioner::new(4);
@@ -231,7 +241,7 @@ mod tests {
     #[test]
     fn pipelined_mode_flushes_early() {
         let mut net = Interconnect::new(1);
-        let senders = net.senders();
+        let senders = frame_senders(&net);
         let rx = net.take_receiver(0);
         let mut buf = KvBuffer::new(senders, 0, 0, 64, true);
         for i in 0..100 {
@@ -247,7 +257,7 @@ mod tests {
     #[test]
     fn staged_mode_ships_once_at_finish() {
         let mut net = Interconnect::new(1);
-        let senders = net.senders();
+        let senders = frame_senders(&net);
         let rx = net.take_receiver(0);
         let mut buf = KvBuffer::new(senders, 0, 3, 64, false);
         for i in 0..100 {
@@ -268,7 +278,7 @@ mod tests {
     #[test]
     fn armed_corruption_flips_the_wire_but_not_the_checkpoint() {
         let mut net = Interconnect::new(1);
-        let senders = net.senders();
+        let senders = frame_senders(&net);
         let rx = net.take_receiver(0);
         let cp = crate::checkpoint::CheckpointStore::new();
         let mut buf = KvBuffer::new(senders, 0, 4, usize::MAX, false);
@@ -301,8 +311,8 @@ mod tests {
         let mut net_b = Interconnect::new(2);
         let rx_a: Vec<_> = (0..2).map(|r| net_a.take_receiver(r)).collect();
         let rx_b: Vec<_> = (0..2).map(|r| net_b.take_receiver(r)).collect();
-        let mut a = KvBuffer::new(net_a.senders(), 0, 0, usize::MAX, true);
-        let mut b = KvBuffer::new(net_b.senders(), 0, 0, usize::MAX, true);
+        let mut a = KvBuffer::new(frame_senders(&net_a), 0, 0, usize::MAX, true);
+        let mut b = KvBuffer::new(frame_senders(&net_b), 0, 0, usize::MAX, true);
         for i in 0..20 {
             let rec = Record::from_strs(&format!("k{i}"), &format!("v{i}"));
             a.emit(&rec);

@@ -1,11 +1,28 @@
 //! The bipartite interconnect: typed frames between O executors and A
 //! partitions.
 //!
-//! Ranks are threads; each rank owns a mailbox (an unbounded channel
-//! standing in for MPI's eager-protocol message queue). O-side senders
-//! ship [`Frame::Data`] messages as buffers fill (the pipelined path) and
+//! Each rank owns a mailbox — a **bounded** channel standing in for MPI's
+//! eager-protocol message queue, whose capacity comes from
+//! [`JobConfig::mailbox_capacity`](crate::JobConfig). O-side senders ship
+//! [`Frame::Data`] messages as buffers fill (the pipelined path) and
 //! close the stream with one [`Frame::Eof`] per sender so receivers know
-//! when their partition is complete.
+//! when their partition is complete. A sender whose destination mailbox
+//! is full *blocks* — the same backpressure semantics the TCP backend
+//! gets from the kernel's socket buffers, so in-proc runs exercise the
+//! production flow-control path.
+//!
+//! **Deadlock freedom.** Bounded mailboxes introduce a classic risk: if
+//! every rank first produced all its data and only then drained its
+//! mailbox, two ranks could block forever on each other's full mailboxes.
+//! The runtime avoids the cycle structurally: every rank drains its
+//! mailbox on a dedicated ingest thread *from job start*, concurrently
+//! with its O phase ([`crate::runtime`]). The ingest thread consumes
+//! frames into the A-side store and never sends, so it never blocks on
+//! another mailbox; a producer blocked on a full mailbox is therefore
+//! always unblocked by that mailbox's ingester, and the wait-for graph
+//! has no cycle. The same argument covers TCP: socket readers feed the
+//! bounded mailbox, the ingester drains it, and senders stall at their
+//! bounded per-peer send window until the chain frees up.
 //!
 //! Every data frame carries a CRC32 of its payload, computed at the
 //! sender. Receivers [`Frame::verify`] before ingesting: a mismatch (bit
@@ -13,7 +30,7 @@
 //! structured [`Error::Fault`] instead of silently wrong output.
 
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender};
 
 use dmpi_common::crc::crc32;
 use dmpi_common::{Error, FaultCause, FaultKind, Result};
@@ -110,6 +127,11 @@ impl Frame {
     }
 }
 
+/// Default mailbox capacity (frames) when none is configured. Large
+/// enough that single-threaded unit tests never fill a mailbox, small
+/// enough that a runaway producer is throttled.
+pub const DEFAULT_MAILBOX_CAPACITY: usize = 1024;
+
 /// The full mesh of mailboxes for a job: one receiver per A partition,
 /// senders cloneable by every O executor.
 pub struct Interconnect {
@@ -118,12 +140,19 @@ pub struct Interconnect {
 }
 
 impl Interconnect {
-    /// Builds mailboxes for `ranks` partitions.
+    /// Builds mailboxes for `ranks` partitions with the default capacity.
     pub fn new(ranks: usize) -> Self {
+        Self::with_capacity(ranks, DEFAULT_MAILBOX_CAPACITY)
+    }
+
+    /// Builds mailboxes for `ranks` partitions, each holding at most
+    /// `capacity` frames before senders block (see the module docs for
+    /// why this cannot deadlock the runtime).
+    pub fn with_capacity(ranks: usize, capacity: usize) -> Self {
         let mut senders = Vec::with_capacity(ranks);
         let mut receivers = Vec::with_capacity(ranks);
         for _ in 0..ranks {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = bounded(capacity.max(1));
             senders.push(tx);
             receivers.push(Some(rx));
         }
@@ -231,6 +260,25 @@ mod tests {
         let mut net = Interconnect::new(1);
         let _a = net.take_receiver(0);
         let _b = net.take_receiver(0);
+    }
+
+    #[test]
+    fn bounded_mailbox_blocks_full_senders_until_drained() {
+        let mut net = Interconnect::with_capacity(1, 2);
+        let senders = net.senders();
+        let rx = net.take_receiver(0);
+        senders[0].send(Frame::Eof { from_rank: 0 }).unwrap();
+        senders[0].send(Frame::Eof { from_rank: 1 }).unwrap();
+        // Mailbox is full: the next send must block until a recv frees a
+        // slot — the backpressure semantics shared with the TCP backend.
+        let h = std::thread::spawn(move || {
+            senders[0].send(Frame::Eof { from_rank: 2 }).unwrap();
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(matches!(rx.recv().unwrap(), Frame::Eof { from_rank: 0 }));
+        h.join().unwrap();
+        assert!(matches!(rx.recv().unwrap(), Frame::Eof { from_rank: 1 }));
+        assert!(matches!(rx.recv().unwrap(), Frame::Eof { from_rank: 2 }));
     }
 
     #[test]

@@ -3,8 +3,14 @@
 use dmpi_common::units::MB;
 use dmpi_common::{Error, Result};
 
+use crate::comm::DEFAULT_MAILBOX_CAPACITY;
 use crate::fault::FaultPlan;
 use crate::observe::Observer;
+use crate::transport::Backend;
+
+/// Default bound on each peer's TCP send window (frames queued behind
+/// one socket before producers block).
+pub const DEFAULT_SEND_WINDOW: usize = 128;
 
 /// Configuration of one DataMPI job.
 #[derive(Clone, Debug)]
@@ -39,6 +45,18 @@ pub struct JobConfig {
     /// live counters into it ([`crate::observe`]). `None` (the default)
     /// is the no-op sink — every hook is a skipped `Option` check.
     pub observer: Option<Observer>,
+    /// Which interconnect moves frames between ranks: the in-process
+    /// channel fabric (default) or a real TCP mesh
+    /// ([`crate::transport`]).
+    pub transport: Backend,
+    /// Capacity, in frames, of each rank's mailbox. Senders block while
+    /// the destination mailbox is full — see `comm.rs` for the
+    /// deadlock-freedom argument.
+    pub mailbox_capacity: usize,
+    /// TCP backend only: frames queued behind one peer's socket before
+    /// producers block on that peer (per-peer backpressure ahead of the
+    /// kernel's own socket buffers).
+    pub send_window: usize,
 }
 
 impl JobConfig {
@@ -53,6 +71,9 @@ impl JobConfig {
             sorted_grouping: true,
             faults: None,
             observer: None,
+            transport: Backend::InProc,
+            mailbox_capacity: DEFAULT_MAILBOX_CAPACITY,
+            send_window: DEFAULT_SEND_WINDOW,
         }
     }
 
@@ -66,6 +87,12 @@ impl JobConfig {
         }
         if self.memory_budget == 0 {
             return Err(Error::Config("memory budget must be positive".into()));
+        }
+        if self.mailbox_capacity == 0 {
+            return Err(Error::Config("mailbox capacity must be positive".into()));
+        }
+        if self.send_window == 0 {
+            return Err(Error::Config("send window must be positive".into()));
         }
         if let Some(plan) = &self.faults {
             plan.validate()?;
@@ -115,6 +142,24 @@ impl JobConfig {
         self
     }
 
+    /// Builder: select the interconnect backend.
+    pub fn with_transport(mut self, backend: Backend) -> Self {
+        self.transport = backend;
+        self
+    }
+
+    /// Builder: set the per-rank mailbox capacity (frames).
+    pub fn with_mailbox_capacity(mut self, frames: usize) -> Self {
+        self.mailbox_capacity = frames;
+        self
+    }
+
+    /// Builder: set the TCP per-peer send window (frames).
+    pub fn with_send_window(mut self, frames: usize) -> Self {
+        self.send_window = frames;
+        self
+    }
+
     /// Builder: inject a single O-task error (shorthand for the most
     /// common single-fault plan).
     pub fn with_o_task_fault(self, task: usize, on_attempt: u32) -> Self {
@@ -144,6 +189,11 @@ mod tests {
             .validate()
             .is_err());
         assert!(JobConfig::new(1).with_memory_budget(0).validate().is_err());
+        assert!(JobConfig::new(1)
+            .with_mailbox_capacity(0)
+            .validate()
+            .is_err());
+        assert!(JobConfig::new(1).with_send_window(0).validate().is_err());
         // An invalid fault plan makes the whole config invalid.
         let plan = FaultPlan::new(0).straggler(0, 0, FaultPlan::MAX_STRAGGLER_MS + 1);
         assert!(JobConfig::new(1).with_faults(plan).validate().is_err());

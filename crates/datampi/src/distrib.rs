@@ -1,0 +1,375 @@
+//! Multi-process execution: the worker and coordinator halves of
+//! `dmpirun`.
+//!
+//! The launcher model is deliberately minimal — `mpirun` on localhost:
+//!
+//! 1. the **coordinator** (the `dmpirun` parent process) binds a
+//!    rendezvous listener and spawns one worker process per rank with
+//!    `DMPI_RANK` / `DMPI_RANKS` / `DMPI_COORD` in the environment;
+//! 2. each **worker** binds its own data listener on an ephemeral port,
+//!    dials the coordinator, and registers `rank <r> <port>`;
+//! 3. once every rank has registered, the coordinator broadcasts the
+//!    complete rank table (`peers <addr0> <addr1> …`), and every worker
+//!    builds the full TCP mesh with
+//!    [`establish_endpoint`](crate::transport::establish_endpoint) —
+//!    exactly the fabric the threaded runtime uses for
+//!    [`Backend::Tcp`](crate::transport::Backend), so both surfaces run
+//!    the same wire code;
+//! 4. workers run the job ([`run_worker`]): O tasks are assigned
+//!    statically (`task % ranks == rank` — every process derives the
+//!    same schedule with no further coordination), pairs move over the
+//!    mesh, and the rank's A partition is grouped and reduced;
+//! 5. each worker reports a result line back over its rendezvous
+//!    connection; the coordinator aggregates [`JobStats`] across ranks.
+//!
+//! A worker that dies mid-job closes its sockets before sending its
+//! [`Frame::Eof`]; peers surface that as a structured
+//! [`FaultKind::RankDeath`](dmpi_common::FaultKind) fault (see
+//! `transport::tcp`), their jobs fail cleanly, and the coordinator sees
+//! both the missing result line and the nonzero exit status.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
+
+use bytes::Bytes;
+
+use dmpi_common::kv::RecordBatch;
+use dmpi_common::{Error, FaultCause, FaultKind, Result};
+
+use crate::buffer::KvBuffer;
+use crate::comm::Frame;
+use crate::config::JobConfig;
+use crate::runtime::{ingest_partition, JobStats};
+use crate::task::{group_hashed, group_sorted, BatchCollector, Collector, GroupedValues};
+use crate::transport::{establish_endpoint, TcpOptions, WireStats};
+
+/// Environment variable carrying a worker's rank.
+pub const ENV_RANK: &str = "DMPI_RANK";
+/// Environment variable carrying the total rank count.
+pub const ENV_RANKS: &str = "DMPI_RANKS";
+/// Environment variable carrying the coordinator's rendezvous address.
+pub const ENV_COORD: &str = "DMPI_COORD";
+
+/// How long rendezvous reads may block before the launcher gives up on a
+/// worker (or a worker on the launcher).
+pub const RENDEZVOUS_TIMEOUT: Duration = Duration::from_secs(60);
+
+fn rendezvous_fault(detail: String) -> Error {
+    Error::fault(FaultCause::new(FaultKind::Transport, detail))
+}
+
+/// One rank's result of a multi-process job.
+#[derive(Debug)]
+pub struct WorkerReport {
+    /// The rank's A-partition output.
+    pub partition: RecordBatch,
+    /// The rank's share of the job counters.
+    pub stats: JobStats,
+    /// Encoded bytes this rank's sockets actually carried.
+    pub wire: WireStats,
+}
+
+/// Worker side of the rendezvous: dials the coordinator, registers this
+/// rank's data `port`, and blocks until the full rank table arrives.
+/// Returns the (still-open) coordinator stream — the worker later writes
+/// its result line on it — and the peer data addresses indexed by rank.
+pub fn register_with_coordinator(
+    coord: SocketAddr,
+    rank: usize,
+    port: u16,
+) -> Result<(TcpStream, Vec<SocketAddr>)> {
+    let stream = TcpStream::connect(coord)
+        .map_err(|e| rendezvous_fault(format!("rank {rank}: dial coordinator {coord}: {e}")))?;
+    stream
+        .set_read_timeout(Some(RENDEZVOUS_TIMEOUT))
+        .map_err(|e| rendezvous_fault(format!("rank {rank}: set rendezvous timeout: {e}")))?;
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| rendezvous_fault(format!("rank {rank}: clone rendezvous stream: {e}")))?;
+    writeln!(writer, "rank {rank} {port}")
+        .map_err(|e| rendezvous_fault(format!("rank {rank}: register with coordinator: {e}")))?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| rendezvous_fault(format!("rank {rank}: read rank table: {e}")))?;
+    let peers = parse_peer_line(&line)
+        .ok_or_else(|| rendezvous_fault(format!("rank {rank}: bad rank table line {line:?}")))?;
+    Ok((reader.into_inner(), peers))
+}
+
+/// Coordinator side of the rendezvous: accepts one connection per rank,
+/// reads each worker's `rank <r> <port>` registration, then broadcasts
+/// the complete rank table to all of them. Returns the still-open worker
+/// streams indexed by rank (the workers' result lines arrive on these).
+pub fn coordinate_rank_table(listener: &TcpListener, ranks: usize) -> Result<Vec<TcpStream>> {
+    let mut streams: Vec<Option<TcpStream>> = (0..ranks).map(|_| None).collect();
+    let mut ports = vec![0u16; ranks];
+    for _ in 0..ranks {
+        let (stream, _) = listener
+            .accept()
+            .map_err(|e| rendezvous_fault(format!("coordinator accept failed: {e}")))?;
+        stream
+            .set_read_timeout(Some(RENDEZVOUS_TIMEOUT))
+            .map_err(|e| rendezvous_fault(format!("coordinator set timeout: {e}")))?;
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| rendezvous_fault(format!("coordinator read registration: {e}")))?;
+        let (rank, port) = parse_registration(&line)
+            .ok_or_else(|| rendezvous_fault(format!("bad registration line {line:?}")))?;
+        if rank >= ranks || streams[rank].is_some() {
+            return Err(rendezvous_fault(format!(
+                "registration for unexpected rank {rank} (of {ranks})"
+            )));
+        }
+        ports[rank] = port;
+        streams[rank] = Some(reader.into_inner());
+    }
+    let table = ports
+        .iter()
+        .map(|p| format!("127.0.0.1:{p}"))
+        .collect::<Vec<_>>()
+        .join(" ");
+    let mut out = Vec::with_capacity(ranks);
+    for (rank, stream) in streams.into_iter().enumerate() {
+        let mut stream = stream.expect("every slot filled above");
+        writeln!(stream, "peers {table}")
+            .map_err(|e| rendezvous_fault(format!("broadcast table to rank {rank}: {e}")))?;
+        out.push(stream);
+    }
+    Ok(out)
+}
+
+fn parse_registration(line: &str) -> Option<(usize, u16)> {
+    let mut it = line.split_whitespace();
+    if it.next()? != "rank" {
+        return None;
+    }
+    let rank = it.next()?.parse().ok()?;
+    let port = it.next()?.parse().ok()?;
+    Some((rank, port))
+}
+
+fn parse_peer_line(line: &str) -> Option<Vec<SocketAddr>> {
+    let mut it = line.split_whitespace();
+    if it.next()? != "peers" {
+        return None;
+    }
+    let peers: Option<Vec<SocketAddr>> = it.map(|a| a.parse().ok()).collect();
+    let peers = peers?;
+    if peers.is_empty() {
+        return None;
+    }
+    Some(peers)
+}
+
+struct EmitAdapter<'a> {
+    buffer: &'a mut KvBuffer,
+}
+
+impl Collector for EmitAdapter<'_> {
+    fn collect(&mut self, key: &[u8], value: &[u8]) {
+        self.buffer.emit_kv(key, value);
+    }
+}
+
+/// Runs one rank of a multi-process job over an already-distributed rank
+/// table: builds this rank's mesh endpoint, executes its statically
+/// assigned O tasks (`task % ranks == rank`) while a dedicated ingest
+/// thread drains the A partition concurrently, then groups and reduces.
+///
+/// `inputs` is the *full* task table — every worker derives it
+/// deterministically (same seed), so no split data crosses the
+/// rendezvous. Fault injection plans in `config` are ignored here: a
+/// worker process *is* the fault domain, and `dmpirun` kills whole
+/// processes instead.
+pub fn run_worker<O, A>(
+    config: &JobConfig,
+    rank: usize,
+    listener: TcpListener,
+    peers: &[SocketAddr],
+    inputs: &[Bytes],
+    o_fn: O,
+    a_fn: A,
+) -> Result<WorkerReport>
+where
+    O: Fn(usize, &[u8], &mut dyn Collector) + Send + Sync,
+    A: Fn(&GroupedValues, &mut dyn Collector) + Send + Sync,
+{
+    config.validate()?;
+    let ranks = peers.len();
+    if rank >= ranks {
+        return Err(Error::Config(format!("rank {rank} out of 0..{ranks}")));
+    }
+    let opts = TcpOptions::from_config(config);
+    let mut endpoint = establish_endpoint(rank, listener, peers, &opts)?;
+    let senders = endpoint.senders();
+    let receiver = endpoint.take_receiver();
+    let mut stats = JobStats::default();
+
+    let ingest = std::thread::scope(|scope| {
+        let budget = config.memory_budget;
+        let ingest = scope.spawn(move || ingest_partition(receiver, ranks, budget, None, rank, 0));
+
+        for task in (rank..inputs.len()).step_by(ranks.max(1)) {
+            let mut buffer = KvBuffer::new(
+                senders.clone(),
+                rank,
+                task,
+                config.flush_threshold,
+                config.pipelined,
+            );
+            {
+                let mut adapter = EmitAdapter {
+                    buffer: &mut buffer,
+                };
+                o_fn(task, &inputs[task], &mut adapter);
+            }
+            let b = buffer.finish();
+            stats.o_tasks_run += 1;
+            stats.records_emitted += b.records;
+            stats.bytes_emitted += b.bytes;
+            stats.frames += b.frames;
+            stats.early_flushes += b.early_flushes;
+        }
+        for s in senders.iter() {
+            s.send(Frame::Eof { from_rank: rank });
+        }
+        ingest.join().expect("ingest thread panicked").0
+    });
+
+    stats.corrupt_frames += ingest.corrupt_frames;
+    let store = ingest.store;
+    let st = store.stats();
+    stats.spills += st.spills;
+    stats.spilled_bytes += st.spilled_bytes;
+
+    // Teardown before any error propagates, so writer/reader threads
+    // never outlive the report.
+    let finish = |endpoint: crate::transport::Endpoint| {
+        drop(senders);
+        endpoint.close()
+    };
+
+    if let Some(e) = ingest.first_error {
+        finish(endpoint);
+        return Err(e);
+    }
+
+    let mut collector = BatchCollector::default();
+    match store.into_records(config.sorted_grouping) {
+        Ok(records) => {
+            let groups = if config.sorted_grouping {
+                group_sorted(records)
+            } else {
+                group_hashed(records)
+            };
+            stats.groups += groups.len() as u64;
+            for g in &groups {
+                a_fn(g, &mut collector);
+            }
+        }
+        Err(e) => {
+            finish(endpoint);
+            return Err(Error::fault(
+                FaultCause::new(
+                    FaultKind::CorruptFrame,
+                    format!("A-side store decode failed: {e}"),
+                )
+                .rank(rank),
+            ));
+        }
+    }
+    let wire = finish(endpoint);
+    stats.attempts = 1;
+    Ok(WorkerReport {
+        partition: collector.batch,
+        stats,
+        wire,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::run_job;
+    use dmpi_common::ser::Writable;
+    use std::thread;
+
+    fn wc_o(_task: usize, split: &[u8], out: &mut dyn Collector) {
+        for word in split.split(|&b| b == b' ').filter(|w| !w.is_empty()) {
+            out.collect(word, &1u64.to_bytes());
+        }
+    }
+
+    fn wc_a(group: &GroupedValues, out: &mut dyn Collector) {
+        let total: u64 = group
+            .values
+            .iter()
+            .map(|v| u64::from_bytes(v).unwrap())
+            .sum();
+        out.collect(&group.key, &total.to_bytes());
+    }
+
+    /// The full launcher protocol, with worker *threads* standing in for
+    /// worker processes: rendezvous, mesh establishment, static O
+    /// scheduling, and result equality against the in-proc runtime.
+    #[test]
+    fn protocol_round_trip_matches_in_proc_output() {
+        let ranks = 3;
+        let inputs: Vec<Bytes> = (0..7)
+            .map(|i| Bytes::from(format!("w{} w{} shared", i, (i * 3) % 5)))
+            .collect();
+        let config = JobConfig::new(ranks);
+
+        let coord = TcpListener::bind("127.0.0.1:0").unwrap();
+        let coord_addr = coord.local_addr().unwrap();
+
+        let workers: Vec<_> = (0..ranks)
+            .map(|rank| {
+                let inputs = inputs.clone();
+                let config = config.clone();
+                thread::spawn(move || {
+                    let data = TcpListener::bind("127.0.0.1:0").unwrap();
+                    let port = data.local_addr().unwrap().port();
+                    let (_stream, peers) =
+                        register_with_coordinator(coord_addr, rank, port).unwrap();
+                    run_worker(&config, rank, data, &peers, &inputs, wc_o, wc_a).unwrap()
+                })
+            })
+            .collect();
+
+        let streams = coordinate_rank_table(&coord, ranks).unwrap();
+        assert_eq!(streams.len(), ranks);
+        let mut reports: Vec<WorkerReport> =
+            workers.into_iter().map(|w| w.join().unwrap()).collect();
+
+        let baseline = run_job(&config, inputs, wc_o, wc_a, None).unwrap();
+        let total_tasks: u64 = reports.iter().map(|r| r.stats.o_tasks_run).sum();
+        assert_eq!(total_tasks, 7);
+        for (rank, report) in reports.iter_mut().enumerate() {
+            assert_eq!(
+                report.partition.records(),
+                baseline.partitions[rank].records(),
+                "partition {rank} must match the in-proc runtime"
+            );
+            assert!(report.wire.bytes_sent > 0);
+        }
+        let records: u64 = reports.iter().map(|r| r.stats.records_emitted).sum();
+        assert_eq!(records, baseline.stats.records_emitted);
+    }
+
+    #[test]
+    fn registration_lines_parse_and_reject_garbage() {
+        assert_eq!(parse_registration("rank 2 9000\n"), Some((2, 9000)));
+        assert!(parse_registration("rang 2 9000").is_none());
+        assert!(parse_registration("rank x 9000").is_none());
+        let peers = parse_peer_line("peers 127.0.0.1:1 127.0.0.1:2\n").unwrap();
+        assert_eq!(peers.len(), 2);
+        assert!(parse_peer_line("peers").is_none());
+        assert!(parse_peer_line("ports 127.0.0.1:1").is_none());
+    }
+}

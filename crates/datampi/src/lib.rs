@@ -36,8 +36,10 @@
 //! Two execution surfaces share the same job abstraction:
 //!
 //! * a **real multi-threaded runtime** ([`runtime`]) where ranks are
-//!   threads connected by channels — data really moves, workloads really
-//!   compute (unit of the test suite and the MB-scale benches);
+//!   threads connected by a pluggable [`transport`] — the in-proc
+//!   channel fabric or a real TCP mesh (also the basis of the
+//!   multi-process `dmpirun` launcher) — data really moves, workloads
+//!   really compute (unit of the test suite and the MB-scale benches);
 //! * a **plan compiler** ([`plan`]) that translates the same job into
 //!   `dmpi-dcsim` activities for the paper-scale experiments.
 
@@ -45,6 +47,7 @@ pub mod buffer;
 pub mod checkpoint;
 pub mod comm;
 pub mod config;
+pub mod distrib;
 pub mod fault;
 pub mod iteration;
 pub mod observe;
@@ -54,6 +57,7 @@ pub mod store;
 pub mod streaming;
 pub mod supervisor;
 pub mod task;
+pub mod transport;
 
 pub use config::JobConfig;
 pub use fault::FaultPlan;
@@ -61,3 +65,6 @@ pub use observe::{Observer, PhaseTotals, Profiler, SpanKind, Trace};
 pub use runtime::{run_job, JobOutput, JobStats};
 pub use supervisor::{supervise_job, RetryPolicy};
 pub use task::{Collector, GroupedValues};
+pub use transport::{
+    Backend, Endpoint, FrameReceiver, FrameSender, TcpOptions, Transport, WireStats,
+};

@@ -30,6 +30,11 @@ pub struct MetricsRegistry {
     retries: AtomicU64,
     /// O tasks replayed from checkpoint instead of re-running.
     recovered_tasks: AtomicU64,
+    /// Encoded bytes written to transport sockets (header + payload as
+    /// seen on the wire). Zero on the in-proc backend.
+    wire_bytes_sent: AtomicU64,
+    /// Encoded bytes decoded from transport sockets. Zero in-proc.
+    wire_bytes_received: AtomicU64,
     /// `sent[from][to]` payload bytes, sized by `begin_job`.
     sent: RwLock<Vec<Arc<Vec<AtomicU64>>>>,
     /// `recv[at][from]` payload bytes, sized by `begin_job`.
@@ -60,6 +65,10 @@ pub struct MetricsSnapshot {
     pub retries: u64,
     /// O tasks replayed from checkpoint.
     pub recovered_tasks: u64,
+    /// Encoded bytes written to transport sockets (zero in-proc).
+    pub wire_bytes_sent: u64,
+    /// Encoded bytes decoded from transport sockets (zero in-proc).
+    pub wire_bytes_received: u64,
 }
 
 impl MetricsRegistry {
@@ -150,6 +159,14 @@ impl MetricsRegistry {
         self.recovered_tasks.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records one endpoint's wire-level traffic (encoded socket bytes,
+    /// reported by [`Endpoint::close`](crate::transport::Endpoint)).
+    pub fn add_wire_bytes(&self, sent: u64, received: u64) {
+        self.wire_bytes_sent.fetch_add(sent, Ordering::Relaxed);
+        self.wire_bytes_received
+            .fetch_add(received, Ordering::Relaxed);
+    }
+
     /// Total payload bytes sent, summed over the peer matrix.
     pub fn total_bytes_sent(&self) -> u64 {
         Self::matrix_total(&self.sent)
@@ -203,6 +220,8 @@ impl MetricsRegistry {
             buffer_hwm_bytes: self.buffer_hwm_bytes.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
             recovered_tasks: self.recovered_tasks.load(Ordering::Relaxed),
+            wire_bytes_sent: self.wire_bytes_sent.load(Ordering::Relaxed),
+            wire_bytes_received: self.wire_bytes_received.load(Ordering::Relaxed),
         }
     }
 }

@@ -6,10 +6,19 @@
 //!    queue (the library's dynamic scheduling), run the user's O function,
 //!    and emit key-value pairs through a partitioned [`KvBuffer`]. Buffers
 //!    flush asynchronously while the task computes (pipelining).
-//! 2. **A phase** — each rank owns one A partition: it drains its mailbox
-//!    into a [`PartitionStore`] (in-memory, spilling under pressure), groups
-//!    the records by key (sorted in MapReduce mode, hashed in Common mode),
-//!    and runs the user's A function per group.
+//! 2. **A phase** — each rank owns one A partition: a dedicated ingest
+//!    thread drains its mailbox into a [`PartitionStore`] (in-memory,
+//!    spilling under pressure) *concurrently with the O phase* — required
+//!    for deadlock freedom now that mailboxes are bounded (see `comm.rs`)
+//!    and for overlap on the TCP backend. Once every peer's EOF has
+//!    arrived the rank groups the records by key (sorted in MapReduce
+//!    mode, hashed in Common mode) and runs the user's A function per
+//!    group.
+//!
+//! Frames move over whichever [`crate::transport`] backend the config
+//! selects: the in-proc channel fabric or a real TCP mesh. The runtime
+//! only ever sees [`FrameSender`]s and a [`FrameReceiver`], so both
+//! backends execute exactly the same code path.
 //!
 //! Failures: an O task error, rank death, or corrupt frame marks the job
 //! failed; every surviving rank still sends its EOFs so the job tears down
@@ -32,11 +41,12 @@ use dmpi_common::{Error, FaultCause, FaultKind, Result};
 
 use crate::buffer::KvBuffer;
 use crate::checkpoint::CheckpointStore;
-use crate::comm::{Frame, Interconnect};
+use crate::comm::Frame;
 use crate::config::JobConfig;
-use crate::observe::{PhaseTotals, SpanKind, Tracer};
+use crate::observe::{Observer, PhaseTotals, SpanKind, Tracer};
 use crate::store::PartitionStore;
 use crate::task::{group_hashed, group_sorted, BatchCollector, Collector, GroupedValues};
+use crate::transport::{self, FrameReceiver};
 
 /// Aggregate counters of a finished job.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -236,10 +246,10 @@ where
         obs.begin_job(ranks);
     }
     let attempt_start = config.observer.as_ref().map(|o| o.now_micros());
-    let mut net = Interconnect::new(ranks);
-    let senders = net.senders();
-    let receivers: Vec<_> = (0..ranks).map(|r| net.take_receiver(r)).collect();
-    net.close();
+    let endpoints = match transport::for_config(config).open() {
+        Ok(endpoints) => endpoints,
+        Err(e) => return Err(Box::new((e, JobStats::default()))),
+    };
 
     let queue: Mutex<VecDeque<usize>> = Mutex::new((0..inputs.len()).collect());
     let failed = AtomicBool::new(false);
@@ -255,18 +265,19 @@ where
     let queue = &queue;
     let failed = &failed;
     let fail_with = &fail_with;
-    let senders = &senders;
 
     let mut rank_results: Vec<Option<(RecordBatch, JobStats)>> = Vec::new();
     rank_results.resize_with(ranks, || None);
 
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(ranks);
-        for (rank, receiver) in receivers.into_iter().enumerate() {
+        for (rank, mut endpoint) in endpoints.into_iter().enumerate() {
             let checkpoint = checkpoint.cloned();
             let handle = scope.spawn(move || -> Result<(RecordBatch, JobStats)> {
                 let mut stats = JobStats::default();
                 let plan = config.faults.as_ref();
+                let senders = endpoint.senders();
+                let receiver = endpoint.take_receiver();
                 // Thread-local span buffer: recording is lock-free; the
                 // buffer merges into the job trace when this rank exits.
                 let tracer = config
@@ -294,192 +305,166 @@ where
                     }
                 }
 
-                // ---- O phase: dynamic pulls from the shared queue ----
-                loop {
-                    if failed.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let task = queue.lock().expect("queue poisoned").pop_front();
-                    let Some(task) = task else { break };
+                // The A-side ingest runs on its own thread from job start,
+                // concurrently with the O phase below. With bounded
+                // mailboxes this concurrency is what keeps the job
+                // deadlock-free (see the argument in `comm.rs`); on TCP it
+                // also drains the sockets while O computes. The ingest
+                // thread builds its own tracer internally (tracers are
+                // thread-local by design).
+                let ingest = std::thread::scope(|ingest_scope| {
+                    let observer = config.observer.as_ref();
+                    let budget = config.memory_budget;
+                    let ingest = ingest_scope.spawn(move || {
+                        ingest_partition(receiver, ranks, budget, observer, rank, attempt)
+                    });
 
-                    // Checkpoint recovery path: replay without user code.
-                    if let Some(cp) = checkpoint.as_ref() {
-                        if cp.is_complete(task) {
-                            for (partition, payload) in cp.recover_frames(task) {
+                    // ---- O phase: dynamic pulls from the shared queue ----
+                    loop {
+                        if failed.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let task = queue.lock().expect("queue poisoned").pop_front();
+                        let Some(task) = task else { break };
+
+                        // Checkpoint recovery path: replay without user code.
+                        if let Some(cp) = checkpoint.as_ref() {
+                            if cp.is_complete(task) {
+                                for (partition, payload) in cp.recover_frames(task) {
+                                    if let Some(t) = &tracer {
+                                        t.registry().add_frame_sent(
+                                            rank,
+                                            partition,
+                                            payload.len() as u64,
+                                        );
+                                    }
+                                    let _ =
+                                        senders[partition].send(Frame::data(rank, task, payload));
+                                }
                                 if let Some(t) = &tracer {
-                                    t.registry().add_frame_sent(
-                                        rank,
-                                        partition,
-                                        payload.len() as u64,
+                                    t.for_task(task as u64).instant(SpanKind::Recovered, vec![]);
+                                    t.registry().add_recovered_tasks(1);
+                                }
+                                stats.o_tasks_recovered += 1;
+                                continue;
+                            }
+                        }
+
+                        // Fresh execution path.
+                        let task_start = tracer.as_ref().map(Tracer::start);
+                        let mut buffer = KvBuffer::new(
+                            senders.clone(),
+                            rank,
+                            task,
+                            config.flush_threshold,
+                            config.pipelined,
+                        );
+                        if let Some(cp) = checkpoint.as_ref() {
+                            buffer.set_tee(cp.clone());
+                        }
+                        if let Some(t) = &tracer {
+                            buffer.set_tracer(t.for_task(task as u64));
+                        }
+
+                        if let Some(plan) = plan {
+                            // Scheduled O-task error?
+                            if plan.o_task_error(task, attempt) {
+                                if let Some(cp) = checkpoint.as_ref() {
+                                    cp.discard_incomplete(task);
+                                }
+                                if let Some(t) = &tracer {
+                                    t.for_task(task as u64).instant(
+                                        SpanKind::Fault,
+                                        vec![("cause", "scheduled O-task failure".into())],
                                     );
                                 }
-                                let _ = senders[partition].send(Frame::data(rank, task, payload));
+                                fail_with(Error::fault(
+                                    FaultCause::new(
+                                        FaultKind::InjectedError,
+                                        "scheduled O-task failure",
+                                    )
+                                    .task(task)
+                                    .rank(rank)
+                                    .attempt(attempt),
+                                ));
+                                break;
                             }
-                            if let Some(t) = &tracer {
-                                t.for_task(task as u64).instant(SpanKind::Recovered, vec![]);
-                                t.registry().add_recovered_tasks(1);
+                            // Scheduled straggler delay?
+                            if let Some(delay) = plan.straggler_delay(task, attempt) {
+                                std::thread::sleep(delay);
+                                stats.straggler_delays += 1;
                             }
-                            stats.o_tasks_recovered += 1;
-                            continue;
+                            // Scheduled wire corruption?
+                            if let Some(corruption) = plan.corruption(task, attempt) {
+                                buffer.set_corruption(corruption);
+                            }
                         }
-                    }
 
-                    // Fresh execution path.
-                    let task_start = tracer.as_ref().map(Tracer::start);
-                    let mut buffer = KvBuffer::new(
-                        senders.clone(),
-                        rank,
-                        task,
-                        config.flush_threshold,
-                        config.pipelined,
-                    );
-                    if let Some(cp) = checkpoint.as_ref() {
-                        buffer.set_tee(cp.clone());
-                    }
-                    if let Some(t) = &tracer {
-                        buffer.set_tracer(t.for_task(task as u64));
-                    }
-
-                    if let Some(plan) = plan {
-                        // Scheduled O-task error?
-                        if plan.o_task_error(task, attempt) {
+                        // User code may panic; convert that into a clean job
+                        // fault so peer ranks still receive our EOFs instead of
+                        // deadlocking in their A phase.
+                        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            let mut adapter = EmitAdapter {
+                                buffer: &mut buffer,
+                            };
+                            o_fn(task, &inputs[task], &mut adapter);
+                        }));
+                        if run.is_err() {
+                            // Whatever the half-finished task already flushed
+                            // is pure waste — it can never be recovered.
+                            stats.wasted_bytes += buffer.stats().bytes;
                             if let Some(cp) = checkpoint.as_ref() {
                                 cp.discard_incomplete(task);
                             }
                             if let Some(t) = &tracer {
                                 t.for_task(task as u64).instant(
                                     SpanKind::Fault,
-                                    vec![("cause", "scheduled O-task failure".into())],
+                                    vec![("cause", "O task user code panicked".into())],
                                 );
                             }
                             fail_with(Error::fault(
-                                FaultCause::new(
-                                    FaultKind::InjectedError,
-                                    "scheduled O-task failure",
-                                )
-                                .task(task)
-                                .rank(rank)
-                                .attempt(attempt),
+                                FaultCause::new(FaultKind::TaskPanic, "O task user code panicked")
+                                    .task(task)
+                                    .rank(rank)
+                                    .attempt(attempt),
                             ));
                             break;
                         }
-                        // Scheduled straggler delay?
-                        if let Some(delay) = plan.straggler_delay(task, attempt) {
-                            std::thread::sleep(delay);
-                            stats.straggler_delays += 1;
-                        }
-                        // Scheduled wire corruption?
-                        if let Some(corruption) = plan.corruption(task, attempt) {
-                            buffer.set_corruption(corruption);
-                        }
-                    }
-
-                    // User code may panic; convert that into a clean job
-                    // fault so peer ranks still receive our EOFs instead of
-                    // deadlocking in their A phase.
-                    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        let mut adapter = EmitAdapter {
-                            buffer: &mut buffer,
-                        };
-                        o_fn(task, &inputs[task], &mut adapter);
-                    }));
-                    if run.is_err() {
-                        // Whatever the half-finished task already flushed
-                        // is pure waste — it can never be recovered.
-                        stats.wasted_bytes += buffer.stats().bytes;
-                        if let Some(cp) = checkpoint.as_ref() {
-                            cp.discard_incomplete(task);
-                        }
+                        let b = buffer.finish();
                         if let Some(t) = &tracer {
-                            t.for_task(task as u64).instant(
-                                SpanKind::Fault,
-                                vec![("cause", "O task user code panicked".into())],
+                            t.for_task(task as u64).span(
+                                SpanKind::OTask,
+                                task_start.unwrap_or(0),
+                                vec![("records", b.records.to_string())],
                             );
                         }
-                        fail_with(Error::fault(
-                            FaultCause::new(FaultKind::TaskPanic, "O task user code panicked")
-                                .task(task)
-                                .rank(rank)
-                                .attempt(attempt),
-                        ));
-                        break;
-                    }
-                    let b = buffer.finish();
-                    if let Some(t) = &tracer {
-                        t.for_task(task as u64).span(
-                            SpanKind::OTask,
-                            task_start.unwrap_or(0),
-                            vec![("records", b.records.to_string())],
-                        );
-                    }
-                    stats.o_tasks_run += 1;
-                    stats.records_emitted += b.records;
-                    stats.bytes_emitted += b.bytes;
-                    stats.frames += b.frames;
-                    stats.early_flushes += b.early_flushes;
-                    if let Some(cp) = checkpoint.as_ref() {
-                        cp.mark_complete(task);
-                    }
-                }
-
-                // Close the stream to every partition exactly once.
-                for s in senders.iter() {
-                    let _ = s.send(Frame::Eof { from_rank: rank });
-                }
-
-                // ---- A phase: ingest own partition, group, reduce ----
-                let mut store = PartitionStore::new(config.memory_budget);
-                if let Some(t) = &tracer {
-                    store.set_tracer(t.clone());
-                }
-                let recv_start = tracer.as_ref().map(Tracer::start);
-                let mut eofs = 0usize;
-                while eofs < ranks {
-                    match receiver.recv() {
-                        Ok(frame @ Frame::Data { .. }) => {
-                            // Integrity gate: a corrupt frame fails the
-                            // attempt (triggering a supervised retry)
-                            // instead of flowing into the A store.
-                            if let Err(e) = frame.verify() {
-                                stats.corrupt_frames += 1;
-                                if let Some(t) = &tracer {
-                                    t.instant(
-                                        SpanKind::Fault,
-                                        vec![("cause", "corrupt frame".into())],
-                                    );
-                                }
-                                fail_with(e);
-                                continue;
-                            }
-                            if let Some(t) = &tracer {
-                                t.registry().add_bytes_received(
-                                    rank,
-                                    frame.from_rank(),
-                                    frame.payload_len() as u64,
-                                );
-                            }
-                            if let Frame::Data { payload, .. } = frame {
-                                store.ingest(payload);
-                            }
-                        }
-                        Ok(Frame::Eof { .. }) => eofs += 1,
-                        Err(_) => {
-                            // All senders dropped: only possible after every
-                            // rank sent its EOFs or panicked; treat as end.
-                            break;
+                        stats.o_tasks_run += 1;
+                        stats.records_emitted += b.records;
+                        stats.bytes_emitted += b.bytes;
+                        stats.frames += b.frames;
+                        stats.early_flushes += b.early_flushes;
+                        if let Some(cp) = checkpoint.as_ref() {
+                            cp.mark_complete(task);
                         }
                     }
+
+                    // Close the stream to every partition exactly once.
+                    for s in senders.iter() {
+                        s.send(Frame::Eof { from_rank: rank });
+                    }
+
+                    ingest.join().expect("ingest thread panicked").0
+                });
+
+                // ---- A phase: group and reduce the ingested partition ----
+                stats.corrupt_frames += ingest.corrupt_frames;
+                if let Some(e) = ingest.first_error {
+                    fail_with(e);
                 }
+                let store = ingest.store;
                 let st = store.stats();
                 stats.spills += st.spills;
                 stats.spilled_bytes += st.spilled_bytes;
-                if let Some(t) = &tracer {
-                    t.span(
-                        SpanKind::Recv,
-                        recv_start.unwrap_or(0),
-                        vec![("frames", st.frames.to_string())],
-                    );
-                }
 
                 let mut collector = BatchCollector::default();
                 let mut group_result: Result<()> = Ok(());
@@ -511,7 +496,20 @@ where
                                 t.span(SpanKind::ACompute, a_start.unwrap_or(0), vec![]);
                             }
                         }
-                        Err(e) => group_result = Err(e),
+                        Err(e) => {
+                            // An undecodable A-store record is corruption
+                            // that slipped past the per-frame CRC gate;
+                            // keep the provenance that gate would have
+                            // attached instead of dropping it.
+                            group_result = Err(Error::fault(
+                                FaultCause::new(
+                                    FaultKind::CorruptFrame,
+                                    format!("A-side store decode failed: {e}"),
+                                )
+                                .rank(rank)
+                                .attempt(attempt),
+                            ));
+                        }
                     }
                 }
                 // Merge this rank's span buffer into the job trace before
@@ -519,6 +517,17 @@ where
                 // the drained spans' phase totals ride back on the stats.
                 if let (Some(obs), Some(t)) = (config.observer.as_ref(), &tracer) {
                     stats.phase_us = obs.absorb(t);
+                }
+                stats.phase_us.merge(&ingest.phase);
+                // Tear the endpoint down: drop every sender clone first so
+                // TCP writer threads see disconnect, then join them so all
+                // queued frames reach the sockets; record the wire-level
+                // traffic the sockets actually carried.
+                drop(senders);
+                let wire = endpoint.close();
+                if let Some(t) = &tracer {
+                    t.registry()
+                        .add_wire_bytes(wire.bytes_sent, wire.bytes_received);
                 }
                 group_result?;
                 Ok((collector.batch, stats))
@@ -574,6 +583,128 @@ where
     }
     stats.attempts = 1;
     Ok(JobOutput { partitions, stats })
+}
+
+/// Moves an [`IngestOutcome`] out of its ingest thread.
+///
+/// `IngestOutcome` is structurally `!Send` because `PartitionStore` can
+/// hold a thread-local `Tracer` (`Rc`-based). [`ingest_partition`]
+/// upholds the invariant that makes the transfer sound: it clears the
+/// store's tracer (and drops its own) before wrapping, so the value that
+/// actually crosses the thread boundary contains no `Rc` at all.
+pub(crate) struct IngestHandoff(pub IngestOutcome);
+
+// SAFETY: constructed only by `ingest_partition`, after `clear_tracer`
+// removed the sole non-Send field's value; every other field is Send.
+unsafe impl Send for IngestHandoff {}
+
+/// What one partition's ingest thread produced.
+pub(crate) struct IngestOutcome {
+    /// The filled A-side store (possibly spilled).
+    pub store: PartitionStore,
+    /// Data frames rejected by the CRC gate.
+    pub corrupt_frames: u64,
+    /// First integrity or transport fault seen (later ones are usually
+    /// knock-on effects and are dropped, matching the runtime's
+    /// first-failure-wins policy).
+    pub first_error: Option<Error>,
+    /// Phase totals absorbed from the ingest thread's own tracer.
+    pub phase: PhaseTotals,
+}
+
+/// Drains one rank's mailbox until `expected_eofs` EOF frames arrived
+/// (one per sending rank), the mailbox disconnected, or a transport
+/// fault ended the stream. Runs on a dedicated thread, concurrently with
+/// the rank's O phase — see the deadlock-freedom argument in `comm.rs`.
+///
+/// Every data frame passes the [`Frame::verify`] CRC gate before it is
+/// ingested; a corrupt frame is counted, reported as the thread's first
+/// error (with the producing rank and O task in the cause), and skipped,
+/// so a supervised retry sees the fault instead of silently wrong
+/// output. Used by both the threaded runtime and `dmpirun` workers.
+pub(crate) fn ingest_partition(
+    receiver: FrameReceiver,
+    expected_eofs: usize,
+    memory_budget: usize,
+    observer: Option<&Observer>,
+    rank: usize,
+    attempt: u32,
+) -> IngestHandoff {
+    // The tracer must be built on this thread (tracers are thread-local
+    // by design); its spans merge into the shared trace on exit.
+    let tracer = observer.map(|o| o.rank_tracer(rank as u32, attempt));
+    let mut store = PartitionStore::new(memory_budget);
+    if let Some(t) = &tracer {
+        store.set_tracer(t.clone());
+    }
+    let recv_start = tracer.as_ref().map(Tracer::start);
+    let mut corrupt_frames = 0u64;
+    let mut first_error: Option<Error> = None;
+    let mut eofs = 0usize;
+    while eofs < expected_eofs {
+        match receiver.recv() {
+            Ok(Some(frame @ Frame::Data { .. })) => {
+                // Integrity gate: a corrupt frame fails the attempt
+                // (triggering a supervised retry) instead of flowing
+                // into the A store.
+                if let Err(e) = frame.verify() {
+                    corrupt_frames += 1;
+                    if let Some(t) = &tracer {
+                        t.instant(SpanKind::Fault, vec![("cause", "corrupt frame".into())]);
+                    }
+                    first_error.get_or_insert(e);
+                    continue;
+                }
+                if let Some(t) = &tracer {
+                    t.registry().add_bytes_received(
+                        rank,
+                        frame.from_rank(),
+                        frame.payload_len() as u64,
+                    );
+                }
+                if let Frame::Data { payload, .. } = frame {
+                    store.ingest(payload);
+                }
+            }
+            Ok(Some(Frame::Eof { .. })) => eofs += 1,
+            Ok(None) => {
+                // All senders dropped: only possible after every rank
+                // sent its EOFs or the job is tearing down; treat as end.
+                break;
+            }
+            Err(e) => {
+                // Transport-level fault (undecodable frame, peer died
+                // before its EOF): the stream is not trustworthy beyond
+                // this point, so stop ingesting and report.
+                if let Some(t) = &tracer {
+                    t.instant(SpanKind::Fault, vec![("cause", "transport fault".into())]);
+                }
+                first_error.get_or_insert(e);
+                break;
+            }
+        }
+    }
+    let st = store.stats();
+    if let Some(t) = &tracer {
+        t.span(
+            SpanKind::Recv,
+            recv_start.unwrap_or(0),
+            vec![("frames", st.frames.to_string())],
+        );
+    }
+    let phase = match (observer, &tracer) {
+        (Some(obs), Some(t)) => obs.absorb(t),
+        _ => PhaseTotals::default(),
+    };
+    // Shed the thread-local tracer before the store crosses back to the
+    // rank thread — the invariant IngestHandoff's Send impl relies on.
+    store.clear_tracer();
+    IngestHandoff(IngestOutcome {
+        store,
+        corrupt_frames,
+        first_error,
+        phase,
+    })
 }
 
 #[cfg(test)]

@@ -58,6 +58,13 @@ impl PartitionStore {
         self.tracer = Some(tracer);
     }
 
+    /// Detaches the tracer (tracers are thread-local; a store that
+    /// crosses threads — e.g. back from an ingest thread — must shed it
+    /// first).
+    pub fn clear_tracer(&mut self) {
+        self.tracer = None;
+    }
+
     /// Ingests one frame payload.
     pub fn ingest(&mut self, payload: Bytes) {
         self.stats.frames += 1;

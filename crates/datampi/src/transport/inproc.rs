@@ -1,0 +1,104 @@
+//! The in-process channel fabric, refactored behind [`Transport`].
+//!
+//! This is the original interconnect: every rank is a thread in this
+//! process and a [`FrameSender`] is literally the destination rank's
+//! bounded mailbox. There are no writer threads and no wire encoding,
+//! so [`Endpoint::close`] reports zero wire bytes.
+
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+use dmpi_common::Result;
+
+use crate::comm::Interconnect;
+
+use super::{Backend, Endpoint, FrameReceiver, FrameSender, Transport};
+
+/// Fabric of bounded in-memory mailboxes, one per rank.
+pub struct InProcTransport {
+    ranks: usize,
+    mailbox_capacity: usize,
+}
+
+impl InProcTransport {
+    /// Sizes the fabric for `ranks` mailboxes of `mailbox_capacity`
+    /// frames each.
+    pub fn new(ranks: usize, mailbox_capacity: usize) -> Self {
+        InProcTransport {
+            ranks,
+            mailbox_capacity,
+        }
+    }
+}
+
+impl Transport for InProcTransport {
+    fn backend(&self) -> Backend {
+        Backend::InProc
+    }
+
+    fn ranks(&self) -> usize {
+        self.ranks
+    }
+
+    fn open(&mut self) -> Result<Vec<Endpoint>> {
+        let mut net = Interconnect::with_capacity(self.ranks, self.mailbox_capacity);
+        let senders: Vec<FrameSender> = net
+            .senders()
+            .into_iter()
+            .map(FrameSender::from_channel)
+            .collect();
+        Ok((0..self.ranks)
+            .map(|rank| {
+                Endpoint::new(
+                    rank,
+                    senders.clone(),
+                    FrameReceiver::Direct(net.take_receiver(rank)),
+                    Vec::new(),
+                    Arc::new(AtomicU64::new(0)),
+                )
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::Frame;
+    use bytes::Bytes;
+
+    #[test]
+    fn endpoints_route_like_the_raw_interconnect() {
+        let mut fabric = InProcTransport::new(2, 8);
+        assert_eq!(fabric.backend(), Backend::InProc);
+        assert_eq!(fabric.ranks(), 2);
+        let mut eps = fabric.open().unwrap();
+        let mut ep1 = eps.pop().unwrap();
+        let mut ep0 = eps.pop().unwrap();
+        assert_eq!(ep0.rank(), 0);
+        assert_eq!(ep1.rank(), 1);
+
+        let senders = ep0.senders();
+        assert!(senders[1].send(Frame::data(0, 3, Bytes::from_static(b"xy"))));
+        let rx1 = ep1.take_receiver();
+        match rx1.recv().unwrap() {
+            Some(Frame::Data {
+                from_rank, o_task, ..
+            }) => {
+                assert_eq!(from_rank, 0);
+                assert_eq!(o_task, 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // Teardown: once every sender handle is gone, receivers see end
+        // of stream, and close reports no wire traffic.
+        let rx0 = ep0.take_receiver();
+        drop(senders);
+        drop(ep1.senders()); // ep1's own clones
+        let stats = ep0.close();
+        assert_eq!(stats, super::super::WireStats::default());
+        drop(ep1);
+        assert!(rx0.recv().unwrap().is_none());
+    }
+}

@@ -1,0 +1,236 @@
+//! Pluggable transport: how [`Frame`]s move between ranks.
+//!
+//! The paper's DataMPI runs O/A ranks as real MPI processes over a
+//! 1 GbE network; the original reproduction wired ranks as threads over
+//! in-process channels. This module abstracts the interconnect behind
+//! the [`Transport`] trait so the same runtime drives both:
+//!
+//! * [`InProcTransport`] — the original channel fabric (threads in one
+//!   process, bounded mailboxes).
+//! * [`TcpTransport`] — a real TCP mesh with a length-prefixed wire
+//!   format ([`wire`]), connect retry with exponential backoff and
+//!   jitter, bounded per-peer send windows for backpressure, and
+//!   graceful EOF/teardown semantics.
+//!
+//! A [`Transport`] opens one [`Endpoint`] per rank. An endpoint exposes
+//! the same shape on both backends: a [`FrameSender`] per peer (indexed
+//! by destination partition) and one [`FrameReceiver`] mailbox, so the
+//! runtime, `KvBuffer`, and the A-side ingest loop are backend-agnostic.
+//! Multi-process launches (`dmpirun`) skip the trait's all-ranks
+//! [`Transport::open`] and build a single rank's endpoint directly with
+//! [`tcp::establish_endpoint`] from a distributed rank table.
+
+pub mod inproc;
+pub mod tcp;
+pub mod wire;
+
+pub use inproc::InProcTransport;
+pub use tcp::{establish_endpoint, TcpOptions, TcpTransport};
+
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{Receiver, Sender};
+use dmpi_common::Result;
+
+use crate::comm::Frame;
+use crate::config::JobConfig;
+
+/// Which interconnect fabric a job uses. Selected via
+/// [`JobConfig::transport`](crate::JobConfig).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// Ranks are threads in this process; frames move over bounded
+    /// in-memory mailboxes. The default, and the fastest path.
+    #[default]
+    InProc,
+    /// Ranks talk real TCP (loopback mesh when launched by
+    /// [`Transport::open`]; arbitrary hosts via `dmpirun`'s rank table).
+    Tcp,
+}
+
+impl Backend {
+    /// Stable lowercase name, used by CLI flags and artifact JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::InProc => "inproc",
+            Backend::Tcp => "tcp",
+        }
+    }
+
+    /// Parses a backend name as accepted by `dmpirun --transport` and
+    /// the bench CLI.
+    pub fn parse(s: &str) -> Option<Backend> {
+        match s {
+            "inproc" | "in-proc" | "channel" => Some(Backend::InProc),
+            "tcp" => Some(Backend::Tcp),
+            _ => None,
+        }
+    }
+}
+
+/// Cheap cloneable handle for shipping frames to one destination
+/// partition. On the in-proc backend the channel *is* the peer's
+/// mailbox; on TCP it is that peer's bounded send window, drained by a
+/// writer thread that owns the socket.
+#[derive(Clone)]
+pub struct FrameSender {
+    tx: Sender<Frame>,
+}
+
+impl FrameSender {
+    pub(crate) fn from_channel(tx: Sender<Frame>) -> Self {
+        FrameSender { tx }
+    }
+
+    /// Ships a frame, blocking while the destination mailbox (in-proc)
+    /// or this peer's send window (TCP) is full — that blocking *is* the
+    /// backpressure. Returns `false` if the peer is gone (its mailbox
+    /// dropped or its writer exited); producers treat that as teardown,
+    /// not an error, because the receiving side already knows why it
+    /// went away.
+    pub fn send(&self, frame: Frame) -> bool {
+        self.tx.send(frame).is_ok()
+    }
+}
+
+/// The receiving half of a rank's mailbox.
+///
+/// `Direct` is the in-proc fabric: frames arrive exactly as sent, so
+/// there is nothing that can fail below the CRC gate. `Checked` is fed
+/// by the TCP reader threads, which can also surface transport-level
+/// faults (truncated frame, peer died before its EOF) inline in the
+/// stream with the peer's rank attached.
+pub enum FrameReceiver {
+    /// In-proc mailbox.
+    Direct(Receiver<Frame>),
+    /// TCP mailbox: reader threads push decoded frames or structured
+    /// transport faults.
+    Checked(Receiver<Result<Frame>>),
+}
+
+impl FrameReceiver {
+    /// Blocks for the next frame. `Ok(None)` means every feeder is gone
+    /// (clean teardown); `Err` carries a structured transport fault with
+    /// the peer rank in its cause.
+    pub fn recv(&self) -> Result<Option<Frame>> {
+        match self {
+            FrameReceiver::Direct(rx) => Ok(rx.recv().ok()),
+            FrameReceiver::Checked(rx) => match rx.recv() {
+                Ok(Ok(frame)) => Ok(Some(frame)),
+                Ok(Err(e)) => Err(e),
+                Err(_) => Ok(None),
+            },
+        }
+    }
+}
+
+/// Wire-level traffic counters for one endpoint, returned by
+/// [`Endpoint::close`]. Zero on the in-proc backend (no encoding
+/// happens); on TCP they count encoded header + payload bytes as seen
+/// by the sockets, which `observe` records alongside the logical
+/// per-peer matrices.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Encoded bytes this endpoint wrote to its peers.
+    pub bytes_sent: u64,
+    /// Encoded bytes this endpoint decoded from its peers.
+    pub bytes_received: u64,
+}
+
+/// One rank's attachment to the interconnect: a sender per destination
+/// partition and this rank's own mailbox.
+pub struct Endpoint {
+    rank: usize,
+    senders: Vec<FrameSender>,
+    receiver: Option<FrameReceiver>,
+    writers: Vec<JoinHandle<u64>>,
+    received_wire_bytes: std::sync::Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl Endpoint {
+    pub(crate) fn new(
+        rank: usize,
+        senders: Vec<FrameSender>,
+        receiver: FrameReceiver,
+        writers: Vec<JoinHandle<u64>>,
+        received_wire_bytes: std::sync::Arc<std::sync::atomic::AtomicU64>,
+    ) -> Self {
+        Endpoint {
+            rank,
+            senders,
+            receiver: Some(receiver),
+            writers,
+            received_wire_bytes,
+        }
+    }
+
+    /// The rank this endpoint belongs to.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the mesh.
+    pub fn ranks(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Clones the per-partition sender handles (index = destination
+    /// partition).
+    pub fn senders(&self) -> Vec<FrameSender> {
+        self.senders.clone()
+    }
+
+    /// Takes this rank's mailbox. Each endpoint yields it exactly once.
+    pub fn take_receiver(&mut self) -> FrameReceiver {
+        self.receiver
+            .take()
+            .expect("endpoint receiver already taken")
+    }
+
+    /// Tears the endpoint down: drops the sender handles (the caller
+    /// must have dropped its own clones first, or writer threads never
+    /// see disconnect) and joins the TCP writer threads so every queued
+    /// frame is flushed to the socket before returning. Returns the
+    /// wire-level byte counters (zeros for in-proc).
+    pub fn close(mut self) -> WireStats {
+        self.senders.clear();
+        drop(self.receiver.take());
+        let mut bytes_sent = 0u64;
+        for writer in self.writers.drain(..) {
+            bytes_sent += writer.join().unwrap_or(0);
+        }
+        WireStats {
+            bytes_sent,
+            bytes_received: self
+                .received_wire_bytes
+                .load(std::sync::atomic::Ordering::Relaxed),
+        }
+    }
+}
+
+/// An interconnect fabric that can stand up the full mesh of endpoints
+/// for a job (all ranks in this process — threads for in-proc, a
+/// loopback socket mesh for TCP).
+pub trait Transport: Send {
+    /// Which backend this is.
+    fn backend(&self) -> Backend;
+
+    /// Number of ranks the fabric was sized for.
+    fn ranks(&self) -> usize;
+
+    /// Establishes the mesh and returns one endpoint per rank, indexed
+    /// by rank. Consumes the fabric's setup state; call once.
+    fn open(&mut self) -> Result<Vec<Endpoint>>;
+}
+
+/// Builds the transport selected by `config.transport`, sized and tuned
+/// from the config (ranks, mailbox capacity, send window).
+pub fn for_config(config: &JobConfig) -> Box<dyn Transport> {
+    match config.transport {
+        Backend::InProc => Box::new(InProcTransport::new(config.ranks, config.mailbox_capacity)),
+        Backend::Tcp => Box::new(TcpTransport::loopback(
+            config.ranks,
+            TcpOptions::from_config(config),
+        )),
+    }
+}

@@ -1,0 +1,520 @@
+//! Real TCP interconnect: a full socket mesh between ranks.
+//!
+//! Every rank binds one listener and opens one outbound connection to
+//! every peer (itself included — the mesh is uniform, so rank-local
+//! traffic exercises the same code path). Connection establishment is
+//! symmetric and concurrent:
+//!
+//! * an **acceptor** thread accepts exactly `ranks` inbound connections
+//!   (with a deadline so a dead peer cannot hang the job), reads each
+//!   one's handshake, and hands the stream to a detached **reader**
+//!   thread;
+//! * the establishing thread dials every peer with bounded retry —
+//!   exponential backoff with deterministic xorshift jitter — writes the
+//!   handshake, and parks the stream behind a **writer** thread.
+//!
+//! Backpressure is layered: producers block on a bounded per-peer send
+//! window ([`TcpOptions::send_window`] frames) in front of each socket,
+//! the kernel's socket buffers throttle the writer itself, and the
+//! receiving side's bounded mailbox throttles its readers. Every stage
+//! is drained by a consumer that never sends, so the wait-for chain
+//! terminates (same argument as the in-proc mailboxes in `comm.rs`).
+//!
+//! Teardown mirrors the frame protocol: after a rank's last
+//! [`Frame::Eof`] its producers drop their senders, each writer drains
+//! its window, flushes, and shuts the socket's write side down, and the
+//! peer's reader sees a clean end-of-stream. A stream that ends
+//! *before* its EOF frame means the peer died — the reader reports a
+//! structured [`FaultKind::RankDeath`] fault naming that rank, which is
+//! what lets `supervise_job` retry a job whose worker was killed.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, Sender};
+
+use dmpi_common::{Error, FaultCause, FaultKind, Result};
+
+use crate::comm::{Frame, DEFAULT_MAILBOX_CAPACITY};
+use crate::config::{JobConfig, DEFAULT_SEND_WINDOW};
+
+use super::wire;
+use super::{Backend, Endpoint, FrameReceiver, FrameSender, Transport};
+
+/// Tuning knobs for the TCP backend.
+#[derive(Clone, Debug)]
+pub struct TcpOptions {
+    /// Frames queued behind one peer's socket before producers block.
+    pub send_window: usize,
+    /// Capacity of the receive mailbox fed by the reader threads.
+    pub mailbox_capacity: usize,
+    /// How many times to dial a peer before giving up.
+    pub connect_attempts: u32,
+    /// Backoff before the second dial; doubles per attempt.
+    pub connect_base_delay: Duration,
+    /// Upper bound on the per-attempt backoff.
+    pub connect_max_delay: Duration,
+    /// How long the acceptor waits for all peers to dial in.
+    pub accept_timeout: Duration,
+    /// Seed for the deterministic backoff jitter.
+    pub jitter_seed: u64,
+}
+
+impl Default for TcpOptions {
+    fn default() -> Self {
+        TcpOptions {
+            send_window: DEFAULT_SEND_WINDOW,
+            mailbox_capacity: DEFAULT_MAILBOX_CAPACITY,
+            connect_attempts: 20,
+            connect_base_delay: Duration::from_millis(5),
+            connect_max_delay: Duration::from_millis(500),
+            accept_timeout: Duration::from_secs(30),
+            jitter_seed: 0x00C0_FFEE,
+        }
+    }
+}
+
+impl TcpOptions {
+    /// Options derived from a job config (window and mailbox sizes).
+    pub fn from_config(config: &JobConfig) -> Self {
+        TcpOptions {
+            send_window: config.send_window,
+            mailbox_capacity: config.mailbox_capacity,
+            ..TcpOptions::default()
+        }
+    }
+}
+
+fn transport_fault(detail: String) -> Error {
+    Error::fault(FaultCause::new(FaultKind::Transport, detail))
+}
+
+/// Stamps `rank` onto a fault cause that has no rank yet (wire decode
+/// errors are produced below the point where the peer is known).
+fn fault_with_rank(e: Error, rank: usize) -> Error {
+    match e {
+        Error::Fault(mut cause) => {
+            if cause.rank.is_none() {
+                cause.rank = Some(rank);
+            }
+            Error::Fault(cause)
+        }
+        other => other,
+    }
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x.max(1);
+    *state
+}
+
+/// Dials `addr` with exponential backoff and jitter. The jitter is
+/// deterministic (seeded xorshift) so launcher behaviour is
+/// reproducible, but distinct per (rank, peer, attempt) so a thundering
+/// herd of workers decorrelates.
+fn connect_with_retry(
+    addr: SocketAddr,
+    rank: usize,
+    peer: usize,
+    opts: &TcpOptions,
+) -> Result<TcpStream> {
+    let mut jitter = opts
+        .jitter_seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(((rank as u64) << 32) ^ peer as u64)
+        .max(1);
+    let mut last_err = String::new();
+    for attempt in 0..opts.connect_attempts.max(1) {
+        match TcpStream::connect(addr) {
+            Ok(stream) => {
+                let _ = stream.set_nodelay(true);
+                return Ok(stream);
+            }
+            Err(e) => last_err = e.to_string(),
+        }
+        let exp = opts
+            .connect_base_delay
+            .saturating_mul(1u32 << attempt.min(10));
+        let capped = exp.min(opts.connect_max_delay);
+        // Jitter in [0.5, 1.0) of the capped backoff.
+        let frac = 500 + (xorshift(&mut jitter) % 500) as u32;
+        thread::sleep(capped.mul_f64(frac as f64 / 1000.0));
+    }
+    Err(Error::fault(
+        FaultCause::new(
+            FaultKind::Transport,
+            format!(
+                "rank {rank} could not connect to peer {peer} at {addr} after {} attempts: \
+                 {last_err}",
+                opts.connect_attempts.max(1)
+            ),
+        )
+        .rank(peer),
+    ))
+}
+
+/// Reader thread: decode frames from one peer's stream into the shared
+/// mailbox until clean end-of-stream, a fault, or receiver teardown.
+fn run_reader(
+    stream: TcpStream,
+    mailbox: Sender<Result<Frame>>,
+    wire_bytes: Arc<AtomicU64>,
+    handshake_timeout: Duration,
+) {
+    let _ = stream.set_read_timeout(Some(handshake_timeout));
+    let mut reader = BufReader::new(stream);
+    let peer = match wire::read_handshake(&mut reader) {
+        Ok(rank) => rank,
+        Err(e) => {
+            let _ = mailbox.send(Err(e));
+            return;
+        }
+    };
+    let _ = reader.get_ref().set_read_timeout(None);
+    let mut saw_eof = false;
+    loop {
+        match wire::read_frame(&mut reader) {
+            Ok(Some((frame, nbytes))) => {
+                wire_bytes.fetch_add(nbytes, Ordering::Relaxed);
+                if matches!(frame, Frame::Eof { .. }) {
+                    saw_eof = true;
+                }
+                if mailbox.send(Ok(frame)).is_err() {
+                    return; // receiver tore down first
+                }
+            }
+            Ok(None) => {
+                if !saw_eof {
+                    // The peer's stream closed at a frame boundary but it
+                    // never said EOF: the rank died mid-job.
+                    let _ = mailbox.send(Err(Error::fault(
+                        FaultCause::new(
+                            FaultKind::RankDeath,
+                            format!("peer rank {peer} closed its stream before its EOF frame"),
+                        )
+                        .rank(peer),
+                    )));
+                }
+                return;
+            }
+            Err(e) => {
+                let _ = mailbox.send(Err(fault_with_rank(e, peer)));
+                return;
+            }
+        }
+    }
+}
+
+/// Writer thread: drain one peer's send window onto the socket. Returns
+/// the encoded bytes written. On a broken socket it keeps draining (and
+/// discarding) so producers blocked on the window are released — the
+/// receiving side reports the failure from its end.
+fn run_writer(stream: TcpStream, window: crossbeam::channel::Receiver<Frame>) -> u64 {
+    use crossbeam::channel::TryRecvError;
+    let mut writer = BufWriter::new(stream);
+    let mut bytes = 0u64;
+    let mut broken = false;
+    loop {
+        // Flush before blocking: frames must reach the peer whenever the
+        // window goes idle, or a receiver waiting on a buffered EOF would
+        // deadlock against the producer waiting to drop this sender.
+        let frame = match window.try_recv() {
+            Ok(frame) => frame,
+            Err(TryRecvError::Empty) => {
+                if !broken && writer.flush().is_err() {
+                    broken = true;
+                }
+                match window.recv() {
+                    Ok(frame) => frame,
+                    Err(_) => break,
+                }
+            }
+            Err(TryRecvError::Disconnected) => break,
+        };
+        if broken {
+            continue; // keep draining so producers never block forever
+        }
+        match wire::write_frame(&mut writer, &frame) {
+            Ok(n) => bytes += n,
+            Err(_) => broken = true,
+        }
+    }
+    let _ = writer.flush();
+    let _ = writer.get_ref().shutdown(Shutdown::Write);
+    bytes
+}
+
+/// Stands up one rank's endpoint of a TCP mesh: accepts `peers.len()`
+/// inbound connections on `listener` (one per peer, itself included)
+/// and dials every address in `peers` (indexed by rank). This is the
+/// entry point `dmpirun` workers use once the coordinator has
+/// distributed the rank table; [`TcpTransport::open`] calls it once per
+/// rank for single-process loopback meshes.
+pub fn establish_endpoint(
+    rank: usize,
+    listener: TcpListener,
+    peers: &[SocketAddr],
+    opts: &TcpOptions,
+) -> Result<Endpoint> {
+    let ranks = peers.len();
+    let (mailbox_tx, mailbox_rx) = bounded::<Result<Frame>>(opts.mailbox_capacity.max(1));
+    let wire_bytes = Arc::new(AtomicU64::new(0));
+
+    // Acceptor: collect inbound connections until every peer has dialed
+    // in or the deadline passes. Readers are detached; they park on
+    // socket reads and exit at end-of-stream or mailbox teardown.
+    {
+        let mailbox_tx = mailbox_tx.clone();
+        let wire_bytes = Arc::clone(&wire_bytes);
+        let accept_timeout = opts.accept_timeout;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| transport_fault(format!("rank {rank}: set_nonblocking failed: {e}")))?;
+        thread::spawn(move || {
+            let deadline = Instant::now() + accept_timeout;
+            let mut accepted = 0usize;
+            while accepted < ranks {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = stream.set_nonblocking(false);
+                        let _ = stream.set_nodelay(true);
+                        let mailbox = mailbox_tx.clone();
+                        let counter = Arc::clone(&wire_bytes);
+                        thread::spawn(move || run_reader(stream, mailbox, counter, accept_timeout));
+                        accepted += 1;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        if Instant::now() >= deadline {
+                            break;
+                        }
+                        thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(e) => {
+                        let _ = mailbox_tx.send(Err(transport_fault(format!(
+                            "rank {rank}: accept failed: {e}"
+                        ))));
+                        return;
+                    }
+                }
+            }
+            if accepted < ranks {
+                let _ = mailbox_tx.send(Err(transport_fault(format!(
+                    "rank {rank}: accepted only {accepted} of {ranks} peer connections within \
+                     {accept_timeout:?}"
+                ))));
+            }
+        });
+    }
+    drop(mailbox_tx); // mailbox disconnects once acceptor + readers finish
+
+    // Dial every peer and park each stream behind a writer thread with a
+    // bounded send window in front of it.
+    let mut senders = Vec::with_capacity(ranks);
+    let mut writers = Vec::with_capacity(ranks);
+    for (peer, &addr) in peers.iter().enumerate() {
+        let mut stream = connect_with_retry(addr, rank, peer, opts)?;
+        wire::write_handshake(&mut stream, rank).map_err(|e| {
+            Error::fault(
+                FaultCause::new(
+                    FaultKind::Transport,
+                    format!("rank {rank}: handshake to peer {peer} failed: {e}"),
+                )
+                .rank(peer),
+            )
+        })?;
+        let (window_tx, window_rx) = bounded::<Frame>(opts.send_window.max(1));
+        senders.push(FrameSender::from_channel(window_tx));
+        writers.push(thread::spawn(move || run_writer(stream, window_rx)));
+    }
+
+    Ok(Endpoint::new(
+        rank,
+        senders,
+        FrameReceiver::Checked(mailbox_rx),
+        writers,
+        wire_bytes,
+    ))
+}
+
+/// A single-process loopback mesh: binds `ranks` listeners on
+/// `127.0.0.1` and establishes every endpoint concurrently. Frames
+/// still traverse real sockets and the real wire codec — this is the
+/// fabric `JobConfig::with_transport(Backend::Tcp)` gives the threaded
+/// runtime, and what the transport benchmark measures against in-proc.
+pub struct TcpTransport {
+    ranks: usize,
+    opts: TcpOptions,
+}
+
+impl TcpTransport {
+    /// Sizes a loopback mesh for `ranks` endpoints.
+    pub fn loopback(ranks: usize, opts: TcpOptions) -> Self {
+        TcpTransport { ranks, opts }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn backend(&self) -> Backend {
+        Backend::Tcp
+    }
+
+    fn ranks(&self) -> usize {
+        self.ranks
+    }
+
+    fn open(&mut self) -> Result<Vec<Endpoint>> {
+        let mut listeners = Vec::with_capacity(self.ranks);
+        let mut addrs = Vec::with_capacity(self.ranks);
+        for rank in 0..self.ranks {
+            let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| {
+                transport_fault(format!(
+                    "rank {rank}: could not bind loopback listener: {e}"
+                ))
+            })?;
+            addrs.push(listener.local_addr().map_err(|e| {
+                transport_fault(format!("rank {rank}: no local addr on listener: {e}"))
+            })?);
+            listeners.push(listener);
+        }
+        let opts = &self.opts;
+        let addrs = &addrs;
+        // Establish concurrently: each rank's dials need every other
+        // rank's acceptor, so sequential establishment would deadlock on
+        // anything but tiny accept backlogs.
+        thread::scope(|s| {
+            let handles: Vec<_> = listeners
+                .into_iter()
+                .enumerate()
+                .map(|(rank, listener)| {
+                    s.spawn(move || establish_endpoint(rank, listener, addrs, opts))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("establish thread panicked"))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn tiny_opts() -> TcpOptions {
+        TcpOptions {
+            accept_timeout: Duration::from_secs(5),
+            ..TcpOptions::default()
+        }
+    }
+
+    #[test]
+    fn two_rank_mesh_round_trips_frames() {
+        let mut fabric = TcpTransport::loopback(2, tiny_opts());
+        assert_eq!(fabric.backend(), Backend::Tcp);
+        let mut eps = fabric.open().unwrap();
+        let mut ep1 = eps.pop().unwrap();
+        let ep0 = eps.pop().unwrap();
+
+        let senders = ep0.senders();
+        assert!(senders[1].send(Frame::data(0, 7, Bytes::from_static(b"over tcp"))));
+        for s in &senders {
+            assert!(s.send(Frame::Eof { from_rank: 0 }));
+        }
+        let rx1 = ep1.take_receiver();
+        let ep1_senders = ep1.senders();
+        for s in &ep1_senders {
+            assert!(s.send(Frame::Eof { from_rank: 1 }));
+        }
+
+        let mut data = Vec::new();
+        let mut eofs = 0;
+        while eofs < 2 {
+            match rx1.recv().unwrap() {
+                Some(f @ Frame::Data { .. }) => {
+                    f.verify().unwrap();
+                    data.push(f);
+                }
+                Some(Frame::Eof { .. }) => eofs += 1,
+                None => panic!("mailbox closed before both EOFs"),
+            }
+        }
+        assert_eq!(data.len(), 1);
+        assert_eq!(data[0].from_rank(), 0);
+        assert_eq!(data[0].o_task(), Some(7));
+        assert_eq!(data[0].payload_len(), 8);
+
+        drop(senders);
+        drop(ep1_senders);
+        let w0 = ep0.close();
+        let w1 = ep1.close();
+        // ep0 encoded one data frame (21 + 8 bytes) and two EOFs.
+        assert_eq!(w0.bytes_sent, 29 + 10);
+        // ep1 decoded everything ep0 sent it plus its own loopback EOF.
+        assert_eq!(w1.bytes_received, 29 + 5 + 5);
+    }
+
+    #[test]
+    fn dead_peer_surfaces_a_rank_death_fault() {
+        // Rank 1 "dies": it accepts our dial, dials us back, handshakes,
+        // then closes its stream without ever sending an EOF frame.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let my_addr = listener.local_addr().unwrap();
+        let peer_listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let peer_addr = peer_listener.local_addr().unwrap();
+        let opts = tiny_opts();
+        let t = thread::spawn(move || {
+            let (held, _) = peer_listener.accept().unwrap();
+            let mut stream = TcpStream::connect(my_addr).unwrap();
+            wire::write_handshake(&mut stream, 1).unwrap();
+            held // keep rank 0's outbound stream open until the test ends
+                 // (stream itself drops here: death without EOF)
+        });
+        let mut ep = establish_endpoint(0, listener, &[peer_addr], &opts).unwrap();
+        let held = t.join().unwrap();
+        let rx = ep.take_receiver();
+        match rx.recv() {
+            Err(e) => {
+                let cause = e.fault_cause().expect("structured fault");
+                assert_eq!(cause.kind, FaultKind::RankDeath);
+                assert_eq!(cause.rank, Some(1));
+                assert!(cause.detail.contains("EOF"), "{}", cause.detail);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // After the fault, the mailbox drains to clean end-of-stream.
+        assert!(rx.recv().unwrap().is_none());
+        drop(rx);
+        drop(held);
+        ep.close();
+    }
+
+    #[test]
+    fn connect_retry_gives_up_with_a_structured_fault() {
+        // Nothing listens here: bind-then-drop guarantees a dead port.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let opts = TcpOptions {
+            connect_attempts: 2,
+            connect_base_delay: Duration::from_millis(1),
+            connect_max_delay: Duration::from_millis(2),
+            ..TcpOptions::default()
+        };
+        let err = connect_with_retry(addr, 3, 1, &opts).unwrap_err();
+        let cause = err.fault_cause().expect("structured fault");
+        assert_eq!(cause.kind, FaultKind::Transport);
+        assert_eq!(cause.rank, Some(1));
+        assert!(cause.detail.contains("2 attempts"), "{}", cause.detail);
+    }
+}

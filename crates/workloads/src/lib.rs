@@ -29,6 +29,7 @@
 pub mod bayes;
 pub mod calib;
 pub mod catalog;
+pub mod exec;
 pub mod grep;
 pub mod kmeans;
 pub mod runner;
@@ -36,4 +37,5 @@ pub mod sort;
 pub mod vectorize;
 pub mod wordcount;
 
+pub use exec::ExecWorkload;
 pub use runner::{run_sim, Engine, Outcome, Workload};

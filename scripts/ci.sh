@@ -17,6 +17,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test ==" >&2
 cargo test -q --workspace
 
+echo "== dmpirun multi-process smoke ==" >&2
+# Four real worker processes over TCP must reproduce the in-proc
+# runtime's output byte-for-byte.
+cargo run -q --release --bin dmpirun -- \
+    --ranks 4 --tasks 8 --verify-inproc wordcount
+
 echo "== tracing overhead smoke check ==" >&2
 # Times a real WordCount with tracing on vs off; fails above +25%.
 cargo run -q --release --example profile -- --overhead-check

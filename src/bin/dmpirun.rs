@@ -1,0 +1,437 @@
+//! `dmpirun` — a minimal `mpirun`-style launcher: runs a catalogue
+//! workload as N real worker processes on localhost, connected by the
+//! DataMPI TCP transport.
+//!
+//! ```text
+//! dmpirun --ranks 4 --tasks 8 wordcount
+//! ```
+//!
+//! The parent process is the coordinator: it binds a rendezvous
+//! listener, spawns one copy of itself per rank in worker mode (rank,
+//! rank count and coordinator address travel in the `DMPI_RANK` /
+//! `DMPI_RANKS` / `DMPI_COORD` environment variables), distributes the
+//! rank table, and aggregates every worker's result line into one job
+//! summary. Workers generate their input splits deterministically from
+//! the shared seed, so no split data crosses the rendezvous channel.
+//!
+//! `--verify-inproc` re-runs the same job on the in-process threaded
+//! runtime and asserts the multi-process output is byte-identical per
+//! partition (and that the record counters agree with the in-proc
+//! observer) — the catalogue's determinism contract makes that exact.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::{Command, ExitCode, Stdio};
+
+use datampi::distrib::{
+    coordinate_rank_table, register_with_coordinator, ENV_COORD, ENV_RANK, ENV_RANKS,
+};
+use datampi::observe::Observer;
+use datampi::JobConfig;
+use dmpi_common::crc::crc32;
+use dmpi_common::ser::RecordWriter;
+use dmpi_workloads::ExecWorkload;
+
+const USAGE: &str = "\
+usage: dmpirun [options] <workload>
+
+Runs a catalogue workload (wordcount | sort | grep) as N worker
+processes on localhost over the DataMPI TCP transport.
+
+options:
+  --ranks N           worker processes to launch (default 4)
+  --tasks T           O tasks in the job (default 2*ranks)
+  --bytes-per-task B  minimum split size in bytes (default 4096)
+  --seed S            input-generation seed (default 42)
+  --out DIR           write each rank's partition to DIR/part-NNNNN
+  --verify-inproc     re-run in-process and require identical output
+  --fail-rank R       (testing) rank R dies after the mesh is up
+";
+
+#[derive(Clone)]
+struct Options {
+    workload: ExecWorkload,
+    ranks: usize,
+    tasks: usize,
+    bytes_per_task: usize,
+    seed: u64,
+    out: Option<PathBuf>,
+    verify_inproc: bool,
+    fail_rank: Option<usize>,
+    worker: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        workload: ExecWorkload::WordCount,
+        ranks: 4,
+        tasks: 0,
+        bytes_per_task: 4096,
+        seed: 42,
+        out: None,
+        verify_inproc: false,
+        fail_rank: None,
+        worker: false,
+    };
+    let mut workload: Option<ExecWorkload> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--ranks" => opts.ranks = value("--ranks")?.parse().map_err(|e| format!("{e}"))?,
+            "--tasks" => opts.tasks = value("--tasks")?.parse().map_err(|e| format!("{e}"))?,
+            "--bytes-per-task" => {
+                opts.bytes_per_task = value("--bytes-per-task")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--seed" => opts.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--out" => opts.out = Some(PathBuf::from(value("--out")?)),
+            "--verify-inproc" => opts.verify_inproc = true,
+            "--fail-rank" => {
+                opts.fail_rank = Some(value("--fail-rank")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--worker" => opts.worker = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => {
+                if workload.is_some() {
+                    return Err(format!("unexpected argument {other:?}"));
+                }
+                workload = Some(ExecWorkload::parse(other).ok_or_else(|| {
+                    format!("unknown workload {other:?} (try wordcount|sort|grep)")
+                })?);
+            }
+        }
+    }
+    opts.workload = workload.ok_or_else(|| "no workload named".to_string())?;
+    if opts.ranks == 0 {
+        return Err("--ranks must be at least 1".into());
+    }
+    if opts.tasks == 0 {
+        opts.tasks = 2 * opts.ranks;
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("dmpirun: {msg}");
+            }
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = if opts.worker {
+        run_worker_process(&opts)
+    } else {
+        run_coordinator(&opts)
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("dmpirun: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+// --------------------------------------------------------- worker mode
+
+fn env_usize(name: &str) -> Result<usize, String> {
+    std::env::var(name)
+        .map_err(|_| format!("worker mode requires {name}"))?
+        .parse()
+        .map_err(|e| format!("bad {name}: {e}"))
+}
+
+fn run_worker_process(opts: &Options) -> Result<(), String> {
+    let rank = env_usize(ENV_RANK)?;
+    let ranks = env_usize(ENV_RANKS)?;
+    let coord = std::env::var(ENV_COORD)
+        .map_err(|_| format!("worker mode requires {ENV_COORD}"))?
+        .parse()
+        .map_err(|e| format!("bad {ENV_COORD}: {e}"))?;
+
+    let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bind data port: {e}"))?;
+    let port = listener.local_addr().map_err(|e| e.to_string())?.port();
+    let (mut coord_stream, peers) = register_with_coordinator(coord, rank, port)
+        .map_err(|e| format!("rank {rank}: rendezvous failed: {e}"))?;
+    if peers.len() != ranks {
+        return Err(format!(
+            "rank {rank}: coordinator sent {} peers for {ranks} ranks",
+            peers.len()
+        ));
+    }
+
+    if opts.fail_rank == Some(rank) {
+        // Simulated crash for the recovery tests: bring the mesh up,
+        // wait until every peer has spoken to us (a frame from rank p
+        // proves p finished establishing its whole mesh), then die
+        // without ever sending an EOF. The OS closes our sockets and
+        // every peer's reader surfaces a RankDeath fault naming us.
+        let mut endpoint =
+            datampi::transport::establish_endpoint(rank, listener, &peers, &Default::default())
+                .map_err(|e| format!("rank {rank}: mesh failed: {e}"))?;
+        let receiver = endpoint.take_receiver();
+        let mut heard = std::collections::HashSet::new();
+        while heard.len() + 1 < ranks {
+            match receiver.recv() {
+                Ok(Some(frame)) => {
+                    if frame.from_rank() != rank {
+                        heard.insert(frame.from_rank());
+                    }
+                }
+                Ok(None) | Err(_) => break,
+            }
+        }
+        eprintln!("dmpirun: rank {rank} dying on purpose (--fail-rank)");
+        // Leak rather than close: close would flush orderly EOF-less
+        // shutdowns per-socket; a hard exit models a real crash.
+        std::mem::forget(endpoint);
+        std::process::exit(3);
+    }
+
+    let config = JobConfig::new(ranks);
+    let inputs = opts
+        .workload
+        .inputs(opts.tasks, opts.bytes_per_task, opts.seed);
+    let report = opts
+        .workload
+        .run_worker(&config, rank, listener, &peers, &inputs)
+        .map_err(|e| {
+            let _ = writeln!(coord_stream, "fail rank={rank} err={e}");
+            format!("rank {rank}: job failed: {e}")
+        })?;
+
+    let mut writer = RecordWriter::new();
+    for rec in report.partition.iter() {
+        writer.write(rec);
+    }
+    let framed = writer.into_bytes();
+    let crc = crc32(&framed);
+    if let Some(dir) = &opts.out {
+        let path = dir.join(format!("part-{rank:05}"));
+        std::fs::write(&path, &framed)
+            .map_err(|e| format!("rank {rank}: write {}: {e}", path.display()))?;
+    }
+    let s = &report.stats;
+    writeln!(
+        coord_stream,
+        "done rank={rank} crc={crc} out_records={} out_bytes={} o_tasks_run={} \
+         records_emitted={} bytes_emitted={} frames={} early_flushes={} spills={} \
+         spilled_bytes={} groups={} wire_sent={} wire_recv={}",
+        report.partition.len(),
+        framed.len(),
+        s.o_tasks_run,
+        s.records_emitted,
+        s.bytes_emitted,
+        s.frames,
+        s.early_flushes,
+        s.spills,
+        s.spilled_bytes,
+        s.groups,
+        report.wire.bytes_sent,
+        report.wire.bytes_received,
+    )
+    .map_err(|e| format!("rank {rank}: report result: {e}"))?;
+    Ok(())
+}
+
+// ---------------------------------------------------- coordinator mode
+
+/// One worker's parsed `done` line.
+#[derive(Default, Clone, Copy)]
+struct RankResult {
+    crc: u32,
+    counters: [u64; 11],
+}
+
+const COUNTER_KEYS: [&str; 11] = [
+    "out_records",
+    "out_bytes",
+    "o_tasks_run",
+    "records_emitted",
+    "bytes_emitted",
+    "frames",
+    "early_flushes",
+    "spills",
+    "spilled_bytes",
+    "groups",
+    "wire_sent",
+];
+
+fn parse_done_line(line: &str) -> Option<(usize, RankResult, u64)> {
+    let mut rank = None;
+    let mut result = RankResult::default();
+    let mut wire_recv = 0;
+    let mut it = line.split_whitespace();
+    if it.next()? != "done" {
+        return None;
+    }
+    for field in it {
+        let (key, value) = field.split_once('=')?;
+        match key {
+            "rank" => rank = Some(value.parse().ok()?),
+            "crc" => result.crc = value.parse().ok()?,
+            "wire_recv" => wire_recv = value.parse().ok()?,
+            _ => {
+                let idx = COUNTER_KEYS.iter().position(|k| *k == key)?;
+                result.counters[idx] = value.parse().ok()?;
+            }
+        }
+    }
+    Some((rank?, result, wire_recv))
+}
+
+fn run_coordinator(opts: &Options) -> Result<(), String> {
+    let listener =
+        TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bind rendezvous port: {e}"))?;
+    let coord_addr = listener.local_addr().map_err(|e| e.to_string())?;
+    if let Some(dir) = &opts.out {
+        std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    }
+
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let mut children = Vec::with_capacity(opts.ranks);
+    for rank in 0..opts.ranks {
+        let mut cmd = Command::new(&exe);
+        cmd.arg("--worker")
+            .arg("--tasks")
+            .arg(opts.tasks.to_string())
+            .arg("--bytes-per-task")
+            .arg(opts.bytes_per_task.to_string())
+            .arg("--seed")
+            .arg(opts.seed.to_string());
+        if let Some(dir) = &opts.out {
+            cmd.arg("--out").arg(dir);
+        }
+        if let Some(r) = opts.fail_rank {
+            cmd.arg("--fail-rank").arg(r.to_string());
+        }
+        cmd.arg(opts.workload.name())
+            .env(ENV_RANK, rank.to_string())
+            .env(ENV_RANKS, opts.ranks.to_string())
+            .env(ENV_COORD, coord_addr.to_string())
+            .stdout(Stdio::inherit())
+            .stderr(Stdio::inherit());
+        children.push(
+            cmd.spawn()
+                .map_err(|e| format!("spawn worker {rank}: {e}"))?,
+        );
+    }
+
+    let streams = coordinate_rank_table(&listener, opts.ranks)
+        .map_err(|e| format!("rendezvous failed: {e}"))?;
+
+    // Collect one result line per rank; a closed stream without a line
+    // is a dead worker.
+    let mut results: Vec<Option<(RankResult, u64)>> = vec![None; opts.ranks];
+    let mut failures = Vec::new();
+    for (rank, stream) in streams.into_iter().enumerate() {
+        let mut line = String::new();
+        match BufReader::new(stream).read_line(&mut line) {
+            Ok(0) => failures.push(format!("rank {rank} died without reporting")),
+            Ok(_) => match parse_done_line(&line) {
+                Some((r, result, wire_recv)) if r == rank => {
+                    results[rank] = Some((result, wire_recv))
+                }
+                _ => failures.push(format!("rank {rank} failed: {}", line.trim_end())),
+            },
+            Err(e) => failures.push(format!("rank {rank} result read failed: {e}")),
+        }
+    }
+    for (rank, child) in children.iter_mut().enumerate() {
+        let status = child
+            .wait()
+            .map_err(|e| format!("wait for worker {rank}: {e}"))?;
+        if !status.success() && results[rank].is_some() {
+            failures.push(format!("rank {rank} exited with {status}"));
+        }
+    }
+    if !failures.is_empty() {
+        return Err(failures.join("; "));
+    }
+
+    let mut totals = [0u64; 11];
+    let mut wire_recv_total = 0u64;
+    for result in results.iter().flatten() {
+        for (t, c) in totals.iter_mut().zip(result.0.counters) {
+            *t += c;
+        }
+        wire_recv_total += result.1;
+    }
+    println!(
+        "dmpirun: {} over {} ranks ({} tasks, seed {}): \
+         o_tasks_run={} records_emitted={} bytes_emitted={} frames={} groups={} \
+         out_records={} wire_sent={} wire_recv={}",
+        opts.workload.name(),
+        opts.ranks,
+        opts.tasks,
+        opts.seed,
+        totals[2],
+        totals[3],
+        totals[4],
+        totals[5],
+        totals[9],
+        totals[0],
+        totals[10],
+        wire_recv_total,
+    );
+
+    if opts.verify_inproc {
+        verify_inproc(opts, &results)?;
+        println!(
+            "dmpirun: verified — {} partitions byte-identical to the in-proc runtime",
+            opts.ranks
+        );
+    }
+    Ok(())
+}
+
+/// Re-runs the job on the in-process threaded runtime and checks that
+/// every partition's framed bytes hash identically to what the worker
+/// of that rank produced, and that the in-proc observer's record
+/// counters agree with the aggregated worker counters.
+fn verify_inproc(opts: &Options, results: &[Option<(RankResult, u64)>]) -> Result<(), String> {
+    let observer = Observer::new();
+    let config = JobConfig::new(opts.ranks).with_observer(observer.clone());
+    let inputs = opts
+        .workload
+        .inputs(opts.tasks, opts.bytes_per_task, opts.seed);
+    let output = opts
+        .workload
+        .run_inproc(&config, inputs)
+        .map_err(|e| format!("in-proc verification run failed: {e}"))?;
+    for (rank, partition) in output.partitions.iter().enumerate() {
+        let mut writer = RecordWriter::new();
+        for rec in partition.iter() {
+            writer.write(rec);
+        }
+        let framed = writer.into_bytes();
+        let (result, _) = results[rank].as_ref().ok_or("missing rank result")?;
+        if crc32(&framed) != result.crc {
+            return Err(format!(
+                "partition {rank} differs from the in-proc runtime \
+                 (in-proc {} records, worker {})",
+                partition.len(),
+                result.counters[0],
+            ));
+        }
+    }
+    let emitted: u64 = results.iter().flatten().map(|(r, _)| r.counters[3]).sum();
+    let snapshot = observer.registry().snapshot();
+    if snapshot.records_out != emitted {
+        return Err(format!(
+            "record counters disagree: in-proc observer saw {} emitted, workers reported {}",
+            snapshot.records_out, emitted
+        ));
+    }
+    Ok(())
+}

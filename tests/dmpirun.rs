@@ -1,0 +1,106 @@
+//! End-to-end tests of the `dmpirun` launcher: real OS worker processes
+//! connected by the TCP transport must produce byte-identical output to
+//! the in-process runtime, and a killed worker must fail the job with a
+//! structured rank-death report rather than a hang.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use datampi::JobConfig;
+use dmpi_common::ser::RecordWriter;
+use dmpi_workloads::ExecWorkload;
+
+const RANKS: usize = 4;
+const TASKS: usize = 8;
+const BYTES_PER_TASK: usize = 2000;
+const SEED: u64 = 77;
+
+fn dmpirun() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dmpirun"))
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dmpirun-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn multiprocess_wordcount_is_byte_identical_to_inproc() {
+    let out_dir = scratch_dir("wc");
+    let output = dmpirun()
+        .args(["--ranks", &RANKS.to_string()])
+        .args(["--tasks", &TASKS.to_string()])
+        .args(["--bytes-per-task", &BYTES_PER_TASK.to_string()])
+        .args(["--seed", &SEED.to_string()])
+        .arg("--out")
+        .arg(&out_dir)
+        .arg("--verify-inproc")
+        .arg("wordcount")
+        .output()
+        .expect("launcher must spawn");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "dmpirun failed.\nstdout: {stdout}\nstderr: {stderr}"
+    );
+    assert!(
+        stdout.contains("verified"),
+        "launcher must self-verify against in-proc: {stdout}"
+    );
+
+    // Independent check: re-run in-proc here and compare the part files
+    // the workers wrote, byte for byte.
+    let workload = ExecWorkload::WordCount;
+    let inputs = workload.inputs(TASKS, BYTES_PER_TASK, SEED);
+    let baseline = workload.run_inproc(&JobConfig::new(RANKS), inputs).unwrap();
+    assert!(baseline.stats.records_emitted > 0);
+    for (rank, partition) in baseline.partitions.iter().enumerate() {
+        let mut writer = RecordWriter::new();
+        for rec in partition.iter() {
+            writer.write(rec);
+        }
+        let expected = writer.into_bytes();
+        let path = out_dir.join(format!("part-{rank:05}"));
+        let actual =
+            std::fs::read(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        assert_eq!(
+            actual, expected,
+            "part file of rank {rank} must equal the in-proc partition"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&out_dir);
+}
+
+#[test]
+fn killed_worker_fails_the_job_with_rank_death() {
+    let output = dmpirun()
+        .args(["--ranks", "3", "--tasks", "6", "--fail-rank", "1"])
+        .arg("wordcount")
+        .output()
+        .expect("launcher must spawn");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        !output.status.success(),
+        "a dead worker must fail the whole job.\nstderr: {stderr}"
+    );
+    assert!(
+        stderr.contains("rank death") && stderr.contains("rank 1"),
+        "surviving ranks must report a structured rank-death fault \
+         naming the dead rank: {stderr}"
+    );
+    assert!(
+        stderr.contains("died without reporting"),
+        "the coordinator must notice the missing result line: {stderr}"
+    );
+}
+
+#[test]
+fn usage_errors_exit_with_code_two() {
+    let output = dmpirun().arg("mystery-workload").output().unwrap();
+    assert_eq!(output.status.code(), Some(2));
+    let output = dmpirun().output().unwrap();
+    assert_eq!(output.status.code(), Some(2), "workload is required");
+}

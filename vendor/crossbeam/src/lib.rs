@@ -1,17 +1,33 @@
-//! Offline vendored subset of the `crossbeam` crate: just the unbounded
-//! MPSC channel surface this workspace uses, backed by `std::sync::mpsc`
-//! (whose `Sender` has been `Sync` since Rust 1.72, which is all the
-//! runtime's shared-sender fan-out needs). See `vendor/README.md` for why
-//! the workspace vendors its external dependencies.
+//! Offline vendored subset of the `crossbeam` crate: the unbounded and
+//! bounded MPSC channel surface this workspace uses, backed by
+//! `std::sync::mpsc` (whose `Sender` has been `Sync` since Rust 1.72,
+//! which is all the runtime's shared-sender fan-out needs). See
+//! `vendor/README.md` for why the workspace vendors its external
+//! dependencies.
 
 pub mod channel {
     use std::sync::mpsc;
 
     pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
 
-    /// The sending half of an unbounded channel. Cloneable and shareable
-    /// across threads.
-    pub struct Sender<T>(mpsc::Sender<T>);
+    enum Tx<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Tx<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Tx::Unbounded(tx) => Tx::Unbounded(tx.clone()),
+                Tx::Bounded(tx) => Tx::Bounded(tx.clone()),
+            }
+        }
+    }
+
+    /// The sending half of a channel. Cloneable and shareable across
+    /// threads. For bounded channels `send` blocks while the channel is
+    /// full (the backpressure the DataMPI transport relies on).
+    pub struct Sender<T>(Tx<T>);
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
@@ -21,12 +37,16 @@ pub mod channel {
 
     impl<T> Sender<T> {
         /// Sends a message, failing only if all receivers disconnected.
+        /// On a bounded channel this blocks until capacity is available.
         pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
-            self.0.send(msg)
+            match &self.0 {
+                Tx::Unbounded(tx) => tx.send(msg),
+                Tx::Bounded(tx) => tx.send(msg),
+            }
         }
     }
 
-    /// The receiving half of an unbounded channel.
+    /// The receiving half of a channel.
     pub struct Receiver<T>(mpsc::Receiver<T>);
 
     impl<T> Receiver<T> {
@@ -49,7 +69,16 @@ pub mod channel {
     /// Creates an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
-        (Sender(tx), Receiver(rx))
+        (Sender(Tx::Unbounded(tx)), Receiver(rx))
+    }
+
+    /// Creates a bounded channel holding at most `cap` messages; senders
+    /// block while it is full. `cap` must be at least 1 (a rendezvous
+    /// channel would deadlock the runtime's pipelined flush path).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap >= 1, "bounded channel capacity must be >= 1");
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(Tx::Bounded(tx)), Receiver(rx))
     }
 
     #[cfg(test)]
@@ -80,6 +109,29 @@ pub mod channel {
             drop(tx);
             assert!(rx.recv().is_err());
             assert!(matches!(rx.try_recv(), Err(TryRecvError::Disconnected)));
+        }
+
+        #[test]
+        fn bounded_blocks_until_drained() {
+            let (tx, rx) = bounded::<u32>(2);
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            // The third send must block until the receiver drains one slot.
+            let h = std::thread::spawn(move || {
+                tx.send(3).unwrap();
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert_eq!(rx.recv().unwrap(), 1);
+            h.join().unwrap();
+            assert_eq!(rx.recv().unwrap(), 2);
+            assert_eq!(rx.recv().unwrap(), 3);
+        }
+
+        #[test]
+        fn bounded_disconnect_is_an_error() {
+            let (tx, rx) = bounded::<u32>(1);
+            drop(rx);
+            assert!(tx.send(1).is_err());
         }
     }
 }
