@@ -14,6 +14,8 @@
 //! figures profile-real --write PATH # also write BENCH_profile.json
 //! figures transport-bench           # extension: in-proc vs TCP throughput
 //! figures transport-bench --write PATH # also write BENCH_transport.json
+//! figures pipeline-bench            # extension: combiner grid + spill probe
+//! figures pipeline-bench --write PATH # also write BENCH_pipeline.json
 //! ```
 
 use dmpi_bench::experiments;
@@ -23,7 +25,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: figures <all|table1|table2|fig2a|fig2b|fig3a|fig3b|fig3c|fig3d|\
          fig4sort|fig4wordcount|fig5|fig6a|fig6b|fig7|ext-iter|ext-recovery|profile-real|\
-         transport-bench|summary> [--markdown] \
+         transport-bench|pipeline-bench|summary> [--markdown] \
          [--write PATH] [--csv] [--series cpu|waitio|disk_read|disk_write|net|mem]"
     );
     std::process::exit(2);
@@ -132,6 +134,21 @@ fn main() {
                     .clone()
                     .unwrap_or_else(|| "BENCH_transport.json".to_string());
                 let json = dmpi_bench::transport_bench::render_artifact_json(&data);
+                std::fs::write(&artifact, json).map_err(|e| {
+                    dmpi_common::Error::InvalidState(format!("cannot write {artifact}: {e}"))
+                })?;
+                println!("wrote {artifact}");
+            }
+            "pipeline-bench" => {
+                let data = dmpi_bench::pipeline_bench::pipeline_bench_data(4, 8, 64 * 1024)?;
+                println!(
+                    "{}",
+                    render(dmpi_bench::pipeline_bench::render_table(&data), csv)
+                );
+                let artifact = write_path
+                    .clone()
+                    .unwrap_or_else(|| "BENCH_pipeline.json".to_string());
+                let json = dmpi_bench::pipeline_bench::render_artifact_json(&data);
                 std::fs::write(&artifact, json).map_err(|e| {
                     dmpi_common::Error::InvalidState(format!("cannot write {artifact}: {e}"))
                 })?;

@@ -1,0 +1,377 @@
+//! `figures pipeline-bench` — the streaming-pipeline experiment:
+//! O-side combiner on/off × sorted/hashed grouping × in-proc/TCP, plus a
+//! spill-pressure probe of the A-side external merge.
+//!
+//! The combiner grid *runs* each associative workload (WordCount, Grep)
+//! twice per cell on identical inputs — once shipping every emitted pair
+//! and once folding per-destination buffers through the workload's
+//! declared combiner first — and verifies the outputs agree before
+//! reporting how many shuffle/wire bytes the fold saved. The spill probe
+//! runs the TextSort job under a deliberately tiny A-side memory budget
+//! and reports the peak number of records ever resident in one forming
+//! run: far below the record total, because grouping is a k-way external
+//! merge over sealed runs, not a re-materialization. Both halves land in
+//! `BENCH_pipeline.json`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use datampi::observe::Observer;
+use datampi::transport::Backend;
+use datampi::JobConfig;
+use dmpi_common::Result;
+use dmpi_workloads::ExecWorkload;
+
+use crate::table::Table;
+
+/// One workload measured in one grid cell (backend × grouping ×
+/// combiner setting).
+#[derive(Clone, Debug)]
+pub struct PipelineRun {
+    /// Launcher-facing workload name.
+    pub workload: &'static str,
+    /// `"inproc"` or `"tcp"`.
+    pub backend: &'static str,
+    /// `"sorted"` (MapReduce mode) or `"hashed"` (Common mode).
+    pub grouping: &'static str,
+    /// Whether the workload's combiner was installed.
+    pub combiner: bool,
+    /// Wall time of the whole job.
+    pub seconds: f64,
+    /// Records emitted by O tasks (pre-combiner, equal across settings).
+    pub records: u64,
+    /// Framed intermediate bytes shipped to A partitions
+    /// (post-combiner when one is installed).
+    pub bytes_shuffled: u64,
+    /// Encoded bytes written to sockets (0 for in-proc).
+    pub wire_bytes: u64,
+    /// Records fed into the combiner (0 when off).
+    pub combiner_records_in: u64,
+    /// Records the combiner shipped after folding (0 when off).
+    pub combiner_records_out: u64,
+}
+
+/// The spill-pressure probe: one sort job under a tiny A-side budget.
+#[derive(Clone, Debug)]
+pub struct SpillProbe {
+    /// A-side memory budget per partition, bytes.
+    pub memory_budget: usize,
+    /// Records emitted (= records ingested across A partitions).
+    pub records: u64,
+    /// Spill events (sealed sorted runs) across partitions.
+    pub spills: u64,
+    /// Bytes written by spills.
+    pub spilled_bytes: u64,
+    /// Largest number of records any forming run ever held — the
+    /// streaming-merge evidence (`peak << records`).
+    pub peak_resident_records: u64,
+}
+
+/// The full benchmark: the combiner grid plus the spill probe.
+#[derive(Clone, Debug)]
+pub struct PipelineBenchData {
+    /// Ranks used for every run.
+    pub ranks: usize,
+    /// O tasks per job.
+    pub tasks: usize,
+    /// Input bytes generated per O task.
+    pub bytes_per_task: usize,
+    /// Combiner grid rows, combiner-off before combiner-on per cell.
+    pub runs: Vec<PipelineRun>,
+    /// The spill-pressure probe.
+    pub spill: SpillProbe,
+}
+
+fn backend_name(backend: Backend) -> &'static str {
+    match backend {
+        Backend::InProc => "inproc",
+        Backend::Tcp => "tcp",
+    }
+}
+
+fn run_once(
+    workload: ExecWorkload,
+    backend: Backend,
+    sorted: bool,
+    combine: bool,
+    ranks: usize,
+    tasks: usize,
+    bytes_per_task: usize,
+) -> Result<(PipelineRun, Vec<dmpi_common::RecordBatch>)> {
+    let inputs = workload.inputs(tasks, bytes_per_task, 42);
+    let observer = Observer::new();
+    let mut config = JobConfig::new(ranks)
+        .with_transport(backend)
+        .with_sorted_grouping(sorted)
+        .with_observer(observer.clone());
+    if combine {
+        let combiner = workload
+            .combiner()
+            .expect("grid only includes combiner-capable workloads");
+        config = config.with_combiner(combiner);
+    }
+    let start = Instant::now();
+    let out = workload.run_raw(&config, inputs)?;
+    let seconds = start.elapsed().as_secs_f64();
+    let snapshot = observer.registry().snapshot();
+    Ok((
+        PipelineRun {
+            workload: workload.name(),
+            backend: backend_name(backend),
+            grouping: if sorted { "sorted" } else { "hashed" },
+            combiner: combine,
+            seconds,
+            records: out.stats.records_emitted,
+            bytes_shuffled: out.stats.bytes_emitted,
+            wire_bytes: snapshot.wire_bytes_sent,
+            combiner_records_in: out.stats.combiner_records_in,
+            combiner_records_out: out.stats.combiner_records_out,
+        },
+        out.partitions,
+    ))
+}
+
+/// Canonicalizes one partition's output for comparison: in hashed mode
+/// group order is first-appearance (combiner windows legitimately change
+/// it), so compare as key-sorted record multisets; in sorted mode the
+/// runtime already guarantees byte-identical order and sorting is a
+/// no-op on an already-sorted batch.
+fn canonical(partitions: Vec<dmpi_common::RecordBatch>) -> Vec<Vec<dmpi_common::Record>> {
+    use dmpi_common::compare::{sort_records, BytesComparator};
+    partitions
+        .into_iter()
+        .map(|p| {
+            let mut records = p.into_records();
+            sort_records(&mut records, &BytesComparator);
+            records
+        })
+        .collect()
+}
+
+/// Runs the combiner grid and the spill probe.
+///
+/// Two invariants are asserted per grid cell, mirroring the PR's
+/// correctness bar:
+///
+/// * combiner-on and combiner-off produce equal outputs (byte-identical
+///   in sorted mode, canonically equal in hashed mode);
+/// * combiner-on never ships more shuffle bytes than combiner-off.
+pub fn pipeline_bench_data(
+    ranks: usize,
+    tasks: usize,
+    bytes_per_task: usize,
+) -> Result<PipelineBenchData> {
+    let mut runs = Vec::new();
+    for workload in [ExecWorkload::WordCount, ExecWorkload::Grep] {
+        for backend in [Backend::InProc, Backend::Tcp] {
+            for sorted in [true, false] {
+                let (off, out_off) = run_once(
+                    workload,
+                    backend,
+                    sorted,
+                    false,
+                    ranks,
+                    tasks,
+                    bytes_per_task,
+                )?;
+                let (on, out_on) = run_once(
+                    workload,
+                    backend,
+                    sorted,
+                    true,
+                    ranks,
+                    tasks,
+                    bytes_per_task,
+                )?;
+                if canonical(out_off) != canonical(out_on) {
+                    return Err(dmpi_common::Error::InvalidState(format!(
+                        "{} ({}, {}): combiner changed the job output",
+                        workload.name(),
+                        off.backend,
+                        off.grouping
+                    )));
+                }
+                if on.bytes_shuffled > off.bytes_shuffled {
+                    return Err(dmpi_common::Error::InvalidState(format!(
+                        "{} ({}, {}): combiner shipped more bytes ({} > {})",
+                        workload.name(),
+                        off.backend,
+                        off.grouping,
+                        on.bytes_shuffled,
+                        off.bytes_shuffled
+                    )));
+                }
+                runs.push(off);
+                runs.push(on);
+            }
+        }
+    }
+
+    // Spill probe: sort under a budget small enough that every partition
+    // seals many runs, so the peak-resident reading is meaningful. Sort
+    // emits (line, line), so per-partition intermediate bytes are about
+    // 2x input / ranks; a budget of 1/16th of that forces 10+ runs.
+    let budget = (tasks * bytes_per_task * 2 / ranks / 16).max(256);
+    let workload = ExecWorkload::TextSort;
+    let config = JobConfig::new(ranks).with_memory_budget(budget);
+    let out = workload.run_inproc(&config, workload.inputs(tasks, bytes_per_task, 42))?;
+    let spill = SpillProbe {
+        memory_budget: budget,
+        records: out.stats.records_emitted,
+        spills: out.stats.spills,
+        spilled_bytes: out.stats.spilled_bytes,
+        peak_resident_records: out.stats.peak_resident_records,
+    };
+
+    Ok(PipelineBenchData {
+        ranks,
+        tasks,
+        bytes_per_task,
+        runs,
+        spill,
+    })
+}
+
+/// Renders the report table.
+pub fn render_table(data: &PipelineBenchData) -> Table {
+    render_table_named(data, "pipeline-bench")
+}
+
+/// The EXPERIMENTS.md entry: the same grid at a size cheap enough for
+/// `figures all` to regenerate alongside every paper figure.
+pub fn fig_ext_pipeline() -> Result<Table> {
+    let data = pipeline_bench_data(2, 6, 8 * 1024)?;
+    Ok(render_table_named(&data, "fig-ext-pipeline"))
+}
+
+fn render_table_named(data: &PipelineBenchData, name: &str) -> Table {
+    let mut table = Table::new(
+        name,
+        format!(
+            "Streaming pipeline: {} ranks, {} O tasks, {} B/task; spill probe budget {} B \
+             (peak resident {} of {} records, {} spills)",
+            data.ranks,
+            data.tasks,
+            data.bytes_per_task,
+            data.spill.memory_budget,
+            data.spill.peak_resident_records,
+            data.spill.records,
+            data.spill.spills
+        ),
+        &[
+            "Workload",
+            "Backend",
+            "Grouping",
+            "Combiner",
+            "Seconds",
+            "Shuffle KB",
+            "Wire KB",
+            "Comb in/out",
+        ],
+    );
+    for run in &data.runs {
+        table.push_row(vec![
+            run.workload.to_string(),
+            run.backend.to_string(),
+            run.grouping.to_string(),
+            if run.combiner { "on" } else { "off" }.to_string(),
+            format!("{:.4}", run.seconds),
+            format!("{:.1}", run.bytes_shuffled as f64 / 1024.0),
+            format!("{:.1}", run.wire_bytes as f64 / 1024.0),
+            if run.combiner {
+                format!("{}/{}", run.combiner_records_in, run.combiner_records_out)
+            } else {
+                "-".to_string()
+            },
+        ]);
+    }
+    table
+}
+
+/// Renders the `BENCH_pipeline.json` artifact.
+pub fn render_artifact_json(data: &PipelineBenchData) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"pipeline-bench\",\n");
+    let _ = writeln!(
+        out,
+        "  \"ranks\": {}, \"tasks\": {}, \"bytes_per_task\": {},",
+        data.ranks, data.tasks, data.bytes_per_task
+    );
+    out.push_str("  \"runs\": [\n");
+    for (i, run) in data.runs.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"workload\": \"{}\", \"backend\": \"{}\", \"grouping\": \"{}\", \
+             \"combiner\": {}, \"seconds\": {:.4}, \"records\": {}, \
+             \"bytes_shuffled\": {}, \"wire_bytes\": {}, \
+             \"combiner_records_in\": {}, \"combiner_records_out\": {}}}{}",
+            run.workload,
+            run.backend,
+            run.grouping,
+            run.combiner,
+            run.seconds,
+            run.records,
+            run.bytes_shuffled,
+            run.wire_bytes,
+            run.combiner_records_in,
+            run.combiner_records_out,
+            if i + 1 < data.runs.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ],\n");
+    let s = &data.spill;
+    let _ = writeln!(
+        out,
+        "  \"spill_probe\": {{\"workload\": \"sort\", \"memory_budget\": {}, \
+         \"records\": {}, \"spills\": {}, \"spilled_bytes\": {}, \
+         \"peak_resident_records\": {}}}",
+        s.memory_budget, s.records, s.spills, s.spilled_bytes, s.peak_resident_records
+    );
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_covers_every_cell_and_combiner_saves_bytes() {
+        let data = pipeline_bench_data(2, 4, 1200).unwrap();
+        // 2 workloads x 2 backends x 2 groupings x off/on.
+        assert_eq!(data.runs.len(), 16);
+        for pair in data.runs.chunks(2) {
+            let (off, on) = (&pair[0], &pair[1]);
+            assert!(!off.combiner);
+            assert!(on.combiner);
+            assert_eq!(off.records, on.records, "user emits are pre-combine");
+            assert!(on.bytes_shuffled <= off.bytes_shuffled);
+            assert!(on.combiner_records_out <= on.combiner_records_in);
+            assert_eq!(off.combiner_records_in, 0);
+        }
+        // WordCount folds a small dictionary: the saving must be strict.
+        let wc_sorted_inproc: Vec<_> = data
+            .runs
+            .iter()
+            .filter(|r| {
+                r.workload == "wordcount" && r.backend == "inproc" && r.grouping == "sorted"
+            })
+            .collect();
+        assert!(wc_sorted_inproc[1].bytes_shuffled < wc_sorted_inproc[0].bytes_shuffled);
+        // TCP rows really used sockets.
+        assert!(data.runs.iter().any(|r| r.wire_bytes > 0));
+        // The spill probe exercised the external merge.
+        assert!(data.spill.spills > 0);
+        assert!(data.spill.peak_resident_records < data.spill.records);
+    }
+
+    #[test]
+    fn artifact_json_is_complete() {
+        let data = pipeline_bench_data(2, 3, 600).unwrap();
+        let json = render_artifact_json(&data);
+        assert!(json.contains("\"experiment\": \"pipeline-bench\""));
+        assert!(json.contains("\"combiner\": true"));
+        assert!(json.contains("\"spill_probe\""));
+        assert!(json.contains("\"peak_resident_records\""));
+        assert!(render_table(&data).render_text().contains("wordcount"));
+    }
+}

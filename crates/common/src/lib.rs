@@ -23,6 +23,8 @@
 //! * [`units`] — byte-size constants and formatting helpers.
 //! * [`error`] — the shared error type.
 
+#![warn(missing_docs)]
+
 pub mod codec;
 pub mod compare;
 pub mod crc;

@@ -10,6 +10,7 @@
 
 use bytes::Bytes;
 
+use dmpi_common::group::group_hashed;
 use dmpi_common::partition::{HashPartitioner, Partitioner};
 use dmpi_common::ser;
 use dmpi_common::Record;
@@ -18,19 +19,24 @@ use crate::checkpoint::CheckpointStore;
 use crate::comm::Frame;
 use crate::fault::Corruption;
 use crate::observe::{SpanKind, Tracer};
+use crate::task::{Collector, Combiner};
 use crate::transport::FrameSender;
 
 /// Counters reported by a finished buffer.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct BufferStats {
-    /// Records emitted.
+    /// Records emitted by user code (pre-combiner).
     pub records: u64,
-    /// Framed bytes emitted.
+    /// Framed bytes shipped (post-combiner when one is installed).
     pub bytes: u64,
     /// Frames shipped before `finish` (the pipelined flushes).
     pub early_flushes: u64,
     /// Total frames shipped.
     pub frames: u64,
+    /// Records fed into the combiner (0 without one).
+    pub combiner_records_in: u64,
+    /// Records the combiner emitted for shipping (0 without one).
+    pub combiner_records_out: u64,
 }
 
 /// A partitioned, flush-on-threshold emit buffer bound to one O task.
@@ -56,6 +62,32 @@ pub struct KvBuffer {
     tracer: Option<Tracer>,
     /// Largest single-partition buffer occupancy seen, bytes.
     hwm_bytes: usize,
+    /// O-side pre-aggregation: when set, emits are staged as decoded
+    /// records per destination and key-folded through this function
+    /// right before their frame is built, so repeated keys collapse
+    /// locally instead of crossing the wire.
+    combiner: Option<Combiner>,
+    /// Per-destination staging for the combiner (empty when none).
+    pending: Vec<Vec<Record>>,
+    /// Framed-size accounting of `pending`, for threshold decisions.
+    pending_bytes: Vec<usize>,
+}
+
+/// Frames a combiner's output records straight into a destination
+/// buffer, counting them.
+struct FrameCollector<'a> {
+    buf: &'a mut Vec<u8>,
+    records: u64,
+}
+
+impl Collector for FrameCollector<'_> {
+    fn collect(&mut self, key: &[u8], value: &[u8]) {
+        dmpi_common::varint::write_u64(self.buf, key.len() as u64);
+        dmpi_common::varint::write_u64(self.buf, value.len() as u64);
+        self.buf.extend_from_slice(key);
+        self.buf.extend_from_slice(value);
+        self.records += 1;
+    }
 }
 
 impl KvBuffer {
@@ -84,7 +116,19 @@ impl KvBuffer {
             corruption: None,
             tracer: None,
             hwm_bytes: 0,
+            combiner: None,
+            pending: Vec::new(),
+            pending_bytes: Vec::new(),
         }
+    }
+
+    /// Installs an O-side combiner; see
+    /// [`JobConfig::with_combiner`](crate::JobConfig::with_combiner).
+    pub fn set_combiner(&mut self, combiner: Combiner) {
+        let parts = self.buffers.len();
+        self.pending = (0..parts).map(|_| Vec::new()).collect();
+        self.pending_bytes = vec![0; parts];
+        self.combiner = Some(combiner);
     }
 
     /// Enables the checkpoint tee.
@@ -105,6 +149,11 @@ impl KvBuffer {
 
     /// Emits one key-value pair.
     pub fn emit(&mut self, record: &Record) {
+        if self.combiner.is_some() {
+            let p = self.partitioner.partition(&record.key);
+            self.stage(p, record.clone());
+            return;
+        }
         let p = self.partitioner.partition(&record.key);
         ser::frame_record(&mut self.buffers[p], record);
         self.stats.records += 1;
@@ -118,6 +167,11 @@ impl KvBuffer {
 
     /// Emits a raw key/value pair without constructing a `Record`.
     pub fn emit_kv(&mut self, key: &[u8], value: &[u8]) {
+        if self.combiner.is_some() {
+            let p = self.partitioner.partition(key);
+            self.stage(p, Record::new(key.to_vec(), value.to_vec()));
+            return;
+        }
         // Avoid the Bytes round trip on the hot path.
         let p = self.partitioner.partition(key);
         let buf = &mut self.buffers[p];
@@ -133,6 +187,44 @@ impl KvBuffer {
             self.flush_partition(p);
             self.stats.early_flushes += 1;
         }
+    }
+
+    /// Combiner path of both emit surfaces: stage the decoded record and
+    /// fold + ship the destination once its staged (framed-size
+    /// equivalent) bytes cross the flush threshold.
+    fn stage(&mut self, p: usize, record: Record) {
+        self.stats.records += 1;
+        self.pending_bytes[p] += record.framed_len();
+        self.pending[p].push(record);
+        self.hwm_bytes = self.hwm_bytes.max(self.pending_bytes[p]);
+        if self.pipelined && self.pending_bytes[p] >= self.flush_threshold {
+            self.combine_partition(p);
+            self.flush_partition(p);
+            self.stats.early_flushes += 1;
+        }
+    }
+
+    /// Folds destination `p`'s staged records through the combiner into
+    /// its frame buffer: group by key (first-appearance order — the
+    /// A side regroups anyway) and let the combiner collapse each group.
+    fn combine_partition(&mut self, p: usize) {
+        if self.pending[p].is_empty() {
+            return;
+        }
+        let combiner = self.combiner.clone().expect("stage requires a combiner");
+        let staged = std::mem::take(&mut self.pending[p]);
+        self.pending_bytes[p] = 0;
+        self.stats.combiner_records_in += staged.len() as u64;
+        let before = self.buffers[p].len();
+        let mut out = FrameCollector {
+            buf: &mut self.buffers[p],
+            records: 0,
+        };
+        for group in &group_hashed(staged) {
+            combiner.apply(group, &mut out);
+        }
+        self.stats.combiner_records_out += out.records;
+        self.stats.bytes += (self.buffers[p].len() - before) as u64;
     }
 
     fn flush_partition(&mut self, p: usize) {
@@ -169,14 +261,23 @@ impl KvBuffer {
         }
     }
 
-    /// Flushes all remaining data and returns the task's counters.
+    /// Flushes all remaining data (folding staged records through the
+    /// combiner first, when one is installed) and returns the task's
+    /// counters.
     pub fn finish(mut self) -> BufferStats {
         for p in 0..self.buffers.len() {
+            if self.combiner.is_some() {
+                self.combine_partition(p);
+            }
             self.flush_partition(p);
         }
         if let Some(t) = &self.tracer {
             t.registry().add_records_out(self.stats.records);
             t.registry().observe_buffer_level(self.hwm_bytes as u64);
+            t.registry().add_combiner(
+                self.stats.combiner_records_in,
+                self.stats.combiner_records_out,
+            );
         }
         self.stats
     }
@@ -303,6 +404,111 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         Frame::data(0, 4, clean.clone()).verify().unwrap();
+    }
+
+    /// The WordCount-style sum combiner used by the tests below.
+    fn sum_combiner() -> Combiner {
+        use dmpi_common::ser::Writable;
+        Combiner::new(|g, out| {
+            let total: u64 = g.values.iter().map(|v| u64::from_bytes(v).unwrap()).sum();
+            out.collect(&g.key, &total.to_bytes());
+        })
+    }
+
+    #[test]
+    fn combiner_collapses_repeated_keys_before_the_wire() {
+        use dmpi_common::ser::Writable;
+        let mut net = Interconnect::new(1);
+        let senders = frame_senders(&net);
+        let rx = net.take_receiver(0);
+        let mut buf = KvBuffer::new(senders, 0, 0, usize::MAX, true);
+        buf.set_combiner(sum_combiner());
+        for _ in 0..50 {
+            buf.emit_kv(b"apple", &1u64.to_bytes());
+            buf.emit_kv(b"pear", &1u64.to_bytes());
+        }
+        let stats = buf.finish();
+        assert_eq!(stats.records, 100, "user emits counted pre-combine");
+        assert_eq!(stats.combiner_records_in, 100);
+        assert_eq!(stats.combiner_records_out, 2);
+        let frames = drain(&rx);
+        let records: Vec<Record> = frames
+            .iter()
+            .filter_map(|f| match f {
+                Frame::Data { payload, .. } => Some(ser::unframe_batch(payload).unwrap()),
+                _ => None,
+            })
+            .flat_map(|b| b.into_records())
+            .collect();
+        assert_eq!(records.len(), 2, "only folded records cross the wire");
+        let total_payload: usize = frames.iter().map(Frame::payload_len).sum();
+        assert_eq!(total_payload as u64, stats.bytes, "bytes count the wire");
+        for r in records {
+            assert_eq!(u64::from_bytes(&r.value).unwrap(), 50);
+        }
+    }
+
+    #[test]
+    fn combiner_respects_the_flush_threshold() {
+        use dmpi_common::ser::Writable;
+        let mut net = Interconnect::new(1);
+        let senders = frame_senders(&net);
+        let rx = net.take_receiver(0);
+        let mut buf = KvBuffer::new(senders, 0, 0, 256, true);
+        buf.set_combiner(sum_combiner());
+        for i in 0..200 {
+            buf.emit_kv(format!("key{:02}", i % 10).as_bytes(), &1u64.to_bytes());
+        }
+        let stats = buf.finish();
+        assert!(
+            stats.early_flushes > 0,
+            "staged bytes must trip the threshold"
+        );
+        assert!(stats.frames > 1);
+        // Each early flush folds its own window, so per-key partial sums
+        // appear once per flushed frame — still far fewer than 200.
+        assert!(stats.combiner_records_out < stats.combiner_records_in);
+        let shipped: u64 = drain(&rx)
+            .iter()
+            .filter_map(|f| match f {
+                Frame::Data { payload, .. } => {
+                    Some(ser::unframe_batch(payload).unwrap().len() as u64)
+                }
+                _ => None,
+            })
+            .sum();
+        assert_eq!(shipped, stats.combiner_records_out);
+    }
+
+    #[test]
+    fn combiner_emit_and_emit_kv_agree() {
+        let mut net_a = Interconnect::new(2);
+        let mut net_b = Interconnect::new(2);
+        let rx_a: Vec<_> = (0..2).map(|r| net_a.take_receiver(r)).collect();
+        let rx_b: Vec<_> = (0..2).map(|r| net_b.take_receiver(r)).collect();
+        let mut a = KvBuffer::new(frame_senders(&net_a), 0, 0, usize::MAX, true);
+        let mut b = KvBuffer::new(frame_senders(&net_b), 0, 0, usize::MAX, true);
+        a.set_combiner(sum_combiner());
+        b.set_combiner(sum_combiner());
+        use dmpi_common::ser::Writable;
+        for i in 0..40 {
+            let rec = Record::new(format!("k{}", i % 5).into_bytes(), 1u64.to_bytes().to_vec());
+            a.emit(&rec);
+            b.emit_kv(&rec.key, &rec.value);
+        }
+        assert_eq!(a.finish(), b.finish());
+        for (ra, rb) in rx_a.iter().zip(&rx_b) {
+            let payload = |rx: &crossbeam::channel::Receiver<Frame>| -> Vec<u8> {
+                drain(rx)
+                    .iter()
+                    .flat_map(|f| match f {
+                        Frame::Data { payload, .. } => payload.to_vec(),
+                        _ => vec![],
+                    })
+                    .collect()
+            };
+            assert_eq!(payload(ra), payload(rb));
+        }
     }
 
     #[test]

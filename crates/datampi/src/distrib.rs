@@ -11,7 +11,7 @@
 //! 3. once every rank has registered, the coordinator broadcasts the
 //!    complete rank table (`peers <addr0> <addr1> …`), and every worker
 //!    builds the full TCP mesh with
-//!    [`establish_endpoint`](crate::transport::establish_endpoint) —
+//!    [`establish_endpoint`] —
 //!    exactly the fabric the threaded runtime uses for
 //!    [`Backend::Tcp`](crate::transport::Backend), so both surfaces run
 //!    the same wire code;
@@ -40,8 +40,8 @@ use dmpi_common::{Error, FaultCause, FaultKind, Result};
 use crate::buffer::KvBuffer;
 use crate::comm::Frame;
 use crate::config::JobConfig;
-use crate::runtime::{ingest_partition, JobStats};
-use crate::task::{group_hashed, group_sorted, BatchCollector, Collector, GroupedValues};
+use crate::runtime::{ingest_partition, store_decode_fault, IngestConfig, JobStats};
+use crate::task::{BatchCollector, Collector, GroupedValues};
 use crate::transport::{establish_endpoint, TcpOptions, WireStats};
 
 /// Environment variable carrying a worker's rank.
@@ -212,7 +212,21 @@ where
 
     let ingest = std::thread::scope(|scope| {
         let budget = config.memory_budget;
-        let ingest = scope.spawn(move || ingest_partition(receiver, ranks, budget, None, rank, 0));
+        let sorted = config.sorted_grouping;
+        let ingest = scope.spawn(move || {
+            ingest_partition(
+                receiver,
+                IngestConfig {
+                    expected_eofs: ranks,
+                    memory_budget: budget,
+                    sorted,
+                    observer: None,
+                    recv_start: None,
+                    rank,
+                    attempt: 0,
+                },
+            )
+        });
 
         for task in (rank..inputs.len()).step_by(ranks.max(1)) {
             let mut buffer = KvBuffer::new(
@@ -222,6 +236,9 @@ where
                 config.flush_threshold,
                 config.pipelined,
             );
+            if let Some(c) = &config.combiner {
+                buffer.set_combiner(c.clone());
+            }
             {
                 let mut adapter = EmitAdapter {
                     buffer: &mut buffer,
@@ -234,6 +251,8 @@ where
             stats.bytes_emitted += b.bytes;
             stats.frames += b.frames;
             stats.early_flushes += b.early_flushes;
+            stats.combiner_records_in += b.combiner_records_in;
+            stats.combiner_records_out += b.combiner_records_out;
         }
         for s in senders.iter() {
             s.send(Frame::Eof { from_rank: rank });
@@ -246,6 +265,7 @@ where
     let st = store.stats();
     stats.spills += st.spills;
     stats.spilled_bytes += st.spilled_bytes;
+    stats.peak_resident_records = stats.peak_resident_records.max(st.peak_resident_records);
 
     // Teardown before any error propagates, so writer/reader threads
     // never outlive the report.
@@ -259,29 +279,19 @@ where
         return Err(e);
     }
 
+    // Same streaming A phase as the threaded runtime: pull key groups
+    // one at a time off the store's k-way merge.
     let mut collector = BatchCollector::default();
-    match store.into_records(config.sorted_grouping) {
-        Ok(records) => {
-            let groups = if config.sorted_grouping {
-                group_sorted(records)
-            } else {
-                group_hashed(records)
-            };
-            stats.groups += groups.len() as u64;
-            for g in &groups {
-                a_fn(g, &mut collector);
-            }
+    let streamed = store.into_group_stream().and_then(|mut stream| {
+        while let Some(g) = stream.next_group()? {
+            stats.groups += 1;
+            a_fn(&g, &mut collector);
         }
-        Err(e) => {
-            finish(endpoint);
-            return Err(Error::fault(
-                FaultCause::new(
-                    FaultKind::CorruptFrame,
-                    format!("A-side store decode failed: {e}"),
-                )
-                .rank(rank),
-            ));
-        }
+        Ok(())
+    });
+    if let Err(e) = streamed {
+        finish(endpoint);
+        return Err(store_decode_fault(e, rank, 0));
     }
     let wire = finish(endpoint);
     stats.attempts = 1;

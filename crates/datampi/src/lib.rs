@@ -43,6 +43,8 @@
 //! * a **plan compiler** ([`plan`]) that translates the same job into
 //!   `dmpi-dcsim` activities for the paper-scale experiments.
 
+#![warn(missing_docs)]
+
 pub mod buffer;
 pub mod checkpoint;
 pub mod comm;
@@ -64,7 +66,7 @@ pub use fault::FaultPlan;
 pub use observe::{Observer, PhaseTotals, Profiler, SpanKind, Trace};
 pub use runtime::{run_job, JobOutput, JobStats};
 pub use supervisor::{supervise_job, RetryPolicy};
-pub use task::{Collector, GroupedValues};
+pub use task::{Collector, Combiner, GroupedValues};
 pub use transport::{
     Backend, Endpoint, FrameReceiver, FrameSender, TcpOptions, Transport, WireStats,
 };

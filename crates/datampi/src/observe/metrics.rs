@@ -35,6 +35,10 @@ pub struct MetricsRegistry {
     wire_bytes_sent: AtomicU64,
     /// Encoded bytes decoded from transport sockets. Zero in-proc.
     wire_bytes_received: AtomicU64,
+    /// Records fed into O-side combiners.
+    combiner_records_in: AtomicU64,
+    /// Records O-side combiners shipped after folding.
+    combiner_records_out: AtomicU64,
     /// `sent[from][to]` payload bytes, sized by `begin_job`.
     sent: RwLock<Vec<Arc<Vec<AtomicU64>>>>,
     /// `recv[at][from]` payload bytes, sized by `begin_job`.
@@ -69,6 +73,11 @@ pub struct MetricsSnapshot {
     pub wire_bytes_sent: u64,
     /// Encoded bytes decoded from transport sockets (zero in-proc).
     pub wire_bytes_received: u64,
+    /// Records fed into O-side combiners (zero without a combiner).
+    pub combiner_records_in: u64,
+    /// Records O-side combiners shipped after folding; `in - out` pairs
+    /// were collapsed before reaching the wire.
+    pub combiner_records_out: u64,
 }
 
 impl MetricsRegistry {
@@ -167,6 +176,15 @@ impl MetricsRegistry {
             .fetch_add(received, Ordering::Relaxed);
     }
 
+    /// Counts an O-side combiner's fold: `records_in` staged records
+    /// collapsed to `records_out` shipped ones.
+    pub fn add_combiner(&self, records_in: u64, records_out: u64) {
+        self.combiner_records_in
+            .fetch_add(records_in, Ordering::Relaxed);
+        self.combiner_records_out
+            .fetch_add(records_out, Ordering::Relaxed);
+    }
+
     /// Total payload bytes sent, summed over the peer matrix.
     pub fn total_bytes_sent(&self) -> u64 {
         Self::matrix_total(&self.sent)
@@ -222,6 +240,8 @@ impl MetricsRegistry {
             recovered_tasks: self.recovered_tasks.load(Ordering::Relaxed),
             wire_bytes_sent: self.wire_bytes_sent.load(Ordering::Relaxed),
             wire_bytes_received: self.wire_bytes_received.load(Ordering::Relaxed),
+            combiner_records_in: self.combiner_records_in.load(Ordering::Relaxed),
+            combiner_records_out: self.combiner_records_out.load(Ordering::Relaxed),
         }
     }
 }

@@ -17,7 +17,8 @@
 //!
 //! Frames move over whichever [`crate::transport`] backend the config
 //! selects: the in-proc channel fabric or a real TCP mesh. The runtime
-//! only ever sees [`FrameSender`]s and a [`FrameReceiver`], so both
+//! only ever sees [`FrameSender`](crate::transport::FrameSender)s and a
+//! [`FrameReceiver`], so both
 //! backends execute exactly the same code path.
 //!
 //! Failures: an O task error, rank death, or corrupt frame marks the job
@@ -45,7 +46,7 @@ use crate::comm::Frame;
 use crate::config::JobConfig;
 use crate::observe::{Observer, PhaseTotals, SpanKind, Tracer};
 use crate::store::PartitionStore;
-use crate::task::{group_hashed, group_sorted, BatchCollector, Collector, GroupedValues};
+use crate::task::{BatchCollector, Collector, GroupedValues};
 use crate::transport::{self, FrameReceiver};
 
 /// Aggregate counters of a finished job.
@@ -80,9 +81,22 @@ pub struct JobStats {
     pub corrupt_frames: u64,
     /// Injected straggler delays served by O tasks.
     pub straggler_delays: u64,
+    /// Largest number of decoded records any single A partition's
+    /// forming run held at once (max across ranks). Under spill
+    /// pressure this stays far below `records_emitted` — the evidence
+    /// that grouping streams via external merge instead of
+    /// materializing the dataset.
+    pub peak_resident_records: u64,
+    /// Records fed into the O-side combiner (pre-aggregation input).
+    /// Zero unless [`JobConfig::with_combiner`](crate::JobConfig) is set.
+    pub combiner_records_in: u64,
+    /// Records the combiner actually shipped (pre-aggregation output);
+    /// `combiner_records_in - combiner_records_out` pairs never touched
+    /// the wire.
+    pub combiner_records_out: u64,
     /// Per-phase wall-time totals, summed across ranks, derived from the
     /// span log. All zero unless the config installs an
-    /// [`Observer`](crate::observe::Observer).
+    /// [`Observer`].
     pub phase_us: PhaseTotals,
 }
 
@@ -103,6 +117,9 @@ impl JobStats {
         self.wasted_bytes += other.wasted_bytes;
         self.corrupt_frames += other.corrupt_frames;
         self.straggler_delays += other.straggler_delays;
+        self.peak_resident_records = self.peak_resident_records.max(other.peak_resident_records);
+        self.combiner_records_in += other.combiner_records_in;
+        self.combiner_records_out += other.combiner_records_out;
         self.phase_us.merge(&other.phase_us);
     }
 }
@@ -315,8 +332,21 @@ where
                 let ingest = std::thread::scope(|ingest_scope| {
                     let observer = config.observer.as_ref();
                     let budget = config.memory_budget;
+                    let sorted = config.sorted_grouping;
+                    let recv_start = observer.map(Observer::now_micros);
                     let ingest = ingest_scope.spawn(move || {
-                        ingest_partition(receiver, ranks, budget, observer, rank, attempt)
+                        ingest_partition(
+                            receiver,
+                            IngestConfig {
+                                expected_eofs: ranks,
+                                memory_budget: budget,
+                                sorted,
+                                observer,
+                                recv_start,
+                                rank,
+                                attempt,
+                            },
+                        )
                     });
 
                     // ---- O phase: dynamic pulls from the shared queue ----
@@ -364,6 +394,9 @@ where
                         }
                         if let Some(t) = &tracer {
                             buffer.set_tracer(t.for_task(task as u64));
+                        }
+                        if let Some(c) = &config.combiner {
+                            buffer.set_combiner(c.clone());
                         }
 
                         if let Some(plan) = plan {
@@ -443,6 +476,8 @@ where
                         stats.bytes_emitted += b.bytes;
                         stats.frames += b.frames;
                         stats.early_flushes += b.early_flushes;
+                        stats.combiner_records_in += b.combiner_records_in;
+                        stats.combiner_records_out += b.combiner_records_out;
                         if let Some(cp) = checkpoint.as_ref() {
                             cp.mark_complete(task);
                         }
@@ -465,51 +500,55 @@ where
                 let st = store.stats();
                 stats.spills += st.spills;
                 stats.spilled_bytes += st.spilled_bytes;
+                stats.peak_resident_records =
+                    stats.peak_resident_records.max(st.peak_resident_records);
 
                 let mut collector = BatchCollector::default();
                 let mut group_result: Result<()> = Ok(());
                 if !failed.load(Ordering::SeqCst) {
+                    // Ingest already decoded (and, for spilled runs,
+                    // sorted) everything overlapped with the O phase; the
+                    // Sort span now covers only the final in-memory run's
+                    // sort plus merge setup.
                     let sort_start = tracer.as_ref().map(Tracer::start);
-                    match store.into_records(config.sorted_grouping) {
-                        Ok(records) => {
+                    let runs = st.spills + 1;
+                    match store.into_group_stream() {
+                        Ok(mut stream) => {
                             if let Some(t) = &tracer {
-                                t.registry().add_records_in(records.len() as u64);
-                            }
-                            let groups = if config.sorted_grouping {
-                                group_sorted(records)
-                            } else {
-                                group_hashed(records)
-                            };
-                            if let Some(t) = &tracer {
+                                t.registry().add_records_in(st.records);
                                 t.span(
                                     SpanKind::Sort,
                                     sort_start.unwrap_or(0),
-                                    vec![("groups", groups.len().to_string())],
+                                    vec![("runs", runs.to_string())],
                                 );
                             }
-                            stats.groups += groups.len() as u64;
+                            // Pull one key group at a time from the k-way
+                            // merge: grouped data is never all resident.
                             let a_start = tracer.as_ref().map(Tracer::start);
-                            for g in &groups {
-                                a_fn(g, &mut collector);
-                            }
+                            let mut groups = 0u64;
+                            let streamed = loop {
+                                match stream.next_group() {
+                                    Ok(Some(g)) => {
+                                        groups += 1;
+                                        a_fn(&g, &mut collector);
+                                    }
+                                    Ok(None) => break Ok(()),
+                                    Err(e) => break Err(e),
+                                }
+                            };
+                            stats.groups += groups;
                             if let Some(t) = &tracer {
-                                t.span(SpanKind::ACompute, a_start.unwrap_or(0), vec![]);
+                                t.span(
+                                    SpanKind::ACompute,
+                                    a_start.unwrap_or(0),
+                                    vec![("groups", groups.to_string())],
+                                );
+                            }
+                            if let Err(e) = streamed {
+                                group_result = Err(store_decode_fault(e, rank, attempt));
                             }
                         }
-                        Err(e) => {
-                            // An undecodable A-store record is corruption
-                            // that slipped past the per-frame CRC gate;
-                            // keep the provenance that gate would have
-                            // attached instead of dropping it.
-                            group_result = Err(Error::fault(
-                                FaultCause::new(
-                                    FaultKind::CorruptFrame,
-                                    format!("A-side store decode failed: {e}"),
-                                )
-                                .rank(rank)
-                                .attempt(attempt),
-                            ));
-                        }
+                        Err(e) => group_result = Err(store_decode_fault(e, rank, attempt)),
                     }
                 }
                 // Merge this rank's span buffer into the job trace before
@@ -585,6 +624,19 @@ where
     Ok(JobOutput { partitions, stats })
 }
 
+/// Wraps an undecodable A-store record as the structured corruption
+/// fault the CRC gate would have raised, with rank/attempt provenance.
+pub(crate) fn store_decode_fault(e: Error, rank: usize, attempt: u32) -> Error {
+    Error::fault(
+        FaultCause::new(
+            FaultKind::CorruptFrame,
+            format!("A-side store decode failed: {e}"),
+        )
+        .rank(rank)
+        .attempt(attempt),
+    )
+}
+
 /// Moves an [`IngestOutcome`] out of its ingest thread.
 ///
 /// `IngestOutcome` is structurally `!Send` because `PartitionStore` can
@@ -612,6 +664,27 @@ pub(crate) struct IngestOutcome {
     pub phase: PhaseTotals,
 }
 
+/// Parameters of one rank's ingest thread, bundled so the threaded
+/// runtime and `dmpirun` workers share one [`ingest_partition`] call
+/// shape.
+pub(crate) struct IngestConfig<'a> {
+    /// EOF frames to wait for (one per sending rank).
+    pub expected_eofs: usize,
+    /// Per-partition decoded-bytes budget before a spill.
+    pub memory_budget: usize,
+    /// Sorted (MapReduce-mode) vs hashed (Common-mode) grouping.
+    pub sorted: bool,
+    /// Tracing observer, when the job carries one.
+    pub observer: Option<&'a Observer>,
+    /// Recv-span start, stamped by the rank thread *before* spawning
+    /// the ingest thread (see the span-nesting note in the body).
+    pub recv_start: Option<u64>,
+    /// The rank this ingest thread serves.
+    pub rank: usize,
+    /// The attempt number, for the tracer lane.
+    pub attempt: u32,
+}
+
 /// Drains one rank's mailbox until `expected_eofs` EOF frames arrived
 /// (one per sending rank), the mailbox disconnected, or a transport
 /// fault ended the stream. Runs on a dedicated thread, concurrently with
@@ -622,22 +695,29 @@ pub(crate) struct IngestOutcome {
 /// error (with the producing rank and O task in the cause), and skipped,
 /// so a supervised retry sees the fault instead of silently wrong
 /// output. Used by both the threaded runtime and `dmpirun` workers.
-pub(crate) fn ingest_partition(
-    receiver: FrameReceiver,
-    expected_eofs: usize,
-    memory_budget: usize,
-    observer: Option<&Observer>,
-    rank: usize,
-    attempt: u32,
-) -> IngestHandoff {
+pub(crate) fn ingest_partition(receiver: FrameReceiver, cfg: IngestConfig<'_>) -> IngestHandoff {
+    let IngestConfig {
+        expected_eofs,
+        memory_budget,
+        sorted,
+        observer,
+        recv_start,
+        rank,
+        attempt,
+    } = cfg;
     // The tracer must be built on this thread (tracers are thread-local
     // by design); its spans merge into the shared trace on exit.
     let tracer = observer.map(|o| o.rank_tracer(rank as u32, attempt));
-    let mut store = PartitionStore::new(memory_budget);
+    let mut store = PartitionStore::new(memory_budget, sorted);
     if let Some(t) = &tracer {
         store.set_tracer(t.clone());
     }
-    let recv_start = tracer.as_ref().map(Tracer::start);
+    // The caller stamps the Recv start *before* spawning this thread:
+    // the rank's Recv span must enclose its O-task spans (per-lane spans
+    // are either disjoint or nested), and thread scheduling could
+    // otherwise delay this thread's first instruction until after the O
+    // phase has begun.
+    let recv_start = recv_start.or_else(|| tracer.as_ref().map(Tracer::start));
     let mut corrupt_frames = 0u64;
     let mut first_error: Option<Error> = None;
     let mut eofs = 0usize;
@@ -663,7 +743,20 @@ pub(crate) fn ingest_partition(
                     );
                 }
                 if let Frame::Data { payload, .. } = frame {
-                    store.ingest(payload);
+                    // Streaming decode happens right here, overlapped
+                    // with the senders' O phase. A record that fails to
+                    // decode is corruption that slipped past the CRC
+                    // gate; report it with the provenance that gate
+                    // would have attached.
+                    if let Err(e) = store.ingest(payload) {
+                        if let Some(t) = &tracer {
+                            t.instant(
+                                SpanKind::Fault,
+                                vec![("cause", "store decode failed".into())],
+                            );
+                        }
+                        first_error.get_or_insert(store_decode_fault(e, rank, attempt));
+                    }
                 }
             }
             Ok(Some(Frame::Eof { .. })) => eofs += 1,
@@ -755,6 +848,49 @@ mod tests {
         assert_eq!(counts["apple"], 3);
         assert_eq!(counts["pear"], 2);
         assert_eq!(counts["fig"], 1);
+    }
+
+    #[test]
+    fn combiner_cuts_shuffle_bytes_at_identical_output() {
+        let combiner = crate::task::Combiner::new(wordcount_a);
+        let inputs = || {
+            (0..8)
+                .map(|i| Bytes::from(format!("w{} w{} shared shared w{}", i % 3, i % 5, i % 3)))
+                .collect::<Vec<_>>()
+        };
+        let plain = JobConfig::new(3);
+        let combined = JobConfig::new(3).with_combiner(combiner);
+        let a = run_job(&plain, inputs(), wordcount_o, wordcount_a, None).unwrap();
+        let b = run_job(&combined, inputs(), wordcount_o, wordcount_a, None).unwrap();
+        // Byte-identical output per partition...
+        for (pa, pb) in a.partitions.iter().zip(&b.partitions) {
+            assert_eq!(pa.records(), pb.records());
+        }
+        // ...with fewer shuffled bytes and a real fold.
+        assert!(b.stats.bytes_emitted < a.stats.bytes_emitted);
+        assert_eq!(b.stats.records_emitted, a.stats.records_emitted);
+        assert_eq!(b.stats.combiner_records_in, b.stats.records_emitted);
+        assert!(b.stats.combiner_records_out < b.stats.combiner_records_in);
+        assert_eq!(a.stats.combiner_records_in, 0, "no combiner, no counters");
+    }
+
+    #[test]
+    fn spilled_job_streams_instead_of_materializing() {
+        // A tiny A-side budget forces many spill runs; the streamed merge
+        // must bound the forming run far below the total record count.
+        let config = JobConfig::new(2).with_memory_budget(128);
+        let inputs: Vec<Bytes> = (0..40)
+            .map(|i| Bytes::from(format!("a{i} b{i} c{i} d{i} e{i} f{i} g{i} h{i}")))
+            .collect();
+        let out = run_job(&config, inputs, wordcount_o, wordcount_a, None).unwrap();
+        assert!(out.stats.spills > 0);
+        assert_eq!(out.stats.records_emitted, 320);
+        assert!(
+            out.stats.peak_resident_records * 4 < out.stats.records_emitted,
+            "peak {} vs total {}",
+            out.stats.peak_resident_records,
+            out.stats.records_emitted
+        );
     }
 
     #[test]

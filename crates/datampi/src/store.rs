@@ -1,16 +1,33 @@
-//! The A-side intermediate store — DataMPI's "data-centric" leg.
+//! The A-side intermediate store — DataMPI's "data-centric" leg, as a
+//! **streaming run-formation + external-merge pipeline**.
 //!
-//! Frames arriving at an A partition are buffered **in worker memory**; the
-//! A task later reads them locally, grouped by key. If the partition
-//! outgrows its memory budget, whole buffers spill to (simulated) disk —
-//! correctness is unchanged, but the spill counters feed the ablation
-//! benches that quantify how much of DataMPI's win comes from avoiding
-//! disk round trips.
+//! Frames arriving at an A partition are decoded into records *as they
+//! arrive* (concurrently with the O phase — the ingest thread does this
+//! work while O tasks are still computing) and appended to a forming
+//! in-memory **run**. When the partition outgrows its memory budget the
+//! run is key-sorted and sealed into a key-sorted **spill image**
+//! (simulated disk: an owned framed buffer with separate accounting — a
+//! real deployment would write files). Grouping then becomes a k-way
+//! external merge over all runs via a [loser tree], streamed one group at
+//! a time through [`GroupStream`], so a spilled job never re-materializes
+//! the full record set in memory: at any moment the merge holds one
+//! record per run plus the group under construction.
+//!
+//! This replaces the seed's collect-then-sort shape (buffer every raw
+//! frame, decode and sort everything in one monolithic pass after all
+//! EOFs) — exactly the Hadoop-style materialization the paper criticizes.
+//! Sorting now overlaps the O phase: spill runs are sorted during ingest,
+//! and only the final in-memory run (bounded by the budget) is sorted at
+//! merge time.
+//!
+//! [loser tree]: https://en.wikipedia.org/wiki/K-way_merge_algorithm
+use std::cmp::Ordering;
 
 use bytes::Bytes;
 
-use dmpi_common::compare::{merge_sorted_runs, sort_records, BytesComparator};
-use dmpi_common::ser;
+use dmpi_common::compare::{sort_records, BytesComparator, RawComparator};
+use dmpi_common::group::GroupedValues;
+use dmpi_common::ser::{self, RecordReader};
 use dmpi_common::{Record, Result};
 
 use crate::observe::{SpanKind, Tracer};
@@ -18,22 +35,38 @@ use crate::observe::{SpanKind, Tracer};
 /// Counters for one partition's store.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StoreStats {
-    /// Bytes currently resident in memory.
+    /// Bytes currently resident in memory (the forming run).
     pub mem_bytes: u64,
     /// Bytes spilled to disk.
     pub spilled_bytes: u64,
-    /// Number of spill events.
+    /// Number of spill events (= number of sealed sorted runs).
     pub spills: u64,
     /// Frames ingested.
     pub frames: u64,
+    /// Records decoded from ingested frames.
+    pub records: u64,
+    /// Largest number of decoded records the forming run ever held at
+    /// once — the proof that grouping streams instead of materializing:
+    /// under spill pressure this stays far below `records`.
+    pub peak_resident_records: u64,
 }
 
 /// In-memory (with spill) store for one A partition.
+///
+/// The store is mode-aware: in sorted (MapReduce) mode spill runs are
+/// key-sorted when sealed so the final grouping is a pure k-way merge;
+/// in hashed (Common) mode runs keep arrival order and grouping hash-
+/// clusters the streamed records.
 pub struct PartitionStore {
     memory_budget: usize,
-    resident: Vec<Bytes>,
-    /// Spilled frame images ("disk": kept as owned buffers with separate
-    /// accounting; a real deployment would write files).
+    /// MapReduce mode: seal runs key-sorted, group by merge. Common
+    /// mode: preserve arrival order, group by hash.
+    sorted: bool,
+    /// The forming run: records decoded from ingested frames, in arrival
+    /// order (sorted lazily when sealed or when the merge starts).
+    current: Vec<Record>,
+    /// Sealed spill images ("disk"): framed records, key-sorted in
+    /// sorted mode, kept as owned buffers with separate accounting.
     spilled: Vec<Vec<u8>>,
     stats: StoreStats,
     /// Observability: when set, spills record `Spill` spans and feed the
@@ -43,10 +76,13 @@ pub struct PartitionStore {
 
 impl PartitionStore {
     /// Creates a store with the given per-partition memory budget.
-    pub fn new(memory_budget: usize) -> Self {
+    /// `sorted` selects MapReduce-mode (key-sorted runs, merge grouping)
+    /// vs Common-mode (arrival order, hash grouping).
+    pub fn new(memory_budget: usize, sorted: bool) -> Self {
         PartitionStore {
             memory_budget,
-            resident: Vec::new(),
+            sorted,
+            current: Vec::new(),
             spilled: Vec::new(),
             stats: StoreStats::default(),
             tracer: None,
@@ -65,25 +101,45 @@ impl PartitionStore {
         self.tracer = None;
     }
 
-    /// Ingests one frame payload.
-    pub fn ingest(&mut self, payload: Bytes) {
+    /// Ingests one frame payload: decodes its records into the forming
+    /// run immediately (streaming — this runs on the ingest thread,
+    /// overlapped with the O phase) and seals the run into a spill image
+    /// if the partition crossed its memory budget.
+    ///
+    /// A decode failure means corruption slipped past the per-frame CRC
+    /// gate; the caller reports it as a structured fault.
+    pub fn ingest(&mut self, payload: Bytes) -> Result<()> {
         self.stats.frames += 1;
         self.stats.mem_bytes += payload.len() as u64;
-        self.resident.push(payload);
+        let mut reader = RecordReader::new(&payload);
+        while let Some(rec) = reader.next_record()? {
+            self.current.push(rec);
+            self.stats.records += 1;
+        }
+        self.stats.peak_resident_records = self
+            .stats
+            .peak_resident_records
+            .max(self.current.len() as u64);
         if self.stats.mem_bytes as usize > self.memory_budget {
             self.spill();
         }
+        Ok(())
     }
 
-    /// Forces resident data to disk (also used by checkpointing).
+    /// Seals the forming run to (simulated) disk: sorts it (sorted mode)
+    /// and writes a framed image. Also used to force residency out, e.g.
+    /// by tests.
     pub fn spill(&mut self) {
-        if self.resident.is_empty() {
+        if self.current.is_empty() {
             return;
         }
         let spill_start = self.tracer.as_ref().map(Tracer::start);
+        if self.sorted {
+            sort_records(&mut self.current, &BytesComparator);
+        }
         let mut image = Vec::with_capacity(self.stats.mem_bytes as usize);
-        for b in self.resident.drain(..) {
-            image.extend_from_slice(&b);
+        for rec in self.current.drain(..) {
+            ser::frame_record(&mut image, &rec);
         }
         self.stats.spilled_bytes += image.len() as u64;
         self.stats.spills += 1;
@@ -109,33 +165,308 @@ impl PartitionStore {
         self.stats.mem_bytes + self.stats.spilled_bytes
     }
 
-    /// Decodes everything into records, merging resident and spilled data.
-    /// If `sorted` is set, the result is key-ordered: spilled images are
-    /// decoded and sorted individually, then k-way merged with the sorted
-    /// resident set (the MapReduce-mode grouping); otherwise arrival order
-    /// is preserved.
-    pub fn into_records(self, sorted: bool) -> Result<Vec<Record>> {
-        let mut runs: Vec<Vec<Record>> = Vec::with_capacity(self.spilled.len() + 1);
-        let mut resident_records = Vec::new();
-        for payload in &self.resident {
-            let batch = ser::unframe_batch(payload)?;
-            resident_records.extend(batch.into_records());
-        }
-        if !sorted {
-            let mut all = resident_records;
-            for image in &self.spilled {
-                all.extend(ser::unframe_batch(image)?.into_records());
+    /// Turns the filled store into a streaming group source: a loser-tree
+    /// k-way merge over the sealed runs plus the final in-memory run
+    /// (sorted mode), or a hash-clustering pass in arrival order (Common
+    /// mode). The sorted path holds one record per run at a time; it
+    /// never rebuilds the full record set.
+    pub fn into_group_stream(mut self) -> Result<GroupStream> {
+        if self.sorted {
+            sort_records(&mut self.current, &BytesComparator);
+            let mut runs: Vec<RunCursor> = Vec::with_capacity(self.spilled.len() + 1);
+            for image in self.spilled {
+                runs.push(RunCursor::spilled(image)?);
             }
-            return Ok(all);
+            runs.push(RunCursor::mem(self.current));
+            Ok(GroupStream::Merge(LoserTreeMerge::new(runs)))
+        } else {
+            // Hash grouping needs every key's full value list before any
+            // group can be emitted, so this mode necessarily gathers the
+            // groups — but it still streams records out of the runs in
+            // chronological (arrival) order without an intermediate
+            // all-records vector.
+            let mut groups: Vec<GroupedValues> = Vec::new();
+            let mut index: dmpi_common::hashing::FnvHashMap<Bytes, usize> = Default::default();
+            let mut cluster = |rec: Record| match index.get(&rec.key) {
+                Some(&i) => groups[i].values.push(rec.value),
+                None => {
+                    index.insert(rec.key.clone(), groups.len());
+                    groups.push(GroupedValues {
+                        key: rec.key,
+                        values: vec![rec.value],
+                    });
+                }
+            };
+            for image in &self.spilled {
+                let mut reader = RecordReader::new(image);
+                while let Some(rec) = reader.next_record()? {
+                    cluster(rec);
+                }
+            }
+            for rec in self.current.drain(..) {
+                cluster(rec);
+            }
+            Ok(GroupStream::Hashed(groups.into_iter()))
         }
-        sort_records(&mut resident_records, &BytesComparator);
-        runs.push(resident_records);
-        for image in &self.spilled {
-            let mut records = ser::unframe_batch(image)?.into_records();
-            sort_records(&mut records, &BytesComparator);
-            runs.push(records);
+    }
+
+    /// Convenience: drains the whole store into a flat record vector
+    /// (key-sorted in sorted mode, arrival order otherwise). Tests and
+    /// small tools use this; the runtime streams via
+    /// [`into_group_stream`](Self::into_group_stream) instead.
+    pub fn into_records(self) -> Result<Vec<Record>> {
+        let mut out = Vec::new();
+        let mut stream = self.into_group_stream()?;
+        while let Some(g) = stream.next_group()? {
+            for v in g.values {
+                out.push(Record {
+                    key: g.key.clone(),
+                    value: v,
+                });
+            }
         }
-        Ok(merge_sorted_runs(runs, &BytesComparator))
+        Ok(out)
+    }
+}
+
+/// A lazily-decoding cursor over one sorted (or arrival-order) run.
+///
+/// Memory runs hold already-decoded records; spilled runs decode one
+/// record at a time from their framed image, so merging spilled runs
+/// costs one record of memory per run.
+struct RunCursor {
+    /// Decoded records for a memory run (`image` empty), or the staging
+    /// slot for the spilled decoder.
+    mem: std::vec::IntoIter<Record>,
+    /// Framed spill image being decoded incrementally (empty for memory
+    /// runs).
+    image: Vec<u8>,
+    /// Decode offset into `image`.
+    offset: usize,
+    /// The run's current head record (`None` = exhausted).
+    head: Option<Record>,
+}
+
+impl RunCursor {
+    fn mem(records: Vec<Record>) -> Self {
+        let mut it = records.into_iter();
+        let head = it.next();
+        RunCursor {
+            mem: it,
+            image: Vec::new(),
+            offset: 0,
+            head,
+        }
+    }
+
+    fn spilled(image: Vec<u8>) -> Result<Self> {
+        let mut cursor = RunCursor {
+            mem: Vec::new().into_iter(),
+            image,
+            offset: 0,
+            head: None,
+        };
+        cursor.head = cursor.decode_next()?;
+        Ok(cursor)
+    }
+
+    fn decode_next(&mut self) -> Result<Option<Record>> {
+        if self.image.is_empty() {
+            return Ok(self.mem.next());
+        }
+        if self.offset == self.image.len() {
+            return Ok(None);
+        }
+        let (rec, n) = ser::read_framed_record(&self.image[self.offset..])?;
+        self.offset += n;
+        Ok(Some(rec))
+    }
+
+    /// Takes the head record and advances the cursor.
+    fn pop(&mut self) -> Result<Option<Record>> {
+        let head = self.head.take();
+        if head.is_some() {
+            self.head = self.decode_next()?;
+        }
+        Ok(head)
+    }
+}
+
+/// Total order on run heads: `(key, value, run index)`, with exhausted
+/// runs sorting last. The `(key, value)` part matches the seed path's
+/// sort tie-break, so the merge output is identical to a global
+/// [`sort_records`] of everything.
+fn head_cmp(runs: &[RunCursor], a: usize, b: usize) -> Ordering {
+    match (&runs[a].head, &runs[b].head) {
+        (Some(x), Some(y)) => BytesComparator
+            .compare(&x.key, &y.key)
+            .then_with(|| x.value.cmp(&y.value))
+            .then_with(|| a.cmp(&b)),
+        (Some(_), None) => Ordering::Less,
+        (None, Some(_)) => Ordering::Greater,
+        (None, None) => a.cmp(&b),
+    }
+}
+
+/// A k-way merge over sorted runs, organized as a **loser tree**
+/// (tournament tree): each pop replays only the path from the winning
+/// run's leaf to the root — `O(log k)` comparisons per record, versus
+/// `O(k)` for a naive scan, and fewer comparisons in practice than a
+/// binary heap because each level stores its loser and the winner is
+/// carried up.
+pub struct LoserTreeMerge {
+    runs: Vec<RunCursor>,
+    /// `tree[i]` = run index of the *loser* of the match at internal
+    /// node `i`; `tree[0]` holds the overall winner.
+    tree: Vec<usize>,
+    /// Number of leaves (next power of two ≥ runs.len(); phantom leaves
+    /// beyond `runs.len()` are permanently exhausted).
+    leaves: usize,
+}
+
+impl LoserTreeMerge {
+    fn new(runs: Vec<RunCursor>) -> Self {
+        let k = runs.len().max(1);
+        let leaves = k.next_power_of_two();
+        let mut merge = LoserTreeMerge {
+            runs,
+            tree: vec![usize::MAX; leaves],
+            leaves,
+        };
+        merge.rebuild();
+        merge
+    }
+
+    /// Plays every match from scratch, filling the loser slots.
+    fn rebuild(&mut self) {
+        // Winner of the subtree rooted at internal node `i`, computed
+        // bottom-up: start from the leaves, carry winners upward and
+        // record losers at each internal node.
+        let mut winners: Vec<usize> = (0..self.leaves)
+            .map(|leaf| leaf.min(self.runs.len().saturating_sub(1)))
+            .collect();
+        // Phantom leaves point at an arbitrary run but must lose every
+        // match once that run is exhausted; when runs.len() is not a
+        // power of two we instead mark them with the *last* run index,
+        // which is safe because head_cmp breaks ties by index.
+        for (leaf, w) in winners.iter_mut().enumerate() {
+            if leaf >= self.runs.len() {
+                *w = usize::MAX;
+            }
+        }
+        let mut level: Vec<usize> = winners;
+        let mut node = self.leaves / 2;
+        while node >= 1 {
+            let mut next: Vec<usize> = Vec::with_capacity(node);
+            for pair in level.chunks(2) {
+                let (a, b) = (pair[0], pair.get(1).copied().unwrap_or(usize::MAX));
+                let (winner, loser) = self.play(a, b);
+                next.push(winner);
+                // Internal nodes are laid out heap-style: this level's
+                // matches occupy tree[node .. node + next.len()].
+                self.tree[node + next.len() - 1] = loser;
+            }
+            level = next;
+            if node == 1 {
+                break;
+            }
+            node /= 2;
+        }
+        self.tree[0] = level.first().copied().unwrap_or(usize::MAX);
+    }
+
+    /// One match: returns `(winner, loser)`; `usize::MAX` is a phantom
+    /// (always loses).
+    fn play(&self, a: usize, b: usize) -> (usize, usize) {
+        match (a, b) {
+            (usize::MAX, x) => (x, usize::MAX),
+            (x, usize::MAX) => (x, usize::MAX),
+            (a, b) => {
+                if head_cmp(&self.runs, a, b) != Ordering::Greater {
+                    (a, b)
+                } else {
+                    (b, a)
+                }
+            }
+        }
+    }
+
+    /// Pops the globally-smallest head record, replaying the winner's
+    /// path to the root.
+    fn pop(&mut self) -> Result<Option<Record>> {
+        let winner = self.tree[0];
+        if winner == usize::MAX {
+            return Ok(None);
+        }
+        let rec = match self.runs[winner].pop()? {
+            Some(rec) => rec,
+            None => return Ok(None),
+        };
+        // Replay from the winner's leaf up: at each internal node the
+        // stored loser challenges the carried candidate.
+        let mut node = (self.leaves + winner) / 2;
+        let mut candidate = if self.runs[winner].head.is_some() {
+            winner
+        } else {
+            usize::MAX
+        };
+        while node >= 1 {
+            let stored = self.tree[node];
+            let (w, l) = self.play(candidate, stored);
+            self.tree[node] = l;
+            candidate = w;
+            if node == 1 {
+                break;
+            }
+            node /= 2;
+        }
+        self.tree[0] = candidate;
+        Ok(Some(rec))
+    }
+}
+
+/// A streaming source of key groups out of a drained [`PartitionStore`]:
+/// the A phase pulls one [`GroupedValues`] at a time and hands it to the
+/// user's A function, so grouped data is never all resident at once in
+/// sorted mode.
+pub enum GroupStream {
+    /// Sorted (MapReduce) mode: loser-tree external merge.
+    Merge(LoserTreeMerge),
+    /// Hashed (Common) mode: pre-clustered groups in first-appearance
+    /// order.
+    Hashed(std::vec::IntoIter<GroupedValues>),
+}
+
+impl GroupStream {
+    /// Produces the next key group, or `None` when the store is drained.
+    pub fn next_group(&mut self) -> Result<Option<GroupedValues>> {
+        match self {
+            GroupStream::Hashed(it) => Ok(it.next()),
+            GroupStream::Merge(merge) => {
+                let Some(first) = merge.pop()? else {
+                    return Ok(None);
+                };
+                let mut group = GroupedValues {
+                    key: first.key,
+                    values: vec![first.value],
+                };
+                // Keep pulling while the merge head shares the key.
+                loop {
+                    let same = match merge.tree[0] {
+                        usize::MAX => false,
+                        w => matches!(&merge.runs[w].head, Some(r) if r.key == group.key),
+                    };
+                    if !same {
+                        break;
+                    }
+                    match merge.pop()? {
+                        Some(rec) => group.values.push(rec.value),
+                        None => break,
+                    }
+                }
+                Ok(Some(group))
+            }
+        }
     }
 }
 
@@ -143,9 +474,10 @@ impl PartitionStore {
 mod tests {
     use super::*;
     use dmpi_common::compare::is_sorted;
+    use dmpi_common::RecordBatch;
 
     fn frame_of(records: &[Record]) -> Bytes {
-        let batch: dmpi_common::RecordBatch = records.iter().cloned().collect();
+        let batch: RecordBatch = records.iter().cloned().collect();
         Bytes::from(ser::frame_batch(&batch))
     }
 
@@ -155,27 +487,28 @@ mod tests {
 
     #[test]
     fn ingest_within_budget_stays_resident() {
-        let mut s = PartitionStore::new(1 << 20);
-        s.ingest(frame_of(&[rec("b", "2"), rec("a", "1")]));
+        let mut s = PartitionStore::new(1 << 20, true);
+        s.ingest(frame_of(&[rec("b", "2"), rec("a", "1")])).unwrap();
         assert_eq!(s.stats().spills, 0);
         assert!(s.stats().mem_bytes > 0);
-        let records = s.into_records(true).unwrap();
+        assert_eq!(s.stats().records, 2);
+        let records = s.into_records().unwrap();
         assert_eq!(records.len(), 2);
         assert!(is_sorted(&records, &BytesComparator));
     }
 
     #[test]
     fn over_budget_spills_and_merge_is_correct() {
-        let mut s = PartitionStore::new(64);
+        let mut s = PartitionStore::new(64, true);
         let mut expected = Vec::new();
         for i in (0..50).rev() {
             let r = rec(&format!("key{i:03}"), &format!("{i}"));
             expected.push(r.clone());
-            s.ingest(frame_of(&[r]));
+            s.ingest(frame_of(&[r])).unwrap();
         }
         assert!(s.stats().spills > 0, "tiny budget must spill");
         assert!(s.stats().spilled_bytes > 0);
-        let records = s.into_records(true).unwrap();
+        let records = s.into_records().unwrap();
         assert_eq!(records.len(), 50);
         assert!(is_sorted(&records, &BytesComparator));
         sort_records(&mut expected, &BytesComparator);
@@ -183,41 +516,148 @@ mod tests {
     }
 
     #[test]
-    fn unsorted_mode_preserves_all_records() {
-        let mut s = PartitionStore::new(32);
-        for i in 0..20 {
-            s.ingest(frame_of(&[rec(&format!("k{i}"), "v")]));
+    fn spill_pressure_bounds_resident_records() {
+        let mut s = PartitionStore::new(64, true);
+        for i in 0..200 {
+            s.ingest(frame_of(&[rec(&format!("key{i:03}"), "valuevalue")]))
+                .unwrap();
         }
-        let records = s.into_records(false).unwrap();
+        let st = s.stats();
+        assert_eq!(st.records, 200);
+        assert!(
+            st.peak_resident_records < 20,
+            "64-byte budget must keep the forming run tiny, saw {}",
+            st.peak_resident_records
+        );
+        // And the merge still yields everything, sorted.
+        let records = s.into_records().unwrap();
+        assert_eq!(records.len(), 200);
+        assert!(is_sorted(&records, &BytesComparator));
+    }
+
+    #[test]
+    fn unsorted_mode_preserves_all_records() {
+        let mut s = PartitionStore::new(32, false);
+        for i in 0..20 {
+            s.ingest(frame_of(&[rec(&format!("k{i}"), "v")])).unwrap();
+        }
+        let records = s.into_records().unwrap();
         assert_eq!(records.len(), 20);
     }
 
     #[test]
+    fn hashed_mode_groups_interleaved_keys() {
+        let mut s = PartitionStore::new(40, false);
+        for i in 0..30 {
+            s.ingest(frame_of(&[rec(&format!("k{}", i % 3), &format!("{i}"))]))
+                .unwrap();
+        }
+        assert!(s.stats().spills > 0);
+        let mut stream = s.into_group_stream().unwrap();
+        let mut groups = Vec::new();
+        while let Some(g) = stream.next_group().unwrap() {
+            groups.push(g);
+        }
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups.iter().map(GroupedValues::len).sum::<usize>(), 30);
+    }
+
+    #[test]
+    fn group_stream_merges_across_runs() {
+        let mut s = PartitionStore::new(1 << 20, true);
+        s.ingest(frame_of(&[rec("b", "1"), rec("a", "1")])).unwrap();
+        s.spill();
+        s.ingest(frame_of(&[rec("a", "2"), rec("c", "1")])).unwrap();
+        s.spill();
+        s.ingest(frame_of(&[rec("a", "3"), rec("b", "2")])).unwrap();
+        let mut stream = s.into_group_stream().unwrap();
+        let a = stream.next_group().unwrap().unwrap();
+        assert_eq!(a.key, Bytes::from_static(b"a"));
+        assert_eq!(a.len(), 3, "values for 'a' from all three runs");
+        let b = stream.next_group().unwrap().unwrap();
+        assert_eq!(b.key, Bytes::from_static(b"b"));
+        assert_eq!(b.len(), 2);
+        let c = stream.next_group().unwrap().unwrap();
+        assert_eq!(c.key, Bytes::from_static(b"c"));
+        assert!(stream.next_group().unwrap().is_none());
+    }
+
+    #[test]
+    fn merge_matches_seed_semantics_exactly() {
+        // The correctness bar: for any ingest order, the streamed merge
+        // equals decode-everything + global sort_records.
+        let mut s = PartitionStore::new(48, true);
+        let mut all = Vec::new();
+        for i in 0..60 {
+            let r = rec(&format!("k{}", (i * 13) % 7), &format!("v{:02}", i % 10));
+            all.push(r.clone());
+            s.ingest(frame_of(&[r])).unwrap();
+        }
+        let merged = s.into_records().unwrap();
+        sort_records(&mut all, &BytesComparator);
+        assert_eq!(merged, all);
+    }
+
+    #[test]
     fn total_bytes_is_conserved_across_spills() {
-        let mut s = PartitionStore::new(16);
+        let mut s = PartitionStore::new(16, true);
         let mut sent = 0u64;
         for i in 0..10 {
             let f = frame_of(&[rec(&format!("{i}"), "abcdefgh")]);
             sent += f.len() as u64;
-            s.ingest(f);
+            s.ingest(f).unwrap();
         }
+        // Spill images re-frame the same records, so byte totals are
+        // conserved exactly.
         assert_eq!(s.total_bytes(), sent);
     }
 
     #[test]
     fn empty_store_yields_nothing() {
-        let s = PartitionStore::new(1024);
-        assert!(s.into_records(true).unwrap().is_empty());
+        let s = PartitionStore::new(1024, true);
+        assert!(s.into_records().unwrap().is_empty());
+        let s = PartitionStore::new(1024, false);
+        assert!(s
+            .into_group_stream()
+            .unwrap()
+            .next_group()
+            .unwrap()
+            .is_none());
     }
 
     #[test]
     fn manual_spill_then_more_ingest() {
-        let mut s = PartitionStore::new(1 << 20);
-        s.ingest(frame_of(&[rec("z", "1")]));
+        let mut s = PartitionStore::new(1 << 20, true);
+        s.ingest(frame_of(&[rec("z", "1")])).unwrap();
         s.spill();
-        s.ingest(frame_of(&[rec("a", "2")]));
-        let records = s.into_records(true).unwrap();
+        s.ingest(frame_of(&[rec("a", "2")])).unwrap();
+        let records = s.into_records().unwrap();
         assert_eq!(records[0].key_utf8(), "a");
         assert_eq!(records[1].key_utf8(), "z");
+    }
+
+    #[test]
+    fn corrupt_payload_is_an_ingest_error() {
+        let mut s = PartitionStore::new(1 << 20, true);
+        let mut bad = frame_of(&[rec("k", "v")]).to_vec();
+        bad.truncate(bad.len() - 1);
+        assert!(s.ingest(Bytes::from(bad)).is_err());
+    }
+
+    #[test]
+    fn many_runs_stress_the_loser_tree() {
+        // Non-power-of-two run counts exercise the phantom leaves.
+        for runs in [1usize, 2, 3, 5, 7, 9] {
+            let mut s = PartitionStore::new(1, true); // every frame spills
+            let mut all = Vec::new();
+            for i in 0..runs * 4 {
+                let r = rec(&format!("k{:03}", (i * 17) % 23), &format!("{i}"));
+                all.push(r.clone());
+                s.ingest(frame_of(&[r])).unwrap();
+            }
+            let merged = s.into_records().unwrap();
+            sort_records(&mut all, &BytesComparator);
+            assert_eq!(merged, all, "runs={runs}");
+        }
     }
 }

@@ -11,7 +11,8 @@
 //! re-executed. A job whose faults are transient — an injected
 //! [`FaultPlan`](crate::fault::FaultPlan) that stops firing after attempt
 //! *k*, say — completes without caller intervention, and its
-//! [`JobStats`] reports the recovery telemetry: total `attempts`,
+//! [`JobStats`](crate::runtime::JobStats) reports the recovery
+//! telemetry: total `attempts`,
 //! `o_tasks_recovered` vs `o_tasks_run`, and `wasted_bytes` (emitted
 //! work that no checkpoint banked and that had to be redone).
 //!

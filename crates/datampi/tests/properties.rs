@@ -11,7 +11,7 @@ use proptest::prelude::*;
 use datampi::checkpoint::CheckpointStore;
 use datampi::fault::FaultPlan;
 use datampi::supervisor::{supervise_job, RetryPolicy};
-use datampi::{run_job, JobConfig};
+use datampi::{run_job, Combiner, JobConfig};
 use dmpi_common::group::{Collector, GroupedValues};
 use dmpi_common::ser::Writable;
 
@@ -155,6 +155,68 @@ proptest! {
         let policy = RetryPolicy::new(4).with_backoff(std::time::Duration::ZERO);
         let out = supervise_job(&config, &policy, inputs.clone(), wc_o, wc_a).unwrap();
         let clean = run_job(&JobConfig::new(ranks), inputs, wc_o, wc_a, None).unwrap();
+        prop_assert_eq!(out.partitions.len(), clean.partitions.len());
+        for (p, q) in out.partitions.iter().zip(&clean.partitions) {
+            prop_assert_eq!(p.records(), q.records());
+        }
+    }
+
+    #[test]
+    fn combiner_is_byte_identical_under_spill_pressure(
+        inputs in corpus_strategy(),
+        ranks in 1usize..5,
+        budget in 32usize..2048,
+        flush in prop_oneof![Just(16usize), Just(64), Just(1 << 20)],
+    ) {
+        // Wordcount's A function is an associative, commutative fold, so
+        // running it early as an O-side combiner must not change a single
+        // output byte — even when the tiny memory budget forces the A side
+        // through key-sorted spills and the external merge.
+        let plain = JobConfig::new(ranks)
+            .with_sorted_grouping(true)
+            .with_memory_budget(budget)
+            .with_flush_threshold(flush);
+        let combined = plain.clone().with_combiner(Combiner::new(wc_a));
+        let a = run_job(&plain, inputs.clone(), wc_o, wc_a, None).unwrap();
+        let b = run_job(&combined, inputs, wc_o, wc_a, None).unwrap();
+        prop_assert_eq!(a.partitions.len(), b.partitions.len());
+        for (p, q) in a.partitions.iter().zip(&b.partitions) {
+            prop_assert_eq!(p.records(), q.records());
+        }
+        // The combiner can only shrink the shuffle, never grow it, and its
+        // counters must account for every record the O side emitted.
+        prop_assert!(b.stats.bytes_emitted <= a.stats.bytes_emitted);
+        prop_assert_eq!(b.stats.combiner_records_in, a.stats.records_emitted);
+        prop_assert!(b.stats.combiner_records_out <= b.stats.combiner_records_in);
+        prop_assert_eq!(a.stats.combiner_records_in, 0);
+    }
+
+    #[test]
+    fn combiner_identity_holds_across_fault_plan_retries(
+        inputs in corpus_strategy(),
+        ranks in 1usize..4,
+        seed in any::<u64>(),
+        events in proptest::collection::vec(event_strategy(), 1..4),
+    ) {
+        // Same identity, but now the combiner-enabled job runs under a
+        // seeded fault plan and the supervisor's retry loop: recovery must
+        // reproduce the clean combiner-free output byte for byte.
+        let plan = events.iter().fold(FaultPlan::new(seed), |p, e| match *e {
+            Ev::Err(t, a) => p.fail_o_task(t, a),
+            Ev::Panic(r, a) => p.rank_panic(r, a),
+            Ev::Slow(t, a, d) => p.straggler(t, a, d),
+            Ev::Corrupt(t, a) => p.corrupt_frame(t, a),
+        });
+        let faulty = JobConfig::new(ranks)
+            .with_sorted_grouping(true)
+            .with_memory_budget(256)
+            .with_checkpointing(true)
+            .with_faults(plan)
+            .with_combiner(Combiner::new(wc_a));
+        let policy = RetryPolicy::new(4).with_backoff(std::time::Duration::ZERO);
+        let out = supervise_job(&faulty, &policy, inputs.clone(), wc_o, wc_a).unwrap();
+        let clean_config = JobConfig::new(ranks).with_sorted_grouping(true);
+        let clean = run_job(&clean_config, inputs, wc_o, wc_a, None).unwrap();
         prop_assert_eq!(out.partitions.len(), clean.partitions.len());
         for (p, q) in out.partitions.iter().zip(&clean.partitions) {
             prop_assert_eq!(p.records(), q.records());

@@ -13,7 +13,7 @@ use bytes::Bytes;
 
 use datampi::distrib::{run_worker, WorkerReport};
 use datampi::runtime::{run_job, JobOutput};
-use datampi::JobConfig;
+use datampi::{Combiner, JobConfig};
 use dmpi_common::group::{Collector, GroupedValues};
 use dmpi_common::Result;
 use dmpi_datagen::{SeedModel, TextGenerator};
@@ -102,12 +102,32 @@ impl ExecWorkload {
         }
     }
 
+    /// The workload's O-side combiner, when one is semantically valid:
+    /// WordCount and Grep fold `(key, u64)` sums — associative and
+    /// commutative, so pre-aggregating before the shuffle cannot change
+    /// the A output. TextSort is identity over every record and has
+    /// nothing to fold.
+    pub fn combiner(&self) -> Option<Combiner> {
+        match self {
+            ExecWorkload::WordCount => Some(Combiner::new(wordcount::reduce)),
+            ExecWorkload::Grep => Some(Combiner::new(grep::reduce)),
+            ExecWorkload::TextSort => None,
+        }
+    }
+
     /// Runs the workload on the in-proc threaded runtime (any transport
     /// backend the config selects). Forces sorted grouping — the
     /// catalogue's determinism contract.
     pub fn run_inproc(&self, config: &JobConfig, inputs: Vec<Bytes>) -> Result<JobOutput> {
         let config = config.clone().with_sorted_grouping(true);
         run_job(&config, inputs, self.o_fn(), self.a_fn(), None)
+    }
+
+    /// Runs the workload honouring `config` exactly — no forced sorted
+    /// grouping. The benchmark surface: lets callers measure hashed
+    /// (Common-mode) grouping and combiner settings as configured.
+    pub fn run_raw(&self, config: &JobConfig, inputs: Vec<Bytes>) -> Result<JobOutput> {
+        run_job(config, inputs, self.o_fn(), self.a_fn(), None)
     }
 
     /// Runs one rank of a multi-process job (the `dmpirun` worker path).
@@ -163,6 +183,26 @@ mod tests {
             assert_eq!(out.stats.o_tasks_run, 4, "{}", w.name());
             assert!(out.stats.records_emitted > 0, "{}", w.name());
         }
+    }
+
+    #[test]
+    fn declared_combiners_preserve_output_bytes() {
+        let plain = JobConfig::new(2);
+        for w in ExecWorkload::ALL {
+            let Some(c) = w.combiner() else { continue };
+            let combined = plain.clone().with_combiner(c);
+            let a = w.run_inproc(&plain, w.inputs(4, 1500, 11)).unwrap();
+            let b = w.run_inproc(&combined, w.inputs(4, 1500, 11)).unwrap();
+            for (pa, pb) in a.partitions.iter().zip(&b.partitions) {
+                assert_eq!(pa.records(), pb.records(), "{}", w.name());
+            }
+            assert!(
+                b.stats.bytes_emitted < a.stats.bytes_emitted,
+                "{}: combiner must cut shuffle bytes",
+                w.name()
+            );
+        }
+        assert!(ExecWorkload::TextSort.combiner().is_none());
     }
 
     #[test]

@@ -14,6 +14,9 @@ cargo fmt --all -- --check
 echo "== cargo clippy (deny warnings) ==" >&2
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo doc (deny warnings) ==" >&2
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
 echo "== cargo test ==" >&2
 cargo test -q --workspace
 
