@@ -16,6 +16,9 @@
 //! figures transport-bench --write PATH # also write BENCH_transport.json
 //! figures pipeline-bench            # extension: combiner grid + spill probe
 //! figures pipeline-bench --write PATH # also write BENCH_pipeline.json
+//! figures hotpath-bench             # extension: parallel-O/kernel grid
+//! figures hotpath-bench --smoke     # CI variant: small grid + speedup gate
+//! figures hotpath-bench --write PATH # also write BENCH_hotpath.json
 //! ```
 
 use dmpi_bench::experiments;
@@ -25,8 +28,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: figures <all|table1|table2|fig2a|fig2b|fig3a|fig3b|fig3c|fig3d|\
          fig4sort|fig4wordcount|fig5|fig6a|fig6b|fig7|ext-iter|ext-recovery|profile-real|\
-         transport-bench|pipeline-bench|summary> [--markdown] \
-         [--write PATH] [--csv] [--series cpu|waitio|disk_read|disk_write|net|mem]"
+         transport-bench|pipeline-bench|hotpath-bench|summary> [--markdown] \
+         [--write PATH] [--csv] [--smoke] \
+         [--series cpu|waitio|disk_read|disk_write|net|mem]"
     );
     std::process::exit(2);
 }
@@ -138,6 +142,31 @@ fn main() {
                     dmpi_common::Error::InvalidState(format!("cannot write {artifact}: {e}"))
                 })?;
                 println!("wrote {artifact}");
+            }
+            "hotpath-bench" => {
+                let smoke = args.iter().any(|a| a == "--smoke");
+                let (ranks, tasks, bytes, trials) = if smoke {
+                    (1, 2, 256 * 1024, 3)
+                } else {
+                    (2, 4, 512 * 1024, 3)
+                };
+                let data =
+                    dmpi_bench::hotpath_bench::hotpath_bench_data(ranks, tasks, bytes, trials)?;
+                println!(
+                    "{}",
+                    render(dmpi_bench::hotpath_bench::render_table(&data), csv)
+                );
+                let artifact = write_path
+                    .clone()
+                    .unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+                let json = dmpi_bench::hotpath_bench::render_artifact_json(&data);
+                std::fs::write(&artifact, json).map_err(|e| {
+                    dmpi_common::Error::InvalidState(format!("cannot write {artifact}: {e}"))
+                })?;
+                println!("wrote {artifact}");
+                if smoke {
+                    println!("{}", dmpi_bench::hotpath_bench::speedup_gate(&data, 1.3)?);
+                }
             }
             "pipeline-bench" => {
                 let data = dmpi_bench::pipeline_bench::pipeline_bench_data(4, 8, 64 * 1024)?;

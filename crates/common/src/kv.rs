@@ -32,9 +32,13 @@ impl Record {
         }
     }
 
-    /// Builds a record from UTF-8 string slices (copies).
+    /// Builds a record from UTF-8 string slices (one copy per field,
+    /// straight into the shared storage — no intermediate `Vec`).
     pub fn from_strs(key: &str, value: &str) -> Self {
-        Record::new(key.as_bytes().to_vec(), value.as_bytes().to_vec())
+        Record {
+            key: Bytes::copy_from_slice(key.as_bytes()),
+            value: Bytes::copy_from_slice(value.as_bytes()),
+        }
     }
 
     /// Total payload size in bytes (key + value, excluding framing).
@@ -146,9 +150,12 @@ impl RecordBatch {
     }
 
     /// Sorts records by raw key bytes (then value for determinism).
+    /// Unstable sort: the `(key, value)` comparator already fixes the
+    /// order of every distinguishable pair (see
+    /// [`crate::compare::sort_records`]'s invariant note).
     pub fn sort_by_key(&mut self) {
         self.records
-            .sort_by(|a, b| a.key.cmp(&b.key).then_with(|| a.value.cmp(&b.value)));
+            .sort_unstable_by(|a, b| a.key.cmp(&b.key).then_with(|| a.value.cmp(&b.value)));
     }
 
     /// Iterates over the records.

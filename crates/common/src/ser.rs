@@ -154,8 +154,11 @@ pub fn frame_record(out: &mut Vec<u8>, rec: &Record) {
     out.extend_from_slice(&rec.value);
 }
 
-/// Decodes one framed record from the front of `buf`.
-pub fn read_framed_record(buf: &[u8]) -> Result<(Record, usize)> {
+/// Parses one record frame's layout from the front of `buf`: returns
+/// `(key_start, key_len, value_len, total)` offsets without building any
+/// `Record`. Shared by the copying, zero-copy and borrowing decoders.
+#[inline]
+fn frame_layout(buf: &[u8]) -> Result<(usize, usize, usize, usize)> {
     let (klen, n1) = varint::read_u64(buf)?;
     let (vlen, n2) = varint::read_u64(&buf[n1..])?;
     let header = n1 + n2;
@@ -171,9 +174,48 @@ pub fn read_framed_record(buf: &[u8]) -> Result<(Record, usize)> {
             buf.len()
         )));
     }
+    Ok((header, klen, vlen, total))
+}
+
+/// Decodes one framed record from the front of `buf` (copying the key and
+/// value into fresh storage). When the frame lives in a refcounted
+/// [`Bytes`] buffer, prefer [`read_framed_record_shared`], which decodes
+/// without per-record copies.
+pub fn read_framed_record(buf: &[u8]) -> Result<(Record, usize)> {
+    let (header, klen, _vlen, total) = frame_layout(buf)?;
     let key = Bytes::copy_from_slice(&buf[header..header + klen]);
     let value = Bytes::copy_from_slice(&buf[header + klen..total]);
     Ok((Record { key, value }, total))
+}
+
+/// Zero-copy decode of one framed record starting at `offset` within a
+/// refcounted `payload`: the returned record's key and value are
+/// [`Bytes::slice`] views sharing the payload's storage — no per-record
+/// `to_vec`. Returns the record and the number of bytes consumed.
+///
+/// The shared storage stays alive as long as any decoded record does, so
+/// this is the right decode for frames whose records are consumed soon
+/// (the A-side ingest path); it would be the wrong one for sampling a few
+/// records out of a huge buffer that should otherwise be freed.
+pub fn read_framed_record_shared(payload: &Bytes, offset: usize) -> Result<(Record, usize)> {
+    let buf = &payload[offset..];
+    let (header, klen, _vlen, total) = frame_layout(buf)?;
+    let key = payload.slice(offset + header..offset + header + klen);
+    let value = payload.slice(offset + header + klen..offset + total);
+    Ok((Record { key, value }, total))
+}
+
+/// Borrowing decode of one framed record: returns `(key, value)` slices
+/// into `buf` plus the bytes consumed, allocating nothing. The hot-path
+/// decode for callers that immediately re-emit or re-frame the pair (e.g.
+/// replaying a worker's captured emissions into a send buffer).
+pub fn read_framed_kv(buf: &[u8]) -> Result<(&[u8], &[u8], usize)> {
+    let (header, klen, _vlen, total) = frame_layout(buf)?;
+    Ok((
+        &buf[header..header + klen],
+        &buf[header + klen..total],
+        total,
+    ))
 }
 
 /// Serializes a whole batch into framed bytes.
@@ -248,6 +290,37 @@ impl<'a> RecordReader<'a> {
             return Ok(None);
         }
         let (rec, n) = read_framed_record(&self.buf[self.offset..])?;
+        self.offset += n;
+        Ok(Some(rec))
+    }
+
+    /// Bytes consumed so far.
+    pub fn position(&self) -> usize {
+        self.offset
+    }
+}
+
+/// Streaming zero-copy reader over a refcounted framed buffer: each
+/// decoded record's key and value share the buffer's storage via
+/// [`Bytes::slice`] instead of copying (see
+/// [`read_framed_record_shared`]).
+pub struct SharedRecordReader {
+    buf: Bytes,
+    offset: usize,
+}
+
+impl SharedRecordReader {
+    /// Wraps a framed refcounted buffer.
+    pub fn new(buf: Bytes) -> Self {
+        SharedRecordReader { buf, offset: 0 }
+    }
+
+    /// Decodes the next record, or `None` at end of buffer.
+    pub fn next_record(&mut self) -> Result<Option<Record>> {
+        if self.offset == self.buf.len() {
+            return Ok(None);
+        }
+        let (rec, n) = read_framed_record_shared(&self.buf, self.offset)?;
         self.offset += n;
         Ok(Some(rec))
     }
@@ -333,6 +406,48 @@ mod tests {
         }
         assert_eq!(count, 100);
         assert_eq!(r.position(), bytes.len());
+    }
+
+    #[test]
+    fn shared_reader_is_zero_copy_and_agrees_with_the_copying_reader() {
+        let recs = vec![
+            Record::from_strs("", ""),
+            Record::from_strs("key", "value"),
+            Record::new(vec![0u8, 255, 128], vec![9u8; 64]),
+        ];
+        let batch: RecordBatch = recs.clone().into_iter().collect();
+        let framed = Bytes::from(frame_batch(&batch));
+
+        let mut shared = SharedRecordReader::new(framed.clone());
+        let mut copying = RecordReader::new(&framed);
+        let base = framed.as_ref().as_ptr() as usize;
+        let mut seen = 0;
+        while let Some(a) = shared.next_record().unwrap() {
+            let b = copying.next_record().unwrap().unwrap();
+            assert_eq!(a, b);
+            // The shared decode's key/value point into the frame buffer.
+            if !a.key.is_empty() {
+                let p = a.key.as_ref().as_ptr() as usize;
+                assert!(p >= base && p < base + framed.len(), "key not shared");
+            }
+            seen += 1;
+        }
+        assert_eq!(seen, recs.len());
+        assert!(copying.next_record().unwrap().is_none());
+        assert_eq!(shared.position(), framed.len());
+    }
+
+    #[test]
+    fn borrowing_kv_decode_matches_framing() {
+        let mut buf = Vec::new();
+        frame_record(&mut buf, &Record::from_strs("alpha", "beta"));
+        frame_record(&mut buf, &Record::from_strs("", "x"));
+        let (k, v, n) = read_framed_kv(&buf).unwrap();
+        assert_eq!((k, v), (&b"alpha"[..], &b"beta"[..]));
+        let (k2, v2, n2) = read_framed_kv(&buf[n..]).unwrap();
+        assert_eq!((k2, v2), (&b""[..], &b"x"[..]));
+        assert_eq!(n + n2, buf.len());
+        assert!(read_framed_kv(&buf[..n - 1]).is_err());
     }
 
     #[test]

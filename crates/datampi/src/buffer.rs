@@ -242,6 +242,11 @@ impl KvBuffer {
         let mut frame = Frame::data(self.from_rank, self.o_task, payload);
         if let Some(corruption) = self.corruption.take() {
             if let Frame::Data { payload, .. } = &mut frame {
+                // This copy is unavoidable: `Bytes` is immutable shared
+                // storage (the checkpoint tee above may hold the clean
+                // payload), so flipping a wire byte needs its own buffer.
+                // It only runs on injected-corruption frames, never the
+                // hot path.
                 let mut bytes = payload.to_vec();
                 corruption.apply(&mut bytes);
                 *payload = Bytes::from(bytes);

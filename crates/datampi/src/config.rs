@@ -1,6 +1,7 @@
 //! Job configuration for the DataMPI runtime.
 
-use dmpi_common::units::MB;
+use dmpi_common::compare::SortKernel;
+use dmpi_common::units::{KB, MB};
 use dmpi_common::{Error, Result};
 
 use crate::comm::DEFAULT_MAILBOX_CAPACITY;
@@ -12,6 +13,18 @@ use crate::transport::Backend;
 /// Default bound on each peer's TCP send window (frames queued behind
 /// one socket before producers block).
 pub const DEFAULT_SEND_WINDOW: usize = 128;
+
+/// Default target size of one parallel-O input chunk. Large enough that
+/// per-chunk overhead (a tracer span, a captured frame buffer) is noise;
+/// small enough that even modest splits fan out across the worker pool.
+pub const DEFAULT_O_CHUNK_BYTES: usize = 128 * KB as usize;
+
+/// Default O-executor parallelism: every core the host offers.
+pub fn default_o_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
 
 /// Configuration of one DataMPI job.
 #[derive(Clone, Debug)]
@@ -64,6 +77,20 @@ pub struct JobConfig {
     /// associative workloads (WordCount, Grep). `None` (the default)
     /// ships every emitted pair unmodified.
     pub combiner: Option<Combiner>,
+    /// Intra-rank O-executor parallelism: how many pool workers may chew
+    /// on one O task's input concurrently. `1` is the sequential path;
+    /// the default is [`default_o_parallelism`] (all cores). Output
+    /// frames are byte-identical at any setting — see DESIGN.md §11.
+    pub o_parallelism: usize,
+    /// Target size of one parallel-O input chunk in bytes. Smaller values
+    /// fan small inputs out wider (tests use this); the default is
+    /// [`DEFAULT_O_CHUNK_BYTES`].
+    pub o_chunk_bytes: usize,
+    /// Which kernel sorts spill runs on the A side —
+    /// [`SortKernel::Radix`] (default) or the comparison sort. Both yield
+    /// identical output order; this is a perf dimension benchmarked by
+    /// `figures hotpath-bench`.
+    pub sort_kernel: SortKernel,
 }
 
 impl JobConfig {
@@ -82,6 +109,9 @@ impl JobConfig {
             mailbox_capacity: DEFAULT_MAILBOX_CAPACITY,
             send_window: DEFAULT_SEND_WINDOW,
             combiner: None,
+            o_parallelism: default_o_parallelism(),
+            o_chunk_bytes: DEFAULT_O_CHUNK_BYTES,
+            sort_kernel: SortKernel::default(),
         }
     }
 
@@ -101,6 +131,12 @@ impl JobConfig {
         }
         if self.send_window == 0 {
             return Err(Error::Config("send window must be positive".into()));
+        }
+        if self.o_parallelism == 0 {
+            return Err(Error::Config("O parallelism must be positive".into()));
+        }
+        if self.o_chunk_bytes == 0 {
+            return Err(Error::Config("O chunk size must be positive".into()));
         }
         if let Some(plan) = &self.faults {
             plan.validate()?;
@@ -177,6 +213,26 @@ impl JobConfig {
         self
     }
 
+    /// Builder: set intra-rank O-executor parallelism (`1` = the
+    /// sequential path; output bytes are identical at any value).
+    pub fn with_o_parallelism(mut self, workers: usize) -> Self {
+        self.o_parallelism = workers;
+        self
+    }
+
+    /// Builder: set the parallel-O chunk target size in bytes (mainly a
+    /// test/bench knob — shrinks chunks so small inputs still fan out).
+    pub fn with_o_chunk_bytes(mut self, bytes: usize) -> Self {
+        self.o_chunk_bytes = bytes;
+        self
+    }
+
+    /// Builder: select the spill-run sort kernel.
+    pub fn with_sort_kernel(mut self, kernel: SortKernel) -> Self {
+        self.sort_kernel = kernel;
+        self
+    }
+
     /// Builder: inject a single O-task error (shorthand for the most
     /// common single-fault plan).
     pub fn with_o_task_fault(self, task: usize, on_attempt: u32) -> Self {
@@ -211,6 +267,8 @@ mod tests {
             .validate()
             .is_err());
         assert!(JobConfig::new(1).with_send_window(0).validate().is_err());
+        assert!(JobConfig::new(1).with_o_parallelism(0).validate().is_err());
+        assert!(JobConfig::new(1).with_o_chunk_bytes(0).validate().is_err());
         // An invalid fault plan makes the whole config invalid.
         let plan = FaultPlan::new(0).straggler(0, 0, FaultPlan::MAX_STRAGGLER_MS + 1);
         assert!(JobConfig::new(1).with_faults(plan).validate().is_err());
@@ -224,7 +282,13 @@ mod tests {
             .with_memory_budget(123)
             .with_sorted_grouping(false)
             .with_flush_threshold(456)
+            .with_o_parallelism(3)
+            .with_o_chunk_bytes(789)
+            .with_sort_kernel(SortKernel::Comparison)
             .with_o_task_fault(1, 0);
+        assert_eq!(c.o_parallelism, 3);
+        assert_eq!(c.o_chunk_bytes, 789);
+        assert_eq!(c.sort_kernel, SortKernel::Comparison);
         assert!(!c.pipelined);
         assert!(c.checkpointing);
         assert_eq!(c.memory_budget, 123);

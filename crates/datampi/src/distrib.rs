@@ -40,7 +40,10 @@ use dmpi_common::{Error, FaultCause, FaultKind, Result};
 use crate::buffer::KvBuffer;
 use crate::comm::Frame;
 use crate::config::JobConfig;
-use crate::runtime::{ingest_partition, store_decode_fault, IngestConfig, JobStats};
+use crate::runtime::{
+    execute_chunks_parallel, ingest_partition, store_decode_fault, ChunkableSplit, IngestConfig,
+    JobStats,
+};
 use crate::task::{BatchCollector, Collector, GroupedValues};
 use crate::transport::{establish_endpoint, TcpOptions, WireStats};
 
@@ -210,9 +213,11 @@ where
     let receiver = endpoint.take_receiver();
     let mut stats = JobStats::default();
 
+    let mut o_panicked = false;
     let ingest = std::thread::scope(|scope| {
         let budget = config.memory_budget;
         let sorted = config.sorted_grouping;
+        let kernel = config.sort_kernel;
         let ingest = scope.spawn(move || {
             ingest_partition(
                 receiver,
@@ -220,6 +225,7 @@ where
                     expected_eofs: ranks,
                     memory_budget: budget,
                     sorted,
+                    kernel,
                     observer: None,
                     recv_start: None,
                     rank,
@@ -239,11 +245,46 @@ where
             if let Some(c) = &config.combiner {
                 buffer.set_combiner(c.clone());
             }
-            {
-                let mut adapter = EmitAdapter {
-                    buffer: &mut buffer,
-                };
-                o_fn(task, &inputs[task], &mut adapter);
+            // Same intra-rank parallel O executor as the threaded
+            // runtime: large line-decomposable splits fan out, with
+            // chunk-order replay keeping frames byte-identical.
+            let chunks = if config.o_parallelism > 1 {
+                inputs[task].parallel_chunks(config.o_chunk_bytes)
+            } else {
+                None
+            };
+            let run_ok = match chunks {
+                Some(chunks) => {
+                    let shim = |task: usize, split: &Bytes, out: &mut dyn Collector| {
+                        o_fn(task, split, out)
+                    };
+                    let (ok, _phase) = execute_chunks_parallel(
+                        task,
+                        chunks,
+                        &shim,
+                        &mut buffer,
+                        config.o_parallelism,
+                        None,
+                        rank,
+                        0,
+                    );
+                    ok
+                }
+                None => {
+                    let mut adapter = EmitAdapter {
+                        buffer: &mut buffer,
+                    };
+                    o_fn(task, &inputs[task], &mut adapter);
+                    true
+                }
+            };
+            if !run_ok {
+                // A worker chunk panicked. Mirror what a panic on the
+                // sequential path does to a worker process: stop running
+                // O tasks, still send EOFs so peers tear down cleanly,
+                // and report the failure after the ingest thread joins.
+                o_panicked = true;
+                break;
             }
             let b = buffer.finish();
             stats.o_tasks_run += 1;
@@ -257,7 +298,7 @@ where
         for s in senders.iter() {
             s.send(Frame::Eof { from_rank: rank });
         }
-        ingest.join().expect("ingest thread panicked").0
+        ingest.join().expect("ingest thread panicked")
     });
 
     stats.corrupt_frames += ingest.corrupt_frames;
@@ -273,6 +314,13 @@ where
         drop(senders);
         endpoint.close()
     };
+
+    if o_panicked {
+        finish(endpoint);
+        return Err(Error::fault(
+            FaultCause::new(FaultKind::TaskPanic, "O task user code panicked").rank(rank),
+        ));
+    }
 
     if let Some(e) = ingest.first_error {
         finish(endpoint);
@@ -367,6 +415,65 @@ mod tests {
                 "partition {rank} must match the in-proc runtime"
             );
             assert!(report.wire.bytes_sent > 0);
+        }
+        let records: u64 = reports.iter().map(|r| r.stats.records_emitted).sum();
+        assert_eq!(records, baseline.stats.records_emitted);
+    }
+
+    /// Line-decomposable WordCount (required by the parallel O
+    /// executor's chunking contract — words never span lines).
+    fn lines_o(_task: usize, split: &[u8], out: &mut dyn Collector) {
+        for line in split.split(|&b| b == b'\n') {
+            for word in line.split(|&b| b == b' ').filter(|w| !w.is_empty()) {
+                out.collect(word, &1u64.to_bytes());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_workers_match_in_proc_sequential_output() {
+        let ranks = 2;
+        let inputs: Vec<Bytes> = (0..4)
+            .map(|i| {
+                let mut s = String::new();
+                for j in 0..30 {
+                    s.push_str(&format!("w{} shared\n", (i * 7 + j) % 9));
+                }
+                Bytes::from(s)
+            })
+            .collect();
+        let config = JobConfig::new(ranks)
+            .with_o_parallelism(4)
+            .with_o_chunk_bytes(32);
+
+        let coord = TcpListener::bind("127.0.0.1:0").unwrap();
+        let coord_addr = coord.local_addr().unwrap();
+        let workers: Vec<_> = (0..ranks)
+            .map(|rank| {
+                let inputs = inputs.clone();
+                let config = config.clone();
+                thread::spawn(move || {
+                    let data = TcpListener::bind("127.0.0.1:0").unwrap();
+                    let port = data.local_addr().unwrap().port();
+                    let (_stream, peers) =
+                        register_with_coordinator(coord_addr, rank, port).unwrap();
+                    run_worker(&config, rank, data, &peers, &inputs, lines_o, wc_a).unwrap()
+                })
+            })
+            .collect();
+        coordinate_rank_table(&coord, ranks).unwrap();
+        let reports: Vec<WorkerReport> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+
+        // Byte-identity bar: multi-process parallel workers equal the
+        // in-proc sequential runtime partition for partition.
+        let seq = JobConfig::new(ranks).with_o_parallelism(1);
+        let baseline = run_job(&seq, inputs, lines_o, wc_a, None).unwrap();
+        for (rank, report) in reports.iter().enumerate() {
+            assert_eq!(
+                report.partition.records(),
+                baseline.partitions[rank].records(),
+                "partition {rank} must match sequential in-proc output"
+            );
         }
         let records: u64 = reports.iter().map(|r| r.stats.records_emitted).sum();
         assert_eq!(records, baseline.stats.records_emitted);

@@ -64,7 +64,7 @@ pub mod transport;
 pub use config::JobConfig;
 pub use fault::FaultPlan;
 pub use observe::{Observer, PhaseTotals, Profiler, SpanKind, Trace};
-pub use runtime::{run_job, JobOutput, JobStats};
+pub use runtime::{run_job, ChunkableSplit, JobOutput, JobStats};
 pub use supervisor::{supervise_job, RetryPolicy};
 pub use task::{Collector, Combiner, GroupedValues};
 pub use transport::{

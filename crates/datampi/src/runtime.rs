@@ -5,7 +5,12 @@
 //! 1. **O phase** — worker ranks dynamically pull input splits from a shared
 //!    queue (the library's dynamic scheduling), run the user's O function,
 //!    and emit key-value pairs through a partitioned [`KvBuffer`]. Buffers
-//!    flush asynchronously while the task computes (pipelining).
+//!    flush asynchronously while the task computes (pipelining). Splits
+//!    large enough to cut on line boundaries additionally fan out across
+//!    an intra-rank worker pool ([`JobConfig::with_o_parallelism`]); each
+//!    worker captures its chunk's emissions and the coordinator replays
+//!    them in chunk order, so emitted frames stay byte-identical to the
+//!    sequential path (see DESIGN.md §11).
 //! 2. **A phase** — each rank owns one A partition: a dedicated ingest
 //!    thread drains its mailbox into a [`PartitionStore`] (in-memory,
 //!    spilling under pressure) *concurrently with the O phase* — required
@@ -37,6 +42,7 @@ use std::sync::Mutex;
 
 use bytes::Bytes;
 
+use dmpi_common::compare::SortKernel;
 use dmpi_common::kv::RecordBatch;
 use dmpi_common::{Error, FaultCause, FaultKind, Result};
 
@@ -154,6 +160,206 @@ impl Collector for EmitAdapter<'_> {
     }
 }
 
+/// An input split the intra-rank parallel O executor knows how to cut
+/// into independently-processable chunks.
+///
+/// **Contract:** processing the chunks of one split in chunk order must
+/// make the O function emit exactly the pairs, in exactly the order, it
+/// would emit over the whole split. For the byte-split surface the cut
+/// points are `'\n'` boundaries (the separator byte is dropped), so the
+/// contract holds for any O function that maps newline-separated
+/// segments independently — every catalogue workload does. O functions
+/// that carry state *across* lines must run with
+/// [`JobConfig::with_o_parallelism`]`(1)`.
+///
+/// The default implementation never chunks, which is always correct:
+/// such splits simply take the sequential path.
+pub trait ChunkableSplit: Sync {
+    /// Cuts `self` into two or more chunks of roughly `target_bytes`
+    /// each, or `None` when the split is too small or offers no safe cut
+    /// point.
+    fn parallel_chunks(&self, target_bytes: usize) -> Option<Vec<Self>>
+    where
+        Self: Sized,
+    {
+        let _ = target_bytes;
+        None
+    }
+}
+
+impl ChunkableSplit for Bytes {
+    /// Zero-copy chunking on line boundaries: each chunk is a refcounted
+    /// [`Bytes::slice`] of the split; the `'\n'` separating two chunks
+    /// belongs to neither, so the concatenation of every chunk's line
+    /// list is exactly the whole split's line list.
+    fn parallel_chunks(&self, target_bytes: usize) -> Option<Vec<Bytes>> {
+        if self.len() <= target_bytes {
+            return None;
+        }
+        let mut chunks = Vec::new();
+        let mut start = 0usize;
+        while self.len() - start > target_bytes {
+            let tentative = start + target_bytes;
+            match self[tentative..].iter().position(|&b| b == b'\n') {
+                Some(off) => {
+                    let cut = tentative + off;
+                    chunks.push(self.slice(start..cut));
+                    start = cut + 1;
+                }
+                None => break,
+            }
+        }
+        chunks.push(self.slice(start..));
+        if chunks.len() < 2 {
+            return None;
+        }
+        Some(chunks)
+    }
+}
+
+/// Captures one worker's emissions as `(klen, vlen, key, value)` varint
+/// frames — the same layout [`dmpi_common::ser::read_framed_kv`] decodes
+/// — for in-order replay into the task's real [`KvBuffer`].
+struct CaptureCollector {
+    buf: Vec<u8>,
+}
+
+impl Collector for CaptureCollector {
+    fn collect(&mut self, key: &[u8], value: &[u8]) {
+        dmpi_common::varint::write_u64(&mut self.buf, key.len() as u64);
+        dmpi_common::varint::write_u64(&mut self.buf, value.len() as u64);
+        self.buf.extend_from_slice(key);
+        self.buf.extend_from_slice(value);
+    }
+}
+
+/// Replays a worker's captured emissions through the task's real buffer,
+/// borrowing each pair straight out of the capture (no allocation).
+fn replay_capture(capture: &[u8], buffer: &mut KvBuffer) {
+    let mut off = 0usize;
+    while off < capture.len() {
+        let (key, value, n) = dmpi_common::ser::read_framed_kv(&capture[off..])
+            .expect("worker capture buffers are well-formed by construction");
+        buffer.emit_kv(key, value);
+        off += n;
+    }
+}
+
+/// Runs one O task's chunks on a scoped worker pool, replaying each
+/// chunk's captured emissions into `buffer` strictly in chunk order.
+///
+/// Determinism: the task's single real [`KvBuffer`] sees exactly the
+/// emission sequence the sequential path would produce, so framing,
+/// combiner windows, checkpoint tees, corruption injection, and stats
+/// are all byte-identical at any worker count. Workers overlap with the
+/// replay: the coordinator replays chunk `i` while later chunks still
+/// compute.
+///
+/// Returns `false` (after all workers drained) if any chunk's user code
+/// panicked — the caller converts that into the same task-panic fault
+/// the sequential path raises. The returned [`PhaseTotals`] carry the
+/// workers' traced O-task time, attributed via per-worker tracers rather
+/// than wall-clock deltas so overlapped workers sum correctly.
+#[allow(clippy::too_many_arguments)] // internal: mirrors the rank context it runs in
+pub(crate) fn execute_chunks_parallel<I, O>(
+    task: usize,
+    chunks: Vec<I>,
+    o_fn: &O,
+    buffer: &mut KvBuffer,
+    workers: usize,
+    observer: Option<&Observer>,
+    rank: usize,
+    attempt: u32,
+) -> (bool, PhaseTotals)
+where
+    I: Sync,
+    O: Fn(usize, &I, &mut dyn Collector) + Send + Sync,
+{
+    use std::sync::atomic::AtomicUsize;
+
+    let workers = workers.min(chunks.len()).max(1);
+    let aborted = AtomicBool::new(false);
+    let next = AtomicUsize::new(0);
+    let pool_phase = Mutex::new(PhaseTotals::default());
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, std::result::Result<Vec<u8>, ()>)>();
+    let chunks = &chunks;
+    let aborted = &aborted;
+    let next = &next;
+    let pool_phase_ref = &pool_phase;
+    let mut ok = true;
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            scope.spawn(move || {
+                // Tracers are thread-local: each worker builds its own and
+                // absorbs it on exit, so overlapped chunk spans accumulate
+                // as summed work time, not double-counted wall time.
+                let tracer = observer.map(|o| o.rank_tracer(rank as u32, attempt));
+                loop {
+                    if aborted.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let idx = next.fetch_add(1, Ordering::SeqCst);
+                    if idx >= chunks.len() {
+                        break;
+                    }
+                    let start = tracer.as_ref().map(Tracer::start);
+                    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let mut capture = CaptureCollector { buf: Vec::new() };
+                        o_fn(task, &chunks[idx], &mut capture);
+                        capture.buf
+                    }));
+                    if let Some(t) = &tracer {
+                        t.for_task(task as u64).span(
+                            SpanKind::OTask,
+                            start.unwrap_or(0),
+                            vec![("chunk", idx.to_string())],
+                        );
+                    }
+                    match run {
+                        Ok(capture) => {
+                            let _ = tx.send((idx, Ok(capture)));
+                        }
+                        Err(_) => {
+                            aborted.store(true, Ordering::SeqCst);
+                            let _ = tx.send((idx, Err(())));
+                        }
+                    }
+                }
+                if let (Some(obs), Some(t)) = (observer, &tracer) {
+                    let mut p = pool_phase_ref.lock().expect("pool phase lock");
+                    p.merge(&obs.absorb(t));
+                }
+            });
+        }
+        drop(tx);
+        // Coordinator: replay completed captures strictly in chunk order,
+        // stashing out-of-order arrivals. Runs inside the scope so replay
+        // overlaps the still-computing workers.
+        let mut stash: std::collections::BTreeMap<usize, Vec<u8>> = Default::default();
+        let mut next_replay = 0usize;
+        for (idx, result) in rx {
+            match result {
+                Ok(capture) => {
+                    if !ok {
+                        continue;
+                    }
+                    stash.insert(idx, capture);
+                    while let Some(capture) = stash.remove(&next_replay) {
+                        replay_capture(&capture, buffer);
+                        next_replay += 1;
+                    }
+                }
+                Err(()) => ok = false,
+            }
+        }
+        if ok {
+            debug_assert_eq!(next_replay, chunks.len(), "all chunks replayed");
+        }
+    });
+    (ok, pool_phase.into_inner().expect("pool phase lock"))
+}
+
 /// Runs a DataMPI job (first attempt). See [`run_job_attempt`].
 ///
 /// # Examples
@@ -227,7 +433,7 @@ pub fn run_job_generic<I, O, A>(
     attempt: u32,
 ) -> Result<JobOutput>
 where
-    I: Sync,
+    I: ChunkableSplit,
     O: Fn(usize, &I, &mut dyn Collector) + Send + Sync,
     A: Fn(&GroupedValues, &mut dyn Collector) + Send + Sync,
 {
@@ -245,7 +451,7 @@ pub(crate) fn run_job_core<I, O, A>(
     attempt: u32,
 ) -> std::result::Result<JobOutput, Box<(Error, JobStats)>>
 where
-    I: Sync,
+    I: ChunkableSplit,
     O: Fn(usize, &I, &mut dyn Collector) + Send + Sync,
     A: Fn(&GroupedValues, &mut dyn Collector) + Send + Sync,
 {
@@ -292,6 +498,9 @@ where
             let checkpoint = checkpoint.cloned();
             let handle = scope.spawn(move || -> Result<(RecordBatch, JobStats)> {
                 let mut stats = JobStats::default();
+                // O-time traced by pool workers (parallel executor), to be
+                // merged after this rank's own tracer is absorbed.
+                let mut pool_phase = PhaseTotals::default();
                 let plan = config.faults.as_ref();
                 let senders = endpoint.senders();
                 let receiver = endpoint.take_receiver();
@@ -333,6 +542,7 @@ where
                     let observer = config.observer.as_ref();
                     let budget = config.memory_budget;
                     let sorted = config.sorted_grouping;
+                    let kernel = config.sort_kernel;
                     let recv_start = observer.map(Observer::now_micros);
                     let ingest = ingest_scope.spawn(move || {
                         ingest_partition(
@@ -341,6 +551,7 @@ where
                                 expected_eofs: ranks,
                                 memory_budget: budget,
                                 sorted,
+                                kernel,
                                 observer,
                                 recv_start,
                                 rank,
@@ -433,16 +644,42 @@ where
                             }
                         }
 
+                        // Large line-decomposable splits fan out across the
+                        // intra-rank pool; everything else takes the
+                        // sequential path (always correct).
+                        let chunks = if config.o_parallelism > 1 {
+                            inputs[task].parallel_chunks(config.o_chunk_bytes)
+                        } else {
+                            None
+                        };
+                        let ran_parallel = chunks.is_some();
                         // User code may panic; convert that into a clean job
                         // fault so peer ranks still receive our EOFs instead of
                         // deadlocking in their A phase.
-                        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            let mut adapter = EmitAdapter {
-                                buffer: &mut buffer,
-                            };
-                            o_fn(task, &inputs[task], &mut adapter);
-                        }));
-                        if run.is_err() {
+                        let run_ok = match chunks {
+                            Some(chunks) => {
+                                let (ok, phase) = execute_chunks_parallel(
+                                    task,
+                                    chunks,
+                                    o_fn,
+                                    &mut buffer,
+                                    config.o_parallelism,
+                                    config.observer.as_ref(),
+                                    rank,
+                                    attempt,
+                                );
+                                pool_phase.merge(&phase);
+                                ok
+                            }
+                            None => std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                let mut adapter = EmitAdapter {
+                                    buffer: &mut buffer,
+                                };
+                                o_fn(task, &inputs[task], &mut adapter);
+                            }))
+                            .is_ok(),
+                        };
+                        if !run_ok {
                             // Whatever the half-finished task already flushed
                             // is pure waste — it can never be recovered.
                             stats.wasted_bytes += buffer.stats().bytes;
@@ -464,7 +701,11 @@ where
                             break;
                         }
                         let b = buffer.finish();
-                        if let Some(t) = &tracer {
+                        // In parallel mode the workers' per-chunk OTask spans
+                        // already carry this task's O time (summed work, not
+                        // wall clock); recording the enclosing wall-clock span
+                        // too would double-count the phase.
+                        if let Some(t) = tracer.as_ref().filter(|_| !ran_parallel) {
                             t.for_task(task as u64).span(
                                 SpanKind::OTask,
                                 task_start.unwrap_or(0),
@@ -488,7 +729,7 @@ where
                         s.send(Frame::Eof { from_rank: rank });
                     }
 
-                    ingest.join().expect("ingest thread panicked").0
+                    ingest.join().expect("ingest thread panicked")
                 });
 
                 // ---- A phase: group and reduce the ingested partition ----
@@ -558,6 +799,7 @@ where
                     stats.phase_us = obs.absorb(t);
                 }
                 stats.phase_us.merge(&ingest.phase);
+                stats.phase_us.merge(&pool_phase);
                 // Tear the endpoint down: drop every sender clone first so
                 // TCP writer threads see disconnect, then join them so all
                 // queued frames reach the sockets; record the wire-level
@@ -637,20 +879,9 @@ pub(crate) fn store_decode_fault(e: Error, rank: usize, attempt: u32) -> Error {
     )
 }
 
-/// Moves an [`IngestOutcome`] out of its ingest thread.
-///
-/// `IngestOutcome` is structurally `!Send` because `PartitionStore` can
-/// hold a thread-local `Tracer` (`Rc`-based). [`ingest_partition`]
-/// upholds the invariant that makes the transfer sound: it clears the
-/// store's tracer (and drops its own) before wrapping, so the value that
-/// actually crosses the thread boundary contains no `Rc` at all.
-pub(crate) struct IngestHandoff(pub IngestOutcome);
-
-// SAFETY: constructed only by `ingest_partition`, after `clear_tracer`
-// removed the sole non-Send field's value; every other field is Send.
-unsafe impl Send for IngestHandoff {}
-
-/// What one partition's ingest thread produced.
+/// What one partition's ingest thread produced. Freely `Send`: the store
+/// carries an [`Observer`] (not a thread-local tracer), so no `Rc` ever
+/// crosses the thread boundary.
 pub(crate) struct IngestOutcome {
     /// The filled A-side store (possibly spilled).
     pub store: PartitionStore,
@@ -674,6 +905,8 @@ pub(crate) struct IngestConfig<'a> {
     pub memory_budget: usize,
     /// Sorted (MapReduce-mode) vs hashed (Common-mode) grouping.
     pub sorted: bool,
+    /// Kernel that sorts spill runs when they seal.
+    pub kernel: SortKernel,
     /// Tracing observer, when the job carries one.
     pub observer: Option<&'a Observer>,
     /// Recv-span start, stamped by the rank thread *before* spawning
@@ -695,11 +928,12 @@ pub(crate) struct IngestConfig<'a> {
 /// error (with the producing rank and O task in the cause), and skipped,
 /// so a supervised retry sees the fault instead of silently wrong
 /// output. Used by both the threaded runtime and `dmpirun` workers.
-pub(crate) fn ingest_partition(receiver: FrameReceiver, cfg: IngestConfig<'_>) -> IngestHandoff {
+pub(crate) fn ingest_partition(receiver: FrameReceiver, cfg: IngestConfig<'_>) -> IngestOutcome {
     let IngestConfig {
         expected_eofs,
         memory_budget,
         sorted,
+        kernel,
         observer,
         recv_start,
         rank,
@@ -709,8 +943,12 @@ pub(crate) fn ingest_partition(receiver: FrameReceiver, cfg: IngestConfig<'_>) -
     // by design); its spans merge into the shared trace on exit.
     let tracer = observer.map(|o| o.rank_tracer(rank as u32, attempt));
     let mut store = PartitionStore::new(memory_budget, sorted);
-    if let Some(t) = &tracer {
-        store.set_tracer(t.clone());
+    store.set_sort_kernel(kernel);
+    if let Some(o) = observer {
+        // The store gets the Send+Sync observer, not this thread's
+        // tracer: its sealing sites (background threads included) build
+        // their own tracers from it.
+        store.set_observer(o.clone(), rank as u32, attempt);
     }
     // The caller stamps the Recv start *before* spawning this thread:
     // the rank's Recv span must enclose its O-task spans (per-lane spans
@@ -777,6 +1015,10 @@ pub(crate) fn ingest_partition(receiver: FrameReceiver, cfg: IngestConfig<'_>) -
             }
         }
     }
+    // Barrier: join any still-running background seals so the outcome
+    // carries fully-materialized spill images, and fold the sealing
+    // sites' traced phase time into this thread's totals.
+    let sealing_phase = store.finish_ingest();
     let st = store.stats();
     if let Some(t) = &tracer {
         t.span(
@@ -785,19 +1027,17 @@ pub(crate) fn ingest_partition(receiver: FrameReceiver, cfg: IngestConfig<'_>) -
             vec![("frames", st.frames.to_string())],
         );
     }
-    let phase = match (observer, &tracer) {
+    let mut phase = match (observer, &tracer) {
         (Some(obs), Some(t)) => obs.absorb(t),
         _ => PhaseTotals::default(),
     };
-    // Shed the thread-local tracer before the store crosses back to the
-    // rank thread — the invariant IngestHandoff's Send impl relies on.
-    store.clear_tracer();
-    IngestHandoff(IngestOutcome {
+    phase.merge(&sealing_phase);
+    IngestOutcome {
         store,
         corrupt_frames,
         first_error,
         phase,
-    })
+    }
 }
 
 #[cfg(test)]
@@ -1102,6 +1342,124 @@ mod tests {
             err.fault_cause().expect("structured cause").kind,
             dmpi_common::FaultKind::TaskPanic
         );
+    }
+
+    fn lined_inputs(tasks: usize, lines: usize) -> Vec<Bytes> {
+        (0..tasks)
+            .map(|i| {
+                let mut s = String::new();
+                for j in 0..lines {
+                    s.push_str(&format!("w{} shared line{}\n", (i * 13 + j) % 11, j % 7));
+                }
+                Bytes::from(s)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn byte_splits_chunk_on_line_boundaries() {
+        let b = Bytes::from_static(b"aa\nbb\ncc\ndd");
+        let chunks = b.parallel_chunks(3).expect("large enough to chunk");
+        assert!(chunks.len() >= 2);
+        // Concatenating every chunk's line list reproduces the whole
+        // split's line list — the contract the parallel executor needs.
+        let whole: Vec<Vec<u8>> = b.split(|&x| x == b'\n').map(<[u8]>::to_vec).collect();
+        let mut pieces: Vec<Vec<u8>> = Vec::new();
+        for c in &chunks {
+            pieces.extend(c.split(|&x| x == b'\n').map(<[u8]>::to_vec));
+        }
+        assert_eq!(whole, pieces);
+        // Chunks are zero-copy views of the parent split.
+        let base = b.as_ref().as_ptr() as usize;
+        for c in &chunks {
+            if !c.is_empty() {
+                let p = c.as_ref().as_ptr() as usize;
+                assert!(p >= base && p < base + b.len(), "chunk not shared");
+            }
+        }
+        assert!(b.parallel_chunks(100).is_none(), "small splits stay whole");
+        assert!(
+            Bytes::from_static(b"nonewlineatall")
+                .parallel_chunks(4)
+                .is_none(),
+            "no safe cut point means no chunking"
+        );
+    }
+
+    #[test]
+    fn parallel_o_is_byte_identical_to_sequential() {
+        for parallelism in [2usize, 8] {
+            let seq = JobConfig::new(2).with_o_parallelism(1);
+            let par = JobConfig::new(2)
+                .with_o_parallelism(parallelism)
+                .with_o_chunk_bytes(64);
+            let a = run_job(&seq, lined_inputs(4, 40), wordcount_o, wordcount_a, None).unwrap();
+            let b = run_job(&par, lined_inputs(4, 40), wordcount_o, wordcount_a, None).unwrap();
+            for (pa, pb) in a.partitions.iter().zip(&b.partitions) {
+                assert_eq!(pa.records(), pb.records(), "parallelism={parallelism}");
+            }
+            assert_eq!(a.stats.records_emitted, b.stats.records_emitted);
+            assert_eq!(a.stats.bytes_emitted, b.stats.bytes_emitted);
+            assert_eq!(a.stats.frames, b.stats.frames);
+            assert_eq!(a.stats.o_tasks_run, b.stats.o_tasks_run);
+        }
+    }
+
+    #[test]
+    fn parallel_o_with_combiner_stays_identical() {
+        let mk = |parallelism: usize| {
+            JobConfig::new(2)
+                .with_o_parallelism(parallelism)
+                .with_o_chunk_bytes(48)
+                .with_flush_threshold(64)
+                .with_combiner(crate::task::Combiner::new(wordcount_a))
+        };
+        let a = run_job(&mk(1), lined_inputs(3, 30), wordcount_o, wordcount_a, None).unwrap();
+        let b = run_job(&mk(4), lined_inputs(3, 30), wordcount_o, wordcount_a, None).unwrap();
+        for (pa, pb) in a.partitions.iter().zip(&b.partitions) {
+            assert_eq!(pa.records(), pb.records());
+        }
+        assert_eq!(a.stats.bytes_emitted, b.stats.bytes_emitted);
+        assert_eq!(a.stats.combiner_records_in, b.stats.combiner_records_in);
+        assert_eq!(a.stats.combiner_records_out, b.stats.combiner_records_out);
+    }
+
+    #[test]
+    fn panicking_parallel_chunk_reports_fault_not_hang() {
+        let config = JobConfig::new(2)
+            .with_o_parallelism(4)
+            .with_o_chunk_bytes(4);
+        let inputs = vec![Bytes::from_static(b"aa\nbb\nboom\ncc\ndd\nee")];
+        let o = |_t: usize, split: &[u8], out: &mut dyn Collector| {
+            for line in split.split(|&b| b == b'\n') {
+                if line == b"boom" {
+                    panic!("chunk exploded");
+                }
+                out.collect(line, b"1");
+            }
+        };
+        let a = |_g: &GroupedValues, _out: &mut dyn Collector| {};
+        let err = run_job(&config, inputs, o, a, None).unwrap_err();
+        assert_eq!(
+            err.fault_cause().expect("structured cause").kind,
+            dmpi_common::FaultKind::TaskPanic
+        );
+    }
+
+    #[test]
+    fn phase_totals_stay_consistent_under_parallel_workers() {
+        // The regression ISSUE 5 guards: stats.phase_us must equal the
+        // span log's totals even when pool workers and background seals
+        // record phase time off the rank threads.
+        let obs = Observer::new();
+        let config = JobConfig::new(2)
+            .with_o_parallelism(4)
+            .with_o_chunk_bytes(32)
+            .with_memory_budget(256)
+            .with_observer(obs.clone());
+        let out = run_job(&config, lined_inputs(4, 50), wordcount_o, wordcount_a, None).unwrap();
+        assert!(out.stats.spills > 0, "budget forces spills");
+        assert_eq!(out.stats.phase_us, obs.trace().phase_totals());
     }
 
     #[test]

@@ -16,21 +16,35 @@
 //! This replaces the seed's collect-then-sort shape (buffer every raw
 //! frame, decode and sort everything in one monolithic pass after all
 //! EOFs) — exactly the Hadoop-style materialization the paper criticizes.
-//! Sorting now overlaps the O phase: spill runs are sorted during ingest,
-//! and only the final in-memory run (bounded by the budget) is sorted at
-//! merge time.
+//! Sorting now overlaps the O phase *and* the ingest thread itself: a
+//! run crossing the budget is handed to a background sealing thread
+//! (sorted with the configured [`SortKernel`] — MSD radix by default —
+//! and re-framed into its spill image) while ingest keeps decoding the
+//! next run; only the final in-memory run (bounded by the budget) is
+//! sorted at merge time. Sealed images are collected in spill order, so
+//! the k-way merge's `(key, value, run)` tiebreak sees the exact run
+//! sequence a synchronous sealer would have produced.
 //!
 //! [loser tree]: https://en.wikipedia.org/wiki/K-way_merge_algorithm
 use std::cmp::Ordering;
 
 use bytes::Bytes;
 
-use dmpi_common::compare::{sort_records, BytesComparator, RawComparator};
+use dmpi_common::compare::{BytesComparator, RawComparator, SortKernel};
 use dmpi_common::group::GroupedValues;
-use dmpi_common::ser::{self, RecordReader};
+use dmpi_common::ser::{self, SharedRecordReader};
 use dmpi_common::{Record, Result};
 
-use crate::observe::{SpanKind, Tracer};
+use crate::observe::{Observer, PhaseTotals, SpanKind, Tracer};
+
+/// Runs at or below this size seal inline on the ingest thread — a
+/// thread spawn costs more than sorting and framing a few KiB.
+const SEAL_INLINE_MAX: u64 = 64 * 1024;
+
+/// Background sealing threads allowed in flight per partition before a
+/// new spill joins the oldest one first (bounds thread count and the
+/// memory pinned by unsealed runs under heavy spill pressure).
+const MAX_INFLIGHT_SEALS: usize = 4;
 
 /// Counters for one partition's store.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -67,11 +81,73 @@ pub struct PartitionStore {
     current: Vec<Record>,
     /// Sealed spill images ("disk"): framed records, key-sorted in
     /// sorted mode, kept as owned buffers with separate accounting.
-    spilled: Vec<Vec<u8>>,
+    /// Filled by [`collect_seals`](Self::collect_seals) in spill order.
+    spilled: Vec<Bytes>,
+    /// Runs handed off for sealing (inline results and in-flight
+    /// background threads, in spill order).
+    sealing: Vec<PendingSeal>,
     stats: StoreStats,
-    /// Observability: when set, spills record `Spill` spans and feed the
-    /// spill counters.
-    tracer: Option<Tracer>,
+    /// Which kernel sorts runs when they seal (sorted mode only).
+    kernel: SortKernel,
+    /// Observability: `(observer, rank, attempt)`. Stored as the
+    /// `Send + Sync` observer rather than a thread-local [`Tracer`] so
+    /// sealing threads (and the store itself) can cross threads; each
+    /// sealing site builds its own tracer from it.
+    observer: Option<(Observer, u32, u32)>,
+    /// Phase totals absorbed from sealing work (inline and background),
+    /// drained by [`finish_ingest`](Self::finish_ingest).
+    background_phase: PhaseTotals,
+}
+
+/// A sealed spill run: its framed image plus the phase totals its
+/// sealing site recorded.
+#[derive(Default)]
+struct SealedRun {
+    image: Vec<u8>,
+    phase: PhaseTotals,
+}
+
+/// One spill's sealing state, in spill order.
+enum PendingSeal {
+    /// Sealed inline (small run) or already joined.
+    Done(SealedRun),
+    /// Sealing on a background thread, overlapped with further ingest.
+    Thread(std::thread::JoinHandle<SealedRun>),
+}
+
+/// Sorts (sorted mode) and frames one run into its spill image,
+/// recording the `Spill` span and counters against a tracer built from
+/// `observer` on the *calling* thread — valid both inline on the ingest
+/// thread and on a background sealing thread.
+fn seal_run(
+    mut records: Vec<Record>,
+    run_bytes: u64,
+    sorted: bool,
+    kernel: SortKernel,
+    observer: Option<&(Observer, u32, u32)>,
+) -> SealedRun {
+    let tracer = observer.map(|(o, rank, attempt)| o.rank_tracer(*rank, *attempt));
+    let spill_start = tracer.as_ref().map(Tracer::start);
+    if sorted {
+        kernel.sort(&mut records);
+    }
+    let mut image = Vec::with_capacity(run_bytes as usize);
+    for rec in records {
+        ser::frame_record(&mut image, &rec);
+    }
+    if let Some(t) = &tracer {
+        t.registry().add_spill(image.len() as u64);
+        t.span(
+            SpanKind::Spill,
+            spill_start.unwrap_or(0),
+            vec![("bytes", image.len().to_string())],
+        );
+    }
+    let phase = match (observer, &tracer) {
+        (Some((obs, _, _)), Some(t)) => obs.absorb(t),
+        _ => PhaseTotals::default(),
+    };
+    SealedRun { image, phase }
 }
 
 impl PartitionStore {
@@ -84,21 +160,25 @@ impl PartitionStore {
             sorted,
             current: Vec::new(),
             spilled: Vec::new(),
+            sealing: Vec::new(),
             stats: StoreStats::default(),
-            tracer: None,
+            kernel: SortKernel::default(),
+            observer: None,
+            background_phase: PhaseTotals::default(),
         }
     }
 
-    /// Installs an observability tracer.
-    pub fn set_tracer(&mut self, tracer: Tracer) {
-        self.tracer = Some(tracer);
+    /// Installs an observability sink. Sealing sites (inline and
+    /// background threads) build their own per-thread tracers from it,
+    /// attributed to `rank`/`attempt`.
+    pub fn set_observer(&mut self, observer: Observer, rank: u32, attempt: u32) {
+        self.observer = Some((observer, rank, attempt));
     }
 
-    /// Detaches the tracer (tracers are thread-local; a store that
-    /// crosses threads — e.g. back from an ingest thread — must shed it
-    /// first).
-    pub fn clear_tracer(&mut self) {
-        self.tracer = None;
+    /// Selects the kernel that sorts runs when they seal (sorted mode
+    /// only; both kernels produce the identical order).
+    pub fn set_sort_kernel(&mut self, kernel: SortKernel) {
+        self.kernel = kernel;
     }
 
     /// Ingests one frame payload: decodes its records into the forming
@@ -111,7 +191,9 @@ impl PartitionStore {
     pub fn ingest(&mut self, payload: Bytes) -> Result<()> {
         self.stats.frames += 1;
         self.stats.mem_bytes += payload.len() as u64;
-        let mut reader = RecordReader::new(&payload);
+        // Zero-copy decode: each record's key/value are refcounted
+        // slices of the frame payload, not fresh allocations.
+        let mut reader = SharedRecordReader::new(payload);
         while let Some(rec) = reader.next_record()? {
             self.current.push(rec);
             self.stats.records += 1;
@@ -126,33 +208,82 @@ impl PartitionStore {
         Ok(())
     }
 
-    /// Seals the forming run to (simulated) disk: sorts it (sorted mode)
-    /// and writes a framed image. Also used to force residency out, e.g.
-    /// by tests.
+    /// Seals the forming run to (simulated) disk: hands it off for
+    /// sorting (sorted mode) and framing into a spill image. Runs above
+    /// `SEAL_INLINE_MAX` seal on a background thread so ingest keeps
+    /// decoding the next run while the last one sorts. Accounting happens
+    /// up front — spill images re-frame exactly the ingested records, so
+    /// the image is `mem_bytes` long (the `total_bytes_is_conserved_*`
+    /// test pins this). Also used to force residency out, e.g. by tests.
     pub fn spill(&mut self) {
         if self.current.is_empty() {
             return;
         }
-        let spill_start = self.tracer.as_ref().map(Tracer::start);
-        if self.sorted {
-            sort_records(&mut self.current, &BytesComparator);
-        }
-        let mut image = Vec::with_capacity(self.stats.mem_bytes as usize);
-        for rec in self.current.drain(..) {
-            ser::frame_record(&mut image, &rec);
-        }
-        self.stats.spilled_bytes += image.len() as u64;
+        let run_bytes = self.stats.mem_bytes;
+        self.stats.spilled_bytes += run_bytes;
         self.stats.spills += 1;
         self.stats.mem_bytes = 0;
-        if let Some(t) = &self.tracer {
-            t.registry().add_spill(image.len() as u64);
-            t.span(
-                SpanKind::Spill,
-                spill_start.unwrap_or(0),
-                vec![("bytes", image.len().to_string())],
-            );
+        let records = std::mem::take(&mut self.current);
+        if run_bytes <= SEAL_INLINE_MAX {
+            // Small run: a thread spawn costs more than the sort.
+            self.sealing.push(PendingSeal::Done(seal_run(
+                records,
+                run_bytes,
+                self.sorted,
+                self.kernel,
+                self.observer.as_ref(),
+            )));
+            return;
         }
-        self.spilled.push(image);
+        let in_flight = self
+            .sealing
+            .iter()
+            .filter(|p| matches!(p, PendingSeal::Thread(_)))
+            .count();
+        if in_flight >= MAX_INFLIGHT_SEALS {
+            // Bound thread count and pinned memory: absorb the oldest
+            // in-flight seal before launching another.
+            if let Some(slot) = self
+                .sealing
+                .iter_mut()
+                .find(|p| matches!(p, PendingSeal::Thread(_)))
+            {
+                let pending = std::mem::replace(slot, PendingSeal::Done(SealedRun::default()));
+                if let PendingSeal::Thread(handle) = pending {
+                    *slot = PendingSeal::Done(handle.join().expect("sealing thread panicked"));
+                }
+            }
+        }
+        let sorted = self.sorted;
+        let kernel = self.kernel;
+        let observer = self.observer.clone();
+        self.sealing
+            .push(PendingSeal::Thread(std::thread::spawn(move || {
+                seal_run(records, run_bytes, sorted, kernel, observer.as_ref())
+            })));
+    }
+
+    /// Joins every outstanding seal, in spill order, into `spilled`,
+    /// folding each sealing site's phase totals into `background_phase`.
+    /// Preserving spill order keeps the k-way merge's `(key, value, run)`
+    /// tiebreak identical to what a synchronous sealer would produce.
+    fn collect_seals(&mut self) {
+        for pending in self.sealing.drain(..) {
+            let sealed = match pending {
+                PendingSeal::Done(sealed) => sealed,
+                PendingSeal::Thread(handle) => handle.join().expect("sealing thread panicked"),
+            };
+            self.background_phase.merge(&sealed.phase);
+            self.spilled.push(Bytes::from(sealed.image));
+        }
+    }
+
+    /// Barrier at the end of ingest: waits for all background sealing to
+    /// finish and returns the phase totals that work recorded, for the
+    /// caller to merge into the rank's phase accounting.
+    pub fn finish_ingest(&mut self) -> PhaseTotals {
+        self.collect_seals();
+        std::mem::take(&mut self.background_phase)
     }
 
     /// Counters.
@@ -171,8 +302,9 @@ impl PartitionStore {
     /// mode). The sorted path holds one record per run at a time; it
     /// never rebuilds the full record set.
     pub fn into_group_stream(mut self) -> Result<GroupStream> {
+        self.collect_seals();
         if self.sorted {
-            sort_records(&mut self.current, &BytesComparator);
+            self.kernel.sort(&mut self.current);
             let mut runs: Vec<RunCursor> = Vec::with_capacity(self.spilled.len() + 1);
             for image in self.spilled {
                 runs.push(RunCursor::spilled(image)?);
@@ -198,7 +330,7 @@ impl PartitionStore {
                 }
             };
             for image in &self.spilled {
-                let mut reader = RecordReader::new(image);
+                let mut reader = SharedRecordReader::new(image.clone());
                 while let Some(rec) = reader.next_record()? {
                     cluster(rec);
                 }
@@ -239,8 +371,8 @@ struct RunCursor {
     /// slot for the spilled decoder.
     mem: std::vec::IntoIter<Record>,
     /// Framed spill image being decoded incrementally (empty for memory
-    /// runs).
-    image: Vec<u8>,
+    /// runs). Refcounted so decoded records can share its storage.
+    image: Bytes,
     /// Decode offset into `image`.
     offset: usize,
     /// The run's current head record (`None` = exhausted).
@@ -253,13 +385,13 @@ impl RunCursor {
         let head = it.next();
         RunCursor {
             mem: it,
-            image: Vec::new(),
+            image: Bytes::new(),
             offset: 0,
             head,
         }
     }
 
-    fn spilled(image: Vec<u8>) -> Result<Self> {
+    fn spilled(image: Bytes) -> Result<Self> {
         let mut cursor = RunCursor {
             mem: Vec::new().into_iter(),
             image,
@@ -277,7 +409,7 @@ impl RunCursor {
         if self.offset == self.image.len() {
             return Ok(None);
         }
-        let (rec, n) = ser::read_framed_record(&self.image[self.offset..])?;
+        let (rec, n) = ser::read_framed_record_shared(&self.image, self.offset)?;
         self.offset += n;
         Ok(Some(rec))
     }
@@ -473,7 +605,7 @@ impl GroupStream {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dmpi_common::compare::is_sorted;
+    use dmpi_common::compare::{is_sorted, sort_records};
     use dmpi_common::RecordBatch;
 
     fn frame_of(records: &[Record]) -> Bytes {
@@ -642,6 +774,71 @@ mod tests {
         let mut bad = frame_of(&[rec("k", "v")]).to_vec();
         bad.truncate(bad.len() - 1);
         assert!(s.ingest(Bytes::from(bad)).is_err());
+    }
+
+    #[test]
+    fn large_runs_seal_in_the_background() {
+        // Runs above SEAL_INLINE_MAX take the background-sealing path;
+        // the merged output must still equal a global sort, and byte
+        // accounting must be conserved even though it happens before the
+        // image exists.
+        let budget = (SEAL_INLINE_MAX as usize) * 2;
+        let mut s = PartitionStore::new(budget, true);
+        let big_value = "x".repeat(512);
+        let mut all = Vec::new();
+        let mut sent = 0u64;
+        for i in 0..600 {
+            let r = rec(&format!("k{:04}", (i * 31) % 997), &big_value);
+            all.push(r.clone());
+            let f = frame_of(&[r]);
+            sent += f.len() as u64;
+            s.ingest(f).unwrap();
+        }
+        assert!(s.stats().spills >= 2, "must spill repeatedly");
+        assert_eq!(s.total_bytes(), sent, "upfront accounting conserved");
+        let merged = s.into_records().unwrap();
+        sort_records(&mut all, &BytesComparator);
+        assert_eq!(merged, all);
+    }
+
+    #[test]
+    fn finish_ingest_joins_outstanding_seals() {
+        let budget = (SEAL_INLINE_MAX as usize) * 2;
+        let mut s = PartitionStore::new(budget, true);
+        let big_value = "y".repeat(1024);
+        for i in 0..400 {
+            s.ingest(frame_of(&[rec(&format!("k{i:04}"), &big_value)]))
+                .unwrap();
+        }
+        assert!(s.stats().spills >= 1);
+        // Without an observer the totals are empty, but the barrier must
+        // still join every sealing thread so the images are materialized.
+        let phase = s.finish_ingest();
+        assert_eq!(phase, PhaseTotals::default());
+        assert_eq!(s.sealing.len(), 0);
+        assert_eq!(s.spilled.len(), s.stats().spills as usize);
+    }
+
+    #[test]
+    fn sealing_records_spill_phase_when_observed() {
+        let obs = Observer::new();
+        let budget = (SEAL_INLINE_MAX as usize) * 2;
+        let mut s = PartitionStore::new(budget, true);
+        s.set_observer(obs.clone(), 0, 0);
+        let big_value = "z".repeat(1024);
+        for i in 0..400 {
+            s.ingest(frame_of(&[rec(&format!("k{i:04}"), &big_value)]))
+                .unwrap();
+        }
+        assert!(s.stats().spills >= 1);
+        let phase = s.finish_ingest();
+        // Spill time was recorded by the sealing sites and surfaced
+        // through the barrier, not lost on the background threads.
+        assert!(phase.spill_us > 0 || phase == PhaseTotals::default());
+        assert_eq!(
+            obs.trace().of_kind(SpanKind::Spill).count() as u64,
+            s.stats().spills
+        );
     }
 
     #[test]

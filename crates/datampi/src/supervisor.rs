@@ -31,7 +31,7 @@ use dmpi_common::{Error, Result};
 use crate::checkpoint::CheckpointStore;
 use crate::config::JobConfig;
 use crate::observe::SpanKind;
-use crate::runtime::{run_job_core, JobOutput};
+use crate::runtime::{run_job_core, ChunkableSplit, JobOutput};
 use crate::task::{Collector, GroupedValues};
 
 /// Bounded-retry policy for [`supervise_job`].
@@ -153,7 +153,7 @@ pub fn supervise_job_generic<I, O, A>(
     a_fn: A,
 ) -> Result<JobOutput>
 where
-    I: Sync,
+    I: ChunkableSplit,
     O: Fn(usize, &I, &mut dyn Collector) + Send + Sync,
     A: Fn(&GroupedValues, &mut dyn Collector) + Send + Sync,
 {

@@ -180,8 +180,11 @@ fn run_reader(
     };
     let _ = reader.get_ref().set_read_timeout(None);
     let mut saw_eof = false;
+    // One scratch buffer for the connection's lifetime: payload reads
+    // reuse it instead of allocating a zeroed Vec per frame.
+    let mut scratch = Vec::new();
     loop {
-        match wire::read_frame(&mut reader) {
+        match wire::read_frame_pooled(&mut reader, &mut scratch) {
             Ok(Some((frame, nbytes))) => {
                 wire_bytes.fetch_add(nbytes, Ordering::Relaxed);
                 if matches!(frame, Frame::Eof { .. }) {

@@ -26,6 +26,20 @@ echo "== dmpirun multi-process smoke ==" >&2
 cargo run -q --release --bin dmpirun -- \
     --ranks 4 --tasks 8 --verify-inproc wordcount
 
+echo "== dmpirun parallel-O smoke ==" >&2
+# Same gate with the intra-rank parallel O executor on: workers fan
+# each task out over 4 threads and must still match the *sequential*
+# in-proc reference byte-for-byte.
+cargo run -q --release --bin dmpirun -- \
+    --ranks 2 --tasks 4 --o-parallelism 4 --verify-inproc wordcount
+
+echo "== hotpath bench smoke ==" >&2
+# Runs the workload x backend x parallelism x sort-kernel grid at smoke
+# size, asserts parallel output identity in every cell, writes
+# BENCH_hotpath.json, and (on hosts with >= 4 cores) fails if WordCount
+# at --o-parallelism 4 is below 1.3x the sequential throughput.
+cargo run -q --release -p dmpi-bench --bin figures -- hotpath-bench --smoke
+
 echo "== tracing overhead smoke check ==" >&2
 # Times a real WordCount with tracing on vs off; fails above +25%.
 cargo run -q --release --example profile -- --overhead-check

@@ -43,6 +43,8 @@ options:
   --ranks N           worker processes to launch (default 4)
   --tasks T           O tasks in the job (default 2*ranks)
   --bytes-per-task B  minimum split size in bytes (default 4096)
+  --o-parallelism N   worker threads per O task (default 1: sequential;
+                      output is byte-identical at any setting)
   --seed S            input-generation seed (default 42)
   --out DIR           write each rank's partition to DIR/part-NNNNN
   --verify-inproc     re-run in-process and require identical output
@@ -55,6 +57,7 @@ struct Options {
     ranks: usize,
     tasks: usize,
     bytes_per_task: usize,
+    o_parallelism: usize,
     seed: u64,
     out: Option<PathBuf>,
     verify_inproc: bool,
@@ -68,6 +71,7 @@ fn parse_args() -> Result<Options, String> {
         ranks: 4,
         tasks: 0,
         bytes_per_task: 4096,
+        o_parallelism: 1,
         seed: 42,
         out: None,
         verify_inproc: false,
@@ -86,6 +90,11 @@ fn parse_args() -> Result<Options, String> {
             "--tasks" => opts.tasks = value("--tasks")?.parse().map_err(|e| format!("{e}"))?,
             "--bytes-per-task" => {
                 opts.bytes_per_task = value("--bytes-per-task")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--o-parallelism" => {
+                opts.o_parallelism = value("--o-parallelism")?
                     .parse()
                     .map_err(|e| format!("{e}"))?
             }
@@ -110,6 +119,9 @@ fn parse_args() -> Result<Options, String> {
     opts.workload = workload.ok_or_else(|| "no workload named".to_string())?;
     if opts.ranks == 0 {
         return Err("--ranks must be at least 1".into());
+    }
+    if opts.o_parallelism == 0 {
+        return Err("--o-parallelism must be at least 1".into());
     }
     if opts.tasks == 0 {
         opts.tasks = 2 * opts.ranks;
@@ -198,7 +210,7 @@ fn run_worker_process(opts: &Options) -> Result<(), String> {
         std::process::exit(3);
     }
 
-    let config = JobConfig::new(ranks);
+    let config = JobConfig::new(ranks).with_o_parallelism(opts.o_parallelism);
     let inputs = opts
         .workload
         .inputs(opts.tasks, opts.bytes_per_task, opts.seed);
@@ -307,6 +319,8 @@ fn run_coordinator(opts: &Options) -> Result<(), String> {
             .arg(opts.tasks.to_string())
             .arg("--bytes-per-task")
             .arg(opts.bytes_per_task.to_string())
+            .arg("--o-parallelism")
+            .arg(opts.o_parallelism.to_string())
             .arg("--seed")
             .arg(opts.seed.to_string());
         if let Some(dir) = &opts.out {
@@ -401,6 +415,9 @@ fn run_coordinator(opts: &Options) -> Result<(), String> {
 /// counters agree with the aggregated worker counters.
 fn verify_inproc(opts: &Options, results: &[Option<(RankResult, u64)>]) -> Result<(), String> {
     let observer = Observer::new();
+    // The reference run is always sequential (o_parallelism 1), so when
+    // the workers ran with `--o-parallelism N` this check doubles as the
+    // parallel-executor byte-identity gate across process boundaries.
     let config = JobConfig::new(opts.ranks).with_observer(observer.clone());
     let inputs = opts
         .workload

@@ -6,10 +6,13 @@
 //! cloneable, immutable, contiguous byte container with the same surface
 //! the real `bytes::Bytes` exposes for the call sites in this repository.
 //!
-//! Differences from the real crate: `from_static` copies into shared
-//! storage instead of borrowing the `'static` slice (correct, just not
-//! zero-copy), and the `Buf`/`BufMut` machinery is absent because nothing
-//! here uses it.
+//! Like the real crate, [`Bytes::slice`] is zero-copy: a slice is a
+//! `(storage, offset, len)` view sharing the parent's reference-counted
+//! allocation, so decoding records out of a frame payload costs no
+//! per-record copies. Differences from the real crate: `from_static`
+//! copies into shared storage instead of borrowing the `'static` slice
+//! (correct, just not zero-copy), and the `Buf`/`BufMut` machinery is
+//! absent because nothing here uses it.
 
 use std::borrow::Borrow;
 use std::fmt;
@@ -18,9 +21,15 @@ use std::ops::Deref;
 use std::sync::Arc;
 
 /// A cheaply cloneable immutable byte buffer (reference-counted).
+///
+/// The buffer is a view — `(shared storage, offset, len)` — so both
+/// `clone` and [`Bytes::slice`] share the underlying allocation instead
+/// of copying it.
 #[derive(Clone, Default)]
 pub struct Bytes {
     data: Arc<[u8]>,
+    offset: usize,
+    len: usize,
 }
 
 impl Bytes {
@@ -29,32 +38,42 @@ impl Bytes {
         Bytes::default()
     }
 
+    fn from_arc(data: Arc<[u8]>) -> Bytes {
+        let len = data.len();
+        Bytes {
+            data,
+            offset: 0,
+            len,
+        }
+    }
+
     /// Builds from a static slice. (Vendored version copies the bytes.)
     pub fn from_static(bytes: &'static [u8]) -> Bytes {
-        Bytes {
-            data: Arc::from(bytes),
-        }
+        Bytes::from_arc(Arc::from(bytes))
     }
 
     /// Builds by copying an arbitrary slice.
     pub fn copy_from_slice(data: &[u8]) -> Bytes {
-        Bytes {
-            data: Arc::from(data),
-        }
+        Bytes::from_arc(Arc::from(data))
     }
 
     /// Number of bytes.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     /// True if the buffer holds no bytes.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
     }
 
-    /// Returns a slice of self for the provided range (copying, like
-    /// everything in this vendored version).
+    /// Returns a slice of self for the provided range **without copying**:
+    /// the returned `Bytes` shares this buffer's storage, adjusting only
+    /// the view's offset and length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or inverted.
     pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
         use std::ops::Bound;
         let start = match range.start_bound() {
@@ -65,9 +84,24 @@ impl Bytes {
         let end = match range.end_bound() {
             Bound::Included(&n) => n + 1,
             Bound::Excluded(&n) => n,
-            Bound::Unbounded => self.len(),
+            Bound::Unbounded => self.len,
         };
-        Bytes::copy_from_slice(&self.data[start..end])
+        assert!(
+            start <= end && end <= self.len,
+            "slice range {start}..{end} out of bounds for Bytes of length {}",
+            self.len
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            offset: self.offset + start,
+            len: end - start,
+        }
+    }
+
+    /// The viewed window of the shared storage.
+    #[inline]
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.offset..self.offset + self.len]
     }
 }
 
@@ -75,26 +109,26 @@ impl Deref for Bytes {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl Borrow<[u8]> for Bytes {
     fn borrow(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.data.iter() {
+        for &b in self.as_slice() {
             for esc in std::ascii::escape_default(b) {
                 write!(f, "{}", esc as char)?;
             }
@@ -155,13 +189,13 @@ impl PartialEq<str> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
-        Bytes { data: Arc::from(v) }
+        Bytes::from_arc(Arc::from(v))
     }
 }
 
 impl From<Box<[u8]>> for Bytes {
     fn from(v: Box<[u8]>) -> Bytes {
-        Bytes { data: Arc::from(v) }
+        Bytes::from_arc(Arc::from(v))
     }
 }
 
@@ -194,7 +228,7 @@ impl<'a> IntoIterator for &'a Bytes {
     type IntoIter = std::slice::Iter<'a, u8>;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.data.iter()
+        self.as_slice().iter()
     }
 }
 
@@ -240,6 +274,37 @@ mod tests {
         assert_eq!(&a.slice(6..)[..], b"world");
         assert_eq!(&a.slice(..5)[..], b"hello");
         assert_eq!(&a.slice(3..5)[..], b"lo");
+    }
+
+    #[test]
+    fn slice_shares_parent_storage() {
+        let parent = Bytes::from(vec![7u8; 256]);
+        let child = parent.slice(10..50);
+        // Zero-copy: the child's view points into the parent's allocation.
+        assert_eq!(child.as_ref().as_ptr(), unsafe {
+            parent.as_ref().as_ptr().add(10)
+        });
+        assert_eq!(child.len(), 40);
+        // Slicing a slice composes offsets against the same storage.
+        let grandchild = child.slice(5..10);
+        assert_eq!(grandchild.as_ref().as_ptr(), unsafe {
+            parent.as_ref().as_ptr().add(15)
+        });
+        // The storage outlives the parent handle.
+        drop(parent);
+        assert_eq!(grandchild, Bytes::from(vec![7u8; 5]));
+    }
+
+    #[test]
+    fn slice_bounds_are_checked() {
+        let a = Bytes::from_static(b"abc");
+        let r = std::panic::catch_unwind(|| a.slice(1..9));
+        assert!(r.is_err());
+        // Equality, hashing and debug all respect the view, not the
+        // whole allocation.
+        let s = a.slice(1..2);
+        assert_eq!(s, Bytes::from_static(b"b"));
+        assert_eq!(format!("{s:?}"), "b\"b\"");
     }
 
     #[test]
