@@ -19,6 +19,9 @@
 //! figures hotpath-bench             # extension: parallel-O/kernel grid
 //! figures hotpath-bench --smoke     # CI variant: small grid + speedup gate
 //! figures hotpath-bench --write PATH # also write BENCH_hotpath.json
+//! figures straggler-bench           # extension: slow-rank/rank-leave defense grid
+//! figures straggler-bench --smoke   # CI variant: shorter pauses, same 0.5x gate
+//! figures straggler-bench --write PATH # also write BENCH_straggler.json
 //! ```
 
 use dmpi_bench::experiments;
@@ -28,7 +31,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: figures <all|table1|table2|fig2a|fig2b|fig3a|fig3b|fig3c|fig3d|\
          fig4sort|fig4wordcount|fig5|fig6a|fig6b|fig7|ext-iter|ext-recovery|profile-real|\
-         transport-bench|pipeline-bench|hotpath-bench|summary> [--markdown] \
+         transport-bench|pipeline-bench|hotpath-bench|straggler-bench|summary> [--markdown] \
          [--write PATH] [--csv] [--smoke] \
          [--series cpu|waitio|disk_read|disk_write|net|mem]"
     );
@@ -165,8 +168,36 @@ fn main() {
                 })?;
                 println!("wrote {artifact}");
                 if smoke {
-                    println!("{}", dmpi_bench::hotpath_bench::speedup_gate(&data, 1.3)?);
+                    println!(
+                        "{}",
+                        dmpi_bench::hotpath_bench::speedup_gate(
+                            &data,
+                            dmpi_bench::hotpath_bench::GATE_MIN_SPEEDUP
+                        )?
+                    );
                 }
+            }
+            "straggler-bench" => {
+                let smoke = args.iter().any(|a| a == "--smoke");
+                let (ranks, tasks, slow_ms) = if smoke { (3, 6, 150) } else { (3, 9, 300) };
+                let data =
+                    dmpi_bench::straggler_bench::straggler_bench_data(ranks, tasks, slow_ms, 42)?;
+                println!(
+                    "{}",
+                    render(dmpi_bench::straggler_bench::render_table(&data), csv)
+                );
+                let artifact = write_path
+                    .clone()
+                    .unwrap_or_else(|| "BENCH_straggler.json".to_string());
+                let json = dmpi_bench::straggler_bench::render_artifact_json(&data);
+                std::fs::write(&artifact, json).map_err(|e| {
+                    dmpi_common::Error::InvalidState(format!("cannot write {artifact}: {e}"))
+                })?;
+                println!("wrote {artifact}");
+                println!(
+                    "{}",
+                    dmpi_bench::straggler_bench::completion_gate(&data, 0.5)?
+                );
             }
             "pipeline-bench" => {
                 let data = dmpi_bench::pipeline_bench::pipeline_bench_data(4, 8, 64 * 1024)?;

@@ -207,11 +207,29 @@ pub fn hotpath_bench_data(
     })
 }
 
+/// The speedup threshold the CI smoke gate enforces (and the one the
+/// artifact's `gate_status` field is computed against).
+pub const GATE_MIN_SPEEDUP: f64 = 1.3;
+
 /// The CI smoke gate: n=4 WordCount must reach `min_speedup` × the
 /// sequential throughput — enforced only when the host has at least
 /// 4 cores, because worker threads cannot beat one core.
 pub fn speedup_gate(data: &HotpathBenchData, min_speedup: f64) -> Result<String> {
     gate_message(data.cores, data.wordcount_speedup_n4, min_speedup)
+}
+
+/// Machine-readable verdict recorded in the artifact: on a <4-core host
+/// the gate cannot be meaningful, so the artifact says
+/// `"skipped_core_gated"` (with the measured ratio alongside) instead of
+/// posing as a pass.
+pub fn gate_status(cores: usize, speedup: f64, min_speedup: f64) -> &'static str {
+    if cores < 4 {
+        "skipped_core_gated"
+    } else if speedup < min_speedup {
+        "fail"
+    } else {
+        "pass"
+    }
 }
 
 fn gate_message(cores: usize, speedup: f64, min_speedup: f64) -> Result<String> {
@@ -280,6 +298,12 @@ pub fn render_artifact_json(data: &HotpathBenchData) -> String {
         "  \"wordcount_speedup_n4\": {:.4},",
         data.wordcount_speedup_n4
     );
+    let _ = writeln!(
+        out,
+        "  \"gate_status\": \"{}\", \"gate_min_speedup\": {:.2},",
+        gate_status(data.cores, data.wordcount_speedup_n4, GATE_MIN_SPEEDUP),
+        GATE_MIN_SPEEDUP
+    );
     out.push_str("  \"runs\": [\n");
     for (i, run) in data.runs.iter().enumerate() {
         let p = &run.phase_us;
@@ -346,6 +370,8 @@ mod tests {
         let json = render_artifact_json(&data);
         assert!(json.contains("\"experiment\": \"hotpath-bench\""));
         assert!(json.contains("\"wordcount_speedup_n4\""));
+        assert!(json.contains("\"gate_status\""));
+        assert!(json.contains("\"gate_min_speedup\": 1.30"));
         assert!(json.contains("\"kernel\": \"radix\""));
         assert!(json.contains("\"parallelism\": 8"));
         assert!(json.contains("\"spill_us\""));
@@ -359,5 +385,14 @@ mod tests {
         assert!(gate_message(4, 1.5, 1.3).unwrap().contains("ok"));
         assert!(gate_message(4, 1.1, 1.3).is_err());
         assert!(gate_message(8, 1.31, 1.3).is_ok());
+    }
+
+    #[test]
+    fn gate_status_reports_core_gated_skips_honestly() {
+        assert_eq!(gate_status(1, 0.8, 1.3), "skipped_core_gated");
+        assert_eq!(gate_status(3, 2.0, 1.3), "skipped_core_gated");
+        assert_eq!(gate_status(4, 1.5, 1.3), "pass");
+        assert_eq!(gate_status(4, 1.1, 1.3), "fail");
+        assert_eq!(gate_status(8, 1.3, 1.3), "pass");
     }
 }

@@ -25,6 +25,7 @@ pub mod hotpath_bench;
 pub mod pipeline_bench;
 pub mod profile_real;
 pub mod recovery;
+pub mod straggler_bench;
 pub mod table;
 pub mod transport_bench;
 

@@ -1,0 +1,433 @@
+//! `figures straggler-bench` — completion time and wasted work with and
+//! without the straggler defenses, under seeded fault injections.
+//!
+//! Two scenarios, each measured with the defense off and on:
+//!
+//! * **slow-rank** — one rank is paced by a seeded
+//!   [`SlowRank`](datampi::fault::FaultEvent::SlowRank) injection (a
+//!   fixed pause before every one of its O tasks). Off = the static
+//!   `task % ranks` schedule rides it out; on = work stealing drains the
+//!   slow rank's queue while the outlier detector launches speculative
+//!   duplicates of whatever it is already running (first-writer-wins).
+//!   The PR's acceptance gate lives here: defended completion must come
+//!   in at **≤ 0.5×** the undefended time ([`completion_gate`]).
+//! * **rank-leave** — a rank dies mid-job
+//!   ([`rank_panic`](datampi::FaultPlan::rank_panic)) under
+//!   checkpointing. Off = the fixed-width supervisor restarts at full
+//!   width; on = the elastic supervisor shrinks the mesh by one rank and
+//!   finishes by *recovering* the checkpointed tasks (re-bucketed to the
+//!   narrow width) instead of re-running them.
+//!
+//! Every cell's output is compared against a clean, undisturbed run at
+//! the cell's final width — **byte-identical per partition** is asserted
+//! inside [`straggler_bench_data`], not just reported, because the whole
+//! point of capture-replay commits and width-portable checkpoints is
+//! that the defenses never perturb what the job computes.
+//!
+//! Results land in `BENCH_straggler.json` (schema in BENCHMARKS.md).
+//! The pauses dominate compute by design, so the ≤ 0.5× gate holds even
+//! on a single-core CI host.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use datampi::supervisor::{supervise_job, supervise_job_elastic, ElasticPolicy, RetryPolicy};
+use datampi::task::{Collector, GroupedValues};
+use datampi::{run_job, FaultPlan, JobConfig, JobOutput, Scheduling, SpeculationConfig};
+use dmpi_common::ser::Writable;
+use dmpi_common::{Error, Result};
+
+use crate::table::Table;
+
+/// One measured (scenario, defense) cell.
+#[derive(Clone, Debug)]
+pub struct StragglerCell {
+    /// `"slow-rank"` or `"rank-leave"`.
+    pub scenario: &'static str,
+    /// `"off"` or `"on"`.
+    pub defense: &'static str,
+    /// End-to-end completion time.
+    pub millis: f64,
+    /// Bytes emitted by attempts that lost or failed (the supervisor's
+    /// and speculation layer's shared waste ledger).
+    pub wasted_bytes: u64,
+    /// Output byte-identical to a clean run at `final_ranks` — always
+    /// true (the grid errors out otherwise); recorded for the artifact.
+    pub identical: bool,
+    /// Speculative duplicates that won their race.
+    pub speculative_commits: u64,
+    /// Queued splits moved off their slow home rank.
+    pub tasks_stolen: u64,
+    /// Tasks replayed from the checkpoint instead of re-run.
+    pub o_tasks_recovered: u64,
+    /// Mesh width on the successful attempt.
+    pub final_ranks: usize,
+    /// Attempts the supervisor needed (1 = no restart).
+    pub attempts: u32,
+}
+
+/// The full 2×2 grid plus the headline ratio.
+#[derive(Clone, Debug)]
+pub struct StragglerBenchData {
+    /// Mesh width every scenario starts at.
+    pub ranks: usize,
+    /// O tasks per job.
+    pub tasks: usize,
+    /// The injected per-task pause on the slow rank.
+    pub slow_ms: u64,
+    /// Seed for inputs and every injection.
+    pub seed: u64,
+    /// The four cells, slow-rank first.
+    pub cells: Vec<StragglerCell>,
+    /// Undefended / defended completion time for the slow-rank scenario
+    /// (bigger is better; the gate wants ≥ 2).
+    pub slow_rank_speedup: f64,
+}
+
+fn wc_o(_task: usize, split: &[u8], out: &mut dyn Collector) {
+    for w in split.split(|&b| b == b' ').filter(|w| !w.is_empty()) {
+        out.collect(w, &1u64.to_bytes());
+    }
+}
+
+fn wc_a(g: &GroupedValues, out: &mut dyn Collector) {
+    let total: u64 = g.values.iter().map(|v| u64::from_bytes(v).unwrap()).sum();
+    out.collect(&g.key, &total.to_bytes());
+}
+
+fn bench_inputs(tasks: usize, seed: u64) -> Vec<Bytes> {
+    (0..tasks)
+        .map(|t| {
+            let mut s = String::new();
+            for j in 0..24 {
+                let _ = write!(s, "w{} shared ", (seed as usize + t * 7 + j) % 13);
+            }
+            Bytes::from(s)
+        })
+        .collect()
+}
+
+/// Byte-identity per partition against a clean run at `width`; `Err`
+/// names the cell if any partition differs.
+fn assert_identical(
+    cell: &str,
+    out: &JobOutput,
+    tasks: usize,
+    seed: u64,
+    width: usize,
+) -> Result<()> {
+    let clean = run_job(
+        &JobConfig::new(width),
+        bench_inputs(tasks, seed),
+        wc_o,
+        wc_a,
+        None,
+    )?;
+    if out.partitions.len() != clean.partitions.len() {
+        return Err(Error::InvalidState(format!(
+            "{cell}: {} partitions vs clean {}",
+            out.partitions.len(),
+            clean.partitions.len()
+        )));
+    }
+    for (p, (a, b)) in out.partitions.iter().zip(&clean.partitions).enumerate() {
+        if a.records() != b.records() {
+            return Err(Error::InvalidState(format!(
+                "{cell}: partition {p} differs from the clean width-{width} run"
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn cell_from_stats(
+    scenario: &'static str,
+    defense: &'static str,
+    millis: f64,
+    out: &JobOutput,
+    final_ranks: usize,
+) -> StragglerCell {
+    StragglerCell {
+        scenario,
+        defense,
+        millis,
+        wasted_bytes: out.stats.wasted_bytes,
+        identical: true, // asserted before the cell is built
+        speculative_commits: out.stats.speculative_commits,
+        tasks_stolen: out.stats.tasks_stolen,
+        o_tasks_recovered: out.stats.o_tasks_recovered,
+        final_ranks,
+        attempts: out.stats.attempts.max(1),
+    }
+}
+
+/// Runs the 2×2 grid. `slow_ms` is the injected pause per O task of the
+/// slow rank; `ranks`/`tasks` size each job.
+pub fn straggler_bench_data(
+    ranks: usize,
+    tasks: usize,
+    slow_ms: u64,
+    seed: u64,
+) -> Result<StragglerBenchData> {
+    if ranks < 3 {
+        return Err(Error::InvalidState(
+            "straggler-bench needs >= 3 ranks (rank 1 slows, rank ranks-1 leaves)".into(),
+        ));
+    }
+    let inputs = || bench_inputs(tasks, seed);
+    let slow_rank = 1usize;
+    let mut cells = Vec::with_capacity(4);
+
+    // --- slow-rank, defense off: static schedule rides out the pauses.
+    let off_cfg = JobConfig::new(ranks)
+        .with_scheduling(Scheduling::Static {
+            work_stealing: false,
+        })
+        .with_faults(FaultPlan::new(seed).slow_rank(slow_rank, 0, slow_ms));
+    let start = Instant::now();
+    let off_out = run_job(&off_cfg, inputs(), wc_o, wc_a, None)?;
+    let off_millis = start.elapsed().as_secs_f64() * 1e3;
+    assert_identical("slow-rank/off", &off_out, tasks, seed, ranks)?;
+    cells.push(cell_from_stats(
+        "slow-rank",
+        "off",
+        off_millis,
+        &off_out,
+        ranks,
+    ));
+
+    // --- slow-rank, defense on: stealing + speculation.
+    let on_cfg = JobConfig::new(ranks)
+        .with_scheduling(Scheduling::Static {
+            work_stealing: true,
+        })
+        .with_speculation(SpeculationConfig::enabled().with_seed(seed))
+        .with_faults(FaultPlan::new(seed).slow_rank(slow_rank, 0, slow_ms));
+    let start = Instant::now();
+    let on_out = run_job(&on_cfg, inputs(), wc_o, wc_a, None)?;
+    let on_millis = start.elapsed().as_secs_f64() * 1e3;
+    assert_identical("slow-rank/on", &on_out, tasks, seed, ranks)?;
+    cells.push(cell_from_stats(
+        "slow-rank",
+        "on",
+        on_millis,
+        &on_out,
+        ranks,
+    ));
+
+    // --- rank-leave, defense off: fixed-width restart.
+    let leave_plan = || FaultPlan::new(seed).rank_panic(ranks - 1, 0);
+    let policy = RetryPolicy::new(4).with_backoff(Duration::ZERO);
+    let fixed_cfg = JobConfig::new(ranks)
+        .with_checkpointing(true)
+        .with_faults(leave_plan());
+    let start = Instant::now();
+    let fixed_out = supervise_job(&fixed_cfg, &policy, inputs(), wc_o, wc_a)?;
+    let fixed_millis = start.elapsed().as_secs_f64() * 1e3;
+    assert_identical("rank-leave/off", &fixed_out, tasks, seed, ranks)?;
+    cells.push(cell_from_stats(
+        "rank-leave",
+        "off",
+        fixed_millis,
+        &fixed_out,
+        ranks,
+    ));
+
+    // --- rank-leave, defense on: elastic width shrink over checkpoints.
+    let elastic_cfg = JobConfig::new(ranks)
+        .with_checkpointing(true)
+        .with_faults(leave_plan());
+    let start = Instant::now();
+    let elastic = supervise_job_elastic(
+        &elastic_cfg,
+        &policy,
+        &ElasticPolicy::default(),
+        inputs(),
+        wc_o,
+        wc_a,
+    )?;
+    let elastic_millis = start.elapsed().as_secs_f64() * 1e3;
+    if elastic.final_ranks != ranks - 1 || elastic.shrinks != 1 {
+        return Err(Error::InvalidState(format!(
+            "rank-leave/on: expected one width shrink to {} ranks, got {} ({} shrinks)",
+            ranks - 1,
+            elastic.final_ranks,
+            elastic.shrinks
+        )));
+    }
+    assert_identical(
+        "rank-leave/on",
+        &elastic.output,
+        tasks,
+        seed,
+        elastic.final_ranks,
+    )?;
+    cells.push(cell_from_stats(
+        "rank-leave",
+        "on",
+        elastic_millis,
+        &elastic.output,
+        elastic.final_ranks,
+    ));
+
+    let slow_rank_speedup = off_millis / on_millis.max(1e-9);
+    Ok(StragglerBenchData {
+        ranks,
+        tasks,
+        slow_ms,
+        seed,
+        cells,
+        slow_rank_speedup,
+    })
+}
+
+/// The PR's acceptance gate: defended slow-rank completion must be at
+/// most `max_ratio` (0.5 in CI) of the undefended time.
+pub fn completion_gate(data: &StragglerBenchData, max_ratio: f64) -> Result<String> {
+    let ratio = 1.0 / data.slow_rank_speedup.max(1e-9);
+    if ratio > max_ratio {
+        return Err(Error::InvalidState(format!(
+            "straggler gate: defended completion is {:.2}x the undefended time \
+             (threshold {:.2}x; speedup only {:.2}x)",
+            ratio, max_ratio, data.slow_rank_speedup
+        )));
+    }
+    Ok(format!(
+        "straggler gate: ok (defended = {:.2}x undefended, threshold {:.2}x, speedup {:.2}x)",
+        ratio, max_ratio, data.slow_rank_speedup
+    ))
+}
+
+/// Renders the report table.
+pub fn render_table(data: &StragglerBenchData) -> Table {
+    let mut table = Table::new(
+        "straggler-bench",
+        format!(
+            "Straggler defense: {} ranks, {} O tasks, {} ms/task slow-rank pause, seed {}; \
+             slow-rank speedup {:.2}x",
+            data.ranks, data.tasks, data.slow_ms, data.seed, data.slow_rank_speedup
+        ),
+        &[
+            "Scenario",
+            "Defense",
+            "Millis",
+            "Wasted B",
+            "Identical",
+            "SpecWins",
+            "Stolen",
+            "Recovered",
+            "Ranks",
+            "Attempts",
+        ],
+    );
+    for c in &data.cells {
+        table.push_row(vec![
+            c.scenario.to_string(),
+            c.defense.to_string(),
+            format!("{:.1}", c.millis),
+            c.wasted_bytes.to_string(),
+            c.identical.to_string(),
+            c.speculative_commits.to_string(),
+            c.tasks_stolen.to_string(),
+            c.o_tasks_recovered.to_string(),
+            c.final_ranks.to_string(),
+            c.attempts.to_string(),
+        ]);
+    }
+    table
+}
+
+/// Renders the `BENCH_straggler.json` artifact (schema: BENCHMARKS.md).
+pub fn render_artifact_json(data: &StragglerBenchData) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"straggler-bench\",\n");
+    let _ = writeln!(
+        out,
+        "  \"ranks\": {}, \"tasks\": {}, \"slow_ms\": {}, \"seed\": {},",
+        data.ranks, data.tasks, data.slow_ms, data.seed
+    );
+    let _ = writeln!(
+        out,
+        "  \"slow_rank_speedup\": {:.4},",
+        data.slow_rank_speedup
+    );
+    out.push_str("  \"cells\": [\n");
+    for (i, c) in data.cells.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"scenario\": \"{}\", \"defense\": \"{}\", \"millis\": {:.2}, \
+             \"wasted_bytes\": {}, \"identical\": {}, \"speculative_commits\": {}, \
+             \"tasks_stolen\": {}, \"o_tasks_recovered\": {}, \"final_ranks\": {}, \
+             \"attempts\": {}}}{}",
+            c.scenario,
+            c.defense,
+            c.millis,
+            c.wasted_bytes,
+            c.identical,
+            c.speculative_commits,
+            c.tasks_stolen,
+            c.o_tasks_recovered,
+            c.final_ranks,
+            c.attempts,
+            if i + 1 < data.cells.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_measures_rescues_and_stays_identical() {
+        // Small but pause-dominated: 120ms per slowed task keeps the
+        // ratio far under the 0.5 gate even on one core.
+        let data = straggler_bench_data(3, 6, 120, 42).unwrap();
+        assert_eq!(data.cells.len(), 4);
+        assert!(data.cells.iter().all(|c| c.identical));
+
+        let off = &data.cells[0];
+        let on = &data.cells[1];
+        assert_eq!((off.scenario, off.defense), ("slow-rank", "off"));
+        assert!(off.millis >= 2.0 * 120.0 * 0.9, "two slowed tasks ride out");
+        assert!(
+            on.speculative_commits + on.tasks_stolen > 0,
+            "the defense actually did something: {on:?}"
+        );
+        assert!(data.slow_rank_speedup >= 2.0, "{data:?}");
+        assert!(completion_gate(&data, 0.5).unwrap().contains("ok"));
+
+        let leave_on = &data.cells[3];
+        assert_eq!((leave_on.scenario, leave_on.defense), ("rank-leave", "on"));
+        assert_eq!(leave_on.final_ranks, 2, "width shrank by one");
+        assert!(
+            leave_on.o_tasks_recovered > 0,
+            "shrink recovered checkpoints instead of restarting: {leave_on:?}"
+        );
+        assert!(leave_on.attempts >= 2);
+    }
+
+    #[test]
+    fn artifact_json_is_complete() {
+        let data = straggler_bench_data(3, 6, 60, 7).unwrap();
+        let json = render_artifact_json(&data);
+        assert!(json.contains("\"experiment\": \"straggler-bench\""));
+        assert!(json.contains("\"scenario\": \"slow-rank\""));
+        assert!(json.contains("\"scenario\": \"rank-leave\""));
+        assert!(json.contains("\"slow_rank_speedup\""));
+        assert!(json.contains("\"identical\": true"));
+        assert!(render_table(&data).render_text().contains("rank-leave"));
+        // Exactly the 2x2 grid, defense off/on per scenario.
+        assert_eq!(json.matches("\"defense\": \"off\"").count(), 2);
+        assert_eq!(json.matches("\"defense\": \"on\"").count(), 2);
+    }
+
+    #[test]
+    fn gate_rejects_insufficient_rescue() {
+        let mut data = straggler_bench_data(3, 6, 60, 7).unwrap();
+        data.slow_rank_speedup = 1.2; // pretend the defense barely helped
+        assert!(completion_gate(&data, 0.5).is_err());
+    }
+}

@@ -7,12 +7,28 @@
 //! A partitions without re-running the user's O function. This is the
 //! "key-value pair based checkpoint/restart" the paper attributes to
 //! DataMPI (§2.3).
+//!
+//! Checkpoints are **width-portable**: each completed task records the
+//! rank width its frames were partitioned for, and
+//! [`CheckpointStore::recover_frames_for`] re-buckets the stored records
+//! through a fresh [`HashPartitioner`] when a restarted job runs at a
+//! different width. That is what lets the elastic supervisor shrink the
+//! mesh after a rank death instead of restarting from scratch: the A-side
+//! output is content-sorted, so re-bucketed records land byte-identically
+//! wherever they would have been emitted directly.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use bytes::Bytes;
+use dmpi_common::partition::{HashPartitioner, Partitioner};
+use dmpi_common::ser::read_framed_kv;
 use parking_lot::Mutex;
+
+/// Width recorded for tasks completed through the legacy
+/// [`CheckpointStore::mark_complete`]: matches any recovery width
+/// without re-bucketing.
+const WIDTH_ANY: usize = 0;
 
 /// Shared, thread-safe checkpoint state. Clone-cheap (`Arc` inside); pass
 /// the same store to a restarted job to recover.
@@ -25,9 +41,10 @@ pub struct CheckpointStore {
 struct Inner {
     /// Frames per completed-or-in-progress O task: `(partition, payload)`.
     frames: HashMap<usize, Vec<(usize, Bytes)>>,
-    /// O tasks whose output is completely captured. A set: `is_complete`
-    /// runs once per task on every restart, so membership must be O(1).
-    completed: HashSet<usize>,
+    /// Completed O tasks → the rank width their frames were partitioned
+    /// for ([`WIDTH_ANY`] when unrecorded). Lookup must stay O(1):
+    /// `is_complete` runs once per task on every restart.
+    completed: HashMap<usize, usize>,
 }
 
 impl CheckpointStore {
@@ -47,22 +64,35 @@ impl CheckpointStore {
     }
 
     /// Marks `o_task` complete: its captured frames become recoverable.
-    /// Idempotent.
+    /// Idempotent. Records no width — recovery at any width replays the
+    /// frames as stored. Prefer [`mark_complete_at`](Self::mark_complete_at)
+    /// when the emitting width is known.
     pub fn mark_complete(&self, o_task: usize) {
-        self.inner.lock().completed.insert(o_task);
+        self.inner
+            .lock()
+            .completed
+            .entry(o_task)
+            .or_insert(WIDTH_ANY);
+    }
+
+    /// Marks `o_task` complete, recording that its frames were
+    /// partitioned for a mesh of `width` ranks. Idempotent (first writer
+    /// keeps its width — duplicates of a committed task never re-record).
+    pub fn mark_complete_at(&self, o_task: usize, width: usize) {
+        self.inner.lock().completed.entry(o_task).or_insert(width);
     }
 
     /// Discards partial frames of an uncompleted task (failure cleanup).
     pub fn discard_incomplete(&self, o_task: usize) {
         let mut inner = self.inner.lock();
-        if !inner.completed.contains(&o_task) {
+        if !inner.completed.contains_key(&o_task) {
             inner.frames.remove(&o_task);
         }
     }
 
     /// True if `o_task` completed in a previous attempt.
     pub fn is_complete(&self, o_task: usize) -> bool {
-        self.inner.lock().completed.contains(&o_task)
+        self.inner.lock().completed.contains_key(&o_task)
     }
 
     /// Number of completed tasks.
@@ -70,14 +100,53 @@ impl CheckpointStore {
         self.inner.lock().completed.len()
     }
 
-    /// The frames of a completed task, for replay. Empty if not complete.
+    /// The frames of a completed task exactly as stored, for same-width
+    /// replay. Empty if not complete.
     pub fn recover_frames(&self, o_task: usize) -> Vec<(usize, Bytes)> {
         let inner = self.inner.lock();
-        if inner.completed.contains(&o_task) {
+        if inner.completed.contains_key(&o_task) {
             inner.frames.get(&o_task).cloned().unwrap_or_default()
         } else {
             Vec::new()
         }
+    }
+
+    /// The frames of a completed task, re-partitioned for a mesh of
+    /// `parts` ranks. When the recorded width already matches (or was
+    /// never recorded), the stored frames are returned as-is; otherwise
+    /// every record is re-bucketed through `HashPartitioner::new(parts)`
+    /// into one frame per destination. Empty if not complete.
+    pub fn recover_frames_for(&self, o_task: usize, parts: usize) -> Vec<(usize, Bytes)> {
+        let (width, frames) = {
+            let inner = self.inner.lock();
+            let Some(&width) = inner.completed.get(&o_task) else {
+                return Vec::new();
+            };
+            (
+                width,
+                inner.frames.get(&o_task).cloned().unwrap_or_default(),
+            )
+        };
+        if width == WIDTH_ANY || width == parts {
+            return frames;
+        }
+        let partitioner = HashPartitioner::new(parts);
+        let mut buckets: Vec<Vec<u8>> = vec![Vec::new(); parts];
+        for (_, payload) in &frames {
+            let mut off = 0;
+            while off < payload.len() {
+                let (key, _value, used) = read_framed_kv(&payload[off..])
+                    .expect("checkpointed frames hold well-formed framed records");
+                buckets[partitioner.partition(key)].extend_from_slice(&payload[off..off + used]);
+                off += used;
+            }
+        }
+        buckets
+            .into_iter()
+            .enumerate()
+            .filter(|(_, b)| !b.is_empty())
+            .map(|(p, b)| (p, Bytes::from(b)))
+            .collect()
     }
 
     /// Total checkpointed bytes (the paper-relevant cost of the mechanism).
@@ -95,6 +164,8 @@ impl CheckpointStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dmpi_common::kv::Record;
+    use dmpi_common::ser::frame_record;
 
     #[test]
     fn complete_tasks_are_recoverable() {
@@ -130,6 +201,10 @@ mod tests {
         cp.mark_complete(0);
         cp.mark_complete(0);
         assert_eq!(cp.completed_count(), 1);
+        // A later width record does not overwrite the first completion.
+        cp.mark_complete_at(0, 4);
+        assert_eq!(cp.completed_count(), 1);
+        assert_eq!(cp.recover_frames_for(0, 2), Vec::new());
     }
 
     #[test]
@@ -151,5 +226,62 @@ mod tests {
         }
         assert_eq!(cp.completed_count(), 8);
         assert_eq!(cp.total_bytes(), 8 * 100 * 10);
+    }
+
+    /// Frames a few records, partitioned for `width` ranks, into the
+    /// store under task 0.
+    fn checkpoint_records(cp: &CheckpointStore, recs: &[Record], width: usize) {
+        let partitioner = HashPartitioner::new(width);
+        let mut buckets: Vec<Vec<u8>> = vec![Vec::new(); width];
+        for r in recs {
+            frame_record(&mut buckets[partitioner.partition(&r.key)], r);
+        }
+        for (p, b) in buckets.into_iter().enumerate() {
+            if !b.is_empty() {
+                cp.record_frame(0, p, Bytes::from(b));
+            }
+        }
+        cp.mark_complete_at(0, width);
+    }
+
+    #[test]
+    fn recovery_at_recorded_width_returns_stored_frames() {
+        let cp = CheckpointStore::new();
+        let recs: Vec<Record> = (0..20)
+            .map(|i| Record::from_strs(&format!("k{i}"), "v"))
+            .collect();
+        checkpoint_records(&cp, &recs, 3);
+        let same = cp.recover_frames_for(0, 3);
+        assert_eq!(same, cp.recover_frames(0));
+    }
+
+    #[test]
+    fn recovery_at_a_narrower_width_rebuckets_every_record() {
+        let cp = CheckpointStore::new();
+        let recs: Vec<Record> = (0..50)
+            .map(|i| Record::from_strs(&format!("key-{i}"), &format!("val-{i}")))
+            .collect();
+        checkpoint_records(&cp, &recs, 4);
+
+        let narrow = cp.recover_frames_for(0, 2);
+        let partitioner = HashPartitioner::new(2);
+        let mut recovered = 0usize;
+        for (p, payload) in &narrow {
+            assert!(*p < 2, "partition index fits the narrow width");
+            let mut off = 0;
+            while off < payload.len() {
+                let (key, _v, used) = read_framed_kv(&payload[off..]).unwrap();
+                assert_eq!(partitioner.partition(key), *p, "record re-bucketed");
+                off += used;
+                recovered += 1;
+            }
+        }
+        assert_eq!(recovered, recs.len(), "no record lost or duplicated");
+
+        // Growing back out works too.
+        let wide = cp.recover_frames_for(0, 8);
+        let total: usize = wide.iter().map(|(_, b)| b.len()).sum();
+        let orig: usize = cp.recover_frames(0).iter().map(|(_, b)| b.len()).sum();
+        assert_eq!(total, orig, "re-bucketing preserves every byte");
     }
 }

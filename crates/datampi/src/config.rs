@@ -7,6 +7,7 @@ use dmpi_common::{Error, Result};
 use crate::comm::DEFAULT_MAILBOX_CAPACITY;
 use crate::fault::FaultPlan;
 use crate::observe::Observer;
+use crate::speculate::{Scheduling, SpeculationConfig};
 use crate::task::Combiner;
 use crate::transport::Backend;
 
@@ -91,6 +92,15 @@ pub struct JobConfig {
     /// identical output order; this is a perf dimension benchmarked by
     /// `figures hotpath-bench`.
     pub sort_kernel: SortKernel,
+    /// Straggler defense ([`crate::speculate`]): progress heartbeats,
+    /// median-based outlier detection, and speculative duplicate attempts
+    /// with first-writer-wins commit. Disabled by default — the direct
+    /// emission hot path is untouched unless `speculation.enabled`.
+    pub speculation: SpeculationConfig,
+    /// How O splits are assigned to ranks: the classic shared queue
+    /// (default) or a static `task % ranks` pinning with optional work
+    /// stealing. Output bytes are identical in every mode.
+    pub scheduling: Scheduling,
 }
 
 impl JobConfig {
@@ -112,6 +122,8 @@ impl JobConfig {
             o_parallelism: default_o_parallelism(),
             o_chunk_bytes: DEFAULT_O_CHUNK_BYTES,
             sort_kernel: SortKernel::default(),
+            speculation: SpeculationConfig::default(),
+            scheduling: Scheduling::default(),
         }
     }
 
@@ -138,10 +150,18 @@ impl JobConfig {
         if self.o_chunk_bytes == 0 {
             return Err(Error::Config("O chunk size must be positive".into()));
         }
+        self.speculation.validate()?;
         if let Some(plan) = &self.faults {
             plan.validate()?;
         }
         Ok(())
+    }
+
+    /// Builder: resize the job to `ranks` worker ranks. The elastic
+    /// supervisor uses this to shrink or grow the mesh between attempts.
+    pub fn with_ranks(mut self, ranks: usize) -> Self {
+        self.ranks = ranks;
+        self
     }
 
     /// Builder: set pipelining.
@@ -233,6 +253,19 @@ impl JobConfig {
         self
     }
 
+    /// Builder: configure straggler defense (speculative duplicate
+    /// attempts with first-writer-wins commit).
+    pub fn with_speculation(mut self, speculation: SpeculationConfig) -> Self {
+        self.speculation = speculation;
+        self
+    }
+
+    /// Builder: select the O-split scheduling mode.
+    pub fn with_scheduling(mut self, scheduling: Scheduling) -> Self {
+        self.scheduling = scheduling;
+        self
+    }
+
     /// Builder: inject a single O-task error (shorthand for the most
     /// common single-fault plan).
     pub fn with_o_task_fault(self, task: usize, on_attempt: u32) -> Self {
@@ -272,6 +305,28 @@ mod tests {
         // An invalid fault plan makes the whole config invalid.
         let plan = FaultPlan::new(0).straggler(0, 0, FaultPlan::MAX_STRAGGLER_MS + 1);
         assert!(JobConfig::new(1).with_faults(plan).validate().is_err());
+        // So does an invalid (enabled) speculation config.
+        let spec = SpeculationConfig::enabled().with_slow_factor(0.1);
+        assert!(JobConfig::new(1).with_speculation(spec).validate().is_err());
+    }
+
+    #[test]
+    fn ranks_speculation_and_scheduling_builders() {
+        let c = JobConfig::new(2)
+            .with_ranks(5)
+            .with_speculation(SpeculationConfig::enabled())
+            .with_scheduling(Scheduling::Static {
+                work_stealing: true,
+            });
+        assert_eq!(c.ranks, 5);
+        assert!(c.speculation.enabled);
+        assert_eq!(
+            c.scheduling,
+            Scheduling::Static {
+                work_stealing: true
+            }
+        );
+        c.validate().unwrap();
     }
 
     #[test]

@@ -7,9 +7,13 @@
 //!    rendezvous listener and spawns one worker process per rank with
 //!    `DMPI_RANK` / `DMPI_RANKS` / `DMPI_COORD` in the environment;
 //! 2. each **worker** binds its own data listener on an ephemeral port,
-//!    dials the coordinator, and registers `rank <r> <port>`;
+//!    dials the coordinator (with seeded-jitter retry, so a herd of
+//!    workers restarting together decorrelates), and registers
+//!    `rank <r> <port>`;
 //! 3. once every rank has registered, the coordinator broadcasts the
-//!    complete rank table (`peers <addr0> <addr1> …`), and every worker
+//!    complete **versioned** rank table (`peers v<version> <addr0>
+//!    <addr1> …` — see [`RankTable`]; the bare `peers <addr0> …` form of
+//!    older launchers still parses as version 0), and every worker
 //!    builds the full TCP mesh with
 //!    [`establish_endpoint`] —
 //!    exactly the fabric the threaded runtime uses for
@@ -26,7 +30,11 @@
 //! [`Frame::Eof`]; peers surface that as a structured
 //! [`FaultKind::RankDeath`](dmpi_common::FaultKind) fault (see
 //! `transport::tcp`), their jobs fail cleanly, and the coordinator sees
-//! both the missing result line and the nonzero exit status.
+//! both the missing result line and the nonzero exit status. With
+//! `dmpirun --elastic` the coordinator then re-runs the rendezvous one
+//! rank narrower under a bumped table version — ranks leave (and
+//! replacements join) a mesh by being included in, or dropped from, the
+//! next version of the table rather than by any in-band repair.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -45,7 +53,7 @@ use crate::runtime::{
     JobStats,
 };
 use crate::task::{BatchCollector, Collector, GroupedValues};
-use crate::transport::{establish_endpoint, TcpOptions, WireStats};
+use crate::transport::{establish_endpoint, jitter_state, retry_backoff, TcpOptions, WireStats};
 
 /// Environment variable carrying a worker's rank.
 pub const ENV_RANK: &str = "DMPI_RANK";
@@ -53,6 +61,10 @@ pub const ENV_RANK: &str = "DMPI_RANK";
 pub const ENV_RANKS: &str = "DMPI_RANKS";
 /// Environment variable carrying the coordinator's rendezvous address.
 pub const ENV_COORD: &str = "DMPI_COORD";
+/// Environment variable carrying the launch attempt (0 for a fresh job;
+/// bumped by `dmpirun --elastic` relaunches so one-shot injections like
+/// `--fail-rank` fire only once).
+pub const ENV_ATTEMPT: &str = "DMPI_ATTEMPT";
 
 /// How long rendezvous reads may block before the launcher gives up on a
 /// worker (or a worker on the launcher).
@@ -73,17 +85,111 @@ pub struct WorkerReport {
     pub wire: WireStats,
 }
 
+/// A versioned rank table: the mesh's peer data addresses (indexed by
+/// rank) plus the membership **version** that produced them. Version 0
+/// is a job's original table; the coordinator bumps the version every
+/// time membership changes — a rank leaving (death absorbed by the
+/// elastic supervisor) or a replacement joining. Ranks never patch a
+/// mesh in place: they join or leave by appearing in, or vanishing
+/// from, the *next* broadcast version, so every worker always holds a
+/// consistent table and can tell a stale one from a current one.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RankTable {
+    /// Membership version (0 = the original table).
+    pub version: u64,
+    /// Peer data addresses, indexed by rank.
+    pub peers: Vec<SocketAddr>,
+}
+
+impl RankTable {
+    /// Builds version `version` of a table over `peers`.
+    pub fn new(version: u64, peers: Vec<SocketAddr>) -> Self {
+        RankTable { version, peers }
+    }
+
+    /// Mesh width under this table.
+    pub fn ranks(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// The broadcast wire form: `peers v<version> <addr0> <addr1> …`.
+    pub fn wire_line(&self) -> String {
+        let addrs = self
+            .peers
+            .iter()
+            .map(|a| a.to_string())
+            .collect::<Vec<_>>()
+            .join(" ");
+        format!("peers v{} {addrs}", self.version)
+    }
+
+    /// Parses a broadcast line. Accepts the versioned form and, for
+    /// compatibility with pre-versioning launchers, the bare
+    /// `peers <addr0> …` form (which parses as version 0).
+    pub fn parse(line: &str) -> Option<RankTable> {
+        let mut it = line.split_whitespace().peekable();
+        if it.next()? != "peers" {
+            return None;
+        }
+        let version = match it.peek() {
+            Some(tok) if tok.starts_with('v') => {
+                let v = tok[1..].parse().ok()?;
+                it.next();
+                v
+            }
+            _ => 0,
+        };
+        let peers: Option<Vec<SocketAddr>> = it.map(|a| a.parse().ok()).collect();
+        let peers = peers?;
+        if peers.is_empty() {
+            return None;
+        }
+        Some(RankTable { version, peers })
+    }
+}
+
 /// Worker side of the rendezvous: dials the coordinator, registers this
 /// rank's data `port`, and blocks until the full rank table arrives.
 /// Returns the (still-open) coordinator stream — the worker later writes
-/// its result line on it — and the peer data addresses indexed by rank.
+/// its result line on it — and the versioned [`RankTable`].
+///
+/// The dial retries with the transport's seeded-jitter exponential
+/// backoff ([`retry_backoff`]): when a whole width of workers restarts
+/// at once (elastic relaunch, supervisor retry), their redials spread
+/// out instead of hammering the coordinator's accept queue in lockstep.
 pub fn register_with_coordinator(
     coord: SocketAddr,
     rank: usize,
     port: u16,
-) -> Result<(TcpStream, Vec<SocketAddr>)> {
-    let stream = TcpStream::connect(coord)
-        .map_err(|e| rendezvous_fault(format!("rank {rank}: dial coordinator {coord}: {e}")))?;
+) -> Result<(TcpStream, RankTable)> {
+    let opts = TcpOptions::default();
+    // Peer index 0 = "the coordinator" in the jitter stream; data-mesh
+    // dials use real peer ranks, but they also use a different seed mix
+    // (rank vs rank<<32) so the streams never collide.
+    let mut jitter = jitter_state(opts.jitter_seed, rank, 0);
+    let mut stream = None;
+    let mut last_err = String::new();
+    for attempt in 0..opts.connect_attempts.max(1) {
+        match TcpStream::connect(coord) {
+            Ok(s) => {
+                stream = Some(s);
+                break;
+            }
+            Err(e) => last_err = e.to_string(),
+        }
+        std::thread::sleep(retry_backoff(
+            attempt,
+            opts.connect_base_delay,
+            opts.connect_max_delay,
+            &mut jitter,
+        ));
+    }
+    let stream = stream.ok_or_else(|| {
+        rendezvous_fault(format!(
+            "rank {rank}: dial coordinator {coord} failed after {} attempts: {last_err}",
+            opts.connect_attempts.max(1)
+        ))
+    })?;
     stream
         .set_read_timeout(Some(RENDEZVOUS_TIMEOUT))
         .map_err(|e| rendezvous_fault(format!("rank {rank}: set rendezvous timeout: {e}")))?;
@@ -97,16 +203,28 @@ pub fn register_with_coordinator(
     reader
         .read_line(&mut line)
         .map_err(|e| rendezvous_fault(format!("rank {rank}: read rank table: {e}")))?;
-    let peers = parse_peer_line(&line)
+    let table = RankTable::parse(&line)
         .ok_or_else(|| rendezvous_fault(format!("rank {rank}: bad rank table line {line:?}")))?;
-    Ok((reader.into_inner(), peers))
+    Ok((reader.into_inner(), table))
+}
+
+/// Coordinator side of the rendezvous at table version 0 (a fresh job).
+/// See [`coordinate_rank_table_versioned`].
+pub fn coordinate_rank_table(listener: &TcpListener, ranks: usize) -> Result<Vec<TcpStream>> {
+    coordinate_rank_table_versioned(listener, ranks, 0)
 }
 
 /// Coordinator side of the rendezvous: accepts one connection per rank,
 /// reads each worker's `rank <r> <port>` registration, then broadcasts
-/// the complete rank table to all of them. Returns the still-open worker
-/// streams indexed by rank (the workers' result lines arrive on these).
-pub fn coordinate_rank_table(listener: &TcpListener, ranks: usize) -> Result<Vec<TcpStream>> {
+/// the complete rank table — stamped with `version` — to all of them.
+/// Returns the still-open worker streams indexed by rank (the workers'
+/// result lines arrive on these). Elastic relaunches call this again
+/// with the surviving width and a bumped version.
+pub fn coordinate_rank_table_versioned(
+    listener: &TcpListener,
+    ranks: usize,
+    version: u64,
+) -> Result<Vec<TcpStream>> {
     let mut streams: Vec<Option<TcpStream>> = (0..ranks).map(|_| None).collect();
     let mut ports = vec![0u16; ranks];
     for _ in 0..ranks {
@@ -131,15 +249,18 @@ pub fn coordinate_rank_table(listener: &TcpListener, ranks: usize) -> Result<Vec
         ports[rank] = port;
         streams[rank] = Some(reader.into_inner());
     }
-    let table = ports
-        .iter()
-        .map(|p| format!("127.0.0.1:{p}"))
-        .collect::<Vec<_>>()
-        .join(" ");
+    let table = RankTable::new(
+        version,
+        ports
+            .iter()
+            .map(|p| format!("127.0.0.1:{p}").parse().expect("loopback addr"))
+            .collect(),
+    );
+    let line = table.wire_line();
     let mut out = Vec::with_capacity(ranks);
     for (rank, stream) in streams.into_iter().enumerate() {
         let mut stream = stream.expect("every slot filled above");
-        writeln!(stream, "peers {table}")
+        writeln!(stream, "{line}")
             .map_err(|e| rendezvous_fault(format!("broadcast table to rank {rank}: {e}")))?;
         out.push(stream);
     }
@@ -154,19 +275,6 @@ fn parse_registration(line: &str) -> Option<(usize, u16)> {
     let rank = it.next()?.parse().ok()?;
     let port = it.next()?.parse().ok()?;
     Some((rank, port))
-}
-
-fn parse_peer_line(line: &str) -> Option<Vec<SocketAddr>> {
-    let mut it = line.split_whitespace();
-    if it.next()? != "peers" {
-        return None;
-    }
-    let peers: Option<Vec<SocketAddr>> = it.map(|a| a.parse().ok()).collect();
-    let peers = peers?;
-    if peers.is_empty() {
-        return None;
-    }
-    Some(peers)
 }
 
 struct EmitAdapter<'a> {
@@ -186,9 +294,13 @@ impl Collector for EmitAdapter<'_> {
 ///
 /// `inputs` is the *full* task table — every worker derives it
 /// deterministically (same seed), so no split data crosses the
-/// rendezvous. Fault injection plans in `config` are ignored here: a
+/// rendezvous. Fault injection plans in `config` are ignored here — a
 /// worker process *is* the fault domain, and `dmpirun` kills whole
-/// processes instead.
+/// processes instead — with one narrow exception:
+/// [`SlowRank`](crate::fault::FaultEvent::SlowRank) pacing is honoured
+/// (a pause before each of this rank's O tasks), because slowness is
+/// not death and `dmpirun --slow-rank` needs a real straggler process
+/// for launcher-level experiments.
 pub fn run_worker<O, A>(
     config: &JobConfig,
     rank: usize,
@@ -234,7 +346,15 @@ where
             )
         });
 
+        let pace = config
+            .faults
+            .as_ref()
+            .and_then(|p| p.slow_rank_delay(rank, 0));
         for task in (rank..inputs.len()).step_by(ranks.max(1)) {
+            if let Some(d) = pace {
+                std::thread::sleep(d);
+                stats.straggler_delays += 1;
+            }
             let mut buffer = KvBuffer::new(
                 senders.clone(),
                 rank,
@@ -393,9 +513,10 @@ mod tests {
                 thread::spawn(move || {
                     let data = TcpListener::bind("127.0.0.1:0").unwrap();
                     let port = data.local_addr().unwrap().port();
-                    let (_stream, peers) =
+                    let (_stream, table) =
                         register_with_coordinator(coord_addr, rank, port).unwrap();
-                    run_worker(&config, rank, data, &peers, &inputs, wc_o, wc_a).unwrap()
+                    assert_eq!(table.version, 0, "fresh job broadcasts version 0");
+                    run_worker(&config, rank, data, &table.peers, &inputs, wc_o, wc_a).unwrap()
                 })
             })
             .collect();
@@ -455,9 +576,9 @@ mod tests {
                 thread::spawn(move || {
                     let data = TcpListener::bind("127.0.0.1:0").unwrap();
                     let port = data.local_addr().unwrap().port();
-                    let (_stream, peers) =
+                    let (_stream, table) =
                         register_with_coordinator(coord_addr, rank, port).unwrap();
-                    run_worker(&config, rank, data, &peers, &inputs, lines_o, wc_a).unwrap()
+                    run_worker(&config, rank, data, &table.peers, &inputs, lines_o, wc_a).unwrap()
                 })
             })
             .collect();
@@ -484,9 +605,88 @@ mod tests {
         assert_eq!(parse_registration("rank 2 9000\n"), Some((2, 9000)));
         assert!(parse_registration("rang 2 9000").is_none());
         assert!(parse_registration("rank x 9000").is_none());
-        let peers = parse_peer_line("peers 127.0.0.1:1 127.0.0.1:2\n").unwrap();
-        assert_eq!(peers.len(), 2);
-        assert!(parse_peer_line("peers").is_none());
-        assert!(parse_peer_line("ports 127.0.0.1:1").is_none());
+        let t = RankTable::parse("peers v3 127.0.0.1:1 127.0.0.1:2\n").unwrap();
+        assert_eq!((t.version, t.ranks()), (3, 2));
+        // Pre-versioning launchers broadcast the bare form: version 0.
+        let legacy = RankTable::parse("peers 127.0.0.1:1 127.0.0.1:2\n").unwrap();
+        assert_eq!((legacy.version, legacy.ranks()), (0, 2));
+        assert!(RankTable::parse("peers").is_none());
+        assert!(RankTable::parse("peers v2").is_none());
+        assert!(RankTable::parse("peers vx 127.0.0.1:1").is_none());
+        assert!(RankTable::parse("ports 127.0.0.1:1").is_none());
+    }
+
+    #[test]
+    fn rank_table_wire_line_round_trips() {
+        let table = RankTable::new(
+            7,
+            vec![
+                "127.0.0.1:9000".parse().unwrap(),
+                "127.0.0.1:9001".parse().unwrap(),
+            ],
+        );
+        assert_eq!(table.wire_line(), "peers v7 127.0.0.1:9000 127.0.0.1:9001");
+        assert_eq!(RankTable::parse(&table.wire_line()).unwrap(), table);
+    }
+
+    #[test]
+    fn versioned_broadcast_reaches_every_worker() {
+        // A relaunch-style rendezvous at version 2: workers must see the
+        // bumped version in their parsed table.
+        let ranks = 2;
+        let coord = TcpListener::bind("127.0.0.1:0").unwrap();
+        let coord_addr = coord.local_addr().unwrap();
+        let workers: Vec<_> = (0..ranks)
+            .map(|rank| {
+                thread::spawn(move || {
+                    let (_s, table) = register_with_coordinator(coord_addr, rank, 1234).unwrap();
+                    table
+                })
+            })
+            .collect();
+        coordinate_rank_table_versioned(&coord, ranks, 2).unwrap();
+        for w in workers {
+            let table = w.join().unwrap();
+            assert_eq!(table.version, 2);
+            assert_eq!(table.ranks(), ranks);
+        }
+    }
+
+    #[test]
+    fn slow_rank_pacing_delays_only_the_planned_rank() {
+        use crate::fault::FaultPlan;
+        let ranks = 2;
+        let inputs: Vec<Bytes> = (0..6)
+            .map(|i| Bytes::from(format!("w{i} shared")))
+            .collect();
+        // Rank 1 is paced 30ms per task (3 tasks → ≥90ms); rank 0 is not.
+        let config = JobConfig::new(ranks).with_faults(FaultPlan::new(1).slow_rank(1, 0, 30));
+        let coord = TcpListener::bind("127.0.0.1:0").unwrap();
+        let coord_addr = coord.local_addr().unwrap();
+        let workers: Vec<_> = (0..ranks)
+            .map(|rank| {
+                let inputs = inputs.clone();
+                let config = config.clone();
+                thread::spawn(move || {
+                    let data = TcpListener::bind("127.0.0.1:0").unwrap();
+                    let port = data.local_addr().unwrap().port();
+                    let (_stream, table) =
+                        register_with_coordinator(coord_addr, rank, port).unwrap();
+                    run_worker(&config, rank, data, &table.peers, &inputs, wc_o, wc_a).unwrap()
+                })
+            })
+            .collect();
+        coordinate_rank_table(&coord, ranks).unwrap();
+        let reports: Vec<WorkerReport> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+        assert_eq!(reports[0].stats.straggler_delays, 0, "rank 0 unpaced");
+        assert_eq!(reports[1].stats.straggler_delays, 3, "one pause per task");
+        // Pacing slows a rank; it never changes what the job computes.
+        let baseline = run_job(&JobConfig::new(ranks), inputs, wc_o, wc_a, None).unwrap();
+        for (rank, report) in reports.iter().enumerate() {
+            assert_eq!(
+                report.partition.records(),
+                baseline.partitions[rank].records()
+            );
+        }
     }
 }

@@ -66,6 +66,19 @@ pub enum FaultEvent {
         /// 0-based job attempt on which the corruption applies.
         on_attempt: u32,
     },
+    /// Every O task run by rank `rank` on attempt `on_attempt` is delayed
+    /// by `delay_ms` before user code — the whole-node straggler the
+    /// speculation layer defends against, as opposed to
+    /// [`FaultEvent::Straggler`]'s single-task delay.
+    SlowRank {
+        /// Target worker rank.
+        rank: usize,
+        /// 0-based job attempt on which the pacing applies.
+        on_attempt: u32,
+        /// Per-task injected delay in milliseconds (bounded by
+        /// [`FaultPlan::MAX_STRAGGLER_MS`]).
+        delay_ms: u64,
+    },
 }
 
 impl FaultEvent {
@@ -75,7 +88,8 @@ impl FaultEvent {
             FaultEvent::OTaskError { on_attempt, .. }
             | FaultEvent::RankPanic { on_attempt, .. }
             | FaultEvent::Straggler { on_attempt, .. }
-            | FaultEvent::CorruptFrame { on_attempt, .. } => on_attempt,
+            | FaultEvent::CorruptFrame { on_attempt, .. }
+            | FaultEvent::SlowRank { on_attempt, .. } => on_attempt,
         }
     }
 }
@@ -168,6 +182,17 @@ impl FaultPlan {
         self
     }
 
+    /// Builder: schedule a whole-rank slowdown (every task the rank runs
+    /// on that attempt is paced by `delay_ms`).
+    pub fn slow_rank(mut self, rank: usize, on_attempt: u32, delay_ms: u64) -> Self {
+        self.events.push(FaultEvent::SlowRank {
+            rank,
+            on_attempt,
+            delay_ms,
+        });
+        self
+    }
+
     /// Builder: append an already-constructed event.
     pub fn with_event(mut self, event: FaultEvent) -> Self {
         self.events.push(event);
@@ -199,7 +224,9 @@ impl FaultPlan {
     /// Validates the plan (delay bounds).
     pub fn validate(&self) -> Result<()> {
         for e in &self.events {
-            if let FaultEvent::Straggler { delay_ms, .. } = e {
+            if let FaultEvent::Straggler { delay_ms, .. } | FaultEvent::SlowRank { delay_ms, .. } =
+                e
+            {
                 if *delay_ms > Self::MAX_STRAGGLER_MS {
                     return Err(Error::Config(format!(
                         "straggler delay {delay_ms} ms exceeds cap {} ms",
@@ -239,6 +266,24 @@ impl FaultPlan {
                     on_attempt,
                     delay_ms,
                 } if *t == task && *on_attempt == attempt => Some(*delay_ms),
+                _ => None,
+            })
+            .sum();
+        (ms > 0).then(|| Duration::from_millis(ms))
+    }
+
+    /// Per-task pacing delay for rank `rank` on `attempt` (sums if
+    /// several slow-rank events target the same rank/attempt).
+    pub fn slow_rank_delay(&self, rank: usize, attempt: u32) -> Option<Duration> {
+        let ms: u64 = self
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                FaultEvent::SlowRank {
+                    rank: r,
+                    on_attempt,
+                    delay_ms,
+                } if *r == rank && *on_attempt == attempt => Some(*delay_ms),
                 _ => None,
             })
             .sum();
@@ -322,6 +367,18 @@ mod tests {
         assert_eq!(plan.straggler_delay(1, 0), Some(Duration::from_millis(25)));
         plan.validate().unwrap();
         let too_slow = FaultPlan::new(0).straggler(0, 0, FaultPlan::MAX_STRAGGLER_MS + 1);
+        assert!(too_slow.validate().is_err());
+    }
+
+    #[test]
+    fn slow_rank_paces_every_task_of_the_rank() {
+        let plan = FaultPlan::new(0).slow_rank(1, 0, 20).slow_rank(1, 0, 5);
+        assert_eq!(plan.slow_rank_delay(1, 0), Some(Duration::from_millis(25)));
+        assert_eq!(plan.slow_rank_delay(0, 0), None);
+        assert_eq!(plan.slow_rank_delay(1, 1), None);
+        assert_eq!(plan.last_faulty_attempt(), Some(0));
+        plan.validate().unwrap();
+        let too_slow = FaultPlan::new(0).slow_rank(0, 0, FaultPlan::MAX_STRAGGLER_MS + 1);
         assert!(too_slow.validate().is_err());
     }
 

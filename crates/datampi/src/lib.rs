@@ -55,6 +55,7 @@ pub mod iteration;
 pub mod observe;
 pub mod plan;
 pub mod runtime;
+pub mod speculate;
 pub mod store;
 pub mod streaming;
 pub mod supervisor;
@@ -65,7 +66,10 @@ pub use config::JobConfig;
 pub use fault::FaultPlan;
 pub use observe::{Observer, PhaseTotals, Profiler, SpanKind, Trace};
 pub use runtime::{run_job, ChunkableSplit, JobOutput, JobStats};
-pub use supervisor::{supervise_job, RetryPolicy};
+pub use speculate::{Scheduling, SpeculationConfig};
+pub use supervisor::{
+    supervise_job, supervise_job_elastic, ElasticOutput, ElasticPolicy, RetryPolicy,
+};
 pub use task::{Collector, Combiner, GroupedValues};
 pub use transport::{
     Backend, Endpoint, FrameReceiver, FrameSender, TcpOptions, Transport, WireStats,

@@ -39,6 +39,15 @@ pub struct MetricsRegistry {
     combiner_records_in: AtomicU64,
     /// Records O-side combiners shipped after folding.
     combiner_records_out: AtomicU64,
+    /// Per-task progress heartbeats reported into the progress board
+    /// (task start/finish/abort transitions).
+    heartbeats: AtomicU64,
+    /// Speculative duplicate attempts launched.
+    speculative_attempts: AtomicU64,
+    /// Speculative duplicates that won the first-writer-wins commit.
+    speculative_commits: AtomicU64,
+    /// O splits stolen from another rank's static queue.
+    tasks_stolen: AtomicU64,
     /// `sent[from][to]` payload bytes, sized by `begin_job`.
     sent: RwLock<Vec<Arc<Vec<AtomicU64>>>>,
     /// `recv[at][from]` payload bytes, sized by `begin_job`.
@@ -78,6 +87,14 @@ pub struct MetricsSnapshot {
     /// Records O-side combiners shipped after folding; `in - out` pairs
     /// were collapsed before reaching the wire.
     pub combiner_records_out: u64,
+    /// Per-task progress heartbeats (zero unless speculation is on).
+    pub heartbeats: u64,
+    /// Speculative duplicate attempts launched.
+    pub speculative_attempts: u64,
+    /// Speculative duplicates that won their task's commit.
+    pub speculative_commits: u64,
+    /// O splits stolen across ranks under static scheduling.
+    pub tasks_stolen: u64,
 }
 
 impl MetricsRegistry {
@@ -185,6 +202,26 @@ impl MetricsRegistry {
             .fetch_add(records_out, Ordering::Relaxed);
     }
 
+    /// Counts `n` progress heartbeats.
+    pub fn add_heartbeats(&self, n: u64) {
+        self.heartbeats.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts one launched speculative duplicate attempt.
+    pub fn add_speculative_attempt(&self) {
+        self.speculative_attempts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one speculative duplicate winning its task's commit.
+    pub fn add_speculative_commit(&self) {
+        self.speculative_commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one stolen O split.
+    pub fn add_task_stolen(&self) {
+        self.tasks_stolen.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Total payload bytes sent, summed over the peer matrix.
     pub fn total_bytes_sent(&self) -> u64 {
         Self::matrix_total(&self.sent)
@@ -242,6 +279,10 @@ impl MetricsRegistry {
             wire_bytes_received: self.wire_bytes_received.load(Ordering::Relaxed),
             combiner_records_in: self.combiner_records_in.load(Ordering::Relaxed),
             combiner_records_out: self.combiner_records_out.load(Ordering::Relaxed),
+            heartbeats: self.heartbeats.load(Ordering::Relaxed),
+            speculative_attempts: self.speculative_attempts.load(Ordering::Relaxed),
+            speculative_commits: self.speculative_commits.load(Ordering::Relaxed),
+            tasks_stolen: self.tasks_stolen.load(Ordering::Relaxed),
         }
     }
 }
@@ -287,6 +328,22 @@ mod tests {
         reg.observe_buffer_level(4);
         reg.observe_buffer_level(12);
         assert_eq!(reg.snapshot().buffer_hwm_bytes, 12);
+    }
+
+    #[test]
+    fn straggler_defense_counters_accumulate() {
+        let reg = MetricsRegistry::new();
+        reg.add_heartbeats(3);
+        reg.add_heartbeats(2);
+        reg.add_speculative_attempt();
+        reg.add_speculative_commit();
+        reg.add_task_stolen();
+        reg.add_task_stolen();
+        let snap = reg.snapshot();
+        assert_eq!(snap.heartbeats, 5);
+        assert_eq!(snap.speculative_attempts, 1);
+        assert_eq!(snap.speculative_commits, 1);
+        assert_eq!(snap.tasks_stolen, 2);
     }
 
     #[test]

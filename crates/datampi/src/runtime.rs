@@ -22,7 +22,7 @@
 //!
 //! Frames move over whichever [`crate::transport`] backend the config
 //! selects: the in-proc channel fabric or a real TCP mesh. The runtime
-//! only ever sees [`FrameSender`](crate::transport::FrameSender)s and a
+//! only ever sees [`FrameSender`]s and a
 //! [`FrameReceiver`], so both
 //! backends execute exactly the same code path.
 //!
@@ -36,9 +36,9 @@
 //! injected deterministically from the config's
 //! [`FaultPlan`](crate::fault::FaultPlan).
 
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 
@@ -51,9 +51,10 @@ use crate::checkpoint::CheckpointStore;
 use crate::comm::Frame;
 use crate::config::JobConfig;
 use crate::observe::{Observer, PhaseTotals, SpanKind, Tracer};
+use crate::speculate::{ProgressBoard, TaskQueues};
 use crate::store::PartitionStore;
 use crate::task::{BatchCollector, Collector, GroupedValues};
-use crate::transport::{self, FrameReceiver};
+use crate::transport::{self, FrameReceiver, FrameSender};
 
 /// Aggregate counters of a finished job.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -100,6 +101,19 @@ pub struct JobStats {
     /// `combiner_records_in - combiner_records_out` pairs never touched
     /// the wire.
     pub combiner_records_out: u64,
+    /// Speculative duplicate attempts launched by idle ranks.
+    pub speculative_attempts: u64,
+    /// Speculative duplicates that won their task's first-writer-wins
+    /// commit (the task's output came from the duplicate, not the slow
+    /// primary).
+    pub speculative_commits: u64,
+    /// Attempts (primary or speculative) that lost a commit race or were
+    /// aborted pre-execution; their emissions are charged to
+    /// `wasted_bytes`.
+    pub speculative_aborts: u64,
+    /// O splits stolen from another rank's queue under static scheduling
+    /// with work stealing.
+    pub tasks_stolen: u64,
     /// Per-phase wall-time totals, summed across ranks, derived from the
     /// span log. All zero unless the config installs an
     /// [`Observer`].
@@ -126,6 +140,10 @@ impl JobStats {
         self.peak_resident_records = self.peak_resident_records.max(other.peak_resident_records);
         self.combiner_records_in += other.combiner_records_in;
         self.combiner_records_out += other.combiner_records_out;
+        self.speculative_attempts += other.speculative_attempts;
+        self.speculative_commits += other.speculative_commits;
+        self.speculative_aborts += other.speculative_aborts;
+        self.tasks_stolen += other.tasks_stolen;
         self.phase_us.merge(&other.phase_us);
     }
 }
@@ -242,6 +260,87 @@ fn replay_capture(capture: &[u8], buffer: &mut KvBuffer) {
             .expect("worker capture buffers are well-formed by construction");
         buffer.emit_kv(key, value);
         off += n;
+    }
+}
+
+/// Commits one attempt's captured emissions as the task's real output:
+/// builds the task's [`KvBuffer`] (checkpoint tee, tracer, combiner, and
+/// injected corruption attached exactly as on the direct path) and
+/// replays the capture through it. Because the buffer sees the identical
+/// `emit_kv` sequence the direct path would produce, the shipped frames
+/// are byte-identical to direct emission — the property that lets
+/// speculation run under the first-writer-wins rule without perturbing
+/// output. Returns the committed record count.
+#[allow(clippy::too_many_arguments)] // internal: mirrors the rank context it runs in
+fn commit_capture(
+    capture: &[u8],
+    senders: &[FrameSender],
+    rank: usize,
+    task: usize,
+    attempt: u32,
+    config: &JobConfig,
+    checkpoint: Option<&CheckpointStore>,
+    tracer: Option<&Tracer>,
+    stats: &mut JobStats,
+) -> u64 {
+    let mut buffer = KvBuffer::new(
+        senders.to_vec(),
+        rank,
+        task,
+        config.flush_threshold,
+        config.pipelined,
+    );
+    if let Some(cp) = checkpoint {
+        buffer.set_tee(cp.clone());
+    }
+    if let Some(t) = tracer {
+        buffer.set_tracer(t.for_task(task as u64));
+    }
+    if let Some(c) = &config.combiner {
+        buffer.set_combiner(c.clone());
+    }
+    if let Some(plan) = config.faults.as_ref() {
+        if let Some(corruption) = plan.corruption(task, attempt) {
+            buffer.set_corruption(corruption);
+        }
+    }
+    replay_capture(capture, &mut buffer);
+    let b = buffer.finish();
+    stats.o_tasks_run += 1;
+    stats.records_emitted += b.records;
+    stats.bytes_emitted += b.bytes;
+    stats.frames += b.frames;
+    stats.early_flushes += b.early_flushes;
+    stats.combiner_records_in += b.combiner_records_in;
+    stats.combiner_records_out += b.combiner_records_out;
+    if let Some(cp) = checkpoint {
+        cp.mark_complete_at(task, config.ranks);
+    }
+    b.records
+}
+
+/// Serves an injected straggler/slow-rank delay. Without a progress
+/// board this is a plain sleep. With one, the delay is served in
+/// poll-sized slices so a primary stuck in an injected stall can abort
+/// the moment a speculative duplicate commits its task — returning
+/// `true` (task committed elsewhere; the caller must abort without
+/// running user code, wasting zero bytes).
+fn serve_injected_delay(total: Duration, board: Option<&ProgressBoard>, task: usize) -> bool {
+    let Some(board) = board else {
+        std::thread::sleep(total);
+        return false;
+    };
+    let slice = board.poll().max(Duration::from_millis(1));
+    let deadline = Instant::now() + total;
+    loop {
+        if board.is_committed(task) {
+            return true;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return false;
+        }
+        std::thread::sleep(slice.min(deadline - now));
     }
 }
 
@@ -474,7 +573,18 @@ where
         Err(e) => return Err(Box::new((e, JobStats::default()))),
     };
 
-    let queue: Mutex<VecDeque<usize>> = Mutex::new((0..inputs.len()).collect());
+    let queues = TaskQueues::new(
+        config.scheduling,
+        inputs.len(),
+        ranks,
+        config.speculation.seed,
+    );
+    // The progress board exists only when speculation is on: the default
+    // path keeps its direct-emission hot loop and pays nothing.
+    let board: Option<ProgressBoard> = config
+        .speculation
+        .enabled
+        .then(|| ProgressBoard::new(config.speculation, inputs.len()));
     let failed = AtomicBool::new(false);
     let failure: Mutex<Option<Error>> = Mutex::new(None);
     // First failure wins; later ones (often knock-on effects) are dropped.
@@ -485,7 +595,8 @@ where
         }
         failed.store(true, Ordering::SeqCst);
     };
-    let queue = &queue;
+    let queues = &queues;
+    let board = &board;
     let failed = &failed;
     let fail_with = &fail_with;
 
@@ -560,18 +671,119 @@ where
                         )
                     });
 
-                    // ---- O phase: dynamic pulls from the shared queue ----
+                    // ---- O phase: pulls from the split dispenser ----
                     loop {
                         if failed.load(Ordering::SeqCst) {
                             break;
                         }
-                        let task = queue.lock().expect("queue poisoned").pop_front();
-                        let Some(task) = task else { break };
+                        let Some(dispensed) = queues.next(rank) else {
+                            // Nothing left to start. Without a progress
+                            // board the rank is done; with one it idles
+                            // until every task commits, speculating on
+                            // detected stragglers meanwhile.
+                            let Some(board) = board.as_ref() else { break };
+                            if board.all_done() {
+                                break;
+                            }
+                            if let Some(victim) = board.claim_speculation() {
+                                stats.speculative_attempts += 1;
+                                if let Some(t) = &tracer {
+                                    t.registry().add_speculative_attempt();
+                                }
+                                let spec_start = tracer.as_ref().map(Tracer::start);
+                                // The duplicate runs user code into a capture
+                                // only — no frames move unless it wins the
+                                // commit. Injected task delays are *not*
+                                // re-applied: the injected slowness models
+                                // the original placement, which is exactly
+                                // what the duplicate escapes.
+                                let mut capture = CaptureCollector { buf: Vec::new() };
+                                let run_ok =
+                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                        o_fn(victim, &inputs[victim], &mut capture);
+                                    }))
+                                    .is_ok();
+                                if !run_ok {
+                                    // A panic in the duplicate is the same
+                                    // user-code bug the primary would hit.
+                                    stats.wasted_bytes += capture.buf.len() as u64;
+                                    if let Some(t) = &tracer {
+                                        t.for_task(victim as u64).instant(
+                                            SpanKind::Fault,
+                                            vec![("cause", "O task user code panicked".into())],
+                                        );
+                                    }
+                                    fail_with(Error::fault(
+                                        FaultCause::new(
+                                            FaultKind::TaskPanic,
+                                            "O task user code panicked",
+                                        )
+                                        .task(victim)
+                                        .rank(rank)
+                                        .attempt(attempt),
+                                    ));
+                                    break;
+                                }
+                                if board.try_commit(victim) {
+                                    let records = commit_capture(
+                                        &capture.buf,
+                                        &senders,
+                                        rank,
+                                        victim,
+                                        attempt,
+                                        config,
+                                        checkpoint.as_ref(),
+                                        tracer.as_ref(),
+                                        &mut stats,
+                                    );
+                                    stats.speculative_commits += 1;
+                                    if let Some(t) = &tracer {
+                                        t.registry().add_speculative_commit();
+                                        t.for_task(victim as u64).span(
+                                            SpanKind::OTask,
+                                            spec_start.unwrap_or(0),
+                                            vec![
+                                                ("records", records.to_string()),
+                                                ("speculative", "true".into()),
+                                            ],
+                                        );
+                                    }
+                                } else {
+                                    // The primary finished first: charge
+                                    // exactly the duplicate's emissions and
+                                    // ship nothing.
+                                    stats.wasted_bytes += capture.buf.len() as u64;
+                                    stats.speculative_aborts += 1;
+                                    if let Some(t) = &tracer {
+                                        t.for_task(victim as u64).span(
+                                            SpanKind::OTask,
+                                            spec_start.unwrap_or(0),
+                                            vec![
+                                                ("speculative", "true".into()),
+                                                ("aborted", "true".into()),
+                                            ],
+                                        );
+                                    }
+                                }
+                            } else {
+                                std::thread::sleep(board.poll());
+                            }
+                            continue;
+                        };
+                        let task = dispensed.task;
+                        if dispensed.stolen {
+                            stats.tasks_stolen += 1;
+                            if let Some(t) = &tracer {
+                                t.registry().add_task_stolen();
+                            }
+                        }
 
-                        // Checkpoint recovery path: replay without user code.
+                        // Checkpoint recovery path: replay without user code,
+                        // re-bucketing frames when the recorded width differs
+                        // from this mesh's (the elastic-shrink case).
                         if let Some(cp) = checkpoint.as_ref() {
                             if cp.is_complete(task) {
-                                for (partition, payload) in cp.recover_frames(task) {
+                                for (partition, payload) in cp.recover_frames_for(task, ranks) {
                                     if let Some(t) = &tracer {
                                         t.registry().add_frame_sent(
                                             rank,
@@ -587,8 +799,135 @@ where
                                     t.registry().add_recovered_tasks(1);
                                 }
                                 stats.o_tasks_recovered += 1;
+                                if let Some(board) = board.as_ref() {
+                                    board.try_commit(task);
+                                }
                                 continue;
                             }
+                        }
+
+                        // Speculation on: run the task in capture-commit mode
+                        // under the first-writer-wins rule (DESIGN.md §12).
+                        if let Some(board) = board.as_ref() {
+                            board.start(task);
+                            if let Some(t) = &tracer {
+                                t.registry().add_heartbeats(1);
+                            }
+                            if let Some(plan) = plan {
+                                if plan.o_task_error(task, attempt) {
+                                    if let Some(cp) = checkpoint.as_ref() {
+                                        cp.discard_incomplete(task);
+                                    }
+                                    board.abort(task);
+                                    if let Some(t) = &tracer {
+                                        t.for_task(task as u64).instant(
+                                            SpanKind::Fault,
+                                            vec![("cause", "scheduled O-task failure".into())],
+                                        );
+                                    }
+                                    fail_with(Error::fault(
+                                        FaultCause::new(
+                                            FaultKind::InjectedError,
+                                            "scheduled O-task failure",
+                                        )
+                                        .task(task)
+                                        .rank(rank)
+                                        .attempt(attempt),
+                                    ));
+                                    break;
+                                }
+                                let mut delay = Duration::ZERO;
+                                if let Some(d) = plan.straggler_delay(task, attempt) {
+                                    delay += d;
+                                    stats.straggler_delays += 1;
+                                }
+                                if let Some(d) = plan.slow_rank_delay(rank, attempt) {
+                                    delay += d;
+                                    stats.straggler_delays += 1;
+                                }
+                                if !delay.is_zero()
+                                    && serve_injected_delay(delay, Some(board), task)
+                                {
+                                    // A duplicate committed while we were
+                                    // stalled: abort before user code runs —
+                                    // zero bytes wasted.
+                                    stats.speculative_aborts += 1;
+                                    board.abort(task);
+                                    if let Some(t) = &tracer {
+                                        t.registry().add_heartbeats(1);
+                                    }
+                                    continue;
+                                }
+                            }
+                            let task_start = tracer.as_ref().map(Tracer::start);
+                            let mut capture = CaptureCollector { buf: Vec::new() };
+                            let run_ok =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    o_fn(task, &inputs[task], &mut capture);
+                                }))
+                                .is_ok();
+                            if !run_ok {
+                                // The partial capture never reached the wire,
+                                // but it is work this attempt threw away.
+                                stats.wasted_bytes += capture.buf.len() as u64;
+                                board.abort(task);
+                                if let Some(cp) = checkpoint.as_ref() {
+                                    cp.discard_incomplete(task);
+                                }
+                                if let Some(t) = &tracer {
+                                    t.for_task(task as u64).instant(
+                                        SpanKind::Fault,
+                                        vec![("cause", "O task user code panicked".into())],
+                                    );
+                                }
+                                fail_with(Error::fault(
+                                    FaultCause::new(
+                                        FaultKind::TaskPanic,
+                                        "O task user code panicked",
+                                    )
+                                    .task(task)
+                                    .rank(rank)
+                                    .attempt(attempt),
+                                ));
+                                break;
+                            }
+                            if board.try_commit(task) {
+                                let records = commit_capture(
+                                    &capture.buf,
+                                    &senders,
+                                    rank,
+                                    task,
+                                    attempt,
+                                    config,
+                                    checkpoint.as_ref(),
+                                    tracer.as_ref(),
+                                    &mut stats,
+                                );
+                                if let Some(t) = &tracer {
+                                    t.for_task(task as u64).span(
+                                        SpanKind::OTask,
+                                        task_start.unwrap_or(0),
+                                        vec![("records", records.to_string())],
+                                    );
+                                }
+                            } else {
+                                // A speculative duplicate already committed:
+                                // this primary's emissions are pure waste.
+                                stats.wasted_bytes += capture.buf.len() as u64;
+                                stats.speculative_aborts += 1;
+                                if let Some(t) = &tracer {
+                                    t.for_task(task as u64).span(
+                                        SpanKind::OTask,
+                                        task_start.unwrap_or(0),
+                                        vec![("aborted", "true".into())],
+                                    );
+                                }
+                            }
+                            board.finish(task);
+                            if let Some(t) = &tracer {
+                                t.registry().add_heartbeats(1);
+                            }
+                            continue;
                         }
 
                         // Fresh execution path.
@@ -635,6 +974,11 @@ where
                             }
                             // Scheduled straggler delay?
                             if let Some(delay) = plan.straggler_delay(task, attempt) {
+                                std::thread::sleep(delay);
+                                stats.straggler_delays += 1;
+                            }
+                            // Scheduled whole-rank slowdown?
+                            if let Some(delay) = plan.slow_rank_delay(rank, attempt) {
                                 std::thread::sleep(delay);
                                 stats.straggler_delays += 1;
                             }
@@ -720,7 +1064,7 @@ where
                         stats.combiner_records_in += b.combiner_records_in;
                         stats.combiner_records_out += b.combiner_records_out;
                         if let Some(cp) = checkpoint.as_ref() {
-                            cp.mark_complete(task);
+                            cp.mark_complete_at(task, ranks);
                         }
                     }
 
@@ -1460,6 +1804,164 @@ mod tests {
         let out = run_job(&config, lined_inputs(4, 50), wordcount_o, wordcount_a, None).unwrap();
         assert!(out.stats.spills > 0, "budget forces spills");
         assert_eq!(out.stats.phase_us, obs.trace().phase_totals());
+    }
+
+    #[test]
+    fn capture_commit_mode_is_byte_identical_to_direct_emission() {
+        // Speculation on means *every* task runs capture-then-commit; the
+        // output must match the direct path bit for bit, including with a
+        // checkpoint tee and a combiner attached.
+        use crate::speculate::SpeculationConfig;
+        let inputs = || lined_inputs(5, 25);
+        let plain = JobConfig::new(2).with_flush_threshold(64);
+        let direct = run_job(&plain, inputs(), wordcount_o, wordcount_a, None).unwrap();
+
+        let cp = CheckpointStore::new();
+        let spec = plain
+            .clone()
+            .with_speculation(SpeculationConfig::enabled())
+            .with_checkpointing(true)
+            .with_combiner(crate::task::Combiner::new(wordcount_a));
+        let speced = run_job(&spec, inputs(), wordcount_o, wordcount_a, Some(&cp)).unwrap();
+        for (pa, pb) in direct.partitions.iter().zip(&speced.partitions) {
+            assert_eq!(pa.records(), pb.records());
+        }
+        assert_eq!(direct.stats.records_emitted, speced.stats.records_emitted);
+        assert_eq!(speced.stats.o_tasks_run, 5);
+        assert_eq!(cp.completed_count(), 5, "tee rides the committed replay");
+
+        // A restart against that checkpoint recovers every task.
+        let retry = plain.clone().with_checkpointing(true);
+        let rec =
+            run_job_attempt(&retry, inputs(), wordcount_o, wordcount_a, Some(&cp), 1).unwrap();
+        assert_eq!(rec.stats.o_tasks_recovered, 5);
+        for (pa, pb) in direct.partitions.iter().zip(&rec.partitions) {
+            assert_eq!(pa.records(), pb.records());
+        }
+    }
+
+    #[test]
+    fn speculation_rescues_a_seeded_slow_rank() {
+        use crate::speculate::{Scheduling, SpeculationConfig};
+        // Rank 0 is paced 400 ms per task; rank 1 is healthy. With static
+        // scheduling rank 0 owns tasks 0 and 2, so without defense the job
+        // takes ~800 ms. Speculation lets rank 1 duplicate the stalled
+        // tasks; the stalled primary aborts mid-sleep, wasting nothing.
+        let spec = SpeculationConfig::enabled()
+            .with_min_completed(1)
+            .with_min_lag(Duration::from_millis(10))
+            .with_poll(Duration::from_millis(1));
+        let config = JobConfig::new(2)
+            .with_scheduling(Scheduling::Static {
+                work_stealing: false,
+            })
+            .with_speculation(spec)
+            .with_faults(FaultPlan::new(3).slow_rank(0, 0, 400));
+        let inputs: Vec<Bytes> = (0..4)
+            .map(|i| Bytes::from(format!("w{i} shared")))
+            .collect();
+        let t0 = Instant::now();
+        let out = run_job(&config, inputs.clone(), wordcount_o, wordcount_a, None).unwrap();
+        let elapsed = t0.elapsed();
+        assert!(
+            out.stats.speculative_commits >= 1,
+            "a duplicate must have rescued a stalled task"
+        );
+        assert_eq!(
+            out.stats.o_tasks_run, 4,
+            "every task committed exactly once"
+        );
+        assert!(
+            elapsed < Duration::from_millis(700),
+            "rescue must beat the ~800 ms no-defense schedule, took {elapsed:?}"
+        );
+        // Output identical to an undisturbed run.
+        let clean = run_job(&JobConfig::new(2), inputs, wordcount_o, wordcount_a, None).unwrap();
+        assert_eq!(counts_of(out), counts_of(clean));
+    }
+
+    #[test]
+    fn stalled_primary_aborts_with_zero_waste() {
+        use crate::speculate::{Scheduling, SpeculationConfig};
+        // One long injected stall on rank 0's only task; the duplicate
+        // commits long before the 1.5 s sleep ends, so the primary aborts
+        // pre-execution and the attempt wastes exactly zero bytes.
+        let spec = SpeculationConfig::enabled()
+            .with_min_completed(1)
+            .with_min_lag(Duration::from_millis(10))
+            .with_poll(Duration::from_millis(1));
+        let config = JobConfig::new(2)
+            .with_scheduling(Scheduling::Static {
+                work_stealing: false,
+            })
+            .with_speculation(spec)
+            .with_faults(FaultPlan::new(0).slow_rank(0, 0, 1_500));
+        let inputs: Vec<Bytes> = (0..4).map(|i| Bytes::from(format!("w{i}"))).collect();
+        let t0 = Instant::now();
+        let out = run_job(&config, inputs, wordcount_o, wordcount_a, None).unwrap();
+        assert_eq!(out.stats.wasted_bytes, 0, "pre-exec aborts charge nothing");
+        assert_eq!(
+            out.stats.speculative_commits, 2,
+            "both stalled tasks rescued"
+        );
+        assert!(out.stats.speculative_aborts >= 2, "both primaries aborted");
+        assert!(
+            t0.elapsed() < Duration::from_millis(1_400),
+            "the job must not serve the full injected stalls"
+        );
+    }
+
+    #[test]
+    fn work_stealing_moves_queued_splits_and_keeps_output_identical() {
+        use crate::speculate::Scheduling;
+        // Rank 0 is paced 40 ms per task and owns a third of 12 tasks;
+        // healthy ranks drain their own queues, then steal rank 0's
+        // not-yet-started splits from the back.
+        let mk = |scheduling| {
+            JobConfig::new(3)
+                .with_scheduling(scheduling)
+                .with_faults(FaultPlan::new(0).slow_rank(0, 0, 40))
+        };
+        let inputs = || lined_inputs(12, 6);
+        let base = run_job(
+            &mk(Scheduling::Dynamic),
+            inputs(),
+            wordcount_o,
+            wordcount_a,
+            None,
+        )
+        .unwrap();
+        let pinned = run_job(
+            &mk(Scheduling::Static {
+                work_stealing: false,
+            }),
+            inputs(),
+            wordcount_o,
+            wordcount_a,
+            None,
+        )
+        .unwrap();
+        let stealing = run_job(
+            &mk(Scheduling::Static {
+                work_stealing: true,
+            }),
+            inputs(),
+            wordcount_o,
+            wordcount_a,
+            None,
+        )
+        .unwrap();
+        assert_eq!(pinned.stats.tasks_stolen, 0);
+        assert!(
+            stealing.stats.tasks_stolen >= 1,
+            "healthy ranks must relieve the slow one"
+        );
+        for (pa, pb) in base.partitions.iter().zip(&pinned.partitions) {
+            assert_eq!(pa.records(), pb.records(), "static matches dynamic");
+        }
+        for (pa, pb) in base.partitions.iter().zip(&stealing.partitions) {
+            assert_eq!(pa.records(), pb.records(), "stealing matches dynamic");
+        }
     }
 
     #[test]

@@ -26,7 +26,7 @@ use std::time::Duration;
 
 use bytes::Bytes;
 
-use dmpi_common::{Error, Result};
+use dmpi_common::{Error, FaultKind, Result};
 
 use crate::checkpoint::CheckpointStore;
 use crate::config::JobConfig;
@@ -210,6 +210,216 @@ where
     Err(last_err.unwrap_or_else(|| Error::fault_msg("retry budget exhausted")))
 }
 
+/// Elastic-membership policy for [`supervise_job_elastic`]: how the
+/// supervisor reshapes the rank table between attempts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ElasticPolicy {
+    /// Floor on the mesh width: the supervisor never shrinks below this
+    /// many ranks (a final-width-1 job is always still a valid job, so
+    /// the default floor is 1).
+    pub min_ranks: usize,
+    /// Simulated replacement registration: on attempt `.0` the mesh grows
+    /// to `.1` ranks (bumping the rank-table version), modelling a spare
+    /// rank joining through the rendezvous protocol.
+    pub grow_on_attempt: Option<(u32, usize)>,
+}
+
+impl Default for ElasticPolicy {
+    fn default() -> Self {
+        ElasticPolicy {
+            min_ranks: 1,
+            grow_on_attempt: None,
+        }
+    }
+}
+
+impl ElasticPolicy {
+    /// Builder: set the shrink floor.
+    pub fn with_min_ranks(mut self, min: usize) -> Self {
+        self.min_ranks = min;
+        self
+    }
+
+    /// Builder: grow the mesh to `ranks` on attempt `attempt`.
+    pub fn with_grow_on_attempt(mut self, attempt: u32, ranks: usize) -> Self {
+        self.grow_on_attempt = Some((attempt, ranks));
+        self
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.min_ranks == 0 {
+            return Err(Error::Config(
+                "elastic floor must be at least 1 rank".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// What an elastic supervision run produced, beyond the job output: the
+/// final shape of the mesh and how it got there.
+#[derive(Debug)]
+pub struct ElasticOutput {
+    /// The successful attempt's output.
+    pub output: JobOutput,
+    /// Width of the mesh on the successful attempt.
+    pub final_ranks: usize,
+    /// Rank-table version after the last membership change (0 = the
+    /// original table survived untouched).
+    pub table_version: u64,
+    /// Width reductions taken (one per absorbed rank death).
+    pub shrinks: u32,
+    /// Width increases taken (replacement registrations honoured).
+    pub grows: u32,
+}
+
+/// Byte-split front end of [`supervise_job_elastic_generic`].
+pub fn supervise_job_elastic<O, A>(
+    config: &JobConfig,
+    policy: &RetryPolicy,
+    elastic: &ElasticPolicy,
+    inputs: Vec<Bytes>,
+    o_fn: O,
+    a_fn: A,
+) -> Result<ElasticOutput>
+where
+    O: Fn(usize, &[u8], &mut dyn Collector) + Send + Sync,
+    A: Fn(&GroupedValues, &mut dyn Collector) + Send + Sync,
+{
+    supervise_job_elastic_generic(
+        config,
+        policy,
+        elastic,
+        &inputs,
+        move |task, split: &Bytes, out: &mut dyn Collector| o_fn(task, split, out),
+        a_fn,
+    )
+}
+
+/// Supervision with **elastic membership**: like
+/// [`supervise_job_generic`], but the mesh width may change between
+/// attempts instead of every restart replaying the original fixed-width
+/// job.
+///
+/// * **Shrink on rank death** — when an attempt fails with a
+///   [`FaultKind::RankDeath`] *and* checkpointing is on (so the
+///   completed tasks' key-value pairs cover what the lost rank would
+///   have re-emitted), the next attempt runs one rank narrower: graceful
+///   degradation instead of waiting for a replacement. The checkpoint
+///   store re-buckets recovered frames to the new width
+///   ([`CheckpointStore::recover_frames_for`]), so the narrow attempt's
+///   output is byte-identical to a clean run at that width. Without a
+///   checkpoint the supervisor retries at full width (a plain restart) —
+///   there is nothing banked to degrade gracefully *from*.
+/// * **Grow on replacement** — [`ElasticPolicy::grow_on_attempt`] models
+///   a spare rank registering through the versioned rendezvous protocol
+///   (`dmpirun --elastic` does this with real processes): the chosen
+///   attempt runs wider, again recovering re-bucketed checkpoints.
+///
+/// Every membership change bumps `table_version`, mirroring the
+/// `peers v<N>` line of the wire protocol (`distrib::RankTable`).
+pub fn supervise_job_elastic_generic<I, O, A>(
+    config: &JobConfig,
+    policy: &RetryPolicy,
+    elastic: &ElasticPolicy,
+    inputs: &[I],
+    o_fn: O,
+    a_fn: A,
+) -> Result<ElasticOutput>
+where
+    I: ChunkableSplit,
+    O: Fn(usize, &I, &mut dyn Collector) + Send + Sync,
+    A: Fn(&GroupedValues, &mut dyn Collector) + Send + Sync,
+{
+    policy.validate()?;
+    elastic.validate()?;
+    let store = config.checkpointing.then(CheckpointStore::new);
+    let mut ranks = config.ranks;
+    let mut table_version = 0u64;
+    let mut shrinks = 0u32;
+    let mut grows = 0u32;
+    let mut wasted = 0u64;
+    let mut last_err: Option<Error> = None;
+
+    for attempt in 0..policy.max_attempts {
+        if attempt > 0 {
+            let pause = policy.backoff_before(attempt);
+            if !pause.is_zero() {
+                std::thread::sleep(pause);
+            }
+        }
+        // A replacement registered: widen the mesh under a new table
+        // version before launching this attempt.
+        if let Some((on, to)) = elastic.grow_on_attempt {
+            if on == attempt && to > ranks {
+                ranks = to;
+                table_version += 1;
+                grows += 1;
+            }
+        }
+        let attempt_config = config.clone().with_ranks(ranks);
+        match run_job_core(
+            &attempt_config,
+            inputs,
+            &o_fn,
+            &a_fn,
+            store.as_ref(),
+            attempt,
+        ) {
+            Ok(mut out) => {
+                out.stats.attempts = attempt + 1;
+                out.stats.wasted_bytes += wasted;
+                return Ok(ElasticOutput {
+                    output: out,
+                    final_ranks: ranks,
+                    table_version,
+                    shrinks,
+                    grows,
+                });
+            }
+            Err(boxed) => {
+                let (err, partial) = *boxed;
+                wasted += partial.wasted_bytes;
+                if store.is_none() {
+                    wasted += partial.bytes_emitted;
+                }
+                // Shrink the active width when a rank died and the
+                // checkpoint covers the lost partitions' data.
+                let rank_died = err
+                    .fault_cause()
+                    .map(|c| c.kind == FaultKind::RankDeath)
+                    .unwrap_or(false);
+                let shrunk = if rank_died && store.is_some() && ranks > elastic.min_ranks {
+                    ranks -= 1;
+                    table_version += 1;
+                    shrinks += 1;
+                    true
+                } else {
+                    false
+                };
+                if let Some(obs) = config.observer.as_ref() {
+                    if attempt + 1 < policy.max_attempts {
+                        obs.registry().add_retry();
+                        let jt = obs.job_tracer(attempt);
+                        jt.instant(
+                            SpanKind::Retry,
+                            vec![
+                                ("cause", err.to_string()),
+                                ("next_attempt", (attempt + 1).to_string()),
+                                ("next_ranks", ranks.to_string()),
+                                ("shrunk", shrunk.to_string()),
+                            ],
+                        );
+                        obs.absorb(&jt);
+                    }
+                }
+                last_err = Some(err);
+            }
+        }
+    }
+    Err(last_err.unwrap_or_else(|| Error::fault_msg("retry budget exhausted")))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -329,5 +539,93 @@ mod tests {
         assert_eq!(p.backoff_before(1), Duration::from_millis(10));
         assert_eq!(p.backoff_before(2), Duration::from_millis(20));
         assert_eq!(p.backoff_before(3), Duration::from_millis(35), "clamped");
+    }
+
+    #[test]
+    fn rank_death_shrinks_the_mesh_and_recovers_checkpoints() {
+        // Attempt 0 (width 3) banks most tasks before O task 10 fails;
+        // attempt 1 loses rank 2 → the supervisor degrades to width 2
+        // instead of restarting; attempt 2 recovers the width-3
+        // checkpoints re-bucketed for the narrower mesh and finishes.
+        let config = JobConfig::new(3)
+            .with_checkpointing(true)
+            .with_faults(FaultPlan::new(7).fail_o_task(10, 0).rank_panic(2, 1));
+        let policy = RetryPolicy::new(4).with_backoff(Duration::ZERO);
+        let elastic = ElasticPolicy::default();
+        let out =
+            supervise_job_elastic(&config, &policy, &elastic, inputs(12), wc_o, wc_a).unwrap();
+        assert_eq!(out.final_ranks, 2, "one rank absorbed");
+        assert_eq!(out.shrinks, 1);
+        assert_eq!(out.grows, 0);
+        assert_eq!(out.table_version, 1, "one membership change");
+        assert_eq!(out.output.stats.attempts, 3);
+        assert!(
+            out.output.stats.o_tasks_recovered > 0,
+            "shrink replayed checkpoints instead of re-running everything"
+        );
+        // Byte-identical per partition to a clean run at the final width:
+        // width-portable recovery re-buckets, content-sort does the rest.
+        let clean = crate::run_job(&JobConfig::new(2), inputs(12), wc_o, wc_a, None).unwrap();
+        for (pa, pb) in out.output.partitions.iter().zip(&clean.partitions) {
+            assert_eq!(pa.records(), pb.records());
+        }
+    }
+
+    #[test]
+    fn replacement_registration_grows_the_mesh() {
+        let config = JobConfig::new(2)
+            .with_checkpointing(true)
+            .with_faults(FaultPlan::new(5).fail_o_task(5, 0));
+        let policy = RetryPolicy::new(3).with_backoff(Duration::ZERO);
+        let elastic = ElasticPolicy::default().with_grow_on_attempt(1, 4);
+        let out = supervise_job_elastic(&config, &policy, &elastic, inputs(8), wc_o, wc_a).unwrap();
+        assert_eq!(out.final_ranks, 4, "replacement widened the mesh");
+        assert_eq!(out.grows, 1);
+        assert_eq!(out.shrinks, 0);
+        assert_eq!(out.table_version, 1);
+        let clean = crate::run_job(&JobConfig::new(4), inputs(8), wc_o, wc_a, None).unwrap();
+        for (pa, pb) in out.output.partitions.iter().zip(&clean.partitions) {
+            assert_eq!(pa.records(), pb.records());
+        }
+    }
+
+    #[test]
+    fn shrink_respects_the_width_floor() {
+        let config = JobConfig::new(2)
+            .with_checkpointing(true)
+            .with_faults(FaultPlan::new(0).rank_panic(1, 0));
+        let policy = RetryPolicy::new(3).with_backoff(Duration::ZERO);
+        let elastic = ElasticPolicy::default().with_min_ranks(2);
+        let out = supervise_job_elastic(&config, &policy, &elastic, inputs(4), wc_o, wc_a).unwrap();
+        assert_eq!(out.final_ranks, 2, "floor held: plain full-width retry");
+        assert_eq!(out.shrinks, 0);
+        assert_eq!(out.table_version, 0);
+    }
+
+    #[test]
+    fn without_checkpoints_rank_death_restarts_at_full_width() {
+        // Nothing banked covers the lost partitions, so graceful
+        // degradation is off the table: retry at the original width.
+        let config = JobConfig::new(2).with_faults(FaultPlan::new(0).rank_panic(1, 0));
+        let policy = RetryPolicy::new(3).with_backoff(Duration::ZERO);
+        let elastic = ElasticPolicy::default();
+        let out = supervise_job_elastic(&config, &policy, &elastic, inputs(4), wc_o, wc_a).unwrap();
+        assert_eq!(out.final_ranks, 2);
+        assert_eq!(out.shrinks, 0);
+        assert!(out.output.stats.wasted_bytes > 0, "restart re-emits");
+    }
+
+    #[test]
+    fn zero_rank_floor_is_a_config_error() {
+        let err = supervise_job_elastic(
+            &JobConfig::new(1),
+            &RetryPolicy::new(1),
+            &ElasticPolicy::default().with_min_ranks(0),
+            inputs(1),
+            wc_o,
+            wc_a,
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::Config(_)));
     }
 }

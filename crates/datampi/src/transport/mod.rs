@@ -25,7 +25,7 @@ pub mod tcp;
 pub mod wire;
 
 pub use inproc::InProcTransport;
-pub use tcp::{establish_endpoint, TcpOptions, TcpTransport};
+pub use tcp::{establish_endpoint, jitter_state, retry_backoff, TcpOptions, TcpTransport};
 
 use std::thread::JoinHandle;
 

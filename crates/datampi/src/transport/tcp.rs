@@ -116,21 +116,37 @@ fn xorshift(state: &mut u64) -> u64 {
     *state
 }
 
-/// Dials `addr` with exponential backoff and jitter. The jitter is
-/// deterministic (seeded xorshift) so launcher behaviour is
-/// reproducible, but distinct per (rank, peer, attempt) so a thundering
-/// herd of workers decorrelates.
+/// Mixes a jitter seed with a dialer's identity so every (rank, peer)
+/// pair walks a distinct — but reproducible — jitter stream.
+pub fn jitter_state(seed: u64, rank: usize, peer: usize) -> u64 {
+    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(((rank as u64) << 32) ^ peer as u64)
+        .max(1)
+}
+
+/// The pause before redialing after failed attempt number `attempt`
+/// (0-based): exponential backoff doubling from `base`, clamped to
+/// `cap`, then scaled by a jitter fraction in `[0.5, 1.0)` drawn from
+/// the xorshift stream in `state`. Deterministic per seed, so launcher
+/// behaviour is reproducible; distinct per (rank, peer) seed, so a
+/// thundering herd of workers redialing one coordinator decorrelates
+/// instead of reconverging on the same schedule.
+pub fn retry_backoff(attempt: u32, base: Duration, cap: Duration, state: &mut u64) -> Duration {
+    let exp = base.saturating_mul(1u32 << attempt.min(10));
+    let capped = exp.min(cap);
+    let frac = 500 + (xorshift(state) % 500) as u32;
+    capped.mul_f64(frac as f64 / 1000.0)
+}
+
+/// Dials `addr` with exponential backoff and jitter (see
+/// [`retry_backoff`]).
 fn connect_with_retry(
     addr: SocketAddr,
     rank: usize,
     peer: usize,
     opts: &TcpOptions,
 ) -> Result<TcpStream> {
-    let mut jitter = opts
-        .jitter_seed
-        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        .wrapping_add(((rank as u64) << 32) ^ peer as u64)
-        .max(1);
+    let mut jitter = jitter_state(opts.jitter_seed, rank, peer);
     let mut last_err = String::new();
     for attempt in 0..opts.connect_attempts.max(1) {
         match TcpStream::connect(addr) {
@@ -140,13 +156,12 @@ fn connect_with_retry(
             }
             Err(e) => last_err = e.to_string(),
         }
-        let exp = opts
-            .connect_base_delay
-            .saturating_mul(1u32 << attempt.min(10));
-        let capped = exp.min(opts.connect_max_delay);
-        // Jitter in [0.5, 1.0) of the capped backoff.
-        let frac = 500 + (xorshift(&mut jitter) % 500) as u32;
-        thread::sleep(capped.mul_f64(frac as f64 / 1000.0));
+        thread::sleep(retry_backoff(
+            attempt,
+            opts.connect_base_delay,
+            opts.connect_max_delay,
+            &mut jitter,
+        ));
     }
     Err(Error::fault(
         FaultCause::new(
@@ -499,6 +514,44 @@ mod tests {
         drop(rx);
         drop(held);
         ep.close();
+    }
+
+    #[test]
+    fn backoff_schedule_doubles_clamps_and_jitters_in_range() {
+        let base = Duration::from_millis(8);
+        let cap = Duration::from_millis(100);
+        let mut state = jitter_state(0xBEEF, 2, 5);
+        let mut prev_nominal = Duration::ZERO;
+        for attempt in 0..8u32 {
+            let d = retry_backoff(attempt, base, cap, &mut state);
+            let nominal = base.saturating_mul(1u32 << attempt.min(10)).min(cap);
+            assert!(nominal >= prev_nominal, "monotone until the cap");
+            // Jitter keeps every pause inside [0.5, 1.0) of nominal.
+            assert!(d >= nominal.mul_f64(0.5), "attempt {attempt}: {d:?}");
+            assert!(d < nominal, "attempt {attempt}: {d:?} < {nominal:?}");
+            prev_nominal = nominal;
+        }
+        // Far past the doubling range, the cap alone bounds the pause.
+        let late = retry_backoff(40, base, cap, &mut state);
+        assert!(late < cap && late >= cap.mul_f64(0.5));
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic_per_seed_and_distinct_per_dialer() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_secs(1);
+        let schedule = |seed: u64, rank: usize, peer: usize| -> Vec<Duration> {
+            let mut state = jitter_state(seed, rank, peer);
+            (0..6)
+                .map(|a| retry_backoff(a, base, cap, &mut state))
+                .collect()
+        };
+        // Same identity → byte-for-byte the same schedule (reproducible).
+        assert_eq!(schedule(7, 0, 1), schedule(7, 0, 1));
+        // Different ranks dialing the same peer → decorrelated schedules
+        // (the thundering-herd property: no shared redial instants).
+        assert_ne!(schedule(7, 0, 1), schedule(7, 3, 1));
+        assert_ne!(schedule(7, 0, 1), schedule(9, 0, 1), "seed matters");
     }
 
     #[test]

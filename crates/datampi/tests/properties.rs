@@ -11,7 +11,7 @@ use proptest::prelude::*;
 use datampi::checkpoint::CheckpointStore;
 use datampi::fault::FaultPlan;
 use datampi::supervisor::{supervise_job, RetryPolicy};
-use datampi::{run_job, Backend, Combiner, JobConfig};
+use datampi::{run_job, Backend, Combiner, JobConfig, Scheduling, SpeculationConfig};
 use dmpi_common::group::{Collector, GroupedValues};
 use dmpi_common::ser::Writable;
 
@@ -307,6 +307,71 @@ proptest! {
         for (p, q) in out.partitions.iter().zip(&clean.partitions) {
             prop_assert_eq!(p.records(), q.records());
         }
+    }
+
+    #[test]
+    fn wasted_bytes_are_exact_across_retry_and_speculation_grids(
+        inputs in corpus_strategy(),
+        fails in proptest::collection::vec((0usize..8, 0u32..3), 0..5),
+        seed in any::<u64>(),
+        speculation in any::<bool>(),
+        scheduling in prop_oneof![
+            Just(Scheduling::Static { work_stealing: false }),
+            Just(Scheduling::Static { work_stealing: true }),
+            Just(Scheduling::Dynamic),
+        ],
+        tcp in any::<bool>(),
+        checkpointed in any::<bool>(),
+    ) {
+        // The waste ledger is an exact quantity, not a vibe. At one rank
+        // every scheduling/speculation/backend cell runs tasks 0..n in
+        // order and the injected error fires *before* the task emits, so
+        // a failed attempt wastes precisely the clean byte-prefix of the
+        // tasks that completed ahead of its first failing task — and a
+        // checkpointed job wastes nothing, because every one of those
+        // bytes was banked. The defenses must not smear this ledger:
+        // speculation never fires on microsecond tasks (the detector's
+        // lag floor gates it) and stealing at width one is a no-op.
+        let backend = if tcp { Backend::Tcp } else { Backend::InProc };
+        let per_task: Vec<u64> = inputs
+            .iter()
+            .map(|s| {
+                run_job(&JobConfig::new(1), vec![s.clone()], wc_o, wc_a, None)
+                    .unwrap()
+                    .stats
+                    .bytes_emitted
+            })
+            .collect();
+        // Attempt `a` only runs if every earlier attempt failed, so the
+        // model walks attempts in order and stops at the first clean one.
+        let mut expected_waste = 0u64;
+        for a in 0u32..3 {
+            let first_fail = fails
+                .iter()
+                .filter(|&&(t, at)| at == a && t < inputs.len())
+                .map(|&(t, _)| t)
+                .min();
+            let Some(t) = first_fail else { break };
+            if !checkpointed {
+                expected_waste += per_task[..t].iter().sum::<u64>();
+            }
+        }
+
+        let plan = fails
+            .iter()
+            .fold(FaultPlan::new(seed), |p, &(t, a)| p.fail_o_task(t, a));
+        let mut config = JobConfig::new(1)
+            .with_transport(backend)
+            .with_checkpointing(checkpointed)
+            .with_scheduling(scheduling)
+            .with_faults(plan);
+        if speculation {
+            config = config.with_speculation(SpeculationConfig::enabled().with_seed(seed));
+        }
+        let policy = RetryPolicy::new(4).with_backoff(std::time::Duration::ZERO);
+        let out = supervise_job(&config, &policy, inputs.clone(), wc_o, wc_a).unwrap();
+        prop_assert_eq!(out.stats.wasted_bytes, expected_waste);
+        prop_assert_eq!(engine_counts(out), reference_counts(&inputs));
     }
 
     #[test]

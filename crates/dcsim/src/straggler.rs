@@ -1,0 +1,425 @@
+//! Straggler-defense policy validation at paper scale.
+//!
+//! Before the runtime grew speculative execution and O-task work
+//! stealing, this model answered the sizing questions: at the paper's
+//! testbed scale (8 nodes), how much completion time does each defense
+//! buy against a single slow node, and how much duplicate work does
+//! first-writer-wins speculation throw away?
+//!
+//! The model is a deterministic discrete-event simulation, intentionally
+//! mirroring the runtime's mechanisms one for one:
+//!
+//! * **static split assignment** — task `t` starts on node `t % nodes`,
+//!   the same `(seed, task)`-deterministic schedule `dmpirun` derives;
+//! * **work stealing** — an idle node pops queued (not yet started)
+//!   tasks from the back of the most-loaded node's queue;
+//! * **speculation** — the runtime's median-based outlier detector: once
+//!   a quorum of tasks has completed, a running task whose elapsed time
+//!   exceeds `max(slow_factor × median, min_lag)` is a candidate; an
+//!   idle node launches a duplicate of the candidate with the smallest
+//!   `splitmix64(seed ^ task)` (the runtime's victim order). The first
+//!   copy to finish commits; every other running copy is aborted at the
+//!   commit instant and its elapsed work is charged to `wasted_work` —
+//!   exactly the `wasted_bytes` accounting of the real supervisor.
+//!
+//! Times are abstract units (a unit ≈ one healthy task's cost / 100);
+//! only ratios are meaningful, which is all the policy questions need.
+
+use std::collections::VecDeque;
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// One configuration of the straggler-defense simulation.
+#[derive(Clone, Copy, Debug)]
+pub struct StragglerSim {
+    /// Cluster width (the paper's testbed is 8 nodes).
+    pub nodes: usize,
+    /// O-task count, assigned statically `t % nodes`.
+    pub tasks: usize,
+    /// Seed for task durations and the victim order.
+    pub seed: u64,
+    /// The slow node, if any.
+    pub slow_node: Option<usize>,
+    /// How much slower the slow node runs every task (10 = the ISSUE's
+    /// injection).
+    pub slow_factor: f64,
+    /// Idle nodes steal queued tasks from loaded peers.
+    pub stealing: bool,
+    /// Lagging running tasks get speculative duplicates.
+    pub speculation: bool,
+    /// Detector: lag threshold as a multiple of the median completed
+    /// duration (the runtime's `SpeculationConfig::slow_factor`).
+    pub detect_factor: f64,
+    /// Detector: completions required before the median is trusted.
+    pub min_completed: usize,
+    /// Detector: absolute lag floor, so tiny medians cannot trigger.
+    pub min_lag: f64,
+}
+
+impl StragglerSim {
+    /// The paper-scale baseline: 8 nodes, 64 tasks, one 10× slow node,
+    /// the runtime's default detector shape.
+    pub fn paper_scale(seed: u64) -> Self {
+        StragglerSim {
+            nodes: 8,
+            tasks: 64,
+            seed,
+            slow_node: Some(3),
+            slow_factor: 10.0,
+            stealing: false,
+            speculation: false,
+            detect_factor: 4.0,
+            min_completed: 3,
+            min_lag: 50.0,
+        }
+    }
+
+    /// Builder: enable or disable work stealing.
+    pub fn with_stealing(mut self, on: bool) -> Self {
+        self.stealing = on;
+        self
+    }
+
+    /// Builder: enable or disable speculative duplicates.
+    pub fn with_speculation(mut self, on: bool) -> Self {
+        self.speculation = on;
+        self
+    }
+
+    /// Builder: remove the slow node (healthy-cluster control).
+    pub fn healthy(mut self) -> Self {
+        self.slow_node = None;
+        self
+    }
+
+    /// Base duration of task `t` on a healthy node: uniform-ish in
+    /// [80, 120] units, derived from the seed.
+    fn base_duration(&self, task: usize) -> f64 {
+        80.0 + (splitmix64(self.seed ^ task as u64) % 41) as f64
+    }
+
+    /// Duration of task `t` when run on `node`.
+    fn duration_on(&self, task: usize, node: usize) -> f64 {
+        let base = self.base_duration(task);
+        if self.slow_node == Some(node) {
+            base * self.slow_factor
+        } else {
+            base
+        }
+    }
+
+    /// Runs the simulation to completion.
+    pub fn run(&self) -> SimOutcome {
+        assert!(self.nodes > 0 && self.tasks > 0);
+        let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); self.nodes];
+        for t in 0..self.tasks {
+            queues[t % self.nodes].push_back(t);
+        }
+        let mut running: Vec<Option<Running>> = vec![None; self.nodes];
+        let mut committed = vec![false; self.tasks];
+        let mut speculated = vec![false; self.tasks];
+        let mut completed_durations: Vec<f64> = Vec::new();
+        let mut out = SimOutcome::default();
+        let mut clock = 0.0f64;
+
+        loop {
+            // Give every idle node work: own queue, then (policy) a
+            // steal, then (policy) a speculative duplicate. Sweep until
+            // a full pass assigns nothing (an unassignable idle node
+            // must not starve later nodes of their own queues).
+            loop {
+                let mut assigned_any = false;
+                for node in 0..self.nodes {
+                    if running[node].is_some() {
+                        continue;
+                    }
+                    let assigned = self
+                        .next_own_task(node, &mut queues)
+                        .or_else(|| self.next_stolen_task(node, &mut queues, &mut out))
+                        .or_else(|| {
+                            self.next_speculation(
+                                node,
+                                clock,
+                                &running,
+                                &committed,
+                                &mut speculated,
+                                &completed_durations,
+                                &mut out,
+                            )
+                        });
+                    if let Some((task, speculative)) = assigned {
+                        running[node] = Some(Running {
+                            task,
+                            start: clock,
+                            finish: clock + self.duration_on(task, node),
+                            speculative,
+                        });
+                        assigned_any = true;
+                    }
+                }
+                if !assigned_any {
+                    break;
+                }
+            }
+
+            // Next event: the earliest completion, or — when an idle
+            // node is waiting for a running task to cross the lag
+            // threshold — the earliest such crossing.
+            let next_finish = running
+                .iter()
+                .flatten()
+                .map(|r| r.finish)
+                .fold(f64::INFINITY, f64::min);
+            if next_finish.is_infinite() {
+                break; // nothing running and nothing assignable: done
+            }
+            let mut next_event = next_finish;
+            let idle_waiting = running.iter().any(|r| r.is_none());
+            if self.speculation && idle_waiting {
+                if let Some(threshold) = self.lag_threshold(&completed_durations) {
+                    for r in running.iter().flatten() {
+                        if !r.speculative && !speculated[r.task] && !committed[r.task] {
+                            let crossing = r.start + threshold;
+                            if crossing > clock {
+                                next_event = next_event.min(crossing);
+                            }
+                        }
+                    }
+                }
+            }
+            clock = next_event;
+
+            // Commit every copy finishing now; first writer wins, and a
+            // commit aborts the task's other running copies on the spot,
+            // charging their elapsed time as waste.
+            for node in 0..self.nodes {
+                let Some(r) = running[node] else { continue };
+                if r.finish > clock {
+                    continue;
+                }
+                running[node] = None;
+                if committed[r.task] {
+                    // Lost the race to a copy that finished this same
+                    // instant (the abort below normally pre-empts this).
+                    out.wasted_work += clock - r.start;
+                    continue;
+                }
+                committed[r.task] = true;
+                completed_durations.push(clock - r.start);
+                if r.speculative {
+                    out.speculative_wins += 1;
+                }
+                for slot in running.iter_mut() {
+                    if let Some(o) = slot {
+                        if o.task == r.task {
+                            out.wasted_work += clock - o.start;
+                            *slot = None;
+                        }
+                    }
+                }
+            }
+        }
+
+        debug_assert!(committed.iter().all(|&c| c), "every task must commit");
+        out.makespan = clock;
+        out.total_work = completed_durations.iter().sum();
+        out
+    }
+
+    fn next_own_task(&self, node: usize, queues: &mut [VecDeque<usize>]) -> Option<(usize, bool)> {
+        queues[node].pop_front().map(|t| (t, false))
+    }
+
+    fn next_stolen_task(
+        &self,
+        node: usize,
+        queues: &mut [VecDeque<usize>],
+        out: &mut SimOutcome,
+    ) -> Option<(usize, bool)> {
+        if !self.stealing {
+            return None;
+        }
+        let victim = (0..queues.len())
+            .filter(|&v| v != node && !queues[v].is_empty())
+            .max_by_key(|&v| (queues[v].len(), splitmix64(self.seed ^ v as u64)))?;
+        let task = queues[victim].pop_back()?;
+        out.stolen_tasks += 1;
+        Some((task, false))
+    }
+
+    fn lag_threshold(&self, completed: &[f64]) -> Option<f64> {
+        if completed.len() < self.min_completed {
+            return None;
+        }
+        let mut sorted = completed.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        Some((self.detect_factor * median).max(self.min_lag))
+    }
+
+    #[allow(clippy::too_many_arguments)] // private: threaded sim state
+    fn next_speculation(
+        &self,
+        node: usize,
+        clock: f64,
+        running: &[Option<Running>],
+        committed: &[bool],
+        speculated: &mut [bool],
+        completed_durations: &[f64],
+        out: &mut SimOutcome,
+    ) -> Option<(usize, bool)> {
+        if !self.speculation {
+            return None;
+        }
+        let threshold = self.lag_threshold(completed_durations)?;
+        let victim = running
+            .iter()
+            .enumerate()
+            .filter(|&(n, r)| n != node && r.is_some())
+            .filter_map(|(_, r)| *r)
+            .filter(|r| {
+                !r.speculative
+                    && !speculated[r.task]
+                    && !committed[r.task]
+                    && clock - r.start >= threshold
+            })
+            .min_by_key(|r| splitmix64(self.seed ^ r.task as u64))?;
+        speculated[victim.task] = true;
+        out.speculative_attempts += 1;
+        Some((victim.task, true))
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Running {
+    task: usize,
+    start: f64,
+    finish: f64,
+    speculative: bool,
+}
+
+/// What one simulated configuration produced.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SimOutcome {
+    /// Completion time of the whole job (abstract units).
+    pub makespan: f64,
+    /// Elapsed work of aborted/losing copies — the sim's `wasted_bytes`.
+    pub wasted_work: f64,
+    /// Useful (committed) work.
+    pub total_work: f64,
+    /// Speculative duplicates launched.
+    pub speculative_attempts: u64,
+    /// Duplicates that won their race.
+    pub speculative_wins: u64,
+    /// Queued tasks moved off their static home.
+    pub stolen_tasks: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defenses_rescue_a_ten_x_slow_node() {
+        let base = StragglerSim::paper_scale(42);
+        let none = base.run();
+        let steal = base.with_stealing(true).run();
+        let spec = base.with_speculation(true).run();
+        let both = base.with_stealing(true).with_speculation(true).run();
+
+        // Stealing drains the slow node's queue; speculation rescues
+        // what it is already running. Each helps alone; together they
+        // meet the ISSUE's bar: ≤ 0.5× the undefended completion time.
+        assert!(steal.makespan < none.makespan, "{steal:?} vs {none:?}");
+        assert!(spec.makespan < none.makespan, "{spec:?} vs {none:?}");
+        assert!(
+            both.makespan <= 0.5 * none.makespan,
+            "both defenses must at least halve completion: {} vs {}",
+            both.makespan,
+            none.makespan
+        );
+        assert!(both.stolen_tasks > 0 && both.speculative_attempts > 0);
+        // Without stealing the slow node grinds through its whole
+        // queue, so duplicates repeatedly beat it to the commit.
+        assert!(spec.speculative_wins > 0, "duplicates beat the slow node");
+    }
+
+    #[test]
+    fn stealing_cannot_rescue_tasks_already_running() {
+        // With stealing alone, the slow node's *running* task still
+        // gates completion: stealing drains its queue, so it runs
+        // exactly its first static task — but that one task, slowed
+        // 10×, is a floor no amount of stealing can break.
+        let base = StragglerSim::paper_scale(7);
+        let slow_node = base.slow_node.unwrap();
+        let steal = base.with_stealing(true).run();
+        let first_slow_task = base.duration_on(slow_node, slow_node);
+        assert!(
+            steal.makespan >= first_slow_task * 0.999,
+            "{} vs floor {first_slow_task}",
+            steal.makespan
+        );
+        // Adding speculation breaks that floor when the duplicate can
+        // commit before the slowed primary.
+        let both = base.with_stealing(true).with_speculation(true).run();
+        assert!(both.makespan <= steal.makespan);
+    }
+
+    #[test]
+    fn healthy_cluster_pays_nothing_for_the_defenses() {
+        // No straggler → the detector never fires (spread of healthy
+        // durations stays under the 4× median threshold) and stealing
+        // moves nothing a static schedule wouldn't finish anyway.
+        let off = StragglerSim::paper_scale(11).healthy().run();
+        let on = StragglerSim::paper_scale(11)
+            .healthy()
+            .with_stealing(true)
+            .with_speculation(true)
+            .run();
+        assert_eq!(on.speculative_attempts, 0, "no false positives");
+        assert_eq!(on.wasted_work, 0.0);
+        assert!(on.makespan <= off.makespan * 1.001);
+    }
+
+    #[test]
+    fn waste_is_bounded_by_first_writer_wins_aborts() {
+        // Aborting losers at commit time keeps duplicate work a small
+        // fraction of useful work even with a 10× straggler.
+        let both = StragglerSim::paper_scale(42)
+            .with_stealing(true)
+            .with_speculation(true)
+            .run();
+        assert!(both.wasted_work > 0.0, "rescues imply some waste");
+        assert!(
+            both.wasted_work < 0.5 * both.total_work,
+            "waste {} must stay well under useful work {}",
+            both.wasted_work,
+            both.total_work
+        );
+        // At most one duplicate per task, same as the runtime.
+        assert!(both.speculative_attempts <= 64);
+    }
+
+    #[test]
+    fn outcomes_are_seed_deterministic() {
+        let a = StragglerSim::paper_scale(99)
+            .with_stealing(true)
+            .with_speculation(true)
+            .run();
+        let b = StragglerSim::paper_scale(99)
+            .with_stealing(true)
+            .with_speculation(true)
+            .run();
+        assert_eq!(a, b);
+        let c = StragglerSim::paper_scale(100)
+            .with_stealing(true)
+            .with_speculation(true)
+            .run();
+        assert_ne!(a.makespan, c.makespan, "seed moves the durations");
+    }
+}

@@ -33,6 +33,25 @@ echo "== dmpirun parallel-O smoke ==" >&2
 cargo run -q --release --bin dmpirun -- \
     --ranks 2 --tasks 4 --o-parallelism 4 --verify-inproc wordcount
 
+echo "== dmpirun elastic rank-death smoke ==" >&2
+# Rank 1 dies on attempt 0; the coordinator must relaunch the job one
+# rank narrower (table v1) and the survivors' output must still match
+# the in-proc reference at the final width.
+cargo run -q --release --bin dmpirun -- \
+    --ranks 3 --tasks 6 --fail-rank 1 --elastic --verify-inproc wordcount
+
+echo "== dmpirun seeded-straggler smoke ==" >&2
+# Rank 1 is paced by a seeded SlowRank injection; the run must complete
+# and stay byte-identical to the in-proc reference.
+cargo run -q --release --bin dmpirun -- \
+    --ranks 3 --tasks 6 --slow-rank 1 --slow-ms 50 --verify-inproc wordcount
+
+echo "== straggler bench smoke ==" >&2
+# {slow-rank, rank-leave} x {defense off, on} grid: asserts per-cell
+# byte identity, writes BENCH_straggler.json, and fails unless defended
+# slow-rank completion is <= 0.5x the undefended time.
+cargo run -q --release -p dmpi-bench --bin figures -- straggler-bench --smoke
+
 echo "== hotpath bench smoke ==" >&2
 # Runs the workload x backend x parallelism x sort-kernel grid at smoke
 # size, asserts parallel output identity in every cell, writes

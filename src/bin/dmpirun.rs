@@ -25,10 +25,11 @@ use std::path::PathBuf;
 use std::process::{Command, ExitCode, Stdio};
 
 use datampi::distrib::{
-    coordinate_rank_table, register_with_coordinator, ENV_COORD, ENV_RANK, ENV_RANKS,
+    coordinate_rank_table_versioned, register_with_coordinator, ENV_ATTEMPT, ENV_COORD, ENV_RANK,
+    ENV_RANKS,
 };
 use datampi::observe::Observer;
-use datampi::JobConfig;
+use datampi::{FaultPlan, JobConfig};
 use dmpi_common::crc::crc32;
 use dmpi_common::ser::RecordWriter;
 use dmpi_workloads::ExecWorkload;
@@ -49,6 +50,12 @@ options:
   --out DIR           write each rank's partition to DIR/part-NNNNN
   --verify-inproc     re-run in-process and require identical output
   --fail-rank R       (testing) rank R dies after the mesh is up
+                      (on the first attempt only, under --elastic)
+  --slow-rank R       (testing) rank R pauses before each O task
+  --slow-ms M         the per-task pause for --slow-rank (default 100)
+  --elastic           on a worker death, relaunch one rank narrower
+                      under a bumped rank-table version instead of
+                      failing the whole job
 ";
 
 #[derive(Clone)]
@@ -62,6 +69,9 @@ struct Options {
     out: Option<PathBuf>,
     verify_inproc: bool,
     fail_rank: Option<usize>,
+    slow_rank: Option<usize>,
+    slow_ms: u64,
+    elastic: bool,
     worker: bool,
 }
 
@@ -76,6 +86,9 @@ fn parse_args() -> Result<Options, String> {
         out: None,
         verify_inproc: false,
         fail_rank: None,
+        slow_rank: None,
+        slow_ms: 100,
+        elastic: false,
         worker: false,
     };
     let mut workload: Option<ExecWorkload> = None;
@@ -104,6 +117,13 @@ fn parse_args() -> Result<Options, String> {
             "--fail-rank" => {
                 opts.fail_rank = Some(value("--fail-rank")?.parse().map_err(|e| format!("{e}"))?)
             }
+            "--slow-rank" => {
+                opts.slow_rank = Some(value("--slow-rank")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--slow-ms" => {
+                opts.slow_ms = value("--slow-ms")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--elastic" => opts.elastic = true,
             "--worker" => opts.worker = true,
             "--help" | "-h" => return Err(String::new()),
             other => {
@@ -166,6 +186,11 @@ fn env_usize(name: &str) -> Result<usize, String> {
 fn run_worker_process(opts: &Options) -> Result<(), String> {
     let rank = env_usize(ENV_RANK)?;
     let ranks = env_usize(ENV_RANKS)?;
+    // Attempt 0 unless an elastic relaunch says otherwise.
+    let attempt = std::env::var(ENV_ATTEMPT)
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(0);
     let coord = std::env::var(ENV_COORD)
         .map_err(|_| format!("worker mode requires {ENV_COORD}"))?
         .parse()
@@ -173,16 +198,20 @@ fn run_worker_process(opts: &Options) -> Result<(), String> {
 
     let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bind data port: {e}"))?;
     let port = listener.local_addr().map_err(|e| e.to_string())?.port();
-    let (mut coord_stream, peers) = register_with_coordinator(coord, rank, port)
+    let (mut coord_stream, table) = register_with_coordinator(coord, rank, port)
         .map_err(|e| format!("rank {rank}: rendezvous failed: {e}"))?;
+    let peers = table.peers;
     if peers.len() != ranks {
         return Err(format!(
-            "rank {rank}: coordinator sent {} peers for {ranks} ranks",
+            "rank {rank}: table v{} has {} peers for {ranks} ranks",
+            table.version,
             peers.len()
         ));
     }
 
-    if opts.fail_rank == Some(rank) {
+    // The injected crash fires once: an elastic relaunch (attempt > 0)
+    // must not keep re-killing the same rank of the shrunken mesh.
+    if opts.fail_rank == Some(rank) && attempt == 0 {
         // Simulated crash for the recovery tests: bring the mesh up,
         // wait until every peer has spoken to us (a frame from rank p
         // proves p finished establishing its whole mesh), then die
@@ -210,7 +239,12 @@ fn run_worker_process(opts: &Options) -> Result<(), String> {
         std::process::exit(3);
     }
 
-    let config = JobConfig::new(ranks).with_o_parallelism(opts.o_parallelism);
+    let mut config = JobConfig::new(ranks).with_o_parallelism(opts.o_parallelism);
+    if let Some(slow) = opts.slow_rank {
+        // SlowRank pacing is the one plan `run_worker` honours: this
+        // process becomes a real straggler, pausing before each O task.
+        config = config.with_faults(FaultPlan::new(opts.seed).slow_rank(slow, 0, opts.slow_ms));
+    }
     let inputs = opts
         .workload
         .inputs(opts.tasks, opts.bytes_per_task, opts.seed);
@@ -265,6 +299,10 @@ struct RankResult {
     counters: [u64; 11],
 }
 
+/// Per-rank outcome of one attempt: `(result, wire_recv)` per surviving
+/// rank, plus the failure messages gathered from dead or erroring ones.
+type AttemptResults = (Vec<Option<(RankResult, u64)>>, Vec<String>);
+
 const COUNTER_KEYS: [&str; 11] = [
     "out_records",
     "out_bytes",
@@ -302,18 +340,21 @@ fn parse_done_line(line: &str) -> Option<(usize, RankResult, u64)> {
     Some((rank?, result, wire_recv))
 }
 
-fn run_coordinator(opts: &Options) -> Result<(), String> {
-    let listener =
-        TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bind rendezvous port: {e}"))?;
-    let coord_addr = listener.local_addr().map_err(|e| e.to_string())?;
-    if let Some(dir) = &opts.out {
-        std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
-    }
-
-    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
-    let mut children = Vec::with_capacity(opts.ranks);
-    for rank in 0..opts.ranks {
-        let mut cmd = Command::new(&exe);
+/// Spawns `ranks` workers, runs one rendezvous at `version`, and
+/// collects their result lines. Returns per-rank results plus the
+/// failures observed (dead workers, bad result lines, nonzero exits).
+fn launch_attempt(
+    opts: &Options,
+    listener: &TcpListener,
+    coord_addr: std::net::SocketAddr,
+    exe: &std::path::Path,
+    ranks: usize,
+    version: u64,
+    attempt: u32,
+) -> Result<AttemptResults, String> {
+    let mut children = Vec::with_capacity(ranks);
+    for rank in 0..ranks {
+        let mut cmd = Command::new(exe);
         cmd.arg("--worker")
             .arg("--tasks")
             .arg(opts.tasks.to_string())
@@ -329,10 +370,15 @@ fn run_coordinator(opts: &Options) -> Result<(), String> {
         if let Some(r) = opts.fail_rank {
             cmd.arg("--fail-rank").arg(r.to_string());
         }
+        if let Some(r) = opts.slow_rank {
+            cmd.arg("--slow-rank").arg(r.to_string());
+            cmd.arg("--slow-ms").arg(opts.slow_ms.to_string());
+        }
         cmd.arg(opts.workload.name())
             .env(ENV_RANK, rank.to_string())
-            .env(ENV_RANKS, opts.ranks.to_string())
+            .env(ENV_RANKS, ranks.to_string())
             .env(ENV_COORD, coord_addr.to_string())
+            .env(ENV_ATTEMPT, attempt.to_string())
             .stdout(Stdio::inherit())
             .stderr(Stdio::inherit());
         children.push(
@@ -341,12 +387,12 @@ fn run_coordinator(opts: &Options) -> Result<(), String> {
         );
     }
 
-    let streams = coordinate_rank_table(&listener, opts.ranks)
+    let streams = coordinate_rank_table_versioned(listener, ranks, version)
         .map_err(|e| format!("rendezvous failed: {e}"))?;
 
     // Collect one result line per rank; a closed stream without a line
     // is a dead worker.
-    let mut results: Vec<Option<(RankResult, u64)>> = vec![None; opts.ranks];
+    let mut results: Vec<Option<(RankResult, u64)>> = vec![None; ranks];
     let mut failures = Vec::new();
     for (rank, stream) in streams.into_iter().enumerate() {
         let mut line = String::new();
@@ -369,56 +415,98 @@ fn run_coordinator(opts: &Options) -> Result<(), String> {
             failures.push(format!("rank {rank} exited with {status}"));
         }
     }
-    if !failures.is_empty() {
-        return Err(failures.join("; "));
-    }
+    Ok((results, failures))
+}
 
-    let mut totals = [0u64; 11];
-    let mut wire_recv_total = 0u64;
-    for result in results.iter().flatten() {
-        for (t, c) in totals.iter_mut().zip(result.0.counters) {
-            *t += c;
+fn run_coordinator(opts: &Options) -> Result<(), String> {
+    let listener =
+        TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bind rendezvous port: {e}"))?;
+    let coord_addr = listener.local_addr().map_err(|e| e.to_string())?;
+    if let Some(dir) = &opts.out {
+        std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    }
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+
+    // Elastic membership at launcher scale: a worker death shrinks the
+    // mesh by one rank and re-runs the rendezvous under a bumped table
+    // version — the process-level mirror of the in-proc supervisor's
+    // width shrink (without a cross-process checkpoint store the narrow
+    // attempt recomputes, but the job still completes instead of
+    // failing). Width 1 is the floor.
+    let mut ranks = opts.ranks;
+    let mut version = 0u64;
+    let max_attempts: u32 = if opts.elastic { 3 } else { 1 };
+    for attempt in 0..max_attempts {
+        let (results, failures) =
+            launch_attempt(opts, &listener, coord_addr, &exe, ranks, version, attempt)?;
+        if !failures.is_empty() {
+            if opts.elastic && ranks > 1 && attempt + 1 < max_attempts {
+                eprintln!(
+                    "dmpirun: attempt {attempt} failed ({}); relaunching {} ranks under table v{}",
+                    failures.join("; "),
+                    ranks - 1,
+                    version + 1,
+                );
+                ranks -= 1;
+                version += 1;
+                continue;
+            }
+            return Err(failures.join("; "));
         }
-        wire_recv_total += result.1;
-    }
-    println!(
-        "dmpirun: {} over {} ranks ({} tasks, seed {}): \
-         o_tasks_run={} records_emitted={} bytes_emitted={} frames={} groups={} \
-         out_records={} wire_sent={} wire_recv={}",
-        opts.workload.name(),
-        opts.ranks,
-        opts.tasks,
-        opts.seed,
-        totals[2],
-        totals[3],
-        totals[4],
-        totals[5],
-        totals[9],
-        totals[0],
-        totals[10],
-        wire_recv_total,
-    );
 
-    if opts.verify_inproc {
-        verify_inproc(opts, &results)?;
+        let mut totals = [0u64; 11];
+        let mut wire_recv_total = 0u64;
+        for result in results.iter().flatten() {
+            for (t, c) in totals.iter_mut().zip(result.0.counters) {
+                *t += c;
+            }
+            wire_recv_total += result.1;
+        }
         println!(
-            "dmpirun: verified — {} partitions byte-identical to the in-proc runtime",
-            opts.ranks
+            "dmpirun: {} over {} ranks ({} tasks, seed {}, table v{version}): \
+             o_tasks_run={} records_emitted={} bytes_emitted={} frames={} groups={} \
+             out_records={} wire_sent={} wire_recv={}",
+            opts.workload.name(),
+            ranks,
+            opts.tasks,
+            opts.seed,
+            totals[2],
+            totals[3],
+            totals[4],
+            totals[5],
+            totals[9],
+            totals[0],
+            totals[10],
+            wire_recv_total,
         );
+
+        if opts.verify_inproc {
+            verify_inproc(opts, ranks, &results)?;
+            println!(
+                "dmpirun: verified — {ranks} partitions byte-identical to the in-proc runtime"
+            );
+        }
+        return Ok(());
     }
-    Ok(())
+    Err("retry budget exhausted".into())
 }
 
 /// Re-runs the job on the in-process threaded runtime and checks that
 /// every partition's framed bytes hash identically to what the worker
 /// of that rank produced, and that the in-proc observer's record
 /// counters agree with the aggregated worker counters.
-fn verify_inproc(opts: &Options, results: &[Option<(RankResult, u64)>]) -> Result<(), String> {
+fn verify_inproc(
+    opts: &Options,
+    ranks: usize,
+    results: &[Option<(RankResult, u64)>],
+) -> Result<(), String> {
     let observer = Observer::new();
     // The reference run is always sequential (o_parallelism 1), so when
     // the workers ran with `--o-parallelism N` this check doubles as the
     // parallel-executor byte-identity gate across process boundaries.
-    let config = JobConfig::new(opts.ranks).with_observer(observer.clone());
+    // `ranks` is the *final* width — under --elastic the reference must
+    // match the shrunken mesh, not the width the job started at.
+    let config = JobConfig::new(ranks).with_observer(observer.clone());
     let inputs = opts
         .workload
         .inputs(opts.tasks, opts.bytes_per_task, opts.seed);
