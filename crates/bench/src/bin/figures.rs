@@ -22,6 +22,9 @@
 //! figures straggler-bench           # extension: slow-rank/rank-leave defense grid
 //! figures straggler-bench --smoke   # CI variant: shorter pauses, same 0.5x gate
 //! figures straggler-bench --write PATH # also write BENCH_straggler.json
+//! figures observe-bench             # extension: telemetry overhead pair
+//! figures observe-bench --smoke     # CI variant: smaller job, same 1.05x gate
+//! figures observe-bench --write PATH # also write BENCH_observe.json
 //! ```
 
 use dmpi_bench::experiments;
@@ -31,7 +34,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: figures <all|table1|table2|fig2a|fig2b|fig3a|fig3b|fig3c|fig3d|\
          fig4sort|fig4wordcount|fig5|fig6a|fig6b|fig7|ext-iter|ext-recovery|profile-real|\
-         transport-bench|pipeline-bench|hotpath-bench|straggler-bench|summary> [--markdown] \
+         transport-bench|pipeline-bench|hotpath-bench|straggler-bench|observe-bench|summary> \
+         [--markdown] \
          [--write PATH] [--csv] [--smoke] \
          [--series cpu|waitio|disk_read|disk_write|net|mem]"
     );
@@ -198,6 +202,37 @@ fn main() {
                     "{}",
                     dmpi_bench::straggler_bench::completion_gate(&data, 0.5)?
                 );
+            }
+            "observe-bench" => {
+                let smoke = args.iter().any(|a| a == "--smoke");
+                // Min-of-trials needs enough draws to shake scheduler
+                // noise out of a ~30ms job on a loaded 1-core CI host;
+                // 6 smoke trials keep the 1.05x gate honest, not flaky.
+                let (ranks, tasks, split_bytes, trials) = if smoke {
+                    (3, 8, 64 * 1024, 6)
+                } else {
+                    (4, 16, 256 * 1024, 5)
+                };
+                let data = dmpi_bench::observe_bench::observe_bench_data(
+                    ranks,
+                    tasks,
+                    split_bytes,
+                    trials,
+                    42,
+                )?;
+                println!(
+                    "{}",
+                    render(dmpi_bench::observe_bench::render_table(&data), csv)
+                );
+                let artifact = write_path
+                    .clone()
+                    .unwrap_or_else(|| "BENCH_observe.json".to_string());
+                let json = dmpi_bench::observe_bench::render_artifact_json(&data);
+                std::fs::write(&artifact, json).map_err(|e| {
+                    dmpi_common::Error::InvalidState(format!("cannot write {artifact}: {e}"))
+                })?;
+                println!("wrote {artifact}");
+                println!("{}", dmpi_bench::observe_bench::overhead_gate(&data, 1.05)?);
             }
             "pipeline-bench" => {
                 let data = dmpi_bench::pipeline_bench::pipeline_bench_data(4, 8, 64 * 1024)?;

@@ -22,6 +22,7 @@
 pub mod experiments;
 pub mod figures;
 pub mod hotpath_bench;
+pub mod observe_bench;
 pub mod pipeline_bench;
 pub mod profile_real;
 pub mod recovery;

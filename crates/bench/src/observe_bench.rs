@@ -1,0 +1,293 @@
+//! `figures observe-bench` — what the telemetry plane costs.
+//!
+//! Runs the same in-process wordcount job twice per trial — once bare,
+//! once under an [`Observer`] with every PR-7 instrument live (span
+//! tracing, wire-path latency histograms, counter registry) — and
+//! compares min-of-trials wall-clock. Two things are asserted, not just
+//! reported:
+//!
+//! * **Overhead gate** — the observed run must finish within
+//!   `max_ratio` (1.05× in CI) of the bare run ([`overhead_gate`]).
+//!   Min-of-trials on both sides keeps scheduler noise out of the
+//!   ratio.
+//! * **Byte identity** — observation must never perturb the job:
+//!   every partition of the observed run is compared record-by-record
+//!   against the bare run inside [`observe_bench_data`].
+//!
+//! The artifact also proves the instruments actually fired (span and
+//! histogram-sample counts), so a regression that silently disables
+//! telemetry fails the bench rather than "winning" the gate.
+//!
+//! Results land in `BENCH_observe.json` (schema in BENCHMARKS.md).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use bytes::Bytes;
+use datampi::observe::{HistKind, Observer};
+use datampi::task::{Collector, GroupedValues};
+use datampi::{run_job, JobConfig, JobOutput};
+use dmpi_common::ser::Writable;
+use dmpi_common::{Error, Result};
+
+use crate::table::Table;
+
+/// The measured pair plus proof the instruments were live.
+#[derive(Clone, Debug)]
+pub struct ObserveBenchData {
+    /// Mesh width of each job.
+    pub ranks: usize,
+    /// O tasks per job.
+    pub tasks: usize,
+    /// Approximate bytes per input split.
+    pub split_bytes: usize,
+    /// Timed repetitions per side (min is reported).
+    pub trials: usize,
+    /// Input seed.
+    pub seed: u64,
+    /// Min-of-trials wall-clock without an observer.
+    pub bare_millis: f64,
+    /// Min-of-trials wall-clock with the full telemetry plane on.
+    pub observed_millis: f64,
+    /// `observed_millis / bare_millis`.
+    pub overhead_ratio: f64,
+    /// Observed output byte-identical to the bare output — always true
+    /// (the bench errors out otherwise); recorded for the artifact.
+    pub identical: bool,
+    /// Trace events the observed run produced.
+    pub trace_events: usize,
+    /// Samples across all wire-path latency histograms.
+    pub histogram_samples: u64,
+    /// Records counted by the observed run's registry.
+    pub records_out: u64,
+}
+
+fn wc_o(_task: usize, split: &[u8], out: &mut dyn Collector) {
+    for w in split.split(|&b| b == b' ').filter(|w| !w.is_empty()) {
+        out.collect(w, &1u64.to_bytes());
+    }
+}
+
+fn wc_a(g: &GroupedValues, out: &mut dyn Collector) {
+    let total: u64 = g.values.iter().map(|v| u64::from_bytes(v).unwrap()).sum();
+    out.collect(&g.key, &total.to_bytes());
+}
+
+fn bench_inputs(tasks: usize, split_bytes: usize, seed: u64) -> Vec<Bytes> {
+    (0..tasks)
+        .map(|t| {
+            let mut s = String::with_capacity(split_bytes + 16);
+            let mut j = 0usize;
+            while s.len() < split_bytes {
+                let _ = write!(s, "w{} shared ", (seed as usize + t * 7 + j) % 251);
+                j += 1;
+            }
+            Bytes::from(s)
+        })
+        .collect()
+}
+
+fn assert_identical(bare: &JobOutput, observed: &JobOutput) -> Result<()> {
+    if bare.partitions.len() != observed.partitions.len() {
+        return Err(Error::InvalidState(format!(
+            "observe-bench: {} observed partitions vs {} bare",
+            observed.partitions.len(),
+            bare.partitions.len()
+        )));
+    }
+    for (p, (a, b)) in bare.partitions.iter().zip(&observed.partitions).enumerate() {
+        if a.records() != b.records() {
+            return Err(Error::InvalidState(format!(
+                "observe-bench: partition {p} differs under observation — \
+                 telemetry must never perturb the job"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Runs the bare/observed pair, `trials` times each, asserting byte
+/// identity and that the instruments fired.
+pub fn observe_bench_data(
+    ranks: usize,
+    tasks: usize,
+    split_bytes: usize,
+    trials: usize,
+    seed: u64,
+) -> Result<ObserveBenchData> {
+    if trials == 0 {
+        return Err(Error::InvalidState("observe-bench needs >= 1 trial".into()));
+    }
+    let inputs = || bench_inputs(tasks, split_bytes, seed);
+    let bare_cfg = JobConfig::new(ranks);
+
+    let mut bare_millis = f64::INFINITY;
+    let mut bare_out = None;
+    for _ in 0..trials {
+        let start = Instant::now();
+        let out = run_job(&bare_cfg, inputs(), wc_o, wc_a, None)?;
+        bare_millis = bare_millis.min(start.elapsed().as_secs_f64() * 1e3);
+        bare_out = Some(out);
+    }
+    let bare_out = bare_out.expect("trials >= 1");
+
+    let mut observed_millis = f64::INFINITY;
+    let mut observed = None;
+    for _ in 0..trials {
+        // A fresh observer per trial: each run pays the full cost of
+        // span collection, histogram recording and counter updates.
+        let obs = Observer::new();
+        let cfg = JobConfig::new(ranks).with_observer(obs.clone());
+        let start = Instant::now();
+        let out = run_job(&cfg, inputs(), wc_o, wc_a, None)?;
+        observed_millis = observed_millis.min(start.elapsed().as_secs_f64() * 1e3);
+        observed = Some((out, obs));
+    }
+    let (observed_out, obs) = observed.expect("trials >= 1");
+    assert_identical(&bare_out, &observed_out)?;
+
+    let trace_events = obs.trace().len();
+    let registry = obs.registry();
+    let histogram_samples: u64 = HistKind::ALL
+        .iter()
+        .map(|k| registry.histograms().handle(*k).count())
+        .sum();
+    if trace_events == 0 || histogram_samples == 0 {
+        return Err(Error::InvalidState(format!(
+            "observe-bench: instruments were not live \
+             ({trace_events} trace events, {histogram_samples} histogram samples) — \
+             a 1.0x \"overhead\" against dead telemetry proves nothing"
+        )));
+    }
+    let snapshot = registry.snapshot();
+
+    Ok(ObserveBenchData {
+        ranks,
+        tasks,
+        split_bytes,
+        trials,
+        seed,
+        bare_millis,
+        observed_millis,
+        overhead_ratio: observed_millis / bare_millis.max(1e-9),
+        identical: true, // asserted above
+        trace_events,
+        histogram_samples,
+        records_out: snapshot.records_out,
+    })
+}
+
+/// The PR's acceptance gate: the observed run must finish within
+/// `max_ratio` (1.05× in CI) of the bare run.
+pub fn overhead_gate(data: &ObserveBenchData, max_ratio: f64) -> Result<String> {
+    if data.overhead_ratio > max_ratio {
+        return Err(Error::InvalidState(format!(
+            "observe gate: telemetry costs {:.3}x wall-clock (threshold {:.2}x; \
+             bare {:.1}ms, observed {:.1}ms)",
+            data.overhead_ratio, max_ratio, data.bare_millis, data.observed_millis
+        )));
+    }
+    Ok(format!(
+        "observe gate: ok (telemetry = {:.3}x wall-clock, threshold {:.2}x, \
+         {} events / {} histogram samples live)",
+        data.overhead_ratio, max_ratio, data.trace_events, data.histogram_samples
+    ))
+}
+
+/// Renders the report table.
+pub fn render_table(data: &ObserveBenchData) -> Table {
+    let mut table = Table::new(
+        "observe-bench",
+        format!(
+            "Telemetry overhead: {} ranks, {} O tasks x {} B splits, \
+             min of {} trials, seed {}",
+            data.ranks, data.tasks, data.split_bytes, data.trials, data.seed
+        ),
+        &[
+            "Telemetry",
+            "Millis",
+            "Ratio",
+            "Identical",
+            "Events",
+            "HistSamples",
+            "Records",
+        ],
+    );
+    table.push_row(vec![
+        "off".into(),
+        format!("{:.2}", data.bare_millis),
+        "1.000".into(),
+        "-".into(),
+        "0".into(),
+        "0".into(),
+        "-".into(),
+    ]);
+    table.push_row(vec![
+        "on".into(),
+        format!("{:.2}", data.observed_millis),
+        format!("{:.3}", data.overhead_ratio),
+        data.identical.to_string(),
+        data.trace_events.to_string(),
+        data.histogram_samples.to_string(),
+        data.records_out.to_string(),
+    ]);
+    table
+}
+
+/// Renders the `BENCH_observe.json` artifact (schema: BENCHMARKS.md).
+pub fn render_artifact_json(data: &ObserveBenchData) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"observe-bench\",\n");
+    let _ = writeln!(
+        out,
+        "  \"ranks\": {}, \"tasks\": {}, \"split_bytes\": {}, \"trials\": {}, \"seed\": {},",
+        data.ranks, data.tasks, data.split_bytes, data.trials, data.seed
+    );
+    let _ = writeln!(
+        out,
+        "  \"bare_millis\": {:.3}, \"observed_millis\": {:.3}, \"overhead_ratio\": {:.4},",
+        data.bare_millis, data.observed_millis, data.overhead_ratio
+    );
+    let _ = writeln!(
+        out,
+        "  \"identical\": {}, \"trace_events\": {}, \"histogram_samples\": {}, \
+         \"records_out\": {}",
+        data.identical, data.trace_events, data.histogram_samples, data.records_out
+    );
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_is_identical_and_instruments_fire() {
+        let data = observe_bench_data(3, 6, 2048, 2, 42).unwrap();
+        assert!(data.identical);
+        assert!(data.trace_events > 0);
+        assert!(data.histogram_samples > 0);
+        assert!(data.records_out > 0);
+        assert!(data.bare_millis > 0.0 && data.observed_millis > 0.0);
+    }
+
+    #[test]
+    fn artifact_json_is_complete() {
+        let data = observe_bench_data(3, 4, 1024, 1, 7).unwrap();
+        let json = render_artifact_json(&data);
+        assert!(json.contains("\"experiment\": \"observe-bench\""));
+        assert!(json.contains("\"overhead_ratio\""));
+        assert!(json.contains("\"identical\": true"));
+        assert!(json.contains("\"histogram_samples\""));
+        assert!(render_table(&data).render_text().contains("observe-bench"));
+    }
+
+    #[test]
+    fn gate_rejects_heavy_telemetry() {
+        let mut data = observe_bench_data(3, 4, 1024, 1, 7).unwrap();
+        data.overhead_ratio = 1.5; // pretend telemetry cost 50%
+        assert!(overhead_gate(&data, 1.05).is_err());
+        data.overhead_ratio = 1.01;
+        assert!(overhead_gate(&data, 1.05).unwrap().contains("ok"));
+    }
+}

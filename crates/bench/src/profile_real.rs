@@ -16,7 +16,7 @@ use std::time::Duration;
 
 use bytes::Bytes;
 
-use datampi::observe::{Observer, Profiler, Trace};
+use datampi::observe::{Observer, ProfileSource, Profiler, Trace};
 use datampi::{run_job, Collector, GroupedValues, JobConfig, JobStats};
 use dmpi_common::ser::Writable;
 use dmpi_common::units::MB;
@@ -36,6 +36,11 @@ pub struct RealRunProfile {
     pub trace: Trace,
     /// Wall-clock job time in seconds.
     pub seconds: f64,
+    /// Where the CPU/RSS series came from. When `/proc` is unreadable
+    /// the profiler degrades to [`ProfileSource::Unavailable`] and those
+    /// series are zeros, not measurements — the artifact labels them so
+    /// downstream diffs can skip instead of "comparing" against zero.
+    pub source: ProfileSource,
 }
 
 /// Deterministic word soup: `words` words drawn from a small vocabulary
@@ -92,13 +97,14 @@ pub fn run_real_wordcount(ranks: usize, total_words: usize) -> Result<RealRunPro
     let t0 = std::time::Instant::now();
     let out = run_job(&config, inputs, wc_o, wc_a, None);
     let seconds = t0.elapsed().as_secs_f64();
-    let profile = profiler.stop();
+    let (profile, source) = profiler.stop_with_source();
     let out = out?;
     Ok(RealRunProfile {
         profile,
         stats: out.stats,
         trace: observer.trace(),
         seconds,
+        source,
     })
 }
 
@@ -254,6 +260,11 @@ pub fn render_artifact_json(data: &ProfileRealData) -> String {
     );
     let _ = writeln!(
         out,
+        "  \"profile_source\": \"{}\",",
+        data.real.source.name()
+    );
+    let _ = writeln!(
+        out,
         "  \"real_stats\": {{\"o_tasks\": {}, \"records\": {}, \"bytes\": {}, \"spans\": {}}},",
         data.real.stats.o_tasks_run,
         data.real.stats.records_emitted,
@@ -359,6 +370,11 @@ mod tests {
         let json = render_artifact_json(&data);
         assert!(json.contains("\"experiment\": \"fig-ext-profile-real\""));
         assert!(json.contains("\"resource\": \"cpu\""));
+        // The source marker is always present and one of the two names.
+        assert!(
+            json.contains("\"profile_source\": \"proc\"")
+                || json.contains("\"profile_source\": \"unavailable\"")
+        );
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),

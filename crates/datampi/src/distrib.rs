@@ -48,6 +48,7 @@ use dmpi_common::{Error, FaultCause, FaultKind, Result};
 use crate::buffer::KvBuffer;
 use crate::comm::Frame;
 use crate::config::JobConfig;
+use crate::observe::{ClockSync, HistKind, SpanKind, Tracer};
 use crate::runtime::{
     execute_chunks_parallel, ingest_partition, store_decode_fault, ChunkableSplit, IngestConfig,
     JobStats,
@@ -162,6 +163,27 @@ pub fn register_with_coordinator(
     rank: usize,
     port: u16,
 ) -> Result<(TcpStream, RankTable)> {
+    let epoch = std::time::Instant::now();
+    let (stream, table, _sync) = register_with_coordinator_synced(coord, rank, port, &|| {
+        epoch.elapsed().as_micros() as u64
+    })?;
+    Ok((stream, table))
+}
+
+/// [`register_with_coordinator`] plus the clock handshake: the worker
+/// stamps `t0 = now_us()` into its registration (`rank <r> <port> <t0>`),
+/// the coordinator answers `clock <T>` with its own reading before the
+/// table broadcast, and the worker derives its [`ClockSync`] from the
+/// exchange. `now_us` is the worker's local µs clock (the same one its
+/// observer stamps spans with, so the returned offset maps those spans
+/// onto the coordinator's timeline). A coordinator that never sends a
+/// `clock` line (pre-telemetry launcher) yields the identity sync.
+pub fn register_with_coordinator_synced(
+    coord: SocketAddr,
+    rank: usize,
+    port: u16,
+    now_us: &dyn Fn() -> u64,
+) -> Result<(TcpStream, RankTable, ClockSync)> {
     let opts = TcpOptions::default();
     // Peer index 0 = "the coordinator" in the jitter stream; data-mesh
     // dials use real peer ranks, but they also use a different seed mix
@@ -196,16 +218,31 @@ pub fn register_with_coordinator(
     let mut writer = stream
         .try_clone()
         .map_err(|e| rendezvous_fault(format!("rank {rank}: clone rendezvous stream: {e}")))?;
-    writeln!(writer, "rank {rank} {port}")
+    let t0 = now_us();
+    writeln!(writer, "rank {rank} {port} {t0}")
         .map_err(|e| rendezvous_fault(format!("rank {rank}: register with coordinator: {e}")))?;
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     reader
         .read_line(&mut line)
-        .map_err(|e| rendezvous_fault(format!("rank {rank}: read rank table: {e}")))?;
+        .map_err(|e| rendezvous_fault(format!("rank {rank}: read clock reply: {e}")))?;
+    // The coordinator answers the registration with `clock <T>` before
+    // the table broadcast; a pre-telemetry coordinator goes straight to
+    // the `peers …` line, which leaves the sync at identity.
+    let mut sync = ClockSync::default();
+    if let Some(coord_now) = line
+        .strip_prefix("clock ")
+        .and_then(|t| t.trim().parse::<u64>().ok())
+    {
+        sync = ClockSync::from_exchange(t0, coord_now, now_us());
+        line.clear();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| rendezvous_fault(format!("rank {rank}: read rank table: {e}")))?;
+    }
     let table = RankTable::parse(&line)
         .ok_or_else(|| rendezvous_fault(format!("rank {rank}: bad rank table line {line:?}")))?;
-    Ok((reader.into_inner(), table))
+    Ok((reader.into_inner(), table, sync))
 }
 
 /// Coordinator side of the rendezvous at table version 0 (a fresh job).
@@ -225,6 +262,24 @@ pub fn coordinate_rank_table_versioned(
     ranks: usize,
     version: u64,
 ) -> Result<Vec<TcpStream>> {
+    let epoch = std::time::Instant::now();
+    coordinate_rank_table_synced(listener, ranks, version, &|| {
+        epoch.elapsed().as_micros() as u64
+    })
+}
+
+/// [`coordinate_rank_table_versioned`] with an explicit coordinator
+/// clock: each worker whose registration carries a `t0` timestamp gets
+/// an immediate `clock <now_us()>` reply (the clock handshake's second
+/// leg) before the table broadcast. `dmpirun` passes its observer's
+/// clock here so worker spans land on the same timeline its own events
+/// use.
+pub fn coordinate_rank_table_synced(
+    listener: &TcpListener,
+    ranks: usize,
+    version: u64,
+    now_us: &dyn Fn() -> u64,
+) -> Result<Vec<TcpStream>> {
     let mut streams: Vec<Option<TcpStream>> = (0..ranks).map(|_| None).collect();
     let mut ports = vec![0u16; ranks];
     for _ in 0..ranks {
@@ -239,12 +294,18 @@ pub fn coordinate_rank_table_versioned(
         reader
             .read_line(&mut line)
             .map_err(|e| rendezvous_fault(format!("coordinator read registration: {e}")))?;
-        let (rank, port) = parse_registration(&line)
+        let (rank, port, t0) = parse_registration(&line)
             .ok_or_else(|| rendezvous_fault(format!("bad registration line {line:?}")))?;
         if rank >= ranks || streams[rank].is_some() {
             return Err(rendezvous_fault(format!(
                 "registration for unexpected rank {rank} (of {ranks})"
             )));
+        }
+        if t0.is_some() {
+            // Reply per-connection, before waiting on other ranks, so
+            // the worker's measured RTT stays as tight as possible.
+            writeln!(reader.get_mut(), "clock {}", now_us())
+                .map_err(|e| rendezvous_fault(format!("clock reply to rank {rank}: {e}")))?;
         }
         ports[rank] = port;
         streams[rank] = Some(reader.into_inner());
@@ -267,14 +328,20 @@ pub fn coordinate_rank_table_versioned(
     Ok(out)
 }
 
-fn parse_registration(line: &str) -> Option<(usize, u16)> {
+fn parse_registration(line: &str) -> Option<(usize, u16, Option<u64>)> {
     let mut it = line.split_whitespace();
     if it.next()? != "rank" {
         return None;
     }
     let rank = it.next()?.parse().ok()?;
     let port = it.next()?.parse().ok()?;
-    Some((rank, port))
+    // Pre-telemetry workers register without the clock timestamp; they
+    // get no `clock` reply.
+    let t0 = match it.next() {
+        Some(tok) => Some(tok.parse().ok()?),
+        None => None,
+    };
+    Some((rank, port, t0))
 }
 
 struct EmitAdapter<'a> {
@@ -319,11 +386,24 @@ where
     if rank >= ranks {
         return Err(Error::Config(format!("rank {rank} out of 0..{ranks}")));
     }
-    let opts = TcpOptions::from_config(config);
+    let observer = config.observer.as_ref();
+    if let Some(obs) = observer {
+        obs.begin_job(ranks);
+    }
+    let mut opts = TcpOptions::from_config(config);
+    opts.send_hist = observer.map(|o| o.registry().histograms().handle(HistKind::SendLatency));
     let mut endpoint = establish_endpoint(rank, listener, peers, &opts)?;
+    if let Some(obs) = observer {
+        endpoint.attach_window_wait(obs.registry().histograms().handle(HistKind::WindowWait));
+    }
     let senders = endpoint.senders();
     let receiver = endpoint.take_receiver();
     let mut stats = JobStats::default();
+
+    // This worker's tracer: O-task spans record here; the ingest thread
+    // builds its own from the shared observer.
+    let tracer = observer.map(|o| o.rank_tracer(rank as u32, 0));
+    let recv_start = tracer.as_ref().map(Tracer::start);
 
     let mut o_panicked = false;
     let ingest = std::thread::scope(|scope| {
@@ -338,8 +418,8 @@ where
                     memory_budget: budget,
                     sorted,
                     kernel,
-                    observer: None,
-                    recv_start: None,
+                    observer,
+                    recv_start,
                     rank,
                     attempt: 0,
                 },
@@ -355,6 +435,7 @@ where
                 std::thread::sleep(d);
                 stats.straggler_delays += 1;
             }
+            let task_start = tracer.as_ref().map(Tracer::start);
             let mut buffer = KvBuffer::new(
                 senders.clone(),
                 rank,
@@ -362,6 +443,9 @@ where
                 config.flush_threshold,
                 config.pipelined,
             );
+            if let Some(t) = &tracer {
+                buffer.set_tracer(t.for_task(task as u64));
+            }
             if let Some(c) = &config.combiner {
                 buffer.set_combiner(c.clone());
             }
@@ -378,16 +462,17 @@ where
                     let shim = |task: usize, split: &Bytes, out: &mut dyn Collector| {
                         o_fn(task, split, out)
                     };
-                    let (ok, _phase) = execute_chunks_parallel(
+                    let (ok, phase) = execute_chunks_parallel(
                         task,
                         chunks,
                         &shim,
                         &mut buffer,
                         config.o_parallelism,
-                        None,
+                        observer,
                         rank,
                         0,
                     );
+                    stats.phase_us.merge(&phase);
                     ok
                 }
                 None => {
@@ -407,6 +492,13 @@ where
                 break;
             }
             let b = buffer.finish();
+            if let Some(t) = &tracer {
+                t.for_task(task as u64).span(
+                    SpanKind::OTask,
+                    task_start.unwrap_or(0),
+                    vec![("records", b.records.to_string())],
+                );
+            }
             stats.o_tasks_run += 1;
             stats.records_emitted += b.records;
             stats.bytes_emitted += b.bytes;
@@ -462,6 +554,12 @@ where
         return Err(store_decode_fault(e, rank, 0));
     }
     let wire = finish(endpoint);
+    if let (Some(obs), Some(t)) = (observer, &tracer) {
+        stats.phase_us.merge(&obs.absorb(t));
+        obs.registry()
+            .add_wire_bytes(wire.bytes_sent, wire.bytes_received);
+    }
+    stats.phase_us.merge(&ingest.phase);
     stats.attempts = 1;
     Ok(WorkerReport {
         partition: collector.batch,
@@ -602,9 +700,15 @@ mod tests {
 
     #[test]
     fn registration_lines_parse_and_reject_garbage() {
-        assert_eq!(parse_registration("rank 2 9000\n"), Some((2, 9000)));
+        assert_eq!(parse_registration("rank 2 9000\n"), Some((2, 9000, None)));
+        assert_eq!(
+            parse_registration("rank 2 9000 12345\n"),
+            Some((2, 9000, Some(12345))),
+            "clock-handshake registrations carry t0"
+        );
         assert!(parse_registration("rang 2 9000").is_none());
         assert!(parse_registration("rank x 9000").is_none());
+        assert!(parse_registration("rank 2 9000 notatime").is_none());
         let t = RankTable::parse("peers v3 127.0.0.1:1 127.0.0.1:2\n").unwrap();
         assert_eq!((t.version, t.ranks()), (3, 2));
         // Pre-versioning launchers broadcast the bare form: version 0.
@@ -649,6 +753,82 @@ mod tests {
             let table = w.join().unwrap();
             assert_eq!(table.version, 2);
             assert_eq!(table.ranks(), ranks);
+        }
+    }
+
+    #[test]
+    fn clock_handshake_yields_the_coordinator_offset() {
+        let ranks = 2;
+        let coord = TcpListener::bind("127.0.0.1:0").unwrap();
+        let coord_addr = coord.local_addr().unwrap();
+        let workers: Vec<_> = (0..ranks)
+            .map(|rank| {
+                thread::spawn(move || {
+                    // A frozen worker clock: t0 == t1 == 1000, so the
+                    // exchange is exact (rtt 0) and deterministic.
+                    let (_s, table, sync) =
+                        register_with_coordinator_synced(coord_addr, rank, 4321, &|| 1000).unwrap();
+                    (table, sync)
+                })
+            })
+            .collect();
+        // The coordinator's clock reads 51_000 at every reply.
+        coordinate_rank_table_synced(&coord, ranks, 0, &|| 51_000).unwrap();
+        for w in workers {
+            let (table, sync) = w.join().unwrap();
+            assert_eq!(table.version, 0);
+            assert_eq!(sync.offset_us, 50_000);
+            assert_eq!(sync.rtt_us, 0);
+            assert_eq!(sync.apply(1000), 51_000);
+        }
+    }
+
+    #[test]
+    fn worker_with_observer_records_spans_and_wire_bytes() {
+        use crate::observe::Observer;
+        let ranks = 2;
+        let inputs: Vec<Bytes> = (0..4)
+            .map(|i| Bytes::from(format!("w{i} shared")))
+            .collect();
+        let coord = TcpListener::bind("127.0.0.1:0").unwrap();
+        let coord_addr = coord.local_addr().unwrap();
+        let workers: Vec<_> = (0..ranks)
+            .map(|rank| {
+                let inputs = inputs.clone();
+                thread::spawn(move || {
+                    let obs = Observer::new();
+                    let config = JobConfig::new(ranks).with_observer(obs.clone());
+                    let data = TcpListener::bind("127.0.0.1:0").unwrap();
+                    let port = data.local_addr().unwrap().port();
+                    let (_stream, table) =
+                        register_with_coordinator(coord_addr, rank, port).unwrap();
+                    let report =
+                        run_worker(&config, rank, data, &table.peers, &inputs, wc_o, wc_a).unwrap();
+                    (obs, report)
+                })
+            })
+            .collect();
+        coordinate_rank_table(&coord, ranks).unwrap();
+        for (rank, w) in workers.into_iter().enumerate() {
+            let (obs, report) = w.join().unwrap();
+            let trace = obs.trace();
+            assert_eq!(
+                trace.of_kind(SpanKind::OTask).count() as u64,
+                report.stats.o_tasks_run,
+                "rank {rank}: one OTask span per task"
+            );
+            assert_eq!(trace.of_kind(SpanKind::Recv).count(), 1);
+            let snap = obs.registry().snapshot();
+            assert_eq!(snap.wire_bytes_sent, report.wire.bytes_sent);
+            assert_eq!(snap.records_out, report.stats.records_emitted);
+            assert!(
+                obs.registry()
+                    .histograms()
+                    .handle(crate::observe::HistKind::RecvLatency)
+                    .count()
+                    > 0,
+                "rank {rank}: ingest waits must land in the RecvLatency channel"
+            );
         }
     }
 

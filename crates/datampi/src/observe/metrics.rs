@@ -10,6 +10,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::sync::RwLock;
 
+use super::histogram::Histograms;
+
 /// Shared counters/gauges updated live by the runtime and snapshotted by
 /// the profiler.
 #[derive(Debug, Default)]
@@ -52,6 +54,8 @@ pub struct MetricsRegistry {
     sent: RwLock<Vec<Arc<Vec<AtomicU64>>>>,
     /// `recv[at][from]` payload bytes, sized by `begin_job`.
     recv: RwLock<Vec<Arc<Vec<AtomicU64>>>>,
+    /// Latency/size distributions (see [`HistKind`](super::HistKind)).
+    histograms: Histograms,
 }
 
 /// A point-in-time copy of the registry, taken by the profiler and by
@@ -170,9 +174,28 @@ impl MetricsRegistry {
         self.spill_bytes.fetch_add(bytes, Ordering::Relaxed);
     }
 
-    /// Raises the buffer high-water mark to at least `bytes`.
+    /// Raises the buffer high-water mark to at least `bytes`: a true
+    /// monotonic maximum under concurrent O workers. The explicit CAS
+    /// loop publishes a new mark only when it exceeds the current one,
+    /// so racing observers can never regress the gauge.
     pub fn observe_buffer_level(&self, bytes: u64) {
-        self.buffer_hwm_bytes.fetch_max(bytes, Ordering::Relaxed);
+        let mut current = self.buffer_hwm_bytes.load(Ordering::Relaxed);
+        while bytes > current {
+            match self.buffer_hwm_bytes.compare_exchange_weak(
+                current,
+                bytes,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// The histogram channels, for snapshotting or cloning out handles.
+    pub fn histograms(&self) -> &Histograms {
+        &self.histograms
     }
 
     /// Counts one supervisor retry.
@@ -328,6 +351,30 @@ mod tests {
         reg.observe_buffer_level(4);
         reg.observe_buffer_level(12);
         assert_eq!(reg.snapshot().buffer_hwm_bytes, 12);
+    }
+
+    #[test]
+    fn hwm_is_monotonic_under_concurrent_observers() {
+        // Regression: racing O workers reporting interleaved levels must
+        // settle on the true maximum — a lost update (last-write-wins)
+        // would leave a smaller value behind.
+        let reg = Arc::new(MetricsRegistry::new());
+        let threads = 8u64;
+        let per = 2000u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let reg = Arc::clone(&reg);
+                s.spawn(move || {
+                    // Every thread sweeps down from its own peak, so low
+                    // observations constantly chase high ones.
+                    let peak = (t + 1) * per;
+                    for v in (1..=peak).rev() {
+                        reg.observe_buffer_level(v);
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.snapshot().buffer_hwm_bytes, threads * per);
     }
 
     #[test]

@@ -27,14 +27,23 @@
 //! process rows, ranks as thread rows, recovery events as instants.
 
 mod clock;
+mod histogram;
 mod metrics;
 mod profiler;
+mod telemetry;
 mod trace;
 
 pub use clock::{Clock, ManualClock};
+pub use histogram::{
+    bucket_bound, bucket_index, HistKind, HistogramSnapshot, Histograms, LogHistogram,
+    HISTOGRAM_BUCKETS,
+};
 pub use metrics::{MetricsRegistry, MetricsSnapshot};
 pub use profiler::{
-    integrate, process_cpu_secs, process_rss_bytes, Profiler, Sample, SampleSeries,
+    integrate, process_cpu_secs, process_rss_bytes, ProfileSource, Profiler, Sample, SampleSeries,
+};
+pub use telemetry::{
+    ClockSync, RankTelemetry, TelemetryAggregator, TelemetryFrame, TelemetrySink, COUNTER_FIELDS,
 };
 pub use trace::{PhaseTotals, SpanKind, Trace, TraceEvent, JOB_LANE};
 
@@ -136,6 +145,12 @@ impl Observer {
     /// A snapshot of everything absorbed so far, sorted by start time.
     pub fn trace(&self) -> Trace {
         Trace::new(self.inner.events.lock().unwrap().clone())
+    }
+
+    /// Drains the absorbed events, leaving the log empty. The telemetry
+    /// shipper uses this so each span crosses the wire exactly once.
+    pub fn take_events(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.inner.events.lock().unwrap())
     }
 }
 

@@ -146,6 +146,35 @@ pub fn process_rss_bytes() -> Option<f64> {
     }
 }
 
+/// Where a profile's process-level series (CPU seconds, RSS) came from.
+///
+/// On hosts without a readable `/proc/self/stat` / `/proc/self/statm`
+/// (non-Linux, locked-down containers) the profiler cannot observe the
+/// process, and fabricating zero CPU / zero RSS would silently pollute
+/// downstream artifacts like `BENCH_profile.json` with plausible-looking
+/// flatlines. The marker makes the degradation explicit: consumers must
+/// check it and drop (or label) the process-level series when it is
+/// [`Unavailable`](ProfileSource::Unavailable). Registry-driven series
+/// (network, spill) are always real — they never touch `/proc`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProfileSource {
+    /// `/proc` was readable: CPU and RSS series are real measurements.
+    Proc,
+    /// `/proc` readings were missing: CPU and RSS series are zeros and
+    /// must not be interpreted as measurements.
+    Unavailable,
+}
+
+impl ProfileSource {
+    /// Stable name for artifact JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProfileSource::Proc => "proc",
+            ProfileSource::Unavailable => "unavailable",
+        }
+    }
+}
+
 /// Background sampling thread over a live [`Observer`].
 ///
 /// ```no_run
@@ -160,7 +189,7 @@ pub fn process_rss_bytes() -> Option<f64> {
 #[derive(Debug)]
 pub struct Profiler {
     stop: Arc<AtomicBool>,
-    handle: thread::JoinHandle<SampleSeries>,
+    handle: thread::JoinHandle<(SampleSeries, ProfileSource)>,
 }
 
 impl Profiler {
@@ -179,18 +208,33 @@ impl Profiler {
             .spawn(move || {
                 let mut series = SampleSeries::new(ranks, bucket_secs);
                 let epoch = Instant::now();
-                let cpu0 = process_cpu_secs().unwrap_or(0.0);
+                let cpu0 = process_cpu_secs();
+                // One missing reading anywhere downgrades the whole
+                // profile: a partially-zero CPU curve is as misleading
+                // as a fully-zero one.
+                let mut source = match (cpu0, process_rss_bytes()) {
+                    (Some(_), Some(_)) => ProfileSource::Proc,
+                    _ => ProfileSource::Unavailable,
+                };
+                let cpu0 = cpu0.unwrap_or(0.0);
                 loop {
                     let snap = observer.registry().snapshot();
+                    let (cpu, rss) = match (process_cpu_secs(), process_rss_bytes()) {
+                        (Some(cpu), Some(rss)) => (cpu - cpu0, rss),
+                        _ => {
+                            source = ProfileSource::Unavailable;
+                            (0.0, 0.0)
+                        }
+                    };
                     series.push(Sample {
                         wall_secs: epoch.elapsed().as_secs_f64(),
-                        cpu_secs: process_cpu_secs().unwrap_or(0.0) - cpu0,
-                        rss_bytes: process_rss_bytes().unwrap_or(0.0),
+                        cpu_secs: cpu,
+                        rss_bytes: rss,
                         net_bytes: snap.bytes_sent as f64,
                         spill_bytes: snap.spill_bytes as f64,
                     });
                     if stop_flag.load(Ordering::Relaxed) {
-                        return series;
+                        return (series, source);
                     }
                     thread::sleep(interval);
                 }
@@ -200,13 +244,21 @@ impl Profiler {
     }
 
     /// Takes a final sample, stops the thread, and returns the finished
-    /// bucketed time series.
+    /// bucketed time series. Prefer [`stop_with_source`](Self::stop_with_source)
+    /// when the result feeds an artifact — it says whether the CPU/RSS
+    /// series are real.
     pub fn stop(self) -> ResourceProfile {
+        self.stop_with_source().0
+    }
+
+    /// [`stop`](Self::stop), plus where the process-level series came
+    /// from. When the source is [`ProfileSource::Unavailable`] the
+    /// CPU/memory series are zeros and must be labelled or dropped, not
+    /// reported as measurements.
+    pub fn stop_with_source(self) -> (ResourceProfile, ProfileSource) {
         self.stop.store(true, Ordering::Relaxed);
-        self.handle
-            .join()
-            .expect("profiler thread panicked")
-            .finish()
+        let (series, source) = self.handle.join().expect("profiler thread panicked");
+        (series.finish(), source)
     }
 }
 
@@ -265,6 +317,23 @@ mod tests {
         let p = s.finish();
         let cpu_secs = integrate(&p.cpu_util_pct, p.bucket_secs) / 100.0;
         assert!((cpu_secs - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn profiler_marks_its_source_explicitly() {
+        let obs = Observer::new();
+        let p = Profiler::spawn(obs, Duration::from_millis(1), 0.005, 1);
+        thread::sleep(Duration::from_millis(5));
+        let (_, source) = p.stop_with_source();
+        if cfg!(target_os = "linux") {
+            assert_eq!(source, ProfileSource::Proc);
+        } else {
+            // Off Linux /proc never resolves: the marker, not zeros,
+            // reports the degradation.
+            assert_eq!(source, ProfileSource::Unavailable);
+        }
+        assert_eq!(ProfileSource::Unavailable.name(), "unavailable");
+        assert_eq!(ProfileSource::Proc.name(), "proc");
     }
 
     #[cfg(target_os = "linux")]

@@ -60,6 +60,26 @@ impl SpanKind {
         }
     }
 
+    /// Parses a [`name`](Self::name) back to the kind — the telemetry
+    /// wire protocol ships spans by name.
+    pub fn parse(name: &str) -> Option<SpanKind> {
+        const ALL: [SpanKind; 12] = [
+            SpanKind::Attempt,
+            SpanKind::OTask,
+            SpanKind::Send,
+            SpanKind::Recv,
+            SpanKind::Sort,
+            SpanKind::Spill,
+            SpanKind::ACompute,
+            SpanKind::Window,
+            SpanKind::CacheLoad,
+            SpanKind::Recovered,
+            SpanKind::Fault,
+            SpanKind::Retry,
+        ];
+        ALL.into_iter().find(|k| k.name() == name)
+    }
+
     /// Chrome trace category.
     pub fn category(self) -> &'static str {
         match self {
@@ -257,6 +277,74 @@ impl Trace {
         out
     }
 
+    /// Renders the multi-process Chrome view: one **process row per
+    /// rank** (`pid` = rank, `tid` = attempt), with `process_name`
+    /// metadata so Perfetto labels each row. This is the export
+    /// `dmpirun --trace-out` uses for a trace merged from N worker
+    /// processes on the coordinator's offset-corrected timeline; the
+    /// in-proc [`to_chrome_json`](Self::to_chrome_json) keeps attempts
+    /// as processes instead.
+    pub fn to_chrome_json_by_rank(&self) -> String {
+        let mut out = String::with_capacity(256 + self.events.len() * 96);
+        out.push_str("{\"traceEvents\":[");
+        let mut ranks: Vec<u32> = self.events.iter().map(|e| e.rank).collect();
+        ranks.sort_unstable();
+        ranks.dedup();
+        let mut first = true;
+        for rank in &ranks {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let label = if *rank == JOB_LANE {
+                "coordinator".to_string()
+            } else {
+                format!("rank {rank}")
+            };
+            let _ = write!(
+                out,
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{rank},\"tid\":0,\
+                 \"args\":{{\"name\":\"{label}\"}}}}"
+            );
+        }
+        for e in &self.events {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let ph = if e.instant { "i" } else { "X" };
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"{}\",\"ts\":{},",
+                e.kind.name(),
+                e.kind.category(),
+                ph,
+                e.ts_us
+            );
+            if !e.instant {
+                let _ = write!(out, "\"dur\":{},", e.dur_us);
+            } else {
+                out.push_str("\"s\":\"t\",");
+            }
+            let _ = write!(out, "\"pid\":{},\"tid\":{},\"args\":{{", e.rank, e.attempt);
+            let mut first_arg = true;
+            if let Some(task) = e.task {
+                let _ = write!(out, "\"task\":{task}");
+                first_arg = false;
+            }
+            for (k, v) in &e.args {
+                if !first_arg {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\":\"{}\"", k, json_escape(v));
+                first_arg = false;
+            }
+            out.push_str("}}");
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}");
+        out
+    }
+
     /// Renders the compact JSONL log: one event object per line.
     pub fn to_jsonl(&self) -> String {
         let mut out = String::with_capacity(self.events.len() * 80);
@@ -369,6 +457,44 @@ mod tests {
         let jsonl = Trace::new(vec![ev]).to_jsonl();
         assert_eq!(jsonl.lines().count(), 1);
         assert!(jsonl.contains("\"kind\":\"retry\""));
+    }
+
+    #[test]
+    fn span_kind_names_round_trip() {
+        for name in [
+            "attempt",
+            "o_task",
+            "send",
+            "recv",
+            "sort",
+            "spill",
+            "a_compute",
+            "window",
+            "cache_load",
+            "recovered",
+            "fault",
+            "retry",
+        ] {
+            assert_eq!(SpanKind::parse(name).map(SpanKind::name), Some(name));
+        }
+        assert!(SpanKind::parse("bogus").is_none());
+    }
+
+    #[test]
+    fn by_rank_export_puts_each_rank_in_its_own_process() {
+        let t = Trace::new(vec![span(SpanKind::OTask, 0, 10, 1), {
+            let mut e = span(SpanKind::Recv, 5, 10, 2);
+            e.attempt = 1;
+            e
+        }]);
+        let json = t.to_chrome_json_by_rank();
+        assert!(json.contains("\"name\":\"process_name\""));
+        assert!(json.contains("\"name\":\"rank 1\""));
+        assert!(json.contains("\"name\":\"rank 2\""));
+        // pid carries the rank, tid the attempt — inverted vs the
+        // in-proc export.
+        assert!(json.contains("\"pid\":1,\"tid\":0"));
+        assert!(json.contains("\"pid\":2,\"tid\":1"));
     }
 
     #[test]

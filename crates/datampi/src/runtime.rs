@@ -50,7 +50,7 @@ use crate::buffer::KvBuffer;
 use crate::checkpoint::CheckpointStore;
 use crate::comm::Frame;
 use crate::config::JobConfig;
-use crate::observe::{Observer, PhaseTotals, SpanKind, Tracer};
+use crate::observe::{HistKind, Observer, PhaseTotals, SpanKind, Tracer};
 use crate::speculate::{ProgressBoard, TaskQueues};
 use crate::store::PartitionStore;
 use crate::task::{BatchCollector, Collector, GroupedValues};
@@ -568,10 +568,17 @@ where
         obs.begin_job(ranks);
     }
     let attempt_start = config.observer.as_ref().map(|o| o.now_micros());
-    let endpoints = match transport::for_config(config).open() {
+    let mut endpoints = match transport::for_config(config).open() {
         Ok(endpoints) => endpoints,
         Err(e) => return Err(Box::new((e, JobStats::default()))),
     };
+    if let Some(obs) = config.observer.as_ref() {
+        // Full-window blocking time flows into the WindowWait channel.
+        let wait_hist = obs.registry().histograms().handle(HistKind::WindowWait);
+        for endpoint in &mut endpoints {
+            endpoint.attach_window_wait(std::sync::Arc::clone(&wait_hist));
+        }
+    }
 
     let queues = TaskQueues::new(
         config.scheduling,
@@ -1300,12 +1307,25 @@ pub(crate) fn ingest_partition(receiver: FrameReceiver, cfg: IngestConfig<'_>) -
     // otherwise delay this thread's first instruction until after the O
     // phase has begun.
     let recv_start = recv_start.or_else(|| tracer.as_ref().map(Tracer::start));
+    // Wire-path histograms: how long each mailbox wait took, and how big
+    // each arriving payload was. One Instant per frame, only when an
+    // observer is installed.
+    let recv_hist = observer.map(|o| o.registry().histograms().handle(HistKind::RecvLatency));
+    let payload_hist = observer.map(|o| o.registry().histograms().handle(HistKind::FramePayload));
     let mut corrupt_frames = 0u64;
     let mut first_error: Option<Error> = None;
     let mut eofs = 0usize;
     while eofs < expected_eofs {
-        match receiver.recv() {
+        let wait_start = recv_hist.as_ref().map(|_| std::time::Instant::now());
+        let received = receiver.recv();
+        if let (Some(hist), Some(start)) = (&recv_hist, wait_start) {
+            hist.record_elapsed_us(start);
+        }
+        match received {
             Ok(Some(frame @ Frame::Data { .. })) => {
+                if let Some(hist) = &payload_hist {
+                    hist.record(frame.payload_len() as u64);
+                }
                 // Integrity gate: a corrupt frame fails the attempt
                 // (triggering a supervised retry) instead of flowing
                 // into the A store.

@@ -35,7 +35,7 @@ use dmpi_common::group::GroupedValues;
 use dmpi_common::ser::{self, SharedRecordReader};
 use dmpi_common::{Record, Result};
 
-use crate::observe::{Observer, PhaseTotals, SpanKind, Tracer};
+use crate::observe::{HistKind, LogHistogram, Observer, PhaseTotals, SpanKind, Tracer};
 
 /// Runs at or below this size seal inline on the ingest thread — a
 /// thread spawn costs more than sorting and framing a few KiB.
@@ -128,6 +128,7 @@ fn seal_run(
 ) -> SealedRun {
     let tracer = observer.map(|(o, rank, attempt)| o.rank_tracer(*rank, *attempt));
     let spill_start = tracer.as_ref().map(Tracer::start);
+    let wall_start = tracer.as_ref().map(|_| std::time::Instant::now());
     if sorted {
         kernel.sort(&mut records);
     }
@@ -142,6 +143,12 @@ fn seal_run(
             spill_start.unwrap_or(0),
             vec![("bytes", image.len().to_string())],
         );
+        if let Some(start) = wall_start {
+            t.registry()
+                .histograms()
+                .handle(HistKind::SpillSeal)
+                .record_elapsed_us(start);
+        }
     }
     let phase = match (observer, &tracer) {
         (Some((obs, _, _)), Some(t)) => obs.absorb(t),
@@ -303,6 +310,13 @@ impl PartitionStore {
     /// never rebuilds the full record set.
     pub fn into_group_stream(mut self) -> Result<GroupStream> {
         self.collect_seals();
+        // Merge-step durations flow into the observer's MergeStep
+        // histogram channel (sorted mode only — the hashed path's "step"
+        // is an iterator next).
+        let merge_hist = self
+            .observer
+            .as_ref()
+            .map(|(o, _, _)| o.registry().histograms().handle(HistKind::MergeStep));
         if self.sorted {
             self.kernel.sort(&mut self.current);
             let mut runs: Vec<RunCursor> = Vec::with_capacity(self.spilled.len() + 1);
@@ -310,7 +324,10 @@ impl PartitionStore {
                 runs.push(RunCursor::spilled(image)?);
             }
             runs.push(RunCursor::mem(self.current));
-            Ok(GroupStream::Merge(LoserTreeMerge::new(runs)))
+            Ok(GroupStream {
+                source: GroupSource::Merge(LoserTreeMerge::new(runs)),
+                merge_hist,
+            })
         } else {
             // Hash grouping needs every key's full value list before any
             // group can be emitted, so this mode necessarily gathers the
@@ -338,7 +355,10 @@ impl PartitionStore {
             for rec in self.current.drain(..) {
                 cluster(rec);
             }
-            Ok(GroupStream::Hashed(groups.into_iter()))
+            Ok(GroupStream {
+                source: GroupSource::Hashed(groups.into_iter()),
+                merge_hist: None,
+            })
         }
     }
 
@@ -561,7 +581,15 @@ impl LoserTreeMerge {
 /// the A phase pulls one [`GroupedValues`] at a time and hands it to the
 /// user's A function, so grouped data is never all resident at once in
 /// sorted mode.
-pub enum GroupStream {
+pub struct GroupStream {
+    source: GroupSource,
+    /// Observer's MergeStep channel: per-group merge durations (sorted
+    /// mode, observer installed).
+    merge_hist: Option<std::sync::Arc<LogHistogram>>,
+}
+
+/// Where the groups come from.
+enum GroupSource {
     /// Sorted (MapReduce) mode: loser-tree external merge.
     Merge(LoserTreeMerge),
     /// Hashed (Common) mode: pre-clustered groups in first-appearance
@@ -572,9 +600,10 @@ pub enum GroupStream {
 impl GroupStream {
     /// Produces the next key group, or `None` when the store is drained.
     pub fn next_group(&mut self) -> Result<Option<GroupedValues>> {
-        match self {
-            GroupStream::Hashed(it) => Ok(it.next()),
-            GroupStream::Merge(merge) => {
+        match &mut self.source {
+            GroupSource::Hashed(it) => Ok(it.next()),
+            GroupSource::Merge(merge) => {
+                let step_start = self.merge_hist.as_ref().map(|_| std::time::Instant::now());
                 let Some(first) = merge.pop()? else {
                     return Ok(None);
                 };
@@ -595,6 +624,9 @@ impl GroupStream {
                         Some(rec) => group.values.push(rec.value),
                         None => break,
                     }
+                }
+                if let (Some(hist), Some(start)) = (&self.merge_hist, step_start) {
+                    hist.record_elapsed_us(start);
                 }
                 Ok(Some(group))
             }

@@ -27,13 +27,16 @@ pub mod wire;
 pub use inproc::InProcTransport;
 pub use tcp::{establish_endpoint, jitter_state, retry_backoff, TcpOptions, TcpTransport};
 
+use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
-use crossbeam::channel::{Receiver, Sender};
+use crossbeam::channel::{Receiver, Sender, TrySendError};
 use dmpi_common::Result;
 
 use crate::comm::Frame;
 use crate::config::JobConfig;
+use crate::observe::LogHistogram;
 
 /// Which interconnect fabric a job uses. Selected via
 /// [`JobConfig::transport`](crate::JobConfig).
@@ -75,11 +78,23 @@ impl Backend {
 #[derive(Clone)]
 pub struct FrameSender {
     tx: Sender<Frame>,
+    /// When telemetry is on, time spent blocked on a full window lands
+    /// here (the [`HistKind::WindowWait`](crate::observe::HistKind)
+    /// channel). `None` costs one branch on the full-window path only.
+    wait_hist: Option<Arc<LogHistogram>>,
 }
 
 impl FrameSender {
     pub(crate) fn from_channel(tx: Sender<Frame>) -> Self {
-        FrameSender { tx }
+        FrameSender {
+            tx,
+            wait_hist: None,
+        }
+    }
+
+    /// Routes this sender's full-window blocking time into `hist`.
+    pub fn set_wait_histogram(&mut self, hist: Arc<LogHistogram>) {
+        self.wait_hist = Some(hist);
     }
 
     /// Ships a frame, blocking while the destination mailbox (in-proc)
@@ -89,7 +104,19 @@ impl FrameSender {
     /// not an error, because the receiving side already knows why it
     /// went away.
     pub fn send(&self, frame: Frame) -> bool {
-        self.tx.send(frame).is_ok()
+        // Uncontended fast path: no timestamp taken at all.
+        match self.tx.try_send(frame) {
+            Ok(()) => true,
+            Err(TrySendError::Disconnected(_)) => false,
+            Err(TrySendError::Full(frame)) => {
+                let start = self.wait_hist.as_ref().map(|_| Instant::now());
+                let ok = self.tx.send(frame).is_ok();
+                if let (Some(hist), Some(start)) = (&self.wait_hist, start) {
+                    hist.record_elapsed_us(start);
+                }
+                ok
+            }
+        }
     }
 }
 
@@ -178,6 +205,15 @@ impl Endpoint {
     /// partition).
     pub fn senders(&self) -> Vec<FrameSender> {
         self.senders.clone()
+    }
+
+    /// Routes every sender's full-window blocking time into `hist`
+    /// (clones taken by later [`senders`](Self::senders) calls inherit
+    /// it). Call before handing senders to producers.
+    pub fn attach_window_wait(&mut self, hist: Arc<LogHistogram>) {
+        for s in &mut self.senders {
+            s.set_wait_histogram(Arc::clone(&hist));
+        }
     }
 
     /// Takes this rank's mailbox. Each endpoint yields it exactly once.

@@ -41,6 +41,7 @@ use dmpi_common::{Error, FaultCause, FaultKind, Result};
 
 use crate::comm::{Frame, DEFAULT_MAILBOX_CAPACITY};
 use crate::config::{JobConfig, DEFAULT_SEND_WINDOW};
+use crate::observe::LogHistogram;
 
 use super::wire;
 use super::{Backend, Endpoint, FrameReceiver, FrameSender, Transport};
@@ -62,6 +63,10 @@ pub struct TcpOptions {
     pub accept_timeout: Duration,
     /// Seed for the deterministic backoff jitter.
     pub jitter_seed: u64,
+    /// When telemetry is on, each frame's encode+write latency lands
+    /// here (the
+    /// [`HistKind::SendLatency`](crate::observe::HistKind) channel).
+    pub send_hist: Option<Arc<LogHistogram>>,
 }
 
 impl Default for TcpOptions {
@@ -74,6 +79,7 @@ impl Default for TcpOptions {
             connect_max_delay: Duration::from_millis(500),
             accept_timeout: Duration::from_secs(30),
             jitter_seed: 0x00C0_FFEE,
+            send_hist: None,
         }
     }
 }
@@ -235,7 +241,11 @@ fn run_reader(
 /// the encoded bytes written. On a broken socket it keeps draining (and
 /// discarding) so producers blocked on the window are released — the
 /// receiving side reports the failure from its end.
-fn run_writer(stream: TcpStream, window: crossbeam::channel::Receiver<Frame>) -> u64 {
+fn run_writer(
+    stream: TcpStream,
+    window: crossbeam::channel::Receiver<Frame>,
+    send_hist: Option<Arc<LogHistogram>>,
+) -> u64 {
     use crossbeam::channel::TryRecvError;
     let mut writer = BufWriter::new(stream);
     let mut bytes = 0u64;
@@ -260,8 +270,14 @@ fn run_writer(stream: TcpStream, window: crossbeam::channel::Receiver<Frame>) ->
         if broken {
             continue; // keep draining so producers never block forever
         }
+        let start = send_hist.as_ref().map(|_| Instant::now());
         match wire::write_frame(&mut writer, &frame) {
-            Ok(n) => bytes += n,
+            Ok(n) => {
+                bytes += n;
+                if let (Some(hist), Some(start)) = (&send_hist, start) {
+                    hist.record_elapsed_us(start);
+                }
+            }
             Err(_) => broken = true,
         }
     }
@@ -350,7 +366,10 @@ pub fn establish_endpoint(
         })?;
         let (window_tx, window_rx) = bounded::<Frame>(opts.send_window.max(1));
         senders.push(FrameSender::from_channel(window_tx));
-        writers.push(thread::spawn(move || run_writer(stream, window_rx)));
+        let send_hist = opts.send_hist.clone();
+        writers.push(thread::spawn(move || {
+            run_writer(stream, window_rx, send_hist)
+        }));
     }
 
     Ok(Endpoint::new(

@@ -46,6 +46,18 @@ echo "== dmpirun seeded-straggler smoke ==" >&2
 cargo run -q --release --bin dmpirun -- \
     --ranks 3 --tasks 6 --slow-rank 1 --slow-ms 50 --verify-inproc wordcount
 
+echo "== dmpirun telemetry smoke ==" >&2
+# The distributed telemetry plane: 4 TCP workers clock-sync with the
+# coordinator and ship counters/histograms/spans; the run must produce a
+# merged Chrome trace with all 4 rank processes on one offset-corrected
+# timeline and a job-report.json whose aggregate wire-byte totals equal
+# the per-rank sum (the coordinator enforces both before exiting 0).
+cargo run -q --release --bin dmpirun -- \
+    --backend tcp -n 4 --tasks 8 \
+    --trace-out trace.json --report-out job-report.json wordcount
+grep -q '"name":"rank 3"' trace.json
+grep -q '"schema": "dmpi-job-report/v1"' job-report.json
+
 echo "== straggler bench smoke ==" >&2
 # {slow-rank, rank-leave} x {defense off, on} grid: asserts per-cell
 # byte identity, writes BENCH_straggler.json, and fails unless defended
@@ -58,6 +70,12 @@ echo "== hotpath bench smoke ==" >&2
 # BENCH_hotpath.json, and (on hosts with >= 4 cores) fails if WordCount
 # at --o-parallelism 4 is below 1.3x the sequential throughput.
 cargo run -q --release -p dmpi-bench --bin figures -- hotpath-bench --smoke
+
+echo "== observe bench smoke ==" >&2
+# Telemetry-overhead pair: the same job bare vs under the full observer;
+# asserts byte identity, writes BENCH_observe.json, and fails if the
+# observed run costs more than 1.05x the bare wall-clock.
+cargo run -q --release -p dmpi-bench --bin figures -- observe-bench --smoke
 
 echo "== tracing overhead smoke check ==" >&2
 # Times a real WordCount with tracing on vs off; fails above +25%.

@@ -14,6 +14,16 @@
 //! summary. Workers generate their input splits deterministically from
 //! the shared seed, so no split data crosses the rendezvous channel.
 //!
+//! With `--trace-out`, `--report-out` or `--progress` the **telemetry
+//! plane** comes up: each worker runs its job under an
+//! [`Observer`], clock-syncs with the coordinator at registration, and
+//! ships periodic `tlm` frames (counters, latency histograms, sealed
+//! spans) over its rendezvous stream. The coordinator aggregates them
+//! into a live progress line, a merged multi-process Chrome trace (one
+//! process row per rank, offset-corrected onto the coordinator's
+//! timeline), and a final `job-report.json` (schema
+//! `dmpi-job-report/v1`, documented in BENCHMARKS.md).
+//!
 //! `--verify-inproc` re-runs the same job on the in-process threaded
 //! runtime and asserts the multi-process output is byte-identical per
 //! partition (and that the record counters agree with the in-proc
@@ -23,12 +33,19 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::TcpListener;
 use std::path::PathBuf;
 use std::process::{Command, ExitCode, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use datampi::distrib::{
-    coordinate_rank_table_versioned, register_with_coordinator, ENV_ATTEMPT, ENV_COORD, ENV_RANK,
-    ENV_RANKS,
+    coordinate_rank_table_synced, register_with_coordinator, register_with_coordinator_synced,
+    ENV_ATTEMPT, ENV_COORD, ENV_RANK, ENV_RANKS,
 };
-use datampi::observe::Observer;
+use datampi::observe::{
+    ClockSync, Observer, SpanKind, TelemetryAggregator, TelemetryFrame, TelemetrySink, TraceEvent,
+    JOB_LANE,
+};
+use datampi::transport::Backend;
 use datampi::{FaultPlan, JobConfig};
 use dmpi_common::crc::crc32;
 use dmpi_common::ser::RecordWriter;
@@ -41,13 +58,24 @@ Runs a catalogue workload (wordcount | sort | grep) as N worker
 processes on localhost over the DataMPI TCP transport.
 
 options:
-  --ranks N           worker processes to launch (default 4)
+  --ranks N, -n N     worker processes to launch (default 4)
   --tasks T           O tasks in the job (default 2*ranks)
   --bytes-per-task B  minimum split size in bytes (default 4096)
   --o-parallelism N   worker threads per O task (default 1: sequential;
                       output is byte-identical at any setting)
   --seed S            input-generation seed (default 42)
+  --backend B         tcp (default: real worker processes) or inproc
+                      (threaded runtime in this process — same job,
+                      same telemetry artifacts)
   --out DIR           write each rank's partition to DIR/part-NNNNN
+  --trace-out FILE    write a merged Chrome trace of all ranks (one
+                      process row per rank, clock-offset corrected);
+                      load it in chrome://tracing or ui.perfetto.dev
+  --report-out FILE   write job-report.json (per-rank + aggregate
+                      counters, latency histograms, per-peer byte
+                      matrices, straggler timeline)
+  --progress          live single-line job view on stderr
+                      (records/sec, wire MB/s, per-rank lag)
   --verify-inproc     re-run in-process and require identical output
   --fail-rank R       (testing) rank R dies after the mesh is up
                       (on the first attempt only, under --elastic)
@@ -58,6 +86,11 @@ options:
                       failing the whole job
 ";
 
+/// How often a worker ships a telemetry frame while the job runs.
+const TELEMETRY_INTERVAL: Duration = Duration::from_millis(200);
+/// How often the coordinator redraws the live progress line.
+const PROGRESS_INTERVAL_US: u64 = 250_000;
+
 #[derive(Clone)]
 struct Options {
     workload: ExecWorkload,
@@ -66,13 +99,27 @@ struct Options {
     bytes_per_task: usize,
     o_parallelism: usize,
     seed: u64,
+    backend: Backend,
     out: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
+    report_out: Option<PathBuf>,
+    progress: bool,
     verify_inproc: bool,
     fail_rank: Option<usize>,
     slow_rank: Option<usize>,
     slow_ms: u64,
     elastic: bool,
     worker: bool,
+    /// Worker-mode only (set by the coordinator, not the user): run the
+    /// job under an observer and ship telemetry frames.
+    telemetry: bool,
+}
+
+impl Options {
+    /// Whether this launch wants the telemetry plane at all.
+    fn wants_telemetry(&self) -> bool {
+        self.trace_out.is_some() || self.report_out.is_some() || self.progress
+    }
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -83,13 +130,18 @@ fn parse_args() -> Result<Options, String> {
         bytes_per_task: 4096,
         o_parallelism: 1,
         seed: 42,
+        backend: Backend::Tcp,
         out: None,
+        trace_out: None,
+        report_out: None,
+        progress: false,
         verify_inproc: false,
         fail_rank: None,
         slow_rank: None,
         slow_ms: 100,
         elastic: false,
         worker: false,
+        telemetry: false,
     };
     let mut workload: Option<ExecWorkload> = None;
     let mut args = std::env::args().skip(1);
@@ -99,7 +151,9 @@ fn parse_args() -> Result<Options, String> {
                 .ok_or_else(|| format!("{name} requires a value"))
         };
         match arg.as_str() {
-            "--ranks" => opts.ranks = value("--ranks")?.parse().map_err(|e| format!("{e}"))?,
+            "--ranks" | "-n" => {
+                opts.ranks = value("--ranks")?.parse().map_err(|e| format!("{e}"))?
+            }
             "--tasks" => opts.tasks = value("--tasks")?.parse().map_err(|e| format!("{e}"))?,
             "--bytes-per-task" => {
                 opts.bytes_per_task = value("--bytes-per-task")?
@@ -112,7 +166,15 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|e| format!("{e}"))?
             }
             "--seed" => opts.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--backend" => {
+                let name = value("--backend")?;
+                opts.backend = Backend::parse(&name)
+                    .ok_or_else(|| format!("unknown backend {name:?} (try tcp|inproc)"))?;
+            }
             "--out" => opts.out = Some(PathBuf::from(value("--out")?)),
+            "--trace-out" => opts.trace_out = Some(PathBuf::from(value("--trace-out")?)),
+            "--report-out" => opts.report_out = Some(PathBuf::from(value("--report-out")?)),
+            "--progress" => opts.progress = true,
             "--verify-inproc" => opts.verify_inproc = true,
             "--fail-rank" => {
                 opts.fail_rank = Some(value("--fail-rank")?.parse().map_err(|e| format!("{e}"))?)
@@ -125,6 +187,7 @@ fn parse_args() -> Result<Options, String> {
             }
             "--elastic" => opts.elastic = true,
             "--worker" => opts.worker = true,
+            "--telemetry" => opts.telemetry = true,
             "--help" | "-h" => return Err(String::new()),
             other => {
                 if workload.is_some() {
@@ -162,6 +225,8 @@ fn main() -> ExitCode {
     };
     let result = if opts.worker {
         run_worker_process(&opts)
+    } else if opts.backend == Backend::InProc {
+        run_inproc_coordinator(&opts)
     } else {
         run_coordinator(&opts)
     };
@@ -198,8 +263,21 @@ fn run_worker_process(opts: &Options) -> Result<(), String> {
 
     let listener = TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bind data port: {e}"))?;
     let port = listener.local_addr().map_err(|e| e.to_string())?.port();
-    let (mut coord_stream, table) = register_with_coordinator(coord, rank, port)
-        .map_err(|e| format!("rank {rank}: rendezvous failed: {e}"))?;
+
+    // With telemetry on, the worker's observer exists *before*
+    // registration: its clock is the one the handshake syncs, so every
+    // span it stamps can be offset-corrected onto the coordinator's
+    // timeline.
+    let observer = opts.telemetry.then(Observer::new);
+    let (coord_stream, table, sync) = match &observer {
+        Some(obs) => register_with_coordinator_synced(coord, rank, port, &|| obs.now_micros())
+            .map_err(|e| format!("rank {rank}: rendezvous failed: {e}"))?,
+        None => {
+            let (stream, table) = register_with_coordinator(coord, rank, port)
+                .map_err(|e| format!("rank {rank}: rendezvous failed: {e}"))?;
+            (stream, table, ClockSync::default())
+        }
+    };
     let peers = table.peers;
     if peers.len() != ranks {
         return Err(format!(
@@ -240,6 +318,9 @@ fn run_worker_process(opts: &Options) -> Result<(), String> {
     }
 
     let mut config = JobConfig::new(ranks).with_o_parallelism(opts.o_parallelism);
+    if let Some(obs) = &observer {
+        config = config.with_observer(obs.clone());
+    }
     if let Some(slow) = opts.slow_rank {
         // SlowRank pacing is the one plan `run_worker` honours: this
         // process becomes a real straggler, pausing before each O task.
@@ -248,13 +329,62 @@ fn run_worker_process(opts: &Options) -> Result<(), String> {
     let inputs = opts
         .workload
         .inputs(opts.tasks, opts.bytes_per_task, opts.seed);
-    let report = opts
+
+    // The rendezvous stream now carries interleaved telemetry frames and
+    // (eventually) the result line; the mutex keeps each line atomic.
+    let coord_stream = Arc::new(Mutex::new(coord_stream));
+    let stop = Arc::new(AtomicBool::new(false));
+    let shipper = observer.as_ref().map(|obs| {
+        let mut sink = TelemetrySink::new(obs.clone(), rank as u32, sync);
+        let stream = Arc::clone(&coord_stream);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            'ship: loop {
+                // Sleep in small slices so the stop flag is prompt.
+                let slices = (TELEMETRY_INTERVAL.as_millis() / 10).max(1);
+                for _ in 0..slices {
+                    if stop.load(Ordering::Relaxed) {
+                        break 'ship;
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                let frame = sink.next_frame(false);
+                let mut s = stream.lock().expect("coord stream lock");
+                if writeln!(&mut *s, "{}", frame.wire_line()).is_err() {
+                    // Coordinator gone mid-job: stop shipping, let the
+                    // job finish (the done line will fail on its own).
+                    break 'ship;
+                }
+            }
+            sink
+        })
+    });
+
+    let outcome = opts
         .workload
-        .run_worker(&config, rank, listener, &peers, &inputs)
-        .map_err(|e| {
-            let _ = writeln!(coord_stream, "fail rank={rank} err={e}");
-            format!("rank {rank}: job failed: {e}")
-        })?;
+        .run_worker(&config, rank, listener, &peers, &inputs);
+
+    // Join the shipper before any result line: the final frame (and the
+    // done line after it) must be the last things on the stream.
+    stop.store(true, Ordering::Relaxed);
+    let sink = shipper.map(|h| h.join().expect("telemetry shipper panicked"));
+
+    let report = match outcome {
+        Ok(report) => report,
+        Err(e) => {
+            let mut s = coord_stream.lock().expect("coord stream lock");
+            let _ = writeln!(&mut *s, "fail rank={rank} err={e}");
+            return Err(format!("rank {rank}: job failed: {e}"));
+        }
+    };
+    if let Some(mut sink) = sink {
+        // The end-of-job frame: collected after run_worker returned, so
+        // it carries the final counters, all histograms, and every span
+        // (wire totals included — run_worker absorbs them at teardown).
+        let frame = sink.next_frame(true);
+        let mut s = coord_stream.lock().expect("coord stream lock");
+        let _ = writeln!(&mut *s, "{}", frame.wire_line());
+    }
 
     let mut writer = RecordWriter::new();
     for rec in report.partition.iter() {
@@ -268,8 +398,9 @@ fn run_worker_process(opts: &Options) -> Result<(), String> {
             .map_err(|e| format!("rank {rank}: write {}: {e}", path.display()))?;
     }
     let s = &report.stats;
+    let mut stream = coord_stream.lock().expect("coord stream lock");
     writeln!(
-        coord_stream,
+        &mut *stream,
         "done rank={rank} crc={crc} out_records={} out_bytes={} o_tasks_run={} \
          records_emitted={} bytes_emitted={} frames={} early_flushes={} spills={} \
          spilled_bytes={} groups={} wire_sent={} wire_recv={}",
@@ -340,9 +471,26 @@ fn parse_done_line(line: &str) -> Option<(usize, RankResult, u64)> {
     Some((rank?, result, wire_recv))
 }
 
+/// What a per-rank rendezvous reader thread forwards to the aggregation
+/// loop.
+enum RankEvent {
+    /// A telemetry frame (possibly many per rank).
+    Frame(Box<TelemetryFrame>),
+    /// The rank's `done` line: `(rank, result, wire_recv)`. Terminal.
+    Done(usize, RankResult, u64),
+    /// The rank died or reported failure. Terminal.
+    Failed(usize, String),
+}
+
 /// Spawns `ranks` workers, runs one rendezvous at `version`, and
-/// collects their result lines. Returns per-rank results plus the
-/// failures observed (dead workers, bad result lines, nonzero exits).
+/// collects their telemetry and result lines. Each worker stream gets a
+/// dedicated reader thread (telemetry frames arrive continuously, and a
+/// serial read loop would let one slow rank block the live view of the
+/// others); the calling thread absorbs frames into the returned
+/// [`TelemetryAggregator`] and renders the progress line. Returns
+/// per-rank results plus the failures observed (dead workers, bad
+/// result lines, nonzero exits).
+#[allow(clippy::too_many_arguments)] // internal: one call site, mirrors the attempt loop's state
 fn launch_attempt(
     opts: &Options,
     listener: &TcpListener,
@@ -351,7 +499,8 @@ fn launch_attempt(
     ranks: usize,
     version: u64,
     attempt: u32,
-) -> Result<AttemptResults, String> {
+    obs: &Observer,
+) -> Result<(AttemptResults, TelemetryAggregator), String> {
     let mut children = Vec::with_capacity(ranks);
     for rank in 0..ranks {
         let mut cmd = Command::new(exe);
@@ -364,6 +513,9 @@ fn launch_attempt(
             .arg(opts.o_parallelism.to_string())
             .arg("--seed")
             .arg(opts.seed.to_string());
+        if opts.wants_telemetry() {
+            cmd.arg("--telemetry");
+        }
         if let Some(dir) = &opts.out {
             cmd.arg("--out").arg(dir);
         }
@@ -387,26 +539,106 @@ fn launch_attempt(
         );
     }
 
-    let streams = coordinate_rank_table_versioned(listener, ranks, version)
+    // The rendezvous replies each clock handshake with this
+    // coordinator's observer clock: worker spans arrive pre-corrected
+    // onto the same timeline the coordinator's own events use.
+    let streams = coordinate_rank_table_synced(listener, ranks, version, &|| obs.now_micros())
         .map_err(|e| format!("rendezvous failed: {e}"))?;
 
-    // Collect one result line per rank; a closed stream without a line
-    // is a dead worker.
+    let (tx, rx) = std::sync::mpsc::channel::<RankEvent>();
+    let mut readers = Vec::with_capacity(ranks);
+    for (rank, stream) in streams.into_iter().enumerate() {
+        let tx = tx.clone();
+        readers.push(std::thread::spawn(move || {
+            let mut reader = BufReader::new(stream);
+            let mut line = String::new();
+            loop {
+                line.clear();
+                match reader.read_line(&mut line) {
+                    Ok(0) => {
+                        let _ = tx.send(RankEvent::Failed(
+                            rank,
+                            format!("rank {rank} died without reporting"),
+                        ));
+                        return;
+                    }
+                    Ok(_) => {
+                        if let Some(frame) = TelemetryFrame::parse(&line) {
+                            let _ = tx.send(RankEvent::Frame(Box::new(frame)));
+                            continue;
+                        }
+                        match parse_done_line(&line) {
+                            Some((r, result, wire_recv)) if r == rank => {
+                                let _ = tx.send(RankEvent::Done(rank, result, wire_recv));
+                            }
+                            _ => {
+                                let _ = tx.send(RankEvent::Failed(
+                                    rank,
+                                    format!("rank {rank} failed: {}", line.trim_end()),
+                                ));
+                            }
+                        }
+                        return;
+                    }
+                    Err(e) => {
+                        let _ = tx.send(RankEvent::Failed(
+                            rank,
+                            format!("rank {rank} result read failed: {e}"),
+                        ));
+                        return;
+                    }
+                }
+            }
+        }));
+    }
+    drop(tx);
+
+    // Absorb until every rank reached a terminal event, redrawing the
+    // progress line as telemetry flows in.
+    let mut agg = TelemetryAggregator::new(ranks);
     let mut results: Vec<Option<(RankResult, u64)>> = vec![None; ranks];
     let mut failures = Vec::new();
-    for (rank, stream) in streams.into_iter().enumerate() {
-        let mut line = String::new();
-        match BufReader::new(stream).read_line(&mut line) {
-            Ok(0) => failures.push(format!("rank {rank} died without reporting")),
-            Ok(_) => match parse_done_line(&line) {
-                Some((r, result, wire_recv)) if r == rank => {
-                    results[rank] = Some((result, wire_recv))
-                }
-                _ => failures.push(format!("rank {rank} failed: {}", line.trim_end())),
-            },
-            Err(e) => failures.push(format!("rank {rank} result read failed: {e}")),
+    let mut terminal = 0usize;
+    let mut last_progress = 0u64;
+    while terminal < ranks {
+        match rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(RankEvent::Frame(frame)) => agg.absorb(*frame),
+            Ok(RankEvent::Done(rank, result, wire_recv)) => {
+                results[rank] = Some((result, wire_recv));
+                terminal += 1;
+            }
+            Ok(RankEvent::Failed(rank, msg)) => {
+                agg.record(TraceEvent {
+                    kind: SpanKind::Fault,
+                    ts_us: obs.now_micros(),
+                    dur_us: 0,
+                    instant: true,
+                    rank: rank as u32,
+                    attempt,
+                    task: None,
+                    args: vec![("cause", "worker failed".into())],
+                });
+                failures.push(msg);
+                terminal += 1;
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+        let now = obs.now_micros();
+        if opts.progress && now.saturating_sub(last_progress) >= PROGRESS_INTERVAL_US {
+            last_progress = now;
+            let done = results.iter().filter(|r| r.is_some()).count();
+            eprint!("\r{}", agg.progress_line(now, done));
         }
     }
+    if opts.progress {
+        let done = results.iter().filter(|r| r.is_some()).count();
+        eprintln!("\r{}", agg.progress_line(obs.now_micros(), done));
+    }
+    for reader in readers {
+        let _ = reader.join();
+    }
+
     for (rank, child) in children.iter_mut().enumerate() {
         let status = child
             .wait()
@@ -415,7 +647,7 @@ fn launch_attempt(
             failures.push(format!("rank {rank} exited with {status}"));
         }
     }
-    Ok((results, failures))
+    Ok(((results, failures), agg))
 }
 
 fn run_coordinator(opts: &Options) -> Result<(), String> {
@@ -427,6 +659,15 @@ fn run_coordinator(opts: &Options) -> Result<(), String> {
     }
     let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
 
+    // The coordinator's observer is the job's reference clock: clock
+    // handshakes answer with it, worker spans arrive corrected onto it,
+    // and coordinator-side events (attempt spans, retries) stamp from
+    // it.
+    let obs = Observer::new();
+    // Coordinator events that must survive an elastic relaunch (the
+    // per-attempt aggregator is rebuilt each time membership changes).
+    let mut job_events: Vec<TraceEvent> = Vec::new();
+
     // Elastic membership at launcher scale: a worker death shrinks the
     // mesh by one rank and re-runs the rendezvous under a bumped table
     // version — the process-level mirror of the in-proc supervisor's
@@ -437,9 +678,24 @@ fn run_coordinator(opts: &Options) -> Result<(), String> {
     let mut version = 0u64;
     let max_attempts: u32 = if opts.elastic { 3 } else { 1 };
     for attempt in 0..max_attempts {
-        let (results, failures) =
-            launch_attempt(opts, &listener, coord_addr, &exe, ranks, version, attempt)?;
+        let attempt_start = obs.now_micros();
+        let ((results, failures), mut agg) = launch_attempt(
+            opts, &listener, coord_addr, &exe, ranks, version, attempt, &obs,
+        )?;
+        job_events.push(TraceEvent {
+            kind: SpanKind::Attempt,
+            ts_us: attempt_start,
+            dur_us: obs.now_micros().saturating_sub(attempt_start),
+            instant: false,
+            rank: JOB_LANE,
+            attempt,
+            task: None,
+            args: vec![("ranks", ranks.to_string())],
+        });
         if !failures.is_empty() {
+            // Keep the failed attempt's partial spans and fault instants:
+            // the final trace should show what the dead mesh was doing.
+            job_events.extend(agg.trace().events().iter().cloned());
             if opts.elastic && ranks > 1 && attempt + 1 < max_attempts {
                 eprintln!(
                     "dmpirun: attempt {attempt} failed ({}); relaunching {} ranks under table v{}",
@@ -447,6 +703,16 @@ fn run_coordinator(opts: &Options) -> Result<(), String> {
                     ranks - 1,
                     version + 1,
                 );
+                job_events.push(TraceEvent {
+                    kind: SpanKind::Retry,
+                    ts_us: obs.now_micros(),
+                    dur_us: 0,
+                    instant: true,
+                    rank: JOB_LANE,
+                    attempt,
+                    task: None,
+                    args: vec![("next_ranks", (ranks - 1).to_string())],
+                });
                 ranks -= 1;
                 version += 1;
                 continue;
@@ -480,6 +746,36 @@ fn run_coordinator(opts: &Options) -> Result<(), String> {
             wire_recv_total,
         );
 
+        if opts.wants_telemetry() {
+            for ev in job_events.drain(..) {
+                agg.record(ev);
+            }
+            // Telemetry's own consistency gate: the aggregate's wire
+            // totals must equal the sum of the per-rank totals, and —
+            // when every rank's final frame arrived — agree with the
+            // independently-reported done lines.
+            let aggregate = agg.aggregate_counters();
+            let per_rank_wire: u64 = agg
+                .per_rank()
+                .iter()
+                .map(|r| r.counters.as_ref().map_or(0, |c| c.wire_bytes_sent))
+                .sum();
+            if aggregate.wire_bytes_sent != per_rank_wire {
+                return Err(format!(
+                    "telemetry invariant broken: aggregate wire_bytes_sent {} != per-rank sum {}",
+                    aggregate.wire_bytes_sent, per_rank_wire
+                ));
+            }
+            if agg.finals_seen() == ranks && aggregate.wire_bytes_sent != totals[10] {
+                return Err(format!(
+                    "telemetry disagrees with done lines: aggregate wire_bytes_sent {} != \
+                     reported {}",
+                    aggregate.wire_bytes_sent, totals[10]
+                ));
+            }
+            write_telemetry_artifacts(opts, &agg, ranks, version, attempt, obs.now_micros())?;
+        }
+
         if opts.verify_inproc {
             verify_inproc(opts, ranks, &results)?;
             println!(
@@ -489,6 +785,130 @@ fn run_coordinator(opts: &Options) -> Result<(), String> {
         return Ok(());
     }
     Err("retry budget exhausted".into())
+}
+
+/// Writes `--trace-out` and `--report-out` from a finished attempt's
+/// aggregator.
+fn write_telemetry_artifacts(
+    opts: &Options,
+    agg: &TelemetryAggregator,
+    ranks: usize,
+    version: u64,
+    attempt: u32,
+    elapsed_us: u64,
+) -> Result<(), String> {
+    if let Some(path) = &opts.trace_out {
+        let trace = agg.trace();
+        std::fs::write(path, trace.to_chrome_json_by_rank())
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+        println!(
+            "dmpirun: wrote merged trace ({} events from {ranks} ranks) to {}",
+            trace.len(),
+            path.display()
+        );
+    }
+    if let Some(path) = &opts.report_out {
+        let meta = [
+            ("workload", format!("\"{}\"", opts.workload.name())),
+            ("backend", format!("\"{}\"", opts.backend.name())),
+            ("tasks", opts.tasks.to_string()),
+            ("seed", opts.seed.to_string()),
+            ("attempt", attempt.to_string()),
+            ("table_version", version.to_string()),
+            ("elapsed_us", elapsed_us.to_string()),
+        ];
+        std::fs::write(path, agg.report_json(&meta))
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+        println!("dmpirun: wrote job report to {}", path.display());
+    }
+    Ok(())
+}
+
+/// `--backend inproc`: the same job on the threaded runtime in this
+/// process, producing the same artifacts (summary line, merged trace,
+/// job report). Counters and histograms are process-global on this
+/// backend, so the report carries them under rank 0's entry; the
+/// per-peer byte matrices are still per-rank exact.
+fn run_inproc_coordinator(opts: &Options) -> Result<(), String> {
+    if let Some(dir) = &opts.out {
+        std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    }
+    let obs = Observer::new();
+    let config = JobConfig::new(opts.ranks)
+        .with_o_parallelism(opts.o_parallelism)
+        .with_observer(obs.clone());
+    let inputs = opts
+        .workload
+        .inputs(opts.tasks, opts.bytes_per_task, opts.seed);
+    let start = obs.now_micros();
+    let output = opts
+        .workload
+        .run_inproc(&config, inputs)
+        .map_err(|e| format!("in-proc job failed: {e}"))?;
+    let elapsed = obs.now_micros().saturating_sub(start);
+
+    let mut out_records = 0u64;
+    for (rank, partition) in output.partitions.iter().enumerate() {
+        out_records += partition.len() as u64;
+        if let Some(dir) = &opts.out {
+            let mut writer = RecordWriter::new();
+            for rec in partition.iter() {
+                writer.write(rec);
+            }
+            let path = dir.join(format!("part-{rank:05}"));
+            std::fs::write(&path, writer.into_bytes())
+                .map_err(|e| format!("write {}: {e}", path.display()))?;
+        }
+    }
+    let s = &output.stats;
+    println!(
+        "dmpirun: {} in-proc over {} ranks ({} tasks, seed {}): o_tasks_run={} \
+         records_emitted={} bytes_emitted={} frames={} groups={} out_records={out_records}",
+        opts.workload.name(),
+        opts.ranks,
+        opts.tasks,
+        opts.seed,
+        s.o_tasks_run,
+        s.records_emitted,
+        s.bytes_emitted,
+        s.frames,
+        s.groups,
+    );
+
+    if opts.wants_telemetry() {
+        // Assemble the aggregator from the shared in-process registry:
+        // matrix rows split per rank; process-global counters,
+        // histograms and spans land under rank 0 so the aggregate still
+        // equals the per-rank sum.
+        let mut agg = TelemetryAggregator::new(opts.ranks);
+        let registry = obs.registry();
+        let sent = registry.sent_matrix();
+        let recv = registry.recv_matrix();
+        for rank in 0..opts.ranks {
+            let mut frame = TelemetryFrame {
+                rank: rank as u32,
+                is_final: true,
+                ..TelemetryFrame::default()
+            };
+            frame.sent_row = sent.get(rank).cloned().unwrap_or_default();
+            frame.recv_row = recv.get(rank).cloned().unwrap_or_default();
+            if rank == 0 {
+                frame.counters = registry.snapshot();
+                frame.histograms = registry
+                    .histograms()
+                    .snapshot_all()
+                    .into_iter()
+                    .filter(|(_, h)| !h.is_empty())
+                    .collect();
+            }
+            agg.absorb(frame);
+        }
+        for ev in obs.take_events() {
+            agg.record(ev);
+        }
+        write_telemetry_artifacts(opts, &agg, opts.ranks, 0, 0, elapsed)?;
+    }
+    Ok(())
 }
 
 /// Re-runs the job on the in-process threaded runtime and checks that

@@ -124,6 +124,123 @@ fn killed_worker_fails_the_job_with_rank_death() {
     );
 }
 
+/// Minimal JSON scanner: every `"key": <number>` occurrence, in order.
+fn number_fields(json: &str, key: &str) -> Vec<u64> {
+    let needle = format!("\"{key}\":");
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(i) = rest.find(&needle) {
+        rest = &rest[i + needle.len()..];
+        let digits: String = rest
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect();
+        if let Ok(v) = digits.parse() {
+            out.push(v);
+        }
+    }
+    out
+}
+
+#[test]
+fn telemetry_artifacts_merge_all_ranks_onto_one_timeline() {
+    let out_dir = scratch_dir("tlm");
+    let trace_path = out_dir.join("trace.json");
+    let report_path = out_dir.join("job-report.json");
+    let output = dmpirun()
+        .args(["--backend", "tcp", "-n", &RANKS.to_string()])
+        .args(["--tasks", &TASKS.to_string()])
+        .args(["--bytes-per-task", &BYTES_PER_TASK.to_string()])
+        .args(["--seed", &SEED.to_string()])
+        .arg("--trace-out")
+        .arg(&trace_path)
+        .arg("--report-out")
+        .arg(&report_path)
+        .arg("wordcount")
+        .output()
+        .expect("launcher must spawn");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "dmpirun failed.\nstdout: {stdout}\nstderr: {stderr}"
+    );
+
+    // The merged Chrome trace: one process row per rank (plus the
+    // coordinator lane), and spans from every rank process on it.
+    let trace = std::fs::read_to_string(&trace_path).expect("trace written");
+    assert!(trace.starts_with("{\"traceEvents\":["));
+    for rank in 0..RANKS {
+        assert!(
+            trace.contains(&format!("\"name\":\"rank {rank}\"")),
+            "trace must name a process row for rank {rank}"
+        );
+    }
+    assert!(trace.contains("\"name\":\"coordinator\""));
+    let pids = number_fields(&trace, "pid");
+    for rank in 0..RANKS as u64 {
+        assert!(
+            pids.contains(&rank),
+            "trace must carry events from rank {rank}'s process"
+        );
+    }
+    // Offset-corrected onto one timeline: with the coordinator's clock
+    // as the epoch, no span can land outside a few minutes of it.
+    let ts = number_fields(&trace, "ts");
+    assert!(!ts.is_empty());
+    assert!(
+        ts.iter().all(|&t| t < 600_000_000),
+        "all span timestamps sit on the coordinator epoch"
+    );
+
+    // The job report: schema marker, and the aggregate wire-byte totals
+    // equal the sum of the per-rank totals.
+    let report = std::fs::read_to_string(&report_path).expect("report written");
+    assert!(report.contains("\"schema\": \"dmpi-job-report/v1\""));
+    assert!(report.contains("\"backend\": \"tcp\""));
+    for key in ["wire_bytes_sent", "wire_bytes_received"] {
+        let values = number_fields(&report, key);
+        // One value per rank plus the aggregate (last, per report_json).
+        assert_eq!(values.len(), RANKS + 1, "{key}: {values:?}");
+        let (agg, per_rank) = values.split_last().unwrap();
+        assert_eq!(
+            *agg,
+            per_rank.iter().sum::<u64>(),
+            "{key}: aggregate must equal the per-rank sum"
+        );
+        assert!(*agg > 0, "{key}: a 4-rank exchange moves real bytes");
+    }
+    let _ = std::fs::remove_dir_all(&out_dir);
+}
+
+#[test]
+fn inproc_backend_produces_the_same_artifacts() {
+    let out_dir = scratch_dir("tlm-ip");
+    let trace_path = out_dir.join("trace.json");
+    let report_path = out_dir.join("job-report.json");
+    let output = dmpirun()
+        .args(["--backend", "inproc", "-n", "3", "--tasks", "6"])
+        .arg("--trace-out")
+        .arg(&trace_path)
+        .arg("--report-out")
+        .arg(&report_path)
+        .arg("wordcount")
+        .output()
+        .expect("launcher must spawn");
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let trace = std::fs::read_to_string(&trace_path).expect("trace written");
+    assert!(trace.contains("\"name\":\"rank 0\""));
+    let report = std::fs::read_to_string(&report_path).expect("report written");
+    assert!(report.contains("\"schema\": \"dmpi-job-report/v1\""));
+    assert!(report.contains("\"backend\": \"inproc\""));
+    let _ = std::fs::remove_dir_all(&out_dir);
+}
+
 #[test]
 fn usage_errors_exit_with_code_two() {
     let output = dmpirun().arg("mystery-workload").output().unwrap();

@@ -8,7 +8,7 @@
 pub mod channel {
     use std::sync::mpsc;
 
-    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError, TrySendError};
 
     enum Tx<T> {
         Unbounded(mpsc::Sender<T>),
@@ -44,6 +44,18 @@ pub mod channel {
                 Tx::Bounded(tx) => tx.send(msg),
             }
         }
+
+        /// Non-blocking send: `Err(Full)` when a bounded channel has no
+        /// capacity (unbounded channels are never full),
+        /// `Err(Disconnected)` when all receivers are gone.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            match &self.0 {
+                Tx::Unbounded(tx) => tx
+                    .send(msg)
+                    .map_err(|SendError(m)| TrySendError::Disconnected(m)),
+                Tx::Bounded(tx) => tx.try_send(msg),
+            }
+        }
     }
 
     /// The receiving half of a channel.
@@ -58,6 +70,11 @@ pub mod channel {
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             self.0.try_recv()
+        }
+
+        /// Blocks at most `timeout` for a message.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
         }
 
         /// Iterates over received messages until disconnect.
@@ -132,6 +149,22 @@ pub mod channel {
             let (tx, rx) = bounded::<u32>(1);
             drop(rx);
             assert!(tx.send(1).is_err());
+        }
+
+        #[test]
+        fn try_send_reports_full_and_disconnected() {
+            let (tx, rx) = bounded::<u32>(1);
+            assert!(tx.try_send(1).is_ok());
+            assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+            assert_eq!(rx.recv().unwrap(), 1);
+            assert!(tx.try_send(3).is_ok());
+            drop(rx);
+            assert!(matches!(tx.try_send(4), Err(TrySendError::Disconnected(4))));
+
+            let (tx, rx) = unbounded::<u32>();
+            assert!(tx.try_send(1).is_ok());
+            drop(rx);
+            assert!(matches!(tx.try_send(2), Err(TrySendError::Disconnected(2))));
         }
     }
 }
