@@ -25,6 +25,9 @@
 //! figures observe-bench             # extension: telemetry overhead pair
 //! figures observe-bench --smoke     # CI variant: smaller job, same 1.05x gate
 //! figures observe-bench --write PATH # also write BENCH_observe.json
+//! figures service-bench             # extension: resident mesh vs one-shot launch
+//! figures service-bench --smoke     # CI variant: fewer jobs, same p50 gate
+//! figures service-bench --write PATH # also write BENCH_service.json
 //! ```
 
 use dmpi_bench::experiments;
@@ -34,7 +37,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: figures <all|table1|table2|fig2a|fig2b|fig3a|fig3b|fig3c|fig3d|\
          fig4sort|fig4wordcount|fig5|fig6a|fig6b|fig7|ext-iter|ext-recovery|profile-real|\
-         transport-bench|pipeline-bench|hotpath-bench|straggler-bench|observe-bench|summary> \
+         transport-bench|pipeline-bench|hotpath-bench|straggler-bench|observe-bench|\
+         service-bench|summary> \
          [--markdown] \
          [--write PATH] [--csv] [--smoke] \
          [--series cpu|waitio|disk_read|disk_write|net|mem]"
@@ -233,6 +237,34 @@ fn main() {
                 })?;
                 println!("wrote {artifact}");
                 println!("{}", dmpi_bench::observe_bench::overhead_gate(&data, 1.05)?);
+            }
+            "service-bench" => {
+                let smoke = args.iter().any(|a| a == "--smoke");
+                // Jobs are tiny on purpose: the quantity under test is
+                // per-job launch overhead, which small jobs magnify. The
+                // arrival gap keeps utilization below 1 — an overloaded
+                // open loop measures queueing delay, not launch cost.
+                let (ranks, jobs, tasks, bytes, gap_ms) = if smoke {
+                    (2, 8, 2, 512, 60)
+                } else {
+                    (3, 24, 2, 4 * 1024, 60)
+                };
+                let data = dmpi_bench::service_bench::service_bench_data(
+                    ranks, jobs, tasks, bytes, gap_ms, 42,
+                )?;
+                println!(
+                    "{}",
+                    render(dmpi_bench::service_bench::render_table(&data), csv)
+                );
+                let artifact = write_path
+                    .clone()
+                    .unwrap_or_else(|| "BENCH_service.json".to_string());
+                let json = dmpi_bench::service_bench::render_artifact_json(&data);
+                std::fs::write(&artifact, json).map_err(|e| {
+                    dmpi_common::Error::InvalidState(format!("cannot write {artifact}: {e}"))
+                })?;
+                println!("wrote {artifact}");
+                println!("{}", dmpi_bench::service_bench::submission_gate(&data)?);
             }
             "pipeline-bench" => {
                 let data = dmpi_bench::pipeline_bench::pipeline_bench_data(4, 8, 64 * 1024)?;

@@ -26,6 +26,7 @@ pub mod observe_bench;
 pub mod pipeline_bench;
 pub mod profile_real;
 pub mod recovery;
+pub mod service_bench;
 pub mod straggler_bench;
 pub mod table;
 pub mod transport_bench;

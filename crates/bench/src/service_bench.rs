@@ -1,0 +1,493 @@
+//! `figures service-bench` — what staying resident is worth.
+//!
+//! The paper credits DataMPI's short-workload latency edge to resident,
+//! communication-ready processes. This bench measures that claim on the
+//! reproduction's own service: a real `dmpid`-style session (coordinator
+//! plus resident worker mesh over loopback TCP, catalogue resolver,
+//! fair-share admission) absorbs a seeded open-loop arrival stream from two
+//! tenants, and every job's submit→done latency is recorded. The
+//! baseline runs the *same* jobs through the real one-shot launcher —
+//! one `dmpirun` process tree per job, paying process spawn, rendezvous
+//! and mesh establishment every time. When the `dmpirun` binary is not
+//! built (bare `cargo test -p dmpi-bench`), the baseline falls back to
+//! a fresh in-process service session per job, which *understates* the
+//! one-shot price (no process spawn) — the artifact records which
+//! baseline ran.
+//!
+//! Reported: jobs/sec and p50/p99 job latency for both modes, plus the
+//! resident-vs-one-shot p50 ratio the acceptance gate checks
+//! ([`submission_gate`]: resident p50 must beat one-shot p50).
+//!
+//! Results land in `BENCH_service.json` (schema in BENCHMARKS.md).
+
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use datampi::service::{run_resident_worker, serve, AdmissionConfig, JobSpec, ServiceConfig};
+use dmpi_common::{Error, Result};
+use dmpi_workloads::CatalogueResolver;
+
+use crate::table::Table;
+
+/// Both modes' measurements over the same job stream.
+#[derive(Clone, Debug)]
+pub struct ServiceBenchData {
+    /// Resident mesh width (= one-shot mesh width).
+    pub ranks: usize,
+    /// Distinct submitting tenants.
+    pub tenants: usize,
+    /// Total jobs per mode.
+    pub jobs: usize,
+    /// O tasks per job.
+    pub tasks: usize,
+    /// Bytes per input split.
+    pub bytes_per_task: usize,
+    /// Base input seed (job `j` runs at `seed + j` in both modes).
+    pub seed: u64,
+    /// Mean open-loop inter-arrival gap, ms.
+    pub mean_gap_ms: u64,
+    /// Resident-mesh p50 submit→done latency, ms.
+    pub resident_p50_ms: f64,
+    /// Resident-mesh p99 submit→done latency, ms.
+    pub resident_p99_ms: f64,
+    /// Resident-mesh throughput over the whole stream.
+    pub resident_jobs_per_sec: f64,
+    /// One-shot p50 launch→done latency, ms.
+    pub oneshot_p50_ms: f64,
+    /// One-shot p99 launch→done latency, ms.
+    pub oneshot_p99_ms: f64,
+    /// One-shot throughput (jobs run back-to-back).
+    pub oneshot_jobs_per_sec: f64,
+    /// `resident_p50_ms / oneshot_p50_ms` — below 1.0 means resident wins.
+    pub p50_ratio: f64,
+    /// Jobs the resident coordinator completed (must equal `jobs`).
+    pub completed: u64,
+    /// Which one-shot baseline ran: `"process"` (real `dmpirun` spawns)
+    /// or `"in-process"` (fallback when the binary is not built).
+    pub oneshot_mode: &'static str,
+}
+
+fn bench_fault(detail: String) -> Error {
+    Error::InvalidState(detail)
+}
+
+/// Deterministic open-loop arrival gaps: a splitmix-style stream mapped
+/// onto `[0, 2*mean]` ms, so the mean gap is `mean` without any clock
+/// or OS randomness entering the schedule.
+fn arrival_gaps(n: usize, mean_ms: u64, seed: u64) -> Vec<u64> {
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    (0..n)
+        .map(|_| {
+            state = (state ^ (state >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            state ^= state >> 27;
+            if mean_ms == 0 {
+                0
+            } else {
+                (state >> 33) % (2 * mean_ms + 1)
+            }
+        })
+        .collect()
+}
+
+fn spec_for(job: usize, tasks: usize, bytes_per_task: usize, seed: u64) -> JobSpec {
+    JobSpec {
+        id: 0,
+        tenant: if job.is_multiple_of(2) {
+            "alice"
+        } else {
+            "bob"
+        }
+        .to_string(),
+        workload: "wordcount".to_string(),
+        tasks,
+        bytes_per_task,
+        seed: seed + job as u64,
+        o_parallelism: 1,
+        out: None,
+    }
+}
+
+/// Submits one job and blocks until its terminal line; returns the
+/// submit→done latency in ms.
+fn submit_and_wait(addr: SocketAddr, spec: &JobSpec) -> Result<f64> {
+    let start = Instant::now();
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| bench_fault(format!("dial coordinator: {e}")))?;
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| bench_fault(e.to_string()))?);
+    writeln!(stream, "{}", spec.submit_line())
+        .map_err(|e| bench_fault(format!("send submit: {e}")))?;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| bench_fault(format!("read reply: {e}")))?;
+        if n == 0 {
+            return Err(bench_fault("coordinator hung up mid-job".into()));
+        }
+        match line.split_whitespace().next() {
+            Some("jobdone") => return Ok(start.elapsed().as_secs_f64() * 1e3),
+            Some("jobfail") | Some("rejected") => {
+                return Err(bench_fault(format!("job bounced: {}", line.trim_end())))
+            }
+            _ => {} // accepted, or future verbs
+        }
+    }
+}
+
+fn send_drain(addr: SocketAddr) -> Result<()> {
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| bench_fault(format!("dial for drain: {e}")))?;
+    writeln!(stream, "drain").map_err(|e| bench_fault(format!("send drain: {e}")))?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| bench_fault(e.to_string()))?);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| bench_fault(format!("read drained: {e}")))?;
+        if n == 0 || line.starts_with("drained") {
+            return Ok(());
+        }
+    }
+}
+
+/// Blocks until the coordinator reports a full mesh.
+fn wait_mesh_ready(addr: SocketAddr, ranks: usize) -> Result<()> {
+    let want = format!("ranks={ranks}/{ranks}");
+    for _ in 0..600 {
+        let Ok(mut stream) = TcpStream::connect(addr) else {
+            std::thread::sleep(Duration::from_millis(10));
+            continue;
+        };
+        if writeln!(stream, "status").is_err() {
+            continue;
+        }
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        if reader.read_line(&mut line).unwrap_or(0) > 0 && line.contains(&want) {
+            return Ok(());
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    Err(bench_fault(format!(
+        "mesh never reached {ranks} resident ranks"
+    )))
+}
+
+/// One complete service session: coordinator + `ranks` resident worker
+/// threads. Returns (address, coordinator handle, worker handles).
+type Session = (
+    SocketAddr,
+    std::thread::JoinHandle<Result<datampi::service::ServiceSummary>>,
+    Vec<std::thread::JoinHandle<Result<()>>>,
+);
+
+fn start_session(ranks: usize, slots: usize) -> Result<Session> {
+    let listener = TcpListener::bind("127.0.0.1:0")
+        .map_err(|e| bench_fault(format!("bind coordinator: {e}")))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| bench_fault(e.to_string()))?;
+    let config = ServiceConfig {
+        ranks,
+        admission: AdmissionConfig {
+            mesh_slots: slots,
+            queue_limit: 4096,
+            default_quota: slots,
+        },
+        report_dir: None,
+    };
+    let coord = std::thread::spawn(move || serve(listener, config));
+    let workers = (0..ranks)
+        .map(|_| std::thread::spawn(move || run_resident_worker(addr, Arc::new(CatalogueResolver))))
+        .collect();
+    Ok((addr, coord, workers))
+}
+
+/// Finds the real one-shot launcher. `figures` and `dmpirun` land in
+/// the same target directory; test binaries live one level down in
+/// `deps/`. `DMPI_ONESHOT_BIN` overrides both.
+fn dmpirun_binary() -> Option<std::path::PathBuf> {
+    if let Ok(p) = std::env::var("DMPI_ONESHOT_BIN") {
+        let p = std::path::PathBuf::from(p);
+        if p.is_file() {
+            return Some(p);
+        }
+    }
+    let exe = std::env::current_exe().ok()?;
+    let mut dir = exe.parent()?.to_path_buf();
+    for _ in 0..2 {
+        let cand = dir.join("dmpirun");
+        if cand.is_file() {
+            return Some(cand);
+        }
+        dir = dir.parent()?.to_path_buf();
+    }
+    None
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+/// Runs the resident session and the one-shot baseline over the same
+/// seeded job stream.
+pub fn service_bench_data(
+    ranks: usize,
+    jobs: usize,
+    tasks: usize,
+    bytes_per_task: usize,
+    mean_gap_ms: u64,
+    seed: u64,
+) -> Result<ServiceBenchData> {
+    if ranks < 2 || jobs == 0 {
+        return Err(bench_fault(
+            "service-bench needs >= 2 ranks and >= 1 job".into(),
+        ));
+    }
+
+    // --- Resident mode: one mesh, open-loop arrivals, concurrent jobs.
+    // Slots above the rank count let arrival bursts overlap on the mesh
+    // instead of queueing behind each other.
+    let (addr, coord, workers) = start_session(ranks, (2 * ranks).max(4))?;
+    wait_mesh_ready(addr, ranks)?;
+    let gaps = arrival_gaps(jobs, mean_gap_ms, seed);
+    let stream_start = Instant::now();
+    let mut inflight = Vec::with_capacity(jobs);
+    for (j, gap) in gaps.iter().enumerate() {
+        std::thread::sleep(Duration::from_millis(*gap));
+        let spec = spec_for(j, tasks, bytes_per_task, seed);
+        inflight.push(std::thread::spawn(move || submit_and_wait(addr, &spec)));
+    }
+    let mut resident_ms = Vec::with_capacity(jobs);
+    for handle in inflight {
+        resident_ms.push(
+            handle
+                .join()
+                .map_err(|_| bench_fault("resident submitter thread panicked".into()))??,
+        );
+    }
+    let resident_span = stream_start.elapsed().as_secs_f64();
+    send_drain(addr)?;
+    let summary = coord
+        .join()
+        .map_err(|_| bench_fault("coordinator thread panicked".into()))??;
+    for w in workers {
+        w.join()
+            .map_err(|_| bench_fault("worker thread panicked".into()))??;
+    }
+    if summary.completed != jobs as u64 {
+        return Err(bench_fault(format!(
+            "resident session completed {} of {jobs} jobs",
+            summary.completed
+        )));
+    }
+
+    // --- One-shot baseline: the same jobs through the real one-shot
+    // launcher — one `dmpirun` process tree per job, paying process
+    // spawn + rendezvous + mesh establishment every time. Fallback when
+    // the binary is not built: a fresh in-process session per job
+    // (understates the one-shot price — no process spawn).
+    let launcher = dmpirun_binary();
+    let mut oneshot_ms = Vec::with_capacity(jobs);
+    let oneshot_start = Instant::now();
+    for j in 0..jobs {
+        let start = Instant::now();
+        match &launcher {
+            Some(bin) => {
+                let out = std::process::Command::new(bin)
+                    .args(["--ranks", &ranks.to_string()])
+                    .args(["--tasks", &tasks.to_string()])
+                    .args(["--bytes-per-task", &bytes_per_task.to_string()])
+                    .args(["--seed", &(seed + j as u64).to_string()])
+                    .arg("wordcount")
+                    .output()
+                    .map_err(|e| bench_fault(format!("spawn {}: {e}", bin.display())))?;
+                if !out.status.success() {
+                    return Err(bench_fault(format!(
+                        "one-shot dmpirun failed: {}",
+                        String::from_utf8_lossy(&out.stderr)
+                    )));
+                }
+            }
+            None => {
+                let (addr, coord, workers) = start_session(ranks, 1)?;
+                let spec = spec_for(j, tasks, bytes_per_task, seed);
+                // Submit immediately: admission queues until the mesh
+                // forms, so the latency includes worker join + mesh
+                // establishment.
+                submit_and_wait(addr, &spec)?;
+                send_drain(addr)?;
+                coord
+                    .join()
+                    .map_err(|_| bench_fault("one-shot coordinator panicked".into()))??;
+                for w in workers {
+                    w.join()
+                        .map_err(|_| bench_fault("one-shot worker panicked".into()))??;
+                }
+            }
+        }
+        oneshot_ms.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    let oneshot_span = oneshot_start.elapsed().as_secs_f64();
+
+    resident_ms.sort_by(|a, b| a.total_cmp(b));
+    oneshot_ms.sort_by(|a, b| a.total_cmp(b));
+    let resident_p50 = percentile(&resident_ms, 50.0);
+    let oneshot_p50 = percentile(&oneshot_ms, 50.0);
+    Ok(ServiceBenchData {
+        ranks,
+        tenants: 2,
+        jobs,
+        tasks,
+        bytes_per_task,
+        seed,
+        mean_gap_ms,
+        resident_p50_ms: resident_p50,
+        resident_p99_ms: percentile(&resident_ms, 99.0),
+        resident_jobs_per_sec: jobs as f64 / resident_span.max(1e-9),
+        oneshot_p50_ms: oneshot_p50,
+        oneshot_p99_ms: percentile(&oneshot_ms, 99.0),
+        oneshot_jobs_per_sec: jobs as f64 / oneshot_span.max(1e-9),
+        p50_ratio: resident_p50 / oneshot_p50.max(1e-9),
+        completed: summary.completed,
+        oneshot_mode: if launcher.is_some() {
+            "process"
+        } else {
+            "in-process"
+        },
+    })
+}
+
+/// The PR's acceptance gate: resident-mesh submission latency must beat
+/// the one-shot launch latency at the median.
+pub fn submission_gate(data: &ServiceBenchData) -> Result<String> {
+    if data.p50_ratio >= 1.0 {
+        return Err(bench_fault(format!(
+            "service gate: resident p50 {:.1}ms is not below one-shot p50 {:.1}ms \
+             (ratio {:.3})",
+            data.resident_p50_ms, data.oneshot_p50_ms, data.p50_ratio
+        )));
+    }
+    Ok(format!(
+        "service gate: ok (resident p50 {:.1}ms vs one-shot p50 {:.1}ms, ratio {:.3})",
+        data.resident_p50_ms, data.oneshot_p50_ms, data.p50_ratio
+    ))
+}
+
+/// Renders the report table.
+pub fn render_table(data: &ServiceBenchData) -> Table {
+    let mut table = Table::new(
+        "service-bench",
+        format!(
+            "Resident mesh vs one-shot launch: {} ranks, {} jobs from {} tenants, \
+             {} tasks x {} B, mean gap {} ms, seed {}",
+            data.ranks,
+            data.jobs,
+            data.tenants,
+            data.tasks,
+            data.bytes_per_task,
+            data.mean_gap_ms,
+            data.seed
+        ),
+        &["Mode", "p50 ms", "p99 ms", "Jobs/sec"],
+    );
+    table.push_row(vec![
+        "resident".into(),
+        format!("{:.2}", data.resident_p50_ms),
+        format!("{:.2}", data.resident_p99_ms),
+        format!("{:.2}", data.resident_jobs_per_sec),
+    ]);
+    table.push_row(vec![
+        "one-shot".into(),
+        format!("{:.2}", data.oneshot_p50_ms),
+        format!("{:.2}", data.oneshot_p99_ms),
+        format!("{:.2}", data.oneshot_jobs_per_sec),
+    ]);
+    table
+}
+
+/// Renders the `BENCH_service.json` artifact (schema: BENCHMARKS.md).
+pub fn render_artifact_json(data: &ServiceBenchData) -> String {
+    let mut out = String::from(
+        "{\n  \"experiment\": \"service-bench\",\n  \"schema\": \"dmpi-service-bench/v1\",\n",
+    );
+    let _ = writeln!(
+        out,
+        "  \"ranks\": {}, \"tenants\": {}, \"jobs\": {}, \"tasks\": {}, \
+         \"bytes_per_task\": {}, \"mean_gap_ms\": {}, \"seed\": {},",
+        data.ranks,
+        data.tenants,
+        data.jobs,
+        data.tasks,
+        data.bytes_per_task,
+        data.mean_gap_ms,
+        data.seed
+    );
+    let _ = writeln!(
+        out,
+        "  \"resident\": {{ \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"jobs_per_sec\": {:.3}, \
+         \"completed\": {} }},",
+        data.resident_p50_ms, data.resident_p99_ms, data.resident_jobs_per_sec, data.completed
+    );
+    let _ = writeln!(
+        out,
+        "  \"oneshot\": {{ \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"jobs_per_sec\": {:.3}, \
+         \"mode\": \"{}\" }},",
+        data.oneshot_p50_ms, data.oneshot_p99_ms, data.oneshot_jobs_per_sec, data.oneshot_mode
+    );
+    let _ = writeln!(out, "  \"p50_ratio\": {:.4}", data.p50_ratio);
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrivals_are_deterministic_with_the_right_mean_scale() {
+        let a = arrival_gaps(64, 10, 7);
+        assert_eq!(a, arrival_gaps(64, 10, 7));
+        assert_ne!(a, arrival_gaps(64, 10, 8));
+        assert!(a.iter().all(|&g| g <= 20));
+        assert_eq!(arrival_gaps(8, 0, 1), vec![0; 8]);
+    }
+
+    #[test]
+    fn percentiles_pick_sane_ranks() {
+        let v = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 50.0), 3.0);
+        assert_eq!(percentile(&v, 99.0), 5.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn resident_session_runs_a_two_tenant_stream() {
+        let data = service_bench_data(2, 4, 2, 512, 0, 42).unwrap();
+        assert_eq!(data.completed, 4);
+        assert!(data.resident_p50_ms > 0.0 && data.oneshot_p50_ms > 0.0);
+        let json = render_artifact_json(&data);
+        assert!(json.contains("\"schema\": \"dmpi-service-bench/v1\""));
+        assert!(json.contains("\"p50_ratio\""));
+        assert!(render_table(&data).render_text().contains("service-bench"));
+    }
+
+    #[test]
+    fn gate_logic_compares_medians() {
+        let mut data = service_bench_data(2, 2, 2, 512, 0, 7).unwrap();
+        data.p50_ratio = 0.5;
+        assert!(submission_gate(&data).unwrap().contains("ok"));
+        data.p50_ratio = 1.2;
+        assert!(submission_gate(&data).is_err());
+    }
+}

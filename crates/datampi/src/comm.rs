@@ -132,6 +132,59 @@ impl Frame {
 /// enough that a runaway producer is throttled.
 pub const DEFAULT_MAILBOX_CAPACITY: usize = 1024;
 
+// ---------------------------------------------------------------------
+// Job tagging: multiplexing several jobs over one resident mesh.
+//
+// A resident mesh (`datampi::service`) runs many jobs concurrently over
+// one set of sockets. Frames are routed to their job by a tag packed
+// into the high bits of the `o_task` field — the one header field wide
+// enough (u64 on the wire) to spare the room. The tag is `job_id + 1`,
+// so untagged legacy frames (high bits zero) stay distinguishable; the
+// demultiplexer strips the tag before delivery, which keeps ingest
+// bookkeeping and byte-identity untouched. The frame CRC covers the
+// payload only, so retagging never invalidates it.
+
+/// Bit position of the job tag inside `o_task`: tasks keep the low 40
+/// bits (a trillion splits), jobs the high 24 (16M concurrent ids).
+pub const JOB_TAG_SHIFT: u32 = 40;
+/// Mask selecting the task bits of a tagged `o_task`.
+pub const JOB_TASK_MASK: u64 = (1u64 << JOB_TAG_SHIFT) - 1;
+/// The reserved task value that encodes a *job-level* EOF as an
+/// empty-payload data frame. Real [`Frame::Eof`] frames are reserved for
+/// mesh teardown (the TCP reader treats a stream ending without one as a
+/// rank death), so per-job completion travels in-band as data.
+pub const JOB_EOF_TASK: u64 = JOB_TASK_MASK;
+/// Largest job id the tag can carry.
+pub const MAX_JOB_ID: u64 = (1u64 << (64 - JOB_TAG_SHIFT)) - 2;
+
+/// Packs `job` into the high bits of `task`.
+pub fn tag_task(job: u64, task: u64) -> u64 {
+    debug_assert!(job <= MAX_JOB_ID, "job id {job} exceeds tag width");
+    ((job + 1) << JOB_TAG_SHIFT) | (task & JOB_TASK_MASK)
+}
+
+/// Splits a tagged `o_task` into `(job, task)`. Returns `None` for an
+/// untagged (legacy one-shot) value.
+pub fn untag_task(o_task: u64) -> Option<(u64, u64)> {
+    let high = o_task >> JOB_TAG_SHIFT;
+    if high == 0 {
+        None
+    } else {
+        Some((high - 1, o_task & JOB_TASK_MASK))
+    }
+}
+
+/// Encoded size of a frame on the TCP wire (`transport::wire` framing:
+/// 21 header bytes + payload for data, 5 for EOF). Used by the resident
+/// mesh for per-job wire accounting, where the socket-level totals span
+/// all jobs at once.
+pub fn wire_size_estimate(frame: &Frame) -> u64 {
+    match frame {
+        Frame::Data { payload, .. } => 21 + payload.len() as u64,
+        Frame::Eof { .. } => 5,
+    }
+}
+
 /// The full mesh of mailboxes for a job: one receiver per A partition,
 /// senders cloneable by every O executor.
 pub struct Interconnect {
@@ -180,6 +233,29 @@ impl Interconnect {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn job_tags_round_trip_and_leave_legacy_tasks_alone() {
+        assert_eq!(untag_task(0), None);
+        assert_eq!(untag_task(JOB_TASK_MASK), None, "untagged high task");
+        for job in [0u64, 1, 7, MAX_JOB_ID] {
+            for task in [0u64, 1, 12345, JOB_EOF_TASK] {
+                assert_eq!(untag_task(tag_task(job, task)), Some((job, task)));
+            }
+        }
+        // Retagging never disturbs the CRC: it covers the payload only.
+        let f = Frame::data(1, tag_task(3, 9) as usize, Bytes::from_static(b"xyz"));
+        f.verify().unwrap();
+    }
+
+    #[test]
+    fn wire_size_estimate_matches_the_wire_format() {
+        assert_eq!(
+            wire_size_estimate(&Frame::data(0, 0, Bytes::from_static(b"12345"))),
+            26
+        );
+        assert_eq!(wire_size_estimate(&Frame::Eof { from_rank: 0 }), 5);
+    }
 
     #[test]
     fn frames_route_to_the_right_partition() {

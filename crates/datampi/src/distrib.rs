@@ -36,7 +36,7 @@
 //! replacements join) a mesh by being included in, or dropped from, the
 //! next version of the table rather than by any in-band repair.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::time::Duration;
 
@@ -53,8 +53,13 @@ use crate::runtime::{
     execute_chunks_parallel, ingest_partition, store_decode_fault, ChunkableSplit, IngestConfig,
     JobStats,
 };
+use crate::service::protocol::read_known_line;
+use crate::service::JobMux;
 use crate::task::{BatchCollector, Collector, GroupedValues};
-use crate::transport::{establish_endpoint, jitter_state, retry_backoff, TcpOptions, WireStats};
+use crate::transport::{
+    establish_endpoint, jitter_state, retry_backoff, FrameReceiver, FrameSender, TcpOptions,
+    WireStats,
+};
 
 /// Environment variable carrying a worker's rank.
 pub const ENV_RANK: &str = "DMPI_RANK";
@@ -223,8 +228,12 @@ pub fn register_with_coordinator_synced(
         .map_err(|e| rendezvous_fault(format!("rank {rank}: register with coordinator: {e}")))?;
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
-    reader
-        .read_line(&mut line)
+    // Forward compatibility: a newer coordinator may interleave verbs
+    // this build does not know (the service protocol adds `job`,
+    // `jobdone`, …); the reader skips them instead of erroring, exactly
+    // as newer workers tolerate older coordinators' missing `clock`.
+    let known = |verb: &str| verb == "clock" || verb == "peers";
+    read_known_line(&mut reader, &mut line, known)
         .map_err(|e| rendezvous_fault(format!("rank {rank}: read clock reply: {e}")))?;
     // The coordinator answers the registration with `clock <T>` before
     // the table broadcast; a pre-telemetry coordinator goes straight to
@@ -236,8 +245,7 @@ pub fn register_with_coordinator_synced(
     {
         sync = ClockSync::from_exchange(t0, coord_now, now_us());
         line.clear();
-        reader
-            .read_line(&mut line)
+        read_known_line(&mut reader, &mut line, known)
             .map_err(|e| rendezvous_fault(format!("rank {rank}: read rank table: {e}")))?;
     }
     let table = RankTable::parse(&line)
@@ -291,8 +299,9 @@ pub fn coordinate_rank_table_synced(
             .map_err(|e| rendezvous_fault(format!("coordinator set timeout: {e}")))?;
         let mut reader = BufReader::new(stream);
         let mut line = String::new();
-        reader
-            .read_line(&mut line)
+        // Skip unknown leading verbs: a newer worker may preface its
+        // registration with verbs from a future protocol revision.
+        read_known_line(&mut reader, &mut line, |verb| verb == "rank")
             .map_err(|e| rendezvous_fault(format!("coordinator read registration: {e}")))?;
         let (rank, port, t0) = parse_registration(&line)
             .ok_or_else(|| rendezvous_fault(format!("bad registration line {line:?}")))?;
@@ -396,8 +405,68 @@ where
     if let Some(obs) = observer {
         endpoint.attach_window_wait(obs.registry().histograms().handle(HistKind::WindowWait));
     }
-    let senders = endpoint.senders();
-    let receiver = endpoint.take_receiver();
+    // One-shot execution is the degenerate resident-service session:
+    // the mesh is wrapped in a [`JobMux`] and the whole job runs as job
+    // 0 of that mesh, so `dmpirun` and `dmpid` exercise the same frame
+    // path (tag on send, route + strip on receive) and the service
+    // inherits the one-shot byte-identity guarantees for free.
+    let mux = JobMux::new(endpoint);
+    let result = mux.open_job(0).and_then(|channels| {
+        run_job_on_mesh(
+            config,
+            rank,
+            ranks,
+            channels.senders,
+            channels.receiver,
+            inputs,
+            o_fn,
+            a_fn,
+        )
+    });
+    mux.finish_job(0);
+    // Teardown before any error propagates, so writer/reader threads
+    // never outlive the report.
+    let wire = mux.close();
+    let (partition, stats) = result?;
+    if let Some(obs) = observer {
+        obs.registry()
+            .add_wire_bytes(wire.bytes_sent, wire.bytes_received);
+    }
+    Ok(WorkerReport {
+        partition,
+        stats,
+        wire,
+    })
+}
+
+/// Runs one job over an already-established mesh attachment: executes
+/// this rank's statically assigned O tasks (`task % ranks == rank`)
+/// while a dedicated ingest thread drains the A partition concurrently,
+/// then groups and reduces. This is the job core shared by one-shot
+/// [`run_worker`] (which runs it as job 0 of a fresh mesh) and the
+/// resident service worker (which runs many of them, concurrently, over
+/// one [`JobMux`]). The caller owns mesh teardown; on error this
+/// function simply drops its channels and returns.
+#[allow(clippy::too_many_arguments)]
+pub fn run_job_on_mesh<O, A>(
+    config: &JobConfig,
+    rank: usize,
+    ranks: usize,
+    senders: Vec<FrameSender>,
+    receiver: FrameReceiver,
+    inputs: &[Bytes],
+    o_fn: O,
+    a_fn: A,
+) -> Result<(RecordBatch, JobStats)>
+where
+    O: Fn(usize, &[u8], &mut dyn Collector) + Send + Sync,
+    A: Fn(&GroupedValues, &mut dyn Collector) + Send + Sync,
+{
+    config.validate()?;
+    let observer = config.observer.as_ref();
+    if let Some(obs) = observer {
+        obs.begin_job(ranks);
+    }
     let mut stats = JobStats::default();
 
     // This worker's tracer: O-task spans record here; the ingest thread
@@ -520,22 +589,17 @@ where
     stats.spilled_bytes += st.spilled_bytes;
     stats.peak_resident_records = stats.peak_resident_records.max(st.peak_resident_records);
 
-    // Teardown before any error propagates, so writer/reader threads
-    // never outlive the report.
-    let finish = |endpoint: crate::transport::Endpoint| {
-        drop(senders);
-        endpoint.close()
-    };
+    // The senders die with this function; mesh teardown (real EOFs,
+    // socket close) belongs to the mux owner.
+    drop(senders);
 
     if o_panicked {
-        finish(endpoint);
         return Err(Error::fault(
             FaultCause::new(FaultKind::TaskPanic, "O task user code panicked").rank(rank),
         ));
     }
 
     if let Some(e) = ingest.first_error {
-        finish(endpoint);
         return Err(e);
     }
 
@@ -550,22 +614,14 @@ where
         Ok(())
     });
     if let Err(e) = streamed {
-        finish(endpoint);
         return Err(store_decode_fault(e, rank, 0));
     }
-    let wire = finish(endpoint);
     if let (Some(obs), Some(t)) = (observer, &tracer) {
         stats.phase_us.merge(&obs.absorb(t));
-        obs.registry()
-            .add_wire_bytes(wire.bytes_sent, wire.bytes_received);
     }
     stats.phase_us.merge(&ingest.phase);
     stats.attempts = 1;
-    Ok(WorkerReport {
-        partition: collector.batch,
-        stats,
-        wire,
-    })
+    Ok((collector.batch, stats))
 }
 
 #[cfg(test)]

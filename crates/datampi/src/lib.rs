@@ -55,6 +55,7 @@ pub mod iteration;
 pub mod observe;
 pub mod plan;
 pub mod runtime;
+pub mod service;
 pub mod speculate;
 pub mod store;
 pub mod streaming;

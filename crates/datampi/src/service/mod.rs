@@ -1,0 +1,35 @@
+//! The resident job service: `dmpid` workers, the multi-tenant
+//! coordinator, and fair-share admission.
+//!
+//! The paper attributes DataMPI's latency edge on short BigDataBench
+//! workloads to *resident, communication-ready processes* — no
+//! per-job process launch, no per-job connection setup. This module is
+//! that idea as a subsystem:
+//!
+//! * [`protocol`] — the `job`/`jobdone`/`submit`/… verbs layered on the
+//!   existing line-oriented rendezvous protocol, with forward
+//!   compatibility (unknown verbs skip, not error) as a protocol rule;
+//! * [`mesh`] — the [`JobMux`]: many concurrent jobs multiplexed over
+//!   one established TCP mesh via a job-id tag in the frame header;
+//! * [`admission`] — `dcsim::fairshare` max-min progressive filling
+//!   ported into a live admission controller with per-tenant quotas, a
+//!   bounded queue, and graceful drain;
+//! * [`worker`] — the resident worker loop behind the `dmpid` binary;
+//! * [`coordinator`] — the scheduler behind `dmpid --coordinator`.
+//!
+//! The one-shot path is not a separate implementation: `dmpirun`'s
+//! `run_worker` runs as a degenerate single-job session (job 0) of the
+//! same [`JobMux`] codepath, which is what lets the service inherit the
+//! launcher's byte-identity guarantees.
+
+pub mod admission;
+pub mod coordinator;
+pub mod mesh;
+pub mod protocol;
+pub mod worker;
+
+pub use admission::{AdmissionConfig, FairShareAdmission, RejectReason};
+pub use coordinator::{serve, ServiceConfig, ServiceSummary};
+pub use mesh::{JobChannels, JobMux};
+pub use protocol::{JobSpec, WorkerDone};
+pub use worker::{run_resident_worker, JobResolver, PreparedJob};

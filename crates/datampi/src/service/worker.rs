@@ -1,0 +1,308 @@
+//! The resident worker: joins a coordinator once, then executes many
+//! jobs over the same mesh until told to drain.
+//!
+//! This is the paper's "communication-ready resident process" made
+//! literal: rendezvous, TCP mesh establishment, and thread-pool warmup
+//! are paid once at `dmpid` start; every subsequent job costs only a
+//! `job …` control line. Jobs run concurrently — each on its own thread
+//! with its own [`Observer`] and its own [`JobMux`] route — so two
+//! tenants' jobs interleave on the shared sockets without sharing any
+//! runtime state.
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use bytes::Bytes;
+
+use dmpi_common::crc::crc32;
+use dmpi_common::ser::RecordWriter;
+use dmpi_common::{Error, FaultCause, FaultKind, Result};
+
+use crate::config::JobConfig;
+use crate::distrib::{run_job_on_mesh, RankTable};
+use crate::observe::{ClockSync, Observer, TelemetrySink};
+use crate::task::{Collector, GroupedValues};
+use crate::transport::{establish_endpoint, TcpOptions};
+
+use super::mesh::JobMux;
+use super::protocol::{esc, read_known_line, JobSpec, WorkerDone};
+
+/// A boxed O (map-side) function, as resolved from a job spec.
+pub type BoxedOFn = Box<dyn Fn(usize, &[u8], &mut dyn Collector) + Send + Sync>;
+/// A boxed A (reduce-side) function, as resolved from a job spec.
+pub type BoxedAFn = Box<dyn Fn(&GroupedValues, &mut dyn Collector) + Send + Sync>;
+
+/// A job the resolver has made runnable: deterministic inputs plus the
+/// O and A functions. `sorted` mirrors the one-shot launcher's forced
+/// sorted grouping — the catalogue resolver keeps it `true` so service
+/// outputs stay byte-identical to `dmpirun` outputs of the same seeds.
+pub struct PreparedJob {
+    /// The full task table (every rank derives the same one).
+    pub inputs: Vec<Bytes>,
+    /// The O (map-side) function.
+    pub o_fn: BoxedOFn,
+    /// The A (reduce-side) function.
+    pub a_fn: BoxedAFn,
+    /// Whether grouping must be sorted (deterministic output order).
+    pub sorted: bool,
+}
+
+/// Turns a [`JobSpec`] into a runnable job. The trait keeps
+/// `datampi::service` free of any workload-catalogue dependency — the
+/// `dmpid` binary injects the catalogue from `dmpi_workloads`, tests
+/// inject tiny closures.
+pub trait JobResolver: Send + Sync {
+    /// Resolves `spec` or explains why it cannot run (unknown workload,
+    /// bad parameters). Called on the job's own thread.
+    fn prepare(&self, spec: &JobSpec) -> Result<PreparedJob>;
+}
+
+fn service_fault(detail: String) -> Error {
+    Error::fault(FaultCause::new(FaultKind::Transport, detail))
+}
+
+/// Everything a resident worker learned from its `join` handshake.
+///
+/// `control` stays a [`BufReader`] on purpose: the coordinator writes
+/// dispatch lines right behind the `peers` table on the same socket, so
+/// any bytes the handshake reads happened to buffer MUST remain
+/// readable — unwrapping to the raw stream here would silently drop
+/// already-buffered `job …` lines.
+struct Session {
+    rank: usize,
+    table: RankTable,
+    sync: ClockSync,
+    control: BufReader<TcpStream>,
+}
+
+fn join_coordinator(coord: SocketAddr, port: u16, epoch: &Instant) -> Result<Session> {
+    let now_us = || epoch.elapsed().as_micros() as u64;
+    let stream = TcpStream::connect(coord)
+        .map_err(|e| service_fault(format!("dial coordinator {coord}: {e}")))?;
+    // Control lines are tiny and latency-bound (`jobdone` is on every
+    // job's critical path): never let Nagle batch them.
+    let _ = stream.set_nodelay(true);
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| service_fault(format!("clone control stream: {e}")))?;
+    let t0 = now_us();
+    writeln!(writer, "join {port} {t0}").map_err(|e| service_fault(format!("send join: {e}")))?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let mut sync = ClockSync::default();
+    let mut rank: Option<usize> = None;
+    let mut table: Option<RankTable> = None;
+    // The handshake answers arrive in order (clock, rank, peers) but
+    // tolerate reordering and — forward compatibility — unknown verbs.
+    while table.is_none() {
+        let n = read_known_line(&mut reader, &mut line, |v| {
+            matches!(v, "clock" | "rank" | "peers")
+        })
+        .map_err(|e| service_fault(format!("read join reply: {e}")))?;
+        if n == 0 {
+            return Err(service_fault(
+                "coordinator closed the stream mid-handshake".into(),
+            ));
+        }
+        if let Some(t) = line.strip_prefix("clock ") {
+            if let Ok(coord_now) = t.trim().parse::<u64>() {
+                sync = ClockSync::from_exchange(t0, coord_now, now_us());
+            }
+        } else if let Some(rest) = line.strip_prefix("rank ") {
+            rank = rest.split_whitespace().next().and_then(|r| r.parse().ok());
+        } else {
+            table = RankTable::parse(&line);
+        }
+    }
+    let table = table.expect("loop exits with a table");
+    let rank = rank.ok_or_else(|| service_fault("coordinator never assigned a rank".into()))?;
+    if rank >= table.ranks() {
+        return Err(service_fault(format!(
+            "assigned rank {rank} outside table of {}",
+            table.ranks()
+        )));
+    }
+    Ok(Session {
+        rank,
+        table,
+        sync,
+        control: reader,
+    })
+}
+
+/// Runs one dispatched job on its own thread: resolve, attach to the
+/// mux, execute, write the partition, report. Every outcome produces
+/// exactly one terminal line (`jobdone` or `jobfail`) on the control
+/// stream, preceded by the job's final `jobtlm` telemetry frame on
+/// success.
+#[allow(clippy::too_many_arguments)]
+fn run_one_job(
+    spec: JobSpec,
+    resolver: &dyn JobResolver,
+    mux: &JobMux,
+    control: &Mutex<TcpStream>,
+    rank: usize,
+    ranks: usize,
+    sync: ClockSync,
+) {
+    let started = Instant::now();
+    let outcome = (|| -> Result<(WorkerDone, String)> {
+        let channels = mux.open_job(spec.id)?;
+        let prepared = match resolver.prepare(&spec) {
+            Ok(p) => p,
+            Err(e) => {
+                // Resolution failures are deterministic and symmetric
+                // across ranks, but send this job's EOFs anyway so a
+                // peer that somehow did start never hangs waiting on us.
+                for s in &channels.senders {
+                    s.send(crate::comm::Frame::Eof { from_rank: rank });
+                }
+                return Err(e);
+            }
+        };
+        let observer = Observer::new();
+        let config = JobConfig::new(ranks)
+            .with_o_parallelism(spec.o_parallelism.max(1))
+            .with_sorted_grouping(prepared.sorted)
+            .with_observer(observer.clone());
+        let wire_handle = Arc::clone(&channels.wire);
+        let result = run_job_on_mesh(
+            &config,
+            rank,
+            ranks,
+            channels.senders,
+            channels.receiver,
+            &prepared.inputs,
+            prepared.o_fn,
+            prepared.a_fn,
+        );
+        mux.finish_job(spec.id);
+        let (partition, stats) = result?;
+        let wire = wire_handle.snapshot();
+        observer
+            .registry()
+            .add_wire_bytes(wire.bytes_sent, wire.bytes_received);
+
+        let mut writer = RecordWriter::new();
+        for rec in partition.iter() {
+            writer.write(rec);
+        }
+        let framed = writer.into_bytes();
+        let crc = crc32(&framed);
+        if let Some(dir) = &spec.out {
+            let dir = std::path::Path::new(dir);
+            std::fs::create_dir_all(dir)
+                .map_err(|e| service_fault(format!("create {}: {e}", dir.display())))?;
+            let path = dir.join(format!("part-{rank:05}"));
+            std::fs::write(&path, &framed)
+                .map_err(|e| service_fault(format!("write {}: {e}", path.display())))?;
+        }
+        let frame = TelemetrySink::new(observer, rank as u32, sync).next_frame(true);
+        let done = WorkerDone {
+            job: spec.id,
+            rank,
+            crc,
+            elapsed_us: started.elapsed().as_micros() as u64,
+            out_records: partition.len() as u64,
+            out_bytes: framed.len() as u64,
+            records_emitted: stats.records_emitted,
+            groups: stats.groups,
+            wire_sent: wire.bytes_sent,
+            wire_recv: wire.bytes_received,
+        };
+        Ok((done, frame.wire_line()))
+    })();
+    let mut stream = control.lock().expect("control stream lock");
+    match outcome {
+        Ok((done, tlm_line)) => {
+            let _ = writeln!(&mut *stream, "jobtlm {} {tlm_line}", spec.id);
+            let _ = writeln!(&mut *stream, "{}", done.wire_line());
+        }
+        Err(e) => {
+            mux.finish_job(spec.id);
+            let _ = writeln!(
+                &mut *stream,
+                "jobfail {} rank={rank} err={}",
+                spec.id,
+                esc(&e.to_string())
+            );
+        }
+    }
+}
+
+/// The `dmpid` worker main: binds a data listener, joins `coord`,
+/// builds the mesh once, then executes every dispatched job until the
+/// coordinator sends `drain` (or closes the stream). Drain is graceful:
+/// running jobs finish and report before the worker sends `bye` and
+/// tears its mesh attachment down.
+pub fn run_resident_worker(coord: SocketAddr, resolver: Arc<dyn JobResolver>) -> Result<()> {
+    let epoch = Instant::now();
+    let listener = TcpListener::bind("127.0.0.1:0")
+        .map_err(|e| service_fault(format!("bind data listener: {e}")))?;
+    let port = listener
+        .local_addr()
+        .map_err(|e| service_fault(format!("data listener addr: {e}")))?
+        .port();
+    let session = join_coordinator(coord, port, &epoch)?;
+    let rank = session.rank;
+    let ranks = session.table.ranks();
+    let endpoint =
+        establish_endpoint(rank, listener, &session.table.peers, &TcpOptions::default())?;
+    let mux = JobMux::new(endpoint);
+
+    let control_writer =
+        Arc::new(Mutex::new(session.control.get_ref().try_clone().map_err(
+            |e| service_fault(format!("clone control stream: {e}")),
+        )?));
+    let mut reader = session.control;
+    let mut line = String::new();
+    let mut jobs: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    let mut saw_drain = false;
+    loop {
+        let n = read_known_line(&mut reader, &mut line, |v| matches!(v, "job" | "drain"))
+            .map_err(|e| service_fault(format!("rank {rank}: read dispatch: {e}")))?;
+        if n == 0 {
+            // Coordinator vanished: finish what is running, skip `bye`.
+            break;
+        }
+        if line.starts_with("drain") {
+            saw_drain = true;
+            break;
+        }
+        let Some(spec) = JobSpec::parse_job(&line) else {
+            // A malformed dispatch is the coordinator's bug; report it
+            // if the id is recoverable, otherwise skip the line.
+            let id = line
+                .split_whitespace()
+                .nth(1)
+                .and_then(|t| t.parse::<u64>().ok());
+            if let Some(id) = id {
+                let mut s = control_writer.lock().expect("control stream lock");
+                let _ = writeln!(
+                    &mut *s,
+                    "jobfail {id} rank={rank} err={}",
+                    esc("malformed job line")
+                );
+            }
+            continue;
+        };
+        let mux = Arc::clone(&mux);
+        let resolver = Arc::clone(&resolver);
+        let control = Arc::clone(&control_writer);
+        let sync = session.sync;
+        jobs.push(std::thread::spawn(move || {
+            run_one_job(spec, resolver.as_ref(), &mux, &control, rank, ranks, sync);
+        }));
+    }
+    for handle in jobs {
+        let _ = handle.join();
+    }
+    if saw_drain {
+        let mut s = control_writer.lock().expect("control stream lock");
+        let _ = writeln!(&mut *s, "bye rank={rank}");
+    }
+    mux.close();
+    Ok(())
+}

@@ -34,7 +34,9 @@ use std::time::Instant;
 use crossbeam::channel::{Receiver, Sender, TrySendError};
 use dmpi_common::Result;
 
-use crate::comm::Frame;
+use bytes::Bytes;
+
+use crate::comm::{tag_task, wire_size_estimate, Frame, JOB_EOF_TASK};
 use crate::config::JobConfig;
 use crate::observe::LogHistogram;
 
@@ -71,6 +73,43 @@ impl Backend {
     }
 }
 
+/// Per-job wire accounting on a shared (multiplexed) mesh: the socket
+/// counters span every job at once, so tagged senders and the
+/// demultiplexer attribute estimated encoded bytes per job here.
+#[derive(Debug, Default)]
+pub struct JobWire {
+    sent: std::sync::atomic::AtomicU64,
+    received: std::sync::atomic::AtomicU64,
+}
+
+impl JobWire {
+    /// Credits `n` estimated encoded bytes to this job's send side.
+    pub fn add_sent(&self, n: u64) {
+        self.sent.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Credits `n` estimated encoded bytes to this job's receive side.
+    pub fn add_received(&self, n: u64) {
+        self.received
+            .fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// The job's wire totals so far.
+    pub fn snapshot(&self) -> WireStats {
+        WireStats {
+            bytes_sent: self.sent.load(std::sync::atomic::Ordering::Relaxed),
+            bytes_received: self.received.load(std::sync::atomic::Ordering::Relaxed),
+        }
+    }
+}
+
+/// The tagging state a multiplexed sender stamps onto every frame.
+#[derive(Clone)]
+struct JobTag {
+    job: u64,
+    wire: Arc<JobWire>,
+}
+
 /// Cheap cloneable handle for shipping frames to one destination
 /// partition. On the in-proc backend the channel *is* the peer's
 /// mailbox; on TCP it is that peer's bounded send window, drained by a
@@ -82,6 +121,11 @@ pub struct FrameSender {
     /// here (the [`HistKind::WindowWait`](crate::observe::HistKind)
     /// channel). `None` costs one branch on the full-window path only.
     wait_hist: Option<Arc<LogHistogram>>,
+    /// When set, this sender belongs to one job of a multiplexed mesh:
+    /// data frames get the job tag packed into `o_task`, and EOFs are
+    /// rewritten to tagged empty data frames (real [`Frame::Eof`] is
+    /// reserved for mesh teardown — see `comm`'s job-tagging docs).
+    job_tag: Option<JobTag>,
 }
 
 impl FrameSender {
@@ -89,12 +133,23 @@ impl FrameSender {
         FrameSender {
             tx,
             wait_hist: None,
+            job_tag: None,
         }
     }
 
     /// Routes this sender's full-window blocking time into `hist`.
     pub fn set_wait_histogram(&mut self, hist: Arc<LogHistogram>) {
         self.wait_hist = Some(hist);
+    }
+
+    /// A clone of this sender bound to `job` on a multiplexed mesh:
+    /// every frame it ships is job-tagged and accounted against `wire`.
+    pub fn for_job(&self, job: u64, wire: Arc<JobWire>) -> FrameSender {
+        FrameSender {
+            tx: self.tx.clone(),
+            wait_hist: self.wait_hist.clone(),
+            job_tag: Some(JobTag { job, wire }),
+        }
     }
 
     /// Ships a frame, blocking while the destination mailbox (in-proc)
@@ -104,6 +159,31 @@ impl FrameSender {
     /// not an error, because the receiving side already knows why it
     /// went away.
     pub fn send(&self, frame: Frame) -> bool {
+        let frame = match &self.job_tag {
+            None => frame,
+            Some(tag) => {
+                let tagged = match frame {
+                    Frame::Data {
+                        from_rank,
+                        o_task,
+                        payload,
+                        crc,
+                    } => Frame::Data {
+                        from_rank,
+                        o_task: tag_task(tag.job, o_task as u64) as usize,
+                        payload,
+                        crc,
+                    },
+                    Frame::Eof { from_rank } => Frame::data(
+                        from_rank,
+                        tag_task(tag.job, JOB_EOF_TASK) as usize,
+                        Bytes::new(),
+                    ),
+                };
+                tag.wire.add_sent(wire_size_estimate(&tagged));
+                tagged
+            }
+        };
         // Uncontended fast path: no timestamp taken at all.
         match self.tx.try_send(frame) {
             Ok(()) => true,

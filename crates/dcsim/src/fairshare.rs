@@ -270,6 +270,78 @@ mod tests {
         assert!((rates[1] - 9.5).abs() < 1e-9);
     }
 
+    // Edge cases hardened before the port into the live service
+    // admission controller (`datampi::service::admission`), which runs
+    // this algorithm against real tenants instead of simulated flows.
+
+    #[test]
+    fn zero_demand_flow_with_finite_cap_completes_at_cap() {
+        // An empty demand vector means "consumes nothing": the flow's
+        // rate is its cap verbatim, and it must not disturb the flows
+        // that do compete.
+        let flows = vec![
+            Flow::with_cap(vec![], 3.0),
+            flow(&[(0, 2.0)]),
+            flow(&[(0, 2.0)]),
+        ];
+        let rates = max_min_rates(&flows, &[8.0]);
+        assert!((rates[0] - 3.0).abs() < 1e-9, "cap verbatim, not INFINITY");
+        assert!((rates[1] - 2.0).abs() < 1e-9);
+        assert!((rates[2] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_rate_cap_flow_stays_frozen_without_starving_others() {
+        let flows = vec![
+            Flow::with_cap(vec![(0, 1.0)], 0.0),
+            Flow::new(vec![(0, 1.0)]),
+        ];
+        let rates = max_min_rates(&flows, &[4.0]);
+        assert_eq!(rates[0], 0.0, "cap 0 never rises");
+        assert!((rates[1] - 4.0).abs() < 1e-9, "capacity flows past it");
+    }
+
+    #[test]
+    fn rate_cap_binding_exactly_at_the_fair_share_is_stable() {
+        // Cap equal to the uncapped fair share: either freeze order
+        // (cap first or saturation first) must land on the same rates.
+        let flows = vec![
+            Flow::with_cap(vec![(0, 1.0)], 5.0),
+            Flow::new(vec![(0, 1.0)]),
+        ];
+        let rates = max_min_rates(&flows, &[10.0]);
+        assert!((rates[0] - 5.0).abs() < 1e-9);
+        assert!((rates[1] - 5.0).abs() < 1e-9);
+        let usage = resource_consumption(&flows, &rates, 1);
+        assert!((usage[0] - 10.0).abs() < 1e-9, "no capacity stranded");
+    }
+
+    #[test]
+    fn single_saturated_resource_splits_exactly() {
+        // Many flows, one resource: progressive filling must hand out
+        // exactly the capacity (no drift), equally per unit demand.
+        let flows: Vec<Flow> = (0..7).map(|_| flow(&[(0, 3.0)])).collect();
+        let rates = max_min_rates(&flows, &[21.0]);
+        for r in &rates {
+            assert!((r - 1.0).abs() < 1e-9, "21 / (7 flows × demand 3) = 1");
+        }
+        let usage = resource_consumption(&flows, &rates, 1);
+        assert!((usage[0] - 21.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_capacities_are_not_a_panic() {
+        // No resources at all: flows with no demands complete instantly,
+        // and there is nothing for anyone else to demand.
+        assert!(max_min_rates(&[], &[]).is_empty());
+        let rates = max_min_rates(&[flow(&[]), Flow::with_cap(vec![], 2.0)], &[]);
+        assert!(rates[0].is_infinite());
+        assert!((rates[1] - 2.0).abs() < 1e-9);
+        // Zero-capacity resource: demanding flows stay at rate 0.
+        let rates = max_min_rates(&[flow(&[(0, 1.0)])], &[0.0]);
+        assert_eq!(rates[0], 0.0);
+    }
+
     #[test]
     fn pipelined_vs_staged_intuition() {
         // The core modeling claim of this simulator: one activity demanding

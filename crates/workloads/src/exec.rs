@@ -13,9 +13,10 @@ use bytes::Bytes;
 
 use datampi::distrib::{run_worker, WorkerReport};
 use datampi::runtime::{run_job, JobOutput};
+use datampi::service::{JobResolver, JobSpec, PreparedJob};
 use datampi::{Combiner, JobConfig};
 use dmpi_common::group::{Collector, GroupedValues};
-use dmpi_common::Result;
+use dmpi_common::{Error, Result};
 use dmpi_datagen::{SeedModel, TextGenerator};
 
 use crate::{grep, sort, wordcount};
@@ -149,6 +150,26 @@ impl ExecWorkload {
             self.o_fn(),
             self.a_fn(),
         )
+    }
+}
+
+/// The catalogue as a [`JobResolver`]: `dmpid` injects this so resident
+/// workers resolve submitted workload names exactly as `dmpirun`
+/// resolves its CLI argument — same deterministic inputs, same O/A
+/// functions, forced sorted grouping — which is what keeps service
+/// outputs byte-identical to one-shot runs of the same seeds.
+pub struct CatalogueResolver;
+
+impl JobResolver for CatalogueResolver {
+    fn prepare(&self, spec: &JobSpec) -> Result<PreparedJob> {
+        let w = ExecWorkload::parse(&spec.workload)
+            .ok_or_else(|| Error::Config(format!("unknown workload {:?}", spec.workload)))?;
+        Ok(PreparedJob {
+            inputs: w.inputs(spec.tasks, spec.bytes_per_task, spec.seed),
+            o_fn: w.o_fn(),
+            a_fn: Box::new(w.a_fn()),
+            sorted: true,
+        })
     }
 }
 

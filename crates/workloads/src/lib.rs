@@ -37,5 +37,5 @@ pub mod sort;
 pub mod vectorize;
 pub mod wordcount;
 
-pub use exec::ExecWorkload;
+pub use exec::{CatalogueResolver, ExecWorkload};
 pub use runner::{run_sim, Engine, Outcome, Workload};

@@ -77,6 +77,40 @@ echo "== observe bench smoke ==" >&2
 # observed run costs more than 1.05x the bare wall-clock.
 cargo run -q --release -p dmpi-bench --bin figures -- observe-bench --smoke
 
+echo "== resident service smoke ==" >&2
+# A 2-rank resident mesh (dmpid coordinator + self-hosted workers) must
+# accept two tenants' jobs concurrently, write one dmpi-job-report/v1
+# document per job, and drain gracefully.
+rm -rf service-smoke && mkdir -p service-smoke/reports
+cargo build -q --release --bin dmpid --bin dmpi
+target/release/dmpid --coordinator --ranks 2 --spawn-workers \
+    --port-file service-smoke/addr --report-dir service-smoke/reports &
+DMPID_PID=$!
+trap 'kill "$DMPID_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 100); do [ -s service-smoke/addr ] && break; sleep 0.1; done
+ADDR=$(cat service-smoke/addr)
+target/release/dmpi submit --coord "$ADDR" --tenant alice --tasks 4 \
+    --bytes-per-task 2000 --seed 71 --out service-smoke/alice wordcount &
+SUBMIT_A=$!
+target/release/dmpi submit --coord "$ADDR" --tenant bob --tasks 4 \
+    --bytes-per-task 2000 --seed 72 --out service-smoke/bob sort &
+SUBMIT_B=$!
+wait "$SUBMIT_A"
+wait "$SUBMIT_B"
+target/release/dmpi drain --coord "$ADDR" | grep -q drained
+wait "$DMPID_PID"
+grep -q '"schema": "dmpi-job-report/v1"' service-smoke/reports/job-0.json
+grep -q '"schema": "dmpi-job-report/v1"' service-smoke/reports/job-1.json
+grep -q '"tenant": "alice"' service-smoke/reports/*.json
+grep -q '"tenant": "bob"' service-smoke/reports/*.json
+rm -rf service-smoke
+
+echo "== service bench smoke ==" >&2
+# Resident mesh vs one-shot launch over a seeded two-tenant open-loop
+# stream; fails unless resident p50 submit->done latency beats the
+# one-shot (real dmpirun process) launch p50. Writes BENCH_service.json.
+cargo run -q --release -p dmpi-bench --bin figures -- service-bench --smoke
+
 echo "== tracing overhead smoke check ==" >&2
 # Times a real WordCount with tracing on vs off; fails above +25%.
 cargo run -q --release --example profile -- --overhead-check

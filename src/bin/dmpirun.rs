@@ -367,8 +367,19 @@ fn run_worker_process(opts: &Options) -> Result<(), String> {
     // Join the shipper before any result line: the final frame (and the
     // done line after it) must be the last things on the stream.
     stop.store(true, Ordering::Relaxed);
-    let sink = shipper.map(|h| h.join().expect("telemetry shipper panicked"));
+    let mut sink = shipper.map(|h| h.join().expect("telemetry shipper panicked"));
 
+    // Drain-on-shutdown: the end-of-job frame ships on *every* outcome,
+    // success or failure, before the terminal result line — the shipper
+    // thread's 200 ms cadence would otherwise drop the last partial
+    // interval (and a failing worker would drop its entire final state).
+    // It must precede the terminal line because the coordinator's reader
+    // stops at the first non-telemetry line.
+    if let Some(sink) = sink.as_mut() {
+        let frame = sink.next_frame(true);
+        let mut s = coord_stream.lock().expect("coord stream lock");
+        let _ = writeln!(&mut *s, "{}", frame.wire_line());
+    }
     let report = match outcome {
         Ok(report) => report,
         Err(e) => {
@@ -377,14 +388,6 @@ fn run_worker_process(opts: &Options) -> Result<(), String> {
             return Err(format!("rank {rank}: job failed: {e}"));
         }
     };
-    if let Some(mut sink) = sink {
-        // The end-of-job frame: collected after run_worker returned, so
-        // it carries the final counters, all histograms, and every span
-        // (wire totals included — run_worker absorbs them at teardown).
-        let frame = sink.next_frame(true);
-        let mut s = coord_stream.lock().expect("coord stream lock");
-        let _ = writeln!(&mut *s, "{}", frame.wire_line());
-    }
 
     let mut writer = RecordWriter::new();
     for rec in report.partition.iter() {
@@ -567,18 +570,24 @@ fn launch_attempt(
                             let _ = tx.send(RankEvent::Frame(Box::new(frame)));
                             continue;
                         }
-                        match parse_done_line(&line) {
-                            Some((r, result, wire_recv)) if r == rank => {
+                        if let Some((r, result, wire_recv)) = parse_done_line(&line) {
+                            if r == rank {
                                 let _ = tx.send(RankEvent::Done(rank, result, wire_recv));
-                            }
-                            _ => {
-                                let _ = tx.send(RankEvent::Failed(
-                                    rank,
-                                    format!("rank {rank} failed: {}", line.trim_end()),
-                                ));
+                                return;
                             }
                         }
-                        return;
+                        if line.starts_with("fail ") || line.starts_with("done ") {
+                            // A malformed or wrong-rank terminal line is
+                            // still terminal.
+                            let _ = tx.send(RankEvent::Failed(
+                                rank,
+                                format!("rank {rank} failed: {}", line.trim_end()),
+                            ));
+                            return;
+                        }
+                        // Forward compatibility: a newer worker may emit
+                        // verbs this launcher does not know (the service
+                        // protocol's `job…` family). Skip, don't fail.
                     }
                     Err(e) => {
                         let _ = tx.send(RankEvent::Failed(
@@ -696,6 +705,26 @@ fn run_coordinator(opts: &Options) -> Result<(), String> {
             // Keep the failed attempt's partial spans and fault instants:
             // the final trace should show what the dead mesh was doing.
             job_events.extend(agg.trace().events().iter().cloned());
+            if opts.wants_telemetry()
+                && (!opts.elastic || ranks <= 1 || attempt + 1 >= max_attempts)
+            {
+                // Terminal failure: still write the artifacts. Surviving
+                // ranks' drain-on-shutdown final frames are in the
+                // aggregator, so the report shows what the job managed
+                // before it died; `status`/`finals_seen` say it failed.
+                for ev in job_events.drain(..) {
+                    agg.record(ev);
+                }
+                write_telemetry_artifacts(
+                    opts,
+                    &agg,
+                    ranks,
+                    version,
+                    attempt,
+                    obs.now_micros(),
+                    "failed",
+                )?;
+            }
             if opts.elastic && ranks > 1 && attempt + 1 < max_attempts {
                 eprintln!(
                     "dmpirun: attempt {attempt} failed ({}); relaunching {} ranks under table v{}",
@@ -773,7 +802,7 @@ fn run_coordinator(opts: &Options) -> Result<(), String> {
                     aggregate.wire_bytes_sent, totals[10]
                 ));
             }
-            write_telemetry_artifacts(opts, &agg, ranks, version, attempt, obs.now_micros())?;
+            write_telemetry_artifacts(opts, &agg, ranks, version, attempt, obs.now_micros(), "ok")?;
         }
 
         if opts.verify_inproc {
@@ -789,6 +818,7 @@ fn run_coordinator(opts: &Options) -> Result<(), String> {
 
 /// Writes `--trace-out` and `--report-out` from a finished attempt's
 /// aggregator.
+#[allow(clippy::too_many_arguments)]
 fn write_telemetry_artifacts(
     opts: &Options,
     agg: &TelemetryAggregator,
@@ -796,6 +826,7 @@ fn write_telemetry_artifacts(
     version: u64,
     attempt: u32,
     elapsed_us: u64,
+    status: &str,
 ) -> Result<(), String> {
     if let Some(path) = &opts.trace_out {
         let trace = agg.trace();
@@ -816,6 +847,8 @@ fn write_telemetry_artifacts(
             ("attempt", attempt.to_string()),
             ("table_version", version.to_string()),
             ("elapsed_us", elapsed_us.to_string()),
+            ("status", format!("\"{status}\"")),
+            ("finals_seen", agg.finals_seen().to_string()),
         ];
         std::fs::write(path, agg.report_json(&meta))
             .map_err(|e| format!("write {}: {e}", path.display()))?;
@@ -906,7 +939,7 @@ fn run_inproc_coordinator(opts: &Options) -> Result<(), String> {
         for ev in obs.take_events() {
             agg.record(ev);
         }
-        write_telemetry_artifacts(opts, &agg, opts.ranks, 0, 0, elapsed)?;
+        write_telemetry_artifacts(opts, &agg, opts.ranks, 0, 0, elapsed, "ok")?;
     }
     Ok(())
 }

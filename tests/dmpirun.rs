@@ -199,6 +199,17 @@ fn telemetry_artifacts_merge_all_ranks_onto_one_timeline() {
     let report = std::fs::read_to_string(&report_path).expect("report written");
     assert!(report.contains("\"schema\": \"dmpi-job-report/v1\""));
     assert!(report.contains("\"backend\": \"tcp\""));
+    // Drain-on-shutdown: every rank's shipper flushes a final frame
+    // before its done line, so the report must have all of them.
+    assert!(
+        report.contains(&format!("\"finals_seen\": {RANKS}")),
+        "every rank's final telemetry frame must be flushed: {report}"
+    );
+    assert_eq!(
+        report.matches("\"final_seen\": true").count(),
+        RANKS,
+        "each per-rank entry must record its flushed final frame: {report}"
+    );
     for key in ["wire_bytes_sent", "wire_bytes_received"] {
         let values = number_fields(&report, key);
         // One value per rank plus the aggregate (last, per report_json).
@@ -238,6 +249,38 @@ fn inproc_backend_produces_the_same_artifacts() {
     let report = std::fs::read_to_string(&report_path).expect("report written");
     assert!(report.contains("\"schema\": \"dmpi-job-report/v1\""));
     assert!(report.contains("\"backend\": \"inproc\""));
+    let _ = std::fs::remove_dir_all(&out_dir);
+}
+
+#[test]
+fn failed_job_still_flushes_survivor_telemetry() {
+    // A worker dies mid-job; the survivors' drain-on-shutdown path must
+    // still ship their final frames, and the coordinator must still
+    // write the report — marked failed, with the survivors' finals.
+    let out_dir = scratch_dir("tlm-fail");
+    let report_path = out_dir.join("job-report.json");
+    let output = dmpirun()
+        .args(["--ranks", "3", "--tasks", "6", "--fail-rank", "1"])
+        .arg("--report-out")
+        .arg(&report_path)
+        .arg("wordcount")
+        .output()
+        .expect("launcher must spawn");
+    assert!(
+        !output.status.success(),
+        "a dead worker must still fail the job"
+    );
+    let report = std::fs::read_to_string(&report_path)
+        .expect("report must be written even for a failed job");
+    assert!(report.contains("\"schema\": \"dmpi-job-report/v1\""));
+    assert!(
+        report.contains("\"status\": \"failed\""),
+        "report must record the failed outcome: {report}"
+    );
+    assert!(
+        report.contains("\"finals_seen\": 2"),
+        "both surviving ranks' shutdown flushes must land: {report}"
+    );
     let _ = std::fs::remove_dir_all(&out_dir);
 }
 
