@@ -12,7 +12,8 @@
 //! figures ext-recovery              # extension: node-failure recovery
 //! figures profile-real              # extension: sim-vs-real profile diff
 //! figures profile-real --write PATH # also write BENCH_profile.json
-//! figures transport-bench           # extension: in-proc vs TCP throughput
+//! figures transport-bench           # extension: in-proc vs TCP vs TCP+lz4
+//! figures transport-bench --smoke   # CI variant: smaller grid, same gate
 //! figures transport-bench --write PATH # also write BENCH_transport.json
 //! figures pipeline-bench            # extension: combiner grid + spill probe
 //! figures pipeline-bench --write PATH # also write BENCH_pipeline.json
@@ -140,10 +141,28 @@ fn main() {
                 println!("wrote {artifact}");
             }
             "transport-bench" => {
-                let data = dmpi_bench::transport_bench::transport_bench_data(4, 8, 64 * 1024)?;
+                let smoke = args.iter().any(|a| a == "--smoke");
+                let (ranks, tasks, bytes, stream_frames) = if smoke {
+                    (2, 4, 16 * 1024, 128)
+                } else {
+                    (4, 8, 64 * 1024, 512)
+                };
+                let data = dmpi_bench::transport_bench::transport_bench_data(
+                    ranks,
+                    tasks,
+                    bytes,
+                    stream_frames,
+                )?;
                 println!(
                     "{}",
                     render(dmpi_bench::transport_bench::render_table(&data), csv)
+                );
+                // The regression gate runs in both modes: the raw stream
+                // must sustain the committed floor on loopback.
+                let rate = dmpi_bench::transport_bench::check_stream_gate(&data)?;
+                println!(
+                    "stream gate ok: {rate:.1} MB/s >= {:.0} MB/s",
+                    dmpi_bench::transport_bench::STREAM_GATE_MB_S
                 );
                 let artifact = write_path
                     .clone()

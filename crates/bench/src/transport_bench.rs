@@ -1,31 +1,46 @@
 //! `figures transport-bench` — in-proc vs TCP throughput for the
-//! really-executable catalogue (WordCount and Sort).
+//! really-executable catalogue (WordCount and Sort), plus a raw frame
+//! stream that measures what the event-loop transport alone sustains.
 //!
 //! Unlike the calibrated simulation behind the paper figures, this
-//! benchmark *runs* the DataMPI runtime twice per workload on identical
-//! inputs — once over the in-proc channel backend and once over a real
-//! TCP loopback mesh — and reports wall time, shuffled bytes, and
-//! throughput for each. The artifact (`BENCH_transport.json`) records
-//! the cost of serialising frames onto real sockets relative to moving
-//! `Bytes` handles between threads.
+//! benchmark *runs* the DataMPI runtime on identical inputs per
+//! workload — over the in-proc channel backend, over a real TCP
+//! loopback mesh, and over the same mesh with per-batch LZ4 wire
+//! compression — and reports wall time, shuffled bytes, the wire/raw
+//! compression ratio, write syscalls per frame (the coalescing win),
+//! and throughput for each. A separate 2-rank **stream** microbench
+//! pushes bulk frames through the transport with no O/A compute in the
+//! way; that row is the one gated in CI (see [`STREAM_GATE_MB_S`]),
+//! because workload rows measure the whole job, compute included.
+//!
+//! The artifact (`BENCH_transport.json`) records both sections; its
+//! schema is documented in BENCHMARKS.md.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use bytes::Bytes;
+use datampi::comm::Frame;
 use datampi::observe::Observer;
-use datampi::transport::Backend;
-use datampi::JobConfig;
+use datampi::transport::{Backend, TcpOptions, TcpTransport, Transport};
+use datampi::{JobConfig, WireCompression};
 use dmpi_common::Result;
 use dmpi_workloads::ExecWorkload;
 
 use crate::table::Table;
 
-/// One workload measured on one backend.
+/// Floor on the raw stream's uncompressed loopback throughput, MB/s.
+/// Set at ≥4x the thread-per-peer transport's best committed workload
+/// number (sort over TCP: 43 MB/s) with headroom — the event loop with
+/// coalescing sustains hundreds of MB/s on loopback.
+pub const STREAM_GATE_MB_S: f64 = 200.0;
+
+/// One workload measured on one backend configuration.
 #[derive(Clone, Debug)]
 pub struct TransportRun {
     /// Launcher-facing workload name.
     pub workload: &'static str,
-    /// `"inproc"` or `"tcp"`.
+    /// `"inproc"`, `"tcp"`, or `"tcp+lz4"`.
     pub backend: &'static str,
     /// Wall time of the whole job.
     pub seconds: f64,
@@ -33,35 +48,85 @@ pub struct TransportRun {
     pub bytes_emitted: u64,
     /// Records emitted (identical across backends by contract).
     pub records: u64,
-    /// Encoded bytes written to sockets (0 for in-proc).
+    /// Encoded bytes written to sockets, post-compression (0 in-proc).
     pub wire_bytes: u64,
+    /// Pre-batching frame bytes handed to the wire encoders (0 in-proc).
+    pub raw_bytes: u64,
+    /// Logical frames shipped on the wire (0 in-proc).
+    pub frames: u64,
+    /// Coalesced wire batches sealed (0 in-proc).
+    pub batches: u64,
+    /// Socket write syscalls (0 in-proc).
+    pub syscalls: u64,
     /// Shuffle throughput, emitted MB per wall second.
     pub mb_per_s: f64,
 }
 
-/// The full benchmark: every row of the report table.
+impl TransportRun {
+    /// Wire bytes per raw byte — < 1.0 when compression is winning.
+    pub fn wire_ratio(&self) -> f64 {
+        if self.raw_bytes == 0 {
+            0.0
+        } else {
+            self.wire_bytes as f64 / self.raw_bytes as f64
+        }
+    }
+
+    /// Write syscalls per logical frame — « 1.0 when coalescing wins.
+    pub fn syscalls_per_frame(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            self.syscalls as f64 / self.frames as f64
+        }
+    }
+}
+
+/// One raw 2-rank stream measurement: bulk data frames pushed through
+/// the transport with no compute attached.
+#[derive(Clone, Debug)]
+pub struct StreamRun {
+    /// `"tcp"` or `"tcp+lz4"`.
+    pub backend: &'static str,
+    /// Payload bytes per frame.
+    pub payload_bytes: usize,
+    /// Data frames streamed.
+    pub frames: u64,
+    /// Wall time from first send to last frame verified.
+    pub seconds: f64,
+    /// Encoded bytes that crossed the socket.
+    pub wire_bytes: u64,
+    /// Pre-batching bytes handed to the encoder.
+    pub raw_bytes: u64,
+    /// Wire batches sealed.
+    pub batches: u64,
+    /// Socket write syscalls.
+    pub syscalls: u64,
+    /// Payload throughput, MB of frame payload per wall second.
+    pub mb_per_s: f64,
+}
+
+/// The full benchmark: workload grid plus the raw stream section.
 #[derive(Clone, Debug)]
 pub struct TransportBenchData {
-    /// Mesh width used for every run.
+    /// Mesh width used for every workload run.
     pub ranks: usize,
     /// O tasks per job.
     pub tasks: usize,
     /// Input bytes generated per O task.
     pub bytes_per_task: usize,
-    /// One entry per (workload, backend) pair, in-proc first.
+    /// Coalescing watermark every TCP run used.
+    pub batch_bytes: usize,
+    /// One entry per (workload, backend config), in-proc first.
     pub runs: Vec<TransportRun>,
-}
-
-fn backend_name(backend: Backend) -> &'static str {
-    match backend {
-        Backend::InProc => "inproc",
-        Backend::Tcp => "tcp",
-    }
+    /// Raw stream rows: uncompressed first, then lz4.
+    pub streams: Vec<StreamRun>,
 }
 
 fn run_once(
     workload: ExecWorkload,
     backend: Backend,
+    compression: WireCompression,
     ranks: usize,
     tasks: usize,
     bytes_per_task: usize,
@@ -70,61 +135,224 @@ fn run_once(
     let observer = Observer::new();
     let config = JobConfig::new(ranks)
         .with_transport(backend)
+        .with_wire_compression(compression)
         .with_observer(observer.clone());
     let start = Instant::now();
     let out = workload.run_inproc(&config, inputs)?;
     let seconds = start.elapsed().as_secs_f64();
     let snapshot = observer.registry().snapshot();
     let mb = out.stats.bytes_emitted as f64 / (1024.0 * 1024.0);
+    let name = match (backend, compression) {
+        (Backend::InProc, _) => "inproc",
+        (Backend::Tcp, WireCompression::None) => "tcp",
+        (Backend::Tcp, WireCompression::Lz4) => "tcp+lz4",
+    };
     Ok(TransportRun {
         workload: workload.name(),
-        backend: backend_name(backend),
+        backend: name,
         seconds,
         bytes_emitted: out.stats.bytes_emitted,
         records: out.stats.records_emitted,
         wire_bytes: snapshot.wire_bytes_sent,
+        raw_bytes: snapshot.wire_raw_bytes_sent,
+        frames: snapshot.wire_frames_sent,
+        batches: snapshot.wire_batches_sent,
+        syscalls: snapshot.wire_send_syscalls,
         mb_per_s: if seconds > 0.0 { mb / seconds } else { 0.0 },
     })
 }
 
-/// Runs WordCount and Sort on both backends with identical inputs.
-/// Both backends must emit identical record counts — the transport is
-/// plumbing, not semantics — and that invariant is asserted here.
+/// Streams `frames` data frames of `payload_bytes` each from rank 0 to
+/// rank 1 over a 2-rank loopback mesh and reports payload throughput.
+/// The payload is catalogue text (compressible like real shuffle data);
+/// every received frame passes its CRC gate before it counts.
+pub fn stream_once(
+    compression: WireCompression,
+    payload_bytes: usize,
+    frames: u64,
+) -> Result<StreamRun> {
+    // Text payload from the same generator the workloads read, so the
+    // lz4 row sees realistic (not synthetic) compressibility.
+    let text = ExecWorkload::WordCount.inputs(1, payload_bytes.max(1), 42);
+    let mut payload = text
+        .first()
+        .map(|b| b.to_vec())
+        .filter(|b| !b.is_empty())
+        .unwrap_or_else(|| vec![b'x'; payload_bytes.max(1)]);
+    payload.resize(payload_bytes.max(1), b' ');
+    let payload = Bytes::from(payload);
+
+    let opts = TcpOptions {
+        compression,
+        ..TcpOptions::default()
+    };
+    let mut fabric = TcpTransport::loopback(2, opts);
+    let mut eps = fabric.open()?;
+    let mut ep1 = eps.pop().expect("two endpoints");
+    let ep0 = eps.pop().expect("two endpoints");
+
+    let rx = ep1.take_receiver();
+    let sink = std::thread::spawn(move || -> Result<u64> {
+        let mut data = 0u64;
+        let mut eofs = 0usize;
+        while eofs < 2 {
+            match rx.recv()? {
+                Some(f @ Frame::Data { .. }) => {
+                    f.verify()?;
+                    data += 1;
+                }
+                Some(Frame::Eof { .. }) => eofs += 1,
+                None => break,
+            }
+        }
+        Ok(data)
+    });
+
+    let senders = ep0.senders();
+    let ep1_senders = ep1.senders();
+    let start = Instant::now();
+    for _ in 0..frames {
+        senders[1].send(Frame::data(0, 0, payload.clone()));
+    }
+    for s in &senders {
+        s.send(Frame::Eof { from_rank: 0 });
+    }
+    for s in &ep1_senders {
+        s.send(Frame::Eof { from_rank: 1 });
+    }
+    let received = sink.join().expect("stream sink panicked")?;
+    let seconds = start.elapsed().as_secs_f64();
+    drop(senders);
+    drop(ep1_senders);
+    let wire = ep0.close();
+    ep1.close();
+    if received != frames {
+        return Err(dmpi_common::Error::InvalidState(format!(
+            "stream lost frames: sent {frames}, received {received}"
+        )));
+    }
+    let mb = (frames as f64 * payload.len() as f64) / (1024.0 * 1024.0);
+    Ok(StreamRun {
+        backend: match compression {
+            WireCompression::None => "tcp",
+            WireCompression::Lz4 => "tcp+lz4",
+        },
+        payload_bytes: payload.len(),
+        frames,
+        seconds,
+        wire_bytes: wire.bytes_sent,
+        raw_bytes: wire.raw_bytes_sent,
+        batches: wire.batches_sent,
+        syscalls: wire.send_syscalls,
+        mb_per_s: if seconds > 0.0 { mb / seconds } else { 0.0 },
+    })
+}
+
+/// Best-of-`n` wrapper around [`stream_once`]: the stream measures peak
+/// sustainable transport throughput, and a single run is at the mercy of
+/// whatever else the host is doing (CI runs it right after the full test
+/// suite), so the gate compares against the best of a few short runs.
+fn stream_best_of(
+    n: usize,
+    compression: WireCompression,
+    payload_bytes: usize,
+    frames: u64,
+) -> Result<StreamRun> {
+    let mut best: Option<StreamRun> = None;
+    for _ in 0..n.max(1) {
+        let run = stream_once(compression, payload_bytes, frames)?;
+        if best.as_ref().is_none_or(|b| run.mb_per_s > b.mb_per_s) {
+            best = Some(run);
+        }
+    }
+    Ok(best.expect("n >= 1 stream runs"))
+}
+
+/// Runs WordCount and Sort over {in-proc, tcp, tcp+lz4} with identical
+/// inputs, then the raw stream pair. All backends of a workload must
+/// emit identical record counts — the transport is plumbing, not
+/// semantics — and that invariant is asserted here.
 pub fn transport_bench_data(
     ranks: usize,
     tasks: usize,
     bytes_per_task: usize,
+    stream_frames: u64,
 ) -> Result<TransportBenchData> {
     let mut runs = Vec::new();
     for workload in [ExecWorkload::WordCount, ExecWorkload::TextSort] {
-        let inproc = run_once(workload, Backend::InProc, ranks, tasks, bytes_per_task)?;
-        let tcp = run_once(workload, Backend::Tcp, ranks, tasks, bytes_per_task)?;
-        if inproc.records != tcp.records {
-            return Err(dmpi_common::Error::InvalidState(format!(
-                "{}: backends disagree on record count ({} vs {})",
-                workload.name(),
-                inproc.records,
-                tcp.records
-            )));
+        let grid = [
+            (Backend::InProc, WireCompression::None),
+            (Backend::Tcp, WireCompression::None),
+            (Backend::Tcp, WireCompression::Lz4),
+        ];
+        for (backend, compression) in grid {
+            let run = run_once(workload, backend, compression, ranks, tasks, bytes_per_task)?;
+            if let Some(first) = runs
+                .iter()
+                .find(|r: &&TransportRun| r.workload == run.workload)
+            {
+                if first.records != run.records {
+                    return Err(dmpi_common::Error::InvalidState(format!(
+                        "{}: backends disagree on record count ({} vs {})",
+                        run.workload, first.records, run.records
+                    )));
+                }
+            }
+            runs.push(run);
         }
-        runs.push(inproc);
-        runs.push(tcp);
     }
+    let streams = vec![
+        stream_best_of(3, WireCompression::None, 256 * 1024, stream_frames)?,
+        stream_best_of(3, WireCompression::Lz4, 256 * 1024, stream_frames)?,
+    ];
     Ok(TransportBenchData {
         ranks,
         tasks,
         bytes_per_task,
+        batch_bytes: datampi::config::DEFAULT_WIRE_BATCH_BYTES,
         runs,
+        streams,
     })
 }
 
-/// Renders the report table.
+/// The CI gate: the uncompressed raw stream must sustain
+/// [`STREAM_GATE_MB_S`] on loopback. Returns the measured number.
+pub fn check_stream_gate(data: &TransportBenchData) -> Result<f64> {
+    let stream = data
+        .streams
+        .iter()
+        .find(|s| s.backend == "tcp")
+        .ok_or_else(|| dmpi_common::Error::InvalidState("no uncompressed stream row".into()))?;
+    if stream.mb_per_s < STREAM_GATE_MB_S {
+        return Err(dmpi_common::Error::InvalidState(format!(
+            "transport regression: raw stream sustained {:.1} MB/s, gate is {:.0} MB/s",
+            stream.mb_per_s, STREAM_GATE_MB_S
+        )));
+    }
+    Ok(stream.mb_per_s)
+}
+
+/// The EXPERIMENTS.md entry: a reduced grid plus the stream pair, run
+/// by `figures all` alongside the paper figures.
+pub fn fig_ext_transport() -> Result<Table> {
+    let data = transport_bench_data(2, 4, 16 * 1024, 64)?;
+    Ok(render_table_named(&data, "fig-ext-transport-v2"))
+}
+
+/// Renders the report table (workload grid plus stream rows).
 pub fn render_table(data: &TransportBenchData) -> Table {
+    render_table_named(data, "transport-bench")
+}
+
+fn render_table_named(data: &TransportBenchData, name: &str) -> Table {
     let mut table = Table::new(
-        "transport-bench",
+        name,
         format!(
-            "Transport backends: {} ranks, {} O tasks, {} B/task",
-            data.ranks, data.tasks, data.bytes_per_task
+            "Transport backends: {} ranks, {} O tasks, {} B/task, {} KiB batches",
+            data.ranks,
+            data.tasks,
+            data.bytes_per_task,
+            data.batch_bytes / 1024
         ),
         &[
             "Workload",
@@ -132,6 +360,8 @@ pub fn render_table(data: &TransportBenchData) -> Table {
             "Seconds",
             "Shuffle MB",
             "Wire MB",
+            "Wire/Raw",
+            "Sys/Frame",
             "MB/s",
         ],
     );
@@ -142,7 +372,38 @@ pub fn render_table(data: &TransportBenchData) -> Table {
             format!("{:.4}", run.seconds),
             format!("{:.2}", run.bytes_emitted as f64 / (1024.0 * 1024.0)),
             format!("{:.2}", run.wire_bytes as f64 / (1024.0 * 1024.0)),
+            format!("{:.3}", run.wire_ratio()),
+            format!("{:.3}", run.syscalls_per_frame()),
             format!("{:.1}", run.mb_per_s),
+        ]);
+    }
+    for s in &data.streams {
+        table.push_row(vec![
+            "stream".to_string(),
+            s.backend.to_string(),
+            format!("{:.4}", s.seconds),
+            format!(
+                "{:.2}",
+                s.frames as f64 * s.payload_bytes as f64 / (1024.0 * 1024.0)
+            ),
+            format!("{:.2}", s.wire_bytes as f64 / (1024.0 * 1024.0)),
+            format!(
+                "{:.3}",
+                if s.raw_bytes == 0 {
+                    0.0
+                } else {
+                    s.wire_bytes as f64 / s.raw_bytes as f64
+                }
+            ),
+            format!(
+                "{:.3}",
+                if s.frames == 0 {
+                    0.0
+                } else {
+                    s.syscalls as f64 / s.frames as f64
+                }
+            ),
+            format!("{:.1}", s.mb_per_s),
         ]);
     }
     table
@@ -153,8 +414,8 @@ pub fn render_artifact_json(data: &TransportBenchData) -> String {
     let mut out = String::from("{\n  \"experiment\": \"transport-bench\",\n");
     let _ = writeln!(
         out,
-        "  \"ranks\": {}, \"tasks\": {}, \"bytes_per_task\": {},",
-        data.ranks, data.tasks, data.bytes_per_task
+        "  \"ranks\": {}, \"tasks\": {}, \"bytes_per_task\": {}, \"batch_bytes\": {},",
+        data.ranks, data.tasks, data.bytes_per_task, data.batch_bytes
     );
     out.push_str("  \"runs\": [\n");
     for (i, run) in data.runs.iter().enumerate() {
@@ -162,6 +423,7 @@ pub fn render_artifact_json(data: &TransportBenchData) -> String {
             out,
             "    {{\"workload\": \"{}\", \"backend\": \"{}\", \"seconds\": {:.4}, \
              \"bytes_emitted\": {}, \"records\": {}, \"wire_bytes\": {}, \
+             \"raw_bytes\": {}, \"frames\": {}, \"batches\": {}, \"syscalls\": {}, \
              \"mb_per_s\": {:.2}}}{}",
             run.workload,
             run.backend,
@@ -169,8 +431,31 @@ pub fn render_artifact_json(data: &TransportBenchData) -> String {
             run.bytes_emitted,
             run.records,
             run.wire_bytes,
+            run.raw_bytes,
+            run.frames,
+            run.batches,
+            run.syscalls,
             run.mb_per_s,
             if i + 1 < data.runs.len() { "," } else { "" }
+        );
+    }
+    out.push_str("  ],\n  \"streams\": [\n");
+    for (i, s) in data.streams.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"backend\": \"{}\", \"payload_bytes\": {}, \"frames\": {}, \
+             \"seconds\": {:.4}, \"wire_bytes\": {}, \"raw_bytes\": {}, \"batches\": {}, \
+             \"syscalls\": {}, \"mb_per_s\": {:.2}}}{}",
+            s.backend,
+            s.payload_bytes,
+            s.frames,
+            s.seconds,
+            s.wire_bytes,
+            s.raw_bytes,
+            s.batches,
+            s.syscalls,
+            s.mb_per_s,
+            if i + 1 < data.streams.len() { "," } else { "" }
         );
     }
     out.push_str("  ]\n}\n");
@@ -182,18 +467,34 @@ mod tests {
     use super::*;
 
     #[test]
-    fn both_backends_measured_and_tcp_reports_wire_bytes() {
-        let data = transport_bench_data(2, 4, 1500).unwrap();
-        assert_eq!(data.runs.len(), 4, "2 workloads x 2 backends");
-        for pair in data.runs.chunks(2) {
-            assert_eq!(pair[0].backend, "inproc");
-            assert_eq!(pair[1].backend, "tcp");
-            assert_eq!(pair[0].records, pair[1].records);
-            assert_eq!(pair[0].wire_bytes, 0, "in-proc moves handles, not bytes");
-            assert!(pair[1].wire_bytes > 0, "tcp encodes onto real sockets");
+    fn grid_measures_all_backends_and_tcp_reports_wire_detail() {
+        let data = transport_bench_data(2, 4, 1500, 16).unwrap();
+        assert_eq!(data.runs.len(), 6, "2 workloads x 3 backend configs");
+        for trio in data.runs.chunks(3) {
+            assert_eq!(trio[0].backend, "inproc");
+            assert_eq!(trio[1].backend, "tcp");
+            assert_eq!(trio[2].backend, "tcp+lz4");
+            assert_eq!(trio[0].records, trio[1].records);
+            assert_eq!(trio[0].records, trio[2].records);
+            assert_eq!(trio[0].wire_bytes, 0, "in-proc moves handles, not bytes");
+            for tcp in &trio[1..] {
+                assert!(tcp.wire_bytes > 0, "tcp encodes onto real sockets");
+                assert!(tcp.raw_bytes > 0 && tcp.frames > 0 && tcp.batches > 0);
+                assert!(tcp.batches <= tcp.frames, "batches pack >= 1 frame");
+            }
+            assert!(
+                trio[2].wire_bytes <= trio[1].wire_bytes,
+                "lz4 never inflates the wire (worst case: stored batches)"
+            );
+        }
+        assert_eq!(data.streams.len(), 2);
+        for s in &data.streams {
+            assert!(s.frames == 16 && s.wire_bytes > 0 && s.mb_per_s > 0.0);
         }
         let json = render_artifact_json(&data);
-        assert!(json.contains("\"backend\": \"tcp\""));
-        assert!(render_table(&data).render_text().contains("wordcount"));
+        assert!(json.contains("\"backend\": \"tcp+lz4\""));
+        assert!(json.contains("\"streams\": ["));
+        let text = render_table(&data).render_text();
+        assert!(text.contains("wordcount") && text.contains("stream"));
     }
 }

@@ -36,7 +36,7 @@ use dmpi_common::crc::crc32;
 use dmpi_common::{Error, FaultCause, FaultKind, Result};
 
 /// A message delivered to an A partition's mailbox.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Frame {
     /// A chunk of framed key-value records for this partition.
     Data {

@@ -15,6 +15,45 @@ use crate::transport::Backend;
 /// one socket before producers block).
 pub const DEFAULT_SEND_WINDOW: usize = 128;
 
+/// Default coalescing watermark for the TCP event loop: raw batch bytes
+/// accumulated before a wire batch seals (it also seals early whenever
+/// the send window runs dry, so latency never waits on this).
+pub const DEFAULT_WIRE_BATCH_BYTES: usize = 256 * KB as usize;
+
+/// Per-batch wire compression for the TCP backend (see DESIGN.md §15:
+/// the batch body is compressed after per-frame CRC stamping, so the
+/// receiver's integrity gate is unchanged).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum WireCompression {
+    /// Ship raw batch bodies (the default — loopback and fast networks
+    /// are rarely compression-bound).
+    #[default]
+    None,
+    /// LZ4-block-compress each sealed batch, keeping the compressed body
+    /// only when it is actually smaller.
+    Lz4,
+}
+
+impl WireCompression {
+    /// Stable lowercase name, used by CLI flags and artifact JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            WireCompression::None => "none",
+            WireCompression::Lz4 => "lz4",
+        }
+    }
+
+    /// Parses a compression name as accepted by `dmpirun --compress` and
+    /// the bench CLI.
+    pub fn parse(s: &str) -> Option<WireCompression> {
+        match s {
+            "none" | "off" => Some(WireCompression::None),
+            "lz4" => Some(WireCompression::Lz4),
+            _ => None,
+        }
+    }
+}
+
 /// Default target size of one parallel-O input chunk. Large enough that
 /// per-chunk overhead (a tracer span, a captured frame buffer) is noise;
 /// small enough that even modest splits fan out across the worker pool.
@@ -72,6 +111,15 @@ pub struct JobConfig {
     /// producers block on that peer (per-peer backpressure ahead of the
     /// kernel's own socket buffers).
     pub send_window: usize,
+    /// TCP backend only: the frame-coalescing watermark — raw bytes a
+    /// wire batch accumulates before sealing (default
+    /// [`DEFAULT_WIRE_BATCH_BYTES`]; clamped by the encoder to
+    /// 4 KiB..=64 MiB). Batches also seal whenever the peer's send
+    /// window runs dry, so this bounds batching, it never adds latency.
+    pub wire_batch_bytes: usize,
+    /// TCP backend only: per-batch wire compression
+    /// ([`WireCompression::Lz4`] or the default `None`).
+    pub wire_compression: WireCompression,
     /// O-side pre-aggregation ([`Combiner`]): when set, each O task's
     /// per-destination buffer is key-grouped and folded through this
     /// function before its frame is shipped, cutting wire bytes for
@@ -118,6 +166,8 @@ impl JobConfig {
             transport: Backend::InProc,
             mailbox_capacity: DEFAULT_MAILBOX_CAPACITY,
             send_window: DEFAULT_SEND_WINDOW,
+            wire_batch_bytes: DEFAULT_WIRE_BATCH_BYTES,
+            wire_compression: WireCompression::default(),
             combiner: None,
             o_parallelism: default_o_parallelism(),
             o_chunk_bytes: DEFAULT_O_CHUNK_BYTES,
@@ -143,6 +193,11 @@ impl JobConfig {
         }
         if self.send_window == 0 {
             return Err(Error::Config("send window must be positive".into()));
+        }
+        if self.wire_batch_bytes == 0 {
+            return Err(Error::Config(
+                "wire batch watermark must be positive".into(),
+            ));
         }
         if self.o_parallelism == 0 {
             return Err(Error::Config("O parallelism must be positive".into()));
@@ -224,6 +279,19 @@ impl JobConfig {
         self
     }
 
+    /// Builder: set the TCP frame-coalescing watermark (raw batch
+    /// bytes before a seal).
+    pub fn with_wire_batch_bytes(mut self, bytes: usize) -> Self {
+        self.wire_batch_bytes = bytes;
+        self
+    }
+
+    /// Builder: set per-batch wire compression for the TCP backend.
+    pub fn with_wire_compression(mut self, compression: WireCompression) -> Self {
+        self.wire_compression = compression;
+        self
+    }
+
     /// Builder: install an O-side combiner (pre-aggregation before the
     /// shuffle). The combiner must be an associative, commutative
     /// reduction compatible with the job's A function — see
@@ -300,6 +368,10 @@ mod tests {
             .validate()
             .is_err());
         assert!(JobConfig::new(1).with_send_window(0).validate().is_err());
+        assert!(JobConfig::new(1)
+            .with_wire_batch_bytes(0)
+            .validate()
+            .is_err());
         assert!(JobConfig::new(1).with_o_parallelism(0).validate().is_err());
         assert!(JobConfig::new(1).with_o_chunk_bytes(0).validate().is_err());
         // An invalid fault plan makes the whole config invalid.
@@ -352,6 +424,22 @@ mod tests {
         let plan = c.faults.as_ref().expect("plan installed");
         assert!(plan.o_task_error(1, 0));
         assert!(!plan.o_task_error(1, 1));
+    }
+
+    #[test]
+    fn wire_knobs_build_and_parse() {
+        let c = JobConfig::new(2)
+            .with_wire_batch_bytes(64 * 1024)
+            .with_wire_compression(WireCompression::Lz4);
+        assert_eq!(c.wire_batch_bytes, 64 * 1024);
+        assert_eq!(c.wire_compression, WireCompression::Lz4);
+        c.validate().unwrap();
+        assert_eq!(WireCompression::parse("lz4"), Some(WireCompression::Lz4));
+        assert_eq!(WireCompression::parse("none"), Some(WireCompression::None));
+        assert_eq!(WireCompression::parse("off"), Some(WireCompression::None));
+        assert_eq!(WireCompression::parse("zstd"), None);
+        assert_eq!(WireCompression::Lz4.name(), "lz4");
+        assert_eq!(WireCompression::None.name(), "none");
     }
 
     #[test]

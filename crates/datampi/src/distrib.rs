@@ -429,8 +429,7 @@ where
     let wire = mux.close();
     let (partition, stats) = result?;
     if let Some(obs) = observer {
-        obs.registry()
-            .add_wire_bytes(wire.bytes_sent, wire.bytes_received);
+        obs.registry().add_wire_stats(&wire);
     }
     Ok(WorkerReport {
         partition,

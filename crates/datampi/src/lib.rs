@@ -63,7 +63,7 @@ pub mod supervisor;
 pub mod task;
 pub mod transport;
 
-pub use config::JobConfig;
+pub use config::{JobConfig, WireCompression};
 pub use fault::FaultPlan;
 pub use observe::{Observer, PhaseTotals, Profiler, SpanKind, Trace};
 pub use runtime::{run_job, ChunkableSplit, JobOutput, JobStats};

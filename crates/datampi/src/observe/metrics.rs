@@ -33,10 +33,27 @@ pub struct MetricsRegistry {
     /// O tasks replayed from checkpoint instead of re-running.
     recovered_tasks: AtomicU64,
     /// Encoded bytes written to transport sockets (header + payload as
-    /// seen on the wire). Zero on the in-proc backend.
+    /// seen on the wire, post-compression). Zero on the in-proc backend.
     wire_bytes_sent: AtomicU64,
     /// Encoded bytes decoded from transport sockets. Zero in-proc.
     wire_bytes_received: AtomicU64,
+    /// Pre-batching frame bytes handed to the wire encoders; with
+    /// compression on, `wire_bytes_sent / wire_raw_bytes_sent` is the
+    /// achieved wire compression ratio.
+    wire_raw_bytes_sent: AtomicU64,
+    /// Logical frames the wire encoders packed into batches.
+    wire_frames_sent: AtomicU64,
+    /// Coalesced wire batches sealed; `wire_frames_sent /
+    /// wire_batches_sent` is the achieved coalescing factor.
+    wire_batches_sent: AtomicU64,
+    /// Socket write syscalls issued by transport pollers.
+    wire_send_syscalls: AtomicU64,
+    /// Logical frames decoded from inbound wire batches.
+    wire_frames_received: AtomicU64,
+    /// Inbound wire batches decoded.
+    wire_batches_received: AtomicU64,
+    /// Socket read syscalls issued by transport pollers.
+    wire_recv_syscalls: AtomicU64,
     /// Records fed into O-side combiners.
     combiner_records_in: AtomicU64,
     /// Records O-side combiners shipped after folding.
@@ -86,6 +103,20 @@ pub struct MetricsSnapshot {
     pub wire_bytes_sent: u64,
     /// Encoded bytes decoded from transport sockets (zero in-proc).
     pub wire_bytes_received: u64,
+    /// Pre-batching frame bytes handed to the wire encoders.
+    pub wire_raw_bytes_sent: u64,
+    /// Logical frames packed into outbound wire batches.
+    pub wire_frames_sent: u64,
+    /// Coalesced wire batches sealed.
+    pub wire_batches_sent: u64,
+    /// Socket write syscalls issued by transport pollers.
+    pub wire_send_syscalls: u64,
+    /// Logical frames decoded from inbound wire batches.
+    pub wire_frames_received: u64,
+    /// Inbound wire batches decoded.
+    pub wire_batches_received: u64,
+    /// Socket read syscalls issued by transport pollers.
+    pub wire_recv_syscalls: u64,
     /// Records fed into O-side combiners (zero without a combiner).
     pub combiner_records_in: u64,
     /// Records O-side combiners shipped after folding; `in - out` pairs
@@ -208,12 +239,29 @@ impl MetricsRegistry {
         self.recovered_tasks.fetch_add(n, Ordering::Relaxed);
     }
 
-    /// Records one endpoint's wire-level traffic (encoded socket bytes,
-    /// reported by [`Endpoint::close`](crate::transport::Endpoint)).
-    pub fn add_wire_bytes(&self, sent: u64, received: u64) {
-        self.wire_bytes_sent.fetch_add(sent, Ordering::Relaxed);
+    /// Records one endpoint's wire-level traffic (the full counter set
+    /// reported by [`Endpoint::close`](crate::transport::Endpoint):
+    /// encoded socket bytes, pre-batching raw bytes, frame/batch counts,
+    /// and syscall totals).
+    pub fn add_wire_stats(&self, wire: &crate::transport::WireStats) {
+        self.wire_bytes_sent
+            .fetch_add(wire.bytes_sent, Ordering::Relaxed);
         self.wire_bytes_received
-            .fetch_add(received, Ordering::Relaxed);
+            .fetch_add(wire.bytes_received, Ordering::Relaxed);
+        self.wire_raw_bytes_sent
+            .fetch_add(wire.raw_bytes_sent, Ordering::Relaxed);
+        self.wire_frames_sent
+            .fetch_add(wire.frames_sent, Ordering::Relaxed);
+        self.wire_batches_sent
+            .fetch_add(wire.batches_sent, Ordering::Relaxed);
+        self.wire_send_syscalls
+            .fetch_add(wire.send_syscalls, Ordering::Relaxed);
+        self.wire_frames_received
+            .fetch_add(wire.frames_received, Ordering::Relaxed);
+        self.wire_batches_received
+            .fetch_add(wire.batches_received, Ordering::Relaxed);
+        self.wire_recv_syscalls
+            .fetch_add(wire.recv_syscalls, Ordering::Relaxed);
     }
 
     /// Counts an O-side combiner's fold: `records_in` staged records
@@ -300,6 +348,13 @@ impl MetricsRegistry {
             recovered_tasks: self.recovered_tasks.load(Ordering::Relaxed),
             wire_bytes_sent: self.wire_bytes_sent.load(Ordering::Relaxed),
             wire_bytes_received: self.wire_bytes_received.load(Ordering::Relaxed),
+            wire_raw_bytes_sent: self.wire_raw_bytes_sent.load(Ordering::Relaxed),
+            wire_frames_sent: self.wire_frames_sent.load(Ordering::Relaxed),
+            wire_batches_sent: self.wire_batches_sent.load(Ordering::Relaxed),
+            wire_send_syscalls: self.wire_send_syscalls.load(Ordering::Relaxed),
+            wire_frames_received: self.wire_frames_received.load(Ordering::Relaxed),
+            wire_batches_received: self.wire_batches_received.load(Ordering::Relaxed),
+            wire_recv_syscalls: self.wire_recv_syscalls.load(Ordering::Relaxed),
             combiner_records_in: self.combiner_records_in.load(Ordering::Relaxed),
             combiner_records_out: self.combiner_records_out.load(Ordering::Relaxed),
             heartbeats: self.heartbeats.load(Ordering::Relaxed),

@@ -71,7 +71,7 @@ impl ClockSync {
 /// The cumulative counter fields a telemetry frame carries, in wire
 /// order. Shared by the encoder, the parser, and the report renderer so
 /// the three can never disagree on a name.
-pub const COUNTER_FIELDS: [&str; 18] = [
+pub const COUNTER_FIELDS: [&str; 25] = [
     "records_out",
     "records_in",
     "frames_sent",
@@ -90,6 +90,15 @@ pub const COUNTER_FIELDS: [&str; 18] = [
     "speculative_attempts",
     "speculative_commits",
     "tasks_stolen",
+    // Wire-detail counters ride at the end so older frame layouts stay
+    // index-compatible with this one.
+    "wire_raw_bytes_sent",
+    "wire_frames_sent",
+    "wire_batches_sent",
+    "wire_send_syscalls",
+    "wire_frames_received",
+    "wire_batches_received",
+    "wire_recv_syscalls",
 ];
 
 fn counter_get(s: &MetricsSnapshot, key: &str) -> u64 {
@@ -112,6 +121,13 @@ fn counter_get(s: &MetricsSnapshot, key: &str) -> u64 {
         "speculative_attempts" => s.speculative_attempts,
         "speculative_commits" => s.speculative_commits,
         "tasks_stolen" => s.tasks_stolen,
+        "wire_raw_bytes_sent" => s.wire_raw_bytes_sent,
+        "wire_frames_sent" => s.wire_frames_sent,
+        "wire_batches_sent" => s.wire_batches_sent,
+        "wire_send_syscalls" => s.wire_send_syscalls,
+        "wire_frames_received" => s.wire_frames_received,
+        "wire_batches_received" => s.wire_batches_received,
+        "wire_recv_syscalls" => s.wire_recv_syscalls,
         _ => 0,
     }
 }
@@ -136,6 +152,13 @@ fn counter_set(s: &mut MetricsSnapshot, key: &str, v: u64) {
         "speculative_attempts" => s.speculative_attempts = v,
         "speculative_commits" => s.speculative_commits = v,
         "tasks_stolen" => s.tasks_stolen = v,
+        "wire_raw_bytes_sent" => s.wire_raw_bytes_sent = v,
+        "wire_frames_sent" => s.wire_frames_sent = v,
+        "wire_batches_sent" => s.wire_batches_sent = v,
+        "wire_send_syscalls" => s.wire_send_syscalls = v,
+        "wire_frames_received" => s.wire_frames_received = v,
+        "wire_batches_received" => s.wire_batches_received = v,
+        "wire_recv_syscalls" => s.wire_recv_syscalls = v,
         _ => {}
     }
 }
@@ -810,7 +833,11 @@ mod tests {
         obs.registry().add_records_out(10 + rank as u64);
         obs.registry().add_records_in(7);
         obs.registry().add_frame_sent(rank as usize, 1, 100);
-        obs.registry().add_wire_bytes(1000 + rank as u64, 900);
+        obs.registry().add_wire_stats(&crate::transport::WireStats {
+            bytes_sent: 1000 + rank as u64,
+            bytes_received: 900,
+            ..Default::default()
+        });
         obs.registry()
             .histograms()
             .record(HistKind::RecvLatency, 42);

@@ -1158,8 +1158,7 @@ where
                 drop(senders);
                 let wire = endpoint.close();
                 if let Some(t) = &tracer {
-                    t.registry()
-                        .add_wire_bytes(wire.bytes_sent, wire.bytes_received);
+                    t.registry().add_wire_stats(&wire);
                 }
                 group_result?;
                 Ok((collector.batch, stats))

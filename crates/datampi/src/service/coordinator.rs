@@ -58,15 +58,34 @@ fn service_fault(detail: String) -> Error {
 }
 
 enum Event {
-    Join { stream: TcpStream, port: u16 },
-    Submit { stream: TcpStream, spec: JobSpec },
-    Status { stream: TcpStream },
-    Drain { stream: TcpStream },
+    Join {
+        stream: TcpStream,
+        port: u16,
+    },
+    Submit {
+        stream: TcpStream,
+        spec: JobSpec,
+    },
+    Status {
+        stream: TcpStream,
+    },
+    Drain {
+        stream: TcpStream,
+    },
     WorkerDone(WorkerDone),
-    WorkerFail { job: u64, rank: usize, err: String },
-    WorkerTlm { job: u64, frame: TelemetryFrame },
+    WorkerFail {
+        job: u64,
+        rank: usize,
+        err: String,
+    },
+    WorkerTlm {
+        job: u64,
+        frame: Box<TelemetryFrame>,
+    },
     WorkerBye,
-    WorkerGone { rank: usize },
+    WorkerGone {
+        rank: usize,
+    },
 }
 
 /// One admitted job's runtime state on the scheduler.
@@ -148,7 +167,10 @@ fn worker_reader(stream: TcpStream, rank: usize, events: Sender<Event>) {
             let job = it.next().and_then(|t| t.parse::<u64>().ok());
             let frame = it.next().and_then(TelemetryFrame::parse);
             if let (Some(job), Some(frame)) = (job, frame) {
-                let _ = events.send(Event::WorkerTlm { job, frame });
+                let _ = events.send(Event::WorkerTlm {
+                    job,
+                    frame: Box::new(frame),
+                });
             }
         } else if line.starts_with("bye") {
             let _ = events.send(Event::WorkerBye);
@@ -449,7 +471,7 @@ pub fn serve(listener: TcpListener, config: ServiceConfig) -> Result<ServiceSumm
             Event::WorkerFail { job, rank, err } => sched.on_worker_fail(job, rank, err),
             Event::WorkerTlm { job, frame } => {
                 if let Some(j) = sched.jobs.get_mut(&job) {
-                    j.agg.absorb(frame);
+                    j.agg.absorb(*frame);
                 }
             }
             Event::WorkerBye => sched.byes += 1,

@@ -181,9 +181,7 @@ fn run_one_job(
         mux.finish_job(spec.id);
         let (partition, stats) = result?;
         let wire = wire_handle.snapshot();
-        observer
-            .registry()
-            .add_wire_bytes(wire.bytes_sent, wire.bytes_received);
+        observer.registry().add_wire_stats(&wire);
 
         let mut writer = RecordWriter::new();
         for rec in partition.iter() {

@@ -5,9 +5,6 @@
 //! bounded mailbox. There are no writer threads and no wire encoding,
 //! so [`Endpoint::close`] reports zero wire bytes.
 
-use std::sync::atomic::AtomicU64;
-use std::sync::Arc;
-
 use dmpi_common::Result;
 
 use crate::comm::Interconnect;
@@ -53,8 +50,6 @@ impl Transport for InProcTransport {
                     rank,
                     senders.clone(),
                     FrameReceiver::Direct(net.take_receiver(rank)),
-                    Vec::new(),
-                    Arc::new(AtomicU64::new(0)),
                 )
             })
             .collect())

@@ -8,9 +8,11 @@
 //! * [`InProcTransport`] — the original channel fabric (threads in one
 //!   process, bounded mailboxes).
 //! * [`TcpTransport`] — a real TCP mesh with a length-prefixed wire
-//!   format ([`wire`]), connect retry with exponential backoff and
-//!   jitter, bounded per-peer send windows for backpressure, and
-//!   graceful EOF/teardown semantics.
+//!   format ([`wire`]), driven by one readiness event-loop thread per
+//!   rank (`evloop`) that coalesces frames into large wire batches
+//!   (optionally LZ4-compressed), with connect retry with exponential
+//!   backoff and jitter, bounded per-peer send windows for
+//!   backpressure, and graceful EOF/teardown semantics.
 //!
 //! A [`Transport`] opens one [`Endpoint`] per rank. An endpoint exposes
 //! the same shape on both backends: a [`FrameSender`] per peer (indexed
@@ -20,6 +22,7 @@
 //! [`Transport::open`] and build a single rank's endpoint directly with
 //! [`tcp::establish_endpoint`] from a distributed rank table.
 
+mod evloop;
 pub mod inproc;
 pub mod tcp;
 pub mod wire;
@@ -30,6 +33,8 @@ pub use tcp::{establish_endpoint, jitter_state, retry_backoff, TcpOptions, TcpTr
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+use evloop::{LoopCtl, RecvCounters, SendSummary, Waker};
 
 use crossbeam::channel::{Receiver, Sender, TrySendError};
 use dmpi_common::Result;
@@ -94,11 +99,13 @@ impl JobWire {
             .fetch_add(n, std::sync::atomic::Ordering::Relaxed);
     }
 
-    /// The job's wire totals so far.
+    /// The job's wire totals so far (logical estimates only — socket,
+    /// batch, and syscall detail lives on the shared mesh endpoint).
     pub fn snapshot(&self) -> WireStats {
         WireStats {
             bytes_sent: self.sent.load(std::sync::atomic::Ordering::Relaxed),
             bytes_received: self.received.load(std::sync::atomic::Ordering::Relaxed),
+            ..WireStats::default()
         }
     }
 }
@@ -126,6 +133,19 @@ pub struct FrameSender {
     /// rewritten to tagged empty data frames (real [`Frame::Eof`] is
     /// reserved for mesh teardown — see `comm`'s job-tagging docs).
     job_tag: Option<JobTag>,
+    /// On the TCP backend, tickled after every enqueue (and on drop) so
+    /// the rank's poller thread notices new work; `None` in-proc.
+    waker: Option<Arc<Waker>>,
+}
+
+impl Drop for FrameSender {
+    fn drop(&mut self) {
+        // The poller learns that a window disconnected only by pumping
+        // it, so every dropped handle nudges the loop once.
+        if let Some(waker) = &self.waker {
+            waker.wake();
+        }
+    }
 }
 
 impl FrameSender {
@@ -134,6 +154,16 @@ impl FrameSender {
             tx,
             wait_hist: None,
             job_tag: None,
+            waker: None,
+        }
+    }
+
+    pub(crate) fn with_waker(tx: Sender<Frame>, waker: Arc<Waker>) -> Self {
+        FrameSender {
+            tx,
+            wait_hist: None,
+            job_tag: None,
+            waker: Some(waker),
         }
     }
 
@@ -149,6 +179,7 @@ impl FrameSender {
             tx: self.tx.clone(),
             wait_hist: self.wait_hist.clone(),
             job_tag: Some(JobTag { job, wire }),
+            waker: self.waker.clone(),
         }
     }
 
@@ -185,7 +216,7 @@ impl FrameSender {
             }
         };
         // Uncontended fast path: no timestamp taken at all.
-        match self.tx.try_send(frame) {
+        let ok = match self.tx.try_send(frame) {
             Ok(()) => true,
             Err(TrySendError::Disconnected(_)) => false,
             Err(TrySendError::Full(frame)) => {
@@ -196,7 +227,13 @@ impl FrameSender {
                 }
                 ok
             }
+        };
+        if ok {
+            if let Some(waker) = &self.waker {
+                waker.wake();
+            }
         }
+        ok
     }
 }
 
@@ -233,15 +270,33 @@ impl FrameReceiver {
 
 /// Wire-level traffic counters for one endpoint, returned by
 /// [`Endpoint::close`]. Zero on the in-proc backend (no encoding
-/// happens); on TCP they count encoded header + payload bytes as seen
-/// by the sockets, which `observe` records alongside the logical
-/// per-peer matrices.
+/// happens); on TCP the byte counters count actual post-handshake
+/// socket traffic (batch headers and compression included), which
+/// `observe` records alongside the logical per-peer matrices. The
+/// batch/syscall counters are what `figures transport-bench` turns into
+/// its batch-size, compression-ratio, and syscalls-per-frame columns.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct WireStats {
-    /// Encoded bytes this endpoint wrote to its peers.
+    /// Actual bytes this endpoint wrote to its peers' sockets.
     pub bytes_sent: u64,
-    /// Encoded bytes this endpoint decoded from its peers.
+    /// Actual bytes this endpoint read from its peers' sockets
+    /// (handshakes excluded, mirroring the send side).
     pub bytes_received: u64,
+    /// Uncompressed logical frame-encoding bytes pushed into batches —
+    /// `bytes_sent / raw_bytes_sent` below 1.0 is the compression win.
+    pub raw_bytes_sent: u64,
+    /// Logical frames this endpoint sent.
+    pub frames_sent: u64,
+    /// Coalesced batches those frames were packed into.
+    pub batches_sent: u64,
+    /// `write(2)`/`writev(2)` calls that moved those batches.
+    pub send_syscalls: u64,
+    /// Logical frames this endpoint decoded.
+    pub frames_received: u64,
+    /// Batches those frames arrived in.
+    pub batches_received: u64,
+    /// `read(2)` calls that produced those bytes.
+    pub recv_syscalls: u64,
 }
 
 /// One rank's attachment to the interconnect: a sender per destination
@@ -250,24 +305,40 @@ pub struct Endpoint {
     rank: usize,
     senders: Vec<FrameSender>,
     receiver: Option<FrameReceiver>,
-    writers: Vec<JoinHandle<u64>>,
-    received_wire_bytes: std::sync::Arc<std::sync::atomic::AtomicU64>,
+    poller: Option<JoinHandle<SendSummary>>,
+    ctl: Option<Arc<LoopCtl>>,
+    recv_counters: Option<Arc<RecvCounters>>,
 }
 
 impl Endpoint {
-    pub(crate) fn new(
+    /// An endpoint with no I/O thread behind it (the in-proc fabric).
+    pub(crate) fn new(rank: usize, senders: Vec<FrameSender>, receiver: FrameReceiver) -> Self {
+        Endpoint {
+            rank,
+            senders,
+            receiver: Some(receiver),
+            poller: None,
+            ctl: None,
+            recv_counters: None,
+        }
+    }
+
+    /// An endpoint backed by a TCP event-loop poller thread.
+    pub(crate) fn with_poller(
         rank: usize,
         senders: Vec<FrameSender>,
         receiver: FrameReceiver,
-        writers: Vec<JoinHandle<u64>>,
-        received_wire_bytes: std::sync::Arc<std::sync::atomic::AtomicU64>,
+        poller: JoinHandle<SendSummary>,
+        ctl: Arc<LoopCtl>,
+        recv_counters: Arc<RecvCounters>,
     ) -> Self {
         Endpoint {
             rank,
             senders,
             receiver: Some(receiver),
-            writers,
-            received_wire_bytes,
+            poller: Some(poller),
+            ctl: Some(ctl),
+            recv_counters: Some(recv_counters),
         }
     }
 
@@ -304,23 +375,34 @@ impl Endpoint {
     }
 
     /// Tears the endpoint down: drops the sender handles (the caller
-    /// must have dropped its own clones first, or writer threads never
-    /// see disconnect) and joins the TCP writer threads so every queued
-    /// frame is flushed to the socket before returning. Returns the
-    /// wire-level byte counters (zeros for in-proc).
+    /// must have dropped its own clones first, or the poller never sees
+    /// the windows disconnect), asks the poller to stop reading, and
+    /// joins it — which waits for every queued frame to flush to the
+    /// socket before returning. Returns the wire-level counters (zeros
+    /// for in-proc).
     pub fn close(mut self) -> WireStats {
         self.senders.clear();
         drop(self.receiver.take());
-        let mut bytes_sent = 0u64;
-        for writer in self.writers.drain(..) {
-            bytes_sent += writer.join().unwrap_or(0);
+        if let Some(ctl) = self.ctl.take() {
+            ctl.request_shutdown();
         }
-        WireStats {
-            bytes_sent,
-            bytes_received: self
-                .received_wire_bytes
-                .load(std::sync::atomic::Ordering::Relaxed),
+        let mut stats = WireStats::default();
+        if let Some(poller) = self.poller.take() {
+            let sent = poller.join().unwrap_or_default();
+            stats.bytes_sent = sent.bytes_sent;
+            stats.raw_bytes_sent = sent.raw_bytes_sent;
+            stats.frames_sent = sent.frames_sent;
+            stats.batches_sent = sent.batches_sent;
+            stats.send_syscalls = sent.send_syscalls;
         }
+        if let Some(recv) = self.recv_counters.take() {
+            use std::sync::atomic::Ordering::Relaxed;
+            stats.bytes_received = recv.bytes.load(Relaxed);
+            stats.frames_received = recv.frames.load(Relaxed);
+            stats.batches_received = recv.batches.load(Relaxed);
+            stats.recv_syscalls = recv.syscalls.load(Relaxed);
+        }
+        stats
     }
 }
 

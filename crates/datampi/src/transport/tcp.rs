@@ -2,57 +2,58 @@
 //!
 //! Every rank binds one listener and opens one outbound connection to
 //! every peer (itself included — the mesh is uniform, so rank-local
-//! traffic exercises the same code path). Connection establishment is
-//! symmetric and concurrent:
-//!
-//! * an **acceptor** thread accepts exactly `ranks` inbound connections
-//!   (with a deadline so a dead peer cannot hang the job), reads each
-//!   one's handshake, and hands the stream to a detached **reader**
-//!   thread;
-//! * the establishing thread dials every peer with bounded retry —
-//!   exponential backoff with deterministic xorshift jitter — writes the
-//!   handshake, and parks the stream behind a **writer** thread.
+//! traffic exercises the same code path). The establishing thread dials
+//! every peer with bounded retry — exponential backoff with
+//! deterministic xorshift jitter — and writes the feature-advertising
+//! handshake; everything after that (accepting inbound connections,
+//! draining send windows, coalescing frames into wire batches, decoding
+//! inbound streams) happens on **one poller thread per rank** — the
+//! readiness event loop in `evloop` (see DESIGN.md §15).
 //!
 //! Backpressure is layered: producers block on a bounded per-peer send
 //! window ([`TcpOptions::send_window`] frames) in front of each socket,
-//! the kernel's socket buffers throttle the writer itself, and the
-//! receiving side's bounded mailbox throttles its readers. Every stage
-//! is drained by a consumer that never sends, so the wait-for chain
-//! terminates (same argument as the in-proc mailboxes in `comm.rs`).
+//! the kernel's socket buffers throttle the poller's nonblocking writes,
+//! and the receiving side's bounded mailbox throttles its decoder. Every
+//! stage is drained by a consumer that never sends, so the wait-for
+//! chain terminates (same argument as the in-proc mailboxes in
+//! `comm.rs`).
 //!
 //! Teardown mirrors the frame protocol: after a rank's last
-//! [`Frame::Eof`] its producers drop their senders, each writer drains
-//! its window, flushes, and shuts the socket's write side down, and the
-//! peer's reader sees a clean end-of-stream. A stream that ends
-//! *before* its EOF frame means the peer died — the reader reports a
-//! structured [`FaultKind::RankDeath`] fault naming that rank, which is
-//! what lets `supervise_job` retry a job whose worker was killed.
+//! [`Frame::Eof`] its producers drop their senders, the poller drains
+//! and seals each window's remainder, flushes, and shuts the socket's
+//! write side down, and the peer sees a clean end-of-stream. A stream
+//! that ends *before* its EOF frame means the peer died — the poller
+//! reports a structured [`FaultKind::RankDeath`] fault naming that rank,
+//! which is what lets `supervise_job` retry a job whose worker was
+//! killed.
 
-use std::io::{BufReader, BufWriter, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, Sender};
+use crossbeam::channel::bounded;
 
 use dmpi_common::{Error, FaultCause, FaultKind, Result};
 
 use crate::comm::{Frame, DEFAULT_MAILBOX_CAPACITY};
-use crate::config::{JobConfig, DEFAULT_SEND_WINDOW};
+use crate::config::{JobConfig, WireCompression, DEFAULT_SEND_WINDOW, DEFAULT_WIRE_BATCH_BYTES};
 use crate::observe::LogHistogram;
 
-use super::wire;
-use super::{Backend, Endpoint, FrameReceiver, FrameSender, Transport};
+use super::evloop::{self, LoopCtl, PollerSetup, RecvCounters, Waker};
+use super::{wire, Backend, Endpoint, FrameReceiver, FrameSender, Transport};
 
 /// Tuning knobs for the TCP backend.
 #[derive(Clone, Debug)]
 pub struct TcpOptions {
     /// Frames queued behind one peer's socket before producers block.
     pub send_window: usize,
-    /// Capacity of the receive mailbox fed by the reader threads.
+    /// Capacity of the receive mailbox fed by the poller thread.
     pub mailbox_capacity: usize,
+    /// Coalescing watermark: raw batch bytes before a wire batch seals.
+    pub batch_bytes: usize,
+    /// Per-batch wire compression.
+    pub compression: WireCompression,
     /// How many times to dial a peer before giving up.
     pub connect_attempts: u32,
     /// Backoff before the second dial; doubles per attempt.
@@ -63,7 +64,7 @@ pub struct TcpOptions {
     pub accept_timeout: Duration,
     /// Seed for the deterministic backoff jitter.
     pub jitter_seed: u64,
-    /// When telemetry is on, each frame's encode+write latency lands
+    /// When telemetry is on, each batch write's syscall latency lands
     /// here (the
     /// [`HistKind::SendLatency`](crate::observe::HistKind) channel).
     pub send_hist: Option<Arc<LogHistogram>>,
@@ -74,6 +75,8 @@ impl Default for TcpOptions {
         TcpOptions {
             send_window: DEFAULT_SEND_WINDOW,
             mailbox_capacity: DEFAULT_MAILBOX_CAPACITY,
+            batch_bytes: DEFAULT_WIRE_BATCH_BYTES,
+            compression: WireCompression::None,
             connect_attempts: 20,
             connect_base_delay: Duration::from_millis(5),
             connect_max_delay: Duration::from_millis(500),
@@ -85,11 +88,14 @@ impl Default for TcpOptions {
 }
 
 impl TcpOptions {
-    /// Options derived from a job config (window and mailbox sizes).
+    /// Options derived from a job config (window, mailbox, coalescing,
+    /// and compression knobs).
     pub fn from_config(config: &JobConfig) -> Self {
         TcpOptions {
             send_window: config.send_window,
             mailbox_capacity: config.mailbox_capacity,
+            batch_bytes: config.wire_batch_bytes,
+            compression: config.wire_compression,
             ..TcpOptions::default()
         }
     }
@@ -97,20 +103,6 @@ impl TcpOptions {
 
 fn transport_fault(detail: String) -> Error {
     Error::fault(FaultCause::new(FaultKind::Transport, detail))
-}
-
-/// Stamps `rank` onto a fault cause that has no rank yet (wire decode
-/// errors are produced below the point where the peer is known).
-fn fault_with_rank(e: Error, rank: usize) -> Error {
-    match e {
-        Error::Fault(mut cause) => {
-            if cause.rank.is_none() {
-                cause.rank = Some(rank);
-            }
-            Error::Fault(cause)
-        }
-        other => other,
-    }
 }
 
 fn xorshift(state: &mut u64) -> u64 {
@@ -182,116 +174,14 @@ fn connect_with_retry(
     ))
 }
 
-/// Reader thread: decode frames from one peer's stream into the shared
-/// mailbox until clean end-of-stream, a fault, or receiver teardown.
-fn run_reader(
-    stream: TcpStream,
-    mailbox: Sender<Result<Frame>>,
-    wire_bytes: Arc<AtomicU64>,
-    handshake_timeout: Duration,
-) {
-    let _ = stream.set_read_timeout(Some(handshake_timeout));
-    let mut reader = BufReader::new(stream);
-    let peer = match wire::read_handshake(&mut reader) {
-        Ok(rank) => rank,
-        Err(e) => {
-            let _ = mailbox.send(Err(e));
-            return;
-        }
-    };
-    let _ = reader.get_ref().set_read_timeout(None);
-    let mut saw_eof = false;
-    // One scratch buffer for the connection's lifetime: payload reads
-    // reuse it instead of allocating a zeroed Vec per frame.
-    let mut scratch = Vec::new();
-    loop {
-        match wire::read_frame_pooled(&mut reader, &mut scratch) {
-            Ok(Some((frame, nbytes))) => {
-                wire_bytes.fetch_add(nbytes, Ordering::Relaxed);
-                if matches!(frame, Frame::Eof { .. }) {
-                    saw_eof = true;
-                }
-                if mailbox.send(Ok(frame)).is_err() {
-                    return; // receiver tore down first
-                }
-            }
-            Ok(None) => {
-                if !saw_eof {
-                    // The peer's stream closed at a frame boundary but it
-                    // never said EOF: the rank died mid-job.
-                    let _ = mailbox.send(Err(Error::fault(
-                        FaultCause::new(
-                            FaultKind::RankDeath,
-                            format!("peer rank {peer} closed its stream before its EOF frame"),
-                        )
-                        .rank(peer),
-                    )));
-                }
-                return;
-            }
-            Err(e) => {
-                let _ = mailbox.send(Err(fault_with_rank(e, peer)));
-                return;
-            }
-        }
-    }
-}
-
-/// Writer thread: drain one peer's send window onto the socket. Returns
-/// the encoded bytes written. On a broken socket it keeps draining (and
-/// discarding) so producers blocked on the window are released — the
-/// receiving side reports the failure from its end.
-fn run_writer(
-    stream: TcpStream,
-    window: crossbeam::channel::Receiver<Frame>,
-    send_hist: Option<Arc<LogHistogram>>,
-) -> u64 {
-    use crossbeam::channel::TryRecvError;
-    let mut writer = BufWriter::new(stream);
-    let mut bytes = 0u64;
-    let mut broken = false;
-    loop {
-        // Flush before blocking: frames must reach the peer whenever the
-        // window goes idle, or a receiver waiting on a buffered EOF would
-        // deadlock against the producer waiting to drop this sender.
-        let frame = match window.try_recv() {
-            Ok(frame) => frame,
-            Err(TryRecvError::Empty) => {
-                if !broken && writer.flush().is_err() {
-                    broken = true;
-                }
-                match window.recv() {
-                    Ok(frame) => frame,
-                    Err(_) => break,
-                }
-            }
-            Err(TryRecvError::Disconnected) => break,
-        };
-        if broken {
-            continue; // keep draining so producers never block forever
-        }
-        let start = send_hist.as_ref().map(|_| Instant::now());
-        match wire::write_frame(&mut writer, &frame) {
-            Ok(n) => {
-                bytes += n;
-                if let (Some(hist), Some(start)) = (&send_hist, start) {
-                    hist.record_elapsed_us(start);
-                }
-            }
-            Err(_) => broken = true,
-        }
-    }
-    let _ = writer.flush();
-    let _ = writer.get_ref().shutdown(Shutdown::Write);
-    bytes
-}
-
-/// Stands up one rank's endpoint of a TCP mesh: accepts `peers.len()`
-/// inbound connections on `listener` (one per peer, itself included)
-/// and dials every address in `peers` (indexed by rank). This is the
-/// entry point `dmpirun` workers use once the coordinator has
-/// distributed the rank table; [`TcpTransport::open`] calls it once per
-/// rank for single-process loopback meshes.
+/// Stands up one rank's endpoint of a TCP mesh: dials every address in
+/// `peers` (indexed by rank), then hands the listener, the connected
+/// streams, and their send windows to this rank's poller thread, which
+/// accepts the `peers.len()` inbound connections (one per peer, itself
+/// included) and runs all I/O from then on. This is the entry point
+/// `dmpirun` workers use once the coordinator has distributed the rank
+/// table; [`TcpTransport::open`] calls it once per rank for
+/// single-process loopback meshes.
 pub fn establish_endpoint(
     rank: usize,
     listener: TcpListener,
@@ -300,62 +190,23 @@ pub fn establish_endpoint(
 ) -> Result<Endpoint> {
     let ranks = peers.len();
     let (mailbox_tx, mailbox_rx) = bounded::<Result<Frame>>(opts.mailbox_capacity.max(1));
-    let wire_bytes = Arc::new(AtomicU64::new(0));
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| transport_fault(format!("rank {rank}: set_nonblocking failed: {e}")))?;
+    let (waker, wake_rx) = Waker::pair()
+        .map_err(|e| transport_fault(format!("rank {rank}: wake pipe failed: {e}")))?;
+    let ctl = LoopCtl::new(Arc::clone(&waker));
+    let lz4 = opts.compression == WireCompression::Lz4;
+    let features = wire::FEATURE_COALESCE | if lz4 { wire::FEATURE_LZ4 } else { 0 };
 
-    // Acceptor: collect inbound connections until every peer has dialed
-    // in or the deadline passes. Readers are detached; they park on
-    // socket reads and exit at end-of-stream or mailbox teardown.
-    {
-        let mailbox_tx = mailbox_tx.clone();
-        let wire_bytes = Arc::clone(&wire_bytes);
-        let accept_timeout = opts.accept_timeout;
-        listener
-            .set_nonblocking(true)
-            .map_err(|e| transport_fault(format!("rank {rank}: set_nonblocking failed: {e}")))?;
-        thread::spawn(move || {
-            let deadline = Instant::now() + accept_timeout;
-            let mut accepted = 0usize;
-            while accepted < ranks {
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        let _ = stream.set_nonblocking(false);
-                        let _ = stream.set_nodelay(true);
-                        let mailbox = mailbox_tx.clone();
-                        let counter = Arc::clone(&wire_bytes);
-                        thread::spawn(move || run_reader(stream, mailbox, counter, accept_timeout));
-                        accepted += 1;
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        if Instant::now() >= deadline {
-                            break;
-                        }
-                        thread::sleep(Duration::from_millis(1));
-                    }
-                    Err(e) => {
-                        let _ = mailbox_tx.send(Err(transport_fault(format!(
-                            "rank {rank}: accept failed: {e}"
-                        ))));
-                        return;
-                    }
-                }
-            }
-            if accepted < ranks {
-                let _ = mailbox_tx.send(Err(transport_fault(format!(
-                    "rank {rank}: accepted only {accepted} of {ranks} peer connections within \
-                     {accept_timeout:?}"
-                ))));
-            }
-        });
-    }
-    drop(mailbox_tx); // mailbox disconnects once acceptor + readers finish
-
-    // Dial every peer and park each stream behind a writer thread with a
-    // bounded send window in front of it.
+    // Dial every peer, advertise our wire features, and park each stream
+    // behind a bounded send window. The dials complete against the
+    // peers' listen backlogs, so no acceptor needs to run yet.
     let mut senders = Vec::with_capacity(ranks);
-    let mut writers = Vec::with_capacity(ranks);
+    let mut outbound = Vec::with_capacity(ranks);
     for (peer, &addr) in peers.iter().enumerate() {
         let mut stream = connect_with_retry(addr, rank, peer, opts)?;
-        wire::write_handshake(&mut stream, rank).map_err(|e| {
+        wire::write_handshake(&mut stream, rank, features).map_err(|e| {
             Error::fault(
                 FaultCause::new(
                     FaultKind::Transport,
@@ -364,20 +215,41 @@ pub fn establish_endpoint(
                 .rank(peer),
             )
         })?;
+        stream
+            .set_nonblocking(true)
+            .map_err(|e| transport_fault(format!("rank {rank}: set_nonblocking failed: {e}")))?;
         let (window_tx, window_rx) = bounded::<Frame>(opts.send_window.max(1));
-        senders.push(FrameSender::from_channel(window_tx));
-        let send_hist = opts.send_hist.clone();
-        writers.push(thread::spawn(move || {
-            run_writer(stream, window_rx, send_hist)
-        }));
+        senders.push(FrameSender::with_waker(window_tx, Arc::clone(&waker)));
+        outbound.push((stream, window_rx));
     }
 
-    Ok(Endpoint::new(
+    let recv = Arc::new(RecvCounters::default());
+    let setup = PollerSetup {
+        rank,
+        expected_peers: ranks,
+        listener,
+        outbound,
+        mailbox: mailbox_tx,
+        wake_rx,
+        ctl: Arc::clone(&ctl),
+        accept_deadline: Instant::now() + opts.accept_timeout,
+        batch_bytes: opts.batch_bytes,
+        lz4,
+        send_hist: opts.send_hist.clone(),
+        recv: Arc::clone(&recv),
+    };
+    let poller = thread::Builder::new()
+        .name(format!("dmpi-poll-{rank}"))
+        .spawn(move || evloop::run(setup))
+        .map_err(|e| transport_fault(format!("rank {rank}: poller spawn failed: {e}")))?;
+
+    Ok(Endpoint::with_poller(
         rank,
         senders,
         FrameReceiver::Checked(mailbox_rx),
-        writers,
-        wire_bytes,
+        poller,
+        ctl,
+        recv,
     ))
 }
 
@@ -424,8 +296,8 @@ impl Transport for TcpTransport {
         let opts = &self.opts;
         let addrs = &addrs;
         // Establish concurrently: each rank's dials need every other
-        // rank's acceptor, so sequential establishment would deadlock on
-        // anything but tiny accept backlogs.
+        // rank's listen backlog, and establishing in parallel keeps the
+        // whole mesh inside one accept deadline.
         thread::scope(|s| {
             let handles: Vec<_> = listeners
                 .into_iter()
@@ -454,9 +326,8 @@ mod tests {
         }
     }
 
-    #[test]
-    fn two_rank_mesh_round_trips_frames() {
-        let mut fabric = TcpTransport::loopback(2, tiny_opts());
+    fn mesh_round_trip(opts: TcpOptions) {
+        let mut fabric = TcpTransport::loopback(2, opts);
         assert_eq!(fabric.backend(), Backend::Tcp);
         let mut eps = fabric.open().unwrap();
         let mut ep1 = eps.pop().unwrap();
@@ -494,10 +365,40 @@ mod tests {
         drop(ep1_senders);
         let w0 = ep0.close();
         let w1 = ep1.close();
-        // ep0 encoded one data frame (21 + 8 bytes) and two EOFs.
-        assert_eq!(w0.bytes_sent, 29 + 10);
-        // ep1 decoded everything ep0 sent it plus its own loopback EOF.
-        assert_eq!(w1.bytes_received, 29 + 5 + 5);
+        // ep0 encoded one data frame (21 + 8 bytes) and two EOFs — the
+        // logical bytes are deterministic; the wire bytes depend on how
+        // the frames coalesced, which the batch counters pin down.
+        assert_eq!(w0.raw_bytes_sent, 29 + 5 + 5);
+        assert_eq!(w0.frames_sent, 3);
+        assert!(w0.batches_sent >= 1 && w0.batches_sent <= 3);
+        assert!(w0.send_syscalls >= w0.batches_sent.div_ceil(16));
+        if w0.bytes_sent == w0.raw_bytes_sent + wire::BATCH_HEADER_LEN as u64 * w0.batches_sent {
+            // Uncompressed batches: exact accounting holds.
+        } else {
+            // Compressed config: wire bytes can only shrink per batch.
+            assert!(
+                w0.bytes_sent
+                    <= w0.raw_bytes_sent + wire::BATCH_HEADER_LEN as u64 * w0.batches_sent
+            );
+        }
+        // ep1 decoded everything ep0 sent it (29 + 5 logical) plus its
+        // own loopback EOF (5 logical), each inside a batch envelope.
+        assert_eq!(w1.frames_received, 3);
+        assert!(w1.batches_received >= 2, "two senders, at least 2 batches");
+        assert!(w1.bytes_received > 0 && w1.recv_syscalls > 0);
+    }
+
+    #[test]
+    fn two_rank_mesh_round_trips_frames() {
+        mesh_round_trip(tiny_opts());
+    }
+
+    #[test]
+    fn two_rank_mesh_round_trips_compressed() {
+        mesh_round_trip(TcpOptions {
+            compression: WireCompression::Lz4,
+            ..tiny_opts()
+        });
     }
 
     #[test]
@@ -512,7 +413,7 @@ mod tests {
         let t = thread::spawn(move || {
             let (held, _) = peer_listener.accept().unwrap();
             let mut stream = TcpStream::connect(my_addr).unwrap();
-            wire::write_handshake(&mut stream, 1).unwrap();
+            wire::write_handshake(&mut stream, 1, 0).unwrap();
             held // keep rank 0's outbound stream open until the test ends
                  // (stream itself drops here: death without EOF)
         });
@@ -591,5 +492,69 @@ mod tests {
         assert_eq!(cause.kind, FaultKind::Transport);
         assert_eq!(cause.rank, Some(1));
         assert!(cause.detail.contains("2 attempts"), "{}", cause.detail);
+    }
+
+    #[test]
+    fn larger_mesh_with_compression_moves_bulk_data() {
+        // 3 ranks, bulk payloads with repetitive content: exercises the
+        // size-watermark seal path (not just idle flush) and compressed
+        // batch decode across several peers at once.
+        let opts = TcpOptions {
+            batch_bytes: 8 * 1024,
+            compression: WireCompression::Lz4,
+            ..tiny_opts()
+        };
+        let mut fabric = TcpTransport::loopback(3, opts);
+        let mut eps = fabric.open().unwrap();
+        let ep2 = eps.pop().unwrap();
+        let mut ep1 = eps.pop().unwrap();
+        let ep0 = eps.pop().unwrap();
+
+        let payload = Bytes::from(vec![0x42u8; 4096]);
+        let frames_per_sender = 32usize;
+        for ep in [&ep0, &ep1, &ep2] {
+            let senders = ep.senders();
+            let rank = ep.rank();
+            for _ in 0..frames_per_sender {
+                assert!(senders[1].send(Frame::data(rank, 1, payload.clone())));
+            }
+            for s in &senders {
+                assert!(s.send(Frame::Eof { from_rank: rank }));
+            }
+        }
+
+        let rx1 = ep1.take_receiver();
+        let mut eofs = 0;
+        let mut data = 0usize;
+        while eofs < 3 {
+            match rx1.recv().unwrap() {
+                Some(f @ Frame::Data { .. }) => {
+                    f.verify().unwrap();
+                    data += 1;
+                }
+                Some(Frame::Eof { .. }) => eofs += 1,
+                None => panic!("mailbox closed early"),
+            }
+        }
+        assert_eq!(data, 3 * frames_per_sender);
+        drop(rx1);
+        let w0 = ep0.close();
+        let w1 = ep1.close();
+        ep2.close();
+        // Highly repetitive payloads must compress on the wire.
+        assert!(
+            w0.bytes_sent < w0.raw_bytes_sent / 4,
+            "sent {} wire bytes for {} raw",
+            w0.bytes_sent,
+            w0.raw_bytes_sent
+        );
+        // Coalescing must beat one-write-per-frame by a wide margin.
+        assert!(
+            w0.send_syscalls < w0.frames_sent,
+            "{} syscalls for {} frames",
+            w0.send_syscalls,
+            w0.frames_sent
+        );
+        assert_eq!(w1.frames_received as usize, 3 * frames_per_sender + 3);
     }
 }

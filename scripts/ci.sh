@@ -26,6 +26,12 @@ echo "== dmpirun multi-process smoke ==" >&2
 cargo run -q --release --bin dmpirun -- \
     --ranks 4 --tasks 8 --verify-inproc wordcount
 
+echo "== dmpirun compressed-wire smoke ==" >&2
+# The same byte-identity gate with per-batch LZ4 wire compression on:
+# compression must change what crosses the sockets, never the output.
+cargo run -q --release --bin dmpirun -- \
+    --ranks 4 --tasks 8 --compress lz4 --verify-inproc wordcount
+
 echo "== dmpirun parallel-O smoke ==" >&2
 # Same gate with the intra-rank parallel O executor on: workers fan
 # each task out over 4 threads and must still match the *sequential*
@@ -52,11 +58,22 @@ echo "== dmpirun telemetry smoke ==" >&2
 # merged Chrome trace with all 4 rank processes on one offset-corrected
 # timeline and a job-report.json whose aggregate wire-byte totals equal
 # the per-rank sum (the coordinator enforces both before exiting 0).
+# Artifacts land under target/ci/, never in the repo root.
+mkdir -p target/ci
 cargo run -q --release --bin dmpirun -- \
     --backend tcp -n 4 --tasks 8 \
-    --trace-out trace.json --report-out job-report.json wordcount
-grep -q '"name":"rank 3"' trace.json
-grep -q '"schema": "dmpi-job-report/v1"' job-report.json
+    --trace-out target/ci/trace.json --report-out target/ci/job-report.json wordcount
+grep -q '"name":"rank 3"' target/ci/trace.json
+grep -q '"schema": "dmpi-job-report/v1"' target/ci/job-report.json
+
+echo "== transport bench smoke ==" >&2
+# {inproc, tcp, tcp+lz4} workload grid plus the raw 2-rank stream; the
+# stream's uncompressed throughput is gated against the committed floor
+# (STREAM_GATE_MB_S) so transport regressions fail the build. The smoke
+# artifact lands under target/ci/; the committed BENCH_transport.json
+# baseline is regenerated only by a full (non-smoke) run.
+cargo run -q --release -p dmpi-bench --bin figures -- \
+    transport-bench --smoke --write target/ci/BENCH_transport_smoke.json
 
 echo "== straggler bench smoke ==" >&2
 # {slow-rank, rank-leave} x {defense off, on} grid: asserts per-cell
@@ -81,29 +98,30 @@ echo "== resident service smoke ==" >&2
 # A 2-rank resident mesh (dmpid coordinator + self-hosted workers) must
 # accept two tenants' jobs concurrently, write one dmpi-job-report/v1
 # document per job, and drain gracefully.
-rm -rf service-smoke && mkdir -p service-smoke/reports
+SMOKE=target/ci/service-smoke
+rm -rf "$SMOKE" && mkdir -p "$SMOKE/reports"
 cargo build -q --release --bin dmpid --bin dmpi
 target/release/dmpid --coordinator --ranks 2 --spawn-workers \
-    --port-file service-smoke/addr --report-dir service-smoke/reports &
+    --port-file "$SMOKE/addr" --report-dir "$SMOKE/reports" &
 DMPID_PID=$!
 trap 'kill "$DMPID_PID" 2>/dev/null || true' EXIT
-for _ in $(seq 100); do [ -s service-smoke/addr ] && break; sleep 0.1; done
-ADDR=$(cat service-smoke/addr)
+for _ in $(seq 100); do [ -s "$SMOKE/addr" ] && break; sleep 0.1; done
+ADDR=$(cat "$SMOKE/addr")
 target/release/dmpi submit --coord "$ADDR" --tenant alice --tasks 4 \
-    --bytes-per-task 2000 --seed 71 --out service-smoke/alice wordcount &
+    --bytes-per-task 2000 --seed 71 --out "$SMOKE/alice" wordcount &
 SUBMIT_A=$!
 target/release/dmpi submit --coord "$ADDR" --tenant bob --tasks 4 \
-    --bytes-per-task 2000 --seed 72 --out service-smoke/bob sort &
+    --bytes-per-task 2000 --seed 72 --out "$SMOKE/bob" sort &
 SUBMIT_B=$!
 wait "$SUBMIT_A"
 wait "$SUBMIT_B"
 target/release/dmpi drain --coord "$ADDR" | grep -q drained
 wait "$DMPID_PID"
-grep -q '"schema": "dmpi-job-report/v1"' service-smoke/reports/job-0.json
-grep -q '"schema": "dmpi-job-report/v1"' service-smoke/reports/job-1.json
-grep -q '"tenant": "alice"' service-smoke/reports/*.json
-grep -q '"tenant": "bob"' service-smoke/reports/*.json
-rm -rf service-smoke
+grep -q '"schema": "dmpi-job-report/v1"' "$SMOKE/reports/job-0.json"
+grep -q '"schema": "dmpi-job-report/v1"' "$SMOKE/reports/job-1.json"
+grep -q '"tenant": "alice"' "$SMOKE"/reports/*.json
+grep -q '"tenant": "bob"' "$SMOKE"/reports/*.json
+rm -rf "$SMOKE"
 
 echo "== service bench smoke ==" >&2
 # Resident mesh vs one-shot launch over a seeded two-tenant open-loop

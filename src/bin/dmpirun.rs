@@ -46,7 +46,7 @@ use datampi::observe::{
     JOB_LANE,
 };
 use datampi::transport::Backend;
-use datampi::{FaultPlan, JobConfig};
+use datampi::{FaultPlan, JobConfig, WireCompression};
 use dmpi_common::crc::crc32;
 use dmpi_common::ser::RecordWriter;
 use dmpi_workloads::ExecWorkload;
@@ -67,6 +67,11 @@ options:
   --backend B         tcp (default: real worker processes) or inproc
                       (threaded runtime in this process — same job,
                       same telemetry artifacts)
+  --batch-bytes B     wire coalescing watermark in bytes (default 256
+                      KiB): raw frame bytes packed into one wire batch
+                      before it seals (tcp backend only)
+  --compress ALGO     per-batch wire compression: none (default) or
+                      lz4; output bytes are identical either way
   --out DIR           write each rank's partition to DIR/part-NNNNN
   --trace-out FILE    write a merged Chrome trace of all ranks (one
                       process row per rank, clock-offset corrected);
@@ -100,6 +105,8 @@ struct Options {
     o_parallelism: usize,
     seed: u64,
     backend: Backend,
+    batch_bytes: Option<usize>,
+    compression: WireCompression,
     out: Option<PathBuf>,
     trace_out: Option<PathBuf>,
     report_out: Option<PathBuf>,
@@ -131,6 +138,8 @@ fn parse_args() -> Result<Options, String> {
         o_parallelism: 1,
         seed: 42,
         backend: Backend::Tcp,
+        batch_bytes: None,
+        compression: WireCompression::None,
         out: None,
         trace_out: None,
         report_out: None,
@@ -170,6 +179,18 @@ fn parse_args() -> Result<Options, String> {
                 let name = value("--backend")?;
                 opts.backend = Backend::parse(&name)
                     .ok_or_else(|| format!("unknown backend {name:?} (try tcp|inproc)"))?;
+            }
+            "--batch-bytes" => {
+                opts.batch_bytes = Some(
+                    value("--batch-bytes")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                )
+            }
+            "--compress" => {
+                let name = value("--compress")?;
+                opts.compression = WireCompression::parse(&name)
+                    .ok_or_else(|| format!("unknown compression {name:?} (try none|lz4)"))?;
             }
             "--out" => opts.out = Some(PathBuf::from(value("--out")?)),
             "--trace-out" => opts.trace_out = Some(PathBuf::from(value("--trace-out")?)),
@@ -317,7 +338,12 @@ fn run_worker_process(opts: &Options) -> Result<(), String> {
         std::process::exit(3);
     }
 
-    let mut config = JobConfig::new(ranks).with_o_parallelism(opts.o_parallelism);
+    let mut config = JobConfig::new(ranks)
+        .with_o_parallelism(opts.o_parallelism)
+        .with_wire_compression(opts.compression);
+    if let Some(b) = opts.batch_bytes {
+        config = config.with_wire_batch_bytes(b);
+    }
     if let Some(obs) = &observer {
         config = config.with_observer(obs.clone());
     }
@@ -518,6 +544,12 @@ fn launch_attempt(
             .arg(opts.seed.to_string());
         if opts.wants_telemetry() {
             cmd.arg("--telemetry");
+        }
+        if let Some(b) = opts.batch_bytes {
+            cmd.arg("--batch-bytes").arg(b.to_string());
+        }
+        if opts.compression != WireCompression::None {
+            cmd.arg("--compress").arg(opts.compression.name());
         }
         if let Some(dir) = &opts.out {
             cmd.arg("--out").arg(dir);

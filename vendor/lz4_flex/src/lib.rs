@@ -1,0 +1,395 @@
+//! Offline vendored subset of the `lz4_flex` crate: the LZ4 **block
+//! format** (compression and safe decompression), nothing else.
+//!
+//! The implementation is a compact greedy LZ4 encoder (hash-table match
+//! finder, 64 KiB offset window) and a fully bounds-checked decoder. It
+//! interoperates with any spec-conforming LZ4 block codec:
+//!
+//! * the last sequence is literal-only and carries at least the final
+//!   five bytes as literals;
+//! * no match starts within the final twelve bytes of the block;
+//! * offsets are 1..=65535 and may overlap the output (RLE-style).
+//!
+//! Decompression never panics on malformed input: every read is bounds
+//! checked and errors surface as [`DecompressError`] so a corrupted wire
+//! batch becomes a structured transport fault upstream, not wrong bytes.
+
+/// Minimum match length the format can encode.
+const MIN_MATCH: usize = 4;
+/// A match may not begin within this many bytes of the end of the block.
+const MF_LIMIT: usize = 12;
+/// The final sequence must carry at least this many literals.
+const LAST_LITERALS: usize = 5;
+/// log2 of the match-finder hash table size.
+const HASH_BITS: u32 = 14;
+
+/// Why a block failed to decompress.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecompressError {
+    /// The input ended inside a token, length, offset, or literal run.
+    Truncated,
+    /// A match offset of zero or beyond the start of the output.
+    InvalidOffset,
+    /// The block decoded to a different size than the caller expected.
+    WrongLength {
+        /// Bytes the block actually decoded to.
+        got: usize,
+        /// Bytes the caller said the block encodes.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for DecompressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecompressError::Truncated => write!(f, "lz4 block truncated"),
+            DecompressError::InvalidOffset => write!(f, "lz4 match offset out of range"),
+            DecompressError::WrongLength { got, expected } => {
+                write!(f, "lz4 block decoded to {got} bytes, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecompressError {}
+
+/// A reusable block compressor: holds the match-finder hash table so
+/// per-block compression does not reallocate. One instance per stream.
+pub struct Compressor {
+    /// Hash table of candidate positions, stored as `pos + 1` (0 = empty).
+    table: Vec<u32>,
+}
+
+impl Default for Compressor {
+    fn default() -> Self {
+        Compressor::new()
+    }
+}
+
+#[inline]
+fn hash(v: u32) -> usize {
+    (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
+}
+
+#[inline]
+fn read_u32(src: &[u8], i: usize) -> u32 {
+    u32::from_le_bytes(src[i..i + 4].try_into().unwrap())
+}
+
+fn push_len(mut rem: usize, out: &mut Vec<u8>) {
+    while rem >= 255 {
+        out.push(255);
+        rem -= 255;
+    }
+    out.push(rem as u8);
+}
+
+impl Compressor {
+    /// A compressor with an empty hash table.
+    pub fn new() -> Self {
+        Compressor {
+            table: vec![0u32; 1 << HASH_BITS],
+        }
+    }
+
+    /// Compresses `input` as one LZ4 block, appending to `out`. Returns
+    /// the number of compressed bytes appended. Incompressible input
+    /// grows by at most `input.len()/255 + 16` bytes of token overhead.
+    pub fn compress_into(&mut self, input: &[u8], out: &mut Vec<u8>) -> usize {
+        let start = out.len();
+        let len = input.len();
+        if len == 0 {
+            return 0;
+        }
+        self.table.fill(0);
+        // Matches may not begin at or after `mf_limit`, and may not
+        // extend past `match_cap` (the mandatory literal tail).
+        let mf_limit = len.saturating_sub(MF_LIMIT);
+        let match_cap = len.saturating_sub(LAST_LITERALS);
+        let mut i = 0usize;
+        let mut anchor = 0usize;
+        while i + MIN_MATCH <= mf_limit {
+            let seq = read_u32(input, i);
+            let slot = hash(seq);
+            let cand = self.table[slot] as usize;
+            self.table[slot] = (i + 1) as u32;
+            let found = cand != 0 && {
+                let m = cand - 1;
+                i - m <= u16::MAX as usize && read_u32(input, m) == seq
+            };
+            if !found {
+                i += 1;
+                continue;
+            }
+            let m = cand - 1;
+            let mut end = i + MIN_MATCH;
+            while end < match_cap && input[end] == input[m + (end - i)] {
+                end += 1;
+            }
+            let lit = &input[anchor..i];
+            let mlen = end - i;
+            let token = ((lit.len().min(15) as u8) << 4) | ((mlen - MIN_MATCH).min(15) as u8);
+            out.push(token);
+            if lit.len() >= 15 {
+                push_len(lit.len() - 15, out);
+            }
+            out.extend_from_slice(lit);
+            out.extend_from_slice(&((i - m) as u16).to_le_bytes());
+            if mlen - MIN_MATCH >= 15 {
+                push_len(mlen - MIN_MATCH - 15, out);
+            }
+            i = end;
+            anchor = end;
+        }
+        // Final literal-only sequence (always present, carries the tail).
+        let lit = &input[anchor..];
+        let token = (lit.len().min(15) as u8) << 4;
+        out.push(token);
+        if lit.len() >= 15 {
+            push_len(lit.len() - 15, out);
+        }
+        out.extend_from_slice(lit);
+        out.len() - start
+    }
+}
+
+/// One-shot block compression (allocates a fresh hash table; hot paths
+/// should hold a [`Compressor`]).
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    Compressor::new().compress_into(input, &mut out);
+    out
+}
+
+/// Decompresses one LZ4 block into `out` (appending), checking that it
+/// decodes to exactly `expected_len` bytes.
+pub fn decompress_into(
+    input: &[u8],
+    expected_len: usize,
+    out: &mut Vec<u8>,
+) -> Result<(), DecompressError> {
+    let base = out.len();
+    out.reserve(expected_len);
+    let mut i = 0usize;
+    if input.is_empty() {
+        return if expected_len == 0 {
+            Ok(())
+        } else {
+            Err(DecompressError::WrongLength {
+                got: 0,
+                expected: expected_len,
+            })
+        };
+    }
+    loop {
+        let token = *input.get(i).ok_or(DecompressError::Truncated)?;
+        i += 1;
+        // Literal run.
+        let mut lit_len = (token >> 4) as usize;
+        if lit_len == 15 {
+            loop {
+                let b = *input.get(i).ok_or(DecompressError::Truncated)?;
+                i += 1;
+                lit_len += b as usize;
+                if b != 255 {
+                    break;
+                }
+            }
+        }
+        let lit_end = i.checked_add(lit_len).ok_or(DecompressError::Truncated)?;
+        if lit_end > input.len() {
+            return Err(DecompressError::Truncated);
+        }
+        out.extend_from_slice(&input[i..lit_end]);
+        i = lit_end;
+        if i == input.len() {
+            break; // the final, match-less sequence
+        }
+        // Match copy.
+        if i + 2 > input.len() {
+            return Err(DecompressError::Truncated);
+        }
+        let offset = u16::from_le_bytes(input[i..i + 2].try_into().unwrap()) as usize;
+        i += 2;
+        if offset == 0 || offset > out.len() - base {
+            return Err(DecompressError::InvalidOffset);
+        }
+        let mut match_len = (token & 0x0F) as usize + MIN_MATCH;
+        if token & 0x0F == 15 {
+            loop {
+                let b = *input.get(i).ok_or(DecompressError::Truncated)?;
+                i += 1;
+                match_len += b as usize;
+                if b != 255 {
+                    break;
+                }
+            }
+        }
+        // Overlapping copies are legal (offset < match_len is the LZ4
+        // idiom for RLE), so copy byte-by-byte from the output itself.
+        let mut from = out.len() - offset;
+        for _ in 0..match_len {
+            let b = out[from];
+            out.push(b);
+            from += 1;
+        }
+        if out.len() - base > expected_len {
+            return Err(DecompressError::WrongLength {
+                got: out.len() - base,
+                expected: expected_len,
+            });
+        }
+    }
+    if out.len() - base != expected_len {
+        return Err(DecompressError::WrongLength {
+            got: out.len() - base,
+            expected: expected_len,
+        });
+    }
+    Ok(())
+}
+
+/// One-shot block decompression to a fresh buffer.
+pub fn decompress(input: &[u8], expected_len: usize) -> Result<Vec<u8>, DecompressError> {
+    let mut out = Vec::with_capacity(expected_len);
+    decompress_into(input, expected_len, &mut out)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) -> Vec<u8> {
+        let packed = compress(data);
+        decompress(&packed, data.len()).expect("decompress")
+    }
+
+    #[test]
+    fn empty_and_tiny_blocks() {
+        assert_eq!(round_trip(b""), b"");
+        assert_eq!(round_trip(b"a"), b"a");
+        assert_eq!(round_trip(b"hello world"), b"hello world");
+    }
+
+    #[test]
+    fn repetitive_data_compresses() {
+        let data: Vec<u8> = std::iter::repeat_with(|| b"the quick brown fox ".to_owned())
+            .take(512)
+            .flatten()
+            .collect();
+        let packed = compress(&data);
+        assert!(
+            packed.len() < data.len() / 4,
+            "{} bytes packed from {}",
+            packed.len(),
+            data.len()
+        );
+        assert_eq!(decompress(&packed, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn rle_overlapping_matches_round_trip() {
+        let data = vec![7u8; 100_000];
+        let packed = compress(&data);
+        assert!(packed.len() < 512, "{} bytes", packed.len());
+        assert_eq!(decompress(&packed, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn incompressible_data_round_trips_with_bounded_expansion() {
+        // A deterministic xorshift byte stream has no 4-byte repeats to
+        // speak of; the block must still round-trip and stay near 1x.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let data: Vec<u8> = (0..65_536)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state as u8
+            })
+            .collect();
+        let packed = compress(&data);
+        assert!(packed.len() <= data.len() + data.len() / 255 + 16);
+        assert_eq!(decompress(&packed, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn mixed_structured_payloads_round_trip() {
+        let mut data = Vec::new();
+        for i in 0..3000u64 {
+            data.extend_from_slice(format!("key-{:06}\tvalue {}\n", i % 97, i).as_bytes());
+        }
+        assert_eq!(round_trip(&data), data);
+    }
+
+    #[test]
+    fn compressor_is_reusable_across_blocks() {
+        let mut c = Compressor::new();
+        let mut out = Vec::new();
+        for block in [&b"aaaaaaaaaaaaaaaaaaaaaaaaaaaa"[..], &b"zzzzyyyyxxxx"[..]] {
+            out.clear();
+            let n = c.compress_into(block, &mut out);
+            assert_eq!(n, out.len());
+            assert_eq!(decompress(&out, block.len()).unwrap(), block);
+        }
+    }
+
+    #[test]
+    fn truncated_input_errors_instead_of_panicking() {
+        let data: Vec<u8> = std::iter::repeat_with(|| b"abcdabcdabcd".to_owned())
+            .take(64)
+            .flatten()
+            .collect();
+        let packed = compress(&data);
+        for cut in 0..packed.len() {
+            let err = decompress(&packed[..cut], data.len()).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    DecompressError::Truncated
+                        | DecompressError::InvalidOffset
+                        | DecompressError::WrongLength { .. }
+                ),
+                "cut {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_offsets_are_rejected() {
+        // token: 1 literal + match, then a zero offset.
+        let bad = [0x10u8, b'x', 0, 0, 0x00];
+        assert_eq!(
+            decompress(&bad, 10).unwrap_err(),
+            DecompressError::InvalidOffset
+        );
+        // offset pointing before the start of the output.
+        let bad = [0x10u8, b'x', 9, 0, 0x00];
+        assert_eq!(
+            decompress(&bad, 10).unwrap_err(),
+            DecompressError::InvalidOffset
+        );
+    }
+
+    #[test]
+    fn wrong_expected_length_is_reported() {
+        let packed = compress(b"some bytes here");
+        let err = decompress(&packed, 4).unwrap_err();
+        assert!(matches!(err, DecompressError::WrongLength { .. }));
+    }
+
+    #[test]
+    fn long_literal_and_match_length_extensions() {
+        // > 15 literals followed by a long run: exercises both length
+        // extension paths (255-byte continuation bytes).
+        let mut data = Vec::new();
+        let mut state = 1u64;
+        for _ in 0..600 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            data.push((state >> 33) as u8);
+        }
+        data.extend(std::iter::repeat_n(b'R', 5000));
+        assert_eq!(round_trip(&data), data);
+    }
+}
