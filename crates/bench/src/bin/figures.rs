@@ -17,6 +17,9 @@
 //! figures transport-bench --write PATH # also write BENCH_transport.json
 //! figures pipeline-bench            # extension: combiner grid + spill probe
 //! figures pipeline-bench --write PATH # also write BENCH_pipeline.json
+//! figures spillfmt-bench            # extension: indexed spill-run format grid
+//! figures spillfmt-bench --smoke    # CI variant: smaller grid, same <50% gate
+//! figures spillfmt-bench --write PATH # also write BENCH_spillfmt.json
 //! figures hotpath-bench             # extension: parallel-O/kernel grid
 //! figures hotpath-bench --smoke     # CI variant: small grid + speedup gate
 //! figures hotpath-bench --write PATH # also write BENCH_hotpath.json
@@ -38,8 +41,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: figures <all|table1|table2|fig2a|fig2b|fig3a|fig3b|fig3c|fig3d|\
          fig4sort|fig4wordcount|fig5|fig6a|fig6b|fig7|ext-iter|ext-recovery|profile-real|\
-         transport-bench|pipeline-bench|hotpath-bench|straggler-bench|observe-bench|\
-         service-bench|summary> \
+         transport-bench|pipeline-bench|spillfmt-bench|hotpath-bench|straggler-bench|\
+         observe-bench|service-bench|summary> \
          [--markdown] \
          [--write PATH] [--csv] [--smoke] \
          [--series cpu|waitio|disk_read|disk_write|net|mem]"
@@ -284,6 +287,30 @@ fn main() {
                 })?;
                 println!("wrote {artifact}");
                 println!("{}", dmpi_bench::service_bench::submission_gate(&data)?);
+            }
+            "spillfmt-bench" => {
+                let smoke = args.iter().any(|a| a == "--smoke");
+                let (ranks, tasks, bytes) = if smoke {
+                    (2, 4, 16 * 1024)
+                } else {
+                    (4, 8, 64 * 1024)
+                };
+                let data = dmpi_bench::spillfmt_bench::spillfmt_bench_data(ranks, tasks, bytes)?;
+                println!(
+                    "{}",
+                    render(dmpi_bench::spillfmt_bench::render_table(&data), csv)
+                );
+                let artifact = write_path
+                    .clone()
+                    .unwrap_or_else(|| "BENCH_spillfmt.json".to_string());
+                let json = dmpi_bench::spillfmt_bench::render_artifact_json(&data);
+                std::fs::write(&artifact, json).map_err(|e| {
+                    dmpi_common::Error::InvalidState(format!("cannot write {artifact}: {e}"))
+                })?;
+                println!("wrote {artifact}");
+                // The regression gate runs in both modes: a
+                // range-restricted merge must read < 50% of run bytes.
+                println!("{}", dmpi_bench::spillfmt_bench::skip_gate(&data)?);
             }
             "pipeline-bench" => {
                 let data = dmpi_bench::pipeline_bench::pipeline_bench_data(4, 8, 64 * 1024)?;

@@ -27,6 +27,7 @@ pub mod pipeline_bench;
 pub mod profile_real;
 pub mod recovery;
 pub mod service_bench;
+pub mod spillfmt_bench;
 pub mod straggler_bench;
 pub mod table;
 pub mod transport_bench;

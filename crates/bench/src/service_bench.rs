@@ -107,6 +107,8 @@ fn spec_for(job: usize, tasks: usize, bytes_per_task: usize, seed: u64) -> JobSp
         seed: seed + job as u64,
         o_parallelism: 1,
         out: None,
+        spill_dir: None,
+        spill_compress: false,
     }
 }
 

@@ -25,6 +25,8 @@ use dmpi_common::partition::{HashPartitioner, Partitioner};
 use dmpi_common::ser::read_framed_kv;
 use parking_lot::Mutex;
 
+use crate::spillfmt::SealedRun;
+
 /// Width recorded for tasks completed through the legacy
 /// [`CheckpointStore::mark_complete`]: matches any recovery width
 /// without re-bucketing.
@@ -45,6 +47,43 @@ struct Inner {
     /// for ([`WIDTH_ANY`] when unrecorded). Lookup must stay O(1):
     /// `is_complete` runs once per task on every restart.
     completed: HashMap<usize, usize>,
+    /// In-progress A-side merge state per rank: sealed-run handles plus
+    /// the last recorded group-boundary frontier.
+    merges: HashMap<usize, MergeState>,
+}
+
+struct MergeState {
+    width: usize,
+    runs: Vec<SealedRun>,
+    progress: Option<MergeProgress>,
+}
+
+#[derive(Clone)]
+struct MergeProgress {
+    frontier: Vec<usize>,
+    last_key: Option<Bytes>,
+    groups_emitted: u64,
+    partial_output: Bytes,
+}
+
+/// A restartable snapshot of a rank's A-side merge, taken at a group
+/// boundary. Holds handles to the sealed runs (keeping disk-backed run
+/// files alive across attempts), the block frontier each run's cursor
+/// had reached, and the framed output emitted so far.
+#[derive(Clone)]
+pub struct MergeCheckpoint {
+    /// Rank width the merge ran at; resume requires the same width.
+    pub width: usize,
+    /// The sealed spill runs the merge was reading.
+    pub runs: Vec<SealedRun>,
+    /// Per-run block index to resume reading from (parallel to `runs`).
+    pub frontier: Vec<usize>,
+    /// Last group key fully emitted; resume skips records `<=` this key.
+    pub last_key: Option<Bytes>,
+    /// Groups emitted before the boundary.
+    pub groups_emitted: u64,
+    /// Framed records emitted up to the boundary, replayable as output.
+    pub partial_output: Bytes,
 }
 
 impl CheckpointStore {
@@ -149,6 +188,76 @@ impl CheckpointStore {
             .collect()
     }
 
+    /// Registers the sealed runs rank `rank`'s merge is about to read,
+    /// partitioned for a mesh of `width` ranks. Replaces any previous
+    /// merge state for the rank (a fresh attempt starts a fresh merge).
+    /// Cloning the run handles here keeps disk-backed run files alive
+    /// even if the attempt dies and drops its `PartitionStore`.
+    pub fn register_merge_runs(&self, rank: usize, width: usize, runs: Vec<SealedRun>) {
+        self.inner.lock().merges.insert(
+            rank,
+            MergeState {
+                width,
+                runs,
+                progress: None,
+            },
+        );
+    }
+
+    /// Records a group-boundary frontier for rank `rank`'s merge:
+    /// `frontier[i]` is the block index run `i`'s cursor sits at,
+    /// `last_key` the last fully-emitted group key, and `partial_output`
+    /// the framed records emitted so far. No-op unless
+    /// [`register_merge_runs`](Self::register_merge_runs) ran first and
+    /// the frontier width matches the registered run count.
+    pub fn record_merge_frontier(
+        &self,
+        rank: usize,
+        frontier: Vec<usize>,
+        last_key: Option<Bytes>,
+        groups_emitted: u64,
+        partial_output: Bytes,
+    ) {
+        let mut inner = self.inner.lock();
+        if let Some(state) = inner.merges.get_mut(&rank) {
+            if frontier.len() == state.runs.len() {
+                state.progress = Some(MergeProgress {
+                    frontier,
+                    last_key,
+                    groups_emitted,
+                    partial_output,
+                });
+            }
+        }
+    }
+
+    /// The latest merge checkpoint for rank `rank`, if one was recorded
+    /// at matching `width`. A width mismatch (elastic shrink between
+    /// attempts) invalidates the checkpoint: the rank's key space
+    /// changed, so the merge must restart from re-bucketed frames.
+    pub fn merge_checkpoint(&self, rank: usize, width: usize) -> Option<MergeCheckpoint> {
+        let inner = self.inner.lock();
+        let state = inner.merges.get(&rank)?;
+        if state.width != width {
+            return None;
+        }
+        let progress = state.progress.clone()?;
+        Some(MergeCheckpoint {
+            width: state.width,
+            runs: state.runs.clone(),
+            frontier: progress.frontier,
+            last_key: progress.last_key,
+            groups_emitted: progress.groups_emitted,
+            partial_output: progress.partial_output,
+        })
+    }
+
+    /// Drops rank `rank`'s merge state (merge finished; run files may be
+    /// reclaimed once the owning store drops its handles too).
+    pub fn clear_merge(&self, rank: usize) {
+        self.inner.lock().merges.remove(&rank);
+    }
+
     /// Total checkpointed bytes (the paper-relevant cost of the mechanism).
     pub fn total_bytes(&self) -> u64 {
         self.inner
@@ -242,6 +351,57 @@ mod tests {
             }
         }
         cp.mark_complete_at(0, width);
+    }
+
+    fn sealed_run(n: usize) -> SealedRun {
+        let mut w = crate::spillfmt::RunWriter::new(64, false, true);
+        for i in 0..n {
+            w.push(&Record::from_strs(&format!("k{i:04}"), "v"));
+        }
+        let (image, index) = w.finish();
+        SealedRun::mem(image, index)
+    }
+
+    #[test]
+    fn merge_checkpoint_round_trips_at_matching_width() {
+        let cp = CheckpointStore::new();
+        cp.register_merge_runs(1, 4, vec![sealed_run(10), sealed_run(10)]);
+        assert!(
+            cp.merge_checkpoint(1, 4).is_none(),
+            "no frontier recorded yet"
+        );
+        cp.record_merge_frontier(
+            1,
+            vec![2, 0],
+            Some(Bytes::from_static(b"k0005")),
+            6,
+            Bytes::from_static(b"framed"),
+        );
+        let m = cp.merge_checkpoint(1, 4).expect("checkpoint recorded");
+        assert_eq!(m.width, 4);
+        assert_eq!(m.runs.len(), 2);
+        assert_eq!(m.frontier, vec![2, 0]);
+        assert_eq!(m.last_key.as_deref(), Some(b"k0005".as_slice()));
+        assert_eq!(m.groups_emitted, 6);
+        assert_eq!(&m.partial_output[..], b"framed");
+        cp.clear_merge(1);
+        assert!(cp.merge_checkpoint(1, 4).is_none(), "cleared");
+    }
+
+    #[test]
+    fn merge_checkpoint_invalidated_by_width_change_and_bad_frontier() {
+        let cp = CheckpointStore::new();
+        cp.register_merge_runs(0, 4, vec![sealed_run(4)]);
+        // A frontier whose width disagrees with the run count is dropped.
+        cp.record_merge_frontier(0, vec![1, 1], None, 0, Bytes::new());
+        assert!(cp.merge_checkpoint(0, 4).is_none());
+        cp.record_merge_frontier(0, vec![1], None, 2, Bytes::new());
+        assert!(cp.merge_checkpoint(0, 4).is_some());
+        // An elastic shrink between attempts invalidates the checkpoint.
+        assert!(cp.merge_checkpoint(0, 3).is_none());
+        // Re-registering (fresh attempt) wipes stale progress.
+        cp.register_merge_runs(0, 4, vec![sealed_run(4)]);
+        assert!(cp.merge_checkpoint(0, 4).is_none());
     }
 
     #[test]

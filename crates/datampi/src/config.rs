@@ -149,6 +149,20 @@ pub struct JobConfig {
     /// (default) or a static `task % ranks` pinning with optional work
     /// stealing. Output bytes are identical in every mode.
     pub scheduling: Scheduling,
+    /// Spill directory for the A-side store: when set, sealed runs are
+    /// written as indexed, block-formatted files under it (the
+    /// external-memory path for data ≫ RAM); `None` (the default) keeps
+    /// runs as in-memory images in the same format. Grouped output is
+    /// byte-identical either way — see DESIGN.md §16.
+    pub spill_dir: Option<std::path::PathBuf>,
+    /// LZ4 block compression for sealed spill runs (reuses the wire
+    /// codec; each block's CRC covers the uncompressed bytes, and the
+    /// compressed form is kept only when smaller).
+    pub spill_compression: WireCompression,
+    /// Raw-byte budget of one spill-run block — the unit of read, CRC
+    /// check, decompression, index skip and checkpoint resume. Default
+    /// [`crate::spillfmt::DEFAULT_SPILL_BLOCK_BYTES`].
+    pub spill_block_bytes: usize,
 }
 
 impl JobConfig {
@@ -174,6 +188,9 @@ impl JobConfig {
             sort_kernel: SortKernel::default(),
             speculation: SpeculationConfig::default(),
             scheduling: Scheduling::default(),
+            spill_dir: None,
+            spill_compression: WireCompression::default(),
+            spill_block_bytes: crate::spillfmt::DEFAULT_SPILL_BLOCK_BYTES,
         }
     }
 
@@ -204,6 +221,9 @@ impl JobConfig {
         }
         if self.o_chunk_bytes == 0 {
             return Err(Error::Config("O chunk size must be positive".into()));
+        }
+        if self.spill_block_bytes == 0 {
+            return Err(Error::Config("spill block size must be positive".into()));
         }
         self.speculation.validate()?;
         if let Some(plan) = &self.faults {
@@ -334,6 +354,37 @@ impl JobConfig {
         self
     }
 
+    /// Builder: spill sealed runs to files under `dir` (the
+    /// external-memory path; runs are cleaned up when their last handle
+    /// drops, covering failed and elastic attempts).
+    pub fn with_spill_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.spill_dir = Some(dir.into());
+        self
+    }
+
+    /// Builder: LZ4-compress spill-run blocks.
+    pub fn with_spill_compression(mut self, compression: WireCompression) -> Self {
+        self.spill_compression = compression;
+        self
+    }
+
+    /// Builder: set the spill-run block budget (raw bytes per block).
+    pub fn with_spill_block_bytes(mut self, bytes: usize) -> Self {
+        self.spill_block_bytes = bytes;
+        self
+    }
+
+    /// The spill-run sealing parameters this config implies (untagged —
+    /// the runtime tags runs per rank and attempt).
+    pub fn spill_config(&self) -> crate::spillfmt::SpillConfig {
+        crate::spillfmt::SpillConfig {
+            dir: self.spill_dir.clone(),
+            compress: self.spill_compression == WireCompression::Lz4,
+            block_bytes: self.spill_block_bytes,
+            ..crate::spillfmt::SpillConfig::default()
+        }
+    }
+
     /// Builder: inject a single O-task error (shorthand for the most
     /// common single-fault plan).
     pub fn with_o_task_fault(self, task: usize, on_attempt: u32) -> Self {
@@ -440,6 +491,34 @@ mod tests {
         assert_eq!(WireCompression::parse("zstd"), None);
         assert_eq!(WireCompression::Lz4.name(), "lz4");
         assert_eq!(WireCompression::None.name(), "none");
+    }
+
+    #[test]
+    fn spill_knobs_build_and_validate() {
+        let c = JobConfig::new(2)
+            .with_spill_dir("/tmp/dmpi-spill")
+            .with_spill_compression(WireCompression::Lz4)
+            .with_spill_block_bytes(4096);
+        c.validate().unwrap();
+        let spill = c.spill_config();
+        assert_eq!(
+            spill.dir.as_deref(),
+            Some(std::path::Path::new("/tmp/dmpi-spill"))
+        );
+        assert!(spill.compress);
+        assert_eq!(spill.block_bytes, 4096);
+        // Default: in-memory, uncompressed, default block budget.
+        let spill = JobConfig::new(1).spill_config();
+        assert!(spill.dir.is_none());
+        assert!(!spill.compress);
+        assert_eq!(
+            spill.block_bytes,
+            crate::spillfmt::DEFAULT_SPILL_BLOCK_BYTES
+        );
+        assert!(JobConfig::new(1)
+            .with_spill_block_bytes(0)
+            .validate()
+            .is_err());
     }
 
     #[test]

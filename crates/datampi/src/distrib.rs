@@ -478,6 +478,7 @@ where
         let budget = config.memory_budget;
         let sorted = config.sorted_grouping;
         let kernel = config.sort_kernel;
+        let spill = config.spill_config().with_tag(format!("r{rank}"));
         let ingest = scope.spawn(move || {
             ingest_partition(
                 receiver,
@@ -490,6 +491,8 @@ where
                     recv_start,
                     rank,
                     attempt: 0,
+                    spill,
+                    discard: false,
                 },
             )
         });
@@ -586,6 +589,7 @@ where
     let st = store.stats();
     stats.spills += st.spills;
     stats.spilled_bytes += st.spilled_bytes;
+    stats.spilled_wire_bytes += st.spilled_wire_bytes;
     stats.peak_resident_records = stats.peak_resident_records.max(st.peak_resident_records);
 
     // The senders die with this function; mesh teardown (real EOFs,
@@ -605,6 +609,7 @@ where
     // Same streaming A phase as the threaded runtime: pull key groups
     // one at a time off the store's k-way merge.
     let mut collector = BatchCollector::default();
+    let read_counters = store.read_counters();
     let streamed = store.into_group_stream().and_then(|mut stream| {
         while let Some(g) = stream.next_group()? {
             stats.groups += 1;
@@ -614,6 +619,13 @@ where
     });
     if let Err(e) = streamed {
         return Err(store_decode_fault(e, rank, 0));
+    }
+    let reads = read_counters.snapshot();
+    stats.spill_blocks_read += reads.blocks_read;
+    stats.spill_blocks_skipped += reads.blocks_skipped;
+    stats.spill_seeks += reads.seeks;
+    if let Some(t) = &tracer {
+        t.registry().add_spill_reads(&reads);
     }
     if let (Some(obs), Some(t)) = (observer, &tracer) {
         stats.phase_us.merge(&obs.absorb(t));

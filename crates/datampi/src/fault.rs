@@ -66,6 +66,18 @@ pub enum FaultEvent {
         /// 0-based job attempt on which the corruption applies.
         on_attempt: u32,
     },
+    /// Rank `rank` dies during its A-phase merge on attempt `on_attempt`,
+    /// after emitting `after_groups` groups — the mid-merge crash the
+    /// block-boundary merge checkpoint recovers from without re-reading
+    /// already-consumed spill blocks.
+    MergePanic {
+        /// Target worker rank.
+        rank: usize,
+        /// 0-based job attempt on which the rank dies mid-merge.
+        on_attempt: u32,
+        /// Number of groups the rank emits before dying.
+        after_groups: u64,
+    },
     /// Every O task run by rank `rank` on attempt `on_attempt` is delayed
     /// by `delay_ms` before user code — the whole-node straggler the
     /// speculation layer defends against, as opposed to
@@ -89,6 +101,7 @@ impl FaultEvent {
             | FaultEvent::RankPanic { on_attempt, .. }
             | FaultEvent::Straggler { on_attempt, .. }
             | FaultEvent::CorruptFrame { on_attempt, .. }
+            | FaultEvent::MergePanic { on_attempt, .. }
             | FaultEvent::SlowRank { on_attempt, .. } => on_attempt,
         }
     }
@@ -182,6 +195,17 @@ impl FaultPlan {
         self
     }
 
+    /// Builder: schedule a mid-merge rank death after `after_groups`
+    /// emitted groups.
+    pub fn merge_panic(mut self, rank: usize, on_attempt: u32, after_groups: u64) -> Self {
+        self.events.push(FaultEvent::MergePanic {
+            rank,
+            on_attempt,
+            after_groups,
+        });
+        self
+    }
+
     /// Builder: schedule a whole-rank slowdown (every task the rank runs
     /// on that attempt is paced by `delay_ms`).
     pub fn slow_rank(mut self, rank: usize, on_attempt: u32, delay_ms: u64) -> Self {
@@ -251,6 +275,19 @@ impl FaultPlan {
         self.events.iter().any(|e| {
             matches!(e, FaultEvent::RankPanic { rank: r, on_attempt }
                 if *r == rank && *on_attempt == attempt)
+        })
+    }
+
+    /// If rank `rank` is scheduled to die mid-merge on `attempt`, the
+    /// number of groups it emits first (the earliest matching event wins).
+    pub fn merge_panic_after(&self, rank: usize, attempt: u32) -> Option<u64> {
+        self.events.iter().find_map(|e| match e {
+            FaultEvent::MergePanic {
+                rank: r,
+                on_attempt,
+                after_groups,
+            } if *r == rank && *on_attempt == attempt => Some(*after_groups),
+            _ => None,
         })
     }
 
@@ -368,6 +405,17 @@ mod tests {
         plan.validate().unwrap();
         let too_slow = FaultPlan::new(0).straggler(0, 0, FaultPlan::MAX_STRAGGLER_MS + 1);
         assert!(too_slow.validate().is_err());
+    }
+
+    #[test]
+    fn merge_panic_targets_rank_attempt_and_reports_group_budget() {
+        let plan = FaultPlan::new(0).merge_panic(1, 0, 5).merge_panic(1, 1, 9);
+        assert_eq!(plan.merge_panic_after(1, 0), Some(5));
+        assert_eq!(plan.merge_panic_after(1, 1), Some(9));
+        assert_eq!(plan.merge_panic_after(1, 2), None);
+        assert_eq!(plan.merge_panic_after(0, 0), None);
+        assert_eq!(plan.last_faulty_attempt(), Some(1));
+        plan.validate().unwrap();
     }
 
     #[test]

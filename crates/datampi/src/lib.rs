@@ -57,6 +57,7 @@ pub mod plan;
 pub mod runtime;
 pub mod service;
 pub mod speculate;
+pub mod spillfmt;
 pub mod store;
 pub mod streaming;
 pub mod supervisor;
@@ -68,6 +69,7 @@ pub use fault::FaultPlan;
 pub use observe::{Observer, PhaseTotals, Profiler, SpanKind, Trace};
 pub use runtime::{run_job, ChunkableSplit, JobOutput, JobStats};
 pub use speculate::{Scheduling, SpeculationConfig};
+pub use spillfmt::{KeyRange, SealedRun, SpillConfig, SpillReadCounters};
 pub use supervisor::{
     supervise_job, supervise_job_elastic, ElasticOutput, ElasticPolicy, RetryPolicy,
 };

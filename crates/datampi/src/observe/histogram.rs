@@ -39,17 +39,21 @@ pub enum HistKind {
     /// One A-phase merge step (`next_group` call: loser-tree pops for a
     /// whole key group), µs.
     MergeStep,
+    /// Stored sizes of sealed spill-run blocks (post-compression),
+    /// bytes.
+    SpillBlock,
 }
 
 impl HistKind {
     /// Every channel, in wire/report order.
-    pub const ALL: [HistKind; 6] = [
+    pub const ALL: [HistKind; 7] = [
         HistKind::SendLatency,
         HistKind::RecvLatency,
         HistKind::FramePayload,
         HistKind::WindowWait,
         HistKind::SpillSeal,
         HistKind::MergeStep,
+        HistKind::SpillBlock,
     ];
 
     /// Stable snake_case name used in telemetry frames and reports.
@@ -61,6 +65,7 @@ impl HistKind {
             HistKind::WindowWait => "window_wait_us",
             HistKind::SpillSeal => "spill_seal_us",
             HistKind::MergeStep => "merge_step_us",
+            HistKind::SpillBlock => "spill_block_bytes",
         }
     }
 

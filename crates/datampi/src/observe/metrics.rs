@@ -24,8 +24,18 @@ pub struct MetricsRegistry {
     frames_sent: AtomicU64,
     /// A-store spills.
     spills: AtomicU64,
-    /// Bytes written by spills.
+    /// Raw (uncompressed) bytes written by spills.
     spill_bytes: AtomicU64,
+    /// Stored bytes sealed runs occupy (blocks post-compression plus
+    /// footer index); with spill compression on, `spill_wire_bytes /
+    /// spill_bytes` is the achieved spill compression ratio.
+    spill_wire_bytes: AtomicU64,
+    /// Spill-run blocks loaded and decoded by merges and lookups.
+    spill_blocks_read: AtomicU64,
+    /// Spill-run blocks skipped whole via the footer index.
+    spill_blocks_skipped: AtomicU64,
+    /// Non-sequential spill-run block loads (seeks).
+    spill_seeks: AtomicU64,
     /// High-water mark of any single O-side partition buffer, bytes.
     buffer_hwm_bytes: AtomicU64,
     /// Supervisor retries scheduled.
@@ -91,8 +101,16 @@ pub struct MetricsSnapshot {
     pub bytes_received: u64,
     /// A-store spills.
     pub spills: u64,
-    /// Bytes written by spills.
+    /// Raw (uncompressed) bytes written by spills.
     pub spill_bytes: u64,
+    /// Stored bytes sealed runs occupy (post-compression, with index).
+    pub spill_wire_bytes: u64,
+    /// Spill-run blocks loaded and decoded.
+    pub spill_blocks_read: u64,
+    /// Spill-run blocks skipped whole via the footer index.
+    pub spill_blocks_skipped: u64,
+    /// Non-sequential spill-run block loads (seeks).
+    pub spill_seeks: u64,
     /// High-water mark of any single partition buffer, bytes.
     pub buffer_hwm_bytes: u64,
     /// Supervisor retries scheduled.
@@ -199,10 +217,25 @@ impl MetricsRegistry {
         }
     }
 
-    /// Counts one spill of `bytes`.
+    /// Counts one spill of `bytes` raw (uncompressed) bytes.
     pub fn add_spill(&self, bytes: u64) {
         self.spills.fetch_add(1, Ordering::Relaxed);
         self.spill_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Counts `bytes` of stored (on-wire/on-disk) sealed-run bytes.
+    pub fn add_spill_wire(&self, bytes: u64) {
+        self.spill_wire_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Folds a merge's spill-read tally (block reads/skips and seeks)
+    /// into the registry.
+    pub fn add_spill_reads(&self, reads: &crate::spillfmt::SpillReadSnapshot) {
+        self.spill_blocks_read
+            .fetch_add(reads.blocks_read, Ordering::Relaxed);
+        self.spill_blocks_skipped
+            .fetch_add(reads.blocks_skipped, Ordering::Relaxed);
+        self.spill_seeks.fetch_add(reads.seeks, Ordering::Relaxed);
     }
 
     /// Raises the buffer high-water mark to at least `bytes`: a true
@@ -343,6 +376,10 @@ impl MetricsRegistry {
             bytes_received: self.total_bytes_received(),
             spills: self.spills.load(Ordering::Relaxed),
             spill_bytes: self.spill_bytes.load(Ordering::Relaxed),
+            spill_wire_bytes: self.spill_wire_bytes.load(Ordering::Relaxed),
+            spill_blocks_read: self.spill_blocks_read.load(Ordering::Relaxed),
+            spill_blocks_skipped: self.spill_blocks_skipped.load(Ordering::Relaxed),
+            spill_seeks: self.spill_seeks.load(Ordering::Relaxed),
             buffer_hwm_bytes: self.buffer_hwm_bytes.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
             recovered_tasks: self.recovered_tasks.load(Ordering::Relaxed),

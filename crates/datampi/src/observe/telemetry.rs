@@ -71,7 +71,7 @@ impl ClockSync {
 /// The cumulative counter fields a telemetry frame carries, in wire
 /// order. Shared by the encoder, the parser, and the report renderer so
 /// the three can never disagree on a name.
-pub const COUNTER_FIELDS: [&str; 25] = [
+pub const COUNTER_FIELDS: [&str; 29] = [
     "records_out",
     "records_in",
     "frames_sent",
@@ -99,6 +99,11 @@ pub const COUNTER_FIELDS: [&str; 25] = [
     "wire_frames_received",
     "wire_batches_received",
     "wire_recv_syscalls",
+    // Spill-format counters, appended for the same reason.
+    "spill_wire_bytes",
+    "spill_blocks_read",
+    "spill_blocks_skipped",
+    "spill_seeks",
 ];
 
 fn counter_get(s: &MetricsSnapshot, key: &str) -> u64 {
@@ -128,6 +133,10 @@ fn counter_get(s: &MetricsSnapshot, key: &str) -> u64 {
         "wire_frames_received" => s.wire_frames_received,
         "wire_batches_received" => s.wire_batches_received,
         "wire_recv_syscalls" => s.wire_recv_syscalls,
+        "spill_wire_bytes" => s.spill_wire_bytes,
+        "spill_blocks_read" => s.spill_blocks_read,
+        "spill_blocks_skipped" => s.spill_blocks_skipped,
+        "spill_seeks" => s.spill_seeks,
         _ => 0,
     }
 }
@@ -159,6 +168,10 @@ fn counter_set(s: &mut MetricsSnapshot, key: &str, v: u64) {
         "wire_frames_received" => s.wire_frames_received = v,
         "wire_batches_received" => s.wire_batches_received = v,
         "wire_recv_syscalls" => s.wire_recv_syscalls = v,
+        "spill_wire_bytes" => s.spill_wire_bytes = v,
+        "spill_blocks_read" => s.spill_blocks_read = v,
+        "spill_blocks_skipped" => s.spill_blocks_skipped = v,
+        "spill_seeks" => s.spill_seeks = v,
         _ => {}
     }
 }

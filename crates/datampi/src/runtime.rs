@@ -44,7 +44,7 @@ use bytes::Bytes;
 
 use dmpi_common::compare::SortKernel;
 use dmpi_common::kv::RecordBatch;
-use dmpi_common::{Error, FaultCause, FaultKind, Result};
+use dmpi_common::{ser, Error, FaultCause, FaultKind, Result};
 
 use crate::buffer::KvBuffer;
 use crate::checkpoint::CheckpointStore;
@@ -52,9 +52,16 @@ use crate::comm::Frame;
 use crate::config::JobConfig;
 use crate::observe::{HistKind, Observer, PhaseTotals, SpanKind, Tracer};
 use crate::speculate::{ProgressBoard, TaskQueues};
+use crate::spillfmt::SpillConfig;
 use crate::store::PartitionStore;
 use crate::task::{BatchCollector, Collector, GroupedValues};
 use crate::transport::{self, FrameReceiver, FrameSender};
+
+/// Groups between two A-side merge frontier recordings. Each recording
+/// snapshots the cursor frontier plus the framed output so far, so the
+/// interval trades checkpoint traffic against re-merged groups on a
+/// mid-merge restart.
+const MERGE_CP_INTERVAL: u64 = 32;
 
 /// Aggregate counters of a finished job.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -73,8 +80,21 @@ pub struct JobStats {
     pub early_flushes: u64,
     /// A-store spill events.
     pub spills: u64,
-    /// A-store bytes spilled to disk.
+    /// A-store raw (uncompressed) bytes sealed into spill runs.
     pub spilled_bytes: u64,
+    /// Stored bytes the sealed runs actually occupy — block bodies after
+    /// compression plus each run's footer index. With spill compression
+    /// off this slightly exceeds `spilled_bytes` (framing + index); with
+    /// it on, `spilled_wire_bytes / spilled_bytes` is the achieved
+    /// spill compression ratio.
+    pub spilled_wire_bytes: u64,
+    /// Spill-run blocks read and decoded by A-side merges and lookups.
+    pub spill_blocks_read: u64,
+    /// Spill-run blocks skipped whole via the run footer index (range
+    /// restriction or checkpoint resume).
+    pub spill_blocks_skipped: u64,
+    /// Non-sequential spill-run block loads (disk seeks).
+    pub spill_seeks: u64,
     /// Key groups processed by A tasks.
     pub groups: u64,
     /// Job attempts consumed: 1 for an unsupervised clean run; the
@@ -132,6 +152,10 @@ impl JobStats {
         self.early_flushes += other.early_flushes;
         self.spills += other.spills;
         self.spilled_bytes += other.spilled_bytes;
+        self.spilled_wire_bytes += other.spilled_wire_bytes;
+        self.spill_blocks_read += other.spill_blocks_read;
+        self.spill_blocks_skipped += other.spill_blocks_skipped;
+        self.spill_seeks += other.spill_seeks;
         self.groups += other.groups;
         self.attempts += other.attempts;
         self.wasted_bytes += other.wasted_bytes;
@@ -656,11 +680,25 @@ where
                 // also drains the sockets while O computes. The ingest
                 // thread builds its own tracer internally (tracers are
                 // thread-local by design).
+                // A mid-merge checkpoint recorded by a previous attempt at
+                // this width lets the A phase resume from a block boundary
+                // instead of re-merging from the top; the ingest thread then
+                // only drains (and CRC-checks) the replayed frames — the
+                // sealed runs it would rebuild already live in the
+                // checkpoint's run handles.
+                let merge_resume = checkpoint
+                    .as_ref()
+                    .filter(|_| config.sorted_grouping)
+                    .and_then(|cp| cp.merge_checkpoint(rank, ranks));
                 let ingest = std::thread::scope(|ingest_scope| {
                     let observer = config.observer.as_ref();
                     let budget = config.memory_budget;
                     let sorted = config.sorted_grouping;
                     let kernel = config.sort_kernel;
+                    let spill = config
+                        .spill_config()
+                        .with_tag(format!("r{rank}-a{attempt}"));
+                    let discard = merge_resume.is_some();
                     let recv_start = observer.map(Observer::now_micros);
                     let ingest = ingest_scope.spawn(move || {
                         ingest_partition(
@@ -674,6 +712,8 @@ where
                                 recv_start,
                                 rank,
                                 attempt,
+                                spill,
+                                discard,
                             },
                         )
                     });
@@ -1088,12 +1128,27 @@ where
                 if let Some(e) = ingest.first_error {
                     fail_with(e);
                 }
-                let store = ingest.store;
+                let mut store = ingest.store;
+                // Merge checkpointing needs every record in a seekable
+                // sealed run — a live in-memory cursor cannot name a block
+                // frontier — so the forming run is sealed through the same
+                // block format as the spills before the merge opens.
+                let merge_cp = checkpoint
+                    .as_ref()
+                    .filter(|_| config.sorted_grouping && !failed.load(Ordering::SeqCst));
+                if let Some(cp) = merge_cp {
+                    if merge_resume.is_none() {
+                        store.seal_all();
+                        cp.register_merge_runs(rank, ranks, store.sealed_run_handles());
+                    }
+                }
                 let st = store.stats();
                 stats.spills += st.spills;
                 stats.spilled_bytes += st.spilled_bytes;
+                stats.spilled_wire_bytes += st.spilled_wire_bytes;
                 stats.peak_resident_records =
                     stats.peak_resident_records.max(st.peak_resident_records);
+                let read_counters = store.read_counters();
 
                 let mut collector = BatchCollector::default();
                 let mut group_result: Result<()> = Ok(());
@@ -1104,7 +1159,27 @@ where
                     // sort plus merge setup.
                     let sort_start = tracer.as_ref().map(Tracer::start);
                     let runs = st.spills + 1;
-                    match store.into_group_stream() {
+                    let merge_panic_at = plan.and_then(|p| p.merge_panic_after(rank, attempt));
+                    let mut groups = 0u64;
+                    // Resume path: replay the output emitted before the
+                    // recorded boundary, then reopen every run at its
+                    // frontier block, skipping records at or before the
+                    // last emitted group key.
+                    let stream_result = match &merge_resume {
+                        Some(m) => ser::unframe_batch(&m.partial_output).and_then(|mut done| {
+                            groups = m.groups_emitted;
+                            collector.batch.append(&mut done);
+                            crate::store::resume_group_stream(
+                                &m.runs,
+                                &m.frontier,
+                                m.last_key.clone(),
+                                &read_counters,
+                                config.observer.as_ref(),
+                            )
+                        }),
+                        None => store.into_group_stream(),
+                    };
+                    match stream_result {
                         Ok(mut stream) => {
                             if let Some(t) = &tracer {
                                 t.registry().add_records_in(st.records);
@@ -1117,12 +1192,48 @@ where
                             // Pull one key group at a time from the k-way
                             // merge: grouped data is never all resident.
                             let a_start = tracer.as_ref().map(Tracer::start);
-                            let mut groups = 0u64;
                             let streamed = loop {
                                 match stream.next_group() {
                                     Ok(Some(g)) => {
                                         groups += 1;
                                         a_fn(&g, &mut collector);
+                                        if let Some(cp) = merge_cp {
+                                            if groups.is_multiple_of(MERGE_CP_INTERVAL) {
+                                                if let Some(frontier) = stream.frontier() {
+                                                    cp.record_merge_frontier(
+                                                        rank,
+                                                        frontier,
+                                                        Some(g.key.clone()),
+                                                        groups,
+                                                        Bytes::from(ser::frame_batch(
+                                                            &collector.batch,
+                                                        )),
+                                                    );
+                                                }
+                                            }
+                                        }
+                                        if let Some(after) = merge_panic_at {
+                                            if groups >= after {
+                                                if let Some(t) = &tracer {
+                                                    t.instant(
+                                                        SpanKind::Fault,
+                                                        vec![(
+                                                            "cause",
+                                                            "injected merge death".into(),
+                                                        )],
+                                                    );
+                                                }
+                                                fail_with(Error::fault(
+                                                    FaultCause::new(
+                                                        FaultKind::RankDeath,
+                                                        "injected merge death",
+                                                    )
+                                                    .rank(rank)
+                                                    .attempt(attempt),
+                                                ));
+                                                break Ok(());
+                                            }
+                                        }
                                     }
                                     Ok(None) => break Ok(()),
                                     Err(e) => break Err(e),
@@ -1136,12 +1247,29 @@ where
                                     vec![("groups", groups.to_string())],
                                 );
                             }
-                            if let Err(e) = streamed {
-                                group_result = Err(store_decode_fault(e, rank, attempt));
+                            match streamed {
+                                Ok(()) => {
+                                    // The merge ran to completion: its
+                                    // checkpoint state (and the run files it
+                                    // pins) can be reclaimed.
+                                    if !failed.load(Ordering::SeqCst) {
+                                        if let Some(cp) = merge_cp {
+                                            cp.clear_merge(rank);
+                                        }
+                                    }
+                                }
+                                Err(e) => group_result = Err(store_decode_fault(e, rank, attempt)),
                             }
                         }
                         Err(e) => group_result = Err(store_decode_fault(e, rank, attempt)),
                     }
+                }
+                let reads = read_counters.snapshot();
+                stats.spill_blocks_read += reads.blocks_read;
+                stats.spill_blocks_skipped += reads.blocks_skipped;
+                stats.spill_seeks += reads.seeks;
+                if let Some(t) = &tracer {
+                    t.registry().add_spill_reads(&reads);
                 }
                 // Merge this rank's span buffer into the job trace before
                 // any error propagates, so failed ranks keep their events;
@@ -1266,6 +1394,13 @@ pub(crate) struct IngestConfig<'a> {
     pub rank: usize,
     /// The attempt number, for the tracer lane.
     pub attempt: u32,
+    /// Sealed-run layout (spill dir, compression, block size) for the
+    /// store's spills, pre-tagged with this rank/attempt.
+    pub spill: SpillConfig,
+    /// Drain and CRC-verify frames without storing them: set on
+    /// merge-resume attempts, where the A phase reads the previous
+    /// attempt's sealed runs instead of a rebuilt store.
+    pub discard: bool,
 }
 
 /// Drains one rank's mailbox until `expected_eofs` EOF frames arrived
@@ -1288,12 +1423,15 @@ pub(crate) fn ingest_partition(receiver: FrameReceiver, cfg: IngestConfig<'_>) -
         recv_start,
         rank,
         attempt,
+        spill,
+        discard,
     } = cfg;
     // The tracer must be built on this thread (tracers are thread-local
     // by design); its spans merge into the shared trace on exit.
     let tracer = observer.map(|o| o.rank_tracer(rank as u32, attempt));
     let mut store = PartitionStore::new(memory_budget, sorted);
     store.set_sort_kernel(kernel);
+    store.set_spill_config(spill);
     if let Some(o) = observer {
         // The store gets the Send+Sync observer, not this thread's
         // tracer: its sealing sites (background threads included) build
@@ -1342,6 +1480,12 @@ pub(crate) fn ingest_partition(receiver: FrameReceiver, cfg: IngestConfig<'_>) -
                         frame.from_rank(),
                         frame.payload_len() as u64,
                     );
+                }
+                if discard {
+                    // Merge-resume attempt: the replayed frames passed the
+                    // CRC gate above; the A phase reads the checkpointed
+                    // runs, so storing them again would be pure waste.
+                    continue;
                 }
                 if let Frame::Data { payload, .. } = frame {
                     // Streaming decode happens right here, overlapped

@@ -261,6 +261,8 @@ mod tests {
             seed,
             o_parallelism: 1,
             out: None,
+            spill_dir: None,
+            spill_compress: false,
         }
     }
 

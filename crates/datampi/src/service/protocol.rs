@@ -108,6 +108,12 @@ pub struct JobSpec {
     pub o_parallelism: usize,
     /// When set, each rank writes its partition to `<out>/part-NNNNN`.
     pub out: Option<String>,
+    /// When set, workers seal this job's spill runs to block-indexed
+    /// files under `<spill_dir>/job-<id>/`, cleaned up when the job
+    /// finishes (success or failure).
+    pub spill_dir: Option<String>,
+    /// LZ4-compress spill-run blocks.
+    pub spill_compress: bool,
 }
 
 impl JobSpec {
@@ -123,6 +129,12 @@ impl JobSpec {
         );
         if let Some(out) = &self.out {
             let _ = write!(s, " out={}", esc(out));
+        }
+        if let Some(dir) = &self.spill_dir {
+            let _ = write!(s, " spilldir={}", esc(dir));
+        }
+        if self.spill_compress {
+            s.push_str(" spillcomp=1");
         }
         s
     }
@@ -148,6 +160,8 @@ impl JobSpec {
                 "seed" => spec.seed = value.parse().ok()?,
                 "par" => spec.o_parallelism = value.parse().ok()?,
                 "out" => spec.out = Some(unesc(value)?),
+                "spilldir" => spec.spill_dir = Some(unesc(value)?),
+                "spillcomp" => spec.spill_compress = value == "1",
                 _ => {} // forward compatibility: ignore unknown fields
             }
         }
@@ -167,6 +181,8 @@ impl JobSpec {
             seed: 42,
             o_parallelism: 1,
             out: None,
+            spill_dir: None,
+            spill_compress: false,
         }
     }
 
@@ -310,12 +326,16 @@ mod tests {
             seed: 7,
             o_parallelism: 2,
             out: Some("/tmp/out dir".into()),
+            spill_dir: Some("/tmp/spill root".into()),
+            spill_compress: true,
         };
         assert_eq!(JobSpec::parse_job(&spec.wire_line()).unwrap(), spec);
         let submitted = JobSpec::parse_submit(&spec.submit_line()).unwrap();
         assert_eq!(submitted.id, 0, "submit carries no id");
         assert_eq!(submitted.tenant, spec.tenant);
         assert_eq!(submitted.out, spec.out);
+        assert_eq!(submitted.spill_dir, spec.spill_dir);
+        assert!(submitted.spill_compress);
         assert!(JobSpec::parse_job("job x tenant=a workload=w tasks=1").is_none());
         assert!(
             JobSpec::parse_job("job 1 tenant=a workload=w tasks=0").is_none(),

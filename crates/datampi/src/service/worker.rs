@@ -163,10 +163,25 @@ fn run_one_job(
             }
         };
         let observer = Observer::new();
-        let config = JobConfig::new(ranks)
+        let mut config = JobConfig::new(ranks)
             .with_o_parallelism(spec.o_parallelism.max(1))
             .with_sorted_grouping(prepared.sorted)
             .with_observer(observer.clone());
+        // Disk-backed spills live in a per-job subdirectory so one
+        // resident worker can run many jobs over a shared spill root;
+        // the whole subtree is removed on every exit path below.
+        let spill_dir = spec
+            .spill_dir
+            .as_ref()
+            .map(|dir| std::path::Path::new(dir).join(format!("job-{}", spec.id)));
+        if let Some(dir) = &spill_dir {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| service_fault(format!("create {}: {e}", dir.display())))?;
+            config = config.with_spill_dir(dir.clone());
+        }
+        if spec.spill_compress {
+            config = config.with_spill_compression(crate::WireCompression::Lz4);
+        }
         let wire_handle = Arc::clone(&channels.wire);
         let result = run_job_on_mesh(
             &config,
@@ -179,6 +194,12 @@ fn run_one_job(
             prepared.a_fn,
         );
         mux.finish_job(spec.id);
+        // The store's run-file guards already deleted every sealed run
+        // they owned; this sweeps the (now empty, or crash-littered)
+        // job subdirectory itself, on failure as well as success.
+        if let Some(dir) = &spill_dir {
+            let _ = std::fs::remove_dir_all(dir);
+        }
         let (partition, stats) = result?;
         let wire = wire_handle.snapshot();
         observer.registry().add_wire_stats(&wire);

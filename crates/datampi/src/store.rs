@@ -5,13 +5,17 @@
 //! arrive* (concurrently with the O phase — the ingest thread does this
 //! work while O tasks are still computing) and appended to a forming
 //! in-memory **run**. When the partition outgrows its memory budget the
-//! run is key-sorted and sealed into a key-sorted **spill image**
-//! (simulated disk: an owned framed buffer with separate accounting — a
-//! real deployment would write files). Grouping then becomes a k-way
-//! external merge over all runs via a [loser tree], streamed one group at
-//! a time through [`GroupStream`], so a spilled job never re-materializes
-//! the full record set in memory: at any moment the merge holds one
-//! record per run plus the group under construction.
+//! run is key-sorted and sealed through the indexed, block-compressed
+//! run format of [`crate::spillfmt`] — to a file under the configured
+//! spill directory (the genuinely external-memory path), or to an
+//! in-memory image in the identical format (the default for small
+//! jobs). Grouping then becomes a k-way external merge over all runs
+//! via a [loser tree], streamed one group at a time through
+//! [`GroupStream`], so a spilled job never re-materializes the full
+//! record set in memory: at any moment the merge holds one decoded
+//! block per run plus the group under construction, and the runs'
+//! footer indexes let a range-restricted or checkpoint-resumed merge
+//! *skip* whole blocks instead of scanning them.
 //!
 //! This replaces the seed's collect-then-sort shape (buffer every raw
 //! frame, decode and sort everything in one monolithic pass after all
@@ -32,10 +36,11 @@ use bytes::Bytes;
 
 use dmpi_common::compare::{BytesComparator, RawComparator, SortKernel};
 use dmpi_common::group::GroupedValues;
-use dmpi_common::ser::{self, SharedRecordReader};
-use dmpi_common::{Record, Result};
+use dmpi_common::ser::SharedRecordReader;
+use dmpi_common::{Error, Record, Result};
 
 use crate::observe::{HistKind, LogHistogram, Observer, PhaseTotals, SpanKind, Tracer};
+use crate::spillfmt::{KeyRange, RunReader, SpillConfig, SpillReadCounters};
 
 /// Runs at or below this size seal inline on the ingest thread — a
 /// thread spawn costs more than sorting and framing a few KiB.
@@ -51,8 +56,16 @@ const MAX_INFLIGHT_SEALS: usize = 4;
 pub struct StoreStats {
     /// Bytes currently resident in memory (the forming run).
     pub mem_bytes: u64,
-    /// Bytes spilled to disk.
+    /// High-water mark of `mem_bytes` — the external-sort residency
+    /// proof: under a tight budget this stays near the budget no matter
+    /// how large the input grows.
+    pub peak_mem_bytes: u64,
+    /// Raw (uncompressed, framed-record) bytes spilled to disk.
     pub spilled_bytes: u64,
+    /// Bytes the sealed runs actually occupy on disk / in their images
+    /// (blocks post-compression, plus footer index and trailer) —
+    /// compare against `spilled_bytes` to see the compression win.
+    pub spilled_wire_bytes: u64,
     /// Number of spill events (= number of sealed sorted runs).
     pub spills: u64,
     /// Frames ingested.
@@ -79,13 +92,25 @@ pub struct PartitionStore {
     /// The forming run: records decoded from ingested frames, in arrival
     /// order (sorted lazily when sealed or when the merge starts).
     current: Vec<Record>,
-    /// Sealed spill images ("disk"): framed records, key-sorted in
-    /// sorted mode, kept as owned buffers with separate accounting.
-    /// Filled by [`collect_seals`](Self::collect_seals) in spill order.
-    spilled: Vec<Bytes>,
+    /// Sealed runs in the indexed block format (disk files or in-memory
+    /// images per `spill_cfg`), key-sorted in sorted mode. Filled by
+    /// [`collect_seals`](Self::collect_seals) in spill order.
+    spilled: Vec<crate::spillfmt::SealedRun>,
     /// Runs handed off for sealing (inline results and in-flight
     /// background threads, in spill order).
     sealing: Vec<PendingSeal>,
+    /// How runs seal: destination dir (or memory), compression, block
+    /// budget, filename tag.
+    spill_cfg: SpillConfig,
+    /// Sequence number for run filenames.
+    run_seq: u64,
+    /// First sealing failure (disk full, unwritable spill dir, …),
+    /// surfaced when the merge starts — sealing runs on background
+    /// threads, so the error cannot be returned from `ingest` itself.
+    seal_error: Option<Error>,
+    /// Shared block read/skip/seek tallies fed by every reader this
+    /// store's runs hand out.
+    read_counters: SpillReadCounters,
     stats: StoreStats,
     /// Which kernel sorts runs when they seal (sorted mode only).
     kernel: SortKernel,
@@ -99,50 +124,83 @@ pub struct PartitionStore {
     background_phase: PhaseTotals,
 }
 
-/// A sealed spill run: its framed image plus the phase totals its
-/// sealing site recorded.
-#[derive(Default)]
-struct SealedRun {
-    image: Vec<u8>,
+/// What one sealing site produced: the sealed run (or the I/O error
+/// that prevented it) plus the phase totals the site recorded.
+struct SealOutcome {
+    run: Result<crate::spillfmt::SealedRun>,
     phase: PhaseTotals,
+}
+
+impl Default for SealOutcome {
+    fn default() -> Self {
+        let (image, index) = crate::spillfmt::RunWriter::new(1, false, true).finish();
+        SealOutcome {
+            run: Ok(crate::spillfmt::SealedRun::mem(image, index)),
+            phase: PhaseTotals::default(),
+        }
+    }
 }
 
 /// One spill's sealing state, in spill order.
 enum PendingSeal {
     /// Sealed inline (small run) or already joined.
-    Done(SealedRun),
+    Done(SealOutcome),
     /// Sealing on a background thread, overlapped with further ingest.
-    Thread(std::thread::JoinHandle<SealedRun>),
+    Thread(std::thread::JoinHandle<SealOutcome>),
 }
 
-/// Sorts (sorted mode) and frames one run into its spill image,
-/// recording the `Spill` span and counters against a tracer built from
-/// `observer` on the *calling* thread — valid both inline on the ingest
-/// thread and on a background sealing thread.
+/// Sorts (sorted mode) and seals one run through the indexed block
+/// format — to a spill file when the config has a directory, or to an
+/// in-memory image — recording the `Spill` span and counters against a
+/// tracer built from `observer` on the *calling* thread — valid both
+/// inline on the ingest thread and on a background sealing thread.
 fn seal_run(
     mut records: Vec<Record>,
-    run_bytes: u64,
     sorted: bool,
     kernel: SortKernel,
     observer: Option<&(Observer, u32, u32)>,
-) -> SealedRun {
+    cfg: &SpillConfig,
+    seq: u64,
+) -> SealOutcome {
     let tracer = observer.map(|(o, rank, attempt)| o.rank_tracer(*rank, *attempt));
     let spill_start = tracer.as_ref().map(Tracer::start);
     let wall_start = tracer.as_ref().map(|_| std::time::Instant::now());
     if sorted {
         kernel.sort(&mut records);
     }
-    let mut image = Vec::with_capacity(run_bytes as usize);
-    for rec in records {
-        ser::frame_record(&mut image, &rec);
+    let mut writer = crate::spillfmt::RunWriter::new(cfg.block_bytes, cfg.compress, sorted);
+    for rec in &records {
+        writer.push(rec);
     }
+    drop(records);
+    let (image, index) = writer.finish();
+    let run = match &cfg.dir {
+        Some(dir) => crate::spillfmt::SealedRun::to_file(
+            &image,
+            index,
+            dir.join(format!("{}-{seq}.spill", cfg.tag)),
+        ),
+        None => Ok(crate::spillfmt::SealedRun::mem(image, index)),
+    };
     if let Some(t) = &tracer {
-        t.registry().add_spill(image.len() as u64);
-        t.span(
-            SpanKind::Spill,
-            spill_start.unwrap_or(0),
-            vec![("bytes", image.len().to_string())],
-        );
+        if let Ok(run) = &run {
+            let idx = run.index();
+            t.registry().add_spill(idx.raw_bytes);
+            t.registry().add_spill_wire(idx.file_len);
+            let block_hist = t.registry().histograms().handle(HistKind::SpillBlock);
+            for b in &idx.blocks {
+                block_hist.record(b.stored_len as u64);
+            }
+            t.span(
+                SpanKind::Spill,
+                spill_start.unwrap_or(0),
+                vec![
+                    ("bytes", idx.raw_bytes.to_string()),
+                    ("stored", idx.file_len.to_string()),
+                    ("blocks", idx.blocks.len().to_string()),
+                ],
+            );
+        }
         if let Some(start) = wall_start {
             t.registry()
                 .histograms()
@@ -154,7 +212,7 @@ fn seal_run(
         (Some((obs, _, _)), Some(t)) => obs.absorb(t),
         _ => PhaseTotals::default(),
     };
-    SealedRun { image, phase }
+    SealOutcome { run, phase }
 }
 
 impl PartitionStore {
@@ -168,11 +226,29 @@ impl PartitionStore {
             current: Vec::new(),
             spilled: Vec::new(),
             sealing: Vec::new(),
+            spill_cfg: SpillConfig::default(),
+            run_seq: 0,
+            seal_error: None,
+            read_counters: SpillReadCounters::new(),
             stats: StoreStats::default(),
             kernel: SortKernel::default(),
             observer: None,
             background_phase: PhaseTotals::default(),
         }
+    }
+
+    /// Configures how runs seal: spill directory (or in-memory images),
+    /// LZ4 block compression, block budget and filename tag. Takes
+    /// effect for runs sealed after the call.
+    pub fn set_spill_config(&mut self, cfg: SpillConfig) {
+        self.spill_cfg = cfg;
+    }
+
+    /// The shared read-side counter handle every reader of this store's
+    /// runs feeds (block reads/skips, stored bytes, seeks). Clone it
+    /// before consuming the store to observe the merge afterwards.
+    pub fn read_counters(&self) -> SpillReadCounters {
+        self.read_counters.clone()
     }
 
     /// Installs an observability sink. Sealing sites (inline and
@@ -209,6 +285,7 @@ impl PartitionStore {
             .stats
             .peak_resident_records
             .max(self.current.len() as u64);
+        self.stats.peak_mem_bytes = self.stats.peak_mem_bytes.max(self.stats.mem_bytes);
         if self.stats.mem_bytes as usize > self.memory_budget {
             self.spill();
         }
@@ -230,15 +307,18 @@ impl PartitionStore {
         self.stats.spilled_bytes += run_bytes;
         self.stats.spills += 1;
         self.stats.mem_bytes = 0;
+        let seq = self.run_seq;
+        self.run_seq += 1;
         let records = std::mem::take(&mut self.current);
         if run_bytes <= SEAL_INLINE_MAX {
             // Small run: a thread spawn costs more than the sort.
             self.sealing.push(PendingSeal::Done(seal_run(
                 records,
-                run_bytes,
                 self.sorted,
                 self.kernel,
                 self.observer.as_ref(),
+                &self.spill_cfg,
+                seq,
             )));
             return;
         }
@@ -255,7 +335,7 @@ impl PartitionStore {
                 .iter_mut()
                 .find(|p| matches!(p, PendingSeal::Thread(_)))
             {
-                let pending = std::mem::replace(slot, PendingSeal::Done(SealedRun::default()));
+                let pending = std::mem::replace(slot, PendingSeal::Done(SealOutcome::default()));
                 if let PendingSeal::Thread(handle) = pending {
                     *slot = PendingSeal::Done(handle.join().expect("sealing thread panicked"));
                 }
@@ -264,9 +344,10 @@ impl PartitionStore {
         let sorted = self.sorted;
         let kernel = self.kernel;
         let observer = self.observer.clone();
+        let cfg = self.spill_cfg.clone();
         self.sealing
             .push(PendingSeal::Thread(std::thread::spawn(move || {
-                seal_run(records, run_bytes, sorted, kernel, observer.as_ref())
+                seal_run(records, sorted, kernel, observer.as_ref(), &cfg, seq)
             })));
     }
 
@@ -281,7 +362,18 @@ impl PartitionStore {
                 PendingSeal::Thread(handle) => handle.join().expect("sealing thread panicked"),
             };
             self.background_phase.merge(&sealed.phase);
-            self.spilled.push(Bytes::from(sealed.image));
+            match sealed.run {
+                Ok(run) => {
+                    self.stats.spilled_wire_bytes += run.index().file_len;
+                    self.spilled.push(run);
+                }
+                // Keep the first failure; the merge surfaces it.
+                Err(e) => {
+                    if self.seal_error.is_none() {
+                        self.seal_error = Some(e);
+                    }
+                }
+            }
         }
     }
 
@@ -303,13 +395,43 @@ impl PartitionStore {
         self.stats.mem_bytes + self.stats.spilled_bytes
     }
 
+    /// Seals the forming run and joins every outstanding seal, leaving
+    /// **all** records in sealed runs. A checkpointing merge calls this
+    /// before registering its runs so a restart can reopen every record
+    /// from the block format; output is unchanged because the forming
+    /// run keeps its last-run position in the merge's tiebreak order.
+    pub fn seal_all(&mut self) {
+        self.spill();
+        self.collect_seals();
+    }
+
+    /// Clones of the sealed runs, in spill order. Cheap (refcounts);
+    /// the checkpoint holds these so a restart can resume the merge
+    /// without the store that sealed them.
+    pub fn sealed_run_handles(&self) -> Vec<crate::spillfmt::SealedRun> {
+        self.spilled.clone()
+    }
+
     /// Turns the filled store into a streaming group source: a loser-tree
     /// k-way merge over the sealed runs plus the final in-memory run
     /// (sorted mode), or a hash-clustering pass in arrival order (Common
-    /// mode). The sorted path holds one record per run at a time; it
-    /// never rebuilds the full record set.
-    pub fn into_group_stream(mut self) -> Result<GroupStream> {
+    /// mode). The sorted path holds one decoded block per run at a time;
+    /// it never rebuilds the full record set.
+    pub fn into_group_stream(self) -> Result<GroupStream> {
+        self.into_group_stream_range(None)
+    }
+
+    /// Like [`into_group_stream`](Self::into_group_stream), but
+    /// restricted to keys inside `range`: the merge opens every run
+    /// through its footer index and *skips whole blocks* whose key range
+    /// falls outside the consumer's — they are never read, checked or
+    /// decompressed. Output equals the unrestricted stream filtered to
+    /// the range.
+    pub fn into_group_stream_range(mut self, range: Option<KeyRange>) -> Result<GroupStream> {
         self.collect_seals();
+        if let Some(e) = self.seal_error.take() {
+            return Err(e);
+        }
         // Merge-step durations flow into the observer's MergeStep
         // histogram channel (sorted mode only — the hashed path's "step"
         // is an iterator next).
@@ -319,9 +441,13 @@ impl PartitionStore {
             .map(|(o, _, _)| o.registry().histograms().handle(HistKind::MergeStep));
         if self.sorted {
             self.kernel.sort(&mut self.current);
+            if let Some(r) = &range {
+                self.current.retain(|rec| r.contains(&rec.key));
+            }
             let mut runs: Vec<RunCursor> = Vec::with_capacity(self.spilled.len() + 1);
-            for image in self.spilled {
-                runs.push(RunCursor::spilled(image)?);
+            for run in &self.spilled {
+                let reader = run.open(&self.read_counters, range.clone())?;
+                runs.push(RunCursor::from_reader(reader)?);
             }
             runs.push(RunCursor::mem(self.current));
             Ok(GroupStream {
@@ -331,9 +457,9 @@ impl PartitionStore {
         } else {
             // Hash grouping needs every key's full value list before any
             // group can be emitted, so this mode necessarily gathers the
-            // groups — but it still streams records out of the runs in
-            // chronological (arrival) order without an intermediate
-            // all-records vector.
+            // groups — but it still streams records out of the runs
+            // block by block in chronological (arrival) order without an
+            // intermediate all-records vector.
             let mut groups: Vec<GroupedValues> = Vec::new();
             let mut index: dmpi_common::hashing::FnvHashMap<Bytes, usize> = Default::default();
             let mut cluster = |rec: Record| match index.get(&rec.key) {
@@ -346,8 +472,8 @@ impl PartitionStore {
                     });
                 }
             };
-            for image in &self.spilled {
-                let mut reader = SharedRecordReader::new(image.clone());
+            for run in &self.spilled {
+                let mut reader = run.open(&self.read_counters, None)?;
                 while let Some(rec) = reader.next_record()? {
                     cluster(rec);
                 }
@@ -383,18 +509,15 @@ impl PartitionStore {
 
 /// A lazily-decoding cursor over one sorted (or arrival-order) run.
 ///
-/// Memory runs hold already-decoded records; spilled runs decode one
-/// record at a time from their framed image, so merging spilled runs
-/// costs one record of memory per run.
+/// Memory runs hold already-decoded records; sealed runs stream through
+/// an index-driven [`RunReader`], so merging sealed runs costs one
+/// decoded block of memory per run (and skips blocks the reader's range
+/// rules out).
 struct RunCursor {
-    /// Decoded records for a memory run (`image` empty), or the staging
-    /// slot for the spilled decoder.
+    /// Decoded records for an in-memory (forming) run.
     mem: std::vec::IntoIter<Record>,
-    /// Framed spill image being decoded incrementally (empty for memory
-    /// runs). Refcounted so decoded records can share its storage.
-    image: Bytes,
-    /// Decode offset into `image`.
-    offset: usize,
+    /// Block reader for a sealed run (`None` for memory runs).
+    reader: Option<RunReader>,
     /// The run's current head record (`None` = exhausted).
     head: Option<Record>,
 }
@@ -405,17 +528,15 @@ impl RunCursor {
         let head = it.next();
         RunCursor {
             mem: it,
-            image: Bytes::new(),
-            offset: 0,
+            reader: None,
             head,
         }
     }
 
-    fn spilled(image: Bytes) -> Result<Self> {
+    fn from_reader(reader: RunReader) -> Result<Self> {
         let mut cursor = RunCursor {
             mem: Vec::new().into_iter(),
-            image,
-            offset: 0,
+            reader: Some(reader),
             head: None,
         };
         cursor.head = cursor.decode_next()?;
@@ -423,15 +544,10 @@ impl RunCursor {
     }
 
     fn decode_next(&mut self) -> Result<Option<Record>> {
-        if self.image.is_empty() {
-            return Ok(self.mem.next());
+        match &mut self.reader {
+            Some(reader) => reader.next_record(),
+            None => Ok(self.mem.next()),
         }
-        if self.offset == self.image.len() {
-            return Ok(None);
-        }
-        let (rec, n) = ser::read_framed_record_shared(&self.image, self.offset)?;
-        self.offset += n;
-        Ok(Some(rec))
     }
 
     /// Takes the head record and advances the cursor.
@@ -441,6 +557,20 @@ impl RunCursor {
             self.head = self.decode_next()?;
         }
         Ok(head)
+    }
+
+    /// The cursor's resume frontier: the block its head record came
+    /// from (one past the last block when exhausted). `None` for a
+    /// memory cursor still holding records — such a merge cannot be
+    /// resumed from block boundaries.
+    fn frontier(&self) -> Option<Option<usize>> {
+        match (&self.reader, self.head.is_some()) {
+            (Some(reader), _) => Some(Some(reader.frontier_block())),
+            // An exhausted (empty) memory cursor contributes nothing to
+            // a resume — report it as skippable.
+            (None, false) => Some(None),
+            (None, true) => None,
+        }
     }
 }
 
@@ -632,13 +762,69 @@ impl GroupStream {
             }
         }
     }
+
+    /// The merge's resume frontier: for each sealed-run cursor, the
+    /// block its head record came from (one past the last block when
+    /// exhausted). Recorded at a group boundary, this is everything a
+    /// restart needs to reopen the runs mid-way: blocks before the
+    /// frontier hold only records from already-emitted groups.
+    ///
+    /// `None` for hashed grouping, or when a live in-memory run is part
+    /// of the merge (its records have no block addresses — call
+    /// [`PartitionStore::seal_all`] before merging to make a stream
+    /// resumable).
+    pub fn frontier(&self) -> Option<Vec<usize>> {
+        let GroupSource::Merge(merge) = &self.source else {
+            return None;
+        };
+        let mut out = Vec::new();
+        for cursor in &merge.runs {
+            // A drained memory cursor contributes nothing to a resume.
+            if let Some(block) = cursor.frontier()? {
+                out.push(block);
+            }
+        }
+        Some(out)
+    }
+}
+
+/// Reopens a sealed-run merge mid-way: cursor `i` starts at block
+/// `frontier[i]` and skips any record whose key is `<= last_key` (the
+/// last fully-emitted group), so the resumed stream yields exactly the
+/// groups after `last_key` — while re-reading only blocks at or after
+/// each frontier. Runs must be the ones the frontier was recorded
+/// against, in the same order.
+pub fn resume_group_stream(
+    runs: &[crate::spillfmt::SealedRun],
+    frontier: &[usize],
+    last_key: Option<Bytes>,
+    counters: &SpillReadCounters,
+    observer: Option<&Observer>,
+) -> Result<GroupStream> {
+    if runs.len() != frontier.len() {
+        return Err(Error::InvalidState(format!(
+            "merge frontier covers {} runs, checkpoint has {}",
+            frontier.len(),
+            runs.len()
+        )));
+    }
+    let merge_hist = observer.map(|o| o.registry().histograms().handle(HistKind::MergeStep));
+    let mut cursors = Vec::with_capacity(runs.len());
+    for (run, &start) in runs.iter().zip(frontier) {
+        let reader = run.open_at(start, last_key.clone(), counters, None)?;
+        cursors.push(RunCursor::from_reader(reader)?);
+    }
+    Ok(GroupStream {
+        source: GroupSource::Merge(LoserTreeMerge::new(cursors)),
+        merge_hist,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use dmpi_common::compare::{is_sorted, sort_records};
-    use dmpi_common::RecordBatch;
+    use dmpi_common::{ser, RecordBatch};
 
     fn frame_of(records: &[Record]) -> Bytes {
         let batch: RecordBatch = records.iter().cloned().collect();

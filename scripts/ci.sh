@@ -75,6 +75,15 @@ echo "== transport bench smoke ==" >&2
 cargo run -q --release -p dmpi-bench --bin figures -- \
     transport-bench --smoke --write target/ci/BENCH_transport_smoke.json
 
+echo "== spillfmt bench smoke ==" >&2
+# Indexed spill-run format: {memory,disk} x {raw,lz4} byte-identity grid
+# plus the indexed-skip gate — a range-restricted merge must read < 50%
+# of the runs' stored bytes or the build fails. The smoke artifact lands
+# under target/ci/; the committed BENCH_spillfmt.json baseline is
+# regenerated only by a full (non-smoke) run.
+cargo run -q --release -p dmpi-bench --bin figures -- \
+    spillfmt-bench --smoke --write target/ci/BENCH_spillfmt_smoke.json
+
 echo "== straggler bench smoke ==" >&2
 # {slow-rank, rank-leave} x {defense off, on} grid: asserts per-cell
 # byte identity, writes BENCH_straggler.json, and fails unless defended

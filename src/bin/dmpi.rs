@@ -24,6 +24,9 @@ dmpi — client for the dmpid resident job service
       --seed N            input seed               [default: 42]
       --o-parallelism N   worker threads per task  [default: 1]
       --out DIR           write each rank's partition to DIR/part-NNNNN
+      --spill-dir DIR     workers seal spill runs to files under
+                          DIR/job-<id>/ (removed when the job ends)
+      --spill-compress    LZ4-compress spill-run blocks
   dmpi status --coord ADDR
   dmpi drain  --coord ADDR
 ";
@@ -96,6 +99,8 @@ fn parse_and_run() -> Result<(), String> {
         seed: 42,
         o_parallelism: 1,
         out: None,
+        spill_dir: None,
+        spill_compress: false,
     };
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -132,6 +137,8 @@ fn parse_and_run() -> Result<(), String> {
                     .map_err(|e| format!("--o-parallelism: {e}"))?
             }
             "--out" => spec.out = Some(value("--out")?),
+            "--spill-dir" => spec.spill_dir = Some(value("--spill-dir")?),
+            "--spill-compress" => spec.spill_compress = true,
             "--help" | "-h" => {
                 print!("{USAGE}");
                 return Ok(());

@@ -72,6 +72,12 @@ options:
                       before it seals (tcp backend only)
   --compress ALGO     per-batch wire compression: none (default) or
                       lz4; output bytes are identical either way
+  --spill-dir DIR     seal A-store spill runs to block-indexed files
+                      under DIR/job-<pid>/ instead of keeping them in
+                      memory; the subdirectory is removed when the job
+                      ends (failed and elastic attempts included)
+  --spill-compress    LZ4-compress spill-run blocks (implies nothing
+                      about the wire; output bytes are identical)
   --out DIR           write each rank's partition to DIR/part-NNNNN
   --trace-out FILE    write a merged Chrome trace of all ranks (one
                       process row per rank, clock-offset corrected);
@@ -107,6 +113,8 @@ struct Options {
     backend: Backend,
     batch_bytes: Option<usize>,
     compression: WireCompression,
+    spill_dir: Option<PathBuf>,
+    spill_compress: bool,
     out: Option<PathBuf>,
     trace_out: Option<PathBuf>,
     report_out: Option<PathBuf>,
@@ -140,6 +148,8 @@ fn parse_args() -> Result<Options, String> {
         backend: Backend::Tcp,
         batch_bytes: None,
         compression: WireCompression::None,
+        spill_dir: None,
+        spill_compress: false,
         out: None,
         trace_out: None,
         report_out: None,
@@ -192,6 +202,8 @@ fn parse_args() -> Result<Options, String> {
                 opts.compression = WireCompression::parse(&name)
                     .ok_or_else(|| format!("unknown compression {name:?} (try none|lz4)"))?;
             }
+            "--spill-dir" => opts.spill_dir = Some(PathBuf::from(value("--spill-dir")?)),
+            "--spill-compress" => opts.spill_compress = true,
             "--out" => opts.out = Some(PathBuf::from(value("--out")?)),
             "--trace-out" => opts.trace_out = Some(PathBuf::from(value("--trace-out")?)),
             "--report-out" => opts.report_out = Some(PathBuf::from(value("--report-out")?)),
@@ -344,6 +356,14 @@ fn run_worker_process(opts: &Options) -> Result<(), String> {
     if let Some(b) = opts.batch_bytes {
         config = config.with_wire_batch_bytes(b);
     }
+    // In worker mode the coordinator already rewrote --spill-dir to the
+    // per-job subdirectory it will clean up.
+    if let Some(dir) = &opts.spill_dir {
+        config = config.with_spill_dir(dir.clone());
+    }
+    if opts.spill_compress {
+        config = config.with_spill_compression(WireCompression::Lz4);
+    }
     if let Some(obs) = &observer {
         config = config.with_observer(obs.clone());
     }
@@ -432,7 +452,7 @@ fn run_worker_process(opts: &Options) -> Result<(), String> {
         &mut *stream,
         "done rank={rank} crc={crc} out_records={} out_bytes={} o_tasks_run={} \
          records_emitted={} bytes_emitted={} frames={} early_flushes={} spills={} \
-         spilled_bytes={} groups={} wire_sent={} wire_recv={}",
+         spilled_bytes={} groups={} wire_sent={} wire_recv={} spilled_wire_bytes={}",
         report.partition.len(),
         framed.len(),
         s.o_tasks_run,
@@ -445,6 +465,7 @@ fn run_worker_process(opts: &Options) -> Result<(), String> {
         s.groups,
         report.wire.bytes_sent,
         report.wire.bytes_received,
+        s.spilled_wire_bytes,
     )
     .map_err(|e| format!("rank {rank}: report result: {e}"))?;
     Ok(())
@@ -456,14 +477,14 @@ fn run_worker_process(opts: &Options) -> Result<(), String> {
 #[derive(Default, Clone, Copy)]
 struct RankResult {
     crc: u32,
-    counters: [u64; 11],
+    counters: [u64; 12],
 }
 
 /// Per-rank outcome of one attempt: `(result, wire_recv)` per surviving
 /// rank, plus the failure messages gathered from dead or erroring ones.
 type AttemptResults = (Vec<Option<(RankResult, u64)>>, Vec<String>);
 
-const COUNTER_KEYS: [&str; 11] = [
+const COUNTER_KEYS: [&str; 12] = [
     "out_records",
     "out_bytes",
     "o_tasks_run",
@@ -475,6 +496,8 @@ const COUNTER_KEYS: [&str; 11] = [
     "spilled_bytes",
     "groups",
     "wire_sent",
+    // Rides at the end so the indexes above stay stable.
+    "spilled_wire_bytes",
 ];
 
 fn parse_done_line(line: &str) -> Option<(usize, RankResult, u64)> {
@@ -550,6 +573,12 @@ fn launch_attempt(
         }
         if opts.compression != WireCompression::None {
             cmd.arg("--compress").arg(opts.compression.name());
+        }
+        if let Some(dir) = &opts.spill_dir {
+            cmd.arg("--spill-dir").arg(dir);
+        }
+        if opts.spill_compress {
+            cmd.arg("--spill-compress");
         }
         if let Some(dir) = &opts.out {
             cmd.arg("--out").arg(dir);
@@ -691,7 +720,33 @@ fn launch_attempt(
     Ok(((results, failures), agg))
 }
 
+/// Removes the coordinator's per-job spill subdirectory on exit — any
+/// run files a killed or failed attempt left behind go with it.
+struct SpillDirGuard(PathBuf);
+
+impl Drop for SpillDirGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Rewrites `--spill-dir` to a fresh `job-<pid>` subdirectory (so
+/// concurrent launches sharing one spill root never collide) and
+/// returns the guard that deletes it when the coordinator exits.
+fn prepare_spill_dir(opts: &mut Options) -> Result<Option<SpillDirGuard>, String> {
+    let Some(dir) = opts.spill_dir.take() else {
+        return Ok(None);
+    };
+    let job_dir = dir.join(format!("job-{}", std::process::id()));
+    std::fs::create_dir_all(&job_dir).map_err(|e| format!("create {}: {e}", job_dir.display()))?;
+    opts.spill_dir = Some(job_dir.clone());
+    Ok(Some(SpillDirGuard(job_dir)))
+}
+
 fn run_coordinator(opts: &Options) -> Result<(), String> {
+    let mut opts = opts.clone();
+    let _spill_guard = prepare_spill_dir(&mut opts)?;
+    let opts = &opts;
     let listener =
         TcpListener::bind("127.0.0.1:0").map_err(|e| format!("bind rendezvous port: {e}"))?;
     let coord_addr = listener.local_addr().map_err(|e| e.to_string())?;
@@ -781,7 +836,7 @@ fn run_coordinator(opts: &Options) -> Result<(), String> {
             return Err(failures.join("; "));
         }
 
-        let mut totals = [0u64; 11];
+        let mut totals = [0u64; 12];
         let mut wire_recv_total = 0u64;
         for result in results.iter().flatten() {
             for (t, c) in totals.iter_mut().zip(result.0.counters) {
@@ -895,13 +950,22 @@ fn write_telemetry_artifacts(
 /// backend, so the report carries them under rank 0's entry; the
 /// per-peer byte matrices are still per-rank exact.
 fn run_inproc_coordinator(opts: &Options) -> Result<(), String> {
+    let mut opts = opts.clone();
+    let _spill_guard = prepare_spill_dir(&mut opts)?;
+    let opts = &opts;
     if let Some(dir) = &opts.out {
         std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
     }
     let obs = Observer::new();
-    let config = JobConfig::new(opts.ranks)
+    let mut config = JobConfig::new(opts.ranks)
         .with_o_parallelism(opts.o_parallelism)
         .with_observer(obs.clone());
+    if let Some(dir) = &opts.spill_dir {
+        config = config.with_spill_dir(dir.clone());
+    }
+    if opts.spill_compress {
+        config = config.with_spill_compression(WireCompression::Lz4);
+    }
     let inputs = opts
         .workload
         .inputs(opts.tasks, opts.bytes_per_task, opts.seed);

@@ -110,6 +110,101 @@ fn repeated_failures_make_monotone_progress() {
 }
 
 #[test]
+fn merge_resumes_from_block_frontier_after_mid_merge_death() {
+    // Kill the rank *inside* the A-phase merge, after the checkpoint has
+    // recorded a block frontier. The restart must (a) recover every O
+    // task, (b) resume the merge from the recorded block boundary
+    // instead of re-merging from the top — proven by the spill-read
+    // counters, not vibes — and (c) still produce the clean answer.
+    let inputs = corpus(16, 10);
+    let spill_dir = std::env::temp_dir().join(format!("dmpi-merge-resume-{}", std::process::id()));
+    let cp = CheckpointStore::new();
+    let base = datampi_suite::datampi::JobConfig::new(1)
+        .with_checkpointing(true)
+        .with_sorted_grouping(true)
+        .with_memory_budget(2048)
+        .with_spill_dir(spill_dir.clone())
+        .with_spill_compression(datampi_suite::datampi::WireCompression::Lz4)
+        .with_spill_block_bytes(128);
+
+    // Attempt 0 dies after 300 groups; the frontier interval is 32, so
+    // the last boundary recorded before the death is group 288.
+    let failing = base
+        .clone()
+        .with_faults(datampi_suite::datampi::FaultPlan::new(7).merge_panic(0, 0, 300));
+    datampi_suite::datampi::runtime::run_job_attempt(
+        &failing,
+        inputs.clone(),
+        wordcount::map,
+        wordcount::reduce,
+        Some(&cp),
+        0,
+    )
+    .unwrap_err();
+
+    // The checkpoint holds the sealed runs and the recorded boundary.
+    let mcp = cp.merge_checkpoint(0, 1).expect("merge frontier recorded");
+    assert_eq!(mcp.groups_emitted, 288);
+    let total_blocks: u64 = mcp.runs.iter().map(|r| r.index().blocks.len() as u64).sum();
+    let frontier_blocks: u64 = mcp.frontier.iter().map(|&b| b as u64).sum();
+    assert!(
+        mcp.runs.iter().all(|r| r.is_disk()),
+        "runs spilled to files"
+    );
+    assert!(frontier_blocks > 0, "a mid-run boundary was recorded");
+
+    let out = datampi_suite::datampi::runtime::run_job_attempt(
+        &base,
+        inputs.clone(),
+        wordcount::map,
+        wordcount::reduce,
+        Some(&cp),
+        1,
+    )
+    .unwrap();
+    // Every O task was banked before the merge death.
+    assert_eq!(out.stats.o_tasks_recovered as usize, inputs.len());
+    assert_eq!(out.stats.o_tasks_run, 0);
+    // The resume visited every block exactly once — as a read or an
+    // index skip — and skipped at least the blocks before the frontier.
+    assert_eq!(
+        out.stats.spill_blocks_read + out.stats.spill_blocks_skipped,
+        total_blocks
+    );
+    assert!(out.stats.spill_blocks_skipped >= frontier_blocks);
+    assert!(
+        out.stats.spill_blocks_read <= total_blocks - frontier_blocks,
+        "restart re-read a block before the recorded boundary: read {} of {} (frontier {})",
+        out.stats.spill_blocks_read,
+        total_blocks,
+        frontier_blocks
+    );
+
+    // Byte-identical to a clean, checkpoint-free run.
+    let clean = datampi_suite::datampi::run_job(
+        &datampi_suite::datampi::JobConfig::new(1).with_sorted_grouping(true),
+        inputs,
+        wordcount::map,
+        wordcount::reduce,
+        None,
+    )
+    .unwrap();
+    assert_eq!(out.stats.groups, clean.stats.groups);
+    for (p, q) in out.partitions.iter().zip(&clean.partitions) {
+        assert_eq!(p.records(), q.records());
+    }
+    // Success reclaimed the merge checkpoint; dropping it releases the
+    // last handles on the run files, which then self-delete.
+    assert!(cp.merge_checkpoint(0, 1).is_none());
+    drop(mcp);
+    let leftovers = std::fs::read_dir(&spill_dir)
+        .map(|it| it.count())
+        .unwrap_or(0);
+    assert_eq!(leftovers, 0, "run files must self-delete after success");
+    let _ = std::fs::remove_dir_all(&spill_dir);
+}
+
+#[test]
 fn rdd_lineage_recovers_lost_partitions() {
     let ctx = datampi_suite::rddsim::SparkContext::new(datampi_suite::rddsim::SparkConfig::new(4))
         .unwrap();
